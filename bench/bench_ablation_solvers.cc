@@ -1,0 +1,138 @@
+// E19 — ablation: JSP solver quality/time trade-offs. Exhaustive optimum
+// vs simulated annealing (final-state and best-seen variants) vs the
+// greedy baselines, under the paper's default instance distribution.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/annealing.h"
+#include "core/branch_bound.h"
+#include "core/exhaustive.h"
+#include "core/greedy.h"
+#include "core/objective.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace jury {
+namespace {
+
+void Run() {
+  const int reps = static_cast<int>(bench::Reps(50));
+  bench::PrintHeader(
+      "Ablation — JSP solvers (N = 12, B = 0.5, paper's distributions)",
+      "Mean JQ gap to the exhaustive optimum and mean solve time over " +
+          std::to_string(reps) + " instances.");
+
+  const BucketBvObjective objective;
+  struct Row {
+    OnlineStats gap;
+    OnlineStats time;
+  };
+  Row sa_final, sa_best, sa_removals, sa_restarts, greedy_q, greedy_vpc,
+      odd_topk, exhaustive, branch_bound;
+
+  Rng rng(65537);
+  for (int rep = 0; rep < reps; ++rep) {
+    Rng pool_rng = rng.Fork();
+    JspInstance instance;
+    instance.candidates = bench::PaperPool(&pool_rng, 12, 0.7);
+    instance.budget = 0.5;
+    instance.alpha = 0.5;
+
+    Timer t_ex;
+    const auto optimal = SolveExhaustive(instance, objective).value();
+    exhaustive.time.Add(t_ex.ElapsedSeconds());
+    exhaustive.gap.Add(0.0);
+
+    auto record = [&](Row* row, const JspSolution& solution, double secs) {
+      row->gap.Add(optimal.jq - solution.jq);
+      row->time.Add(secs);
+    };
+
+    {
+      Timer t;
+      const auto s = SolveBranchAndBound(instance, objective).value();
+      record(&branch_bound, s, t.ElapsedSeconds());
+    }
+
+    {
+      Rng sa_rng = rng.Fork();
+      Timer t;
+      const auto s = SolveAnnealing(instance, objective, &sa_rng).value();
+      record(&sa_final, s, t.ElapsedSeconds());
+    }
+    {
+      Rng sa_rng = rng.Fork();
+      AnnealingOptions options;
+      options.return_best_seen = true;
+      Timer t;
+      const auto s =
+          SolveAnnealing(instance, objective, &sa_rng, options).value();
+      record(&sa_best, s, t.ElapsedSeconds());
+    }
+    {
+      Rng sa_rng = rng.Fork();
+      AnnealingOptions options;
+      options.return_best_seen = true;
+      options.removal_probability = 0.25;
+      Timer t;
+      const auto s =
+          SolveAnnealing(instance, objective, &sa_rng, options).value();
+      record(&sa_removals, s, t.ElapsedSeconds());
+    }
+    {
+      Timer t;
+      JspSolution best_of_three;
+      for (int restart = 0; restart < 3; ++restart) {
+        Rng sa_rng = rng.Fork();
+        const auto s = SolveAnnealing(instance, objective, &sa_rng).value();
+        if (restart == 0 || s.jq > best_of_three.jq) best_of_three = s;
+      }
+      record(&sa_restarts, best_of_three, t.ElapsedSeconds());
+    }
+    {
+      Timer t;
+      const auto s = SolveGreedyByQuality(instance, objective).value();
+      record(&greedy_q, s, t.ElapsedSeconds());
+    }
+    {
+      Timer t;
+      const auto s = SolveGreedyByValuePerCost(instance, objective).value();
+      record(&greedy_vpc, s, t.ElapsedSeconds());
+    }
+    {
+      Timer t;
+      const auto s = SolveOddTopK(instance, objective).value();
+      record(&odd_topk, s, t.ElapsedSeconds());
+    }
+  }
+
+  Table table({"solver", "mean JQ gap", "max gap", "mean time (s)"});
+  auto emit = [&](const std::string& name, const Row& row) {
+    table.AddRow({name, FormatPercent(row.gap.mean(), 3),
+                  FormatPercent(row.gap.max(), 3),
+                  Format(row.time.mean(), 6)});
+  };
+  emit("exhaustive (reference)", exhaustive);
+  emit("branch-and-bound (exact)", branch_bound);
+  emit("annealing (paper Alg.3)", sa_final);
+  emit("annealing + best-seen", sa_best);
+  emit("annealing + removals (ext)", sa_removals);
+  emit("annealing x3 restarts", sa_restarts);
+  emit("greedy by quality", greedy_q);
+  emit("greedy by value/cost", greedy_vpc);
+  emit("odd top-k (MV-style)", odd_topk);
+  std::cout << table.ToString()
+            << "Takeaway: SA trades a tiny quality gap for exponential time "
+               "savings; best-seen dominates final-state at equal cost; "
+               "greedies are fast but can lose several percent.\n";
+}
+
+}  // namespace
+}  // namespace jury
+
+int main() {
+  jury::Run();
+  return 0;
+}

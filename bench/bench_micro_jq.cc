@@ -1,0 +1,111 @@
+// google-benchmark microbenchmarks of the JQ kernels: the bucketed
+// Algorithm-1 estimator (backend x pruning x n), the exact MV
+// Poisson-binomial DP, the 2^n exact enumerator, and the SA solver.
+
+#include <benchmark/benchmark.h>
+
+#include "core/annealing.h"
+#include "core/objective.h"
+#include "jq/bucket.h"
+#include "jq/closed_form.h"
+#include "jq/exact.h"
+#include "model/jury.h"
+#include "util/rng.h"
+
+namespace jury {
+namespace {
+
+Jury MakeJury(int n, std::uint64_t seed = 99) {
+  Rng rng(seed);
+  std::vector<double> qs;
+  for (int i = 0; i < n; ++i) {
+    qs.push_back(rng.TruncatedGaussian(0.7, 0.22360679774997896, 0.01, 0.99));
+  }
+  return Jury::FromQualities(qs);
+}
+
+void BM_EstimateJqDense(benchmark::State& state) {
+  const Jury jury = MakeJury(static_cast<int>(state.range(0)));
+  BucketJqOptions options;
+  options.backend = BucketBackend::kDense;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EstimateJq(jury, 0.5, options).value());
+  }
+}
+BENCHMARK(BM_EstimateJqDense)->Arg(10)->Arg(50)->Arg(100)->Arg(200)->Arg(500);
+
+void BM_EstimateJqSparse(benchmark::State& state) {
+  const Jury jury = MakeJury(static_cast<int>(state.range(0)));
+  BucketJqOptions options;
+  options.backend = BucketBackend::kSparse;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EstimateJq(jury, 0.5, options).value());
+  }
+}
+BENCHMARK(BM_EstimateJqSparse)->Arg(10)->Arg(50)->Arg(100)->Arg(200)->Arg(500);
+
+void BM_EstimateJqNoPruning(benchmark::State& state) {
+  const Jury jury = MakeJury(static_cast<int>(state.range(0)));
+  BucketJqOptions options;
+  options.backend = BucketBackend::kSparse;
+  options.enable_pruning = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EstimateJq(jury, 0.5, options).value());
+  }
+}
+BENCHMARK(BM_EstimateJqNoPruning)->Arg(10)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_EstimateJqHighResolution(benchmark::State& state) {
+  // The d = 200 per-worker setting that guarantees the <1% bound.
+  const int n = static_cast<int>(state.range(0));
+  const Jury jury = MakeJury(n);
+  BucketJqOptions options;
+  options.num_buckets = 200 * n;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EstimateJq(jury, 0.5, options).value());
+  }
+}
+BENCHMARK(BM_EstimateJqHighResolution)->Arg(10)->Arg(25)->Arg(50);
+
+void BM_MajorityJqDp(benchmark::State& state) {
+  const Jury jury = MakeJury(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MajorityJq(jury, 0.5).value());
+  }
+}
+BENCHMARK(BM_MajorityJqDp)->Arg(10)->Arg(100)->Arg(500);
+
+void BM_ExactJqEnumeration(benchmark::State& state) {
+  const Jury jury = MakeJury(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExactJqBv(jury, 0.5).value());
+  }
+}
+BENCHMARK(BM_ExactJqEnumeration)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
+
+void BM_AnnealingSolve(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng pool_rng(7);
+  JspInstance instance;
+  for (int i = 0; i < n; ++i) {
+    instance.candidates.emplace_back(
+        "w" + std::to_string(i),
+        pool_rng.TruncatedGaussian(0.7, 0.22360679774997896, 0.01, 0.99),
+        pool_rng.TruncatedGaussian(0.05, 0.2, 0.01, 1e9));
+  }
+  instance.budget = 0.5;
+  instance.alpha = 0.5;
+  const BucketBvObjective objective;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    benchmark::DoNotOptimize(
+        SolveAnnealing(instance, objective, &rng).value());
+  }
+}
+BENCHMARK(BM_AnnealingSolve)->Arg(50)->Arg(100)->Arg(200);
+
+}  // namespace
+}  // namespace jury
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+#ifndef JURYOPT_BENCH_BENCH_UTIL_H_
+#define JURYOPT_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "model/worker.h"
+#include "util/env.h"
+#include "util/rng.h"
+
+namespace jury::bench {
+
+/// Repetition count for averaged experiments. The paper repeats 1,000
+/// times (§6.1.1); the default here keeps the full harness in CI-scale
+/// runtime. Override with JURY_BENCH_REPS; JURY_BENCH_FAST=1 quarters it.
+inline std::int64_t Reps(std::int64_t fallback) {
+  std::int64_t reps = GetEnvInt("JURY_BENCH_REPS", fallback);
+  if (GetEnvFlag("JURY_BENCH_FAST")) reps = std::max<std::int64_t>(1, reps / 4);
+  return reps;
+}
+
+/// Banner printed at the top of each bench binary.
+inline void PrintHeader(const std::string& artifact,
+                        const std::string& protocol) {
+  std::cout << "==============================================================="
+               "=\n"
+            << artifact << "\n"
+            << protocol << "\n"
+            << "==============================================================="
+               "=\n";
+}
+
+/// The paper's synthetic worker generator (§6.1.1): quality ~ N(mu, sigma^2)
+/// truncated to [0.01, 0.99], cost ~ N(cost_mu, cost_sigma^2) truncated at
+/// 0.01 (DESIGN.md substitution #5).
+inline std::vector<Worker> PaperPool(Rng* rng, int n, double mu,
+                                     double sigma = 0.22360679774997896,
+                                     double cost_mu = 0.05,
+                                     double cost_sigma = 0.2) {
+  std::vector<Worker> pool;
+  pool.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    pool.emplace_back("w" + std::to_string(i),
+                      rng->TruncatedGaussian(mu, sigma, 0.01, 0.99),
+                      rng->TruncatedGaussian(cost_mu, cost_sigma, 0.01, 1e9));
+  }
+  return pool;
+}
+
+}  // namespace jury::bench
+
+#endif  // JURYOPT_BENCH_BENCH_UTIL_H_

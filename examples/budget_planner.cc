@@ -1,0 +1,66 @@
+// Budget planner: marginal-quality analysis over a fine budget grid.
+//
+// The paper's Fig. 1 narrative — "increasing the budget from 15 to 20
+// units buys only ~2.5% more quality" — generalized into a tool: sweep
+// budgets, print JQ and the marginal quality per extra unit of money, and
+// recommend the knee of the curve.
+//
+// Build & run:  ./build/examples/budget_planner [num_workers] [seed]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/budget_table.h"
+#include "crowd/pool.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace jury;
+  const int num_workers = argc > 1 ? std::atoi(argv[1]) : 12;
+  const std::uint64_t seed =
+      argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 99;
+
+  Rng rng(seed);
+  crowd::PoolConfig config;
+  config.num_workers = num_workers;
+  const auto pool = crowd::GeneratePool(config, &rng).value();
+
+  std::cout << "Candidate pool:\n";
+  Table workers({"id", "quality", "cost"});
+  for (const auto& w : pool) {
+    workers.AddRow({w.id, Format(w.quality, 3), Format(w.cost, 3)});
+  }
+  std::cout << workers.ToString() << "\n";
+
+  std::vector<double> budgets;
+  for (double b = 0.1; b <= 1.01; b += 0.1) budgets.push_back(b);
+  Rng solver_rng = rng.Fork();
+  const auto rows =
+      BuildBudgetQualityTable(pool, budgets, 0.5, &solver_rng).value();
+
+  Table plan({"budget", "jury", "required", "JQ", "marginal JQ / $"});
+  double knee_budget = rows.front().budget;
+  double best_marginal = 0.0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    double marginal = 0.0;
+    if (i > 0) {
+      const double dq = rows[i].jq - rows[i - 1].jq;
+      const double db = rows[i].budget - rows[i - 1].budget;
+      marginal = dq / db;
+      if (marginal > best_marginal) {
+        best_marginal = marginal;
+        knee_budget = rows[i].budget;
+      }
+    }
+    plan.AddRow({Format(rows[i].budget, 1), rows[i].jury_ids,
+                 Format(rows[i].required, 3), FormatPercent(rows[i].jq),
+                 i == 0 ? "-" : FormatPercent(marginal, 1)});
+  }
+  std::cout << plan.ToString();
+  std::cout << "\nSteepest quality-per-dollar step ends at budget "
+            << Format(knee_budget, 1)
+            << "; beyond the flat tail, extra money buys little (the "
+               "paper's 15-vs-20 argument).\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Online stopping: buy votes one at a time and stop when the Bayesian
+// posterior is confident enough — the CDAS-style online counterpart (§8)
+// built on the same model, contrasted against a fixed pre-selected jury.
+//
+// Build & run:  ./build/examples/online_stopping
+
+#include <iostream>
+
+#include "core/sequential.h"
+#include "crowd/pool.h"
+#include "crowd/vote_sim.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main() {
+  using namespace jury;
+  Rng rng(77);
+
+  crowd::PoolConfig config;
+  config.num_workers = 20;
+  const int num_tasks = 2000;
+
+  Table table({"confidence target", "accuracy", "avg votes", "avg spent"});
+  for (double threshold : {0.80, 0.90, 0.95, 0.99}) {
+    OnlineStats votes_used, spent;
+    int correct = 0;
+    for (int t = 0; t < num_tasks; ++t) {
+      Rng pool_rng = rng.Fork();
+      const auto stream = crowd::GeneratePool(config, &pool_rng).value();
+      const int truth = crowd::SampleTruth(0.5, &rng);
+
+      SequentialConfig policy;
+      policy.confidence_threshold = threshold;
+      policy.budget = 2.0;
+      const auto outcome =
+          RunSequentialPolicy(
+              stream,
+              [&](const Worker& w, std::size_t) {
+                return crowd::SimulateVote(w.quality, truth, &rng);
+              },
+              policy)
+              .value();
+      correct += (outcome.answer == truth);
+      votes_used.Add(static_cast<double>(outcome.votes_used));
+      spent.Add(outcome.spent);
+    }
+    table.AddRow({Format(threshold, 2),
+                  FormatPercent(static_cast<double>(correct) / num_tasks),
+                  Format(votes_used.mean(), 2), Format(spent.mean(), 3)});
+  }
+  std::cout << table.ToString()
+            << "\nThe posterior IS Bayesian Voting's decision statistic, so "
+               "the stopping threshold is a per-task correctness guarantee: "
+               "accuracy tracks the confidence target while easy tasks stop "
+               "after a few votes.\n";
+  return 0;
+}

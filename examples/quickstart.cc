@@ -1,0 +1,51 @@
+// Quickstart: the paper's Figure-1 walkthrough in ~50 lines.
+//
+//   Task: "Is Bill Gates now the CEO of Microsoft?"  (yes/no)
+//   Seven candidate workers, each with a known quality and cost.
+//   Goal: for each budget, the jury whose Bayesian-Voting quality is max.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <iostream>
+
+#include "core/budget_table.h"
+#include "jq/bucket.h"
+#include "strategy/bayesian.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace jury;
+
+  // 1. The candidate worker pool (quality = Pr[vote is correct], cost = $).
+  const std::vector<Worker> workers = {
+      {"A", 0.77, 9.0}, {"B", 0.70, 5.0}, {"C", 0.80, 6.0},
+      {"D", 0.65, 7.0}, {"E", 0.60, 5.0}, {"F", 0.60, 2.0},
+      {"G", 0.75, 3.0},
+  };
+
+  // 2. Build the budget-quality table: one optimal jury per budget.
+  Rng rng(42);
+  const auto rows =
+      BuildBudgetQualityTable(workers, {5.0, 10.0, 15.0, 20.0},
+                              /*alpha=*/0.5, &rng)
+          .value();
+  std::cout << "Budget-quality table (pick your trade-off):\n"
+            << FormatBudgetQualityTable(rows) << "\n";
+
+  // 3. Suppose the provider picks the 15-unit row ({B, C, G}, cost 14).
+  Jury jury;
+  for (const auto& w : workers) {
+    if (w.id == "B" || w.id == "C" || w.id == "G") jury.Add(w);
+  }
+  std::cout << "Chosen jury costs " << jury.TotalCost()
+            << "; predicted JQ = " << EstimateJq(jury, 0.5).value() << "\n";
+
+  // 4. The workers vote; Bayesian Voting aggregates. Following the paper's
+  //    encoding (§2.1), 1 = yes and 0 = no: B says no, C and G say yes.
+  const BayesianVoting bv;
+  const Votes votes{0, 1, 1};
+  const int answer = bv.ProbZero(jury, votes, 0.5) >= 1.0 ? 0 : 1;
+  std::cout << "Votes {B:no, C:yes, G:yes} -> BV answers: "
+            << (answer == 1 ? "yes (1)" : "no (0)") << "\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+#ifndef JURYOPT_CORE_ALLOCATION_H_
+#define JURYOPT_CORE_ALLOCATION_H_
+
+#include <vector>
+
+#include "core/optjs.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace jury {
+
+/// \brief One task in a multi-task campaign: its candidate pool and prior.
+/// (Pools may differ per task — e.g. the workers who saw the HIT, as in
+/// the paper's §6.2 setting.)
+struct AllocationTask {
+  std::vector<Worker> candidates;
+  double alpha = 0.5;
+};
+
+/// \brief Per-task outcome of a global-budget allocation.
+struct TaskAllocation {
+  double budget = 0.0;      // budget granted to this task
+  JspSolution solution;     // jury selected within that budget
+};
+
+/// \brief Result of `AllocateBudget`.
+struct AllocationResult {
+  std::vector<TaskAllocation> tasks;
+  double total_granted = 0.0;  // sum of granted budgets (<= global budget)
+  double total_spent = 0.0;    // sum of selected jury costs
+  double mean_jq = 0.0;        // average predicted JQ across tasks
+};
+
+/// \brief Options for the allocator.
+struct AllocationOptions {
+  /// Budget is handed out in increments of this size.
+  double increment = 0.1;
+  /// Solver configuration used to evaluate each (task, budget) pair.
+  OptjsOptions optjs;
+};
+
+/// \brief Splits one global budget across many tasks, maximizing the mean
+/// predicted JQ, by greedy marginal allocation: repeatedly grant the next
+/// `increment` to the task whose optimal-jury JQ improves the most.
+///
+/// This extends the paper's per-task system (§1's budget-quality table) to
+/// the campaign level: easy tasks (confident priors, strong cheap workers)
+/// absorb little budget, hard tasks absorb more. Budget-quality curves are
+/// concave in practice (diminishing returns — see `budget_planner`), where
+/// greedy marginal allocation is the classic near-optimal strategy.
+Result<AllocationResult> AllocateBudget(
+    const std::vector<AllocationTask>& tasks, double global_budget, Rng* rng,
+    const AllocationOptions& options = {});
+
+}  // namespace jury
+
+#endif  // JURYOPT_CORE_ALLOCATION_H_

@@ -1,0 +1,214 @@
+#include "core/annealing.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace jury {
+namespace {
+
+/// Mutable SA state: the jury as an index set plus cached cost/quality.
+class SearchState {
+ public:
+  SearchState(const JspInstance& instance, const JqObjective& objective,
+              AnnealingStats* stats)
+      : instance_(instance), objective_(objective), stats_(stats) {
+    selected_.assign(instance.num_candidates(), false);
+    current_jq_ = EmptyJuryJq(instance.alpha);
+    best_members_ = members_;
+    best_jq_ = current_jq_;
+  }
+
+  const std::vector<std::size_t>& members() const { return members_; }
+  double cost() const { return cost_; }
+  double current_jq() const { return current_jq_; }
+  bool is_selected(std::size_t i) const { return selected_[i]; }
+  std::size_t size() const { return members_.size(); }
+
+  const std::vector<std::size_t>& best_members() const {
+    return best_members_;
+  }
+  double best_jq() const { return best_jq_; }
+
+  /// JQ of the current jury with `out` removed (SIZE_MAX = nothing) and
+  /// `in` added (SIZE_MAX = nothing).
+  double EvaluateWith(std::size_t out, std::size_t in) const {
+    Jury candidate;
+    for (std::size_t idx : members_) {
+      if (idx != out) candidate.Add(instance_.candidates[idx]);
+    }
+    if (in != kNone) candidate.Add(instance_.candidates[in]);
+    if (stats_ != nullptr) ++stats_->objective_evaluations;
+    return objective_.Evaluate(candidate, instance_.alpha);
+  }
+
+  void Add(std::size_t idx, double new_jq) {
+    selected_[idx] = true;
+    members_.push_back(idx);
+    cost_ += instance_.candidates[idx].cost;
+    SetJq(new_jq);
+  }
+
+  void Replace(std::size_t out, std::size_t in, double new_jq) {
+    selected_[out] = false;
+    selected_[in] = true;
+    auto it = std::find(members_.begin(), members_.end(), out);
+    *it = in;
+    cost_ += instance_.candidates[in].cost - instance_.candidates[out].cost;
+    SetJq(new_jq);
+  }
+
+  void Remove(std::size_t out, double new_jq) {
+    selected_[out] = false;
+    members_.erase(std::find(members_.begin(), members_.end(), out));
+    cost_ -= instance_.candidates[out].cost;
+    SetJq(new_jq);
+  }
+
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+ private:
+  void SetJq(double jq) {
+    current_jq_ = jq;
+    if (jq > best_jq_) {
+      best_jq_ = jq;
+      best_members_ = members_;
+    }
+  }
+
+  const JspInstance& instance_;
+  const JqObjective& objective_;
+  AnnealingStats* stats_;
+  std::vector<bool> selected_;
+  std::vector<std::size_t> members_;
+  double cost_ = 0.0;
+  double current_jq_ = 0.0;
+  std::vector<std::size_t> best_members_;
+  double best_jq_ = 0.0;
+};
+
+/// Boltzmann acceptance (§5.1): uphill always, downhill with exp(delta/T).
+bool Accept(double delta, double temperature, Rng* rng) {
+  if (delta >= 0.0) return true;
+  return rng->Uniform() <= std::exp(delta / temperature);
+}
+
+/// Uniform pick among unselected candidate indices; kNone when all selected.
+std::size_t PickUnselected(const SearchState& state, std::size_t n,
+                           Rng* rng) {
+  const std::size_t complement = n - state.size();
+  if (complement == 0) return SearchState::kNone;
+  std::size_t target = static_cast<std::size_t>(rng->UniformInt(complement));
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!state.is_selected(i)) {
+      if (target == 0) return i;
+      --target;
+    }
+  }
+  return SearchState::kNone;
+}
+
+}  // namespace
+
+Result<JspSolution> SolveAnnealing(const JspInstance& instance,
+                                   const JqObjective& objective, Rng* rng,
+                                   const AnnealingOptions& options,
+                                   AnnealingStats* stats) {
+  JURY_RETURN_NOT_OK(instance.Validate());
+  if (rng == nullptr) {
+    return Status::InvalidArgument("SolveAnnealing requires an Rng");
+  }
+  if (!(options.initial_temperature > 0.0) || !(options.epsilon > 0.0) ||
+      !(options.cooling_factor > 0.0) || !(options.cooling_factor < 1.0)) {
+    return Status::InvalidArgument("invalid annealing schedule");
+  }
+  if (stats != nullptr) *stats = AnnealingStats{};
+
+  const std::size_t n = instance.num_candidates();
+  if (n == 0) {
+    return MakeSolution(instance, {}, EmptyJuryJq(instance.alpha));
+  }
+
+  SearchState state(instance, objective, stats);
+  const bool blind_adds =
+      options.trust_monotone_adds && objective.monotone_in_size();
+
+  for (double temperature = options.initial_temperature;
+       temperature >= options.epsilon;
+       temperature *= options.cooling_factor) {
+    if (stats != nullptr) ++stats->temperature_levels;
+    for (std::size_t step = 0; step < n; ++step) {
+      const std::size_t r = static_cast<std::size_t>(rng->UniformInt(n));
+      if (stats != nullptr) ++stats->moves_attempted;
+
+      // Steps 9-11 of Algorithm 3: adopt an affordable unselected worker.
+      if (!state.is_selected(r) &&
+          state.cost() + instance.candidates[r].cost <= instance.budget) {
+        const double new_jq = state.EvaluateWith(SearchState::kNone, r);
+        const double delta = new_jq - state.current_jq();
+        if (blind_adds || Accept(delta, temperature, rng)) {
+          state.Add(r, new_jq);
+          if (stats != nullptr) {
+            ++stats->moves_accepted;
+            if (delta >= 0.0) ++stats->uphill_accepts;
+            else ++stats->downhill_accepts;
+          }
+        }
+        continue;
+      }
+
+      // Extension (removal_probability > 0): occasionally propose dropping
+      // a selected worker outright, Boltzmann-gated like any other move.
+      if (state.is_selected(r) && options.removal_probability > 0.0 &&
+          rng->Bernoulli(options.removal_probability)) {
+        const double new_jq = state.EvaluateWith(r, SearchState::kNone);
+        const double delta = new_jq - state.current_jq();
+        if (Accept(delta, temperature, rng)) {
+          state.Remove(r, new_jq);
+          if (stats != nullptr) {
+            ++stats->moves_accepted;
+            if (delta >= 0.0) ++stats->uphill_accepts;
+            else ++stats->downhill_accepts;
+          }
+        }
+        continue;
+      }
+
+      // Algorithm 4 (Swap): pair `r` with a partner on the other side.
+      std::size_t out = SearchState::kNone;
+      std::size_t in = SearchState::kNone;
+      if (!state.is_selected(r)) {
+        if (state.size() == 0) continue;
+        const std::size_t pos =
+            static_cast<std::size_t>(rng->UniformInt(state.size()));
+        out = state.members()[pos];
+        in = r;
+      } else {
+        in = PickUnselected(state, n, rng);
+        if (in == SearchState::kNone) continue;
+        out = r;
+      }
+      const double new_cost = state.cost() -
+                              instance.candidates[out].cost +
+                              instance.candidates[in].cost;
+      if (new_cost > instance.budget) continue;
+
+      const double new_jq = state.EvaluateWith(out, in);
+      const double delta = new_jq - state.current_jq();
+      if (Accept(delta, temperature, rng)) {
+        state.Replace(out, in, new_jq);
+        if (stats != nullptr) {
+          ++stats->moves_accepted;
+          if (delta >= 0.0) ++stats->uphill_accepts;
+          else ++stats->downhill_accepts;
+        }
+      }
+    }
+  }
+
+  if (options.return_best_seen) {
+    return MakeSolution(instance, state.best_members(), state.best_jq());
+  }
+  return MakeSolution(instance, state.members(), state.current_jq());
+}
+
+}  // namespace jury

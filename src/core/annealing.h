@@ -1,0 +1,64 @@
+#ifndef JURYOPT_CORE_ANNEALING_H_
+#define JURYOPT_CORE_ANNEALING_H_
+
+#include <cstddef>
+
+#include "core/jsp.h"
+#include "core/objective.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace jury {
+
+/// \brief Knobs of the simulated-annealing JSP heuristic (Algorithm 3).
+struct AnnealingOptions {
+  /// Initial temperature T (step 1 of Algorithm 3).
+  double initial_temperature = 1.0;
+  /// Loop terminates when T drops below epsilon (the paper uses 1e-8).
+  double epsilon = 1e-8;
+  /// Geometric cooling T <- T * cooling_factor (the paper halves).
+  double cooling_factor = 0.5;
+  /// When true, "add a worker if it fits" is accepted unconditionally, as in
+  /// Algorithm 3 (justified by Lemma 1). Only sound for monotone objectives;
+  /// for MV the solver evaluates the addition like any other move. When
+  /// false, additions always go through the Boltzmann acceptance test.
+  bool trust_monotone_adds = true;
+  /// Return the best jury seen rather than the final one. The paper's
+  /// Algorithm 3 returns the final state; keeping the incumbent is a common
+  /// SA refinement, benchmarked in `bench_ablation_solvers`.
+  bool return_best_seen = false;
+  /// Extension beyond Algorithm 3: with this probability a move on a
+  /// selected worker proposes REMOVING it (Boltzmann-gated — removals
+  /// always lower a monotone objective, so they only survive at high
+  /// temperature). This lets the search escape "budget-full of cheap
+  /// workers" states that 1-for-1 swaps cannot leave, the local-optimum
+  /// family behind the Table-3 tail (see EXPERIMENTS.md). 0 disables and
+  /// recovers the paper's verbatim neighbourhood.
+  double removal_probability = 0.0;
+};
+
+/// \brief Per-run instrumentation.
+struct AnnealingStats {
+  std::size_t temperature_levels = 0;
+  std::size_t moves_attempted = 0;
+  std::size_t moves_accepted = 0;
+  std::size_t uphill_accepts = 0;    // delta >= 0
+  std::size_t downhill_accepts = 0;  // delta < 0, Boltzmann-accepted
+  std::size_t objective_evaluations = 0;
+};
+
+/// \brief JSP by simulated annealing (Algorithms 3–4).
+///
+/// Each location is a jury; its objective value is JQ. Per temperature level
+/// the solver makes N random local moves: adding a random unselected worker
+/// when it fits the budget, otherwise swapping it against a random selected
+/// one (Algorithm 4), accepting quality-decreasing swaps with probability
+/// `exp(delta / T)` (Boltzmann). Temperature halves until epsilon.
+Result<JspSolution> SolveAnnealing(const JspInstance& instance,
+                                   const JqObjective& objective, Rng* rng,
+                                   const AnnealingOptions& options = {},
+                                   AnnealingStats* stats = nullptr);
+
+}  // namespace jury
+
+#endif  // JURYOPT_CORE_ANNEALING_H_

@@ -1,0 +1,128 @@
+#include "core/branch_bound.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace jury {
+namespace {
+
+constexpr double kTieTol = 1e-12;
+
+class Searcher {
+ public:
+  Searcher(const JspInstance& instance, const JqObjective& objective,
+           const BranchBoundOptions& options, BranchBoundStats* stats)
+      : instance_(instance),
+        objective_(objective),
+        options_(options),
+        stats_(stats) {
+    order_.resize(instance.num_candidates());
+    std::iota(order_.begin(), order_.end(), std::size_t{0});
+    std::stable_sort(order_.begin(), order_.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return instance.candidates[a].quality >
+                              instance.candidates[b].quality;
+                     });
+    best_jq_ = EmptyJuryJq(instance.alpha);
+    best_cost_ = 0.0;
+  }
+
+  Status Run() {
+    JURY_RETURN_NOT_OK(Dfs(0));
+    return Status::OK();
+  }
+
+  JspSolution Solution() const {
+    JspSolution out;
+    out.selected = best_selected_;
+    std::sort(out.selected.begin(), out.selected.end());
+    out.jq = best_jq_;
+    out.cost = best_cost_;
+    return out;
+  }
+
+ private:
+  double Evaluate(const std::vector<std::size_t>& selected) const {
+    Jury jury;
+    for (std::size_t idx : selected) jury.Add(instance_.candidates[idx]);
+    return objective_.Evaluate(jury, instance_.alpha);
+  }
+
+  void Offer(double jq) {
+    if (jq > best_jq_ + kTieTol ||
+        (jq > best_jq_ - kTieTol && cost_ < best_cost_)) {
+      best_jq_ = jq;
+      best_cost_ = cost_;
+      best_selected_ = selected_;
+    }
+  }
+
+  Status Dfs(std::size_t depth) {
+    if (stats_ != nullptr) ++stats_->nodes_explored;
+    if (++nodes_ > options_.max_nodes) {
+      return Status::ResourceExhausted(
+          "branch-and-bound node budget exceeded");
+    }
+    if (depth == order_.size()) {
+      Offer(selected_.empty() ? EmptyJuryJq(instance_.alpha)
+                              : Evaluate(selected_));
+      return Status::OK();
+    }
+
+    // Lemma-1 upper bound: everything still undecided joins for free.
+    std::vector<std::size_t> optimistic = selected_;
+    for (std::size_t d = depth; d < order_.size(); ++d) {
+      optimistic.push_back(order_[d]);
+    }
+    const double bound = Evaluate(optimistic);
+    if (bound < best_jq_ - kTieTol) {
+      if (stats_ != nullptr) ++stats_->nodes_pruned_bound;
+      return Status::OK();
+    }
+
+    const std::size_t candidate = order_[depth];
+    const double c = instance_.candidates[candidate].cost;
+    // Include branch first: deep good incumbents tighten the bound early.
+    if (cost_ + c <= instance_.budget) {
+      selected_.push_back(candidate);
+      cost_ += c;
+      JURY_RETURN_NOT_OK(Dfs(depth + 1));
+      cost_ -= c;
+      selected_.pop_back();
+    } else if (stats_ != nullptr) {
+      ++stats_->nodes_pruned_budget;
+    }
+    return Dfs(depth + 1);  // exclude branch
+  }
+
+  const JspInstance& instance_;
+  const JqObjective& objective_;
+  const BranchBoundOptions& options_;
+  BranchBoundStats* stats_;
+  std::vector<std::size_t> order_;
+  std::vector<std::size_t> selected_;
+  double cost_ = 0.0;
+  std::size_t nodes_ = 0;
+  double best_jq_;
+  double best_cost_;
+  std::vector<std::size_t> best_selected_;
+};
+
+}  // namespace
+
+Result<JspSolution> SolveBranchAndBound(const JspInstance& instance,
+                                        const JqObjective& objective,
+                                        const BranchBoundOptions& options,
+                                        BranchBoundStats* stats) {
+  JURY_RETURN_NOT_OK(instance.Validate());
+  if (!objective.monotone_in_size()) {
+    return Status::InvalidArgument(
+        "branch-and-bound requires a monotone objective (Lemma 1)");
+  }
+  if (stats != nullptr) *stats = BranchBoundStats{};
+  Searcher searcher(instance, objective, options, stats);
+  JURY_RETURN_NOT_OK(searcher.Run());
+  return searcher.Solution();
+}
+
+}  // namespace jury

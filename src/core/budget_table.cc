@@ -1,0 +1,101 @@
+#include "core/budget_table.h"
+
+#include "util/table.h"
+
+namespace jury {
+
+Result<std::vector<BudgetQualityRow>> BuildBudgetQualityTable(
+    const std::vector<Worker>& candidates, const std::vector<double>& budgets,
+    double alpha, Rng* rng, const OptjsOptions& options) {
+  std::vector<BudgetQualityRow> rows;
+  rows.reserve(budgets.size());
+  for (double budget : budgets) {
+    JspInstance instance;
+    instance.candidates = candidates;
+    instance.budget = budget;
+    instance.alpha = alpha;
+    JURY_ASSIGN_OR_RETURN(JspSolution solution,
+                          SolveOptjs(instance, rng, options));
+    BudgetQualityRow row;
+    row.budget = budget;
+    row.selected = solution.selected;
+    row.jury_ids = solution.Describe(instance);
+    row.jq = solution.jq;
+    row.required = solution.cost;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Result<BudgetQualityRow> MinimalBudgetForQuality(
+    const std::vector<Worker>& candidates, double target_jq, double alpha,
+    Rng* rng, const OptjsOptions& options, double tolerance) {
+  if (!(target_jq >= 0.0 && target_jq <= 1.0)) {
+    return Status::InvalidArgument("target_jq outside [0,1]");
+  }
+  if (!(tolerance > 0.0)) {
+    return Status::InvalidArgument("tolerance must be positive");
+  }
+  double total = 0.0;
+  for (const Worker& w : candidates) {
+    JURY_RETURN_NOT_OK(ValidateWorker(w));
+    total += w.cost;
+  }
+
+  auto solve_at = [&](double budget) -> Result<JspSolution> {
+    JspInstance instance;
+    instance.candidates = candidates;
+    instance.budget = budget;
+    instance.alpha = alpha;
+    return SolveOptjs(instance, rng, options);
+  };
+
+  JspSolution at_total;
+  JURY_ASSIGN_OR_RETURN(at_total, solve_at(total));
+  if (at_total.jq < target_jq) {
+    return Status::FailedPrecondition(
+        "target JQ unreachable: full pool achieves " +
+        std::to_string(at_total.jq));
+  }
+
+  double lo = 0.0;
+  double hi = total;
+  JspSolution best = at_total;
+  double best_budget = total;
+  while (hi - lo > tolerance) {
+    const double mid = (lo + hi) / 2.0;
+    JspSolution probe;
+    JURY_ASSIGN_OR_RETURN(probe, solve_at(mid));
+    if (probe.jq >= target_jq) {
+      hi = mid;
+      if (mid < best_budget) {
+        best = probe;
+        best_budget = mid;
+      }
+    } else {
+      lo = mid;
+    }
+  }
+
+  BudgetQualityRow row;
+  row.budget = best_budget;
+  row.selected = best.selected;
+  JspInstance describe_instance;
+  describe_instance.candidates = candidates;
+  row.jury_ids = best.Describe(describe_instance);
+  row.jq = best.jq;
+  row.required = best.cost;
+  return row;
+}
+
+std::string FormatBudgetQualityTable(
+    const std::vector<BudgetQualityRow>& rows) {
+  Table table({"Budget", "Optimal Jury Set", "Quality", "Required"});
+  for (const auto& row : rows) {
+    table.AddRow({Format(row.budget, 2), row.jury_ids,
+                  FormatPercent(row.jq), Format(row.required, 2)});
+  }
+  return table.ToString();
+}
+
+}  // namespace jury

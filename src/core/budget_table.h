@@ -1,0 +1,46 @@
+#ifndef JURYOPT_CORE_BUDGET_TABLE_H_
+#define JURYOPT_CORE_BUDGET_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/optjs.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace jury {
+
+/// \brief One row of the Fig. 1 "budget-quality table": the optimal jury
+/// within a given budget, its estimated quality, and the money it actually
+/// requires (which can undercut the budget, e.g. the paper's {B,C,G} jury
+/// needs only 14 of the 15-unit budget).
+struct BudgetQualityRow {
+  double budget = 0.0;
+  std::vector<std::size_t> selected;
+  std::string jury_ids;
+  double jq = 0.0;
+  double required = 0.0;
+};
+
+/// \brief Computes the budget-quality table for a candidate pool, one row
+/// per entry of `budgets`, so the task provider can pick the best
+/// budget-quality trade-off before paying anyone (§1).
+Result<std::vector<BudgetQualityRow>> BuildBudgetQualityTable(
+    const std::vector<Worker>& candidates, const std::vector<double>& budgets,
+    double alpha, Rng* rng, const OptjsOptions& options = {});
+
+/// Renders the table in the paper's style (monospace, percent JQ).
+std::string FormatBudgetQualityTable(const std::vector<BudgetQualityRow>& rows);
+
+/// \brief Inverse budget query: the smallest budget (within `tolerance`,
+/// by bisection over [0, total pool cost]) whose optimal jury reaches
+/// `target_jq`. Returns FailedPrecondition when even the full pool falls
+/// short. This turns the Fig. 1 table around: "I need 85% — what will it
+/// cost me?".
+Result<BudgetQualityRow> MinimalBudgetForQuality(
+    const std::vector<Worker>& candidates, double target_jq, double alpha,
+    Rng* rng, const OptjsOptions& options = {}, double tolerance = 1e-3);
+
+}  // namespace jury
+
+#endif  // JURYOPT_CORE_BUDGET_TABLE_H_

@@ -1,0 +1,64 @@
+#include "core/exhaustive.h"
+
+#include <cstdint>
+
+namespace jury {
+
+Result<JspSolution> SolveExhaustive(const JspInstance& instance,
+                                    const JqObjective& objective,
+                                    const ExhaustiveOptions& options) {
+  JURY_RETURN_NOT_OK(instance.Validate());
+  const std::size_t n = instance.num_candidates();
+  if (n > options.max_candidates) {
+    return Status::OutOfRange(
+        "exhaustive JSP guarded to N <= " +
+        std::to_string(options.max_candidates) + ", got N = " +
+        std::to_string(n));
+  }
+  const bool monotone = objective.monotone_in_size();
+
+  JspSolution best =
+      MakeSolution(instance, {}, EmptyJuryJq(instance.alpha));
+  const std::uint64_t total = 1ull << n;
+  for (std::uint64_t mask = 0; mask < total; ++mask) {
+    double cost = 0.0;
+    bool feasible = true;
+    for (std::size_t i = 0; i < n && feasible; ++i) {
+      if ((mask >> i) & 1u) {
+        cost += instance.candidates[i].cost;
+        if (cost > instance.budget) feasible = false;
+      }
+    }
+    if (!feasible || mask == 0) continue;
+    if (monotone) {
+      // Skip non-maximal juries: some unselected worker still fits.
+      bool maximal = true;
+      for (std::size_t i = 0; i < n && maximal; ++i) {
+        if (!((mask >> i) & 1u) &&
+            cost + instance.candidates[i].cost <= instance.budget) {
+          maximal = false;
+        }
+      }
+      if (!maximal) continue;
+    }
+    std::vector<std::size_t> selected;
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((mask >> i) & 1u) selected.push_back(i);
+    }
+    Jury candidate;
+    for (std::size_t idx : selected) {
+      candidate.Add(instance.candidates[idx]);
+    }
+    const double jq = objective.Evaluate(candidate, instance.alpha);
+    // Deterministic tie-break: at (numerically) equal quality prefer the
+    // cheaper jury, so "required" budgets in the Fig. 1 table are minimal.
+    constexpr double kTieTol = 1e-12;
+    if (jq > best.jq + kTieTol ||
+        (jq > best.jq - kTieTol && cost < best.cost)) {
+      best = MakeSolution(instance, std::move(selected), jq);
+    }
+  }
+  return best;
+}
+
+}  // namespace jury

@@ -1,0 +1,29 @@
+#ifndef JURYOPT_CORE_EXHAUSTIVE_H_
+#define JURYOPT_CORE_EXHAUSTIVE_H_
+
+#include "core/jsp.h"
+#include "core/objective.h"
+#include "util/result.h"
+
+namespace jury {
+
+/// \brief Options for the brute-force JSP solver.
+struct ExhaustiveOptions {
+  /// Hard cap on the candidate count (2^N subsets are enumerated).
+  std::size_t max_candidates = 22;
+};
+
+/// \brief Exact JSP by enumerating every feasible jury (the paper's
+/// reference point for Fig. 7(a) and Table 3, where N = 11).
+///
+/// For monotone objectives (Lemma 1), only maximal feasible juries need the
+/// objective evaluated — any non-maximal jury is dominated by a superset —
+/// which prunes most of the 2^N evaluations. Returns OutOfRange when N
+/// exceeds `max_candidates`.
+Result<JspSolution> SolveExhaustive(const JspInstance& instance,
+                                    const JqObjective& objective,
+                                    const ExhaustiveOptions& options = {});
+
+}  // namespace jury
+
+#endif  // JURYOPT_CORE_EXHAUSTIVE_H_

@@ -1,0 +1,95 @@
+#include "core/greedy.h"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+
+namespace jury {
+namespace {
+
+/// Adds candidates in `order` while they fit, then evaluates once.
+JspSolution FillInOrder(const JspInstance& instance,
+                        const JqObjective& objective,
+                        const std::vector<std::size_t>& order) {
+  std::vector<std::size_t> selected;
+  double cost = 0.0;
+  for (std::size_t idx : order) {
+    const double c = instance.candidates[idx].cost;
+    if (cost + c <= instance.budget) {
+      selected.push_back(idx);
+      cost += c;
+    }
+  }
+  Jury jury;
+  for (std::size_t idx : selected) jury.Add(instance.candidates[idx]);
+  const double jq = jury.empty() ? EmptyJuryJq(instance.alpha)
+                                 : objective.Evaluate(jury, instance.alpha);
+  return MakeSolution(instance, std::move(selected), jq);
+}
+
+std::vector<std::size_t> SortedIndices(
+    const JspInstance& instance,
+    const std::function<double(const Worker&)>& score) {
+  std::vector<std::size_t> order(instance.num_candidates());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return score(instance.candidates[a]) >
+                            score(instance.candidates[b]);
+                   });
+  return order;
+}
+
+}  // namespace
+
+Result<JspSolution> SolveGreedyByQuality(const JspInstance& instance,
+                                         const JqObjective& objective) {
+  JURY_RETURN_NOT_OK(instance.Validate());
+  const auto order =
+      SortedIndices(instance, [](const Worker& w) { return w.quality; });
+  return FillInOrder(instance, objective, order);
+}
+
+Result<JspSolution> SolveGreedyByValuePerCost(const JspInstance& instance,
+                                              const JqObjective& objective) {
+  JURY_RETURN_NOT_OK(instance.Validate());
+  const auto order = SortedIndices(instance, [](const Worker& w) {
+    constexpr double kMinCost = 1e-9;  // free workers get a huge score
+    return (w.quality - 0.5) / std::max(w.cost, kMinCost);
+  });
+  return FillInOrder(instance, objective, order);
+}
+
+Result<JspSolution> SolveOddTopK(const JspInstance& instance,
+                                 const JqObjective& objective) {
+  JURY_RETURN_NOT_OK(instance.Validate());
+  const auto order =
+      SortedIndices(instance, [](const Worker& w) { return w.quality; });
+
+  JspSolution best =
+      MakeSolution(instance, {}, EmptyJuryJq(instance.alpha));
+  const std::size_t n = instance.num_candidates();
+  for (std::size_t k = 1; k <= n; k += 2) {
+    // Greedily take the k best-quality workers that fit.
+    std::vector<std::size_t> selected;
+    double cost = 0.0;
+    for (std::size_t idx : order) {
+      if (selected.size() == k) break;
+      const double c = instance.candidates[idx].cost;
+      if (cost + c <= instance.budget) {
+        selected.push_back(idx);
+        cost += c;
+      }
+    }
+    if (selected.size() < k) break;  // budget cannot host k workers
+    Jury jury;
+    for (std::size_t idx : selected) jury.Add(instance.candidates[idx]);
+    const double jq = objective.Evaluate(jury, instance.alpha);
+    if (jq > best.jq) {
+      best = MakeSolution(instance, std::move(selected), jq);
+    }
+  }
+  return best;
+}
+
+}  // namespace jury

@@ -1,0 +1,33 @@
+#ifndef JURYOPT_CORE_GREEDY_H_
+#define JURYOPT_CORE_GREEDY_H_
+
+#include "core/jsp.h"
+#include "core/objective.h"
+#include "util/result.h"
+
+namespace jury {
+
+/// \brief Cheap deterministic JSP baselines, used for ablations (E19) and as
+/// seeds/components of the MVJS system.
+
+/// Sorts candidates by quality (descending) and adds each one that still
+/// fits the budget. With uniform costs this is optimal for BV by Lemmas 1-2
+/// (a property the tests verify).
+Result<JspSolution> SolveGreedyByQuality(const JspInstance& instance,
+                                         const JqObjective& objective);
+
+/// Sorts by (quality - 0.5) / cost — informativeness per unit money — and
+/// adds while affordable. Free workers (cost ~ 0) rank first.
+Result<JspSolution> SolveGreedyByValuePerCost(const JspInstance& instance,
+                                              const JqObjective& objective);
+
+/// MV-oriented heuristic: for every odd jury size k, greedily picks the k
+/// highest-quality affordable workers, evaluates the objective, and keeps
+/// the best size. Mirrors the odd-size-majority intuition behind Cao et
+/// al.'s MV solver (MV gains nothing from even extensions).
+Result<JspSolution> SolveOddTopK(const JspInstance& instance,
+                                 const JqObjective& objective);
+
+}  // namespace jury
+
+#endif  // JURYOPT_CORE_GREEDY_H_

@@ -1,0 +1,58 @@
+#include "core/jsp.h"
+
+#include <algorithm>
+
+#include "model/prior.h"
+#include "util/check.h"
+
+namespace jury {
+
+Status JspInstance::Validate() const {
+  JURY_RETURN_NOT_OK(ValidateAlpha(alpha));
+  if (!(budget >= 0.0)) {
+    return Status::InvalidArgument("budget must be non-negative");
+  }
+  for (const Worker& w : candidates) {
+    JURY_RETURN_NOT_OK(ValidateWorker(w));
+  }
+  return Status::OK();
+}
+
+Jury JspSolution::ToJury(const JspInstance& instance) const {
+  Jury jury;
+  for (std::size_t idx : selected) {
+    JURY_CHECK_LT(idx, instance.candidates.size());
+    jury.Add(instance.candidates[idx]);
+  }
+  return jury;
+}
+
+std::string JspSolution::Describe(const JspInstance& instance) const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += instance.candidates[selected[i]].id;
+  }
+  out += "}";
+  return out;
+}
+
+double EmptyJuryJq(double alpha) { return std::max(alpha, 1.0 - alpha); }
+
+JspSolution MakeSolution(const JspInstance& instance,
+                         std::vector<std::size_t> selected, double jq) {
+  std::sort(selected.begin(), selected.end());
+  selected.erase(std::unique(selected.begin(), selected.end()),
+                 selected.end());
+  JspSolution out;
+  out.cost = 0.0;
+  for (std::size_t idx : selected) {
+    JURY_CHECK_LT(idx, instance.candidates.size());
+    out.cost += instance.candidates[idx].cost;
+  }
+  out.selected = std::move(selected);
+  out.jq = jq;
+  return out;
+}
+
+}  // namespace jury

@@ -1,0 +1,54 @@
+#ifndef JURYOPT_CORE_JSP_H_
+#define JURYOPT_CORE_JSP_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "model/jury.h"
+#include "model/worker.h"
+#include "util/status.h"
+
+namespace jury {
+
+/// \brief An instance of the Jury Selection Problem (§2.2): candidate
+/// workers W, a budget B, and the task prior alpha. The goal is
+/// `J* = argmax_{J in C} max_S JQ(J, S, alpha)` over feasible juries
+/// `C = { J subset of W : sum of costs <= B }`; by Corollary 1 the inner
+/// max is attained by Bayesian Voting.
+struct JspInstance {
+  std::vector<Worker> candidates;
+  double budget = 0.0;
+  double alpha = 0.5;
+
+  Status Validate() const;
+  std::size_t num_candidates() const { return candidates.size(); }
+};
+
+/// \brief A solved jury: indices into `JspInstance::candidates`, the
+/// objective value attained, and the jury's actual cost (<= budget).
+struct JspSolution {
+  /// Sorted, de-duplicated candidate indices.
+  std::vector<std::size_t> selected;
+  /// Objective value (JQ estimate) of the selected jury.
+  double jq = 0.0;
+  /// Sum of selected workers' costs.
+  double cost = 0.0;
+
+  /// Materializes the selected workers as a `Jury`.
+  Jury ToJury(const JspInstance& instance) const;
+  /// Comma-separated worker ids, for reports.
+  std::string Describe(const JspInstance& instance) const;
+};
+
+/// JQ of the empty jury: the strategy can only follow the prior, so the
+/// best achievable correctness probability is max(alpha, 1-alpha).
+double EmptyJuryJq(double alpha);
+
+/// Builds the (sorted) solution for an index set, computing its cost.
+JspSolution MakeSolution(const JspInstance& instance,
+                         std::vector<std::size_t> selected, double jq);
+
+}  // namespace jury
+
+#endif  // JURYOPT_CORE_JSP_H_

@@ -1,0 +1,26 @@
+#include "core/mvjs.h"
+
+#include "core/greedy.h"
+#include "core/objective.h"
+
+namespace jury {
+
+Result<JspSolution> SolveMvjs(const JspInstance& instance, Rng* rng,
+                              const MvjsOptions& options) {
+  JURY_RETURN_NOT_OK(instance.Validate());
+  const MajorityObjective objective;
+
+  AnnealingOptions annealing = options.annealing;
+  annealing.trust_monotone_adds = false;  // MV is not monotone in size
+  JURY_ASSIGN_OR_RETURN(JspSolution best,
+                        SolveAnnealing(instance, objective, rng, annealing));
+
+  if (options.use_odd_top_k) {
+    JURY_ASSIGN_OR_RETURN(JspSolution greedy,
+                          SolveOddTopK(instance, objective));
+    if (greedy.jq > best.jq) best = greedy;
+  }
+  return best;
+}
+
+}  // namespace jury

@@ -1,0 +1,30 @@
+#include "core/objective.h"
+
+#include "core/jsp.h"
+#include "jq/closed_form.h"
+#include "jq/exact.h"
+
+namespace jury {
+
+double BucketBvObjective::Evaluate(const Jury& candidate_jury,
+                                   double alpha) const {
+  CountEvaluation();
+  if (candidate_jury.empty()) return EmptyJuryJq(alpha);
+  return EstimateJq(candidate_jury, alpha, options_).value();
+}
+
+double ExactBvObjective::Evaluate(const Jury& candidate_jury,
+                                  double alpha) const {
+  CountEvaluation();
+  if (candidate_jury.empty()) return EmptyJuryJq(alpha);
+  return ExactJqBv(candidate_jury, alpha).value();
+}
+
+double MajorityObjective::Evaluate(const Jury& candidate_jury,
+                                   double alpha) const {
+  CountEvaluation();
+  if (candidate_jury.empty()) return EmptyJuryJq(alpha);
+  return MajorityJq(candidate_jury, alpha).value();
+}
+
+}  // namespace jury

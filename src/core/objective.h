@@ -1,0 +1,76 @@
+#ifndef JURYOPT_CORE_OBJECTIVE_H_
+#define JURYOPT_CORE_OBJECTIVE_H_
+
+#include <memory>
+#include <string>
+
+#include "jq/bucket.h"
+#include "model/jury.h"
+
+namespace jury {
+
+/// \brief The quality function a JSP solver maximizes. OPTJS plugs in the
+/// bucket-approximated Bayesian-Voting JQ; the MVJS baseline plugs in the
+/// exact Majority-Voting JQ. Solvers treat this as a black box, which is
+/// exactly how §7 argues the annealing heuristic generalizes.
+class JqObjective {
+ public:
+  virtual ~JqObjective() = default;
+  virtual std::string name() const = 0;
+
+  /// JQ estimate of `candidate_jury` under prior `alpha`. Must accept the
+  /// empty jury (returning `EmptyJuryJq(alpha)`).
+  virtual double Evaluate(const Jury& candidate_jury, double alpha) const = 0;
+
+  /// Whether JQ never decreases when a worker is added (Lemma 1). True for
+  /// BV; false for MV (an even-sized extension can hurt). Solvers use this
+  /// to decide whether "add if it fits" needs an acceptance test.
+  virtual bool monotone_in_size() const = 0;
+
+  /// Number of `Evaluate` calls so far (instrumentation for the runtime
+  /// figures).
+  std::size_t evaluations() const { return evaluations_; }
+
+ protected:
+  void CountEvaluation() const { ++evaluations_; }
+
+ private:
+  mutable std::size_t evaluations_ = 0;
+};
+
+/// BV jury quality via Algorithm 1 (`EstimateJq`). The paper's OPTJS
+/// objective.
+class BucketBvObjective final : public JqObjective {
+ public:
+  explicit BucketBvObjective(BucketJqOptions options = {})
+      : options_(options) {}
+  std::string name() const override { return "BV/bucket"; }
+  double Evaluate(const Jury& candidate_jury, double alpha) const override;
+  bool monotone_in_size() const override { return true; }
+  const BucketJqOptions& options() const { return options_; }
+
+ private:
+  BucketJqOptions options_;
+};
+
+/// BV jury quality by exact 2^n enumeration; only for small juries
+/// (tests, Fig. 7(a)-scale experiments).
+class ExactBvObjective final : public JqObjective {
+ public:
+  std::string name() const override { return "BV/exact"; }
+  double Evaluate(const Jury& candidate_jury, double alpha) const override;
+  bool monotone_in_size() const override { return true; }
+};
+
+/// MV jury quality via the exact Poisson-binomial DP. The MVJS baseline
+/// objective (Cao et al. [7] solve argmax JQ(J, MV, 0.5)).
+class MajorityObjective final : public JqObjective {
+ public:
+  std::string name() const override { return "MV/exact"; }
+  double Evaluate(const Jury& candidate_jury, double alpha) const override;
+  bool monotone_in_size() const override { return false; }
+};
+
+}  // namespace jury
+
+#endif  // JURYOPT_CORE_OBJECTIVE_H_

@@ -1,0 +1,59 @@
+#include "core/optjs.h"
+
+#include <algorithm>
+
+#include "core/greedy.h"
+#include "core/objective.h"
+
+namespace jury {
+namespace {
+
+/// Re-evaluates a solution's jury with a per-worker bucket multiplier of
+/// 200, which the §4.4 analysis proves keeps the JQ estimate within 1% (in
+/// practice far closer). The *search* may run on the coarse default (the
+/// paper's numBuckets = 50); the *reported* quality should not.
+double TightJq(const JspInstance& instance, const JspSolution& solution,
+               const BucketJqOptions& base) {
+  if (solution.selected.empty()) return EmptyJuryJq(instance.alpha);
+  BucketJqOptions tight = base;
+  tight.num_buckets =
+      std::max(tight.num_buckets,
+               200 * static_cast<int>(solution.selected.size() + 1));
+  return EstimateJq(solution.ToJury(instance), instance.alpha, tight).value();
+}
+
+}  // namespace
+
+Result<JspSolution> SolveOptjs(const JspInstance& instance, Rng* rng,
+                               const OptjsOptions& options) {
+  JURY_RETURN_NOT_OK(instance.Validate());
+  const BucketBvObjective objective(options.bucket);
+
+  JspSolution best;
+  if (options.exhaustive_threshold > 0 &&
+      instance.num_candidates() <= options.exhaustive_threshold) {
+    ExhaustiveOptions exhaustive;
+    exhaustive.max_candidates = options.exhaustive_threshold;
+    JURY_ASSIGN_OR_RETURN(best,
+                          SolveExhaustive(instance, objective, exhaustive));
+  } else {
+    JURY_ASSIGN_OR_RETURN(
+        best, SolveAnnealing(instance, objective, rng, options.annealing));
+    best.jq = TightJq(instance, best, options.bucket);
+    // Cheap deterministic fallbacks: annealing occasionally ends in a poor
+    // local optimum; keep whichever jury re-evaluates best.
+    JURY_ASSIGN_OR_RETURN(JspSolution by_quality,
+                          SolveGreedyByQuality(instance, objective));
+    by_quality.jq = TightJq(instance, by_quality, options.bucket);
+    if (by_quality.jq > best.jq) best = by_quality;
+    JURY_ASSIGN_OR_RETURN(JspSolution by_value,
+                          SolveGreedyByValuePerCost(instance, objective));
+    by_value.jq = TightJq(instance, by_value, options.bucket);
+    if (by_value.jq > best.jq) best = by_value;
+    return best;
+  }
+  best.jq = TightJq(instance, best, options.bucket);
+  return best;
+}
+
+}  // namespace jury

@@ -1,0 +1,34 @@
+#ifndef JURYOPT_CORE_OPTJS_H_
+#define JURYOPT_CORE_OPTJS_H_
+
+#include "core/annealing.h"
+#include "core/exhaustive.h"
+#include "core/jsp.h"
+#include "jq/bucket.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace jury {
+
+/// \brief Configuration of the Optimal Jury Selection System.
+struct OptjsOptions {
+  /// Algorithm-1 settings used for every JQ evaluation.
+  BucketJqOptions bucket;
+  /// Simulated-annealing schedule (Algorithm 3).
+  AnnealingOptions annealing;
+  /// Below this candidate count the (exact, Lemma-1-pruned) exhaustive
+  /// search is used instead of annealing; 0 disables the shortcut.
+  std::size_t exhaustive_threshold = 12;
+};
+
+/// \brief OPTJS — the paper's "Optimal Jury Selection System" (Fig. 1):
+/// JSP solved under Bayesian Voting, the JQ-optimal strategy (Corollary 1).
+///
+/// The returned `jq` is the Algorithm-1 estimate JQ-hat(J, BV, alpha), an
+/// underestimate of the true JQ by at most the §4.4 bound.
+Result<JspSolution> SolveOptjs(const JspInstance& instance, Rng* rng,
+                               const OptjsOptions& options = {});
+
+}  // namespace jury
+
+#endif  // JURYOPT_CORE_OPTJS_H_

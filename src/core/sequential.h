@@ -1,0 +1,81 @@
+#ifndef JURYOPT_CORE_SEQUENTIAL_H_
+#define JURYOPT_CORE_SEQUENTIAL_H_
+
+#include <cstddef>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "model/worker.h"
+#include "util/result.h"
+
+namespace jury {
+
+/// \brief Online Bayesian posterior over a decision-making task.
+///
+/// The paper selects the whole jury *before* any vote is seen (§8 contrasts
+/// this with online systems like CDAS [25]). This class provides the online
+/// counterpart on top of the same model: feed votes one at a time and the
+/// posterior `Pr(t = 0 | votes so far)` updates in O(1) via the log-odds
+/// accumulator — the running version of BV's decision statistic
+/// (Theorem 1). Deciding by `CurrentAnswer()` after any prefix of votes is
+/// exactly BV on that prefix.
+class SequentialDecision {
+ public:
+  /// Starts from the task prior `alpha = Pr(t = 0)`.
+  explicit SequentialDecision(double alpha);
+
+  /// Incorporates one vote from a worker of the given quality.
+  void Observe(double quality, int vote);
+
+  /// Posterior probability that the true answer is 0.
+  double PosteriorZero() const;
+  /// BV's answer right now (ties to 0, as in Theorem 1).
+  int CurrentAnswer() const { return log_odds_ >= 0.0 ? 0 : 1; }
+  /// max(p0, 1 - p0): the probability the current answer is correct given
+  /// the observed votes.
+  double Confidence() const;
+  std::size_t votes_seen() const { return votes_seen_; }
+
+ private:
+  double log_odds_;  // ln( Pr(t=0|V) / Pr(t=1|V) )
+  std::size_t votes_seen_ = 0;
+};
+
+/// \brief Stopping policy for `RunSequentialPolicy`.
+struct SequentialConfig {
+  double alpha = 0.5;
+  /// Stop as soon as the posterior confidence reaches this level.
+  double confidence_threshold = 0.95;
+  /// Stop before a vote whose cost would exceed the remaining budget.
+  double budget = std::numeric_limits<double>::infinity();
+  /// Hard cap on the number of votes bought.
+  std::size_t max_votes = std::numeric_limits<std::size_t>::max();
+};
+
+/// \brief Result of one sequential run.
+struct SequentialOutcome {
+  int answer = 0;
+  double confidence = 0.5;
+  std::size_t votes_used = 0;
+  double spent = 0.0;
+  /// True when the confidence threshold (not budget/stream exhaustion)
+  /// ended the run.
+  bool stopped_by_confidence = false;
+};
+
+/// \brief Buys votes from `stream` in order — paying each worker's cost and
+/// eliciting their vote via `elicit` — until the stopping policy fires.
+///
+/// This is the CDAS-style "quality-sensitive answering" loop [25] built on
+/// the paper's model: because the posterior is exactly BV's, the confidence
+/// threshold is a guarantee on `Pr[answer correct | votes]`, and easy tasks
+/// stop early while ambiguous ones spend more of the budget.
+Result<SequentialOutcome> RunSequentialPolicy(
+    const std::vector<Worker>& stream,
+    const std::function<int(const Worker&, std::size_t index)>& elicit,
+    const SequentialConfig& config = {});
+
+}  // namespace jury
+
+#endif  // JURYOPT_CORE_SEQUENTIAL_H_

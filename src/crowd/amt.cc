@@ -1,0 +1,136 @@
+#include "crowd/amt.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "crowd/vote_sim.h"
+#include "util/check.h"
+
+namespace jury::crowd {
+
+std::size_t Campaign::AnswerCount(std::size_t w) const {
+  std::size_t count = 0;
+  for (const CampaignTask& task : tasks) {
+    for (const Answer& a : task.answers) {
+      if (a.worker == w) ++count;
+    }
+  }
+  return count;
+}
+
+Result<Campaign> SimulateCampaign(const CampaignConfig& config,
+                                  const std::vector<double>& latent_quality,
+                                  const std::vector<int>& hit_quota,
+                                  Rng* rng) {
+  if (rng == nullptr) {
+    return Status::InvalidArgument("SimulateCampaign requires an Rng");
+  }
+  if (config.num_tasks <= 0 || config.tasks_per_hit <= 0 ||
+      config.assignments_per_hit <= 0 || config.num_workers <= 0) {
+    return Status::InvalidArgument("campaign sizes must be positive");
+  }
+  if (config.num_tasks % config.tasks_per_hit != 0) {
+    return Status::InvalidArgument(
+        "num_tasks must be a multiple of tasks_per_hit");
+  }
+  const int num_hits = config.num_tasks / config.tasks_per_hit;
+  const std::size_t num_workers =
+      static_cast<std::size_t>(config.num_workers);
+  if (latent_quality.size() != num_workers ||
+      hit_quota.size() != num_workers) {
+    return Status::InvalidArgument(
+        "latent_quality/hit_quota must have num_workers entries");
+  }
+  if (config.assignments_per_hit > config.num_workers) {
+    return Status::InvalidArgument(
+        "assignments_per_hit cannot exceed num_workers");
+  }
+  long long quota_sum = 0;
+  for (int q : hit_quota) {
+    if (q < 0 || q > num_hits) {
+      return Status::InvalidArgument("each hit quota must lie in [0, #HITs]");
+    }
+    quota_sum += q;
+  }
+  const long long needed =
+      static_cast<long long>(num_hits) * config.assignments_per_hit;
+  if (quota_sum != needed) {
+    return Status::InvalidArgument(
+        "hit quotas must sum to #HITs * assignments_per_hit (" +
+        std::to_string(needed) + "), got " + std::to_string(quota_sum));
+  }
+
+  Campaign campaign;
+  campaign.config = config;
+  campaign.latent_quality = latent_quality;
+  campaign.hits_taken.assign(num_workers, 0);
+  campaign.tasks.resize(static_cast<std::size_t>(config.num_tasks));
+  for (CampaignTask& task : campaign.tasks) {
+    task.truth = SampleTruth(config.alpha, rng);
+  }
+
+  // Deal workers to HITs by largest remaining quota (random tie order).
+  // Feasibility: each quota <= #HITs and totals match, so the greedy deal
+  // never runs out of distinct workers for a HIT (Gale–Ryser condition).
+  std::vector<int> remaining = hit_quota;
+  for (int h = 0; h < num_hits; ++h) {
+    std::vector<std::size_t> order(num_workers);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    rng->Shuffle(&order);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return remaining[a] > remaining[b];
+                     });
+    // Quota left must still be spreadable over the HITs left; workers whose
+    // remaining quota equals the remaining HIT count are mandatory.
+    std::vector<std::size_t> members;
+    const int hits_left = num_hits - h;
+    for (std::size_t w : order) {
+      if (static_cast<int>(members.size()) == config.assignments_per_hit) {
+        break;
+      }
+      if (remaining[w] <= 0) continue;
+      members.push_back(w);
+    }
+    // Mandatory workers (quota == hits_left) that the size cutoff skipped
+    // must displace optional ones.
+    for (std::size_t w = 0; w < num_workers; ++w) {
+      if (remaining[w] == hits_left &&
+          std::find(members.begin(), members.end(), w) == members.end()) {
+        // Replace the member with the smallest remaining quota.
+        auto victim = std::min_element(
+            members.begin(), members.end(), [&](std::size_t a, std::size_t b) {
+              return remaining[a] < remaining[b];
+            });
+        JURY_CHECK(victim != members.end());
+        *victim = w;
+      }
+    }
+    JURY_CHECK_EQ(static_cast<int>(members.size()),
+                  config.assignments_per_hit);
+    for (std::size_t w : members) {
+      --remaining[w];
+      ++campaign.hits_taken[w];
+    }
+
+    // Every member answers every task of the HIT; per-task answer order is
+    // an independent shuffle (the "answering sequence" of §6.2.3).
+    for (int tt = 0; tt < config.tasks_per_hit; ++tt) {
+      const std::size_t task_idx =
+          static_cast<std::size_t>(h * config.tasks_per_hit + tt);
+      CampaignTask& task = campaign.tasks[task_idx];
+      std::vector<std::size_t> sequence = members;
+      rng->Shuffle(&sequence);
+      task.answers.reserve(sequence.size());
+      for (std::size_t w : sequence) {
+        Answer answer;
+        answer.worker = w;
+        answer.vote = SimulateVote(latent_quality[w], task.truth, rng);
+        task.answers.push_back(answer);
+      }
+    }
+  }
+  return campaign;
+}
+
+}  // namespace jury::crowd

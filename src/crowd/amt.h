@@ -1,0 +1,67 @@
+#ifndef JURYOPT_CROWD_AMT_H_
+#define JURYOPT_CROWD_AMT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace jury::crowd {
+
+/// \brief One collected answer: which worker voted what, in arrival order.
+struct Answer {
+  std::size_t worker = 0;  // index into the campaign's worker list
+  int vote = 0;            // 0 or 1
+};
+
+/// \brief A decision-making task inside a campaign.
+struct CampaignTask {
+  int truth = 0;                 // latent ground truth
+  std::vector<Answer> answers;   // in answering-sequence order
+};
+
+/// \brief Configuration of an AMT-style campaign (§6.2.1): tasks are batched
+/// `tasks_per_hit` at a time into HITs, each HIT is assigned to
+/// `assignments_per_hit` distinct workers, and every assigned worker answers
+/// every task in the HIT.
+struct CampaignConfig {
+  int num_tasks = 600;
+  int tasks_per_hit = 20;
+  int assignments_per_hit = 20;  // m
+  int num_workers = 128;
+  /// Prior used to draw ground truths (the paper's dataset is balanced).
+  double alpha = 0.5;
+};
+
+/// \brief A fully simulated campaign: latent worker qualities, HIT
+/// membership, and per-task answer sequences.
+struct Campaign {
+  CampaignConfig config;
+  /// Latent (true) per-worker qualities used to simulate votes.
+  std::vector<double> latent_quality;
+  /// Number of HITs each worker took (activity profile).
+  std::vector<int> hits_taken;
+  /// All tasks with their ordered answers.
+  std::vector<CampaignTask> tasks;
+
+  /// Answers given by worker w across the campaign.
+  std::size_t AnswerCount(std::size_t w) const;
+};
+
+/// \brief Simulates a campaign. `latent_quality` must have
+/// `config.num_workers` entries; `hit_quota[w]` fixes how many HITs worker w
+/// takes and must sum to `num_hits * assignments_per_hit` with each entry in
+/// [0, num_hits].
+///
+/// HIT membership is dealt greedily by remaining quota (largest first, ties
+/// randomized), which always realizes a feasible quota vector; within each
+/// task the answer order is a uniform shuffle of the HIT's workers.
+Result<Campaign> SimulateCampaign(const CampaignConfig& config,
+                                  const std::vector<double>& latent_quality,
+                                  const std::vector<int>& hit_quota,
+                                  Rng* rng);
+
+}  // namespace jury::crowd
+
+#endif  // JURYOPT_CROWD_AMT_H_

@@ -1,0 +1,89 @@
+#include "crowd/dawid_skene.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/worker.h"
+#include "util/math.h"
+
+namespace jury::crowd {
+
+Result<DawidSkeneResult> RunDawidSkene(const Campaign& campaign,
+                                       const DawidSkeneOptions& options,
+                                       double init_quality) {
+  if (options.max_iterations <= 0) {
+    return Status::InvalidArgument("max_iterations must be positive");
+  }
+  if (!(options.alpha >= 0.0 && options.alpha <= 1.0)) {
+    return Status::InvalidArgument("alpha outside [0,1]");
+  }
+  if (!(options.clamp_lo > 0.0 && options.clamp_lo < options.clamp_hi &&
+        options.clamp_hi < 1.0)) {
+    return Status::InvalidArgument("invalid quality clamp range");
+  }
+  if (!(init_quality > 0.0 && init_quality < 1.0)) {
+    return Status::InvalidArgument("init_quality must be in (0,1)");
+  }
+
+  const std::size_t num_workers =
+      static_cast<std::size_t>(campaign.config.num_workers);
+  const std::size_t num_tasks = campaign.tasks.size();
+
+  DawidSkeneResult result;
+  result.quality.assign(num_workers, init_quality);
+  result.posterior_zero.assign(num_tasks, options.alpha);
+
+  const double log_prior_zero = std::log(EffectiveQuality(options.alpha));
+  const double log_prior_one = std::log(EffectiveQuality(1.0 - options.alpha));
+
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    result.iterations = iter;
+
+    // E-step: task posteriors from current qualities.
+    for (std::size_t t = 0; t < num_tasks; ++t) {
+      double log0 = log_prior_zero;
+      double log1 = log_prior_one;
+      for (const Answer& a : campaign.tasks[t].answers) {
+        const double q = EffectiveQuality(result.quality[a.worker]);
+        if (a.vote == 0) {
+          log0 += std::log(q);
+          log1 += std::log(1.0 - q);
+        } else {
+          log0 += std::log(1.0 - q);
+          log1 += std::log(q);
+        }
+      }
+      const double norm = LogAdd(log0, log1);
+      result.posterior_zero[t] = std::exp(log0 - norm);
+    }
+
+    // M-step: qualities from soft truth assignments.
+    double max_change = 0.0;
+    std::vector<double> weight(num_workers, 0.0);
+    std::vector<double> agree(num_workers, 0.0);
+    for (std::size_t t = 0; t < num_tasks; ++t) {
+      const double p0 = result.posterior_zero[t];
+      for (const Answer& a : campaign.tasks[t].answers) {
+        weight[a.worker] += 1.0;
+        // Expected agreement with the latent truth.
+        agree[a.worker] += (a.vote == 0) ? p0 : (1.0 - p0);
+      }
+    }
+    for (std::size_t w = 0; w < num_workers; ++w) {
+      if (weight[w] <= 0.0) continue;
+      const double updated =
+          Clamp(agree[w] / weight[w], options.clamp_lo, options.clamp_hi);
+      max_change = std::max(max_change,
+                            std::fabs(updated - result.quality[w]));
+      result.quality[w] = updated;
+    }
+
+    if (max_change < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace jury::crowd

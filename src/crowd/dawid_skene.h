@@ -1,0 +1,48 @@
+#ifndef JURYOPT_CROWD_DAWID_SKENE_H_
+#define JURYOPT_CROWD_DAWID_SKENE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "crowd/amt.h"
+#include "util/result.h"
+
+namespace jury::crowd {
+
+/// \brief Binary Dawid–Skene EM [1, 18]: estimates worker qualities and
+/// per-task truth posteriors from answers alone, with NO access to ground
+/// truth — the standard bootstrap when the answering history lacks golden
+/// labels (§8 "Worker Model").
+struct DawidSkeneOptions {
+  int max_iterations = 100;
+  /// Convergence threshold on the max absolute quality change per round.
+  double tolerance = 1e-6;
+  /// Prior Pr(t = 0) used in the E-step.
+  double alpha = 0.5;
+  /// Qualities are clamped into [clamp_lo, clamp_hi] between rounds to keep
+  /// the M-step away from degenerate 0/1 fixed points.
+  double clamp_lo = 0.05;
+  double clamp_hi = 0.99;
+};
+
+/// \brief EM output: qualities, posteriors, and diagnostics.
+struct DawidSkeneResult {
+  std::vector<double> quality;           // per worker
+  std::vector<double> posterior_zero;    // per task: Pr(t = 0 | answers)
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Runs EM over the campaign's answers (ground truths are ignored).
+///
+/// Label-switching caveat: with a symmetric prior the likelihood is
+/// invariant under flipping all qualities and truths; the estimate is
+/// anchored by initializing qualities at `init_quality` > 0.5 (majority
+/// agreement), the usual convention.
+Result<DawidSkeneResult> RunDawidSkene(const Campaign& campaign,
+                                       const DawidSkeneOptions& options = {},
+                                       double init_quality = 0.7);
+
+}  // namespace jury::crowd
+
+#endif  // JURYOPT_CROWD_DAWID_SKENE_H_

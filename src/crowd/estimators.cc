@@ -1,0 +1,56 @@
+#include "crowd/estimators.h"
+
+#include <algorithm>
+
+namespace jury::crowd {
+namespace {
+
+Result<std::vector<double>> EstimateOverTasks(
+    const Campaign& campaign, const std::vector<std::size_t>& task_indices,
+    const EmpiricalEstimatorOptions& options) {
+  if (options.smoothing < 0.0) {
+    return Status::InvalidArgument("smoothing must be non-negative");
+  }
+  const std::size_t num_workers =
+      static_cast<std::size_t>(campaign.config.num_workers);
+  std::vector<double> answered(num_workers, 0.0);
+  std::vector<double> correct(num_workers, 0.0);
+  for (std::size_t idx : task_indices) {
+    if (idx >= campaign.tasks.size()) {
+      return Status::OutOfRange("task index out of range");
+    }
+    const CampaignTask& task = campaign.tasks[idx];
+    for (const Answer& a : task.answers) {
+      if (a.worker >= num_workers) {
+        return Status::OutOfRange("worker index out of range");
+      }
+      answered[a.worker] += 1.0;
+      if (a.vote == task.truth) correct[a.worker] += 1.0;
+    }
+  }
+  std::vector<double> quality(num_workers, options.default_quality);
+  for (std::size_t w = 0; w < num_workers; ++w) {
+    const double denom = answered[w] + 2.0 * options.smoothing;
+    if (denom > 0.0) {
+      quality[w] = (correct[w] + options.smoothing) / denom;
+    }
+  }
+  return quality;
+}
+
+}  // namespace
+
+Result<std::vector<double>> EstimateQualitiesEmpirical(
+    const Campaign& campaign, const EmpiricalEstimatorOptions& options) {
+  std::vector<std::size_t> all(campaign.tasks.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  return EstimateOverTasks(campaign, all, options);
+}
+
+Result<std::vector<double>> EstimateQualitiesGolden(
+    const Campaign& campaign, const std::vector<std::size_t>& golden_tasks,
+    const EmpiricalEstimatorOptions& options) {
+  return EstimateOverTasks(campaign, golden_tasks, options);
+}
+
+}  // namespace jury::crowd

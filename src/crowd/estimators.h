@@ -1,0 +1,42 @@
+#ifndef JURYOPT_CROWD_ESTIMATORS_H_
+#define JURYOPT_CROWD_ESTIMATORS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "crowd/amt.h"
+#include "util/result.h"
+
+namespace jury::crowd {
+
+/// \brief Worker-quality estimators (§8 "Worker Model"): JSP assumes
+/// qualities are known in advance; in practice they come from answering
+/// history. These estimators turn a `Campaign`'s collected answers into the
+/// quality vector JSP consumes.
+
+/// \brief Empirical estimator used by the paper for its real dataset
+/// (§6.2.1): "the proportion of correctly answered questions by the worker
+/// in all her answered questions", judged against ground truth.
+struct EmpiricalEstimatorOptions {
+  /// Additive (Laplace) smoothing: (correct + s) / (answered + 2 s). The
+  /// paper uses s = 0; smoothing keeps a never-correct worker away from the
+  /// degenerate quality 0.
+  double smoothing = 0.0;
+  /// Quality assigned to workers with no answers at all.
+  double default_quality = 0.5;
+};
+
+/// Estimates every worker's quality against the campaign's ground truths.
+Result<std::vector<double>> EstimateQualitiesEmpirical(
+    const Campaign& campaign, const EmpiricalEstimatorOptions& options = {});
+
+/// \brief Golden-question estimator (CDAS [25]): only tasks whose indices
+/// appear in `golden_tasks` (questions with planted known answers) count
+/// towards the estimate; everything else about the campaign stays hidden.
+Result<std::vector<double>> EstimateQualitiesGolden(
+    const Campaign& campaign, const std::vector<std::size_t>& golden_tasks,
+    const EmpiricalEstimatorOptions& options = {});
+
+}  // namespace jury::crowd
+
+#endif  // JURYOPT_CROWD_ESTIMATORS_H_

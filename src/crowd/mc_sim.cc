@@ -1,0 +1,107 @@
+#include "crowd/mc_sim.h"
+
+#include "util/check.h"
+
+namespace jury::crowd {
+
+std::size_t SimulateMcVote(const mc::ConfusionMatrix& confusion,
+                           std::size_t truth, Rng* rng) {
+  JURY_CHECK(rng != nullptr);
+  const std::size_t l = confusion.num_labels();
+  JURY_CHECK_LT(truth, l);
+  const double u = rng->Uniform();
+  double acc = 0.0;
+  for (std::size_t k = 0; k < l; ++k) {
+    acc += confusion(truth, k);
+    if (u < acc) return k;
+  }
+  return l - 1;  // guard against row sums a hair below 1
+}
+
+Result<McWorld> SimulateMcWorld(
+    const std::vector<mc::ConfusionMatrix>& confusion, std::size_t num_tasks,
+    Rng* rng, const mc::McPrior& prior) {
+  if (rng == nullptr) {
+    return Status::InvalidArgument("SimulateMcWorld requires an Rng");
+  }
+  if (confusion.empty()) {
+    return Status::InvalidArgument("need at least one worker");
+  }
+  const std::size_t l = confusion.front().num_labels();
+  for (const auto& cm : confusion) {
+    JURY_RETURN_NOT_OK(cm.Validate());
+    if (cm.num_labels() != l) {
+      return Status::InvalidArgument("workers mix label counts");
+    }
+  }
+  mc::McPrior effective = prior.empty() ? mc::UniformMcPrior(l) : prior;
+  JURY_RETURN_NOT_OK(mc::ValidateMcPrior(effective, l));
+
+  McWorld world;
+  world.confusion = confusion;
+  world.dataset.num_workers = confusion.size();
+  world.dataset.num_labels = l;
+  world.dataset.tasks.resize(num_tasks);
+  world.truths.resize(num_tasks);
+  for (std::size_t t = 0; t < num_tasks; ++t) {
+    // Sample the truth from the prior.
+    const double u = rng->Uniform();
+    double acc = 0.0;
+    std::size_t truth = l - 1;
+    for (std::size_t j = 0; j < l; ++j) {
+      acc += effective[j];
+      if (u < acc) {
+        truth = j;
+        break;
+      }
+    }
+    world.truths[t] = truth;
+    for (std::size_t w = 0; w < confusion.size(); ++w) {
+      world.dataset.tasks[t].push_back(
+          {w, SimulateMcVote(confusion[w], truth, rng)});
+    }
+  }
+  return world;
+}
+
+Result<std::vector<mc::ConfusionMatrix>> EstimateConfusionEmpirical(
+    const mc::McDataset& dataset, const std::vector<std::size_t>& truths,
+    double smoothing) {
+  JURY_RETURN_NOT_OK(dataset.Validate());
+  if (truths.size() != dataset.tasks.size()) {
+    return Status::InvalidArgument("truths/tasks size mismatch");
+  }
+  if (smoothing < 0.0) {
+    return Status::InvalidArgument("smoothing must be non-negative");
+  }
+  const std::size_t l = dataset.num_labels;
+  for (std::size_t truth : truths) {
+    if (truth >= l) return Status::OutOfRange("truth label out of range");
+  }
+
+  std::vector<std::vector<double>> counts(
+      dataset.num_workers, std::vector<double>(l * l, smoothing));
+  for (std::size_t t = 0; t < dataset.tasks.size(); ++t) {
+    const std::size_t truth = truths[t];
+    for (const mc::McAnswer& a : dataset.tasks[t]) {
+      counts[a.worker][truth * l + a.vote] += 1.0;
+    }
+  }
+
+  std::vector<mc::ConfusionMatrix> out(
+      dataset.num_workers, mc::ConfusionMatrix::UniformSpammer(l));
+  for (std::size_t w = 0; w < dataset.num_workers; ++w) {
+    for (std::size_t j = 0; j < l; ++j) {
+      double row_sum = 0.0;
+      for (std::size_t k = 0; k < l; ++k) row_sum += counts[w][j * l + k];
+      for (std::size_t k = 0; k < l; ++k) {
+        out[w].at(j, k) = row_sum > 0.0
+                              ? counts[w][j * l + k] / row_sum
+                              : 1.0 / static_cast<double>(l);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace jury::crowd

@@ -1,0 +1,44 @@
+#ifndef JURYOPT_CROWD_MC_SIM_H_
+#define JURYOPT_CROWD_MC_SIM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "multiclass/confusion.h"
+#include "multiclass/dawid_skene.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace jury::crowd {
+
+/// \brief A simulated multi-class labelling world: the dataset (answers
+/// without truths, as an estimator would see it), the latent truths, and
+/// the latent confusion matrices that generated the votes.
+struct McWorld {
+  mc::McDataset dataset;
+  std::vector<std::size_t> truths;
+  std::vector<mc::ConfusionMatrix> confusion;
+};
+
+/// Samples one vote from row `truth` of `confusion`.
+std::size_t SimulateMcVote(const mc::ConfusionMatrix& confusion,
+                           std::size_t truth, Rng* rng);
+
+/// \brief Simulates a dense campaign: `num_tasks` tasks with truths drawn
+/// from `prior` (uniform if empty), every worker answering every task
+/// through their confusion matrix. The §7 analogue of `SimulateCampaign`.
+Result<McWorld> SimulateMcWorld(
+    const std::vector<mc::ConfusionMatrix>& confusion, std::size_t num_tasks,
+    Rng* rng, const mc::McPrior& prior = {});
+
+/// \brief Ground-truth-based confusion estimation: row j of worker w's
+/// estimate is the empirical distribution of w's votes on tasks whose true
+/// label is j, with additive smoothing (rows with no mass become uniform).
+/// The confusion-matrix analogue of `EstimateQualitiesEmpirical`.
+Result<std::vector<mc::ConfusionMatrix>> EstimateConfusionEmpirical(
+    const mc::McDataset& dataset, const std::vector<std::size_t>& truths,
+    double smoothing = 0.5);
+
+}  // namespace jury::crowd
+
+#endif  // JURYOPT_CROWD_MC_SIM_H_

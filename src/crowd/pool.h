@@ -1,0 +1,41 @@
+#ifndef JURYOPT_CROWD_POOL_H_
+#define JURYOPT_CROWD_POOL_H_
+
+#include <vector>
+
+#include "model/worker.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace jury::crowd {
+
+/// \brief Synthetic worker-pool generator reproducing the paper's setup
+/// (§6.1.1, following Cao et al.): qualities `q_i ~ N(mu, sigma^2)` and
+/// costs `c_i ~ N(cost_mu, cost_sigma^2)`.
+///
+/// Two departures the paper leaves unspecified (DESIGN.md substitution #5):
+///  * qualities are truncated into [quality_lo, quality_hi]; the default
+///    upper bound 0.99 keeps phi(q) finite and stays below the §4.4
+///    high-quality escape hatch. The lower bound is NOT 0.5 — low-quality
+///    workers are part of what Fig. 6(a)/8(a) stress at mu = 0.5.
+///  * costs are truncated below at cost_lo (a Gaussian with mean 0.05 has
+///    negative mass).
+struct PoolConfig {
+  int num_workers = 50;       // N
+  double quality_mean = 0.7;  // mu
+  /// Paper gives the variance sigma^2 = 0.05; this is the *stddev*.
+  double quality_stddev = 0.22360679774997896;  // sqrt(0.05)
+  double quality_lo = 0.01;
+  double quality_hi = 0.99;
+  double cost_mean = 0.05;  // mu-hat
+  double cost_stddev = 0.2;  // sigma-hat (varied in Fig. 6(d)/10(c))
+  double cost_lo = 0.01;
+  double cost_hi = 1e9;
+};
+
+/// Draws a candidate worker pool from `config`; ids are "w0", "w1", ...
+Result<std::vector<Worker>> GeneratePool(const PoolConfig& config, Rng* rng);
+
+}  // namespace jury::crowd
+
+#endif  // JURYOPT_CROWD_POOL_H_

@@ -1,0 +1,97 @@
+#include "crowd/sentiment.h"
+
+#include <algorithm>
+
+#include "crowd/estimators.h"
+
+namespace jury::crowd {
+
+Result<SentimentDataset> MakeSentimentDataset(const SentimentConfig& config,
+                                              Rng* rng) {
+  if (rng == nullptr) {
+    return Status::InvalidArgument("MakeSentimentDataset requires an Rng");
+  }
+  const CampaignConfig& cc = config.campaign;
+  const int num_workers = cc.num_workers;
+  if (config.experts < 0 || config.sloppy < 0 ||
+      config.experts + config.sloppy > num_workers) {
+    return Status::InvalidArgument("expert/sloppy counts exceed pool");
+  }
+  if (config.full_time_workers < 0 || config.one_hit_workers < 0 ||
+      config.full_time_workers + config.one_hit_workers > num_workers) {
+    return Status::InvalidArgument("activity role counts exceed pool");
+  }
+  if (cc.num_tasks % cc.tasks_per_hit != 0) {
+    return Status::InvalidArgument(
+        "num_tasks must be a multiple of tasks_per_hit");
+  }
+  const int num_hits = cc.num_tasks / cc.tasks_per_hit;
+  const std::size_t nw = static_cast<std::size_t>(num_workers);
+
+  // --- Latent quality tiers, shuffled so tiers and activity mix freely.
+  std::vector<double> latent;
+  latent.reserve(nw);
+  // Tier ranges calibrated so the *estimated* qualities (empirical fraction
+  // correct, noisy for low-activity workers) reproduce the paper's stats:
+  // mean ~0.71, ~40 workers above 0.8, ~10% below 0.6.
+  for (int i = 0; i < config.experts; ++i) {
+    latent.push_back(rng->Uniform(0.80, 0.92));
+  }
+  for (int i = 0; i < config.sloppy; ++i) {
+    latent.push_back(rng->Uniform(0.44, 0.56));
+  }
+  while (static_cast<int>(latent.size()) < num_workers) {
+    latent.push_back(rng->Uniform(0.62, 0.76));
+  }
+  rng->Shuffle(&latent);
+
+  // --- Activity quotas: full-timers take every HIT, one-hitters one,
+  // the rest split the remaining load evenly.
+  const long long total_quota =
+      static_cast<long long>(num_hits) * cc.assignments_per_hit;
+  const int mid_count =
+      num_workers - config.full_time_workers - config.one_hit_workers;
+  long long rest = total_quota -
+                   static_cast<long long>(config.full_time_workers) * num_hits -
+                   config.one_hit_workers;
+  if (rest < 0 || (mid_count == 0 && rest != 0) ||
+      (mid_count > 0 && rest > static_cast<long long>(mid_count) * num_hits)) {
+    return Status::InvalidArgument(
+        "activity roles cannot realize the campaign's total assignments");
+  }
+  std::vector<int> quota;
+  quota.reserve(nw);
+  for (int i = 0; i < config.full_time_workers; ++i) quota.push_back(num_hits);
+  for (int i = 0; i < config.one_hit_workers; ++i) quota.push_back(1);
+  if (mid_count > 0) {
+    const int base = static_cast<int>(rest / mid_count);
+    int extra = static_cast<int>(rest % mid_count);
+    if (base > num_hits || (base == num_hits && extra > 0)) {
+      return Status::InvalidArgument("mid-tier quota exceeds #HITs");
+    }
+    for (int i = 0; i < mid_count; ++i) {
+      quota.push_back(base + (extra > 0 ? 1 : 0));
+      if (extra > 0) --extra;
+    }
+  }
+  rng->Shuffle(&quota);
+
+  JURY_ASSIGN_OR_RETURN(Campaign campaign,
+                        SimulateCampaign(cc, latent, quota, rng));
+
+  SentimentDataset dataset;
+  dataset.campaign = std::move(campaign);
+  JURY_ASSIGN_OR_RETURN(dataset.estimated_quality,
+                        EstimateQualitiesEmpirical(dataset.campaign));
+
+  double sum = 0.0;
+  for (double q : dataset.estimated_quality) {
+    sum += q;
+    if (q > 0.8) ++dataset.workers_above_08;
+    if (q < 0.6) ++dataset.workers_below_06;
+  }
+  dataset.mean_estimated_quality = sum / static_cast<double>(nw);
+  return dataset;
+}
+
+}  // namespace jury::crowd

@@ -1,0 +1,49 @@
+#ifndef JURYOPT_CROWD_SENTIMENT_H_
+#define JURYOPT_CROWD_SENTIMENT_H_
+
+#include <vector>
+
+#include "crowd/amt.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace jury::crowd {
+
+/// \brief Synthetic stand-in for the paper's AMT sentiment-analysis dataset
+/// (§6.2.1), calibrated to every statistic it reports — DESIGN.md
+/// substitution #1:
+///   * 600 decision-making tasks (tweet sentiment positive / not);
+///   * 20 questions per HIT, m = 20 assignments, so 30 HITs and 12,000
+///     answers from 128 workers;
+///   * mean worker quality ~ 0.71, ~40 of 128 workers above 0.8, ~10%
+///     below 0.6;
+///   * two workers answer every question, 67 answer exactly one HIT
+///     (20 questions), the rest share the remaining load (~8 HITs each);
+///   * balanced ground truth, alpha = 0.5.
+struct SentimentConfig {
+  CampaignConfig campaign;  // defaults already match the paper
+  int experts = 40;         // latent quality in [0.80, 0.92]
+  int sloppy = 13;          // latent quality in [0.44, 0.56] (~10%)
+  // remaining workers: latent quality in [0.62, 0.76]
+  int full_time_workers = 2;   // take every HIT
+  int one_hit_workers = 67;    // take exactly one HIT
+};
+
+/// \brief Campaign plus the paper's derived per-worker statistics.
+struct SentimentDataset {
+  Campaign campaign;
+  /// Empirical qualities (fraction of correct answers), as used by the
+  /// paper's real-data JSP experiments.
+  std::vector<double> estimated_quality;
+  double mean_estimated_quality = 0.0;
+  int workers_above_08 = 0;
+  int workers_below_06 = 0;
+};
+
+/// Simulates the calibrated campaign and computes empirical qualities.
+Result<SentimentDataset> MakeSentimentDataset(const SentimentConfig& config,
+                                              Rng* rng);
+
+}  // namespace jury::crowd
+
+#endif  // JURYOPT_CROWD_SENTIMENT_H_

@@ -1,0 +1,27 @@
+#include "crowd/vote_sim.h"
+
+#include "util/check.h"
+
+namespace jury::crowd {
+
+int SampleTruth(double alpha, Rng* rng) {
+  JURY_CHECK(rng != nullptr);
+  return rng->Bernoulli(alpha) ? 0 : 1;
+}
+
+int SimulateVote(double quality, int truth, Rng* rng) {
+  JURY_CHECK(rng != nullptr);
+  JURY_CHECK(truth == 0 || truth == 1);
+  return rng->Bernoulli(quality) ? truth : 1 - truth;
+}
+
+Votes SimulateVotes(const Jury& jury, int truth, Rng* rng) {
+  Votes votes(jury.size());
+  for (std::size_t i = 0; i < jury.size(); ++i) {
+    votes[i] = static_cast<std::uint8_t>(
+        SimulateVote(jury.worker(i).quality, truth, rng));
+  }
+  return votes;
+}
+
+}  // namespace jury::crowd

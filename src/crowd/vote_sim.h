@@ -1,0 +1,23 @@
+#ifndef JURYOPT_CROWD_VOTE_SIM_H_
+#define JURYOPT_CROWD_VOTE_SIM_H_
+
+#include "model/jury.h"
+#include "model/votes.h"
+#include "util/rng.h"
+
+namespace jury::crowd {
+
+/// Samples the latent truth from the prior: 0 with probability alpha.
+int SampleTruth(double alpha, Rng* rng);
+
+/// \brief Samples a voting from the §2.1 worker model: each juror
+/// independently votes the truth with probability q_i and the opposite
+/// answer otherwise.
+Votes SimulateVotes(const Jury& jury, int truth, Rng* rng);
+
+/// Single-worker version of the above.
+int SimulateVote(double quality, int truth, Rng* rng);
+
+}  // namespace jury::crowd
+
+#endif  // JURYOPT_CROWD_VOTE_SIM_H_

@@ -1,0 +1,242 @@
+#include "jq/bucket.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "jq/prior_transform.h"
+#include "model/prior.h"
+#include "model/worker.h"
+#include "util/check.h"
+#include "util/math.h"
+
+namespace jury {
+namespace {
+
+/// Sorted (bucket, quality) pair; workers are processed in decreasing bucket
+/// order so the Algorithm-2 suffix bound settles keys as early as possible.
+struct BucketedWorker {
+  std::int64_t bucket = 0;
+  double quality = 0.5;
+};
+
+/// Threshold above which the dense backend would allocate an unreasonable
+/// array; we fall back to the sparse backend instead.
+constexpr std::int64_t kDenseKeySpanLimit = 1 << 24;
+
+/// Accumulates the final sweep (steps 21-25 of Algorithm 1): probability at
+/// positive keys counts fully, probability at key zero counts half (the
+/// symmetric tie case of Fig. 3).
+class JqAccumulator {
+ public:
+  void AddSettledPositive(double prob) { jq_ += prob; }
+  void AddFinal(std::int64_t key, double prob) {
+    if (key > 0) {
+      jq_ += prob;
+    } else if (key == 0) {
+      jq_ += 0.5 * prob;
+    }
+  }
+  double value() const { return jq_; }
+
+ private:
+  double jq_ = 0.0;
+};
+
+/// One Algorithm-1 pass over the dense (flat array) key representation.
+double RunDense(const std::vector<BucketedWorker>& ws,
+                const std::vector<std::int64_t>& aggregate, bool pruning,
+                BucketJqStats* stats) {
+  std::int64_t span = 0;
+  for (const auto& w : ws) span += w.bucket;
+  const std::size_t size = static_cast<std::size_t>(2 * span + 1);
+  const std::int64_t offset = span;
+
+  std::vector<double> cur(size, 0.0);
+  std::vector<double> nxt(size, 0.0);
+  cur[static_cast<std::size_t>(offset)] = 1.0;
+
+  JqAccumulator acc;
+  for (std::size_t i = 0; i < ws.size(); ++i) {
+    std::fill(nxt.begin(), nxt.end(), 0.0);
+    const std::int64_t b = ws[i].bucket;
+    const double q = ws[i].quality;
+    const std::int64_t remaining = aggregate[i];
+    for (std::size_t idx = 0; idx < size; ++idx) {
+      const double prob = cur[idx];
+      if (prob <= 0.0) continue;
+      const std::int64_t key = static_cast<std::int64_t>(idx) - offset;
+      if (stats != nullptr) ++stats->keys_expanded;
+      if (pruning) {
+        // Algorithm 2: the sign of the key can no longer change.
+        if (key > 0 && key - remaining > 0) {
+          acc.AddSettledPositive(prob);
+          if (stats != nullptr) ++stats->keys_pruned;
+          continue;
+        }
+        if (key < 0 && key + remaining < 0) {
+          if (stats != nullptr) ++stats->keys_pruned;
+          continue;
+        }
+      }
+      nxt[static_cast<std::size_t>(key + b + offset)] += prob * q;  // v_i = 0
+      nxt[static_cast<std::size_t>(key - b + offset)] +=
+          prob * (1.0 - q);  // v_i = 1
+    }
+    cur.swap(nxt);
+  }
+  for (std::size_t idx = 0; idx < size; ++idx) {
+    if (cur[idx] > 0.0) {
+      acc.AddFinal(static_cast<std::int64_t>(idx) - offset, cur[idx]);
+    }
+  }
+  return acc.value();
+}
+
+/// One Algorithm-1 pass over the sparse (hash map) key representation.
+double RunSparse(const std::vector<BucketedWorker>& ws,
+                 const std::vector<std::int64_t>& aggregate, bool pruning,
+                 BucketJqStats* stats) {
+  std::unordered_map<std::int64_t, double> cur;
+  std::unordered_map<std::int64_t, double> nxt;
+  cur.emplace(0, 1.0);
+
+  JqAccumulator acc;
+  for (std::size_t i = 0; i < ws.size(); ++i) {
+    nxt.clear();
+    nxt.reserve(cur.size() * 2);
+    const std::int64_t b = ws[i].bucket;
+    const double q = ws[i].quality;
+    const std::int64_t remaining = aggregate[i];
+    for (const auto& [key, prob] : cur) {
+      if (stats != nullptr) ++stats->keys_expanded;
+      if (pruning) {
+        if (key > 0 && key - remaining > 0) {
+          acc.AddSettledPositive(prob);
+          if (stats != nullptr) ++stats->keys_pruned;
+          continue;
+        }
+        if (key < 0 && key + remaining < 0) {
+          if (stats != nullptr) ++stats->keys_pruned;
+          continue;
+        }
+      }
+      nxt[key + b] += prob * q;          // v_i = 0
+      nxt[key - b] += prob * (1.0 - q);  // v_i = 1
+    }
+    cur.swap(nxt);
+  }
+  for (const auto& [key, prob] : cur) acc.AddFinal(key, prob);
+  return acc.value();
+}
+
+}  // namespace
+
+double BucketErrorBound(int n, double delta) {
+  JURY_CHECK_GE(n, 0);
+  JURY_CHECK_GE(delta, 0.0);
+  return std::exp(static_cast<double>(n) * delta / 4.0) - 1.0;
+}
+
+int RequiredBucketMultiplier(double upper, double max_error) {
+  JURY_CHECK_GT(max_error, 0.0);
+  JURY_CHECK_GT(upper, 0.0);
+  // With numBuckets = d*n: delta = upper/(d*n), so the bound is
+  // e^{upper/(4d)} - 1 < max_error  <=>  d > upper / (4 ln(1+max_error)).
+  const double d = upper / (4.0 * std::log1p(max_error));
+  return std::max(1, static_cast<int>(std::ceil(d)));
+}
+
+Result<double> EstimateJq(const Jury& jury, double alpha,
+                          const BucketJqOptions& options,
+                          BucketJqStats* stats) {
+  JURY_RETURN_NOT_OK(jury.Validate());
+  JURY_RETURN_NOT_OK(ValidateAlpha(alpha));
+  if (jury.empty()) {
+    return Status::InvalidArgument("EstimateJq requires a non-empty jury");
+  }
+  if (options.num_buckets <= 0) {
+    return Status::InvalidArgument("num_buckets must be positive");
+  }
+  if (stats != nullptr) *stats = BucketJqStats{};
+
+  // Theorem 3: the prior is one more juror; §3.3: flip low-quality jurors.
+  const Jury with_prior = ApplyPrior(jury, alpha);
+  const Jury normalized = Normalize(with_prior).jury;
+  const std::vector<double> qs = normalized.qualities();
+  const int n = static_cast<int>(qs.size());
+
+  // §4.4 escape hatch: a near-perfect juror alone pins JQ into (cutoff, 1].
+  if (options.high_quality_cutoff < 1.0) {
+    double best = 0.0;
+    bool fired = false;
+    for (double q : qs) {
+      if (q > options.high_quality_cutoff) {
+        fired = true;
+        best = std::max(best, q);
+      }
+    }
+    if (fired) {
+      if (stats != nullptr) {
+        stats->high_quality_shortcut = true;
+        stats->error_bound = 1.0 - best;
+      }
+      return best;
+    }
+  }
+
+  // Bucket assignment (GetBucketArray): nearest bucket of phi(q_i) on the
+  // grid of `num_buckets` intervals covering [0, upper].
+  std::vector<double> phis(qs.size());
+  double upper = 0.0;
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    phis[i] = LogOdds(EffectiveQuality(qs[i]));
+    upper = std::max(upper, phis[i]);
+  }
+  if (upper <= 0.0) {
+    // Every juror (and the prior) has quality exactly 0.5: R(V) = 0 for all
+    // votings, so JQ = 0.5 exactly.
+    return 0.5;
+  }
+  const double delta = upper / static_cast<double>(options.num_buckets);
+
+  std::vector<BucketedWorker> ws(qs.size());
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    ws[i].bucket =
+        static_cast<std::int64_t>(std::ceil(phis[i] / delta - 0.5));
+    ws[i].quality = qs[i];
+  }
+  // Sort in decreasing bucket order (steps 2-3 of Algorithm 1) so pruning
+  // sees the big contributors first.
+  std::sort(ws.begin(), ws.end(), [](const auto& a, const auto& b) {
+    return a.bucket > b.bucket;
+  });
+
+  // AggregateBucket: aggregate[i] = b[i] + b[i+1] + ... + b[n-1].
+  std::vector<std::int64_t> aggregate(ws.size(), 0);
+  std::int64_t suffix = 0;
+  for (std::size_t i = ws.size(); i > 0; --i) {
+    suffix += ws[i - 1].bucket;
+    aggregate[i - 1] = suffix;
+  }
+  const std::int64_t span = suffix;
+
+  if (stats != nullptr) {
+    stats->delta = delta;
+    stats->error_bound = BucketErrorBound(n, delta);
+  }
+
+  BucketBackend backend = options.backend;
+  if (backend == BucketBackend::kDense && 2 * span + 1 > kDenseKeySpanLimit) {
+    backend = BucketBackend::kSparse;  // avoid an oversized flat array
+  }
+  const double jq_hat =
+      backend == BucketBackend::kDense
+          ? RunDense(ws, aggregate, options.enable_pruning, stats)
+          : RunSparse(ws, aggregate, options.enable_pruning, stats);
+  // Guard against floating-point drift just above 1.
+  return std::min(jq_hat, 1.0);
+}
+
+}  // namespace jury

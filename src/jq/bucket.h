@@ -1,0 +1,87 @@
+#ifndef JURYOPT_JQ_BUCKET_H_
+#define JURYOPT_JQ_BUCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "model/jury.h"
+#include "util/result.h"
+
+namespace jury {
+
+/// \brief Backend for the Algorithm-1 key map.
+enum class BucketBackend {
+  /// Flat array indexed by key + offset. Fastest at the paper's default
+  /// bucket counts; memory O(sum of buckets).
+  kDense,
+  /// Hash map keyed by the integer bucket key. Pays off when pruning keeps
+  /// the reachable key set sparse (large n, aggressive budgets).
+  kSparse,
+};
+
+/// \brief Tuning knobs for `EstimateJq` (Algorithm 1 + Algorithm 2).
+struct BucketJqOptions {
+  /// Total number of buckets the range [0, max phi(q_i)] is divided into
+  /// (`numBuckets`); the paper's experiments default to 50 (§6.1.1) and its
+  /// error analysis uses numBuckets = d*n with d >= 200 for the <1% bound.
+  int num_buckets = 50;
+
+  /// Enables the Algorithm-2 sign-settled early termination.
+  bool enable_pruning = true;
+
+  BucketBackend backend = BucketBackend::kDense;
+
+  /// §4.4 escape hatch: when some normalized quality exceeds this cutoff,
+  /// phi(q) is huge and JQ in (cutoff, 1], so `EstimateJq` just returns the
+  /// max such quality. Set to 1.0 to disable (then qualities are clamped by
+  /// `EffectiveQuality` before the log-odds transform).
+  double high_quality_cutoff = 0.99;
+};
+
+/// \brief Instrumentation filled in by `EstimateJq`.
+struct BucketJqStats {
+  /// Bucket width delta = upper / num_buckets.
+  double delta = 0.0;
+  /// Additive error bound e^{n*delta/4} - 1 for this run (§4.4);
+  /// 0 when the high-quality escape hatch fired.
+  double error_bound = 0.0;
+  /// Distinct (key, prob) pairs expanded across all iterations.
+  std::size_t keys_expanded = 0;
+  /// Pairs settled early by pruning (both signs).
+  std::size_t keys_pruned = 0;
+  /// True when the high-quality escape hatch was taken.
+  bool high_quality_shortcut = false;
+};
+
+/// \brief Approximate `JQ(J, BV, alpha)` — Algorithm 1 ("EstimateJQ") with
+/// the Algorithm 2 pruning — in O(num_buckets * n^2) time.
+///
+/// Steps, following §4.2–4.5:
+///  1. Theorem 3: fold the prior in as a pseudo-worker of quality alpha.
+///  2. §3.3: normalize qualities below 0.5 by the flip reinterpretation.
+///  3. Map each phi(q_i) = ln(q_i/(1-q_i)) to its nearest bucket
+///     b_i = ceil(phi(q_i)/delta - 1/2), delta = max_i phi(q_i)/num_buckets.
+///  4. Iterate workers, maintaining a map from the bucketed decision
+///     statistic `key = sum +-b_i` to the aggregated probability
+///     `sum e^{u(V)}` over votings reaching that key (Eq. 7).
+///  5. JQ-hat = sum over keys>0 of prob + half the prob at key 0.
+///
+/// Guarantees (proved in the paper, §4.4, and property-tested here):
+///   JQ-hat <= JQ(J, BV, alpha)   and   JQ - JQ-hat < e^{n*delta/4} - 1.
+///
+/// Errors: InvalidArgument for empty juries / bad alpha / bad workers,
+/// never OutOfRange (polynomial in n).
+Result<double> EstimateJq(const Jury& jury, double alpha,
+                          const BucketJqOptions& options = {},
+                          BucketJqStats* stats = nullptr);
+
+/// The §4.4 additive bound `e^{n*delta/4} - 1`.
+double BucketErrorBound(int n, double delta);
+
+/// Smallest per-worker bucket multiplier d such that the §4.4 bound with
+/// upper <= `upper` stays below `max_error` (`numBuckets = d * n`).
+int RequiredBucketMultiplier(double upper, double max_error);
+
+}  // namespace jury
+
+#endif  // JURYOPT_JQ_BUCKET_H_

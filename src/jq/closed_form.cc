@@ -1,0 +1,104 @@
+#include "jq/closed_form.h"
+
+#include "model/prior.h"
+#include "util/math.h"
+#include "util/poisson_binomial.h"
+
+namespace jury {
+namespace {
+
+Status ValidateInputs(const Jury& jury, double alpha) {
+  JURY_RETURN_NOT_OK(jury.Validate());
+  JURY_RETURN_NOT_OK(ValidateAlpha(alpha));
+  if (jury.empty()) {
+    return Status::InvalidArgument("JQ requires a non-empty jury");
+  }
+  return Status::OK();
+}
+
+/// Shared tail computation: the strategy returns 0 iff the number of
+/// 0-votes is >= `zeros_needed`.
+double ThresholdJq(const Jury& jury, double alpha, int zeros_needed) {
+  const std::vector<double> qs = jury.qualities();
+  // Given t=0 each vote is 0 with probability q_i.
+  const PoissonBinomial zeros_given_t0(qs);
+  // Given t=1 each vote is 0 with probability 1 - q_i.
+  std::vector<double> flipped(qs.size());
+  for (std::size_t i = 0; i < qs.size(); ++i) flipped[i] = 1.0 - qs[i];
+  const PoissonBinomial zeros_given_t1(flipped);
+
+  const double correct_given_t0 = zeros_given_t0.TailAtLeast(zeros_needed);
+  const double correct_given_t1 = zeros_given_t1.CdfAtMost(zeros_needed - 1);
+  return alpha * correct_given_t0 + (1.0 - alpha) * correct_given_t1;
+}
+
+}  // namespace
+
+Result<double> MajorityJq(const Jury& jury, double alpha) {
+  JURY_RETURN_NOT_OK(ValidateInputs(jury, alpha));
+  const int n = static_cast<int>(jury.size());
+  // zeros >= (n+1)/2 over the reals <=> zeros >= floor(n/2) + 1.
+  return ThresholdJq(jury, alpha, n / 2 + 1);
+}
+
+Result<double> HalfVotingJq(const Jury& jury, double alpha) {
+  JURY_RETURN_NOT_OK(ValidateInputs(jury, alpha));
+  const int n = static_cast<int>(jury.size());
+  // zeros >= n/2 over the reals <=> zeros >= ceil(n/2).
+  return ThresholdJq(jury, alpha, (n + 1) / 2);
+}
+
+Result<double> RandomizedMajorityJq(const Jury& jury, double alpha) {
+  JURY_RETURN_NOT_OK(ValidateInputs(jury, alpha));
+  // E[zeros/n | t=0] = mean(q) and E[ones/n | t=1] = mean(q); the prior
+  // weights two identical terms, so JQ = mean(q).
+  double mean_q = 0.0;
+  for (const Worker& w : jury.workers()) mean_q += w.quality;
+  return mean_q / static_cast<double>(jury.size());
+}
+
+Result<double> RandomBallotJq(const Jury& jury, double alpha) {
+  JURY_RETURN_NOT_OK(ValidateInputs(jury, alpha));
+  return 0.5;
+}
+
+Result<double> CountingStrategyJq(
+    const Jury& jury, double alpha,
+    const std::function<double(int zeros)>& prob_zero_given_zeros) {
+  JURY_RETURN_NOT_OK(ValidateInputs(jury, alpha));
+  if (!prob_zero_given_zeros) {
+    return Status::InvalidArgument("prob_zero_given_zeros required");
+  }
+  const int n = static_cast<int>(jury.size());
+  const std::vector<double> qs = jury.qualities();
+  const PoissonBinomial zeros_given_t0(qs);
+  std::vector<double> flipped(qs.size());
+  for (std::size_t i = 0; i < qs.size(); ++i) flipped[i] = 1.0 - qs[i];
+  const PoissonBinomial zeros_given_t1(flipped);
+
+  double correct_given_t0 = 0.0;
+  double correct_given_t1 = 0.0;
+  for (int z = 0; z <= n; ++z) {
+    const double h = prob_zero_given_zeros(z);
+    if (!(h >= 0.0 && h <= 1.0)) {
+      return Status::InvalidArgument(
+          "prob_zero_given_zeros must return values in [0,1]");
+    }
+    correct_given_t0 += zeros_given_t0.Pmf(z) * h;
+    correct_given_t1 += zeros_given_t1.Pmf(z) * (1.0 - h);
+  }
+  return alpha * correct_given_t0 + (1.0 - alpha) * correct_given_t1;
+}
+
+Result<double> TriadicJq(const Jury& jury, double alpha) {
+  JURY_RETURN_NOT_OK(ValidateInputs(jury, alpha));
+  const int n = static_cast<int>(jury.size());
+  return CountingStrategyJq(jury, alpha, [n](int z) {
+    if (n < 3) return static_cast<double>(z) / static_cast<double>(n);
+    return (BinomialCoefficient(z, 2) * BinomialCoefficient(n - z, 1) +
+            BinomialCoefficient(z, 3)) /
+           BinomialCoefficient(n, 3);
+  });
+}
+
+}  // namespace jury

@@ -1,0 +1,52 @@
+#ifndef JURYOPT_JQ_CLOSED_FORM_H_
+#define JURYOPT_JQ_CLOSED_FORM_H_
+
+#include <functional>
+
+#include "model/jury.h"
+#include "util/result.h"
+
+namespace jury {
+
+/// \brief Polynomial-time JQ formulas for the vote-counting strategies.
+///
+/// Conditioned on the true answer, each juror votes correctly independently
+/// with probability q_i, so the number of 0-votes is Poisson-binomial. MV and
+/// Half Voting reduce to tail probabilities of that distribution — the
+/// polynomial computation the paper attributes to Cao et al. [7] (§4.1; we
+/// use an exact O(n^2) DP, see DESIGN.md substitution #3). RMV and RBV admit
+/// one-line closed forms.
+
+/// JQ(J, MV, alpha): MV returns 0 iff zeros >= floor(n/2)+1.
+Result<double> MajorityJq(const Jury& jury, double alpha);
+
+/// JQ(J, HALF, alpha): Half Voting returns 0 iff zeros >= ceil(n/2).
+Result<double> HalfVotingJq(const Jury& jury, double alpha);
+
+/// JQ(J, RMV, alpha) = mean of jury qualities, independent of alpha.
+Result<double> RandomizedMajorityJq(const Jury& jury, double alpha);
+
+/// JQ(J, RBV, alpha) = 0.5, independent of everything.
+Result<double> RandomBallotJq(const Jury& jury, double alpha);
+
+/// JQ of one-round Triadic Consensus via the counting identity below.
+Result<double> TriadicJq(const Jury& jury, double alpha);
+
+/// \brief JQ of ANY counting strategy — one whose `Pr[S(V) = 0]` depends on
+/// the voting only through the number of zero-votes z:
+///
+///   JQ = alpha     * E[ h(Z0) ]       Z0 ~ PoissonBinomial(q)
+///      + (1-alpha) * E[ 1 - h(Z1) ]   Z1 ~ PoissonBinomial(1-q)
+///
+/// where `h(z) = Pr[S = 0 | z zeros]`. MV, Half Voting, RMV, RBV and
+/// Triadic Consensus are all counting strategies; this is the engine behind
+/// their closed forms, exposed for user-defined counting rules
+/// (e.g. quorum or super-majority votes). `prob_zero_given_zeros(z)` is
+/// called for z in [0, n] and must return a value in [0, 1].
+Result<double> CountingStrategyJq(
+    const Jury& jury, double alpha,
+    const std::function<double(int zeros)>& prob_zero_given_zeros);
+
+}  // namespace jury
+
+#endif  // JURYOPT_JQ_CLOSED_FORM_H_

@@ -1,0 +1,52 @@
+#include "jq/exact.h"
+
+#include <cstdint>
+
+#include "model/prior.h"
+#include "strategy/bayesian.h"
+
+namespace jury {
+
+Result<double> ExactJq(const Jury& jury, const VotingStrategy& strategy,
+                       double alpha) {
+  JURY_RETURN_NOT_OK(jury.Validate());
+  JURY_RETURN_NOT_OK(ValidateAlpha(alpha));
+  if (jury.empty()) {
+    return Status::InvalidArgument("ExactJq requires a non-empty jury");
+  }
+  if (jury.size() > kMaxExactJurySize) {
+    return Status::OutOfRange("ExactJq enumeration guarded to n <= " +
+                              std::to_string(kMaxExactJurySize));
+  }
+  const int n = static_cast<int>(jury.size());
+  const std::vector<double> qs = jury.qualities();
+
+  double jq = 0.0;
+  const std::uint64_t total = 1ull << n;
+  for (std::uint64_t mask = 0; mask < total; ++mask) {
+    const Votes votes = VotesFromMask(mask, n);
+    // Pr(V | t=0) and Pr(V | t=1) under independent votes (§3.2).
+    double p_given_0 = 1.0;
+    double p_given_1 = 1.0;
+    for (int i = 0; i < n; ++i) {
+      const double q = qs[static_cast<std::size_t>(i)];
+      if (votes[static_cast<std::size_t>(i)] == 0) {
+        p_given_0 *= q;
+        p_given_1 *= (1.0 - q);
+      } else {
+        p_given_0 *= (1.0 - q);
+        p_given_1 *= q;
+      }
+    }
+    const double h = strategy.ProbZero(jury, votes, alpha);  // E[1_{S(V)=0}]
+    jq += alpha * p_given_0 * h + (1.0 - alpha) * p_given_1 * (1.0 - h);
+  }
+  return jq;
+}
+
+Result<double> ExactJqBv(const Jury& jury, double alpha) {
+  const BayesianVoting bv;
+  return ExactJq(jury, bv, alpha);
+}
+
+}  // namespace jury

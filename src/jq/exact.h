@@ -1,0 +1,31 @@
+#ifndef JURYOPT_JQ_EXACT_H_
+#define JURYOPT_JQ_EXACT_H_
+
+#include "model/jury.h"
+#include "strategy/voting_strategy.h"
+#include "util/result.h"
+
+namespace jury {
+
+/// Largest jury size accepted by the exact 2^n enumerators.
+inline constexpr std::size_t kMaxExactJurySize = 25;
+
+/// \brief Exact Jury Quality by full enumeration of Omega = {0,1}^n
+/// (Definition 3):
+///
+///   JQ(J, S, alpha) = alpha     * sum_V Pr(V | t=0) * E[1_{S(V)=0}]
+///                   + (1-alpha) * sum_V Pr(V | t=1) * E[1_{S(V)=1}]
+///
+/// Works for any strategy — deterministic or randomized — through
+/// `VotingStrategy::ProbZero`. Exponential in n; guarded to
+/// n <= kMaxExactJurySize (OutOfRange otherwise). This is the ground-truth
+/// oracle used by tests and the approximation-error benchmarks (Fig. 9(b-c)).
+Result<double> ExactJq(const Jury& jury, const VotingStrategy& strategy,
+                       double alpha);
+
+/// Exact JQ for Bayesian Voting specifically: JQ(J, BV, alpha).
+Result<double> ExactJqBv(const Jury& jury, double alpha);
+
+}  // namespace jury
+
+#endif  // JURYOPT_JQ_EXACT_H_

@@ -1,0 +1,83 @@
+#include "jq/exact_map.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "jq/prior_transform.h"
+#include "model/prior.h"
+#include "model/worker.h"
+#include "util/math.h"
+
+namespace jury {
+namespace {
+
+/// Ordered map from the real-valued statistic R to aggregated probability;
+/// keys within `epsilon` of each other merge (they are float renderings of
+/// the same exact sum).
+using KeyMap = std::map<double, double>;
+
+void AddMerged(KeyMap* map, double key, double prob, double epsilon) {
+  auto it = map->lower_bound(key - epsilon);
+  if (it != map->end() && std::fabs(it->first - key) <= epsilon) {
+    it->second += prob;
+    return;
+  }
+  (*map)[key] += prob;
+}
+
+}  // namespace
+
+Result<double> ExactJqBvMap(const Jury& jury, double alpha,
+                            const ExactMapOptions& options,
+                            ExactMapStats* stats) {
+  JURY_RETURN_NOT_OK(jury.Validate());
+  JURY_RETURN_NOT_OK(ValidateAlpha(alpha));
+  if (jury.empty()) {
+    return Status::InvalidArgument("ExactJqBvMap requires a non-empty jury");
+  }
+  if (!(options.key_epsilon >= 0.0)) {
+    return Status::InvalidArgument("key_epsilon must be non-negative");
+  }
+  if (stats != nullptr) *stats = ExactMapStats{};
+
+  const Jury normalized = Normalize(ApplyPrior(jury, alpha)).jury;
+  const std::vector<double> qs = normalized.qualities();
+
+  KeyMap current;
+  current.emplace(0.0, 1.0);
+  for (double raw_q : qs) {
+    const double q = EffectiveQuality(raw_q);
+    const double phi = LogOdds(q);
+    KeyMap next;
+    for (const auto& [key, prob] : current) {
+      AddMerged(&next, key + phi, prob * q, options.key_epsilon);
+      AddMerged(&next, key - phi, prob * (1.0 - q), options.key_epsilon);
+    }
+    current.swap(next);
+    if (stats != nullptr) {
+      stats->max_keys_used = std::max(stats->max_keys_used, current.size());
+    }
+    if (current.size() > options.max_keys) {
+      return Status::ResourceExhausted(
+          "exact iterative map exceeded max_keys (" +
+          std::to_string(options.max_keys) +
+          "); use EstimateJq (bucketed) instead");
+    }
+  }
+
+  double jq = 0.0;
+  double tie_mass = 0.0;
+  for (const auto& [key, prob] : current) {
+    if (key > options.key_epsilon) {
+      jq += prob;
+    } else if (key >= -options.key_epsilon) {
+      jq += 0.5 * prob;
+      tie_mass += prob;
+    }
+  }
+  if (stats != nullptr) stats->tie_mass = tie_mass;
+  return std::min(jq, 1.0);
+}
+
+}  // namespace jury

@@ -1,0 +1,44 @@
+#ifndef JURYOPT_JQ_EXACT_MAP_H_
+#define JURYOPT_JQ_EXACT_MAP_H_
+
+#include <cstddef>
+
+#include "model/jury.h"
+#include "util/result.h"
+
+namespace jury {
+
+/// \brief Options/instrumentation for the exact iterative-map JQ.
+struct ExactMapOptions {
+  /// Abort (ResourceExhausted) when the key map grows beyond this size —
+  /// the worst case is 2^n keys, but duplicated qualities collapse keys.
+  std::size_t max_keys = 1u << 22;
+  /// Two R(V) values closer than this merge into one key (they are sums of
+  /// the same phi terms, so exact duplicates differ only by float noise).
+  double key_epsilon = 1e-9;
+};
+
+struct ExactMapStats {
+  /// Largest key-map size across iterations.
+  std::size_t max_keys_used = 0;
+  /// Probability mass sitting exactly on the R = 0 tie.
+  double tie_mass = 0.0;
+};
+
+/// \brief Exact JQ(J, BV, alpha) via the §4.2 iterative approach (Fig. 4)
+/// WITHOUT bucketing: the map key is the real-valued decision statistic
+/// `R(V) = sum (1-2 v_i) phi(q_i)` itself.
+///
+/// Worst case this is the 2^n enumeration in disguise — computing JQ for
+/// BV is NP-hard (Theorem 2) — but keys collide whenever partial sums
+/// coincide, so juries with few distinct quality values stay polynomial:
+/// k distinct qualities give O(n^k) keys, e.g. hundreds of same-quality
+/// workers are exact and fast. This is the stepping stone between the
+/// brute-force enumerator (n <= 25) and the bucketed approximation.
+Result<double> ExactJqBvMap(const Jury& jury, double alpha,
+                            const ExactMapOptions& options = {},
+                            ExactMapStats* stats = nullptr);
+
+}  // namespace jury
+
+#endif  // JURYOPT_JQ_EXACT_MAP_H_

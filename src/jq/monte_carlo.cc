@@ -1,0 +1,36 @@
+#include "jq/monte_carlo.h"
+
+#include "model/prior.h"
+
+namespace jury {
+
+Result<double> MonteCarloJq(const Jury& jury, const VotingStrategy& strategy,
+                            double alpha, std::int64_t num_samples, Rng* rng) {
+  JURY_RETURN_NOT_OK(jury.Validate());
+  JURY_RETURN_NOT_OK(ValidateAlpha(alpha));
+  if (jury.empty()) {
+    return Status::InvalidArgument("MonteCarloJq requires a non-empty jury");
+  }
+  if (num_samples <= 0) {
+    return Status::InvalidArgument("num_samples must be positive");
+  }
+  if (rng == nullptr) {
+    return Status::InvalidArgument("MonteCarloJq requires an Rng");
+  }
+
+  const std::vector<double> qs = jury.qualities();
+  Votes votes(jury.size());
+  double acc = 0.0;
+  for (std::int64_t s = 0; s < num_samples; ++s) {
+    const int t = rng->Bernoulli(alpha) ? 0 : 1;
+    for (std::size_t i = 0; i < qs.size(); ++i) {
+      const bool correct = rng->Bernoulli(qs[i]);
+      votes[i] = static_cast<std::uint8_t>(correct ? t : 1 - t);
+    }
+    const double p0 = strategy.ProbZero(jury, votes, alpha);
+    acc += (t == 0) ? p0 : (1.0 - p0);
+  }
+  return acc / static_cast<double>(num_samples);
+}
+
+}  // namespace jury

@@ -1,0 +1,26 @@
+#ifndef JURYOPT_JQ_MONTE_CARLO_H_
+#define JURYOPT_JQ_MONTE_CARLO_H_
+
+#include <cstdint>
+
+#include "model/jury.h"
+#include "strategy/voting_strategy.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace jury {
+
+/// \brief Monte-Carlo JQ estimator for arbitrary strategies and jury sizes.
+///
+/// Samples the latent truth `t ~ (alpha, 1-alpha)` and a voting `V` from the
+/// worker model, then adds the *conditional* correctness probability
+/// `Pr[S(V) = t | V]` (Rao–Blackwellized over the strategy's internal
+/// randomness), which keeps the variance below naive decision sampling.
+/// Used to cross-check the bucket approximation at sizes where exact
+/// enumeration is infeasible.
+Result<double> MonteCarloJq(const Jury& jury, const VotingStrategy& strategy,
+                            double alpha, std::int64_t num_samples, Rng* rng);
+
+}  // namespace jury
+
+#endif  // JURYOPT_JQ_MONTE_CARLO_H_

@@ -1,0 +1,14 @@
+#include "jq/prior_transform.h"
+
+#include "model/prior.h"
+
+namespace jury {
+
+Jury ApplyPrior(const Jury& jury, double alpha) {
+  if (IsUninformativeAlpha(alpha)) return jury;
+  Jury extended = jury;
+  extended.Add(Worker(kPriorWorkerId, alpha, /*cost=*/0.0));
+  return extended;
+}
+
+}  // namespace jury

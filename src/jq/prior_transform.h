@@ -1,0 +1,22 @@
+#ifndef JURYOPT_JQ_PRIOR_TRANSFORM_H_
+#define JURYOPT_JQ_PRIOR_TRANSFORM_H_
+
+#include "model/jury.h"
+
+namespace jury {
+
+/// Identifier given to the pseudo-worker injected by `ApplyPrior`.
+inline constexpr const char* kPriorWorkerId = "_prior";
+
+/// \brief Theorem 3: `JQ(J, BV, alpha) = JQ(J', BV, 0.5)` where `J'` extends
+/// `J` with a zero-cost pseudo-worker of quality `alpha`.
+///
+/// Intuition (§4.5): under BV the task provider's prior acts exactly like one
+/// more juror whose "vote" is the prior's preferred answer with reliability
+/// alpha. Returns `jury` unchanged when the prior is uninformative
+/// (alpha == 0.5), since a quality-0.5 juror carries zero log-odds weight.
+Jury ApplyPrior(const Jury& jury, double alpha);
+
+}  // namespace jury
+
+#endif  // JURYOPT_JQ_PRIOR_TRANSFORM_H_

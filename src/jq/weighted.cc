@@ -1,0 +1,107 @@
+#include "jq/weighted.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "model/prior.h"
+#include "model/worker.h"
+#include "util/math.h"
+
+namespace jury {
+namespace {
+
+/// Joint conditional probabilities accumulated at one key.
+struct Mass {
+  double given_t0 = 0.0;
+  double given_t1 = 0.0;
+};
+
+using KeyMap = std::map<double, Mass>;
+
+void AddMerged(KeyMap* map, double key, const Mass& mass, double epsilon) {
+  auto it = map->lower_bound(key - epsilon);
+  if (it != map->end() && std::fabs(it->first - key) <= epsilon) {
+    it->second.given_t0 += mass.given_t0;
+    it->second.given_t1 += mass.given_t1;
+    return;
+  }
+  Mass& slot = (*map)[key];
+  slot.given_t0 += mass.given_t0;
+  slot.given_t1 += mass.given_t1;
+}
+
+}  // namespace
+
+Result<double> WeightedThresholdJq(const Jury& jury,
+                                   const std::vector<double>& weights,
+                                   double bias, double alpha,
+                                   const WeightedJqOptions& options) {
+  JURY_RETURN_NOT_OK(jury.Validate());
+  JURY_RETURN_NOT_OK(ValidateAlpha(alpha));
+  if (jury.empty()) {
+    return Status::InvalidArgument(
+        "WeightedThresholdJq requires a non-empty jury");
+  }
+  if (weights.size() != jury.size()) {
+    return Status::InvalidArgument("weights/jury size mismatch");
+  }
+  if (!(options.key_epsilon >= 0.0)) {
+    return Status::InvalidArgument("key_epsilon must be non-negative");
+  }
+
+  KeyMap current;
+  current.emplace(bias, Mass{1.0, 1.0});
+  for (std::size_t i = 0; i < jury.size(); ++i) {
+    const double q = jury.worker(i).quality;
+    const double w = weights[i];
+    KeyMap next;
+    for (const auto& [key, mass] : current) {
+      // Vote 0: correct under t=0 (prob q), wrong under t=1 (prob 1-q).
+      AddMerged(&next, key + w,
+                {mass.given_t0 * q, mass.given_t1 * (1.0 - q)},
+                options.key_epsilon);
+      // Vote 1: the complement.
+      AddMerged(&next, key - w,
+                {mass.given_t0 * (1.0 - q), mass.given_t1 * q},
+                options.key_epsilon);
+    }
+    current.swap(next);
+    if (current.size() > options.max_keys) {
+      return Status::ResourceExhausted(
+          "weighted-threshold key map exceeded max_keys");
+    }
+  }
+
+  double jq = 0.0;
+  for (const auto& [key, mass] : current) {
+    if (key >= -options.key_epsilon) {
+      jq += alpha * mass.given_t0;  // rule answers 0 (ties to 0)
+    } else {
+      jq += (1.0 - alpha) * mass.given_t1;  // rule answers 1
+    }
+  }
+  return std::min(jq, 1.0);
+}
+
+Result<double> MiscalibratedBvJq(const Jury& jury,
+                                 const std::vector<double>& believed_qualities,
+                                 double alpha,
+                                 const WeightedJqOptions& options) {
+  if (believed_qualities.size() != jury.size()) {
+    return Status::InvalidArgument("believed_qualities/jury size mismatch");
+  }
+  std::vector<double> weights;
+  weights.reserve(believed_qualities.size());
+  for (double believed : believed_qualities) {
+    if (!(believed >= 0.0 && believed <= 1.0)) {
+      return Status::InvalidArgument("believed quality outside [0,1]");
+    }
+    weights.push_back(LogOdds(EffectiveQuality(believed)));
+  }
+  const double bias = LogOdds(EffectiveQuality(alpha));
+  return WeightedThresholdJq(jury, weights, bias, alpha, options);
+}
+
+}  // namespace jury

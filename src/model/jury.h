@@ -1,0 +1,74 @@
+#ifndef JURYOPT_MODEL_JURY_H_
+#define JURYOPT_MODEL_JURY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "model/votes.h"
+#include "model/worker.h"
+#include "util/status.h"
+
+namespace jury {
+
+/// \brief A jury `J = {j_1, ..., j_n}` (§2.1): an ordered collection of
+/// workers whose votes are aggregated by a voting strategy.
+///
+/// Order matters only for positional alignment with a `Votes` vector; all
+/// quality computations are permutation-invariant.
+class Jury {
+ public:
+  Jury() = default;
+  explicit Jury(std::vector<Worker> workers) : workers_(std::move(workers)) {}
+
+  /// Builds an anonymous jury from qualities (zero costs); handy in tests
+  /// and in the JQ machinery where costs are irrelevant.
+  static Jury FromQualities(const std::vector<double>& qualities);
+
+  std::size_t size() const { return workers_.size(); }
+  bool empty() const { return workers_.empty(); }
+  const std::vector<Worker>& workers() const { return workers_; }
+  const Worker& worker(std::size_t i) const;
+
+  void Add(Worker worker) { workers_.push_back(std::move(worker)); }
+
+  /// Jury cost = sum of member costs (§1).
+  double TotalCost() const;
+  /// Member qualities, positionally aligned with votes.
+  std::vector<double> qualities() const;
+
+  /// Validates every member via `ValidateWorker`.
+  Status Validate() const;
+
+  /// Minimum / maximum member quality (juries must be non-empty).
+  double MinQuality() const;
+  double MaxQuality() const;
+
+  bool operator==(const Jury& other) const = default;
+
+ private:
+  std::vector<Worker> workers_;
+};
+
+/// \brief Result of normalizing a jury so that every quality is >= 0.5
+/// (§3.3): a worker with quality q < 0.5 is reinterpreted as a worker with
+/// quality 1-q whose vote is read flipped. JQ is invariant under this
+/// reinterpretation; the flip mask lets decision-time code translate real
+/// votes into the normalized frame.
+struct NormalizedJury {
+  /// The jury with every quality >= 0.5 (ties at 0.5 are left unflipped).
+  Jury jury;
+  /// flipped[i] == true iff worker i's votes must be complemented before
+  /// being interpreted in the normalized frame.
+  std::vector<bool> flipped;
+
+  /// Maps a voting in the original frame to the normalized frame.
+  Votes TranslateVotes(const Votes& votes) const;
+};
+
+/// Applies the §3.3 reinterpretation rule to `jury`.
+NormalizedJury Normalize(const Jury& jury);
+
+}  // namespace jury
+
+#endif  // JURYOPT_MODEL_JURY_H_

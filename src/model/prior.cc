@@ -1,0 +1,14 @@
+#include "model/prior.h"
+
+namespace jury {
+
+Status ValidateAlpha(double alpha) {
+  if (!(alpha >= 0.0 && alpha <= 1.0)) {
+    return Status::InvalidArgument("prior alpha outside [0,1]");
+  }
+  return Status::OK();
+}
+
+bool IsUninformativeAlpha(double alpha) { return alpha == 0.5; }
+
+}  // namespace jury

@@ -1,0 +1,20 @@
+#ifndef JURYOPT_MODEL_PRIOR_H_
+#define JURYOPT_MODEL_PRIOR_H_
+
+#include "util/status.h"
+
+namespace jury {
+
+/// \brief Task-provider prior on a decision-making task (§2.1):
+/// `alpha = Pr(t = 0)`. With no prior knowledge, alpha = 0.5.
+inline constexpr double kUninformativeAlpha = 0.5;
+
+/// Validates `alpha` in [0, 1].
+Status ValidateAlpha(double alpha);
+
+/// True when the prior carries no information (alpha == 0.5).
+bool IsUninformativeAlpha(double alpha);
+
+}  // namespace jury
+
+#endif  // JURYOPT_MODEL_PRIOR_H_

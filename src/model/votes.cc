@@ -1,0 +1,35 @@
+#include "model/votes.h"
+
+#include "util/check.h"
+
+namespace jury {
+
+Votes VotesFromMask(std::uint64_t mask, int n) {
+  JURY_CHECK(n >= 0 && n < 64);
+  Votes votes(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    votes[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((mask >> i) & 1u);
+  }
+  return votes;
+}
+
+int CountZeros(const Votes& votes) {
+  int zeros = 0;
+  for (std::uint8_t v : votes) zeros += (v == 0) ? 1 : 0;
+  return zeros;
+}
+
+int CountOnes(const Votes& votes) {
+  return static_cast<int>(votes.size()) - CountZeros(votes);
+}
+
+Votes Complement(const Votes& votes) {
+  Votes out(votes.size());
+  for (std::size_t i = 0; i < votes.size(); ++i) {
+    out[i] = votes[i] ? 0 : 1;
+  }
+  return out;
+}
+
+}  // namespace jury

@@ -1,0 +1,30 @@
+#ifndef JURYOPT_MODEL_VOTES_H_
+#define JURYOPT_MODEL_VOTES_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace jury {
+
+/// \brief A voting `V = {v_1, ..., v_n}` (§2.1): one binary vote per juror,
+/// stored positionally. `0` means "no", `1` means "yes", matching the paper's
+/// encoding of decision-making answers.
+using Votes = std::vector<std::uint8_t>;
+
+/// Expands the low `n` bits of `mask` into a vote vector
+/// (bit i -> v_{i+1}); used by the exact 2^n JQ enumerators.
+Votes VotesFromMask(std::uint64_t mask, int n);
+
+/// Number of 0-votes, i.e. `sum_i (1 - v_i)`.
+int CountZeros(const Votes& votes);
+
+/// Number of 1-votes.
+int CountOnes(const Votes& votes);
+
+/// The complement voting `V-bar` with every vote flipped (used by the
+/// symmetric-pair argument of Eq. (5)).
+Votes Complement(const Votes& votes);
+
+}  // namespace jury
+
+#endif  // JURYOPT_MODEL_VOTES_H_

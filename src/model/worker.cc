@@ -1,0 +1,23 @@
+#include "model/worker.h"
+
+#include <algorithm>
+
+namespace jury {
+
+Status ValidateWorker(const Worker& worker) {
+  if (!(worker.quality >= 0.0 && worker.quality <= 1.0)) {
+    return Status::InvalidArgument("worker '" + worker.id +
+                                   "' quality outside [0,1]");
+  }
+  if (!(worker.cost >= 0.0)) {
+    return Status::InvalidArgument("worker '" + worker.id +
+                                   "' has negative cost");
+  }
+  return Status::OK();
+}
+
+double EffectiveQuality(double q) {
+  return std::min(std::max(q, kQualityEpsilon), 1.0 - kQualityEpsilon);
+}
+
+}  // namespace jury

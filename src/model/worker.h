@@ -1,0 +1,43 @@
+#ifndef JURYOPT_MODEL_WORKER_H_
+#define JURYOPT_MODEL_WORKER_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace jury {
+
+/// \brief A crowdsourcing worker, following the worker model of §2.1:
+/// a quality `q in [0, 1]` — the probability that the worker votes the
+/// task's latent true answer — and a non-negative monetary cost `c` charged
+/// per vote. Qualities and costs are assumed known in advance (estimated
+/// from answering history; see `crowd::` for estimators).
+struct Worker {
+  /// Human-readable identifier (e.g. "A".."G" in the paper's Fig. 1).
+  std::string id;
+  /// Pr[v_i = t]; must lie in [0, 1].
+  double quality = 0.5;
+  /// Monetary incentive required per vote; must be >= 0.
+  double cost = 0.0;
+
+  Worker() = default;
+  Worker(std::string id_in, double quality_in, double cost_in)
+      : id(std::move(id_in)), quality(quality_in), cost(cost_in) {}
+
+  bool operator==(const Worker& other) const = default;
+};
+
+/// Validates the quality/cost ranges above.
+Status ValidateWorker(const Worker& worker);
+
+/// Smallest distance from {0, 1} at which a quality participates in
+/// log-odds computations; qualities are clamped into
+/// [kQualityEpsilon, 1 - kQualityEpsilon] by `EffectiveQuality`.
+inline constexpr double kQualityEpsilon = 1e-12;
+
+/// Clamps `q` away from the endpoints so that `LogOdds(q)` is finite.
+double EffectiveQuality(double q);
+
+}  // namespace jury
+
+#endif  // JURYOPT_MODEL_WORKER_H_

@@ -1,0 +1,69 @@
+#include "model/worker_io.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/csv.h"
+
+namespace jury {
+namespace {
+
+Result<double> ParseDouble(const std::string& cell, const std::string& what) {
+  char* end = nullptr;
+  const double value = std::strtod(cell.c_str(), &end);
+  if (end == cell.c_str() || *end != '\0') {
+    return Status::InvalidArgument("cannot parse " + what + ": '" + cell +
+                                   "'");
+  }
+  return value;
+}
+
+Result<std::vector<Worker>> RowsToWorkers(
+    const std::vector<std::vector<std::string>>& rows) {
+  std::vector<Worker> workers;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    if (r == 0 && row.size() == 3 && row[0] == "id" && row[1] == "quality" &&
+        row[2] == "cost") {
+      continue;  // header
+    }
+    if (row.size() != 3) {
+      return Status::InvalidArgument(
+          "worker CSV rows need 3 cells (id,quality,cost), row " +
+          std::to_string(r) + " has " + std::to_string(row.size()));
+    }
+    Worker worker;
+    worker.id = row[0];
+    JURY_ASSIGN_OR_RETURN(worker.quality, ParseDouble(row[1], "quality"));
+    JURY_ASSIGN_OR_RETURN(worker.cost, ParseDouble(row[2], "cost"));
+    JURY_RETURN_NOT_OK(ValidateWorker(worker));
+    workers.push_back(std::move(worker));
+  }
+  return workers;
+}
+
+}  // namespace
+
+Result<std::vector<Worker>> LoadWorkersCsv(const std::string& path) {
+  std::vector<std::vector<std::string>> rows;
+  JURY_ASSIGN_OR_RETURN(rows, ReadCsvFile(path));
+  return RowsToWorkers(rows);
+}
+
+Result<std::vector<Worker>> ParseWorkersCsv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  JURY_ASSIGN_OR_RETURN(rows, ParseCsv(text));
+  return RowsToWorkers(rows);
+}
+
+std::string WorkersToCsv(const std::vector<Worker>& workers) {
+  std::ostringstream os;
+  os << "id,quality,cost\n";
+  os.precision(17);
+  for (const Worker& w : workers) {
+    os << w.id << ',' << w.quality << ',' << w.cost << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace jury

@@ -1,0 +1,25 @@
+#ifndef JURYOPT_MODEL_WORKER_IO_H_
+#define JURYOPT_MODEL_WORKER_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "model/worker.h"
+#include "util/result.h"
+
+namespace jury {
+
+/// \brief Loads a candidate worker pool from CSV with columns
+/// `id,quality,cost` (a header row with exactly those names is skipped;
+/// '#' lines are comments). Each worker is validated on load.
+Result<std::vector<Worker>> LoadWorkersCsv(const std::string& path);
+
+/// Parses the same format from an in-memory string.
+Result<std::vector<Worker>> ParseWorkersCsv(const std::string& text);
+
+/// Serializes a pool back to the same CSV format (with header).
+std::string WorkersToCsv(const std::vector<Worker>& workers);
+
+}  // namespace jury
+
+#endif  // JURYOPT_MODEL_WORKER_IO_H_

@@ -1,0 +1,47 @@
+#include "multiclass/bv.h"
+
+#include <cmath>
+
+#include "model/worker.h"
+
+namespace jury::mc {
+
+Result<std::vector<double>> McLogPosterior(const McJury& jury,
+                                           const McVotes& votes,
+                                           const McPrior& prior) {
+  JURY_RETURN_NOT_OK(jury.Validate());
+  if (jury.empty()) {
+    return Status::InvalidArgument("McLogPosterior requires a non-empty jury");
+  }
+  const std::size_t labels = jury.num_labels();
+  JURY_RETURN_NOT_OK(ValidateMcPrior(prior, labels));
+  if (votes.size() != jury.size()) {
+    return Status::InvalidArgument("votes/jury size mismatch");
+  }
+  for (std::size_t v : votes) {
+    if (v >= labels) return Status::InvalidArgument("vote label out of range");
+  }
+
+  std::vector<double> scores(labels, 0.0);
+  for (std::size_t t = 0; t < labels; ++t) {
+    scores[t] = std::log(jury::EffectiveQuality(prior[t]));
+    for (std::size_t i = 0; i < jury.size(); ++i) {
+      scores[t] +=
+          std::log(jury::EffectiveQuality(jury.worker(i).confusion(t, votes[i])));
+    }
+  }
+  return scores;
+}
+
+Result<std::size_t> McBayesianDecide(const McJury& jury, const McVotes& votes,
+                                     const McPrior& prior) {
+  JURY_ASSIGN_OR_RETURN(std::vector<double> scores,
+                        McLogPosterior(jury, votes, prior));
+  std::size_t best = 0;
+  for (std::size_t t = 1; t < scores.size(); ++t) {
+    if (scores[t] > scores[best]) best = t;  // ties keep the smaller label
+  }
+  return best;
+}
+
+}  // namespace jury::mc

@@ -1,0 +1,24 @@
+#ifndef JURYOPT_MULTICLASS_BV_H_
+#define JURYOPT_MULTICLASS_BV_H_
+
+#include "multiclass/model.h"
+#include "util/result.h"
+
+namespace jury::mc {
+
+/// \brief Multi-class Bayesian Voting (Eq. 10):
+/// `S*(V) = argmax_t alpha_t * prod_i C_i(t, v_i)`, evaluated in log-space.
+/// Ties break towards the smallest label, which specializes to the binary
+/// Theorem-1 rule ("ties -> 0") at l = 2.
+Result<std::size_t> McBayesianDecide(const McJury& jury, const McVotes& votes,
+                                     const McPrior& prior);
+
+/// Log-posterior scores `ln alpha_t + sum_i ln C_i(t, v_i)` for every label
+/// (entries clamped away from 0 before the log).
+Result<std::vector<double>> McLogPosterior(const McJury& jury,
+                                           const McVotes& votes,
+                                           const McPrior& prior);
+
+}  // namespace jury::mc
+
+#endif  // JURYOPT_MULTICLASS_BV_H_

@@ -1,0 +1,81 @@
+#include "multiclass/confusion.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace jury::mc {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t num_labels,
+                                 std::vector<double> entries)
+    : num_labels_(num_labels), entries_(std::move(entries)) {
+  JURY_CHECK_EQ(entries_.size(), num_labels_ * num_labels_);
+}
+
+ConfusionMatrix ConfusionMatrix::FromQuality(double q,
+                                             std::size_t num_labels) {
+  JURY_CHECK_GE(num_labels, 2u);
+  JURY_CHECK(q >= 0.0 && q <= 1.0);
+  std::vector<double> entries(num_labels * num_labels,
+                              (1.0 - q) / static_cast<double>(num_labels - 1));
+  for (std::size_t j = 0; j < num_labels; ++j) {
+    entries[j * num_labels + j] = q;
+  }
+  return ConfusionMatrix(num_labels, std::move(entries));
+}
+
+ConfusionMatrix ConfusionMatrix::Identity(std::size_t num_labels) {
+  return FromQuality(1.0, num_labels);
+}
+
+ConfusionMatrix ConfusionMatrix::UniformSpammer(std::size_t num_labels) {
+  JURY_CHECK_GE(num_labels, 2u);
+  std::vector<double> entries(num_labels * num_labels,
+                              1.0 / static_cast<double>(num_labels));
+  return ConfusionMatrix(num_labels, std::move(entries));
+}
+
+double ConfusionMatrix::operator()(std::size_t true_label,
+                                   std::size_t vote) const {
+  JURY_CHECK_LT(true_label, num_labels_);
+  JURY_CHECK_LT(vote, num_labels_);
+  return entries_[true_label * num_labels_ + vote];
+}
+
+double& ConfusionMatrix::at(std::size_t true_label, std::size_t vote) {
+  JURY_CHECK_LT(true_label, num_labels_);
+  JURY_CHECK_LT(vote, num_labels_);
+  return entries_[true_label * num_labels_ + vote];
+}
+
+Status ConfusionMatrix::Validate() const {
+  if (num_labels_ < 2) {
+    return Status::InvalidArgument("confusion matrix needs >= 2 labels");
+  }
+  constexpr double kTol = 1e-9;
+  for (std::size_t j = 0; j < num_labels_; ++j) {
+    double row_sum = 0.0;
+    for (std::size_t k = 0; k < num_labels_; ++k) {
+      const double e = entries_[j * num_labels_ + k];
+      if (!(e >= 0.0 && e <= 1.0)) {
+        return Status::InvalidArgument("confusion entry outside [0,1]");
+      }
+      row_sum += e;
+    }
+    if (std::fabs(row_sum - 1.0) > kTol) {
+      return Status::InvalidArgument("confusion row does not sum to 1");
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<double> ConfusionMatrix::Row(std::size_t true_label) const {
+  JURY_CHECK_LT(true_label, num_labels_);
+  std::vector<double> row(num_labels_);
+  for (std::size_t k = 0; k < num_labels_; ++k) {
+    row[k] = entries_[true_label * num_labels_ + k];
+  }
+  return row;
+}
+
+}  // namespace jury::mc

@@ -1,0 +1,49 @@
+#ifndef JURYOPT_MULTICLASS_CONFUSION_H_
+#define JURYOPT_MULTICLASS_CONFUSION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace jury::mc {
+
+/// \brief An l x l confusion matrix (§7): `C(j, k)` is the probability that
+/// the worker votes `k` when the true answer is `j`. Rows are probability
+/// distributions.
+class ConfusionMatrix {
+ public:
+  ConfusionMatrix() = default;
+  /// Builds from row-major entries; `Validate` checks row-stochasticity.
+  ConfusionMatrix(std::size_t num_labels, std::vector<double> entries);
+
+  /// The single-quality worker model embedded in l labels: probability `q`
+  /// on the diagonal, `(1-q)/(l-1)` elsewhere. With l = 2 this is exactly
+  /// the §2.1 binary worker.
+  static ConfusionMatrix FromQuality(double q, std::size_t num_labels);
+  /// The perfect worker (identity).
+  static ConfusionMatrix Identity(std::size_t num_labels);
+  /// A spammer: every row is uniform — the vote carries no information.
+  static ConfusionMatrix UniformSpammer(std::size_t num_labels);
+
+  std::size_t num_labels() const { return num_labels_; }
+  double operator()(std::size_t true_label, std::size_t vote) const;
+  double& at(std::size_t true_label, std::size_t vote);
+
+  /// Checks shape, entry ranges, and row sums (tolerance 1e-9).
+  Status Validate() const;
+
+  /// Row `true_label` as a vector (the vote distribution given that truth).
+  std::vector<double> Row(std::size_t true_label) const;
+
+  bool operator==(const ConfusionMatrix& other) const = default;
+
+ private:
+  std::size_t num_labels_ = 0;
+  std::vector<double> entries_;  // row-major
+};
+
+}  // namespace jury::mc
+
+#endif  // JURYOPT_MULTICLASS_CONFUSION_H_

@@ -1,0 +1,136 @@
+#include "multiclass/dawid_skene.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/worker.h"
+#include "util/check.h"
+#include "util/math.h"
+
+namespace jury::mc {
+
+Status McDataset::Validate() const {
+  if (num_workers == 0 || num_labels < 2) {
+    return Status::InvalidArgument("dataset needs workers and >= 2 labels");
+  }
+  for (const auto& task : tasks) {
+    for (const McAnswer& a : task) {
+      if (a.worker >= num_workers) {
+        return Status::OutOfRange("answer references unknown worker");
+      }
+      if (a.vote >= num_labels) {
+        return Status::OutOfRange("answer references unknown label");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::size_t McDawidSkeneResult::Decide(std::size_t task,
+                                       std::size_t num_labels) const {
+  JURY_CHECK_LT((task + 1) * num_labels, posteriors.size() + 1);
+  std::size_t best = 0;
+  for (std::size_t j = 1; j < num_labels; ++j) {
+    if (posteriors[task * num_labels + j] >
+        posteriors[task * num_labels + best]) {
+      best = j;
+    }
+  }
+  return best;
+}
+
+Result<McDawidSkeneResult> RunMcDawidSkene(
+    const McDataset& dataset, const McDawidSkeneOptions& options) {
+  JURY_RETURN_NOT_OK(dataset.Validate());
+  if (options.max_iterations <= 0) {
+    return Status::InvalidArgument("max_iterations must be positive");
+  }
+  if (options.smoothing < 0.0) {
+    return Status::InvalidArgument("smoothing must be non-negative");
+  }
+  const std::size_t l = dataset.num_labels;
+  const std::size_t num_tasks = dataset.tasks.size();
+  McPrior prior = options.prior.empty() ? UniformMcPrior(l) : options.prior;
+  JURY_RETURN_NOT_OK(ValidateMcPrior(prior, l));
+
+  McDawidSkeneResult result;
+  result.posteriors.assign(num_tasks * l, 0.0);
+  result.confusion.assign(dataset.num_workers,
+                          ConfusionMatrix::UniformSpammer(l));
+
+  // Initialize posteriors with empirical vote shares (soft majority vote).
+  for (std::size_t t = 0; t < num_tasks; ++t) {
+    const auto& answers = dataset.tasks[t];
+    if (answers.empty()) {
+      for (std::size_t j = 0; j < l; ++j) {
+        result.posteriors[t * l + j] = prior[j];
+      }
+      continue;
+    }
+    for (const McAnswer& a : answers) {
+      result.posteriors[t * l + a.vote] +=
+          1.0 / static_cast<double>(answers.size());
+    }
+  }
+
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    result.iterations = iter;
+
+    // M-step: confusion matrices from soft labels.
+    double max_change = 0.0;
+    for (std::size_t w = 0; w < dataset.num_workers; ++w) {
+      // counts[j][k]: expected number of times worker w voted k on a task
+      // whose (soft) truth is j.
+      std::vector<double> counts(l * l, options.smoothing);
+      bool answered = false;
+      for (std::size_t t = 0; t < num_tasks; ++t) {
+        for (const McAnswer& a : dataset.tasks[t]) {
+          if (a.worker != w) continue;
+          answered = true;
+          for (std::size_t j = 0; j < l; ++j) {
+            counts[j * l + a.vote] += result.posteriors[t * l + j];
+          }
+        }
+      }
+      if (!answered && options.smoothing == 0.0) continue;
+      ConfusionMatrix updated = result.confusion[w];
+      for (std::size_t j = 0; j < l; ++j) {
+        double row_sum = 0.0;
+        for (std::size_t k = 0; k < l; ++k) row_sum += counts[j * l + k];
+        for (std::size_t k = 0; k < l; ++k) {
+          const double value =
+              row_sum > 0.0 ? counts[j * l + k] / row_sum
+                            : 1.0 / static_cast<double>(l);
+          max_change =
+              std::max(max_change, std::fabs(value - updated(j, k)));
+          updated.at(j, k) = value;
+        }
+      }
+      result.confusion[w] = std::move(updated);
+    }
+
+    // E-step: label posteriors from confusion matrices.
+    for (std::size_t t = 0; t < num_tasks; ++t) {
+      std::vector<double> log_scores(l);
+      for (std::size_t j = 0; j < l; ++j) {
+        log_scores[j] = std::log(jury::EffectiveQuality(prior[j]));
+        for (const McAnswer& a : dataset.tasks[t]) {
+          log_scores[j] += std::log(jury::EffectiveQuality(
+              result.confusion[a.worker](j, a.vote)));
+        }
+      }
+      const double norm = LogSumExp(log_scores);
+      for (std::size_t j = 0; j < l; ++j) {
+        result.posteriors[t * l + j] = std::exp(log_scores[j] - norm);
+      }
+    }
+
+    if (max_change < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace jury::mc

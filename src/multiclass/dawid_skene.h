@@ -1,0 +1,67 @@
+#ifndef JURYOPT_MULTICLASS_DAWID_SKENE_H_
+#define JURYOPT_MULTICLASS_DAWID_SKENE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "multiclass/confusion.h"
+#include "multiclass/model.h"
+#include "util/result.h"
+
+namespace jury::mc {
+
+/// \brief One multi-class answer: worker index and the label voted.
+struct McAnswer {
+  std::size_t worker = 0;
+  std::size_t vote = 0;
+};
+
+/// \brief A multi-class labelling dataset: per-task answer lists over a
+/// fixed label set. This is the input format of the original Dawid–Skene
+/// setting [1] the paper builds its confusion-matrix worker model on.
+struct McDataset {
+  std::size_t num_workers = 0;
+  std::size_t num_labels = 0;
+  std::vector<std::vector<McAnswer>> tasks;
+
+  Status Validate() const;
+};
+
+/// \brief Options for the multi-class EM.
+struct McDawidSkeneOptions {
+  int max_iterations = 100;
+  /// Convergence threshold on the max absolute confusion-entry change.
+  double tolerance = 1e-6;
+  /// Additive smoothing on confusion-row counts (keeps rows off the
+  /// boundary; Laplace with this pseudo-count per cell).
+  double smoothing = 0.1;
+  /// Prior over labels used in the E-step; empty = uniform.
+  McPrior prior;
+};
+
+/// \brief EM output: per-worker confusion matrices, per-task posteriors
+/// (row-major `posteriors[task * num_labels + label]`), and diagnostics.
+struct McDawidSkeneResult {
+  std::vector<ConfusionMatrix> confusion;
+  std::vector<double> posteriors;
+  int iterations = 0;
+  bool converged = false;
+
+  /// Argmax posterior label for `task`.
+  std::size_t Decide(std::size_t task, std::size_t num_labels) const;
+};
+
+/// \brief Full Dawid–Skene EM [1]: jointly estimates every worker's l x l
+/// confusion matrix and every task's label posterior from answers alone —
+/// the §8 "Worker Model" bootstrap for the confusion-matrix setting, and
+/// the natural companion to `RunDawidSkene` (binary, scalar quality).
+///
+/// Initialization follows the classic recipe: posteriors start at the
+/// per-task empirical vote shares (majority-voting soft labels), which
+/// anchors the label identity and avoids the permutation ambiguity.
+Result<McDawidSkeneResult> RunMcDawidSkene(
+    const McDataset& dataset, const McDawidSkeneOptions& options = {});
+
+}  // namespace jury::mc
+
+#endif  // JURYOPT_MULTICLASS_DAWID_SKENE_H_

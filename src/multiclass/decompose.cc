@@ -1,0 +1,38 @@
+#include "multiclass/decompose.h"
+
+namespace jury::mc {
+
+Result<std::vector<BinaryProjection>> DecomposeToBinary(const McJury& jury,
+                                                        const McPrior& prior) {
+  JURY_RETURN_NOT_OK(jury.Validate());
+  if (jury.empty()) {
+    return Status::InvalidArgument("DecomposeToBinary needs a non-empty jury");
+  }
+  const std::size_t labels = jury.num_labels();
+  JURY_RETURN_NOT_OK(ValidateMcPrior(prior, labels));
+
+  std::vector<BinaryProjection> out;
+  out.reserve(labels);
+  for (std::size_t k = 0; k < labels; ++k) {
+    BinaryProjection projection;
+    projection.label = k;
+    projection.alpha = prior[k];
+    projection.workers.reserve(jury.size());
+    for (const McWorker& w : jury.workers()) {
+      // Marginal Pr(v_b = t_b): correct when the truth is k and the worker
+      // votes k, or when the truth is j != k and the worker votes anything
+      // but k.
+      double quality = prior[k] * w.confusion(k, k);
+      for (std::size_t j = 0; j < labels; ++j) {
+        if (j == k) continue;
+        quality += prior[j] * (1.0 - w.confusion(j, k));
+      }
+      projection.workers.emplace_back(w.id + "#" + std::to_string(k), quality,
+                                      w.cost);
+    }
+    out.push_back(std::move(projection));
+  }
+  return out;
+}
+
+}  // namespace jury::mc

@@ -1,0 +1,32 @@
+#ifndef JURYOPT_MULTICLASS_DECOMPOSE_H_
+#define JURYOPT_MULTICLASS_DECOMPOSE_H_
+
+#include <vector>
+
+#include "model/worker.h"
+#include "multiclass/model.h"
+#include "util/result.h"
+
+namespace jury::mc {
+
+/// \brief One binary sub-task produced by the CrowdScreen-style [30]
+/// decomposition (§7 footnote): "is the answer label k?" The binary frame
+/// encodes "yes, it is k" as 0, so the binary prior alpha = Pr(t = k).
+struct BinaryProjection {
+  std::size_t label = 0;
+  /// Binary prior Pr(t_b = 0) = Pr(t = label).
+  double alpha = 0.5;
+  /// One binary worker per jury member; quality is the marginal probability
+  /// of voting "k iff the truth is k" under the multi-class prior (the
+  /// scalar worker model cannot express per-truth asymmetry, so this is the
+  /// standard marginal projection — documented approximation).
+  std::vector<Worker> workers;
+};
+
+/// Decomposes an l-label task over `jury` into l binary decision tasks.
+Result<std::vector<BinaryProjection>> DecomposeToBinary(const McJury& jury,
+                                                        const McPrior& prior);
+
+}  // namespace jury::mc
+
+#endif  // JURYOPT_MULTICLASS_DECOMPOSE_H_

@@ -1,0 +1,149 @@
+#include "multiclass/jq_bucket.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "model/worker.h"
+#include "util/check.h"
+
+namespace jury::mc {
+namespace {
+
+using Key = std::vector<std::int32_t>;
+
+struct KeyHash {
+  std::size_t operator()(const Key& key) const {
+    // FNV-1a over the raw words.
+    std::uint64_t h = 1469598103934665603ull;
+    for (std::int32_t v : key) {
+      h ^= static_cast<std::uint32_t>(v);
+      h *= 1099511628211ull;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+using KeyMap = std::unordered_map<Key, double, KeyHash>;
+
+double SafeLog(double x) { return std::log(jury::EffectiveQuality(x)); }
+
+}  // namespace
+
+Result<double> EstimateMcJq(const McJury& jury, const McPrior& prior,
+                            const McBucketOptions& options,
+                            McBucketStats* stats) {
+  JURY_RETURN_NOT_OK(jury.Validate());
+  if (jury.empty()) {
+    return Status::InvalidArgument("EstimateMcJq requires a non-empty jury");
+  }
+  if (options.num_buckets <= 0) {
+    return Status::InvalidArgument("num_buckets must be positive");
+  }
+  const std::size_t labels = jury.num_labels();
+  JURY_RETURN_NOT_OK(ValidateMcPrior(prior, labels));
+  const std::size_t n = jury.size();
+  if (stats != nullptr) *stats = McBucketStats{};
+
+  // Global bucket width: the largest |log-ratio| any single vote or the
+  // prior can contribute, split into num_buckets intervals.
+  double upper = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const ConfusionMatrix& cm = jury.worker(i).confusion;
+    for (std::size_t a = 0; a < labels; ++a) {
+      for (std::size_t b = 0; b < labels; ++b) {
+        for (std::size_t v = 0; v < labels; ++v) {
+          upper = std::max(upper, std::fabs(SafeLog(cm(a, v)) -
+                                            SafeLog(cm(b, v))));
+        }
+      }
+    }
+  }
+  for (std::size_t a = 0; a < labels; ++a) {
+    for (std::size_t b = 0; b < labels; ++b) {
+      upper = std::max(upper,
+                       std::fabs(SafeLog(prior[a]) - SafeLog(prior[b])));
+    }
+  }
+  if (upper <= 0.0) {
+    // All workers are exact spammers and the prior is uniform: BV always
+    // returns label 0, so JQ = prior[0].
+    return prior[0];
+  }
+  const double delta = upper / static_cast<double>(options.num_buckets);
+  if (stats != nullptr) stats->delta = delta;
+
+  auto bucketize = [delta](double x) {
+    return static_cast<std::int32_t>(std::llround(x / delta));
+  };
+
+  double jq = 0.0;
+  for (std::size_t target = 0; target < labels; ++target) {
+    // Ratio slots: one per label j != target, in increasing-j order.
+    std::vector<std::size_t> others;
+    for (std::size_t j = 0; j < labels; ++j) {
+      if (j != target) others.push_back(j);
+    }
+
+    // Base key from the prior ratios.
+    Key base(others.size());
+    for (std::size_t s = 0; s < others.size(); ++s) {
+      base[s] = bucketize(SafeLog(prior[target]) - SafeLog(prior[others[s]]));
+    }
+
+    KeyMap current;
+    current.emplace(std::move(base), 1.0);
+
+    for (std::size_t i = 0; i < n; ++i) {
+      const ConfusionMatrix& cm = jury.worker(i).confusion;
+      // Pre-bucket this worker's increments per possible vote.
+      std::vector<Key> increments(labels, Key(others.size()));
+      std::vector<double> vote_prob(labels);
+      for (std::size_t v = 0; v < labels; ++v) {
+        vote_prob[v] = cm(target, v);
+        for (std::size_t s = 0; s < others.size(); ++s) {
+          increments[v][s] =
+              bucketize(SafeLog(cm(target, v)) - SafeLog(cm(others[s], v)));
+        }
+      }
+
+      KeyMap next;
+      next.reserve(current.size() * labels);
+      for (const auto& [key, prob] : current) {
+        for (std::size_t v = 0; v < labels; ++v) {
+          if (vote_prob[v] <= 0.0) continue;
+          Key advanced = key;
+          for (std::size_t s = 0; s < others.size(); ++s) {
+            advanced[s] += increments[v][s];
+          }
+          next[std::move(advanced)] += prob * vote_prob[v];
+        }
+      }
+      current.swap(next);
+      if (stats != nullptr) {
+        stats->max_keys = std::max(stats->max_keys, current.size());
+      }
+    }
+
+    // H(target): keys where the target beats every smaller label strictly
+    // and every larger label at least ties (argmax tie-break).
+    double h = 0.0;
+    for (const auto& [key, prob] : current) {
+      bool wins = true;
+      for (std::size_t s = 0; s < others.size() && wins; ++s) {
+        if (others[s] < target) {
+          wins = key[s] > 0;
+        } else {
+          wins = key[s] >= 0;
+        }
+      }
+      if (wins) h += prob;
+    }
+    jq += prior[target] * h;
+  }
+  return std::min(jq, 1.0);
+}
+
+}  // namespace jury::mc

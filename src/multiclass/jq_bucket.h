@@ -1,0 +1,40 @@
+#ifndef JURYOPT_MULTICLASS_JQ_BUCKET_H_
+#define JURYOPT_MULTICLASS_JQ_BUCKET_H_
+
+#include "multiclass/model.h"
+#include "util/result.h"
+
+namespace jury::mc {
+
+/// \brief Tuning for the §7 tuple-key JQ approximation.
+struct McBucketOptions {
+  /// Buckets covering [0, max |log-ratio increment|]; the multi-class
+  /// analogue of Algorithm 1's numBuckets.
+  int num_buckets = 64;
+};
+
+/// \brief Instrumentation filled in by `EstimateMcJq`.
+struct McBucketStats {
+  double delta = 0.0;
+  /// Largest key-map size seen across all per-class passes.
+  std::size_t max_keys = 0;
+};
+
+/// \brief Approximate multi-class JQ(J, BV, prior), the §7 extension of
+/// Algorithm 1.
+///
+/// For each candidate truth t', one pass computes
+/// `H(t') = sum_{V : BV(V)=t'} Pr(V | t=t')` using a map whose key is the
+/// (l-1)-tuple of bucketed log-posterior ratios
+/// `ln( alpha_{t'} Pr(V|t') / (alpha_j Pr(V|j)) )` for j != t'.
+/// `BV(V) = t'` iff every ratio against a smaller label is > 0 and every
+/// ratio against a larger label is >= 0 (the argmax tie-break towards the
+/// smallest label). Each worker's vote adds a per-(vote, j) bucketed
+/// increment, so keys stay bounded. Finally JQ = sum_t' alpha_{t'} H(t').
+Result<double> EstimateMcJq(const McJury& jury, const McPrior& prior,
+                            const McBucketOptions& options = {},
+                            McBucketStats* stats = nullptr);
+
+}  // namespace jury::mc
+
+#endif  // JURYOPT_MULTICLASS_JQ_BUCKET_H_

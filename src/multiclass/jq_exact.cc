@@ -1,0 +1,50 @@
+#include "multiclass/jq_exact.h"
+
+#include "multiclass/bv.h"
+
+namespace jury::mc {
+
+Result<double> ExactMcJq(const McJury& jury, const McPrior& prior) {
+  JURY_RETURN_NOT_OK(jury.Validate());
+  if (jury.empty()) {
+    return Status::InvalidArgument("ExactMcJq requires a non-empty jury");
+  }
+  const std::size_t labels = jury.num_labels();
+  JURY_RETURN_NOT_OK(ValidateMcPrior(prior, labels));
+  const std::size_t n = jury.size();
+
+  // Guard l^n.
+  double combos = 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    combos *= static_cast<double>(labels);
+    if (combos > static_cast<double>(kMaxExactMcEnumeration)) {
+      return Status::OutOfRange("ExactMcJq enumeration too large");
+    }
+  }
+
+  McVotes votes(n, 0);
+  double jq = 0.0;
+  for (;;) {
+    JURY_ASSIGN_OR_RETURN(std::size_t decided,
+                          McBayesianDecide(jury, votes, prior));
+    // Pr(V | t = decided) weighted by the prior of the decided label is the
+    // only term this voting contributes (1{BV(V)=t} kills the others).
+    double p = prior[decided];
+    for (std::size_t i = 0; i < n; ++i) {
+      p *= jury.worker(i).confusion(decided, votes[i]);
+    }
+    jq += p;
+
+    // Odometer increment over {0,...,l-1}^n.
+    std::size_t pos = 0;
+    while (pos < n) {
+      if (++votes[pos] < labels) break;
+      votes[pos] = 0;
+      ++pos;
+    }
+    if (pos == n) break;
+  }
+  return jq;
+}
+
+}  // namespace jury::mc

@@ -1,0 +1,21 @@
+#ifndef JURYOPT_MULTICLASS_JQ_EXACT_H_
+#define JURYOPT_MULTICLASS_JQ_EXACT_H_
+
+#include "multiclass/model.h"
+#include "util/result.h"
+
+namespace jury::mc {
+
+/// Cap on l^n vote combinations enumerated by `ExactMcJq`.
+inline constexpr std::size_t kMaxExactMcEnumeration = 1u << 22;
+
+/// \brief Exact multi-class jury quality (Eq. 9) by enumerating all l^n
+/// votings:
+///   JQ = sum_{t} alpha_t * sum_V Pr(V | t) * 1{BV(V) = t}.
+/// Guarded by `kMaxExactMcEnumeration`; ground truth for the bucketed
+/// approximation's tests.
+Result<double> ExactMcJq(const McJury& jury, const McPrior& prior);
+
+}  // namespace jury::mc
+
+#endif  // JURYOPT_MULTICLASS_JQ_EXACT_H_

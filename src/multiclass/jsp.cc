@@ -1,0 +1,176 @@
+#include "multiclass/jsp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace jury::mc {
+namespace {
+
+/// JQ of the empty jury: the best the prior alone can do.
+double EmptyMcJq(const McPrior& prior) {
+  double best = 0.0;
+  for (double p : prior) best = std::max(best, p);
+  return best;
+}
+
+McJury BuildJury(const McJspInstance& instance,
+                 const std::vector<std::size_t>& selected,
+                 std::size_t skip = static_cast<std::size_t>(-1),
+                 std::size_t extra = static_cast<std::size_t>(-1)) {
+  McJury jury;
+  for (std::size_t idx : selected) {
+    if (idx != skip) jury.Add(instance.candidates[idx]);
+  }
+  if (extra != static_cast<std::size_t>(-1)) {
+    jury.Add(instance.candidates[extra]);
+  }
+  return jury;
+}
+
+double EvaluateJq(const McJspInstance& instance, const McJury& jury,
+                  const McBucketOptions& bucket) {
+  if (jury.empty()) return EmptyMcJq(instance.prior);
+  return EstimateMcJq(jury, instance.prior, bucket).value();
+}
+
+McJspSolution Finish(const McJspInstance& instance,
+                     std::vector<std::size_t> selected, double jq) {
+  std::sort(selected.begin(), selected.end());
+  McJspSolution out;
+  out.jq = jq;
+  out.cost = 0.0;
+  for (std::size_t idx : selected) out.cost += instance.candidates[idx].cost;
+  out.selected = std::move(selected);
+  return out;
+}
+
+}  // namespace
+
+Status McJspInstance::Validate() const {
+  if (!(budget >= 0.0)) {
+    return Status::InvalidArgument("budget must be non-negative");
+  }
+  std::size_t labels = prior.size();
+  if (labels < 2) return Status::InvalidArgument("prior needs >= 2 labels");
+  JURY_RETURN_NOT_OK(ValidateMcPrior(prior, labels));
+  for (const McWorker& w : candidates) {
+    JURY_RETURN_NOT_OK(w.confusion.Validate());
+    if (w.confusion.num_labels() != labels) {
+      return Status::InvalidArgument("candidate label count != prior size");
+    }
+    if (!(w.cost >= 0.0)) {
+      return Status::InvalidArgument("negative candidate cost");
+    }
+  }
+  return Status::OK();
+}
+
+Result<McJspSolution> SolveMcAnnealing(const McJspInstance& instance, Rng* rng,
+                                       const McAnnealingOptions& options) {
+  JURY_RETURN_NOT_OK(instance.Validate());
+  if (rng == nullptr) {
+    return Status::InvalidArgument("SolveMcAnnealing requires an Rng");
+  }
+  const std::size_t n = instance.candidates.size();
+  if (n == 0) return Finish(instance, {}, EmptyMcJq(instance.prior));
+
+  std::vector<bool> in_jury(n, false);
+  std::vector<std::size_t> members;
+  double cost = 0.0;
+  double current_jq = EmptyMcJq(instance.prior);
+
+  for (double temperature = options.initial_temperature;
+       temperature >= options.epsilon;
+       temperature *= options.cooling_factor) {
+    for (std::size_t step = 0; step < n; ++step) {
+      const std::size_t r = static_cast<std::size_t>(rng->UniformInt(n));
+      if (!in_jury[r] &&
+          cost + instance.candidates[r].cost <= instance.budget) {
+        // Lemma 1 (extended in §7): adding a worker never hurts BV.
+        members.push_back(r);
+        in_jury[r] = true;
+        cost += instance.candidates[r].cost;
+        current_jq = EvaluateJq(instance, BuildJury(instance, members),
+                                options.bucket);
+        continue;
+      }
+      // Swap move (Algorithm 4 analogue).
+      std::size_t out_idx;
+      std::size_t in_idx;
+      if (!in_jury[r]) {
+        if (members.empty()) continue;
+        out_idx = members[static_cast<std::size_t>(
+            rng->UniformInt(members.size()))];
+        in_idx = r;
+      } else {
+        const std::size_t complement = n - members.size();
+        if (complement == 0) continue;
+        std::size_t target =
+            static_cast<std::size_t>(rng->UniformInt(complement));
+        in_idx = n;  // sentinel
+        for (std::size_t i = 0; i < n; ++i) {
+          if (!in_jury[i]) {
+            if (target == 0) {
+              in_idx = i;
+              break;
+            }
+            --target;
+          }
+        }
+        JURY_CHECK_LT(in_idx, n);
+        out_idx = r;
+      }
+      const double new_cost = cost - instance.candidates[out_idx].cost +
+                              instance.candidates[in_idx].cost;
+      if (new_cost > instance.budget) continue;
+      const double new_jq = EvaluateJq(
+          instance, BuildJury(instance, members, out_idx, in_idx),
+          options.bucket);
+      const double delta = new_jq - current_jq;
+      if (delta >= 0.0 || rng->Uniform() <= std::exp(delta / temperature)) {
+        auto it = std::find(members.begin(), members.end(), out_idx);
+        *it = in_idx;
+        in_jury[out_idx] = false;
+        in_jury[in_idx] = true;
+        cost = new_cost;
+        current_jq = new_jq;
+      }
+    }
+  }
+  return Finish(instance, members, current_jq);
+}
+
+Result<McJspSolution> SolveMcExhaustive(const McJspInstance& instance,
+                                        const McBucketOptions& bucket,
+                                        std::size_t max_candidates) {
+  JURY_RETURN_NOT_OK(instance.Validate());
+  const std::size_t n = instance.candidates.size();
+  if (n > max_candidates) {
+    return Status::OutOfRange("exhaustive multi-class JSP guarded to N <= " +
+                              std::to_string(max_candidates));
+  }
+  McJspSolution best = Finish(instance, {}, EmptyMcJq(instance.prior));
+  const std::uint64_t total = 1ull << n;
+  for (std::uint64_t mask = 1; mask < total; ++mask) {
+    std::vector<std::size_t> selected;
+    double cost = 0.0;
+    bool feasible = true;
+    for (std::size_t i = 0; i < n && feasible; ++i) {
+      if ((mask >> i) & 1u) {
+        selected.push_back(i);
+        cost += instance.candidates[i].cost;
+        if (cost > instance.budget) feasible = false;
+      }
+    }
+    if (!feasible) continue;
+    const double jq =
+        EvaluateJq(instance, BuildJury(instance, selected), bucket);
+    if (jq > best.jq) best = Finish(instance, std::move(selected), jq);
+  }
+  return best;
+}
+
+}  // namespace jury::mc

@@ -1,0 +1,63 @@
+#include "multiclass/model.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace jury::mc {
+
+Status ValidateMcPrior(const McPrior& prior, std::size_t num_labels) {
+  if (prior.size() != num_labels) {
+    return Status::InvalidArgument("prior size != num_labels");
+  }
+  double sum = 0.0;
+  for (double p : prior) {
+    if (!(p >= 0.0 && p <= 1.0)) {
+      return Status::InvalidArgument("prior entry outside [0,1]");
+    }
+    sum += p;
+  }
+  if (std::fabs(sum - 1.0) > 1e-9) {
+    return Status::InvalidArgument("prior does not sum to 1");
+  }
+  return Status::OK();
+}
+
+McPrior UniformMcPrior(std::size_t num_labels) {
+  JURY_CHECK_GE(num_labels, 2u);
+  return McPrior(num_labels, 1.0 / static_cast<double>(num_labels));
+}
+
+const McWorker& McJury::worker(std::size_t i) const {
+  JURY_CHECK_LT(i, workers_.size());
+  return workers_[i];
+}
+
+double McJury::TotalCost() const {
+  double acc = 0.0;
+  for (const McWorker& w : workers_) acc += w.cost;
+  return acc;
+}
+
+std::size_t McJury::num_labels() const {
+  JURY_CHECK(!workers_.empty());
+  return workers_.front().confusion.num_labels();
+}
+
+Status McJury::Validate() const {
+  std::size_t labels = 0;
+  for (const McWorker& w : workers_) {
+    JURY_RETURN_NOT_OK(w.confusion.Validate());
+    if (!(w.cost >= 0.0)) {
+      return Status::InvalidArgument("worker '" + w.id + "' negative cost");
+    }
+    if (labels == 0) {
+      labels = w.confusion.num_labels();
+    } else if (labels != w.confusion.num_labels()) {
+      return Status::InvalidArgument("jury mixes label counts");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace jury::mc

@@ -1,0 +1,67 @@
+#ifndef JURYOPT_MULTICLASS_MODEL_H_
+#define JURYOPT_MULTICLASS_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "multiclass/confusion.h"
+#include "util/status.h"
+
+namespace jury::mc {
+
+/// \brief A multiple-choice vote vector: one label in {0, ..., l-1} per
+/// juror.
+using McVotes = std::vector<std::size_t>;
+
+/// \brief Task-provider prior over l labels (§7):
+/// `prior[j] = Pr(t = j)`, summing to 1.
+using McPrior = std::vector<double>;
+
+/// Validates a prior over `num_labels` labels.
+Status ValidateMcPrior(const McPrior& prior, std::size_t num_labels);
+
+/// The uniform (uninformative) prior over `num_labels` labels.
+McPrior UniformMcPrior(std::size_t num_labels);
+
+/// \brief A worker under the confusion-matrix model [18]: the §2.1 scalar
+/// quality generalizes to a full l x l matrix plus a cost.
+struct McWorker {
+  std::string id;
+  ConfusionMatrix confusion;
+  double cost = 0.0;
+
+  McWorker() = default;
+  McWorker(std::string id_in, ConfusionMatrix confusion_in, double cost_in)
+      : id(std::move(id_in)),
+        confusion(std::move(confusion_in)),
+        cost(cost_in) {}
+};
+
+/// \brief A multi-class jury. All members must share one label count.
+class McJury {
+ public:
+  McJury() = default;
+  explicit McJury(std::vector<McWorker> workers)
+      : workers_(std::move(workers)) {}
+
+  std::size_t size() const { return workers_.size(); }
+  bool empty() const { return workers_.empty(); }
+  const std::vector<McWorker>& workers() const { return workers_; }
+  const McWorker& worker(std::size_t i) const;
+  void Add(McWorker worker) { workers_.push_back(std::move(worker)); }
+
+  double TotalCost() const;
+  /// Label count shared by all members (jury must be non-empty).
+  std::size_t num_labels() const;
+
+  /// Checks non-emptiness is NOT required; validates each matrix and the
+  /// label-count agreement.
+  Status Validate() const;
+
+ private:
+  std::vector<McWorker> workers_;
+};
+
+}  // namespace jury::mc
+
+#endif  // JURYOPT_MULTICLASS_MODEL_H_

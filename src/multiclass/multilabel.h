@@ -1,0 +1,48 @@
+#ifndef JURYOPT_MULTICLASS_MULTILABEL_H_
+#define JURYOPT_MULTICLASS_MULTILABEL_H_
+
+#include <vector>
+
+#include "core/optjs.h"
+#include "multiclass/decompose.h"
+#include "multiclass/model.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace jury::mc {
+
+/// \brief Selection plan for one label's binary sub-task.
+struct LabelSelection {
+  std::size_t label = 0;
+  /// The binary projection this plan was solved against.
+  BinaryProjection projection;
+  /// Indices into the ORIGINAL multi-class candidate pool.
+  std::vector<std::size_t> selected;
+  double jq = 0.0;
+  double cost = 0.0;
+};
+
+/// \brief A full multi-label plan: one jury per label plus totals.
+struct MultiLabelPlan {
+  std::vector<LabelSelection> selections;
+  double total_cost = 0.0;
+  /// Mean predicted binary JQ across labels (a coarse plan-quality score).
+  double mean_jq = 0.0;
+};
+
+/// \brief Plans jury selection for a task that may carry multiple true
+/// labels, via the §7-footnote decomposition [30]: the l-label task becomes
+/// l binary decision tasks ("is label k present?"), each solved as an
+/// independent binary JSP under `budget_per_label` using the workers'
+/// marginal binary projections (`DecomposeToBinary`).
+///
+/// The same physical worker may serve several labels; `total_cost` counts
+/// each engagement separately (one vote bought per label asked), matching
+/// the publish-l-tasks protocol the paper describes.
+Result<MultiLabelPlan> PlanMultiLabelSelection(
+    const McJury& candidates, const McPrior& prior, double budget_per_label,
+    Rng* rng, const OptjsOptions& options = {});
+
+}  // namespace jury::mc
+
+#endif  // JURYOPT_MULTICLASS_MULTILABEL_H_

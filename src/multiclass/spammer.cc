@@ -1,0 +1,43 @@
+#include "multiclass/spammer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace jury::mc {
+
+Result<double> SpammerScore(const ConfusionMatrix& confusion) {
+  JURY_RETURN_NOT_OK(confusion.Validate());
+  const std::size_t l = confusion.num_labels();
+  double acc = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t a = 0; a < l; ++a) {
+    for (std::size_t b = a + 1; b < l; ++b) {
+      double l1 = 0.0;
+      for (std::size_t v = 0; v < l; ++v) {
+        l1 += std::fabs(confusion(a, v) - confusion(b, v));
+      }
+      acc += l1 / 2.0;  // total-variation distance between the two rows
+      ++pairs;
+    }
+  }
+  return acc / static_cast<double>(pairs);
+}
+
+Result<std::vector<std::size_t>> RankWorkersByInformativeness(
+    const McJury& jury) {
+  JURY_RETURN_NOT_OK(jury.Validate());
+  std::vector<double> scores(jury.size());
+  for (std::size_t i = 0; i < jury.size(); ++i) {
+    JURY_ASSIGN_OR_RETURN(scores[i], SpammerScore(jury.worker(i).confusion));
+  }
+  std::vector<std::size_t> order(jury.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return scores[a] > scores[b];
+                   });
+  return order;
+}
+
+}  // namespace jury::mc

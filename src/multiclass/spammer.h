@@ -1,0 +1,30 @@
+#ifndef JURYOPT_MULTICLASS_SPAMMER_H_
+#define JURYOPT_MULTICLASS_SPAMMER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "multiclass/model.h"
+#include "util/result.h"
+
+namespace jury::mc {
+
+/// \brief Raykar–Yu-style spammer score [34] (§7 "what kind of confusion
+/// matrix contributes more"): a worker is a spammer when their vote
+/// distribution does not depend on the truth, i.e. all confusion rows are
+/// identical. The score is the mean pairwise L1 distance between rows,
+/// halved and averaged over the l(l-1)/2 pairs, landing in [0, 1]:
+///   * 0   for `UniformSpammer` (and any rank-1 matrix);
+///   * 1   for a permutation matrix (e.g. `Identity`);
+///   * |2q - 1| for the binary symmetric worker — exactly Raykar–Yu's
+///     |sensitivity + specificity - 1|.
+Result<double> SpammerScore(const ConfusionMatrix& confusion);
+
+/// Ranks jury members by decreasing informativeness (spammer score);
+/// returns indices into the jury.
+Result<std::vector<std::size_t>> RankWorkersByInformativeness(
+    const McJury& jury);
+
+}  // namespace jury::mc
+
+#endif  // JURYOPT_MULTICLASS_SPAMMER_H_

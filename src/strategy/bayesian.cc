@@ -1,0 +1,26 @@
+#include "strategy/bayesian.h"
+
+#include "model/worker.h"
+#include "util/check.h"
+#include "util/math.h"
+
+namespace jury {
+
+double BayesianVoting::DecisionStatistic(const Jury& jury, const Votes& votes,
+                                         double alpha) {
+  JURY_CHECK_EQ(votes.size(), jury.size());
+  double stat = LogOdds(EffectiveQuality(alpha));
+  for (std::size_t i = 0; i < votes.size(); ++i) {
+    const double phi = LogOdds(EffectiveQuality(jury.worker(i).quality));
+    stat += (votes[i] == 0 ? phi : -phi);
+  }
+  return stat;
+}
+
+double BayesianVoting::ProbZero(const Jury& jury, const Votes& votes,
+                                double alpha) const {
+  JURY_CHECK(!votes.empty());
+  return DecisionStatistic(jury, votes, alpha) >= 0.0 ? 1.0 : 0.0;
+}
+
+}  // namespace jury

@@ -1,0 +1,38 @@
+#ifndef JURYOPT_STRATEGY_BAYESIAN_H_
+#define JURYOPT_STRATEGY_BAYESIAN_H_
+
+#include "strategy/voting_strategy.h"
+
+namespace jury {
+
+/// \brief Bayesian Voting (BV), Definition 4 / Theorem 1: returns the answer
+/// with the larger (prior-weighted) likelihood, breaking the exact tie
+/// `P0(V) = P1(V)` in favour of 0, as Theorem 1 prescribes:
+///
+///   S*(V) = 1  iff  alpha * prod q_i^{1-v_i} (1-q_i)^{v_i}
+///                 < (1-alpha) * prod q_i^{v_i} (1-q_i)^{1-v_i}
+///
+/// Corollary 1 proves BV optimal w.r.t. JQ over all deterministic and
+/// randomized strategies; `tests/optimality_test.cc` verifies this against
+/// exhaustive strategy enumeration.
+///
+/// The comparison is evaluated in log-space, so it is well-defined for any
+/// qualities in (0, 1) — including q < 0.5, where the log-odds weight simply
+/// turns negative (equivalent to the §3.3 flip reinterpretation).
+class BayesianVoting final : public VotingStrategy {
+ public:
+  std::string name() const override { return "BV"; }
+  StrategyKind kind() const override { return StrategyKind::kDeterministic; }
+  double ProbZero(const Jury& jury, const Votes& votes,
+                  double alpha) const override;
+
+  /// The signed decision statistic
+  /// `ln(alpha/(1-alpha)) + sum_i (1 - 2 v_i) * phi(q_i)`; BV returns 0 iff
+  /// this is >= 0. Exposed for the JQ machinery (R(V) of §4.2 plus prior).
+  static double DecisionStatistic(const Jury& jury, const Votes& votes,
+                                  double alpha);
+};
+
+}  // namespace jury
+
+#endif  // JURYOPT_STRATEGY_BAYESIAN_H_

@@ -1,0 +1,15 @@
+#include "strategy/half_voting.h"
+
+#include "util/check.h"
+
+namespace jury {
+
+double HalfVoting::ProbZero(const Jury& jury, const Votes& votes,
+                            double /*alpha*/) const {
+  JURY_CHECK_EQ(votes.size(), jury.size());
+  JURY_CHECK(!votes.empty());
+  const int n = static_cast<int>(votes.size());
+  return (2 * CountZeros(votes) >= n) ? 1.0 : 0.0;
+}
+
+}  // namespace jury

@@ -1,0 +1,22 @@
+#ifndef JURYOPT_STRATEGY_HALF_VOTING_H_
+#define JURYOPT_STRATEGY_HALF_VOTING_H_
+
+#include "strategy/voting_strategy.h"
+
+namespace jury {
+
+/// \brief Half Voting [28]: returns 0 when at least half of the votes are 0
+/// (`2 * zeros >= n`). It differs from MV only on even-size ties, which MV
+/// resolves to 1 and Half Voting resolves to 0; on odd juries the two
+/// coincide (a property the tests pin down).
+class HalfVoting final : public VotingStrategy {
+ public:
+  std::string name() const override { return "HALF"; }
+  StrategyKind kind() const override { return StrategyKind::kDeterministic; }
+  double ProbZero(const Jury& jury, const Votes& votes,
+                  double alpha) const override;
+};
+
+}  // namespace jury
+
+#endif  // JURYOPT_STRATEGY_HALF_VOTING_H_

@@ -1,0 +1,16 @@
+#include "strategy/majority.h"
+
+#include "util/check.h"
+
+namespace jury {
+
+double MajorityVoting::ProbZero(const Jury& jury, const Votes& votes,
+                                double /*alpha*/) const {
+  JURY_CHECK_EQ(votes.size(), jury.size());
+  JURY_CHECK(!votes.empty());
+  const int n = static_cast<int>(votes.size());
+  // zeros >= (n+1)/2 over the reals <=> 2*zeros >= n+1 over the integers.
+  return (2 * CountZeros(votes) >= n + 1) ? 1.0 : 0.0;
+}
+
+}  // namespace jury

@@ -1,0 +1,22 @@
+#ifndef JURYOPT_STRATEGY_MAJORITY_H_
+#define JURYOPT_STRATEGY_MAJORITY_H_
+
+#include "strategy/voting_strategy.h"
+
+namespace jury {
+
+/// \brief Majority Voting (MV), Example 1: returns 0 iff
+/// `sum_i (1 - v_i) >= (n+1)/2`, i.e. at least `floor(n/2) + 1` zero-votes;
+/// even-size ties therefore resolve to 1, exactly as in the paper's
+/// definition. Ignores both worker qualities and the prior.
+class MajorityVoting final : public VotingStrategy {
+ public:
+  std::string name() const override { return "MV"; }
+  StrategyKind kind() const override { return StrategyKind::kDeterministic; }
+  double ProbZero(const Jury& jury, const Votes& votes,
+                  double alpha) const override;
+};
+
+}  // namespace jury
+
+#endif  // JURYOPT_STRATEGY_MAJORITY_H_

@@ -1,0 +1,13 @@
+#include "strategy/random_ballot.h"
+
+#include "util/check.h"
+
+namespace jury {
+
+double RandomBallotVoting::ProbZero(const Jury& jury, const Votes& votes,
+                                    double /*alpha*/) const {
+  JURY_CHECK_EQ(votes.size(), jury.size());
+  return 0.5;
+}
+
+}  // namespace jury

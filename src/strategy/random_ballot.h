@@ -1,0 +1,21 @@
+#ifndef JURYOPT_STRATEGY_RANDOM_BALLOT_H_
+#define JURYOPT_STRATEGY_RANDOM_BALLOT_H_
+
+#include "strategy/voting_strategy.h"
+
+namespace jury {
+
+/// \brief Random Ballot Voting (RBV) [33]: ignores the votes entirely and
+/// returns 0 or 1 uniformly at random; its JQ is exactly 0.5 for an
+/// uninformative prior (the flat line in Fig. 8).
+class RandomBallotVoting final : public VotingStrategy {
+ public:
+  std::string name() const override { return "RBV"; }
+  StrategyKind kind() const override { return StrategyKind::kRandomized; }
+  double ProbZero(const Jury& jury, const Votes& votes,
+                  double alpha) const override;
+};
+
+}  // namespace jury
+
+#endif  // JURYOPT_STRATEGY_RANDOM_BALLOT_H_

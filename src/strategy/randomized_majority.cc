@@ -1,0 +1,15 @@
+#include "strategy/randomized_majority.h"
+
+#include "util/check.h"
+
+namespace jury {
+
+double RandomizedMajorityVoting::ProbZero(const Jury& jury, const Votes& votes,
+                                          double /*alpha*/) const {
+  JURY_CHECK_EQ(votes.size(), jury.size());
+  JURY_CHECK(!votes.empty());
+  return static_cast<double>(CountZeros(votes)) /
+         static_cast<double>(votes.size());
+}
+
+}  // namespace jury

@@ -1,0 +1,22 @@
+#ifndef JURYOPT_STRATEGY_RANDOMIZED_MAJORITY_H_
+#define JURYOPT_STRATEGY_RANDOMIZED_MAJORITY_H_
+
+#include "strategy/voting_strategy.h"
+
+namespace jury {
+
+/// \brief Randomized Majority Voting (RMV), Example 1: returns 0 with
+/// probability proportional to the number of 0-votes,
+/// `p = (1/n) * sum_i (1 - v_i)`. Its JQ admits the closed form
+/// `JQ(J, RMV, alpha) = mean(q_i)` for any alpha (verified in tests).
+class RandomizedMajorityVoting final : public VotingStrategy {
+ public:
+  std::string name() const override { return "RMV"; }
+  StrategyKind kind() const override { return StrategyKind::kRandomized; }
+  double ProbZero(const Jury& jury, const Votes& votes,
+                  double alpha) const override;
+};
+
+}  // namespace jury
+
+#endif  // JURYOPT_STRATEGY_RANDOMIZED_MAJORITY_H_

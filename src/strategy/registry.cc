@@ -1,0 +1,47 @@
+#include "strategy/registry.h"
+
+#include "strategy/bayesian.h"
+#include "strategy/half_voting.h"
+#include "strategy/majority.h"
+#include "strategy/random_ballot.h"
+#include "strategy/randomized_majority.h"
+#include "strategy/triadic.h"
+#include "strategy/weighted_majority.h"
+
+namespace jury {
+
+Result<std::unique_ptr<VotingStrategy>> MakeStrategy(const std::string& name) {
+  std::unique_ptr<VotingStrategy> out;
+  if (name == "MV") {
+    out = std::make_unique<MajorityVoting>();
+  } else if (name == "BV") {
+    out = std::make_unique<BayesianVoting>();
+  } else if (name == "RMV") {
+    out = std::make_unique<RandomizedMajorityVoting>();
+  } else if (name == "RBV") {
+    out = std::make_unique<RandomBallotVoting>();
+  } else if (name == "WMV") {
+    out = std::make_unique<WeightedMajorityVoting>();
+  } else if (name == "HALF") {
+    out = std::make_unique<HalfVoting>();
+  } else if (name == "TRIADIC") {
+    out = std::make_unique<TriadicConsensus>();
+  } else {
+    return Status::NotFound("unknown voting strategy: " + name);
+  }
+  return out;
+}
+
+std::vector<std::string> BuiltinStrategyNames() {
+  return {"MV", "HALF", "WMV", "BV", "RMV", "RBV", "TRIADIC"};
+}
+
+std::vector<std::unique_ptr<VotingStrategy>> MakeAllStrategies() {
+  std::vector<std::unique_ptr<VotingStrategy>> out;
+  for (const std::string& name : BuiltinStrategyNames()) {
+    out.push_back(std::move(MakeStrategy(name).value()));
+  }
+  return out;
+}
+
+}  // namespace jury

@@ -1,0 +1,25 @@
+#ifndef JURYOPT_STRATEGY_REGISTRY_H_
+#define JURYOPT_STRATEGY_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "strategy/voting_strategy.h"
+#include "util/result.h"
+
+namespace jury {
+
+/// Instantiates a built-in voting strategy by its stable name
+/// ("MV", "BV", "RMV", "RBV", "WMV", "HALF"); NotFound for unknown names.
+Result<std::unique_ptr<VotingStrategy>> MakeStrategy(const std::string& name);
+
+/// Names of all built-in strategies, in Table-2 order (deterministic first).
+std::vector<std::string> BuiltinStrategyNames();
+
+/// Convenience: instantiates every built-in strategy.
+std::vector<std::unique_ptr<VotingStrategy>> MakeAllStrategies();
+
+}  // namespace jury
+
+#endif  // JURYOPT_STRATEGY_REGISTRY_H_

@@ -1,0 +1,23 @@
+#include "strategy/triadic.h"
+
+#include "util/check.h"
+#include "util/math.h"
+
+namespace jury {
+
+double TriadicConsensus::ProbZero(const Jury& jury, const Votes& votes,
+                                  double /*alpha*/) const {
+  JURY_CHECK_EQ(votes.size(), jury.size());
+  JURY_CHECK(!votes.empty());
+  const int n = static_cast<int>(votes.size());
+  const int z = CountZeros(votes);
+  if (n < 3) {
+    return static_cast<double>(z) / static_cast<double>(n);
+  }
+  const double triads_with_zero_majority =
+      BinomialCoefficient(z, 2) * BinomialCoefficient(n - z, 1) +
+      BinomialCoefficient(z, 3);
+  return triads_with_zero_majority / BinomialCoefficient(n, 3);
+}
+
+}  // namespace jury

@@ -1,0 +1,28 @@
+#ifndef JURYOPT_STRATEGY_TRIADIC_H_
+#define JURYOPT_STRATEGY_TRIADIC_H_
+
+#include "strategy/voting_strategy.h"
+
+namespace jury {
+
+/// \brief One-round Triadic Consensus (Table 2, after Goel & Lee [2]):
+/// sample a uniformly random triad of jurors and return the triad's
+/// majority. Randomized, since the result depends on the sampled triad.
+///
+/// With z zero-votes among n >= 3 jurors,
+///   Pr[S(V) = 0] = [ C(z,2)·C(n-z,1) + C(z,3) ] / C(n,3)
+/// (hypergeometric chance the triad holds >= 2 zeros). For n < 3 it
+/// degenerates to Randomized Majority Voting. Goel & Lee's full protocol
+/// iterates triads to consensus; the one-round variant keeps the closed
+/// form that exact JQ computation needs (documented simplification).
+class TriadicConsensus final : public VotingStrategy {
+ public:
+  std::string name() const override { return "TRIADIC"; }
+  StrategyKind kind() const override { return StrategyKind::kRandomized; }
+  double ProbZero(const Jury& jury, const Votes& votes,
+                  double alpha) const override;
+};
+
+}  // namespace jury
+
+#endif  // JURYOPT_STRATEGY_TRIADIC_H_

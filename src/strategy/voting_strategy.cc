@@ -1,0 +1,17 @@
+#include "strategy/voting_strategy.h"
+
+#include "util/check.h"
+
+namespace jury {
+
+int VotingStrategy::Decide(const Jury& jury, const Votes& votes, double alpha,
+                           Rng* rng) const {
+  const double p0 = ProbZero(jury, votes, alpha);
+  if (p0 >= 1.0) return 0;
+  if (p0 <= 0.0) return 1;
+  JURY_CHECK(rng != nullptr)
+      << "randomized strategy '" << name() << "' requires an Rng";
+  return rng->Bernoulli(p0) ? 0 : 1;
+}
+
+}  // namespace jury

@@ -1,0 +1,54 @@
+#ifndef JURYOPT_STRATEGY_VOTING_STRATEGY_H_
+#define JURYOPT_STRATEGY_VOTING_STRATEGY_H_
+
+#include <string>
+
+#include "model/jury.h"
+#include "model/votes.h"
+#include "util/rng.h"
+
+namespace jury {
+
+/// \brief Category of a voting strategy (§3.1, Definitions 1–2).
+enum class StrategyKind {
+  /// Returns 0 or 1 with no randomness (Definition 1).
+  kDeterministic,
+  /// Returns 0 with some probability p, 1 with 1-p (Definition 2).
+  kRandomized,
+};
+
+/// \brief A voting strategy `S(V, J, alpha)` (§3.1): estimates the latent
+/// true answer of a decision-making task from a jury's votes.
+///
+/// Both strategy classes are expressed through one primitive:
+/// `ProbZero(J, V, alpha) = Pr[S(V) = 0]`, which is `E[1_{S(V)=0}]` in the
+/// paper's JQ definition (Definition 3). Deterministic strategies return
+/// exactly 0.0 or 1.0; randomized strategies return the interior
+/// probability. This makes the generic JQ expectation a single formula for
+/// every strategy.
+class VotingStrategy {
+ public:
+  virtual ~VotingStrategy() = default;
+
+  /// Short stable identifier, e.g. "MV", "BV", "RMV", "RBV".
+  virtual std::string name() const = 0;
+
+  virtual StrategyKind kind() const = 0;
+  bool is_deterministic() const {
+    return kind() == StrategyKind::kDeterministic;
+  }
+
+  /// Pr[S(V) = 0] for votes positionally aligned with `jury`.
+  /// Requires votes.size() == jury.size() and jury non-empty.
+  virtual double ProbZero(const Jury& jury, const Votes& votes,
+                          double alpha) const = 0;
+
+  /// Draws the strategy's result (0 or 1). Deterministic strategies ignore
+  /// `rng` (it may be null for them); randomized ones require it.
+  int Decide(const Jury& jury, const Votes& votes, double alpha,
+             Rng* rng) const;
+};
+
+}  // namespace jury
+
+#endif  // JURYOPT_STRATEGY_VOTING_STRATEGY_H_

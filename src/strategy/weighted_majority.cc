@@ -1,0 +1,29 @@
+#include "strategy/weighted_majority.h"
+
+#include "model/worker.h"
+#include "util/check.h"
+#include "util/math.h"
+
+namespace jury {
+
+WeightedMajorityVoting::WeightedMajorityVoting(std::vector<double> weights)
+    : weights_(std::move(weights)) {}
+
+double WeightedMajorityVoting::ProbZero(const Jury& jury, const Votes& votes,
+                                        double /*alpha*/) const {
+  JURY_CHECK_EQ(votes.size(), jury.size());
+  JURY_CHECK(!votes.empty());
+  if (!weights_.empty()) {
+    JURY_CHECK_EQ(weights_.size(), votes.size());
+  }
+  double score = 0.0;
+  for (std::size_t i = 0; i < votes.size(); ++i) {
+    const double w = weights_.empty()
+                         ? LogOdds(EffectiveQuality(jury.worker(i).quality))
+                         : weights_[i];
+    score += (votes[i] == 0 ? w : -w);
+  }
+  return score >= 0.0 ? 1.0 : 0.0;
+}
+
+}  // namespace jury

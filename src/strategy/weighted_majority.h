@@ -1,0 +1,34 @@
+#ifndef JURYOPT_STRATEGY_WEIGHTED_MAJORITY_H_
+#define JURYOPT_STRATEGY_WEIGHTED_MAJORITY_H_
+
+#include <vector>
+
+#include "strategy/voting_strategy.h"
+
+namespace jury {
+
+/// \brief Weighted Majority Voting (WMV) [23]: each worker carries a fixed
+/// non-negative weight; the side with the larger total weight wins (ties to
+/// 0). With the log-odds weights `w_i = ln(q_i / (1-q_i))` and an
+/// uninformative prior this coincides with Bayesian Voting — a relationship
+/// exercised in tests. Unlike BV it never consults the prior.
+class WeightedMajorityVoting final : public VotingStrategy {
+ public:
+  /// Uses caller-supplied weights, positionally aligned with the jury.
+  explicit WeightedMajorityVoting(std::vector<double> weights);
+  /// Default-constructed: derives log-odds weights from jury qualities at
+  /// decision time.
+  WeightedMajorityVoting() = default;
+
+  std::string name() const override { return "WMV"; }
+  StrategyKind kind() const override { return StrategyKind::kDeterministic; }
+  double ProbZero(const Jury& jury, const Votes& votes,
+                  double alpha) const override;
+
+ private:
+  std::vector<double> weights_;  // empty => log-odds of jury qualities
+};
+
+}  // namespace jury
+
+#endif  // JURYOPT_STRATEGY_WEIGHTED_MAJORITY_H_

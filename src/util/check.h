@@ -1,0 +1,59 @@
+#ifndef JURYOPT_UTIL_CHECK_H_
+#define JURYOPT_UTIL_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace jury {
+namespace internal {
+
+/// \brief Collects a fatal-error message and aborts the process when
+/// destroyed. Used only for programming errors (violated invariants), never
+/// for anticipated runtime failures — those go through `Status`.
+class CheckFailStream {
+ public:
+  CheckFailStream(const char* file, int line, const char* expr) {
+    stream_ << "JURY_CHECK failed at " << file << ":" << line << ": " << expr
+            << " ";
+  }
+  [[noreturn]] ~CheckFailStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+struct Voidify {
+  // Both overloads are needed: a bare JURY_CHECK produces a temporary
+  // (rvalue), while a streamed one ends in the lvalue reference that
+  // operator<< returns.
+  void operator&(CheckFailStream&) {}
+  void operator&(CheckFailStream&&) {}
+};
+
+}  // namespace internal
+}  // namespace jury
+
+/// Aborts with a message when `cond` is false. Additional context may be
+/// streamed: `JURY_CHECK(n > 0) << "jury size " << n;`
+#define JURY_CHECK(cond)               \
+  (cond) ? (void)0                     \
+         : ::jury::internal::Voidify() \
+               & ::jury::internal::CheckFailStream(__FILE__, __LINE__, #cond)
+
+#define JURY_CHECK_EQ(a, b) JURY_CHECK((a) == (b))
+#define JURY_CHECK_NE(a, b) JURY_CHECK((a) != (b))
+#define JURY_CHECK_LE(a, b) JURY_CHECK((a) <= (b))
+#define JURY_CHECK_LT(a, b) JURY_CHECK((a) < (b))
+#define JURY_CHECK_GE(a, b) JURY_CHECK((a) >= (b))
+#define JURY_CHECK_GT(a, b) JURY_CHECK((a) > (b))
+
+#endif  // JURYOPT_UTIL_CHECK_H_

@@ -1,0 +1,84 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace jury {
+
+Result<std::vector<std::vector<std::string>>> ParseCsv(
+    const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string cell;
+  bool in_quotes = false;
+  bool cell_started = false;
+
+  auto end_cell = [&]() {
+    row.push_back(cell);
+    cell.clear();
+    cell_started = false;
+  };
+  auto end_row = [&]() -> Status {
+    if (row.empty() && !cell_started && cell.empty()) return Status::OK();
+    end_cell();
+    // Skip blank lines and comment lines.
+    const bool blank = row.size() == 1 && row[0].empty();
+    const bool comment = !row[0].empty() && row[0][0] == '#';
+    if (!blank && !comment) rows.push_back(row);
+    row.clear();
+    return Status::OK();
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char ch = text[i];
+    if (in_quotes) {
+      if (ch == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += ch;
+      }
+      continue;
+    }
+    switch (ch) {
+      case '"':
+        if (!cell.empty()) {
+          return Status::InvalidArgument(
+              "quote in the middle of an unquoted cell");
+        }
+        in_quotes = true;
+        cell_started = true;
+        break;
+      case ',':
+        end_cell();
+        cell_started = true;  // next cell exists even if empty
+        break;
+      case '\r':
+        break;
+      case '\n':
+        JURY_RETURN_NOT_OK(end_row());
+        break;
+      default:
+        cell += ch;
+        cell_started = true;
+    }
+  }
+  if (in_quotes) return Status::InvalidArgument("unterminated quoted cell");
+  JURY_RETURN_NOT_OK(end_row());
+  return rows;
+}
+
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseCsv(buffer.str());
+}
+
+}  // namespace jury

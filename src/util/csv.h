@@ -1,0 +1,23 @@
+#ifndef JURYOPT_UTIL_CSV_H_
+#define JURYOPT_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace jury {
+
+/// \brief Minimal RFC-4180-ish CSV reader: quoted cells, escaped quotes,
+/// comment lines starting with '#', blank lines skipped. The inverse of
+/// `Table::ToCsv`.
+Result<std::vector<std::vector<std::string>>> ParseCsv(
+    const std::string& text);
+
+/// Reads and parses a CSV file.
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path);
+
+}  // namespace jury
+
+#endif  // JURYOPT_UTIL_CSV_H_

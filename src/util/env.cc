@@ -1,0 +1,33 @@
+#include "util/env.h"
+
+#include <cstdlib>
+
+namespace jury {
+
+std::int64_t GetEnvInt(const std::string& name, std::int64_t fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || raw[0] == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(raw, &end, 10);
+  if (end == raw || *end != '\0') return fallback;
+  return static_cast<std::int64_t>(parsed);
+}
+
+double GetEnvDouble(const std::string& name, double fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || raw[0] == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(raw, &end);
+  if (end == raw || *end != '\0') return fallback;
+  return parsed;
+}
+
+bool GetEnvFlag(const std::string& name, bool fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr) return fallback;
+  const std::string v(raw);
+  if (v.empty() || v == "0" || v == "false" || v == "FALSE") return false;
+  return true;
+}
+
+}  // namespace jury

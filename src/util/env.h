@@ -1,0 +1,23 @@
+#ifndef JURYOPT_UTIL_ENV_H_
+#define JURYOPT_UTIL_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace jury {
+
+/// Reads an integer environment variable; returns `fallback` when unset or
+/// unparsable. Used by the benchmark harness for repetition scaling
+/// (`JURY_BENCH_REPS`) so the paper's 1000-repetition protocol can be dialed
+/// up or down without rebuilding.
+std::int64_t GetEnvInt(const std::string& name, std::int64_t fallback);
+
+/// Reads a double environment variable with the same fallback semantics.
+double GetEnvDouble(const std::string& name, double fallback);
+
+/// True when the variable is set to a value other than "0"/""/"false".
+bool GetEnvFlag(const std::string& name, bool fallback = false);
+
+}  // namespace jury
+
+#endif  // JURYOPT_UTIL_ENV_H_

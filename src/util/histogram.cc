@@ -1,0 +1,91 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace jury {
+
+Histogram::Histogram(double lo, double hi, std::size_t num_bins) : lo_(lo) {
+  JURY_CHECK_LT(lo, hi);
+  JURY_CHECK_GT(num_bins, 0u);
+  width_ = (hi - lo) / static_cast<double>(num_bins);
+  counts_.assign(num_bins, 0);
+}
+
+void Histogram::Add(double x) {
+  double pos = (x - lo_) / width_;
+  std::size_t bin = 0;
+  if (pos >= 0.0) {
+    bin = std::min(static_cast<std::size_t>(pos), counts_.size() - 1);
+  }
+  ++counts_[bin];
+  ++total_;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  JURY_CHECK_LT(i, counts_.size());
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const {
+  JURY_CHECK_LT(i, counts_.size());
+  return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+std::string Histogram::ToString(std::size_t bar_width) const {
+  std::size_t max_count = 0;
+  for (std::size_t c : counts_) max_count = std::max(max_count, c);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    os.setf(std::ios::fixed);
+    os.precision(6);
+    os << "[" << bin_lo(i) << ", " << bin_hi(i) << ") ";
+    const std::size_t bar =
+        max_count == 0 ? 0 : counts_[i] * bar_width / max_count;
+    for (std::size_t b = 0; b < bar; ++b) os << '#';
+    os << " " << counts_[i] << "\n";
+  }
+  return os.str();
+}
+
+RangeCounter::RangeCounter(std::vector<double> edges)
+    : edges_(std::move(edges)) {
+  JURY_CHECK_GE(edges_.size(), 2u);
+  for (std::size_t i = 1; i < edges_.size(); ++i) {
+    JURY_CHECK_LT(edges_[i - 1], edges_[i]);
+  }
+  counts_.assign(edges_.size(), 0);
+}
+
+void RangeCounter::Add(double x) {
+  ++total_;
+  if (x <= edges_[1] && x >= edges_[0]) {
+    ++counts_[0];
+    return;
+  }
+  for (std::size_t i = 1; i + 1 < edges_.size(); ++i) {
+    if (x > edges_[i] && x <= edges_[i + 1]) {
+      ++counts_[i];
+      return;
+    }
+  }
+  ++counts_.back();  // overflow bucket (also catches x below edges_[0]).
+}
+
+std::string RangeCounter::label(std::size_t i) const {
+  JURY_CHECK_LT(i, counts_.size());
+  std::ostringstream os;
+  if (i == 0) {
+    os << "[" << edges_[0] << ", " << edges_[1] << "]";
+  } else if (i + 1 < edges_.size()) {
+    os << "(" << edges_[i] << ", " << edges_[i + 1] << "]";
+  } else {
+    os << "(" << edges_.back() << ", +inf)";
+  }
+  return os.str();
+}
+
+}  // namespace jury

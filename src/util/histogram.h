@@ -1,0 +1,64 @@
+#ifndef JURYOPT_UTIL_HISTOGRAM_H_
+#define JURYOPT_UTIL_HISTOGRAM_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace jury {
+
+/// \brief Fixed-width histogram over [lo, hi), used for the error-distribution
+/// figures (Fig. 9(c)) and the error-range table (Table 3).
+class Histogram {
+ public:
+  /// Creates `num_bins` equal-width bins over [lo, hi). Requires lo < hi and
+  /// num_bins > 0. Values outside the range land in saturating edge bins.
+  Histogram(double lo, double hi, std::size_t num_bins);
+
+  void Add(double x);
+  std::size_t total() const { return total_; }
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t num_bins() const { return counts_.size(); }
+  /// Inclusive lower edge of bin i.
+  double bin_lo(std::size_t i) const;
+  /// Exclusive upper edge of bin i.
+  double bin_hi(std::size_t i) const;
+
+  /// ASCII rendering: one line per bin with a proportional bar.
+  std::string ToString(std::size_t bar_width = 40) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// \brief Counts of values falling into caller-specified half-open ranges,
+/// mirroring Table 3 of the paper ("Counts in different error ranges").
+///
+/// Ranges are defined by `edges`: bucket i covers (edges[i], edges[i+1]],
+/// except bucket 0 which covers [edges[0], edges[1]] (closed below, as in the
+/// paper's "[0, 0.01]"), and a final overflow bucket covers
+/// (edges.back(), +inf).
+class RangeCounter {
+ public:
+  explicit RangeCounter(std::vector<double> edges);
+
+  void Add(double x);
+  std::size_t total() const { return total_; }
+  /// Number of buckets = edges.size() (last is the overflow bucket).
+  std::size_t num_buckets() const { return counts_.size(); }
+  std::size_t count(std::size_t i) const { return counts_.at(i); }
+  /// Label such as "(0.01, 0.1]" or "(1, +inf)".
+  std::string label(std::size_t i) const;
+
+ private:
+  std::vector<double> edges_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace jury
+
+#endif  // JURYOPT_UTIL_HISTOGRAM_H_

@@ -1,0 +1,57 @@
+#include "util/math.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace jury {
+
+double LogOdds(double q) {
+  JURY_CHECK(q > 0.0 && q < 1.0) << "LogOdds requires q in (0,1), got " << q;
+  return std::log(q / (1.0 - q));
+}
+
+double Sigmoid(double x) {
+  if (x >= 0.0) {
+    const double e = std::exp(-x);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+double LogAdd(double a, double b) {
+  if (a == -std::numeric_limits<double>::infinity()) return b;
+  if (b == -std::numeric_limits<double>::infinity()) return a;
+  const double m = std::max(a, b);
+  return m + std::log1p(std::exp(std::min(a, b) - m));
+}
+
+double LogSumExp(const std::vector<double>& xs) {
+  double acc = -std::numeric_limits<double>::infinity();
+  for (double x : xs) acc = LogAdd(acc, x);
+  return acc;
+}
+
+double Clamp(double x, double lo, double hi) {
+  JURY_CHECK_LE(lo, hi);
+  return std::min(std::max(x, lo), hi);
+}
+
+bool NearlyEqual(double a, double b, double tol) {
+  return std::fabs(a - b) <= tol;
+}
+
+double BinomialCoefficient(int n, int k) {
+  if (k < 0 || k > n) return 0.0;
+  k = std::min(k, n - k);
+  double acc = 1.0;
+  for (int i = 1; i <= k; ++i) {
+    acc = acc * static_cast<double>(n - k + i) / static_cast<double>(i);
+  }
+  return acc;
+}
+
+}  // namespace jury

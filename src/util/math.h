@@ -1,0 +1,38 @@
+#ifndef JURYOPT_UTIL_MATH_H_
+#define JURYOPT_UTIL_MATH_H_
+
+#include <vector>
+
+namespace jury {
+
+/// \brief Numerical helpers shared across the JQ machinery.
+///
+/// The key quantity throughout the paper is the log-odds transform
+/// `phi(q) = ln(q / (1 - q))` (written `φ(q_i)` in §4.2): the Bayesian-voting
+/// decision statistic `R(V)` is a signed sum of per-worker `phi` values.
+
+/// Log-odds `ln(q / (1-q))`. Requires q in (0, 1).
+double LogOdds(double q);
+
+/// Inverse of `LogOdds`: the logistic sigmoid `1 / (1 + e^{-x})`.
+double Sigmoid(double x);
+
+/// Numerically stable `ln(e^a + e^b)`.
+double LogAdd(double a, double b);
+
+/// Numerically stable `ln(sum_i e^{x_i})`. Returns -inf for empty input.
+double LogSumExp(const std::vector<double>& xs);
+
+/// Clamps `x` into [lo, hi].
+double Clamp(double x, double lo, double hi);
+
+/// True when |a - b| <= tol (absolute tolerance).
+bool NearlyEqual(double a, double b, double tol);
+
+/// Exact binomial coefficient as double (n <= 60 stays exact in 53 bits for
+/// the sizes used here). Returns 0 for k < 0 or k > n.
+double BinomialCoefficient(int n, int k);
+
+}  // namespace jury
+
+#endif  // JURYOPT_UTIL_MATH_H_

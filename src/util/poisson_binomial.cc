@@ -1,0 +1,47 @@
+#include "util/poisson_binomial.h"
+
+#include <algorithm>
+
+namespace jury {
+
+PoissonBinomial::PoissonBinomial(const std::vector<double>& probs) {
+  pmf_.assign(probs.size() + 1, 0.0);
+  pmf_[0] = 1.0;
+  std::size_t count = 0;
+  for (double raw : probs) {
+    const double p = std::min(std::max(raw, 0.0), 1.0);
+    mean_ += p;
+    ++count;
+    // In-place convolution with Bernoulli(p), iterating downwards so each
+    // entry is read before being overwritten.
+    for (std::size_t k = count; k > 0; --k) {
+      pmf_[k] = pmf_[k] * (1.0 - p) + pmf_[k - 1] * p;
+    }
+    pmf_[0] *= (1.0 - p);
+  }
+}
+
+double PoissonBinomial::Pmf(int k) const {
+  if (k < 0 || k > size()) return 0.0;
+  return pmf_[static_cast<std::size_t>(k)];
+}
+
+double PoissonBinomial::TailAtLeast(int k) const {
+  if (k <= 0) return 1.0;
+  double acc = 0.0;
+  for (int i = std::max(k, 0); i <= size(); ++i) {
+    acc += pmf_[static_cast<std::size_t>(i)];
+  }
+  return std::min(acc, 1.0);
+}
+
+double PoissonBinomial::CdfAtMost(int k) const {
+  if (k < 0) return 0.0;
+  double acc = 0.0;
+  for (int i = 0; i <= std::min(k, size()); ++i) {
+    acc += pmf_[static_cast<std::size_t>(i)];
+  }
+  return std::min(acc, 1.0);
+}
+
+}  // namespace jury

@@ -1,0 +1,43 @@
+#ifndef JURYOPT_UTIL_POISSON_BINOMIAL_H_
+#define JURYOPT_UTIL_POISSON_BINOMIAL_H_
+
+#include <vector>
+
+namespace jury {
+
+/// \brief Distribution of the number of successes among independent,
+/// non-identical Bernoulli trials.
+///
+/// This is the workhorse behind the exact Majority-Voting jury quality
+/// (JQ(J, MV, alpha), §1 and §4.1 of the paper): conditioned on the true
+/// answer, each juror votes correctly independently with probability `q_i`,
+/// so the number of correct votes is Poisson-binomial. The O(n^2) dynamic
+/// program below is exact; it replaces the O(n log n) divide-and-conquer of
+/// Cao et al. [7] (documented substitution — n <= 500 everywhere we use it).
+class PoissonBinomial {
+ public:
+  /// Builds the pmf over {0, ..., n} for success probabilities `probs`
+  /// (each clamped to [0, 1]).
+  explicit PoissonBinomial(const std::vector<double>& probs);
+
+  /// Pr[X = k]; zero outside {0, ..., n}.
+  double Pmf(int k) const;
+  /// Pr[X >= k].
+  double TailAtLeast(int k) const;
+  /// Pr[X <= k].
+  double CdfAtMost(int k) const;
+  /// E[X] = sum of probs.
+  double Mean() const { return mean_; }
+  /// Number of trials n.
+  int size() const { return static_cast<int>(pmf_.size()) - 1; }
+  /// The full pmf vector, index k -> Pr[X = k].
+  const std::vector<double>& pmf() const { return pmf_; }
+
+ private:
+  std::vector<double> pmf_;
+  double mean_ = 0.0;
+};
+
+}  // namespace jury
+
+#endif  // JURYOPT_UTIL_POISSON_BINOMIAL_H_

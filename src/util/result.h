@@ -1,0 +1,81 @@
+#ifndef JURYOPT_UTIL_RESULT_H_
+#define JURYOPT_UTIL_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "util/check.h"
+#include "util/status.h"
+
+namespace jury {
+
+/// \brief Value-or-error holder, in the style of `arrow::Result<T>`.
+///
+/// A `Result<T>` holds either a `T` (success) or a non-OK `Status` (failure).
+/// Accessing the value of a failed result aborts via `JURY_CHECK`, so callers
+/// must test `ok()` (or use `JURY_ASSIGN_OR_RETURN`) first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : repr_(std::move(status)) {
+    JURY_CHECK(!std::get<Status>(repr_).ok())
+        << "Result<T> must not be constructed from an OK status";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Returns the error status (OK if the result holds a value).
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    JURY_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    JURY_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    JURY_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when this result holds an error.
+  T value_or(T fallback) const {
+    if (ok()) return std::get<T>(repr_);
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the status, otherwise
+/// assigns the value to `lhs`.
+#define JURY_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define JURY_ASSIGN_OR_RETURN(lhs, rexpr) \
+  JURY_ASSIGN_OR_RETURN_IMPL(             \
+      JURY_CONCAT_(_jury_result_, __LINE__), lhs, rexpr)
+
+#define JURY_CONCAT_INNER_(a, b) a##b
+#define JURY_CONCAT_(a, b) JURY_CONCAT_INNER_(a, b)
+
+}  // namespace jury
+
+#endif  // JURYOPT_UTIL_RESULT_H_

@@ -1,0 +1,72 @@
+#ifndef JURYOPT_UTIL_RNG_H_
+#define JURYOPT_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace jury {
+
+/// \brief Deterministic pseudo-random number generator (xoshiro256**).
+///
+/// All stochastic components of juryopt (worker-pool generation, vote
+/// simulation, randomized voting strategies, simulated annealing) draw from an
+/// explicitly passed `Rng`, so every experiment is reproducible from a seed.
+/// The generator satisfies the C++ UniformRandomBitGenerator concept.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the generator via SplitMix64 expansion of `seed`.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  /// Next raw 64-bit value.
+  std::uint64_t Next();
+  result_type operator()() { return Next(); }
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t UniformInt(std::uint64_t n);
+  /// Bernoulli draw: true with probability `p` (clamped to [0,1]).
+  bool Bernoulli(double p);
+  /// Standard normal via Box–Muller.
+  double Gaussian();
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+  /// Normal truncated (by rejection, with clamping fallback) to [lo, hi].
+  double TruncatedGaussian(double mean, double stddev, double lo, double hi);
+  /// Beta(a, b) via Gamma ratios (Marsaglia–Tsang).
+  double Beta(double a, double b);
+  /// Gamma(shape, 1) via Marsaglia–Tsang. Requires shape > 0.
+  double Gamma(double shape);
+
+  /// Fisher–Yates shuffle of `items`.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (std::size_t i = items->size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(UniformInt(i));
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) (k <= n), in random order.
+  std::vector<std::size_t> SampleWithoutReplacement(std::size_t n,
+                                                    std::size_t k);
+
+  /// Derives an independent generator (useful for per-repetition streams).
+  Rng Fork();
+
+ private:
+  std::uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace jury
+
+#endif  // JURYOPT_UTIL_RNG_H_

@@ -1,0 +1,59 @@
+#ifndef JURYOPT_UTIL_STATS_H_
+#define JURYOPT_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace jury {
+
+/// \brief Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// Used by the benchmark harness to average repeated experiments, mirroring
+/// the paper's "repeat 1,000 times and report the average" protocol (§6.1.1).
+class OnlineStats {
+ public:
+  void Add(double x);
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 with fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// \brief Five-number-style summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Computes a `Summary` of `xs` (empty input yields all-zero summary).
+Summary Summarize(std::vector<double> xs);
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& xs);
+
+/// Sample standard deviation (n-1); 0 with fewer than two samples.
+double StdDev(const std::vector<double>& xs);
+
+/// Linear-interpolation quantile, `p` in [0, 1]; 0 for empty input.
+/// The input need not be sorted.
+double Quantile(std::vector<double> xs, double p);
+
+}  // namespace jury
+
+#endif  // JURYOPT_UTIL_STATS_H_

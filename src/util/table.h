@@ -1,0 +1,43 @@
+#ifndef JURYOPT_UTIL_TABLE_H_
+#define JURYOPT_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace jury {
+
+/// \brief Console/CSV table builder used by the benchmark harness to print
+/// the same rows and series the paper's tables/figures report.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; it must match the header width.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats each cell with `Format`/`FormatPercent` upstream.
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Monospace rendering with aligned columns.
+  std::string ToString() const;
+  /// RFC-4180-ish CSV (cells containing commas/quotes get quoted).
+  std::string ToCsv() const;
+  /// Writes the CSV rendering to `path`.
+  Status WriteCsv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision decimal formatting ("0.8123" for Format(0.81234, 4)).
+std::string Format(double value, int precision);
+
+/// Percentage formatting in the paper's style ("84.50%" for 0.845).
+std::string FormatPercent(double fraction, int precision = 2);
+
+}  // namespace jury
+
+#endif  // JURYOPT_UTIL_TABLE_H_

@@ -1,0 +1,28 @@
+#ifndef JURYOPT_UTIL_TIMER_H_
+#define JURYOPT_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace jury {
+
+/// \brief Monotonic wall-clock stopwatch for the runtime figures
+/// (Fig. 7(b) and Fig. 9(d)).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace jury
+
+#endif  // JURYOPT_UTIL_TIMER_H_

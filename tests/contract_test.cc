@@ -1,0 +1,67 @@
+// Contract (death) tests: programming errors must fail fast through
+// JURY_CHECK rather than corrupting state. Anticipated runtime failures,
+// by contrast, surface as Status — covered in the per-module tests.
+
+#include "gtest/gtest.h"
+#include "model/jury.h"
+#include "strategy/majority.h"
+#include "util/check.h"
+#include "util/histogram.h"
+#include "util/math.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace jury {
+namespace {
+
+using ContractDeathTest = ::testing::Test;
+
+TEST(ContractDeathTest, CheckMacroAborts) {
+  EXPECT_DEATH(JURY_CHECK(1 == 2) << "context", "JURY_CHECK failed");
+  EXPECT_DEATH(JURY_CHECK_EQ(1, 2), "JURY_CHECK failed");
+  EXPECT_DEATH(JURY_CHECK_LT(2, 1), "JURY_CHECK failed");
+}
+
+TEST(ContractDeathTest, ResultValueOnErrorAborts) {
+  Result<int> failed(Status::NotFound("gone"));
+  EXPECT_DEATH((void)failed.value(), "Result::value\\(\\) on error");
+}
+
+TEST(ContractDeathTest, ResultFromOkStatusAborts) {
+  EXPECT_DEATH(Result<int>{Status::OK()},
+               "must not be constructed from an OK status");
+}
+
+TEST(ContractDeathTest, JuryWorkerOutOfRangeAborts) {
+  const Jury jury = Jury::FromQualities({0.7});
+  EXPECT_DEATH((void)jury.worker(5), "JURY_CHECK failed");
+}
+
+TEST(ContractDeathTest, EmptyJuryMinQualityAborts) {
+  const Jury jury;
+  EXPECT_DEATH((void)jury.MinQuality(), "JURY_CHECK failed");
+}
+
+TEST(ContractDeathTest, MisalignedVotesAbort) {
+  const MajorityVoting mv;
+  const Jury jury = Jury::FromQualities({0.7, 0.8});
+  EXPECT_DEATH((void)mv.ProbZero(jury, {0, 1, 0}, 0.5), "JURY_CHECK failed");
+}
+
+TEST(ContractDeathTest, LogOddsDomainIsEnforced) {
+  EXPECT_DEATH((void)LogOdds(0.0), "LogOdds requires q in \\(0,1\\)");
+  EXPECT_DEATH((void)LogOdds(1.0), "LogOdds requires q in \\(0,1\\)");
+}
+
+TEST(ContractDeathTest, RngUniformIntNeedsPositiveBound) {
+  Rng rng(1);
+  EXPECT_DEATH((void)rng.UniformInt(0), "JURY_CHECK failed");
+}
+
+TEST(ContractDeathTest, HistogramValidatesConstruction) {
+  EXPECT_DEATH(Histogram(1.0, 0.0, 4), "JURY_CHECK failed");
+  EXPECT_DEATH(Histogram(0.0, 1.0, 0), "JURY_CHECK failed");
+}
+
+}  // namespace
+}  // namespace jury

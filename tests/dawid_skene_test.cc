@@ -1,0 +1,106 @@
+#include "gtest/gtest.h"
+#include "crowd/dawid_skene.h"
+#include "crowd/estimators.h"
+#include "util/rng.h"
+
+namespace jury::crowd {
+namespace {
+
+Campaign DenseCampaign(Rng* rng, const std::vector<double>& quality,
+                       int num_tasks) {
+  CampaignConfig config;
+  config.num_tasks = num_tasks;
+  config.tasks_per_hit = num_tasks;  // one big HIT: everyone answers all
+  config.assignments_per_hit = static_cast<int>(quality.size());
+  config.num_workers = static_cast<int>(quality.size());
+  const std::vector<int> quota(quality.size(), 1);
+  return SimulateCampaign(config, quality, quota, rng).value();
+}
+
+TEST(DawidSkeneTest, RecoversQualitiesWithoutGroundTruth) {
+  Rng rng(1);
+  const std::vector<double> quality{0.92, 0.85, 0.75, 0.65, 0.6, 0.55, 0.8};
+  const Campaign campaign = DenseCampaign(&rng, quality, 500);
+  const auto result = RunDawidSkene(campaign).value();
+  ASSERT_EQ(result.quality.size(), quality.size());
+  for (std::size_t w = 0; w < quality.size(); ++w) {
+    EXPECT_NEAR(result.quality[w], quality[w], 0.08) << "worker " << w;
+  }
+}
+
+TEST(DawidSkeneTest, PosteriorsPredictTruthBetterThanChance) {
+  Rng rng(3);
+  const std::vector<double> quality{0.9, 0.8, 0.7, 0.7, 0.6};
+  const Campaign campaign = DenseCampaign(&rng, quality, 400);
+  const auto result = RunDawidSkene(campaign).value();
+  int correct = 0;
+  for (std::size_t t = 0; t < campaign.tasks.size(); ++t) {
+    const int decided = result.posterior_zero[t] >= 0.5 ? 0 : 1;
+    correct += (decided == campaign.tasks[t].truth);
+  }
+  const double accuracy =
+      static_cast<double>(correct) / static_cast<double>(campaign.tasks.size());
+  // Five workers with mean quality 0.74: BV with perfectly known qualities
+  // achieves ~0.93; EM's estimated qualities land close behind.
+  EXPECT_GT(accuracy, 0.85);
+}
+
+TEST(DawidSkeneTest, BeatsOrMatchesSingleWorkerAccuracy) {
+  Rng rng(5);
+  const std::vector<double> quality{0.85, 0.7, 0.7, 0.65, 0.6};
+  const Campaign campaign = DenseCampaign(&rng, quality, 400);
+  const auto em = RunDawidSkene(campaign).value();
+  // EM-aggregated answers should beat the best individual worker's raw
+  // agreement with the truth.
+  int em_correct = 0;
+  std::vector<int> worker_correct(quality.size(), 0);
+  for (std::size_t t = 0; t < campaign.tasks.size(); ++t) {
+    const int decided = em.posterior_zero[t] >= 0.5 ? 0 : 1;
+    em_correct += (decided == campaign.tasks[t].truth);
+    for (const Answer& a : campaign.tasks[t].answers) {
+      worker_correct[a.worker] += (a.vote == campaign.tasks[t].truth);
+    }
+  }
+  const int best_single =
+      *std::max_element(worker_correct.begin(), worker_correct.end());
+  EXPECT_GE(em_correct, best_single);
+}
+
+TEST(DawidSkeneTest, ConvergesAndReportsIterations) {
+  Rng rng(7);
+  const std::vector<double> quality{0.9, 0.8, 0.7};
+  const Campaign campaign = DenseCampaign(&rng, quality, 200);
+  const auto result = RunDawidSkene(campaign).value();
+  EXPECT_TRUE(result.converged);
+  EXPECT_GE(result.iterations, 2);
+  EXPECT_LE(result.iterations, 100);
+}
+
+TEST(DawidSkeneTest, AgreesWithEmpiricalEstimatorOnEasyData) {
+  // With high-quality workers the latent truths are essentially known, so
+  // EM should land near the ground-truth-based empirical estimate.
+  Rng rng(9);
+  const std::vector<double> quality{0.95, 0.9, 0.88, 0.92};
+  const Campaign campaign = DenseCampaign(&rng, quality, 300);
+  const auto em = RunDawidSkene(campaign).value();
+  const auto empirical = EstimateQualitiesEmpirical(campaign).value();
+  for (std::size_t w = 0; w < quality.size(); ++w) {
+    EXPECT_NEAR(em.quality[w], empirical[w], 0.03);
+  }
+}
+
+TEST(DawidSkeneTest, ValidatesOptions) {
+  Rng rng(11);
+  const Campaign campaign = DenseCampaign(&rng, {0.8, 0.7}, 50);
+  DawidSkeneOptions bad;
+  bad.max_iterations = 0;
+  EXPECT_FALSE(RunDawidSkene(campaign, bad).ok());
+  DawidSkeneOptions bad_clamp;
+  bad_clamp.clamp_lo = 0.9;
+  bad_clamp.clamp_hi = 0.1;
+  EXPECT_FALSE(RunDawidSkene(campaign, bad_clamp).ok());
+  EXPECT_FALSE(RunDawidSkene(campaign, DawidSkeneOptions{}, 0.0).ok());
+}
+
+}  // namespace
+}  // namespace jury::crowd

@@ -1,0 +1,106 @@
+#include <cmath>
+#include <tuple>
+
+#include "gtest/gtest.h"
+#include "jq/closed_form.h"
+#include "jq/exact.h"
+#include "jq/exact_map.h"
+#include "test_util.h"
+#include "util/math.h"
+#include "util/rng.h"
+
+namespace jury {
+namespace {
+
+using jury::testing::Figure2Jury;
+using jury::testing::RandomJury;
+
+TEST(ExactMapTest, MatchesPaperExample) {
+  EXPECT_NEAR(ExactJqBvMap(Figure2Jury(), 0.5).value(), 0.9, 1e-12);
+}
+
+class ExactMapAgreementTest
+    : public ::testing::TestWithParam<std::tuple<int, double, int>> {};
+
+TEST_P(ExactMapAgreementTest, MatchesBruteForceEnumeration) {
+  const auto [n, alpha, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 5309 +
+          static_cast<std::uint64_t>(n));
+  const Jury jury = RandomJury(&rng, n, 0.3, 0.99);
+  EXPECT_NEAR(ExactJqBvMap(jury, alpha).value(),
+              ExactJqBv(jury, alpha).value(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ExactMapAgreementTest,
+    ::testing::Combine(::testing::Values(1, 2, 4, 7, 10, 13),
+                       ::testing::Values(0.2, 0.5, 0.8),
+                       ::testing::Values(1, 2)));
+
+TEST(ExactMapTest, DuplicatedQualitiesStayPolynomial) {
+  // 201 identical workers: 2^201 votings but only 202 distinct keys.
+  const Jury jury = Jury::FromQualities(std::vector<double>(201, 0.6));
+  ExactMapStats stats;
+  const double jq = ExactJqBvMap(jury, 0.5, {}, &stats).value();
+  EXPECT_LE(stats.max_keys_used, 202u);
+  // Identical odd jury under BV == MV; the polynomial DP cross-checks it.
+  EXPECT_NEAR(jq, MajorityJq(jury, 0.5).value(), 1e-9);
+}
+
+TEST(ExactMapTest, TwoQualityLevelsStayQuadratic) {
+  std::vector<double> qs;
+  for (int i = 0; i < 30; ++i) qs.push_back(i % 2 == 0 ? 0.7 : 0.85);
+  ExactMapStats stats;
+  ASSERT_TRUE(ExactJqBvMap(Jury::FromQualities(qs), 0.5, {}, &stats).ok());
+  EXPECT_LE(stats.max_keys_used, 16u * 16u * 4u);  // O(n^2)-ish keys
+}
+
+TEST(ExactMapTest, KeyBudgetIsEnforced) {
+  Rng rng(5);
+  const Jury jury = RandomJury(&rng, 30, 0.5, 0.99);  // all-distinct: 2^30
+  ExactMapOptions options;
+  options.max_keys = 1000;
+  EXPECT_EQ(ExactJqBvMap(jury, 0.5, options).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(ExactMapTest, TieMassIsExposedForSymmetricJuries) {
+  // Two equal workers: votes (0,1)/(1,0) land exactly on R = 0.
+  const Jury jury = Jury::FromQualities({0.8, 0.8});
+  ExactMapStats stats;
+  const double jq = ExactJqBvMap(jury, 0.5, {}, &stats).value();
+  EXPECT_NEAR(stats.tie_mass, 2.0 * 0.8 * 0.2, 1e-9);
+  EXPECT_NEAR(jq, 0.8, 1e-12);
+}
+
+TEST(ExactMapTest, NpHardnessReductionStructure) {
+  // The Theorem-2 reduction maps a PARTITION instance {a_i} to workers
+  // with phi(q_i) proportional to a_i: probability mass sits on the R = 0
+  // tie iff the numbers admit a perfect partition. Run both sides.
+  auto jury_for = [](const std::vector<double>& values) {
+    std::vector<double> qs;
+    qs.reserve(values.size());
+    for (double a : values) qs.push_back(Sigmoid(0.05 * a));  // phi = .05a
+    return Jury::FromQualities(qs);
+  };
+  // {1, 2, 3} partitions as {1,2} vs {3}.
+  ExactMapStats yes_stats;
+  ASSERT_TRUE(
+      ExactJqBvMap(jury_for({1, 2, 3}), 0.5, {}, &yes_stats).ok());
+  EXPECT_GT(yes_stats.tie_mass, 0.0);
+  // {2, 3, 4} has odd total: no partition, no tie mass.
+  ExactMapStats no_stats;
+  ASSERT_TRUE(ExactJqBvMap(jury_for({2, 3, 4}), 0.5, {}, &no_stats).ok());
+  EXPECT_DOUBLE_EQ(no_stats.tie_mass, 0.0);
+}
+
+TEST(ExactMapTest, ValidatesInputs) {
+  EXPECT_FALSE(ExactJqBvMap(Jury(), 0.5).ok());
+  EXPECT_FALSE(ExactJqBvMap(Figure2Jury(), 1.5).ok());
+  ExactMapOptions bad;
+  bad.key_epsilon = -1.0;
+  EXPECT_FALSE(ExactJqBvMap(Figure2Jury(), 0.5, bad).ok());
+}
+
+}  // namespace
+}  // namespace jury

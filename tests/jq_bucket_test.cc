@@ -1,0 +1,300 @@
+#include <tuple>
+
+#include "gtest/gtest.h"
+#include "jq/bucket.h"
+#include "jq/closed_form.h"
+#include "jq/exact.h"
+#include "jq/monte_carlo.h"
+#include "jq/prior_transform.h"
+#include "strategy/registry.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace jury {
+namespace {
+
+using jury::testing::Figure2Jury;
+using jury::testing::RandomJury;
+
+TEST(BucketJqTest, MatchesExactOnPaperExample) {
+  // Fig. 2 jury: JQ(J, BV, 0.5) = 90%.
+  BucketJqOptions options;
+  options.num_buckets = 200;
+  EXPECT_NEAR(EstimateJq(Figure2Jury(), 0.5, options).value(), 0.9, 1e-6);
+}
+
+TEST(BucketJqTest, SingleWorker) {
+  for (double q : {0.55, 0.7, 0.9}) {
+    EXPECT_NEAR(EstimateJq(Jury::FromQualities({q}), 0.5).value(), q, 1e-9);
+  }
+}
+
+TEST(BucketJqTest, AllCoinFlippersGiveHalf) {
+  const Jury jury = Jury::FromQualities({0.5, 0.5, 0.5});
+  EXPECT_DOUBLE_EQ(EstimateJq(jury, 0.5).value(), 0.5);
+}
+
+TEST(BucketJqTest, HighQualityShortcutFires) {
+  BucketJqStats stats;
+  const Jury jury = Jury::FromQualities({0.995, 0.6});
+  const double jq = EstimateJq(jury, 0.5, {}, &stats).value();
+  EXPECT_TRUE(stats.high_quality_shortcut);
+  EXPECT_DOUBLE_EQ(jq, 0.995);
+}
+
+TEST(BucketJqTest, HighQualityShortcutCanBeDisabled) {
+  BucketJqOptions options;
+  options.high_quality_cutoff = 1.0;
+  options.num_buckets = 400;
+  BucketJqStats stats;
+  const Jury jury = Jury::FromQualities({0.995, 0.6});
+  const double jq = EstimateJq(jury, 0.5, options, &stats).value();
+  EXPECT_FALSE(stats.high_quality_shortcut);
+  const double exact = ExactJqBv(jury, 0.5).value();
+  EXPECT_LE(jq, exact + 1e-12);
+  EXPECT_NEAR(jq, exact, 0.01);
+}
+
+TEST(BucketJqTest, RejectsBadInputs) {
+  EXPECT_FALSE(EstimateJq(Jury(), 0.5).ok());
+  EXPECT_FALSE(EstimateJq(Figure2Jury(), 1.5).ok());
+  BucketJqOptions options;
+  options.num_buckets = 0;
+  EXPECT_FALSE(EstimateJq(Figure2Jury(), 0.5, options).ok());
+}
+
+TEST(BucketJqTest, ErrorBoundFormula) {
+  EXPECT_DOUBLE_EQ(BucketErrorBound(10, 0.0), 0.0);
+  // §4.4: with upper < 5 and numBuckets = d*n, d = 200, the bound is
+  // e^{5/800} - 1 < 0.627%.
+  const int n = 10;
+  const double delta = 5.0 / (200.0 * n);
+  EXPECT_LT(BucketErrorBound(n, delta), 0.00627);
+  EXPECT_GT(BucketErrorBound(n, delta), 0.0);
+}
+
+TEST(BucketJqTest, RequiredBucketMultiplier) {
+  // d >= 200 guarantees < 1% error for upper <= 5 (§4.4).
+  EXPECT_LE(RequiredBucketMultiplier(5.0, 0.01), 200);
+  EXPECT_GE(RequiredBucketMultiplier(5.0, 0.001), 200);
+  const int d = RequiredBucketMultiplier(5.0, 0.01);
+  const int n = 7;
+  EXPECT_LT(BucketErrorBound(n, 5.0 / (d * n)), 0.01);
+}
+
+// ------------------------------------------------------ Property sweeps
+
+/// The §4.4 guarantees, against exact enumeration: the estimate never
+/// exceeds the true JQ, and undershoots by less than the analytic bound.
+class BucketGuaranteeTest
+    : public ::testing::TestWithParam<std::tuple<int, int, double, int>> {};
+
+TEST_P(BucketGuaranteeTest, UnderestimatesWithinBound) {
+  const auto [n, num_buckets, alpha, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 7919 +
+          static_cast<std::uint64_t>(n * 31 + num_buckets));
+  const Jury jury = RandomJury(&rng, n, 0.5, 0.97);
+  const double exact = ExactJqBv(jury, alpha).value();
+
+  BucketJqOptions options;
+  options.num_buckets = num_buckets;
+  BucketJqStats stats;
+  const double estimate = EstimateJq(jury, alpha, options, &stats).value();
+
+  EXPECT_LE(estimate, exact + 1e-9) << "estimate must not exceed JQ";
+  EXPECT_LE(exact - estimate, stats.error_bound + 1e-9)
+      << "n=" << n << " buckets=" << num_buckets;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BucketGuaranteeTest,
+    ::testing::Combine(::testing::Values(2, 3, 5, 8, 11),
+                       ::testing::Values(10, 50, 200),
+                       ::testing::Values(0.3, 0.5, 0.8),
+                       ::testing::Values(1, 2)));
+
+/// Pruning and backend choice are pure optimizations: results identical.
+class BucketEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BucketEquivalenceTest, PruningDoesNotChangeTheEstimate) {
+  const auto [n, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 104729 +
+          static_cast<std::uint64_t>(n));
+  const Jury jury = RandomJury(&rng, n, 0.5, 0.97);
+  BucketJqOptions with = {};
+  BucketJqOptions without = {};
+  without.enable_pruning = false;
+  EXPECT_NEAR(EstimateJq(jury, 0.5, with).value(),
+              EstimateJq(jury, 0.5, without).value(), 1e-10);
+}
+
+TEST_P(BucketEquivalenceTest, DenseAndSparseBackendsAgree) {
+  const auto [n, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 1299709 +
+          static_cast<std::uint64_t>(n));
+  const Jury jury = RandomJury(&rng, n, 0.5, 0.97);
+  BucketJqOptions dense = {};
+  dense.backend = BucketBackend::kDense;
+  BucketJqOptions sparse = {};
+  sparse.backend = BucketBackend::kSparse;
+  EXPECT_NEAR(EstimateJq(jury, 0.5, dense).value(),
+              EstimateJq(jury, 0.5, sparse).value(), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BucketEquivalenceTest,
+    ::testing::Combine(::testing::Values(1, 2, 4, 7, 11, 15),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(BucketJqTest, ErrorShrinksWithMoreBuckets) {
+  Rng rng(99);
+  const Jury jury = RandomJury(&rng, 9, 0.5, 0.97);
+  const double exact = ExactJqBv(jury, 0.5).value();
+  double prev_error = 1.0;
+  for (int buckets : {5, 20, 100, 500}) {
+    BucketJqOptions options;
+    options.num_buckets = buckets;
+    const double err = exact - EstimateJq(jury, 0.5, options).value();
+    EXPECT_GE(err, -1e-9);
+    EXPECT_LE(err, prev_error + 1e-9);
+    prev_error = err;
+  }
+  EXPECT_LT(prev_error, 1e-4);
+}
+
+TEST(BucketJqTest, LowQualityWorkersAreNormalized) {
+  // §3.3: q and 1-q juries have identical JQ under BV.
+  Rng rng(101);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> qs, flipped;
+    for (int i = 0; i < 6; ++i) {
+      const double q = rng.Uniform(0.5, 0.95);
+      qs.push_back(q);
+      flipped.push_back(i % 2 == 0 ? 1.0 - q : q);
+    }
+    EXPECT_NEAR(EstimateJq(Jury::FromQualities(qs), 0.5).value(),
+                EstimateJq(Jury::FromQualities(flipped), 0.5).value(), 1e-10);
+  }
+}
+
+TEST(BucketJqTest, PriorMatchesPseudoWorkerConstruction) {
+  // Theorem 3 is the implementation (ApplyPrior); cross-check the public
+  // API against the manual construction.
+  Rng rng(103);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Jury jury = RandomJury(&rng, 5, 0.5, 0.95);
+    const double alpha = rng.Uniform(0.05, 0.95);
+    Jury manual = jury;
+    manual.Add({"pseudo", alpha, 0.0});
+    EXPECT_NEAR(EstimateJq(jury, alpha).value(),
+                EstimateJq(manual, 0.5).value(), 1e-10);
+  }
+}
+
+TEST(BucketJqTest, StatsAreFilled) {
+  BucketJqStats stats;
+  Rng rng(107);
+  const Jury jury = RandomJury(&rng, 8, 0.55, 0.95);
+  ASSERT_TRUE(EstimateJq(jury, 0.5, {}, &stats).ok());
+  EXPECT_GT(stats.delta, 0.0);
+  EXPECT_GT(stats.error_bound, 0.0);
+  EXPECT_GT(stats.keys_expanded, 0u);
+  EXPECT_FALSE(stats.high_quality_shortcut);
+}
+
+TEST(BucketJqTest, PruningReducesWork) {
+  Rng rng(109);
+  const Jury jury = RandomJury(&rng, 60, 0.55, 0.95);
+  BucketJqOptions pruned;
+  pruned.backend = BucketBackend::kSparse;
+  BucketJqOptions unpruned = pruned;
+  unpruned.enable_pruning = false;
+  BucketJqStats with_stats, without_stats;
+  ASSERT_TRUE(EstimateJq(jury, 0.5, pruned, &with_stats).ok());
+  ASSERT_TRUE(EstimateJq(jury, 0.5, unpruned, &without_stats).ok());
+  EXPECT_GT(with_stats.keys_pruned, 0u);
+  EXPECT_LT(with_stats.keys_expanded, without_stats.keys_expanded);
+}
+
+TEST(BucketJqTest, LargeJuryAgreesWithMonteCarlo) {
+  // Exact enumeration is impossible at n = 60; cross-check against MC.
+  Rng rng(113);
+  const Jury jury = RandomJury(&rng, 60, 0.5, 0.9);
+  const double estimate = EstimateJq(jury, 0.5).value();
+  auto bv = MakeStrategy("BV").value();
+  Rng mc_rng(211);
+  const double mc = MonteCarloJq(jury, *bv, 0.5, 100000, &mc_rng).value();
+  EXPECT_NEAR(estimate, mc, 0.02);
+}
+
+// --------------------------------------------------------- Edge cases
+
+TEST(BucketJqTest, SingleBucketStillUnderestimates) {
+  Rng rng(211);
+  BucketJqOptions coarse;
+  coarse.num_buckets = 1;
+  for (int trial = 0; trial < 10; ++trial) {
+    const Jury jury = RandomJury(&rng, 6, 0.5, 0.95);
+    const double exact = ExactJqBv(jury, 0.5).value();
+    const double approx = EstimateJq(jury, 0.5, coarse).value();
+    EXPECT_LE(approx, exact + 1e-9);
+    EXPECT_GE(approx, 0.5 - 1e-9);  // never below a coin flip
+  }
+}
+
+TEST(BucketJqTest, IdenticalQualitiesAreExact) {
+  // With equal phi values every worker lands exactly on bucket numBuckets,
+  // so the bucketed statistic is a rescaling of the true one: zero error.
+  for (double q : {0.6, 0.75, 0.9}) {
+    for (int n : {3, 7, 11}) {
+      const Jury jury = Jury::FromQualities(
+          std::vector<double>(static_cast<std::size_t>(n), q));
+      EXPECT_NEAR(EstimateJq(jury, 0.5).value(),
+                  ExactJqBv(jury, 0.5).value(), 1e-10)
+          << "q=" << q << " n=" << n;
+    }
+  }
+}
+
+TEST(BucketJqTest, IdenticalOddJuryEqualsMajorityJq) {
+  // For identical qualities and odd n, BV degenerates to MV (all weights
+  // equal), so the bucket estimate must match the MV closed form.
+  const Jury jury = Jury::FromQualities(std::vector<double>(9, 0.7));
+  EXPECT_NEAR(EstimateJq(jury, 0.5).value(), MajorityJq(jury, 0.5).value(),
+              1e-10);
+}
+
+TEST(BucketJqTest, ExtremePriorsPinTheEstimate) {
+  Rng rng(223);
+  const Jury jury = RandomJury(&rng, 5, 0.5, 0.9);
+  BucketJqOptions options;
+  options.high_quality_cutoff = 1.0;  // let the extreme prior through
+  options.num_buckets = 400;
+  EXPECT_GT(EstimateJq(jury, 0.999, options).value(), 0.998);
+  EXPECT_GT(EstimateJq(jury, 0.001, options).value(), 0.998);
+}
+
+TEST(BucketJqTest, MixedExtremeAndWeakWorkers) {
+  // One near-perfect worker among coin-flippers: JQ ~ the strong worker.
+  BucketJqOptions options;
+  options.high_quality_cutoff = 1.0;
+  options.num_buckets = 800;
+  const Jury jury = Jury::FromQualities({0.98, 0.5, 0.5, 0.5, 0.5});
+  const double exact = ExactJqBv(jury, 0.5).value();
+  EXPECT_NEAR(EstimateJq(jury, 0.5, options).value(), exact, 1e-3);
+  EXPECT_NEAR(exact, 0.98, 1e-9);
+}
+
+TEST(ApplyPriorTest, UninformativePriorIsIdentity) {
+  const Jury jury = Figure2Jury();
+  EXPECT_EQ(ApplyPrior(jury, 0.5).size(), jury.size());
+  const Jury with = ApplyPrior(jury, 0.7);
+  ASSERT_EQ(with.size(), jury.size() + 1);
+  EXPECT_EQ(with.worker(3).id, kPriorWorkerId);
+  EXPECT_DOUBLE_EQ(with.worker(3).quality, 0.7);
+  EXPECT_DOUBLE_EQ(with.worker(3).cost, 0.0);
+}
+
+}  // namespace
+}  // namespace jury

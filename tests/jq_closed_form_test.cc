@@ -1,0 +1,221 @@
+#include <algorithm>
+#include <tuple>
+
+#include "gtest/gtest.h"
+#include "jq/closed_form.h"
+#include "jq/exact.h"
+#include "strategy/registry.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace jury {
+namespace {
+
+using jury::testing::Figure2Jury;
+using jury::testing::RandomJury;
+
+TEST(MajorityJqTest, MatchesPaperExamples) {
+  EXPECT_NEAR(MajorityJq(Figure2Jury(), 0.5).value(), 0.792, 1e-12);
+  EXPECT_NEAR(MajorityJq(Jury::FromQualities({0.7, 0.6, 0.6}), 0.5).value(),
+              0.696, 1e-12);
+}
+
+TEST(MajorityJqTest, SingleWorkerIsQuality) {
+  EXPECT_NEAR(MajorityJq(Jury::FromQualities({0.8}), 0.5).value(), 0.8,
+              1e-12);
+}
+
+TEST(RandomizedMajorityJqTest, ClosedFormIsMeanQuality) {
+  const Jury jury = Jury::FromQualities({0.6, 0.7, 0.8});
+  EXPECT_NEAR(RandomizedMajorityJq(jury, 0.5).value(), 0.7, 1e-12);
+  // Independent of the prior.
+  EXPECT_NEAR(RandomizedMajorityJq(jury, 0.9).value(), 0.7, 1e-12);
+}
+
+TEST(RandomBallotJqTest, AlwaysHalf) {
+  EXPECT_DOUBLE_EQ(RandomBallotJq(Figure2Jury(), 0.5).value(), 0.5);
+  EXPECT_DOUBLE_EQ(RandomBallotJq(Figure2Jury(), 0.9).value(), 0.5);
+}
+
+TEST(ClosedFormTest, RejectsBadInputs) {
+  EXPECT_FALSE(MajorityJq(Jury(), 0.5).ok());
+  EXPECT_FALSE(MajorityJq(Figure2Jury(), -0.1).ok());
+  EXPECT_FALSE(HalfVotingJq(Jury(), 0.5).ok());
+  EXPECT_FALSE(RandomizedMajorityJq(Jury(), 0.5).ok());
+  EXPECT_FALSE(RandomBallotJq(Jury(), 0.5).ok());
+}
+
+/// Closed forms must agree with the exact 2^n enumeration for every jury
+/// size and prior — the defining property.
+class ClosedFormAgreementTest
+    : public ::testing::TestWithParam<std::tuple<int, double, int>> {};
+
+TEST_P(ClosedFormAgreementTest, MajorityMatchesEnumeration) {
+  const auto [n, alpha, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 77 + static_cast<std::uint64_t>(n));
+  const Jury jury = RandomJury(&rng, n, 0.3, 0.99);
+  auto mv = MakeStrategy("MV").value();
+  EXPECT_NEAR(MajorityJq(jury, alpha).value(),
+              ExactJq(jury, *mv, alpha).value(), 1e-10);
+}
+
+TEST_P(ClosedFormAgreementTest, HalfVotingMatchesEnumeration) {
+  const auto [n, alpha, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 131 +
+          static_cast<std::uint64_t>(n));
+  const Jury jury = RandomJury(&rng, n, 0.3, 0.99);
+  auto half = MakeStrategy("HALF").value();
+  EXPECT_NEAR(HalfVotingJq(jury, alpha).value(),
+              ExactJq(jury, *half, alpha).value(), 1e-10);
+}
+
+TEST_P(ClosedFormAgreementTest, RandomizedMajorityMatchesEnumeration) {
+  const auto [n, alpha, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 191 +
+          static_cast<std::uint64_t>(n));
+  const Jury jury = RandomJury(&rng, n, 0.3, 0.99);
+  auto rmv = MakeStrategy("RMV").value();
+  EXPECT_NEAR(RandomizedMajorityJq(jury, alpha).value(),
+              ExactJq(jury, *rmv, alpha).value(), 1e-10);
+}
+
+TEST_P(ClosedFormAgreementTest, RandomBallotMatchesEnumeration) {
+  const auto [n, alpha, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 239 +
+          static_cast<std::uint64_t>(n));
+  const Jury jury = RandomJury(&rng, n, 0.3, 0.99);
+  auto rbv = MakeStrategy("RBV").value();
+  EXPECT_NEAR(RandomBallotJq(jury, alpha).value(),
+              ExactJq(jury, *rbv, alpha).value(), 1e-10);
+}
+
+TEST_P(ClosedFormAgreementTest, TriadicMatchesEnumeration) {
+  const auto [n, alpha, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 293 +
+          static_cast<std::uint64_t>(n));
+  const Jury jury = RandomJury(&rng, n, 0.3, 0.99);
+  auto triadic = MakeStrategy("TRIADIC").value();
+  EXPECT_NEAR(TriadicJq(jury, alpha).value(),
+              ExactJq(jury, *triadic, alpha).value(), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ClosedFormAgreementTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 8, 11),
+                       ::testing::Values(0.2, 0.5, 0.7),
+                       ::testing::Values(1, 2)));
+
+// ------------------------------------------- Counting-strategy engine
+
+TEST(CountingStrategyJqTest, ReproducesMajorityVoting) {
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Jury jury = RandomJury(&rng, 7, 0.3, 0.99);
+    const double alpha = rng.Uniform(0.1, 0.9);
+    const int n = 7;
+    const double via_engine =
+        CountingStrategyJq(jury, alpha, [n](int z) {
+          return 2 * z >= n + 1 ? 1.0 : 0.0;
+        }).value();
+    EXPECT_NEAR(via_engine, MajorityJq(jury, alpha).value(), 1e-12);
+  }
+}
+
+TEST(CountingStrategyJqTest, ReproducesRandomizedMajority) {
+  Rng rng(19);
+  const Jury jury = RandomJury(&rng, 6, 0.4, 0.95);
+  const int n = 6;
+  const double via_engine =
+      CountingStrategyJq(jury, 0.5, [n](int z) {
+        return static_cast<double>(z) / n;
+      }).value();
+  EXPECT_NEAR(via_engine, RandomizedMajorityJq(jury, 0.5).value(), 1e-12);
+}
+
+TEST(CountingStrategyJqTest, CustomSupermajorityMatchesEnumeration) {
+  // A two-thirds supermajority rule (abstaining to 1 otherwise) — a rule
+  // the library does not ship, validated against brute force.
+  class SuperMajority final : public VotingStrategy {
+   public:
+    std::string name() const override { return "SUPER"; }
+    StrategyKind kind() const override {
+      return StrategyKind::kDeterministic;
+    }
+    double ProbZero(const Jury& jury, const Votes& votes,
+                    double /*alpha*/) const override {
+      return 3 * CountZeros(votes) >= 2 * static_cast<int>(jury.size())
+                 ? 1.0
+                 : 0.0;
+    }
+  };
+  Rng rng(23);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Jury jury = RandomJury(&rng, 9, 0.4, 0.95);
+    const double alpha = rng.Uniform(0.2, 0.8);
+    const SuperMajority rule;
+    const double exact = ExactJq(jury, rule, alpha).value();
+    const double via_engine =
+        CountingStrategyJq(jury, alpha, [](int z) {
+          return 3 * z >= 18 ? 1.0 : 0.0;
+        }).value();
+    EXPECT_NEAR(via_engine, exact, 1e-12);
+  }
+}
+
+TEST(CountingStrategyJqTest, RejectsBadRules) {
+  const Jury jury = Figure2Jury();
+  EXPECT_FALSE(CountingStrategyJq(jury, 0.5, nullptr).ok());
+  EXPECT_FALSE(
+      CountingStrategyJq(jury, 0.5, [](int) { return 1.5; }).ok());
+}
+
+TEST(CountingStrategyJqTest, BvStillDominatesCustomCountingRules) {
+  // Corollary 1 applied to arbitrary counting rules: none beats BV.
+  Rng rng(29);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Jury jury = RandomJury(&rng, 6, 0.3, 0.99);
+    const double alpha = rng.Uniform(0.1, 0.9);
+    const double bv = ExactJqBv(jury, alpha).value();
+    // Random monotone counting rule.
+    std::vector<double> h(7);
+    for (auto& x : h) x = rng.Uniform();
+    std::sort(h.begin(), h.end());
+    const double counting =
+        CountingStrategyJq(jury, alpha, [&](int z) {
+          return h[static_cast<std::size_t>(z)];
+        }).value();
+    EXPECT_LE(counting, bv + 1e-12);
+  }
+}
+
+TEST(ClosedFormTest, CondorcetJuryTheorem) {
+  // With identical qualities q > 0.5 and alpha = 0.5, MV quality is
+  // non-decreasing in the (odd) jury size — the classic Condorcet jury
+  // theorem, and the structure behind the OddTopK heuristic.
+  for (double q : {0.55, 0.7, 0.9}) {
+    double prev = 0.0;
+    for (int n = 1; n <= 21; n += 2) {
+      const Jury jury = Jury::FromQualities(
+          std::vector<double>(static_cast<std::size_t>(n), q));
+      const double jq = MajorityJq(jury, 0.5).value();
+      EXPECT_GE(jq, prev - 1e-12) << "q=" << q << " n=" << n;
+      prev = jq;
+    }
+  }
+}
+
+TEST(ClosedFormTest, LargeJuryOfGoodWorkersApproachesOne) {
+  const Jury jury = Jury::FromQualities(std::vector<double>(101, 0.7));
+  EXPECT_GT(MajorityJq(jury, 0.5).value(), 0.99);
+}
+
+TEST(ClosedFormTest, ScalesToHundredsOfWorkers) {
+  // The DP is polynomial; 501 workers must be exact and fast.
+  const Jury jury = Jury::FromQualities(std::vector<double>(501, 0.6));
+  const double jq = MajorityJq(jury, 0.5).value();
+  EXPECT_GT(jq, 0.999);
+  EXPECT_LE(jq, 1.0);
+}
+
+}  // namespace
+}  // namespace jury

@@ -1,0 +1,161 @@
+#include <memory>
+#include <tuple>
+
+#include "gtest/gtest.h"
+#include "jq/exact.h"
+#include "jq/monte_carlo.h"
+#include "strategy/registry.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace jury {
+namespace {
+
+using jury::testing::Figure2Jury;
+using jury::testing::RandomJury;
+
+// ------------------------------------------- Paper's worked examples
+
+TEST(ExactJqTest, Example2MajorityVoting) {
+  // Example 2 / Fig. 2: qualities (0.9, 0.6, 0.6), alpha = 0.5:
+  // JQ(J, MV, 0.5) = 79.2%.
+  auto mv = MakeStrategy("MV").value();
+  EXPECT_NEAR(ExactJq(Figure2Jury(), *mv, 0.5).value(), 0.792, 1e-12);
+}
+
+TEST(ExactJqTest, Example3BayesianVoting) {
+  // Example 3: same jury, JQ(J, BV, 0.5) = 90% — BV just follows the
+  // 0.9-quality worker because phi(0.9) > phi(0.6) + phi(0.6).
+  EXPECT_NEAR(ExactJqBv(Figure2Jury(), 0.5).value(), 0.9, 1e-12);
+}
+
+TEST(ExactJqTest, IntroductionJuryBEF) {
+  // §1: workers B(0.7), E(0.6), F(0.6) under MV give 69.6%.
+  auto mv = MakeStrategy("MV").value();
+  const Jury jury = Jury::FromQualities({0.7, 0.6, 0.6});
+  EXPECT_NEAR(ExactJq(jury, *mv, 0.5).value(), 0.696, 1e-12);
+}
+
+// ------------------------------------------------- Structural checks
+
+TEST(ExactJqTest, SingleWorkerBvEqualsQuality) {
+  for (double q : {0.5, 0.6, 0.75, 0.9, 0.99}) {
+    EXPECT_NEAR(ExactJqBv(Jury::FromQualities({q}), 0.5).value(), q, 1e-12);
+  }
+}
+
+TEST(ExactJqTest, SingleLowQualityWorkerBvEqualsFlippedQuality) {
+  // §3.3: a q < 0.5 worker is as useful as a 1-q worker with flipped votes.
+  EXPECT_NEAR(ExactJqBv(Jury::FromQualities({0.2}), 0.5).value(), 0.8, 1e-12);
+}
+
+TEST(ExactJqTest, RejectsEmptyJuryAndBadAlpha) {
+  auto bv = MakeStrategy("BV").value();
+  EXPECT_EQ(ExactJq(Jury(), *bv, 0.5).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ExactJq(Figure2Jury(), *bv, 1.5).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ExactJqTest, GuardsLargeJuries) {
+  const Jury big = Jury::FromQualities(std::vector<double>(26, 0.7));
+  auto bv = MakeStrategy("BV").value();
+  EXPECT_EQ(ExactJq(big, *bv, 0.5).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ExactJqTest, JqIsAProbability) {
+  Rng rng(3);
+  const auto strategies = MakeAllStrategies();
+  for (int trial = 0; trial < 40; ++trial) {
+    const Jury jury = RandomJury(&rng, 1 + static_cast<int>(rng.UniformInt(6)),
+                                 0.3, 0.99);
+    const double alpha = rng.Uniform();
+    for (const auto& s : strategies) {
+      const double jq = ExactJq(jury, *s, alpha).value();
+      EXPECT_GE(jq, 0.0) << s->name();
+      EXPECT_LE(jq, 1.0 + 1e-12) << s->name();
+    }
+  }
+}
+
+TEST(ExactJqTest, PermutationInvariant) {
+  auto bv = MakeStrategy("BV").value();
+  const Jury a = Jury::FromQualities({0.6, 0.7, 0.8, 0.9});
+  const Jury b = Jury::FromQualities({0.9, 0.8, 0.7, 0.6});
+  EXPECT_NEAR(ExactJq(a, *bv, 0.3).value(), ExactJq(b, *bv, 0.3).value(),
+              1e-12);
+}
+
+TEST(ExactJqTest, SymmetricUnderComplementaryPriorForBv) {
+  // Flipping the prior relabels 0 <-> 1; BV's JQ is unchanged because the
+  // worker model is symmetric in the two answers.
+  Rng rng(5);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Jury jury = RandomJury(&rng, 5, 0.5, 0.95);
+    const double alpha = rng.Uniform();
+    EXPECT_NEAR(ExactJqBv(jury, alpha).value(),
+                ExactJqBv(jury, 1.0 - alpha).value(), 1e-10);
+  }
+}
+
+TEST(ExactJqTest, ExtremePriorPinsJqForBv) {
+  // With alpha = 1 the task is known to be 0; BV can always answer 0.
+  const Jury jury = Jury::FromQualities({0.6, 0.7});
+  EXPECT_NEAR(ExactJqBv(jury, 1.0).value(), 1.0, 1e-9);
+  EXPECT_NEAR(ExactJqBv(jury, 0.0).value(), 1.0, 1e-9);
+}
+
+// ------------------------------------------------------ Monte Carlo
+
+TEST(MonteCarloJqTest, AgreesWithExactForEveryStrategy) {
+  Rng rng(7);
+  const Jury jury = RandomJury(&rng, 7, 0.55, 0.95);
+  for (const auto& s : MakeAllStrategies()) {
+    Rng mc_rng(1234);
+    const double exact = ExactJq(jury, *s, 0.5).value();
+    const double mc = MonteCarloJq(jury, *s, 0.5, 200000, &mc_rng).value();
+    EXPECT_NEAR(mc, exact, 0.01) << s->name();
+  }
+}
+
+TEST(MonteCarloJqTest, AgreesWithExactUnderInformativePrior) {
+  Rng rng(9);
+  const Jury jury = RandomJury(&rng, 5, 0.55, 0.9);
+  auto bv = MakeStrategy("BV").value();
+  Rng mc_rng(4321);
+  const double exact = ExactJq(jury, *bv, 0.8).value();
+  const double mc = MonteCarloJq(jury, *bv, 0.8, 200000, &mc_rng).value();
+  EXPECT_NEAR(mc, exact, 0.01);
+}
+
+TEST(MonteCarloJqTest, ValidatesInputs) {
+  const Jury jury = Jury::FromQualities({0.7});
+  auto bv = MakeStrategy("BV").value();
+  Rng rng(1);
+  EXPECT_FALSE(MonteCarloJq(jury, *bv, 0.5, 0, &rng).ok());
+  EXPECT_FALSE(MonteCarloJq(jury, *bv, 0.5, 10, nullptr).ok());
+  EXPECT_FALSE(MonteCarloJq(Jury(), *bv, 0.5, 10, &rng).ok());
+}
+
+// Sweep: for juries of every size 1..9 and several priors, JQ(BV) is at
+// least as large as every individual quality (Lemma 1 via singletons) and
+// at least max(alpha, 1-alpha).
+class ExactJqSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(ExactJqSweepTest, BvBeatsSingletonsAndPrior) {
+  const auto [n, alpha] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n * 1000 + 7));
+  const Jury jury = RandomJury(&rng, n, 0.5, 0.95);
+  const double jq = ExactJqBv(jury, alpha).value();
+  EXPECT_GE(jq + 1e-9, std::max(alpha, 1.0 - alpha));
+  EXPECT_GE(jq + 1e-9, jury.MaxQuality() * std::min(1.0, 1.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ExactJqSweepTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 7, 9),
+                       ::testing::Values(0.2, 0.5, 0.8)));
+
+}  // namespace
+}  // namespace jury

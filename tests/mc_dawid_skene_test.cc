@@ -1,0 +1,157 @@
+#include <cstddef>
+
+#include "gtest/gtest.h"
+#include "multiclass/confusion.h"
+#include "multiclass/dawid_skene.h"
+#include "util/rng.h"
+
+namespace jury::mc {
+namespace {
+
+/// Simulates a dense labelling dataset: every worker answers every task.
+struct SimulatedWorld {
+  McDataset dataset;
+  std::vector<std::size_t> truths;
+  std::vector<ConfusionMatrix> confusion;
+};
+
+SimulatedWorld Simulate(Rng* rng, const std::vector<ConfusionMatrix>& cms,
+                        std::size_t num_tasks, std::size_t labels) {
+  SimulatedWorld world;
+  world.confusion = cms;
+  world.dataset.num_workers = cms.size();
+  world.dataset.num_labels = labels;
+  world.dataset.tasks.resize(num_tasks);
+  world.truths.resize(num_tasks);
+  for (std::size_t t = 0; t < num_tasks; ++t) {
+    const std::size_t truth = rng->UniformInt(labels);
+    world.truths[t] = truth;
+    for (std::size_t w = 0; w < cms.size(); ++w) {
+      // Sample a vote from row `truth` of worker w's confusion matrix.
+      const double u = rng->Uniform();
+      double acc = 0.0;
+      std::size_t vote = labels - 1;
+      for (std::size_t k = 0; k < labels; ++k) {
+        acc += cms[w](truth, k);
+        if (u < acc) {
+          vote = k;
+          break;
+        }
+      }
+      world.dataset.tasks[t].push_back({w, vote});
+    }
+  }
+  return world;
+}
+
+TEST(McDawidSkeneTest, RecoversConfusionMatrices) {
+  Rng rng(1);
+  std::vector<ConfusionMatrix> cms;
+  for (double q : {0.9, 0.8, 0.75, 0.7, 0.85, 0.8}) {
+    cms.push_back(ConfusionMatrix::FromQuality(q, 3));
+  }
+  const auto world = Simulate(&rng, cms, 800, 3);
+  const auto result = RunMcDawidSkene(world.dataset).value();
+  for (std::size_t w = 0; w < cms.size(); ++w) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      for (std::size_t k = 0; k < 3; ++k) {
+        EXPECT_NEAR(result.confusion[w](j, k), cms[w](j, k), 0.1)
+            << "worker " << w << " cell (" << j << "," << k << ")";
+      }
+    }
+  }
+}
+
+TEST(McDawidSkeneTest, PosteriorsRecoverTruths) {
+  Rng rng(3);
+  std::vector<ConfusionMatrix> cms(5, ConfusionMatrix::FromQuality(0.8, 4));
+  const auto world = Simulate(&rng, cms, 400, 4);
+  const auto result = RunMcDawidSkene(world.dataset).value();
+  int correct = 0;
+  for (std::size_t t = 0; t < world.truths.size(); ++t) {
+    correct += (result.Decide(t, 4) == world.truths[t]);
+  }
+  EXPECT_GT(static_cast<double>(correct) /
+                static_cast<double>(world.truths.size()),
+            0.9);
+}
+
+TEST(McDawidSkeneTest, HandlesAsymmetricConfusion) {
+  // A worker who confuses label 1 with 2 but never 0.
+  Rng rng(5);
+  ConfusionMatrix skewed(3, {0.95, 0.03, 0.02,   //
+                             0.05, 0.55, 0.40,   //
+                             0.05, 0.35, 0.60});
+  std::vector<ConfusionMatrix> cms{
+      skewed, ConfusionMatrix::FromQuality(0.85, 3),
+      ConfusionMatrix::FromQuality(0.8, 3),
+      ConfusionMatrix::FromQuality(0.8, 3),
+      ConfusionMatrix::FromQuality(0.75, 3)};
+  const auto world = Simulate(&rng, cms, 1200, 3);
+  const auto result = RunMcDawidSkene(world.dataset).value();
+  // The asymmetry must show up in the estimate.
+  EXPECT_GT(result.confusion[0](0, 0), 0.85);
+  EXPECT_GT(result.confusion[0](1, 2), 0.25);
+  EXPECT_LT(result.confusion[0](1, 0), 0.15);
+}
+
+TEST(McDawidSkeneTest, ConvergesOnEasyData) {
+  Rng rng(7);
+  std::vector<ConfusionMatrix> cms(4, ConfusionMatrix::FromQuality(0.9, 2));
+  const auto world = Simulate(&rng, cms, 200, 2);
+  const auto result = RunMcDawidSkene(world.dataset).value();
+  EXPECT_TRUE(result.converged);
+  EXPECT_LE(result.iterations, 100);
+}
+
+TEST(McDawidSkeneTest, EstimatedMatricesAreRowStochastic) {
+  Rng rng(9);
+  std::vector<ConfusionMatrix> cms(3, ConfusionMatrix::FromQuality(0.7, 3));
+  const auto world = Simulate(&rng, cms, 100, 3);
+  const auto result = RunMcDawidSkene(world.dataset).value();
+  for (const auto& cm : result.confusion) {
+    EXPECT_TRUE(cm.Validate().ok());
+  }
+}
+
+TEST(McDawidSkeneTest, UnansweredWorkerStaysNearUniform) {
+  McDataset dataset;
+  dataset.num_workers = 2;
+  dataset.num_labels = 2;
+  dataset.tasks.resize(50);
+  Rng rng(11);
+  for (auto& task : dataset.tasks) {
+    task.push_back({0, rng.UniformInt(2)});  // only worker 0 answers
+  }
+  const auto result = RunMcDawidSkene(dataset).value();
+  // Worker 1 never answered: smoothing keeps the estimate uniform.
+  EXPECT_NEAR(result.confusion[1](0, 0), 0.5, 1e-9);
+  EXPECT_NEAR(result.confusion[1](1, 0), 0.5, 1e-9);
+}
+
+TEST(McDawidSkeneTest, ValidatesInputs) {
+  McDataset bad;
+  bad.num_workers = 0;
+  bad.num_labels = 3;
+  EXPECT_FALSE(RunMcDawidSkene(bad).ok());
+
+  McDataset out_of_range;
+  out_of_range.num_workers = 1;
+  out_of_range.num_labels = 2;
+  out_of_range.tasks.push_back({{5, 0}});
+  EXPECT_FALSE(RunMcDawidSkene(out_of_range).ok());
+
+  McDataset fine;
+  fine.num_workers = 1;
+  fine.num_labels = 2;
+  fine.tasks.push_back({{0, 1}});
+  McDawidSkeneOptions opts;
+  opts.max_iterations = 0;
+  EXPECT_FALSE(RunMcDawidSkene(fine, opts).ok());
+  McDawidSkeneOptions bad_prior;
+  bad_prior.prior = {0.5, 0.6};
+  EXPECT_FALSE(RunMcDawidSkene(fine, bad_prior).ok());
+}
+
+}  // namespace
+}  // namespace jury::mc

@@ -1,0 +1,124 @@
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "crowd/mc_sim.h"
+#include "multiclass/dawid_skene.h"
+#include "util/rng.h"
+
+namespace jury::crowd {
+namespace {
+
+using mc::ConfusionMatrix;
+
+TEST(McSimTest, VoteDistributionMatchesConfusionRow) {
+  Rng rng(1);
+  ConfusionMatrix cm(3, {0.7, 0.2, 0.1,  //
+                         0.1, 0.8, 0.1,  //
+                         0.3, 0.3, 0.4});
+  for (std::size_t truth = 0; truth < 3; ++truth) {
+    std::vector<int> counts(3, 0);
+    const int trials = 60000;
+    for (int i = 0; i < trials; ++i) {
+      ++counts[SimulateMcVote(cm, truth, &rng)];
+    }
+    for (std::size_t k = 0; k < 3; ++k) {
+      EXPECT_NEAR(static_cast<double>(counts[k]) / trials, cm(truth, k),
+                  0.01)
+          << "truth=" << truth << " vote=" << k;
+    }
+  }
+}
+
+TEST(McSimTest, WorldRespectsPrior) {
+  Rng rng(3);
+  std::vector<ConfusionMatrix> cms(3, ConfusionMatrix::FromQuality(0.8, 3));
+  const auto world =
+      SimulateMcWorld(cms, 30000, &rng, {0.6, 0.3, 0.1}).value();
+  std::vector<int> counts(3, 0);
+  for (std::size_t truth : world.truths) {
+    ++counts[truth];
+  }
+  EXPECT_NEAR(counts[0] / 30000.0, 0.6, 0.01);
+  EXPECT_NEAR(counts[1] / 30000.0, 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / 30000.0, 0.1, 0.01);
+}
+
+TEST(McSimTest, WorldIsDenseAndValid) {
+  Rng rng(5);
+  std::vector<ConfusionMatrix> cms(4, ConfusionMatrix::FromQuality(0.7, 2));
+  const auto world = SimulateMcWorld(cms, 100, &rng).value();
+  EXPECT_TRUE(world.dataset.Validate().ok());
+  ASSERT_EQ(world.dataset.tasks.size(), 100u);
+  for (const auto& task : world.dataset.tasks) {
+    EXPECT_EQ(task.size(), 4u);  // every worker answers every task
+  }
+}
+
+TEST(McSimTest, EmpiricalConfusionRecoversLatent) {
+  Rng rng(7);
+  std::vector<ConfusionMatrix> cms{
+      ConfusionMatrix(3, {0.9, 0.05, 0.05,  //
+                          0.1, 0.7, 0.2,    //
+                          0.1, 0.2, 0.7}),
+      ConfusionMatrix::FromQuality(0.6, 3)};
+  const auto world = SimulateMcWorld(cms, 3000, &rng).value();
+  const auto estimated =
+      EstimateConfusionEmpirical(world.dataset, world.truths).value();
+  for (std::size_t w = 0; w < cms.size(); ++w) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      for (std::size_t k = 0; k < 3; ++k) {
+        EXPECT_NEAR(estimated[w](j, k), cms[w](j, k), 0.04)
+            << "w=" << w << " (" << j << "," << k << ")";
+      }
+    }
+  }
+}
+
+TEST(McSimTest, EstimatedMatricesValidate) {
+  Rng rng(9);
+  std::vector<ConfusionMatrix> cms(2, ConfusionMatrix::FromQuality(0.75, 4));
+  const auto world = SimulateMcWorld(cms, 50, &rng).value();
+  const auto estimated =
+      EstimateConfusionEmpirical(world.dataset, world.truths).value();
+  for (const auto& cm : estimated) {
+    EXPECT_TRUE(cm.Validate().ok());
+  }
+}
+
+TEST(McSimTest, EmAgreesWithEmpiricalOnDenseData) {
+  // Cross-validate the two estimation paths: ground-truth empirical vs
+  // Dawid-Skene EM (no truths). On high-quality dense data they coincide.
+  Rng rng(11);
+  std::vector<ConfusionMatrix> cms(5, ConfusionMatrix::FromQuality(0.85, 3));
+  const auto world = SimulateMcWorld(cms, 600, &rng).value();
+  const auto empirical =
+      EstimateConfusionEmpirical(world.dataset, world.truths).value();
+  const auto em = mc::RunMcDawidSkene(world.dataset).value();
+  for (std::size_t w = 0; w < cms.size(); ++w) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      for (std::size_t k = 0; k < 3; ++k) {
+        EXPECT_NEAR(em.confusion[w](j, k), empirical[w](j, k), 0.05);
+      }
+    }
+  }
+}
+
+TEST(McSimTest, ValidatesInputs) {
+  Rng rng(13);
+  EXPECT_FALSE(SimulateMcWorld({}, 10, &rng).ok());
+  std::vector<ConfusionMatrix> mixed{ConfusionMatrix::FromQuality(0.7, 2),
+                                     ConfusionMatrix::FromQuality(0.7, 3)};
+  EXPECT_FALSE(SimulateMcWorld(mixed, 10, &rng).ok());
+  std::vector<ConfusionMatrix> ok{ConfusionMatrix::FromQuality(0.7, 2)};
+  EXPECT_FALSE(SimulateMcWorld(ok, 10, nullptr).ok());
+  EXPECT_FALSE(SimulateMcWorld(ok, 10, &rng, {0.5, 0.6}).ok());
+
+  const auto world = SimulateMcWorld(ok, 10, &rng).value();
+  EXPECT_FALSE(
+      EstimateConfusionEmpirical(world.dataset, {0, 1}).ok());  // size
+  EXPECT_FALSE(EstimateConfusionEmpirical(world.dataset, world.truths, -1.0)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace jury::crowd

@@ -1,0 +1,145 @@
+#include <cstdint>
+#include <set>
+
+#include "gtest/gtest.h"
+#include "model/jury.h"
+#include "model/prior.h"
+#include "model/votes.h"
+#include "model/worker.h"
+
+namespace jury {
+namespace {
+
+// ---------------------------------------------------------------- Worker
+
+TEST(WorkerTest, ValidatesRanges) {
+  EXPECT_TRUE(ValidateWorker({"a", 0.7, 1.0}).ok());
+  EXPECT_TRUE(ValidateWorker({"b", 0.0, 0.0}).ok());
+  EXPECT_TRUE(ValidateWorker({"c", 1.0, 0.0}).ok());
+  EXPECT_FALSE(ValidateWorker({"d", -0.1, 1.0}).ok());
+  EXPECT_FALSE(ValidateWorker({"e", 1.1, 1.0}).ok());
+  EXPECT_FALSE(ValidateWorker({"f", 0.7, -1.0}).ok());
+}
+
+TEST(WorkerTest, EffectiveQualityClampsEndpoints) {
+  EXPECT_GT(EffectiveQuality(0.0), 0.0);
+  EXPECT_LT(EffectiveQuality(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(EffectiveQuality(0.7), 0.7);
+}
+
+// ----------------------------------------------------------------- Votes
+
+TEST(VotesTest, FromMaskExpandsBits) {
+  const Votes v = VotesFromMask(0b101, 3);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[1], 0);
+  EXPECT_EQ(v[2], 1);
+}
+
+TEST(VotesTest, CountsAndComplement) {
+  const Votes v{1, 0, 0, 1, 0};
+  EXPECT_EQ(CountZeros(v), 3);
+  EXPECT_EQ(CountOnes(v), 2);
+  const Votes c = Complement(v);
+  EXPECT_EQ(CountZeros(c), 2);
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_NE(v[i], c[i]);
+}
+
+TEST(VotesTest, AllMasksAreDistinct) {
+  std::set<std::string> seen;
+  for (std::uint64_t m = 0; m < 16; ++m) {
+    std::string key;
+    for (std::uint8_t v : VotesFromMask(m, 4)) {
+      key += static_cast<char>('0' + v);
+    }
+    seen.insert(key);
+  }
+  EXPECT_EQ(seen.size(), 16u);
+}
+
+// ------------------------------------------------------------------ Jury
+
+TEST(JuryTest, FromQualitiesBuildsZeroCostWorkers) {
+  const Jury jury = Jury::FromQualities({0.9, 0.6});
+  ASSERT_EQ(jury.size(), 2u);
+  EXPECT_DOUBLE_EQ(jury.worker(0).quality, 0.9);
+  EXPECT_DOUBLE_EQ(jury.worker(1).quality, 0.6);
+  EXPECT_DOUBLE_EQ(jury.TotalCost(), 0.0);
+}
+
+TEST(JuryTest, TotalCostSums) {
+  Jury jury;
+  jury.Add({"a", 0.7, 5.0});
+  jury.Add({"b", 0.8, 6.0});
+  jury.Add({"c", 0.75, 3.0});
+  EXPECT_DOUBLE_EQ(jury.TotalCost(), 14.0);
+}
+
+TEST(JuryTest, MinMaxQuality) {
+  const Jury jury = Jury::FromQualities({0.9, 0.6, 0.75});
+  EXPECT_DOUBLE_EQ(jury.MinQuality(), 0.6);
+  EXPECT_DOUBLE_EQ(jury.MaxQuality(), 0.9);
+}
+
+TEST(JuryTest, ValidateRejectsBadMember) {
+  Jury jury;
+  jury.Add({"a", 1.5, 0.0});
+  EXPECT_FALSE(jury.Validate().ok());
+}
+
+TEST(JuryTest, QualitiesAlignedWithWorkers) {
+  const Jury jury = Jury::FromQualities({0.5, 0.6, 0.7});
+  const auto qs = jury.qualities();
+  ASSERT_EQ(qs.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(qs[i], jury.worker(i).quality);
+  }
+}
+
+// --------------------------------------------------- Normalization §3.3
+
+TEST(NormalizeTest, FlipsOnlyLowQualityWorkers) {
+  const Jury jury = Jury::FromQualities({0.3, 0.5, 0.8});
+  const NormalizedJury norm = Normalize(jury);
+  EXPECT_DOUBLE_EQ(norm.jury.worker(0).quality, 0.7);
+  EXPECT_DOUBLE_EQ(norm.jury.worker(1).quality, 0.5);
+  EXPECT_DOUBLE_EQ(norm.jury.worker(2).quality, 0.8);
+  EXPECT_TRUE(norm.flipped[0]);
+  EXPECT_FALSE(norm.flipped[1]);
+  EXPECT_FALSE(norm.flipped[2]);
+}
+
+TEST(NormalizeTest, TranslateVotesFlipsMarkedPositions) {
+  const Jury jury = Jury::FromQualities({0.2, 0.9});
+  const NormalizedJury norm = Normalize(jury);
+  const Votes translated = norm.TranslateVotes({1, 1});
+  EXPECT_EQ(translated[0], 0);  // flipped worker
+  EXPECT_EQ(translated[1], 1);  // untouched
+}
+
+TEST(NormalizeTest, AllQualitiesAtLeastHalfAfter) {
+  const Jury jury = Jury::FromQualities({0.1, 0.2, 0.49, 0.5, 0.51, 0.99});
+  const NormalizedJury norm = Normalize(jury);
+  for (const Worker& w : norm.jury.workers()) {
+    EXPECT_GE(w.quality, 0.5);
+  }
+}
+
+// ----------------------------------------------------------------- Prior
+
+TEST(PriorTest, ValidatesRange) {
+  EXPECT_TRUE(ValidateAlpha(0.0).ok());
+  EXPECT_TRUE(ValidateAlpha(0.5).ok());
+  EXPECT_TRUE(ValidateAlpha(1.0).ok());
+  EXPECT_FALSE(ValidateAlpha(-0.1).ok());
+  EXPECT_FALSE(ValidateAlpha(1.1).ok());
+}
+
+TEST(PriorTest, UninformativeDetection) {
+  EXPECT_TRUE(IsUninformativeAlpha(0.5));
+  EXPECT_FALSE(IsUninformativeAlpha(0.7));
+}
+
+}  // namespace
+}  // namespace jury

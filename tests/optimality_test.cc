@@ -1,0 +1,187 @@
+// Tests for the paper's central result (Theorem 1 / Corollary 1): Bayesian
+// Voting maximizes Jury Quality over ALL voting strategies, deterministic
+// and randomized. For tiny juries we can enumerate literally every
+// deterministic strategy (a function {0,1}^n -> {0,1}, i.e. 2^(2^n) of
+// them) and check each one; randomized strategies are convex combinations
+// of deterministic ones, so the deterministic sweep already covers them —
+// we still spot-check random mixtures.
+
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "jq/exact.h"
+#include "strategy/registry.h"
+#include "strategy/voting_strategy.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace jury {
+namespace {
+
+using jury::testing::RandomJury;
+
+/// A deterministic strategy defined by an arbitrary truth table over all
+/// 2^n votings: entry `table >> mask & 1` is the result for voting `mask`.
+class TruthTableStrategy final : public VotingStrategy {
+ public:
+  TruthTableStrategy(std::uint64_t table, int n) : table_(table), n_(n) {}
+  std::string name() const override { return "TABLE"; }
+  StrategyKind kind() const override { return StrategyKind::kDeterministic; }
+  double ProbZero(const Jury& jury, const Votes& votes,
+                  double /*alpha*/) const override {
+    EXPECT_EQ(static_cast<int>(jury.size()), n_);
+    std::uint64_t mask = 0;
+    for (std::size_t i = 0; i < votes.size(); ++i) {
+      if (votes[i]) mask |= (1ull << i);
+    }
+    const int result = static_cast<int>((table_ >> mask) & 1u);
+    return result == 0 ? 1.0 : 0.0;
+  }
+
+ private:
+  std::uint64_t table_;
+  int n_;
+};
+
+/// A randomized strategy with an arbitrary probability per voting.
+class RandomizedTableStrategy final : public VotingStrategy {
+ public:
+  explicit RandomizedTableStrategy(std::vector<double> prob_zero)
+      : prob_zero_(std::move(prob_zero)) {}
+  std::string name() const override { return "RANDTABLE"; }
+  StrategyKind kind() const override { return StrategyKind::kRandomized; }
+  double ProbZero(const Jury& /*jury*/, const Votes& votes,
+                  double /*alpha*/) const override {
+    std::uint64_t mask = 0;
+    for (std::size_t i = 0; i < votes.size(); ++i) {
+      if (votes[i]) mask |= (1ull << i);
+    }
+    return prob_zero_[static_cast<std::size_t>(mask)];
+  }
+
+ private:
+  std::vector<double> prob_zero_;
+};
+
+/// Exhaustive check at n = 2: 16 deterministic strategies.
+class ExhaustiveOptimalityN2Test
+    : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(ExhaustiveOptimalityN2Test, BvDominatesEveryDeterministicStrategy) {
+  const auto [alpha, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 6151);
+  const Jury jury = RandomJury(&rng, 2, 0.3, 0.99);
+  const double bv_jq = ExactJqBv(jury, alpha).value();
+  for (std::uint64_t table = 0; table < (1u << 4); ++table) {
+    const TruthTableStrategy s(table, 2);
+    EXPECT_LE(ExactJq(jury, s, alpha).value(), bv_jq + 1e-12)
+        << "table=" << table << " alpha=" << alpha;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ExhaustiveOptimalityN2Test,
+    ::testing::Combine(::testing::Values(0.1, 0.3, 0.5, 0.7, 0.9),
+                       ::testing::Values(1, 2, 3, 4)));
+
+/// Exhaustive check at n = 3: all 256 deterministic strategies.
+class ExhaustiveOptimalityN3Test : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExhaustiveOptimalityN3Test, BvDominatesEveryDeterministicStrategy) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 3571);
+  const Jury jury = RandomJury(&rng, 3, 0.3, 0.99);
+  const double alpha = rng.Uniform(0.05, 0.95);
+  const double bv_jq = ExactJqBv(jury, alpha).value();
+  for (std::uint64_t table = 0; table < (1u << 8); ++table) {
+    const TruthTableStrategy s(table, 3);
+    EXPECT_LE(ExactJq(jury, s, alpha).value(), bv_jq + 1e-12)
+        << "table=" << table;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ExhaustiveOptimalityN3Test,
+                         ::testing::Range(1, 9));
+
+/// Random mixtures: randomized strategies cannot beat BV either
+/// (Definition 2 strategies are the convex hull of the deterministic ones).
+class RandomizedOptimalityTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RandomizedOptimalityTest, BvDominatesRandomizedStrategies) {
+  const auto [n, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 12289 +
+          static_cast<std::uint64_t>(n));
+  const Jury jury = RandomJury(&rng, n, 0.3, 0.99);
+  const double alpha = rng.Uniform(0.05, 0.95);
+  const double bv_jq = ExactJqBv(jury, alpha).value();
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> prob_zero(1u << n);
+    for (double& p : prob_zero) p = rng.Uniform();
+    const RandomizedTableStrategy s(std::move(prob_zero));
+    EXPECT_LE(ExactJq(jury, s, alpha).value(), bv_jq + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomizedOptimalityTest,
+    ::testing::Combine(::testing::Values(2, 4, 6), ::testing::Values(1, 2)));
+
+/// BV dominates every *named* strategy from Table 2 across sizes, priors
+/// and quality regimes — the Fig. 8 claim in property form.
+class BuiltinDominanceTest
+    : public ::testing::TestWithParam<std::tuple<int, double, double>> {};
+
+TEST_P(BuiltinDominanceTest, BvIsTheMaximumOverBuiltins) {
+  const auto [n, alpha, quality_lo] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n) * 52361 +
+          static_cast<std::uint64_t>(alpha * 1000) +
+          static_cast<std::uint64_t>(quality_lo * 100));
+  for (int trial = 0; trial < 10; ++trial) {
+    const Jury jury = RandomJury(&rng, n, quality_lo, 0.99);
+    const double bv_jq = ExactJqBv(jury, alpha).value();
+    for (const auto& s : MakeAllStrategies()) {
+      EXPECT_LE(ExactJq(jury, *s, alpha).value(), bv_jq + 1e-12)
+          << s->name() << " n=" << n << " alpha=" << alpha;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BuiltinDominanceTest,
+    ::testing::Combine(::testing::Values(1, 3, 5, 8, 11),
+                       ::testing::Values(0.2, 0.5, 0.8),
+                       ::testing::Values(0.3, 0.5, 0.7)));
+
+TEST(OptimalityTest, BvJqEqualsTheAnalyticUpperBound) {
+  // Direct construction of max_S JQ: for every voting pick
+  // max(P0(V), P1(V)) — the proof of Theorem 1 in executable form.
+  Rng rng(31337);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = 1 + static_cast<int>(rng.UniformInt(8));
+    const Jury jury = RandomJury(&rng, n, 0.3, 0.99);
+    const double alpha = rng.Uniform(0.02, 0.98);
+    const std::vector<double> qs = jury.qualities();
+    double upper = 0.0;
+    for (std::uint64_t mask = 0; mask < (1ull << n); ++mask) {
+      double p0 = alpha;
+      double p1 = 1.0 - alpha;
+      for (int i = 0; i < n; ++i) {
+        const double q = qs[static_cast<std::size_t>(i)];
+        if ((mask >> i) & 1u) {
+          p0 *= (1.0 - q);
+          p1 *= q;
+        } else {
+          p0 *= q;
+          p1 *= (1.0 - q);
+        }
+      }
+      upper += std::max(p0, p1);
+    }
+    EXPECT_NEAR(ExactJqBv(jury, alpha).value(), upper, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace jury

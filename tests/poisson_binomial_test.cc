@@ -1,0 +1,116 @@
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/math.h"
+#include "util/poisson_binomial.h"
+#include "util/stats.h"
+#include "util/rng.h"
+
+namespace jury {
+namespace {
+
+TEST(PoissonBinomialTest, EmptyIsPointMassAtZero) {
+  PoissonBinomial pb({});
+  EXPECT_EQ(pb.size(), 0);
+  EXPECT_DOUBLE_EQ(pb.Pmf(0), 1.0);
+  EXPECT_DOUBLE_EQ(pb.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(pb.TailAtLeast(0), 1.0);
+  EXPECT_DOUBLE_EQ(pb.TailAtLeast(1), 0.0);
+}
+
+TEST(PoissonBinomialTest, SingleBernoulli) {
+  PoissonBinomial pb({0.3});
+  EXPECT_NEAR(pb.Pmf(0), 0.7, 1e-12);
+  EXPECT_NEAR(pb.Pmf(1), 0.3, 1e-12);
+  EXPECT_NEAR(pb.Mean(), 0.3, 1e-12);
+}
+
+TEST(PoissonBinomialTest, MatchesBinomialWhenIdentical) {
+  const double p = 0.6;
+  const int n = 12;
+  PoissonBinomial pb(std::vector<double>(n, p));
+  for (int k = 0; k <= n; ++k) {
+    const double expected = BinomialCoefficient(n, k) * std::pow(p, k) *
+                            std::pow(1.0 - p, n - k);
+    EXPECT_NEAR(pb.Pmf(k), expected, 1e-12) << "k=" << k;
+  }
+}
+
+TEST(PoissonBinomialTest, PmfSumsToOne) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> ps;
+    for (int i = 0; i < 30; ++i) ps.push_back(rng.Uniform());
+    PoissonBinomial pb(ps);
+    double sum = 0.0;
+    for (int k = 0; k <= pb.size(); ++k) sum += pb.Pmf(k);
+    EXPECT_NEAR(sum, 1.0, 1e-10);
+    EXPECT_NEAR(pb.Mean(), Mean(ps) * 30.0, 1e-9);
+  }
+}
+
+TEST(PoissonBinomialTest, MatchesBruteForceEnumeration) {
+  Rng rng(7);
+  std::vector<double> ps;
+  for (int i = 0; i < 10; ++i) ps.push_back(rng.Uniform());
+  PoissonBinomial pb(ps);
+  std::vector<double> brute(ps.size() + 1, 0.0);
+  for (std::uint64_t mask = 0; mask < (1u << ps.size()); ++mask) {
+    double prob = 1.0;
+    int successes = 0;
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+      if ((mask >> i) & 1u) {
+        prob *= ps[i];
+        ++successes;
+      } else {
+        prob *= 1.0 - ps[i];
+      }
+    }
+    brute[static_cast<std::size_t>(successes)] += prob;
+  }
+  for (int k = 0; k <= pb.size(); ++k) {
+    EXPECT_NEAR(pb.Pmf(k), brute[static_cast<std::size_t>(k)], 1e-12);
+  }
+}
+
+TEST(PoissonBinomialTest, TailAndCdfAreComplementary) {
+  PoissonBinomial pb({0.2, 0.5, 0.8, 0.9});
+  for (int k = 0; k <= 5; ++k) {
+    EXPECT_NEAR(pb.TailAtLeast(k) + pb.CdfAtMost(k - 1), 1.0, 1e-12);
+  }
+}
+
+TEST(PoissonBinomialTest, ClampsOutOfRangeProbs) {
+  PoissonBinomial pb({-0.5, 1.5});
+  EXPECT_NEAR(pb.Pmf(1), 1.0, 1e-12);  // one sure failure + one sure success
+}
+
+/// Property sweep: tails are monotone and bounded for random inputs.
+class PoissonBinomialPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PoissonBinomialPropertyTest, TailIsMonotoneDecreasing) {
+  const auto [n, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  std::vector<double> ps;
+  for (int i = 0; i < n; ++i) ps.push_back(rng.Uniform());
+  PoissonBinomial pb(ps);
+  double prev = 1.0;
+  for (int k = 0; k <= n + 1; ++k) {
+    const double tail = pb.TailAtLeast(k);
+    EXPECT_LE(tail, prev + 1e-12);
+    EXPECT_GE(tail, 0.0);
+    EXPECT_LE(tail, 1.0);
+    prev = tail;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PoissonBinomialPropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 5, 17, 50),
+                       ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace jury

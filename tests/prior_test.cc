@@ -1,0 +1,86 @@
+// Theorem 3: JQ(J, BV, alpha) == JQ(J + {pseudo-worker alpha}, BV, 0.5),
+// verified exactly through the 2^n enumerator, plus edge cases of the
+// prior-as-juror view.
+
+#include <tuple>
+
+#include "gtest/gtest.h"
+#include "jq/exact.h"
+#include "jq/prior_transform.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace jury {
+namespace {
+
+using jury::testing::RandomJury;
+
+class Theorem3Test
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(Theorem3Test, PriorEqualsPseudoWorkerExactly) {
+  const auto [n, alpha] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n) * 31 +
+          static_cast<std::uint64_t>(alpha * 10000));
+  for (int trial = 0; trial < 15; ++trial) {
+    const Jury jury = RandomJury(&rng, n, 0.4, 0.99);
+    const double with_prior = ExactJqBv(jury, alpha).value();
+    const double with_worker =
+        ExactJqBv(ApplyPrior(jury, alpha), 0.5).value();
+    EXPECT_NEAR(with_prior, with_worker, 1e-12)
+        << "n=" << n << " alpha=" << alpha;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Theorem3Test,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 8),
+                       ::testing::Values(0.05, 0.2, 0.35, 0.5, 0.65, 0.8,
+                                         0.95)));
+
+TEST(Theorem3Test, UninformativePriorAddsNothing) {
+  Rng rng(73);
+  const Jury jury = RandomJury(&rng, 6, 0.5, 0.95);
+  // alpha = 0.5 keeps the jury untouched...
+  EXPECT_EQ(ApplyPrior(jury, 0.5).size(), jury.size());
+  // ...and even adding an explicit 0.5-quality worker is a no-op for JQ.
+  Jury padded = jury;
+  padded.Add({"noop", 0.5, 0.0});
+  EXPECT_NEAR(ExactJqBv(jury, 0.5).value(), ExactJqBv(padded, 0.5).value(),
+              1e-12);
+}
+
+TEST(Theorem3Test, StrongPriorDominatesWeakJury) {
+  // A 0.95 prior with three 0.55 workers: BV should do at least as well as
+  // ignoring the jury entirely.
+  const Jury jury = Jury::FromQualities({0.55, 0.55, 0.55});
+  EXPECT_GE(ExactJqBv(jury, 0.95).value(), 0.95 - 1e-12);
+}
+
+TEST(Theorem3Test, BelowHalfPriorActsAsFlippedWorker) {
+  // alpha < 0.5 is a pseudo-worker biased towards answer 1 — the §3.3 flip
+  // reinterpretation applies to it like to any juror.
+  Rng rng(79);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Jury jury = RandomJury(&rng, 4, 0.5, 0.9);
+    const double alpha = rng.Uniform(0.05, 0.45);
+    EXPECT_NEAR(ExactJqBv(jury, alpha).value(),
+                ExactJqBv(jury, 1.0 - alpha).value(), 1e-12);
+  }
+}
+
+TEST(Theorem3Test, PriorChainComposes) {
+  // Applying two priors as pseudo-workers composes multiplicatively in the
+  // log-odds domain: adding alpha then beta equals a jury with both.
+  const Jury jury = Jury::FromQualities({0.7, 0.8});
+  const Jury j1 = ApplyPrior(jury, 0.6);
+  const Jury j2 = ApplyPrior(j1, 0.7);
+  Jury manual = jury;
+  manual.Add({"p1", 0.6, 0.0});
+  manual.Add({"p2", 0.7, 0.0});
+  EXPECT_NEAR(ExactJqBv(j2, 0.5).value(), ExactJqBv(manual, 0.5).value(),
+              1e-12);
+}
+
+}  // namespace
+}  // namespace jury

@@ -1,0 +1,175 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "core/sequential.h"
+#include "crowd/vote_sim.h"
+#include "strategy/bayesian.h"
+#include "test_util.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace jury {
+namespace {
+
+using jury::testing::RandomJury;
+
+TEST(SequentialDecisionTest, StartsAtThePrior) {
+  SequentialDecision d(0.7);
+  EXPECT_NEAR(d.PosteriorZero(), 0.7, 1e-12);
+  EXPECT_EQ(d.CurrentAnswer(), 0);
+  EXPECT_NEAR(d.Confidence(), 0.7, 1e-12);
+  EXPECT_EQ(d.votes_seen(), 0u);
+}
+
+TEST(SequentialDecisionTest, SingleVoteMatchesBayesRule) {
+  // Pr(t=0 | one 0-vote from quality q) = alpha q / (alpha q + (1-a)(1-q)).
+  for (double alpha : {0.3, 0.5, 0.8}) {
+    for (double q : {0.55, 0.7, 0.9}) {
+      SequentialDecision d(alpha);
+      d.Observe(q, 0);
+      const double expected =
+          alpha * q / (alpha * q + (1.0 - alpha) * (1.0 - q));
+      EXPECT_NEAR(d.PosteriorZero(), expected, 1e-12);
+    }
+  }
+}
+
+TEST(SequentialDecisionTest, AgreesWithBatchBvOnEveryPrefix) {
+  Rng rng(3);
+  const BayesianVoting bv;
+  for (int trial = 0; trial < 100; ++trial) {
+    const Jury jury = RandomJury(&rng, 8, 0.4, 0.95);
+    const double alpha = rng.Uniform(0.1, 0.9);
+    Votes votes(8);
+    for (auto& v : votes) v = static_cast<std::uint8_t>(rng.UniformInt(2));
+
+    SequentialDecision d(alpha);
+    for (std::size_t k = 0; k < 8; ++k) {
+      d.Observe(jury.worker(k).quality, votes[k]);
+      // Batch BV over the prefix must give the same answer.
+      Jury prefix_jury;
+      Votes prefix_votes;
+      for (std::size_t i = 0; i <= k; ++i) {
+        prefix_jury.Add(jury.worker(i));
+        prefix_votes.push_back(votes[i]);
+      }
+      const int batch =
+          bv.ProbZero(prefix_jury, prefix_votes, alpha) >= 1.0 ? 0 : 1;
+      EXPECT_EQ(d.CurrentAnswer(), batch) << "prefix " << k;
+    }
+  }
+}
+
+TEST(SequentialDecisionTest, OpposingVotesCancel) {
+  SequentialDecision d(0.5);
+  d.Observe(0.8, 0);
+  d.Observe(0.8, 1);
+  EXPECT_NEAR(d.PosteriorZero(), 0.5, 1e-12);
+  EXPECT_EQ(d.votes_seen(), 2u);
+}
+
+TEST(SequentialPolicyTest, StopsAtConfidence) {
+  std::vector<Worker> stream(10, Worker("w", 0.9, 0.1));
+  SequentialConfig config;
+  config.confidence_threshold = 0.95;
+  const auto outcome =
+      RunSequentialPolicy(
+          stream, [](const Worker&, std::size_t) { return 0; }, config)
+          .value();
+  EXPECT_TRUE(outcome.stopped_by_confidence);
+  EXPECT_GE(outcome.confidence, 0.95);
+  // Two agreeing 0.9 votes reach 0.9878 > 0.95.
+  EXPECT_EQ(outcome.votes_used, 2u);
+  EXPECT_EQ(outcome.answer, 0);
+  EXPECT_NEAR(outcome.spent, 0.2, 1e-12);
+}
+
+TEST(SequentialPolicyTest, RespectsBudget) {
+  std::vector<Worker> stream(10, Worker("w", 0.55, 0.3));
+  SequentialConfig config;
+  config.confidence_threshold = 0.999;  // unreachable within budget
+  config.budget = 1.0;
+  const auto outcome =
+      RunSequentialPolicy(
+          stream, [](const Worker&, std::size_t) { return 0; }, config)
+          .value();
+  EXPECT_FALSE(outcome.stopped_by_confidence);
+  EXPECT_EQ(outcome.votes_used, 3u);  // 4th vote would exceed the budget
+  EXPECT_LE(outcome.spent, 1.0 + 1e-12);
+}
+
+TEST(SequentialPolicyTest, RespectsMaxVotes) {
+  std::vector<Worker> stream(10, Worker("w", 0.6, 0.0));
+  SequentialConfig config;
+  config.confidence_threshold = 1.0;
+  config.max_votes = 4;
+  const auto outcome =
+      RunSequentialPolicy(
+          stream, [](const Worker&, std::size_t) { return 1; }, config)
+          .value();
+  EXPECT_EQ(outcome.votes_used, 4u);
+  EXPECT_EQ(outcome.answer, 1);
+}
+
+TEST(SequentialPolicyTest, ConfidentPriorBuysNothing) {
+  std::vector<Worker> stream(5, Worker("w", 0.9, 1.0));
+  SequentialConfig config;
+  config.alpha = 0.99;
+  config.confidence_threshold = 0.95;
+  const auto outcome =
+      RunSequentialPolicy(
+          stream, [](const Worker&, std::size_t) { return 0; }, config)
+          .value();
+  EXPECT_EQ(outcome.votes_used, 0u);
+  EXPECT_TRUE(outcome.stopped_by_confidence);
+  EXPECT_DOUBLE_EQ(outcome.spent, 0.0);
+}
+
+TEST(SequentialPolicyTest, ValidatesInputs) {
+  std::vector<Worker> stream(3, Worker("w", 0.7, 0.1));
+  SequentialConfig bad;
+  bad.confidence_threshold = 0.3;
+  EXPECT_FALSE(RunSequentialPolicy(
+                   stream, [](const Worker&, std::size_t) { return 0; }, bad)
+                   .ok());
+  EXPECT_FALSE(RunSequentialPolicy(stream, nullptr, {}).ok());
+  SequentialConfig ok;
+  EXPECT_FALSE(RunSequentialPolicy(
+                   stream, [](const Worker&, std::size_t) { return 7; }, ok)
+                   .ok());
+}
+
+TEST(SequentialPolicyTest, ConfidenceTargetBoundsRealizedAccuracy) {
+  // When the run stops by confidence c, Pr[correct] >= c — check
+  // empirically across many simulated tasks.
+  Rng rng(11);
+  const double threshold = 0.9;
+  int correct = 0;
+  int confident_stops = 0;
+  for (int t = 0; t < 4000; ++t) {
+    const int truth = crowd::SampleTruth(0.5, &rng);
+    std::vector<Worker> stream;
+    for (int i = 0; i < 15; ++i) {
+      stream.emplace_back("w", rng.Uniform(0.55, 0.9), 0.0);
+    }
+    SequentialConfig config;
+    config.confidence_threshold = threshold;
+    const auto outcome =
+        RunSequentialPolicy(
+            stream,
+            [&](const Worker& w, std::size_t) {
+              return crowd::SimulateVote(w.quality, truth, &rng);
+            },
+            config)
+            .value();
+    if (outcome.stopped_by_confidence) {
+      ++confident_stops;
+      correct += (outcome.answer == truth);
+    }
+  }
+  ASSERT_GT(confident_stops, 1000);
+  EXPECT_GE(static_cast<double>(correct) / confident_stops, threshold - 0.02);
+}
+
+}  // namespace
+}  // namespace jury

@@ -1,0 +1,307 @@
+#include <memory>
+#include <tuple>
+
+#include "gtest/gtest.h"
+#include "model/jury.h"
+#include "strategy/bayesian.h"
+#include "strategy/half_voting.h"
+#include "strategy/majority.h"
+#include "strategy/random_ballot.h"
+#include "strategy/randomized_majority.h"
+#include "strategy/registry.h"
+#include "strategy/triadic.h"
+#include "strategy/weighted_majority.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace jury {
+namespace {
+
+using jury::testing::Figure2Jury;
+using jury::testing::RandomJury;
+
+// ------------------------------------------------------------------- MV
+
+TEST(MajorityVotingTest, FollowsTheCount) {
+  const MajorityVoting mv;
+  const Jury jury = Jury::FromQualities({0.9, 0.6, 0.6});
+  EXPECT_DOUBLE_EQ(mv.ProbZero(jury, {0, 0, 1}, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(mv.ProbZero(jury, {0, 1, 1}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(mv.ProbZero(jury, {0, 0, 0}, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(mv.ProbZero(jury, {1, 1, 1}, 0.5), 0.0);
+}
+
+TEST(MajorityVotingTest, EvenTieGoesToOne) {
+  // Definition in Example 1: result 0 iff zeros >= (n+1)/2. With n = 4 and
+  // a 2-2 split, 2 < 2.5 so the result is 1.
+  const MajorityVoting mv;
+  const Jury jury = Jury::FromQualities({0.7, 0.7, 0.7, 0.7});
+  EXPECT_DOUBLE_EQ(mv.ProbZero(jury, {0, 0, 1, 1}, 0.5), 0.0);
+}
+
+TEST(MajorityVotingTest, IgnoresQualitiesAndPrior) {
+  const MajorityVoting mv;
+  const Jury weak = Jury::FromQualities({0.51, 0.51, 0.51});
+  const Jury strong = Jury::FromQualities({0.99, 0.99, 0.99});
+  const Votes votes{0, 1, 0};
+  EXPECT_DOUBLE_EQ(mv.ProbZero(weak, votes, 0.1),
+                   mv.ProbZero(strong, votes, 0.9));
+}
+
+TEST(MajorityVotingTest, IsDeterministic) {
+  const MajorityVoting mv;
+  EXPECT_TRUE(mv.is_deterministic());
+  EXPECT_EQ(mv.kind(), StrategyKind::kDeterministic);
+}
+
+// ------------------------------------------------------------------- BV
+
+TEST(BayesianVotingTest, PaperExampleFromSection3) {
+  // §3.3: alpha = 0.5, qualities (0.9, 0.6, 0.6), votes V = {0, 1, 1}:
+  // 0.5*0.9*0.4*0.4 > 0.5*0.1*0.6*0.6, so BV returns 0 — it follows the
+  // single high-quality worker against the two weak ones.
+  const BayesianVoting bv;
+  EXPECT_DOUBLE_EQ(bv.ProbZero(Figure2Jury(), {0, 1, 1}, 0.5), 1.0);
+  // MV disagrees on the same voting.
+  const MajorityVoting mv;
+  EXPECT_DOUBLE_EQ(mv.ProbZero(Figure2Jury(), {0, 1, 1}, 0.5), 0.0);
+}
+
+TEST(BayesianVotingTest, TieBreaksToZero) {
+  // Theorem 1: S*(V) = 0 when P0(V) - P1(V) >= 0, including equality.
+  const BayesianVoting bv;
+  const Jury jury = Jury::FromQualities({0.8, 0.8});
+  EXPECT_DOUBLE_EQ(bv.ProbZero(jury, {0, 1}, 0.5), 1.0);
+}
+
+TEST(BayesianVotingTest, PriorShiftsTheDecision) {
+  const BayesianVoting bv;
+  const Jury jury = Jury::FromQualities({0.6});
+  // A strong prior towards 1 overrules a single weak 0-vote:
+  // alpha*q = 0.1*0.6 < (1-alpha)*(1-q) = 0.9*0.4.
+  EXPECT_DOUBLE_EQ(bv.ProbZero(jury, {0}, 0.1), 0.0);
+  // The uninformative prior lets the vote through.
+  EXPECT_DOUBLE_EQ(bv.ProbZero(jury, {0}, 0.5), 1.0);
+}
+
+TEST(BayesianVotingTest, LowQualityWorkerIsEvidenceForOpposite) {
+  // A q < 0.5 worker voting 0 is evidence for 1 (the §3.3 reinterpretation
+  // falls out of the log-odds weight turning negative).
+  const BayesianVoting bv;
+  const Jury jury = Jury::FromQualities({0.2});
+  EXPECT_DOUBLE_EQ(bv.ProbZero(jury, {0}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(bv.ProbZero(jury, {1}, 0.5), 1.0);
+}
+
+TEST(BayesianVotingTest, DecisionStatisticSignMatchesDecision) {
+  Rng rng(3);
+  const BayesianVoting bv;
+  for (int trial = 0; trial < 200; ++trial) {
+    const Jury jury = RandomJury(&rng, 5, 0.4, 0.95);
+    Votes votes(5);
+    for (auto& v : votes) {
+      v = static_cast<std::uint8_t>(rng.UniformInt(2));
+    }
+    const double alpha = rng.Uniform(0.05, 0.95);
+    const double stat = BayesianVoting::DecisionStatistic(jury, votes, alpha);
+    EXPECT_EQ(bv.ProbZero(jury, votes, alpha), stat >= 0.0 ? 1.0 : 0.0);
+  }
+}
+
+// ------------------------------------------------------------------ RMV
+
+TEST(RandomizedMajorityTest, ProbabilityProportionalToZeros) {
+  const RandomizedMajorityVoting rmv;
+  const Jury jury = Jury::FromQualities({0.7, 0.7, 0.7, 0.7});
+  EXPECT_DOUBLE_EQ(rmv.ProbZero(jury, {0, 0, 0, 0}, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(rmv.ProbZero(jury, {0, 0, 1, 1}, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(rmv.ProbZero(jury, {1, 1, 1, 0}, 0.5), 0.25);
+  EXPECT_FALSE(rmv.is_deterministic());
+}
+
+TEST(RandomizedMajorityTest, DecideSamplesTheDistribution) {
+  const RandomizedMajorityVoting rmv;
+  const Jury jury = Jury::FromQualities({0.7, 0.7, 0.7, 0.7});
+  Rng rng(11);
+  int zeros = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    zeros += (rmv.Decide(jury, {0, 0, 1, 1}, 0.5, &rng) == 0);
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / trials, 0.5, 0.02);
+}
+
+// ------------------------------------------------------------------ RBV
+
+TEST(RandomBallotTest, AlwaysHalf) {
+  const RandomBallotVoting rbv;
+  const Jury jury = Jury::FromQualities({0.99, 0.99});
+  EXPECT_DOUBLE_EQ(rbv.ProbZero(jury, {0, 0}, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(rbv.ProbZero(jury, {1, 1}, 0.9), 0.5);
+}
+
+// ------------------------------------------------------------------ WMV
+
+TEST(WeightedMajorityTest, DefaultWeightsMatchBvAtUninformativePrior) {
+  // WMV with log-odds weights is exactly BV when alpha = 0.5 [23].
+  Rng rng(13);
+  const WeightedMajorityVoting wmv;
+  const BayesianVoting bv;
+  for (int trial = 0; trial < 300; ++trial) {
+    const Jury jury = RandomJury(&rng, 4, 0.51, 0.97);
+    Votes votes(4);
+    for (auto& v : votes) {
+      v = static_cast<std::uint8_t>(rng.UniformInt(2));
+    }
+    EXPECT_EQ(wmv.ProbZero(jury, votes, 0.5), bv.ProbZero(jury, votes, 0.5));
+  }
+}
+
+TEST(WeightedMajorityTest, ExplicitWeightsOverrideQualities) {
+  // Give all the weight to the last worker; it dictates the result.
+  const WeightedMajorityVoting wmv({0.1, 0.1, 5.0});
+  const Jury jury = Jury::FromQualities({0.9, 0.9, 0.6});
+  EXPECT_DOUBLE_EQ(wmv.ProbZero(jury, {1, 1, 0}, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(wmv.ProbZero(jury, {0, 0, 1}, 0.5), 0.0);
+}
+
+TEST(WeightedMajorityTest, IgnoresPrior) {
+  const WeightedMajorityVoting wmv;
+  const Jury jury = Jury::FromQualities({0.8, 0.7});
+  EXPECT_EQ(wmv.ProbZero(jury, {0, 1}, 0.01), wmv.ProbZero(jury, {0, 1}, 0.99));
+}
+
+// ----------------------------------------------------------------- HALF
+
+TEST(HalfVotingTest, EvenTieGoesToZero) {
+  const HalfVoting half;
+  const MajorityVoting mv;
+  const Jury jury = Jury::FromQualities({0.7, 0.7, 0.7, 0.7});
+  const Votes tie{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(half.ProbZero(jury, tie, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(mv.ProbZero(jury, tie, 0.5), 0.0);
+}
+
+TEST(HalfVotingTest, AgreesWithMvOnOddJuries) {
+  Rng rng(17);
+  const HalfVoting half;
+  const MajorityVoting mv;
+  for (int trial = 0; trial < 200; ++trial) {
+    const Jury jury = RandomJury(&rng, 5);
+    Votes votes(5);
+    for (auto& v : votes) {
+      v = static_cast<std::uint8_t>(rng.UniformInt(2));
+    }
+    EXPECT_EQ(half.ProbZero(jury, votes, 0.5),
+              mv.ProbZero(jury, votes, 0.5));
+  }
+}
+
+// -------------------------------------------------------------- TRIADIC
+
+TEST(TriadicTest, UnanimousVotesAreCertain) {
+  const TriadicConsensus triadic;
+  const Jury jury = Jury::FromQualities(std::vector<double>(5, 0.7));
+  EXPECT_DOUBLE_EQ(triadic.ProbZero(jury, {0, 0, 0, 0, 0}, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(triadic.ProbZero(jury, {1, 1, 1, 1, 1}, 0.5), 0.0);
+}
+
+TEST(TriadicTest, MatchesHypergeometricFormula) {
+  // n=5, z=3 zeros: triads with >=2 zeros = C(3,2)*C(2,1) + C(3,3) = 7,
+  // over C(5,3) = 10 triads.
+  const TriadicConsensus triadic;
+  const Jury jury = Jury::FromQualities(std::vector<double>(5, 0.7));
+  EXPECT_NEAR(triadic.ProbZero(jury, {0, 0, 0, 1, 1}, 0.5), 0.7, 1e-12);
+  // n=4, z=2: C(2,2)*C(2,1) + 0 = 2 over C(4,3) = 4.
+  const Jury four = Jury::FromQualities(std::vector<double>(4, 0.7));
+  EXPECT_NEAR(triadic.ProbZero(four, {0, 0, 1, 1}, 0.5), 0.5, 1e-12);
+}
+
+TEST(TriadicTest, MatchesMonteCarloTriadSampling) {
+  // The closed form must equal the empirical frequency of majority-0 over
+  // uniformly sampled triads.
+  const TriadicConsensus triadic;
+  Rng rng(29);
+  const int n = 7;
+  const Jury jury = Jury::FromQualities(std::vector<double>(n, 0.7));
+  const Votes votes{0, 1, 0, 0, 1, 1, 0};  // z = 4
+  const double closed = triadic.ProbZero(jury, votes, 0.5);
+  int zero_majorities = 0;
+  const int trials = 200000;
+  for (int t = 0; t < trials; ++t) {
+    const auto triad =
+        rng.SampleWithoutReplacement(static_cast<std::size_t>(n), 3);
+    int zeros = 0;
+    for (std::size_t idx : triad) zeros += (votes[idx] == 0);
+    zero_majorities += (zeros >= 2);
+  }
+  EXPECT_NEAR(static_cast<double>(zero_majorities) / trials, closed, 0.005);
+}
+
+TEST(TriadicTest, DegeneratesToRmvBelowThreeVoters) {
+  const TriadicConsensus triadic;
+  const RandomizedMajorityVoting rmv;
+  const Jury two = Jury::FromQualities({0.8, 0.6});
+  for (const Votes& votes :
+       {Votes{0, 0}, Votes{0, 1}, Votes{1, 0}, Votes{1, 1}}) {
+    EXPECT_DOUBLE_EQ(triadic.ProbZero(two, votes, 0.5),
+                     rmv.ProbZero(two, votes, 0.5));
+  }
+}
+
+// -------------------------------------------------------------- Registry
+
+TEST(RegistryTest, MakesEveryBuiltin) {
+  for (const std::string& name : BuiltinStrategyNames()) {
+    auto made = MakeStrategy(name);
+    ASSERT_TRUE(made.ok()) << name;
+    EXPECT_EQ((*made)->name(), name);
+  }
+}
+
+TEST(RegistryTest, UnknownNameIsNotFound) {
+  EXPECT_EQ(MakeStrategy("NOPE").status().code(), StatusCode::kNotFound);
+}
+
+TEST(RegistryTest, MakeAllMatchesNameList) {
+  const auto all = MakeAllStrategies();
+  const auto names = BuiltinStrategyNames();
+  ASSERT_EQ(all.size(), names.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i]->name(), names[i]);
+  }
+}
+
+// Deterministic strategies must return extreme probabilities everywhere.
+class DeterminismContractTest
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DeterminismContractTest, ProbZeroIsExtremeIffDeterministic) {
+  auto strategy = MakeStrategy(GetParam()).value();
+  Rng rng(23);
+  bool saw_interior = false;
+  for (int trial = 0; trial < 100; ++trial) {
+    const Jury jury = RandomJury(&rng, 5, 0.5, 0.95);
+    Votes votes(5);
+    for (auto& v : votes) {
+      v = static_cast<std::uint8_t>(rng.UniformInt(2));
+    }
+    const double p0 = strategy->ProbZero(jury, votes, 0.5);
+    EXPECT_GE(p0, 0.0);
+    EXPECT_LE(p0, 1.0);
+    if (p0 > 0.0 && p0 < 1.0) saw_interior = true;
+    if (strategy->is_deterministic()) {
+      EXPECT_TRUE(p0 == 0.0 || p0 == 1.0);
+    }
+  }
+  if (!strategy->is_deterministic()) {
+    EXPECT_TRUE(saw_interior) << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, DeterminismContractTest,
+                         ::testing::Values("MV", "BV", "RMV", "RBV", "WMV",
+                                           "HALF", "TRIADIC"));
+
+}  // namespace
+}  // namespace jury

@@ -1,0 +1,444 @@
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/env.h"
+#include "util/histogram.h"
+#include "util/math.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace jury {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad alpha");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad alpha");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad alpha");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= 8; ++c) {
+    EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+Status FailsThrough() {
+  JURY_RETURN_NOT_OK(Status::OutOfRange("deep"));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkPropagates) {
+  EXPECT_EQ(FailsThrough().code(), StatusCode::kOutOfRange);
+}
+
+// ---------------------------------------------------------------- Result
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+Result<double> Half(double x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return x / 2.0;
+}
+
+Result<double> Quarter(double x) {
+  double h = 0.0;
+  JURY_ASSIGN_OR_RETURN(h, Half(x));
+  return Half(h);
+}
+
+TEST(ResultTest, AssignOrReturnChains) {
+  EXPECT_DOUBLE_EQ(Quarter(8.0).value(), 2.0);
+  EXPECT_FALSE(Quarter(-1.0).ok());
+}
+
+// ------------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsHalf) {
+  Rng rng(11);
+  OnlineStats stats;
+  for (int i = 0; i < 100000; ++i) stats.Add(rng.Uniform());
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(10));
+  EXPECT_EQ(seen.size(), 10u);
+  EXPECT_EQ(*seen.rbegin(), 9u);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(17);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.01);
+}
+
+TEST(RngTest, BernoulliDegenerate) {
+  Rng rng(19);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  EXPECT_FALSE(rng.Bernoulli(-0.5));
+  EXPECT_TRUE(rng.Bernoulli(1.5));
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(23);
+  OnlineStats stats;
+  for (int i = 0; i < 200000; ++i) stats.Add(rng.Gaussian(2.0, 3.0));
+  EXPECT_NEAR(stats.mean(), 2.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 3.0, 0.05);
+}
+
+TEST(RngTest, TruncatedGaussianRespectsBounds) {
+  Rng rng(29);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.TruncatedGaussian(0.7, 0.5, 0.5, 0.9);
+    EXPECT_GE(x, 0.5);
+    EXPECT_LE(x, 0.9);
+  }
+}
+
+TEST(RngTest, BetaInUnitIntervalWithRightMean) {
+  Rng rng(31);
+  OnlineStats stats;
+  for (int i = 0; i < 50000; ++i) {
+    const double x = rng.Beta(2.0, 3.0);
+    ASSERT_GE(x, 0.0);
+    ASSERT_LE(x, 1.0);
+    stats.Add(x);
+  }
+  EXPECT_NEAR(stats.mean(), 2.0 / 5.0, 0.01);
+}
+
+TEST(RngTest, GammaMeanEqualsShape) {
+  Rng rng(37);
+  OnlineStats stats;
+  for (int i = 0; i < 50000; ++i) stats.Add(rng.Gamma(4.0));
+  EXPECT_NEAR(stats.mean(), 4.0, 0.1);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(41);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinct) {
+  Rng rng(43);
+  for (int trial = 0; trial < 100; ++trial) {
+    auto sample = rng.SampleWithoutReplacement(20, 7);
+    ASSERT_EQ(sample.size(), 7u);
+    std::set<std::size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 7u);
+    for (std::size_t s : sample) EXPECT_LT(s, 20u);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementIsUniform) {
+  Rng rng(47);
+  std::vector<int> counts(5, 0);
+  const int trials = 50000;
+  for (int t = 0; t < trials; ++t) {
+    for (std::size_t s : rng.SampleWithoutReplacement(5, 2)) {
+      counts[s] += 1;
+    }
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / trials, 0.4, 0.02);
+  }
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng a(99);
+  Rng b = a.Fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 4);
+}
+
+// ------------------------------------------------------------------ Math
+
+TEST(MathTest, LogOddsRoundTripsThroughSigmoid) {
+  for (double q : {0.1, 0.3, 0.5, 0.7, 0.9, 0.99}) {
+    EXPECT_NEAR(Sigmoid(LogOdds(q)), q, 1e-12);
+  }
+}
+
+TEST(MathTest, LogOddsSignMatchesHalf) {
+  EXPECT_GT(LogOdds(0.7), 0.0);
+  EXPECT_LT(LogOdds(0.3), 0.0);
+  EXPECT_DOUBLE_EQ(LogOdds(0.5), 0.0);
+}
+
+TEST(MathTest, LogOddsIsStrictlyIncreasing) {
+  double prev = LogOdds(0.01);
+  for (double q = 0.02; q < 1.0; q += 0.01) {
+    const double cur = LogOdds(q);
+    EXPECT_GT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(MathTest, LogAddMatchesDirectComputation) {
+  EXPECT_NEAR(LogAdd(std::log(0.3), std::log(0.4)), std::log(0.7), 1e-12);
+  EXPECT_NEAR(LogAdd(-1000.0, -1000.0), -1000.0 + std::log(2.0), 1e-9);
+}
+
+TEST(MathTest, LogSumExpHandlesEmptyAndSingle) {
+  EXPECT_EQ(LogSumExp({}), -std::numeric_limits<double>::infinity());
+  EXPECT_DOUBLE_EQ(LogSumExp({2.5}), 2.5);
+  EXPECT_NEAR(LogSumExp({std::log(1.0), std::log(2.0), std::log(3.0)}),
+              std::log(6.0), 1e-12);
+}
+
+TEST(MathTest, ClampWorks) {
+  EXPECT_DOUBLE_EQ(Clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(Clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(MathTest, BinomialCoefficient) {
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(5, 2), 10.0);
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(10, 0), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(10, 10), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(10, 11), 0.0);
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(10, -1), 0.0);
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(52, 5), 2598960.0);
+}
+
+// ----------------------------------------------------------------- Stats
+
+TEST(StatsTest, OnlineMatchesBatch) {
+  Rng rng(53);
+  std::vector<double> xs;
+  OnlineStats online;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Gaussian(1.0, 2.0);
+    xs.push_back(x);
+    online.Add(x);
+  }
+  EXPECT_NEAR(online.mean(), Mean(xs), 1e-9);
+  EXPECT_NEAR(online.stddev(), StdDev(xs), 1e-9);
+}
+
+TEST(StatsTest, EmptyInputsAreZero) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({}), 0.0);
+  EXPECT_DOUBLE_EQ(Quantile({}, 0.5), 0.0);
+  OnlineStats s;
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.5), 2.5);
+}
+
+TEST(StatsTest, SummarizeFields) {
+  Summary s = Summarize({3.0, 1.0, 2.0});
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_DOUBLE_EQ(s.p50, 2.0);
+}
+
+// ------------------------------------------------------------- Histogram
+
+TEST(HistogramTest, BinsAndEdges) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(0.1);   // bin 0
+  h.Add(0.3);   // bin 1
+  h.Add(0.55);  // bin 2
+  h.Add(0.99);  // bin 3
+  h.Add(-1.0);  // clamps into bin 0
+  h.Add(2.0);   // clamps into bin 3
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(2), 1u);
+  EXPECT_EQ(h.bin_count(3), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 0.25);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 0.5);
+  EXPECT_FALSE(h.ToString().empty());
+}
+
+TEST(RangeCounterTest, MatchesTable3Semantics) {
+  // The paper's Table 3 ranges (percent): [0,0.01], (0.01,0.1], (0.1,1],
+  // (1,3], (3,+inf).
+  RangeCounter counter({0.0, 0.01, 0.1, 1.0, 3.0});
+  counter.Add(0.0);    // first
+  counter.Add(0.01);   // first (closed)
+  counter.Add(0.05);   // second
+  counter.Add(0.1);    // second (closed above)
+  counter.Add(0.5);    // third
+  counter.Add(2.0);    // fourth
+  counter.Add(100.0);  // overflow
+  EXPECT_EQ(counter.total(), 7u);
+  EXPECT_EQ(counter.count(0), 2u);
+  EXPECT_EQ(counter.count(1), 2u);
+  EXPECT_EQ(counter.count(2), 1u);
+  EXPECT_EQ(counter.count(3), 1u);
+  EXPECT_EQ(counter.count(4), 1u);
+  EXPECT_EQ(counter.label(0), "[0, 0.01]");
+  EXPECT_EQ(counter.label(4), "(3, +inf)");
+}
+
+TEST(RangeCounterTest, BelowRangeFallsIntoOverflowBucket) {
+  // Documented semantics: values below the first edge land in the final
+  // catch-all bucket (they cannot occur in Table 3, where gaps are >= 0).
+  RangeCounter counter({0.0, 1.0, 2.0});
+  counter.Add(-0.5);
+  EXPECT_EQ(counter.count(counter.num_buckets() - 1), 1u);
+}
+
+// ----------------------------------------------------------------- Table
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table t({"Budget", "JQ"});
+  t.AddRow({"5", "75.00%"});
+  t.AddRow({"10", "80.00%"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("Budget"), std::string::npos);
+  EXPECT_NE(s.find("80.00%"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableTest, CsvEscapesSpecials) {
+  Table t({"a", "b"});
+  t.AddRow({"x,y", "he said \"hi\""});
+  const std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TableTest, WriteCsvRoundTrips) {
+  Table t({"a", "b"});
+  t.AddRow({"1", "2"});
+  const std::string path = ::testing::TempDir() + "/jury_table_test.csv";
+  ASSERT_TRUE(t.WriteCsv(path).ok());
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "a,b\n1,2\n");
+  std::remove(path.c_str());
+}
+
+TEST(TableTest, WriteCsvFailsOnBadPath) {
+  Table t({"a"});
+  EXPECT_FALSE(t.WriteCsv("/nonexistent-dir/file.csv").ok());
+}
+
+TEST(TableTest, FormatHelpers) {
+  EXPECT_EQ(Format(0.12345, 3), "0.123");
+  EXPECT_EQ(FormatPercent(0.845), "84.50%");
+  EXPECT_EQ(FormatPercent(0.845, 1), "84.5%");
+}
+
+// ------------------------------------------------------------------- Env
+
+TEST(EnvTest, FallsBackWhenUnset) {
+  EXPECT_EQ(GetEnvInt("JURY_TEST_UNSET_VAR", 7), 7);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("JURY_TEST_UNSET_VAR", 2.5), 2.5);
+  EXPECT_TRUE(GetEnvFlag("JURY_TEST_UNSET_VAR", true));
+}
+
+TEST(EnvTest, ParsesSetValues) {
+  ::setenv("JURY_TEST_SET_VAR", "42", 1);
+  EXPECT_EQ(GetEnvInt("JURY_TEST_SET_VAR", 0), 42);
+  ::setenv("JURY_TEST_SET_VAR", "1.5", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("JURY_TEST_SET_VAR", 0.0), 1.5);
+  ::setenv("JURY_TEST_SET_VAR", "0", 1);
+  EXPECT_FALSE(GetEnvFlag("JURY_TEST_SET_VAR", true));
+  ::unsetenv("JURY_TEST_SET_VAR");
+}
+
+TEST(EnvTest, RejectsGarbage) {
+  ::setenv("JURY_TEST_BAD_VAR", "not-a-number", 1);
+  EXPECT_EQ(GetEnvInt("JURY_TEST_BAD_VAR", 5), 5);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("JURY_TEST_BAD_VAR", 1.5), 1.5);
+  ::unsetenv("JURY_TEST_BAD_VAR");
+}
+
+// ----------------------------------------------------------------- Timer
+
+TEST(TimerTest, MeasuresNonNegativeElapsed) {
+  Timer t;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  EXPECT_GE(t.ElapsedSeconds(), 0.0);
+  EXPECT_GE(t.ElapsedMillis(), t.ElapsedSeconds());
+}
+
+}  // namespace
+}  // namespace jury

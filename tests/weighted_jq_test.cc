@@ -1,0 +1,155 @@
+#include <tuple>
+
+#include "gtest/gtest.h"
+#include "jq/exact.h"
+#include "jq/weighted.h"
+#include "model/worker.h"
+#include "strategy/voting_strategy.h"
+#include "test_util.h"
+#include "util/math.h"
+#include "util/rng.h"
+
+namespace jury {
+namespace {
+
+using jury::testing::RandomJury;
+
+class WeightedJqAgreementTest
+    : public ::testing::TestWithParam<std::tuple<int, double, int>> {};
+
+TEST_P(WeightedJqAgreementTest, TrueBeliefsReproduceBvExactly) {
+  const auto [n, alpha, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 6863 +
+          static_cast<std::uint64_t>(n));
+  const Jury jury = RandomJury(&rng, n, 0.3, 0.99);
+  EXPECT_NEAR(MiscalibratedBvJq(jury, jury.qualities(), alpha).value(),
+              ExactJqBv(jury, alpha).value(), 1e-10);
+}
+
+TEST_P(WeightedJqAgreementTest, MatchesBruteForceForRandomWeights) {
+  const auto [n, alpha, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 9419 +
+          static_cast<std::uint64_t>(n));
+  const Jury jury = RandomJury(&rng, n, 0.3, 0.99);
+  std::vector<double> weights;
+  for (int i = 0; i < n; ++i) weights.push_back(rng.Uniform(-2.0, 2.0));
+  const double bias = rng.Uniform(-1.0, 1.0);
+
+  // Brute-force reference via a throwaway strategy.
+  class ThresholdStrategy final : public VotingStrategy {
+   public:
+    ThresholdStrategy(const std::vector<double>& w, double b)
+        : w_(w), b_(b) {}
+    std::string name() const override { return "THRESH"; }
+    StrategyKind kind() const override {
+      return StrategyKind::kDeterministic;
+    }
+    double ProbZero(const Jury&, const Votes& votes,
+                    double) const override {
+      double score = b_;
+      for (std::size_t i = 0; i < votes.size(); ++i) {
+        score += (votes[i] == 0 ? w_[i] : -w_[i]);
+      }
+      return score >= 0.0 ? 1.0 : 0.0;
+    }
+
+   private:
+    const std::vector<double>& w_;
+    double b_;
+  };
+  const ThresholdStrategy reference(weights, bias);
+  EXPECT_NEAR(WeightedThresholdJq(jury, weights, bias, alpha).value(),
+              ExactJq(jury, reference, alpha).value(), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WeightedJqAgreementTest,
+    ::testing::Combine(::testing::Values(1, 2, 4, 7, 10),
+                       ::testing::Values(0.2, 0.5, 0.8),
+                       ::testing::Values(1, 2)));
+
+TEST(MiscalibratedBvTest, NoBeliefBeatsTheTruth) {
+  // Corollary 1: BV with the true qualities dominates every belief vector.
+  Rng rng(1);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Jury jury = RandomJury(&rng, 7, 0.4, 0.95);
+    const double alpha = rng.Uniform(0.2, 0.8);
+    const double truth_jq = ExactJqBv(jury, alpha).value();
+    std::vector<double> believed;
+    for (int i = 0; i < 7; ++i) believed.push_back(rng.Uniform(0.05, 0.99));
+    EXPECT_LE(MiscalibratedBvJq(jury, believed, alpha).value(),
+              truth_jq + 1e-10);
+  }
+}
+
+TEST(MiscalibratedBvTest, SmallNoiseCostsLittle) {
+  Rng rng(3);
+  double total_loss = 0.0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const Jury jury = RandomJury(&rng, 9, 0.55, 0.9);
+    const double truth_jq = ExactJqBv(jury, 0.5).value();
+    std::vector<double> believed;
+    for (double q : jury.qualities()) {
+      believed.push_back(Clamp(q + rng.Gaussian(0.0, 0.02), 0.05, 0.99));
+    }
+    total_loss +=
+        truth_jq - MiscalibratedBvJq(jury, believed, 0.5).value();
+  }
+  EXPECT_LT(total_loss / 20.0, 0.01);  // 2% quality noise ~ <1% JQ loss
+}
+
+TEST(MiscalibratedBvTest, AdversarialBeliefsAreCostly) {
+  // Believing the inverse of the truth flips every weight: the rule then
+  // votes against the evidence, landing at 1 - JQ(BV) by symmetry.
+  const Jury jury = Jury::FromQualities({0.9, 0.8, 0.7});
+  const double truth_jq = ExactJqBv(jury, 0.5).value();
+  std::vector<double> inverted;
+  for (double q : jury.qualities()) inverted.push_back(1.0 - q);
+  EXPECT_NEAR(MiscalibratedBvJq(jury, inverted, 0.5).value(),
+              1.0 - truth_jq, 1e-10);
+}
+
+TEST(MiscalibratedBvTest, ZeroWeightsFollowThePriorTieBreak) {
+  // All-0.5 beliefs zero every weight: the rule always answers the
+  // prior's pick (ties to 0 at alpha = 0.5).
+  const Jury jury = Jury::FromQualities({0.9, 0.8});
+  const std::vector<double> agnostic(2, 0.5);
+  EXPECT_NEAR(MiscalibratedBvJq(jury, agnostic, 0.5).value(), 0.5, 1e-12);
+  EXPECT_NEAR(MiscalibratedBvJq(jury, agnostic, 0.8).value(), 0.8, 1e-12);
+}
+
+TEST(WeightedJqTest, ValidatesInputs) {
+  const Jury jury = Jury::FromQualities({0.7, 0.8});
+  EXPECT_FALSE(WeightedThresholdJq(jury, {1.0}, 0.0, 0.5).ok());
+  EXPECT_FALSE(WeightedThresholdJq(Jury(), {}, 0.0, 0.5).ok());
+  EXPECT_FALSE(WeightedThresholdJq(jury, {1.0, 1.0}, 0.0, 1.5).ok());
+  EXPECT_FALSE(MiscalibratedBvJq(jury, {0.7}, 0.5).ok());
+  EXPECT_FALSE(MiscalibratedBvJq(jury, {0.7, 1.5}, 0.5).ok());
+  WeightedJqOptions bad;
+  bad.key_epsilon = -1.0;
+  EXPECT_FALSE(WeightedThresholdJq(jury, {1.0, 1.0}, 0.0, 0.5, bad).ok());
+}
+
+TEST(WeightedJqTest, RepeatedWeightsStayPolynomial) {
+  // 80 workers sharing one weight: keys collapse to 81 values.
+  const Jury jury = Jury::FromQualities(std::vector<double>(80, 0.65));
+  const std::vector<double> weights(80, 1.0);
+  WeightedJqOptions options;
+  options.max_keys = 200;
+  EXPECT_TRUE(WeightedThresholdJq(jury, weights, 0.0, 0.5, options).ok());
+}
+
+TEST(WeightedJqTest, KeyBudgetIsEnforced) {
+  Rng rng(7);
+  const Jury jury = RandomJury(&rng, 26, 0.5, 0.99);
+  std::vector<double> weights;
+  for (int i = 0; i < 26; ++i) weights.push_back(rng.Uniform(0.1, 3.0));
+  WeightedJqOptions options;
+  options.max_keys = 500;
+  EXPECT_EQ(
+      WeightedThresholdJq(jury, weights, 0.0, 0.5, options).status().code(),
+      StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace jury
