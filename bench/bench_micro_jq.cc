@@ -83,6 +83,46 @@ void BM_ExactJqEnumeration(benchmark::State& state) {
 }
 BENCHMARK(BM_ExactJqEnumeration)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
 
+void BM_IncrementalSwapBucket(benchmark::State& state) {
+  // One SA-style swap scored by session delta update vs the from-scratch
+  // estimate the solvers used to pay per move.
+  const int n = static_cast<int>(state.range(0));
+  const Jury jury = MakeJury(n);
+  const BucketBvObjective objective;
+  auto session = objective.StartSession(0.5);
+  for (const Worker& w : jury.workers()) {
+    session->ScoreAdd(w);
+    session->Commit();
+  }
+  const Worker in("swap-in", 0.72, 0.0);
+  std::size_t idx = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session->ScoreSwap(idx % jury.size(), in));
+    session->Rollback();
+    ++idx;
+  }
+}
+BENCHMARK(BM_IncrementalSwapBucket)->Arg(10)->Arg(50)->Arg(100)->Arg(200)->Arg(500);
+
+void BM_IncrementalSwapMajority(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Jury jury = MakeJury(n);
+  const MajorityObjective objective;
+  auto session = objective.StartSession(0.5);
+  for (const Worker& w : jury.workers()) {
+    session->ScoreAdd(w);
+    session->Commit();
+  }
+  const Worker in("swap-in", 0.72, 0.0);
+  std::size_t idx = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session->ScoreSwap(idx % jury.size(), in));
+    session->Rollback();
+    ++idx;
+  }
+}
+BENCHMARK(BM_IncrementalSwapMajority)->Arg(10)->Arg(100)->Arg(500);
+
 void BM_AnnealingSolve(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   Rng pool_rng(7);
@@ -104,6 +144,32 @@ void BM_AnnealingSolve(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AnnealingSolve)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_AnnealingSolveNoIncremental(benchmark::State& state) {
+  // The pre-session path: every move re-evaluated from scratch. Contrast
+  // with BM_AnnealingSolve (same workload, delta updates on).
+  const int n = static_cast<int>(state.range(0));
+  Rng pool_rng(7);
+  JspInstance instance;
+  for (int i = 0; i < n; ++i) {
+    instance.candidates.emplace_back(
+        "w" + std::to_string(i),
+        pool_rng.TruncatedGaussian(0.7, 0.22360679774997896, 0.01, 0.99),
+        pool_rng.TruncatedGaussian(0.05, 0.2, 0.01, 1e9));
+  }
+  instance.budget = 0.5;
+  instance.alpha = 0.5;
+  const BucketBvObjective objective;
+  AnnealingOptions options;
+  options.use_incremental = false;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    benchmark::DoNotOptimize(
+        SolveAnnealing(instance, objective, &rng, options).value());
+  }
+}
+BENCHMARK(BM_AnnealingSolveNoIncremental)->Arg(50)->Arg(100)->Arg(200);
 
 }  // namespace
 }  // namespace jury

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "core/objective.h"
 #include "model/worker.h"
 #include "util/env.h"
 #include "util/rng.h"
@@ -47,6 +48,24 @@ inline std::vector<Worker> PaperPool(Rng* rng, int n, double mu,
                       rng->TruncatedGaussian(cost_mu, cost_sigma, 0.01, 1e9));
   }
   return pool;
+}
+
+/// One-line report of an objective's full vs. incremental evaluation
+/// split (the instrumentation behind the Fig. 7/9 runtime story): how many
+/// jury scorings were O(n^2) from-scratch evaluations and how many were
+/// O(n) session delta updates.
+inline void PrintEvaluationCounters(const std::string& label,
+                                    const JqObjective& objective) {
+  const EvaluationCounters& counters = objective.evaluation_counters();
+  std::cout << label << ": " << counters.total() << " evaluations ("
+            << counters.full << " full, " << counters.incremental
+            << " incremental";
+  if (counters.full > 0) {
+    const double ratio = static_cast<double>(counters.total()) /
+                         static_cast<double>(counters.full);
+    std::cout << "; total/full = " << ratio << "x";
+  }
+  std::cout << ")\n";
 }
 
 }  // namespace jury::bench

@@ -2,25 +2,35 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 namespace jury {
 namespace {
 
-/// Mutable SA state: the jury as an index set plus cached cost/quality.
+/// Score-comparison band shared with the other solvers; see
+/// `kScoreEquivalenceTol` in objective.h for why every score-sensitive
+/// decision is banded.
+constexpr double kScoreTol = kScoreEquivalenceTol;
+
+/// Mutable SA state: the jury as an index set, its cached cost, and the
+/// objective's evaluation session holding the jury's delta-update state.
+/// Every candidate move is *staged* on the session (`Score*`), then either
+/// committed (move accepted) or rolled back (rejected).
 class SearchState {
  public:
   SearchState(const JspInstance& instance, const JqObjective& objective,
-              AnnealingStats* stats)
-      : instance_(instance), objective_(objective), stats_(stats) {
+              bool use_incremental, AnnealingStats* stats)
+      : instance_(instance),
+        stats_(stats),
+        session_(objective.StartSession(instance.alpha, use_incremental)) {
     selected_.assign(instance.num_candidates(), false);
-    current_jq_ = EmptyJuryJq(instance.alpha);
     best_members_ = members_;
-    best_jq_ = current_jq_;
+    best_jq_ = session_->current_jq();
   }
 
   const std::vector<std::size_t>& members() const { return members_; }
   double cost() const { return cost_; }
-  double current_jq() const { return current_jq_; }
+  double current_jq() const { return session_->current_jq(); }
   bool is_selected(std::size_t i) const { return selected_[i]; }
   std::size_t size() const { return members_.size(); }
 
@@ -29,67 +39,89 @@ class SearchState {
   }
   double best_jq() const { return best_jq_; }
 
-  /// JQ of the current jury with `out` removed (SIZE_MAX = nothing) and
-  /// `in` added (SIZE_MAX = nothing).
-  double EvaluateWith(std::size_t out, std::size_t in) const {
-    Jury candidate;
-    for (std::size_t idx : members_) {
-      if (idx != out) candidate.Add(instance_.candidates[idx]);
-    }
-    if (in != kNone) candidate.Add(instance_.candidates[in]);
-    if (stats_ != nullptr) ++stats_->objective_evaluations;
-    return objective_.Evaluate(candidate, instance_.alpha);
+  /// Stages "add candidate `in`" and returns the resulting JQ.
+  double ScoreAdd(std::size_t in) {
+    CountEvaluation();
+    return session_->ScoreAdd(instance_.candidates[in]);
+  }
+  /// Stages "remove candidate `out`" and returns the resulting JQ.
+  double ScoreRemove(std::size_t out) {
+    CountEvaluation();
+    staged_pos_ = PositionOf(out);
+    return session_->ScoreRemove(staged_pos_);
+  }
+  /// Stages "swap candidate `out` for `in`" and returns the resulting JQ.
+  double ScoreSwap(std::size_t out, std::size_t in) {
+    CountEvaluation();
+    staged_pos_ = PositionOf(out);
+    return session_->ScoreSwap(staged_pos_, instance_.candidates[in]);
+  }
+  void Reject() { session_->Rollback(); }
+
+  void AcceptAdd(std::size_t in) {
+    session_->Commit();
+    selected_[in] = true;
+    members_.push_back(in);
+    cost_ += instance_.candidates[in].cost;
+    TrackBest();
   }
 
-  void Add(std::size_t idx, double new_jq) {
-    selected_[idx] = true;
-    members_.push_back(idx);
-    cost_ += instance_.candidates[idx].cost;
-    SetJq(new_jq);
-  }
-
-  void Replace(std::size_t out, std::size_t in, double new_jq) {
+  void AcceptSwap(std::size_t out, std::size_t in) {
+    session_->Commit();
     selected_[out] = false;
     selected_[in] = true;
-    auto it = std::find(members_.begin(), members_.end(), out);
-    *it = in;
+    members_[staged_pos_] = in;
     cost_ += instance_.candidates[in].cost - instance_.candidates[out].cost;
-    SetJq(new_jq);
+    TrackBest();
   }
 
-  void Remove(std::size_t out, double new_jq) {
+  void AcceptRemove(std::size_t out) {
+    session_->Commit();
     selected_[out] = false;
-    members_.erase(std::find(members_.begin(), members_.end(), out));
+    members_.erase(members_.begin() +
+                   static_cast<std::ptrdiff_t>(staged_pos_));
     cost_ -= instance_.candidates[out].cost;
-    SetJq(new_jq);
+    TrackBest();
   }
 
   static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
 
  private:
-  void SetJq(double jq) {
-    current_jq_ = jq;
-    if (jq > best_jq_) {
+  std::size_t PositionOf(std::size_t candidate) const {
+    const auto it = std::find(members_.begin(), members_.end(), candidate);
+    return static_cast<std::size_t>(it - members_.begin());
+  }
+
+  void CountEvaluation() {
+    if (stats_ != nullptr) ++stats_->objective_evaluations;
+  }
+
+  void TrackBest() {
+    const double jq = session_->current_jq();
+    if (jq > best_jq_ + kScoreTol) {
       best_jq_ = jq;
       best_members_ = members_;
     }
   }
 
   const JspInstance& instance_;
-  const JqObjective& objective_;
   AnnealingStats* stats_;
+  std::unique_ptr<IncrementalJqEvaluator> session_;
   std::vector<bool> selected_;
   std::vector<std::size_t> members_;
   double cost_ = 0.0;
-  double current_jq_ = 0.0;
+  std::size_t staged_pos_ = 0;
   std::vector<std::size_t> best_members_;
   double best_jq_ = 0.0;
 };
 
 /// Boltzmann acceptance (§5.1): uphill always, downhill with exp(delta/T).
+/// The uniform draw happens unconditionally so that the rng stream advances
+/// identically however a numerically-tied delta lands.
 bool Accept(double delta, double temperature, Rng* rng) {
-  if (delta >= 0.0) return true;
-  return rng->Uniform() <= std::exp(delta / temperature);
+  const double u = rng->Uniform();
+  if (delta >= -kScoreTol) return true;
+  return u <= std::exp(delta / temperature);
 }
 
 /// Uniform pick among unselected candidate indices; kNone when all selected.
@@ -128,7 +160,7 @@ Result<JspSolution> SolveAnnealing(const JspInstance& instance,
     return MakeSolution(instance, {}, EmptyJuryJq(instance.alpha));
   }
 
-  SearchState state(instance, objective, stats);
+  SearchState state(instance, objective, options.use_incremental, stats);
   const bool blind_adds =
       options.trust_monotone_adds && objective.monotone_in_size();
 
@@ -143,15 +175,17 @@ Result<JspSolution> SolveAnnealing(const JspInstance& instance,
       // Steps 9-11 of Algorithm 3: adopt an affordable unselected worker.
       if (!state.is_selected(r) &&
           state.cost() + instance.candidates[r].cost <= instance.budget) {
-        const double new_jq = state.EvaluateWith(SearchState::kNone, r);
+        const double new_jq = state.ScoreAdd(r);
         const double delta = new_jq - state.current_jq();
         if (blind_adds || Accept(delta, temperature, rng)) {
-          state.Add(r, new_jq);
+          state.AcceptAdd(r);
           if (stats != nullptr) {
             ++stats->moves_accepted;
-            if (delta >= 0.0) ++stats->uphill_accepts;
+            if (delta >= -kScoreTol) ++stats->uphill_accepts;
             else ++stats->downhill_accepts;
           }
+        } else {
+          state.Reject();
         }
         continue;
       }
@@ -160,15 +194,17 @@ Result<JspSolution> SolveAnnealing(const JspInstance& instance,
       // a selected worker outright, Boltzmann-gated like any other move.
       if (state.is_selected(r) && options.removal_probability > 0.0 &&
           rng->Bernoulli(options.removal_probability)) {
-        const double new_jq = state.EvaluateWith(r, SearchState::kNone);
+        const double new_jq = state.ScoreRemove(r);
         const double delta = new_jq - state.current_jq();
         if (Accept(delta, temperature, rng)) {
-          state.Remove(r, new_jq);
+          state.AcceptRemove(r);
           if (stats != nullptr) {
             ++stats->moves_accepted;
-            if (delta >= 0.0) ++stats->uphill_accepts;
+            if (delta >= -kScoreTol) ++stats->uphill_accepts;
             else ++stats->downhill_accepts;
           }
+        } else {
+          state.Reject();
         }
         continue;
       }
@@ -192,15 +228,17 @@ Result<JspSolution> SolveAnnealing(const JspInstance& instance,
                               instance.candidates[in].cost;
       if (new_cost > instance.budget) continue;
 
-      const double new_jq = state.EvaluateWith(out, in);
+      const double new_jq = state.ScoreSwap(out, in);
       const double delta = new_jq - state.current_jq();
       if (Accept(delta, temperature, rng)) {
-        state.Replace(out, in, new_jq);
+        state.AcceptSwap(out, in);
         if (stats != nullptr) {
           ++stats->moves_accepted;
-          if (delta >= 0.0) ++stats->uphill_accepts;
+          if (delta >= -kScoreTol) ++stats->uphill_accepts;
           else ++stats->downhill_accepts;
         }
+      } else {
+        state.Reject();
       }
     }
   }

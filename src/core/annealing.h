@@ -35,6 +35,16 @@ struct AnnealingOptions {
   /// family behind the Table-3 tail (see EXPERIMENTS.md). 0 disables and
   /// recovers the paper's verbatim neighbourhood.
   double removal_probability = 0.0;
+  /// Score each candidate move through the objective's delta-update
+  /// session (O(n) per move) instead of a from-scratch evaluation
+  /// (O(n^2)). The two paths agree within 1e-12 per score and return
+  /// identical juries (property-tested); disable to score every move
+  /// from scratch. Note the acceptance protocol (a uniform draw per
+  /// evaluated move, ties accepted within `kScoreEquivalenceTol`) is
+  /// shared by both paths — it is what keeps their rng streams and
+  /// decisions aligned — so either path's trajectory differs from the
+  /// pre-session solver for a given seed.
+  bool use_incremental = true;
 };
 
 /// \brief Per-run instrumentation.
@@ -42,8 +52,10 @@ struct AnnealingStats {
   std::size_t temperature_levels = 0;
   std::size_t moves_attempted = 0;
   std::size_t moves_accepted = 0;
-  std::size_t uphill_accepts = 0;    // delta >= 0
-  std::size_t downhill_accepts = 0;  // delta < 0, Boltzmann-accepted
+  std::size_t uphill_accepts = 0;    // delta >= -kScoreEquivalenceTol
+                                     // (uphill or numerical tie)
+  std::size_t downhill_accepts = 0;  // genuinely downhill,
+                                     // Boltzmann-accepted
   std::size_t objective_evaluations = 0;
 };
 

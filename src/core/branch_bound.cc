@@ -1,12 +1,13 @@
 #include "core/branch_bound.h"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
 
 namespace jury {
 namespace {
 
-constexpr double kTieTol = 1e-12;
+constexpr double kTieTol = kScoreEquivalenceTol;
 
 class Searcher {
  public:
@@ -28,6 +29,17 @@ class Searcher {
   }
 
   Status Run() {
+    if (options_.use_incremental) {
+      // The session tracks the Lemma-1 "optimistic" jury: the current
+      // selection plus every still-undecided worker. At the root that is
+      // the whole pool.
+      session_ = objective_.StartSession(instance_.alpha, true);
+      for (std::size_t idx : order_) {
+        session_->ScoreAdd(instance_.candidates[idx]);
+        session_->Commit();
+        session_members_.push_back(idx);
+      }
+    }
     JURY_RETURN_NOT_OK(Dfs(0));
     return Status::OK();
   }
@@ -57,6 +69,33 @@ class Searcher {
     }
   }
 
+  /// In the incremental mode the session holds selection ∪ undecided
+  /// suffix at every node: at the leaf that is exactly the selection, and
+  /// at an inner node it is exactly the Lemma-1 bound jury.
+  double Bound(std::size_t depth) {
+    if (session_ != nullptr) return session_->current_jq();
+    std::vector<std::size_t> optimistic = selected_;
+    for (std::size_t d = depth; d < order_.size(); ++d) {
+      optimistic.push_back(order_[d]);
+    }
+    return Evaluate(optimistic);
+  }
+
+  void SessionRemove(std::size_t candidate) {
+    const auto it = std::find(session_members_.begin(),
+                              session_members_.end(), candidate);
+    session_->ScoreRemove(
+        static_cast<std::size_t>(it - session_members_.begin()));
+    session_->Commit();
+    session_members_.erase(it);
+  }
+
+  void SessionReAdd(std::size_t candidate) {
+    session_->ScoreAdd(instance_.candidates[candidate]);
+    session_->Commit();
+    session_members_.push_back(candidate);
+  }
+
   Status Dfs(std::size_t depth) {
     if (stats_ != nullptr) ++stats_->nodes_explored;
     if (++nodes_ > options_.max_nodes) {
@@ -64,17 +103,20 @@ class Searcher {
           "branch-and-bound node budget exceeded");
     }
     if (depth == order_.size()) {
-      Offer(selected_.empty() ? EmptyJuryJq(instance_.alpha)
-                              : Evaluate(selected_));
+      double leaf_jq;
+      if (selected_.empty()) {
+        leaf_jq = EmptyJuryJq(instance_.alpha);
+      } else if (session_ != nullptr) {
+        leaf_jq = session_->current_jq();  // suffix is empty here
+      } else {
+        leaf_jq = Evaluate(selected_);
+      }
+      Offer(leaf_jq);
       return Status::OK();
     }
 
     // Lemma-1 upper bound: everything still undecided joins for free.
-    std::vector<std::size_t> optimistic = selected_;
-    for (std::size_t d = depth; d < order_.size(); ++d) {
-      optimistic.push_back(order_[d]);
-    }
-    const double bound = Evaluate(optimistic);
+    const double bound = Bound(depth);
     if (bound < best_jq_ - kTieTol) {
       if (stats_ != nullptr) ++stats_->nodes_pruned_bound;
       return Status::OK();
@@ -83,6 +125,8 @@ class Searcher {
     const std::size_t candidate = order_[depth];
     const double c = instance_.candidates[candidate].cost;
     // Include branch first: deep good incumbents tighten the bound early.
+    // The bound jury is unchanged on this branch, so the session carries
+    // straight through.
     if (cost_ + c <= instance_.budget) {
       selected_.push_back(candidate);
       cost_ += c;
@@ -92,13 +136,23 @@ class Searcher {
     } else if (stats_ != nullptr) {
       ++stats_->nodes_pruned_budget;
     }
-    return Dfs(depth + 1);  // exclude branch
+    // Exclude branch: the candidate leaves the bound jury — one delta
+    // removal, undone on backtrack.
+    if (session_ != nullptr) {
+      SessionRemove(candidate);
+      const Status status = Dfs(depth + 1);
+      SessionReAdd(candidate);
+      return status;
+    }
+    return Dfs(depth + 1);
   }
 
   const JspInstance& instance_;
   const JqObjective& objective_;
   const BranchBoundOptions& options_;
   BranchBoundStats* stats_;
+  std::unique_ptr<IncrementalJqEvaluator> session_;
+  std::vector<std::size_t> session_members_;
   std::vector<std::size_t> order_;
   std::vector<std::size_t> selected_;
   double cost_ = 0.0;

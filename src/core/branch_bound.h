@@ -12,6 +12,13 @@ struct BranchBoundOptions {
   /// Hard cap on explored nodes (guards pathological instances);
   /// ResourceExhausted when exceeded.
   std::size_t max_nodes = 2'000'000;
+  /// Maintain the Lemma-1 bound jury (current selection plus every still
+  /// undecided worker) in an evaluation session: excluding a worker is one
+  /// delta removal, backtracking one delta re-add, and the include branch
+  /// inherits the parent's bound state untouched — so each node's bound
+  /// costs O(n) instead of an O(n^2) from-scratch evaluation. Disable to
+  /// recover the original per-node evaluation.
+  bool use_incremental = true;
 };
 
 struct BranchBoundStats {

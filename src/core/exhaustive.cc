@@ -1,8 +1,135 @@
 #include "core/exhaustive.h"
 
+#include <algorithm>
+#include <bit>
 #include <cstdint>
+#include <memory>
 
 namespace jury {
+namespace {
+
+constexpr double kTieTol = kScoreEquivalenceTol;
+
+/// Deterministic tie-break shared by both sweeps: at (numerically) equal
+/// quality prefer the cheaper jury, so "required" budgets in the Fig. 1
+/// table are minimal; at equal cost too (identical workers produce exact
+/// ties), prefer the smaller mask — which is exactly the jury the
+/// ascending sweep reaches first, so the winner does not depend on the
+/// visit order.
+bool Improves(double jq, double cost, std::uint64_t mask,
+              std::uint64_t best_mask, const JspSolution& best) {
+  if (jq > best.jq + kTieTol) return true;
+  if (jq <= best.jq - kTieTol) return false;
+  if (cost < best.cost) return true;
+  return cost == best.cost && mask < best_mask;
+}
+
+/// Sum of selected costs in index order (exactly the accumulation order of
+/// the original sweep, so feasibility decisions are bit-identical), with
+/// the budget short-circuit.
+bool FeasibleCost(const JspInstance& instance, std::uint64_t mask,
+                  double* cost_out) {
+  double cost = 0.0;
+  for (std::size_t i = 0; i < instance.num_candidates(); ++i) {
+    if ((mask >> i) & 1u) {
+      cost += instance.candidates[i].cost;
+      if (cost > instance.budget) return false;
+    }
+  }
+  *cost_out = cost;
+  return true;
+}
+
+/// Lemma-1 maximality: false when some unselected worker still fits.
+bool IsMaximal(const JspInstance& instance, std::uint64_t mask, double cost) {
+  for (std::size_t i = 0; i < instance.num_candidates(); ++i) {
+    if (!((mask >> i) & 1u) &&
+        cost + instance.candidates[i].cost <= instance.budget) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::size_t> MaskToIndices(std::uint64_t mask, std::size_t n) {
+  std::vector<std::size_t> selected;
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((mask >> i) & 1u) selected.push_back(i);
+  }
+  return selected;
+}
+
+/// The original ascending-mask sweep: every candidate jury is materialized
+/// and evaluated from scratch. Kept as the `--no-incremental` reference.
+JspSolution SweepFromScratch(const JspInstance& instance,
+                             const JqObjective& objective, bool monotone) {
+  const std::size_t n = instance.num_candidates();
+  JspSolution best = MakeSolution(instance, {}, EmptyJuryJq(instance.alpha));
+  std::uint64_t best_mask = 0;
+  const std::uint64_t total = 1ull << n;
+  for (std::uint64_t mask = 1; mask < total; ++mask) {
+    double cost = 0.0;
+    if (!FeasibleCost(instance, mask, &cost)) continue;
+    if (monotone && !IsMaximal(instance, mask, cost)) continue;
+    std::vector<std::size_t> selected = MaskToIndices(mask, n);
+    Jury candidate;
+    for (std::size_t idx : selected) {
+      candidate.Add(instance.candidates[idx]);
+    }
+    const double jq = objective.Evaluate(candidate, instance.alpha);
+    if (Improves(jq, cost, mask, best_mask, best)) {
+      best = MakeSolution(instance, std::move(selected), jq);
+      best_mask = mask;
+    }
+  }
+  return best;
+}
+
+/// Gray-code sweep: consecutive masks differ in exactly one bit
+/// (`ctz(k)`), so the session walks the whole subset lattice with one
+/// add/remove delta update per jury.
+JspSolution SweepGrayCode(const JspInstance& instance,
+                          const JqObjective& objective, bool monotone) {
+  const std::size_t n = instance.num_candidates();
+  JspSolution best = MakeSolution(instance, {}, EmptyJuryJq(instance.alpha));
+  std::uint64_t best_mask = 0;
+  auto session = objective.StartSession(instance.alpha, true);
+  std::vector<bool> in_jury(n, false);
+  std::vector<std::size_t> session_members;  // candidate index by position
+
+  const std::uint64_t total = 1ull << n;
+  std::uint64_t mask = 0;
+  for (std::uint64_t k = 1; k < total; ++k) {
+    const std::size_t bit =
+        static_cast<std::size_t>(std::countr_zero(k));
+    mask ^= 1ull << bit;
+    if (!in_jury[bit]) {
+      session->ScoreAdd(instance.candidates[bit]);
+      session->Commit();
+      in_jury[bit] = true;
+      session_members.push_back(bit);
+    } else {
+      const auto it = std::find(session_members.begin(),
+                                session_members.end(), bit);
+      session->ScoreRemove(
+          static_cast<std::size_t>(it - session_members.begin()));
+      session->Commit();
+      in_jury[bit] = false;
+      session_members.erase(it);
+    }
+    double cost = 0.0;
+    if (!FeasibleCost(instance, mask, &cost)) continue;
+    if (monotone && !IsMaximal(instance, mask, cost)) continue;
+    const double jq = session->current_jq();
+    if (Improves(jq, cost, mask, best_mask, best)) {
+      best = MakeSolution(instance, MaskToIndices(mask, n), jq);
+      best_mask = mask;
+    }
+  }
+  return best;
+}
+
+}  // namespace
 
 Result<JspSolution> SolveExhaustive(const JspInstance& instance,
                                     const JqObjective& objective,
@@ -16,49 +143,12 @@ Result<JspSolution> SolveExhaustive(const JspInstance& instance,
         std::to_string(n));
   }
   const bool monotone = objective.monotone_in_size();
-
-  JspSolution best =
-      MakeSolution(instance, {}, EmptyJuryJq(instance.alpha));
-  const std::uint64_t total = 1ull << n;
-  for (std::uint64_t mask = 0; mask < total; ++mask) {
-    double cost = 0.0;
-    bool feasible = true;
-    for (std::size_t i = 0; i < n && feasible; ++i) {
-      if ((mask >> i) & 1u) {
-        cost += instance.candidates[i].cost;
-        if (cost > instance.budget) feasible = false;
-      }
-    }
-    if (!feasible || mask == 0) continue;
-    if (monotone) {
-      // Skip non-maximal juries: some unselected worker still fits.
-      bool maximal = true;
-      for (std::size_t i = 0; i < n && maximal; ++i) {
-        if (!((mask >> i) & 1u) &&
-            cost + instance.candidates[i].cost <= instance.budget) {
-          maximal = false;
-        }
-      }
-      if (!maximal) continue;
-    }
-    std::vector<std::size_t> selected;
-    for (std::size_t i = 0; i < n; ++i) {
-      if ((mask >> i) & 1u) selected.push_back(i);
-    }
-    Jury candidate;
-    for (std::size_t idx : selected) {
-      candidate.Add(instance.candidates[idx]);
-    }
-    const double jq = objective.Evaluate(candidate, instance.alpha);
-    // Deterministic tie-break: at (numerically) equal quality prefer the
-    // cheaper jury, so "required" budgets in the Fig. 1 table are minimal.
-    constexpr double kTieTol = 1e-12;
-    if (jq > best.jq + kTieTol ||
-        (jq > best.jq - kTieTol && cost < best.cost)) {
-      best = MakeSolution(instance, std::move(selected), jq);
-    }
+  if (n == 0) {
+    return MakeSolution(instance, {}, EmptyJuryJq(instance.alpha));
   }
-  return best;
+  return options.use_incremental
+             ? SweepGrayCode(instance, objective, monotone)
+             : SweepFromScratch(instance, objective, monotone);
 }
 
 }  // namespace jury

@@ -11,6 +11,11 @@ namespace jury {
 struct ExhaustiveOptions {
   /// Hard cap on the candidate count (2^N subsets are enumerated).
   std::size_t max_candidates = 22;
+  /// Walk the subsets in Gray-code order, so consecutive juries differ by
+  /// one worker and each is scored by a single session add/remove delta
+  /// update instead of a from-scratch evaluation. Disable to recover the
+  /// original ascending-mask sweep.
+  bool use_incremental = true;
 };
 
 /// \brief Exact JSP by enumerating every feasible jury (the paper's

@@ -2,15 +2,25 @@
 
 #include <algorithm>
 #include <functional>
+#include <limits>
+#include <memory>
 #include <numeric>
 
 namespace jury {
 namespace {
 
-/// Adds candidates in `order` while they fit, then evaluates once.
+/// Score-comparison band shared with the other solvers; see
+/// `kScoreEquivalenceTol` in objective.h.
+constexpr double kScoreTol = kScoreEquivalenceTol;
+
+/// Adds candidates in `order` while they fit. Selection does not depend on
+/// scores, so the incremental path grows a session (one O(n) delta per
+/// add) while the reference path keeps the original single final
+/// evaluation.
 JspSolution FillInOrder(const JspInstance& instance,
                         const JqObjective& objective,
-                        const std::vector<std::size_t>& order) {
+                        const std::vector<std::size_t>& order,
+                        const GreedyOptions& options) {
   std::vector<std::size_t> selected;
   double cost = 0.0;
   for (std::size_t idx : order) {
@@ -20,10 +30,20 @@ JspSolution FillInOrder(const JspInstance& instance,
       cost += c;
     }
   }
-  Jury jury;
-  for (std::size_t idx : selected) jury.Add(instance.candidates[idx]);
-  const double jq = jury.empty() ? EmptyJuryJq(instance.alpha)
-                                 : objective.Evaluate(jury, instance.alpha);
+  double jq;
+  if (options.use_incremental) {
+    auto session = objective.StartSession(instance.alpha, true);
+    for (std::size_t idx : selected) {
+      session->ScoreAdd(instance.candidates[idx]);
+      session->Commit();
+    }
+    jq = session->current_jq();
+  } else {
+    Jury jury;
+    for (std::size_t idx : selected) jury.Add(instance.candidates[idx]);
+    jq = jury.empty() ? EmptyJuryJq(instance.alpha)
+                      : objective.Evaluate(jury, instance.alpha);
+  }
   return MakeSolution(instance, std::move(selected), jq);
 }
 
@@ -43,53 +63,102 @@ std::vector<std::size_t> SortedIndices(
 }  // namespace
 
 Result<JspSolution> SolveGreedyByQuality(const JspInstance& instance,
-                                         const JqObjective& objective) {
+                                         const JqObjective& objective,
+                                         const GreedyOptions& options) {
   JURY_RETURN_NOT_OK(instance.Validate());
   const auto order =
       SortedIndices(instance, [](const Worker& w) { return w.quality; });
-  return FillInOrder(instance, objective, order);
+  return FillInOrder(instance, objective, order, options);
 }
 
 Result<JspSolution> SolveGreedyByValuePerCost(const JspInstance& instance,
-                                              const JqObjective& objective) {
+                                              const JqObjective& objective,
+                                              const GreedyOptions& options) {
   JURY_RETURN_NOT_OK(instance.Validate());
   const auto order = SortedIndices(instance, [](const Worker& w) {
     constexpr double kMinCost = 1e-9;  // free workers get a huge score
     return (w.quality - 0.5) / std::max(w.cost, kMinCost);
   });
-  return FillInOrder(instance, objective, order);
+  return FillInOrder(instance, objective, order, options);
 }
 
 Result<JspSolution> SolveOddTopK(const JspInstance& instance,
-                                 const JqObjective& objective) {
+                                 const JqObjective& objective,
+                                 const GreedyOptions& options) {
   JURY_RETURN_NOT_OK(instance.Validate());
   const auto order =
       SortedIndices(instance, [](const Worker& w) { return w.quality; });
 
-  JspSolution best =
-      MakeSolution(instance, {}, EmptyJuryJq(instance.alpha));
-  const std::size_t n = instance.num_candidates();
-  for (std::size_t k = 1; k <= n; k += 2) {
-    // Greedily take the k best-quality workers that fit.
-    std::vector<std::size_t> selected;
-    double cost = 0.0;
-    for (std::size_t idx : order) {
-      if (selected.size() == k) break;
-      const double c = instance.candidates[idx].cost;
-      if (cost + c <= instance.budget) {
-        selected.push_back(idx);
-        cost += c;
-      }
+  // The "k best-quality workers that fit" sets are nested in k, so one
+  // session grows through all of them, snapshotting at odd sizes. The
+  // reference path evaluates each odd prefix from scratch, as the
+  // original solver did.
+  JspSolution best = MakeSolution(instance, {}, EmptyJuryJq(instance.alpha));
+  auto session = options.use_incremental
+                     ? objective.StartSession(instance.alpha, true)
+                     : nullptr;
+  Jury jury;
+  std::vector<std::size_t> selected;
+  double cost = 0.0;
+  for (std::size_t idx : order) {
+    const double c = instance.candidates[idx].cost;
+    if (cost + c > instance.budget) continue;
+    if (session != nullptr) {
+      session->ScoreAdd(instance.candidates[idx]);
+      session->Commit();
+    } else {
+      jury.Add(instance.candidates[idx]);
     }
-    if (selected.size() < k) break;  // budget cannot host k workers
-    Jury jury;
-    for (std::size_t idx : selected) jury.Add(instance.candidates[idx]);
-    const double jq = objective.Evaluate(jury, instance.alpha);
-    if (jq > best.jq) {
-      best = MakeSolution(instance, std::move(selected), jq);
+    selected.push_back(idx);
+    cost += c;
+    if (selected.size() % 2 == 1) {
+      const double jq = session != nullptr
+                            ? session->current_jq()
+                            : objective.Evaluate(jury, instance.alpha);
+      if (jq > best.jq + kScoreTol) {
+        best = MakeSolution(instance, selected, jq);
+      }
     }
   }
   return best;
+}
+
+Result<JspSolution> SolveGreedyMarginalGain(const JspInstance& instance,
+                                            const JqObjective& objective,
+                                            const GreedyOptions& options) {
+  JURY_RETURN_NOT_OK(instance.Validate());
+  const std::size_t n = instance.num_candidates();
+  auto session =
+      objective.StartSession(instance.alpha, options.use_incremental);
+  std::vector<bool> in_jury(n, false);
+  std::vector<std::size_t> selected;
+  double cost = 0.0;
+
+  for (;;) {
+    std::size_t best_idx = static_cast<std::size_t>(-1);
+    double best_score = -std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (in_jury[i]) continue;
+      if (cost + instance.candidates[i].cost > instance.budget) continue;
+      const double score = session->ScoreAdd(instance.candidates[i]);
+      if (score > best_score + kScoreTol) {
+        best_score = score;
+        best_idx = i;
+      }
+    }
+    session->Rollback();
+    if (best_idx == static_cast<std::size_t>(-1)) break;  // nothing fits
+    if (!objective.monotone_in_size() &&
+        best_score <= session->current_jq() + kScoreTol) {
+      break;  // for MV-like objectives an extension can hurt; stop early
+    }
+    session->ScoreAdd(instance.candidates[best_idx]);
+    session->Commit();
+    in_jury[best_idx] = true;
+    selected.push_back(best_idx);
+    cost += instance.candidates[best_idx].cost;
+  }
+  return MakeSolution(instance, std::move(selected), session->current_jq());
 }
 
 }  // namespace jury

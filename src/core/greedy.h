@@ -8,25 +8,44 @@
 namespace jury {
 
 /// \brief Cheap deterministic JSP baselines, used for ablations (E19) and as
-/// seeds/components of the MVJS system.
+/// seeds/components of the MVJS system. All of them grow juries one worker
+/// at a time through an `IncrementalJqEvaluator` session.
+struct GreedyOptions {
+  /// Score candidate additions by delta update (see AnnealingOptions).
+  bool use_incremental = true;
+};
 
 /// Sorts candidates by quality (descending) and adds each one that still
 /// fits the budget. With uniform costs this is optimal for BV by Lemmas 1-2
 /// (a property the tests verify).
 Result<JspSolution> SolveGreedyByQuality(const JspInstance& instance,
-                                         const JqObjective& objective);
+                                         const JqObjective& objective,
+                                         const GreedyOptions& options = {});
 
 /// Sorts by (quality - 0.5) / cost — informativeness per unit money — and
 /// adds while affordable. Free workers (cost ~ 0) rank first.
-Result<JspSolution> SolveGreedyByValuePerCost(const JspInstance& instance,
-                                              const JqObjective& objective);
+Result<JspSolution> SolveGreedyByValuePerCost(
+    const JspInstance& instance, const JqObjective& objective,
+    const GreedyOptions& options = {});
 
 /// MV-oriented heuristic: for every odd jury size k, greedily picks the k
 /// highest-quality affordable workers, evaluates the objective, and keeps
 /// the best size. Mirrors the odd-size-majority intuition behind Cao et
-/// al.'s MV solver (MV gains nothing from even extensions).
+/// al.'s MV solver (MV gains nothing from even extensions). The k-prefixes
+/// are nested, so one evaluation session walks every size in O(n) delta
+/// updates total.
 Result<JspSolution> SolveOddTopK(const JspInstance& instance,
-                                 const JqObjective& objective);
+                                 const JqObjective& objective,
+                                 const GreedyOptions& options = {});
+
+/// True marginal-gain greedy: each round scores *every* affordable
+/// candidate addition through the session (an O(n) delta update apiece
+/// rather than an O(n^2) from-scratch evaluation) and commits the best
+/// one. Stops when nothing fits — or, for non-monotone objectives, when
+/// the best addition no longer improves the jury.
+Result<JspSolution> SolveGreedyMarginalGain(const JspInstance& instance,
+                                            const JqObjective& objective,
+                                            const GreedyOptions& options = {});
 
 }  // namespace jury
 

@@ -12,12 +12,16 @@ Result<JspSolution> SolveMvjs(const JspInstance& instance, Rng* rng,
 
   AnnealingOptions annealing = options.annealing;
   annealing.trust_monotone_adds = false;  // MV is not monotone in size
+  annealing.use_incremental &= options.use_incremental;
   JURY_ASSIGN_OR_RETURN(JspSolution best,
                         SolveAnnealing(instance, objective, rng, annealing));
 
   if (options.use_odd_top_k) {
-    JURY_ASSIGN_OR_RETURN(JspSolution greedy,
-                          SolveOddTopK(instance, objective));
+    GreedyOptions greedy_options;
+    greedy_options.use_incremental = options.use_incremental;
+    JURY_ASSIGN_OR_RETURN(
+        JspSolution greedy,
+        SolveOddTopK(instance, objective, greedy_options));
     if (greedy.jq > best.jq) best = greedy;
   }
   return best;

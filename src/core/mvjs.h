@@ -21,6 +21,9 @@ struct MvjsOptions {
   AnnealingOptions annealing;
   /// Also try the odd-top-k greedy and keep the better jury.
   bool use_odd_top_k = true;
+  /// Master switch for delta-update evaluation (Poisson-binomial
+  /// AddTrial/RemoveTrial under the MV objective).
+  bool use_incremental = true;
 };
 
 /// Solves JSP under the MV strategy (the baseline system of §6.1.2).

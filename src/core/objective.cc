@@ -1,10 +1,550 @@
 #include "core/objective.h"
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
 #include "core/jsp.h"
 #include "jq/closed_form.h"
 #include "jq/exact.h"
+#include "model/prior.h"
+#include "util/check.h"
+#include "util/math.h"
+#include "util/poisson_binomial.h"
 
 namespace jury {
+namespace {
+
+/// §3.3 flip reinterpretation for a single quality (`Normalize` on one
+/// worker): ties at 0.5 are left unflipped.
+double NormalizeQuality(double q) { return q < 0.5 ? 1.0 - q : q; }
+
+// ---------------------------------------------------------------------------
+// Full-recompute session: the `--no-incremental` reference path. Scores every
+// staged move by materializing the jury and calling `Evaluate`, so it is the
+// old stateless behavior verbatim (and counts as full evaluations through
+// `Evaluate` itself).
+// ---------------------------------------------------------------------------
+class FullRecomputeEvaluator final : public IncrementalJqEvaluator {
+ public:
+  FullRecomputeEvaluator(const JqObjective* objective, double alpha)
+      : IncrementalJqEvaluator(objective, alpha), objective_(objective) {}
+
+ protected:
+  double ComputeAdd(const Worker& worker) override {
+    return objective_->Evaluate(MaterializeWith(kNoMember, &worker), alpha());
+  }
+  double ComputeRemove(std::size_t idx) override {
+    return objective_->Evaluate(MaterializeWith(idx, nullptr), alpha());
+  }
+  double ComputeSwap(std::size_t out_idx, const Worker& in) override {
+    return objective_->Evaluate(MaterializeWith(out_idx, &in), alpha());
+  }
+  void AdoptStaged() override {}
+
+ private:
+  const JqObjective* objective_;
+};
+
+// ---------------------------------------------------------------------------
+// MV session: two conditional Poisson-binomial pmfs (zero-votes given t=0 and
+// given t=1) updated by AddTrial/RemoveTrial — O(n) per staged move instead
+// of the O(n^2) DP rebuild of `MajorityJq`.
+// ---------------------------------------------------------------------------
+class IncrementalMajorityEvaluator final : public IncrementalJqEvaluator {
+ public:
+  IncrementalMajorityEvaluator(const JqObjective* objective, double alpha)
+      : IncrementalJqEvaluator(objective, alpha) {}
+
+ protected:
+  double ComputeAdd(const Worker& worker) override {
+    LoadScratch();
+    AddToScratch(worker.quality);
+    CountIncrementalEvaluation();
+    return ScratchScore();
+  }
+  double ComputeRemove(std::size_t idx) override {
+    LoadScratch();
+    RemoveFromScratch(members()[idx].quality);
+    CountIncrementalEvaluation();
+    return ScratchScore();
+  }
+  double ComputeSwap(std::size_t out_idx, const Worker& in) override {
+    LoadScratch();
+    RemoveFromScratch(members()[out_idx].quality);
+    AddToScratch(in.quality);
+    CountIncrementalEvaluation();
+    return ScratchScore();
+  }
+  void AdoptStaged() override {
+    zeros_t0_ = std::move(scratch_t0_);
+    zeros_t1_ = std::move(scratch_t1_);
+  }
+
+ private:
+  void LoadScratch() {
+    scratch_t0_ = zeros_t0_;
+    scratch_t1_ = zeros_t1_;
+  }
+  void AddToScratch(double q) {
+    scratch_t0_.AddTrial(q);
+    scratch_t1_.AddTrial(1.0 - q);
+  }
+  void RemoveFromScratch(double q) {
+    scratch_t0_.RemoveTrial(q);
+    scratch_t1_.RemoveTrial(1.0 - q);
+  }
+  double ScratchScore() const {
+    const int n = scratch_t0_.size();
+    if (n == 0) return EmptyJuryJq(alpha());
+    // MV returns 0 iff zeros >= floor(n/2) + 1, as in `MajorityJq`.
+    const int zeros_needed = n / 2 + 1;
+    return alpha() * scratch_t0_.TailAtLeast(zeros_needed) +
+           (1.0 - alpha()) * scratch_t1_.CdfAtMost(zeros_needed - 1);
+  }
+
+  PoissonBinomial zeros_t0_{std::vector<double>{}};
+  PoissonBinomial zeros_t1_{std::vector<double>{}};
+  PoissonBinomial scratch_t0_{std::vector<double>{}};
+  PoissonBinomial scratch_t1_{std::vector<double>{}};
+};
+
+// ---------------------------------------------------------------------------
+// Exact-BV session: caches the enumeration state — per-voting decision
+// statistic R(V) and the conditional probabilities Pr(V|t) — so a staged
+// move re-folds the 2^n table in O(2^n) instead of re-enumerating in
+// O(n 2^n). Falls back to `ExactJqBv` beyond the cache size cap.
+// ---------------------------------------------------------------------------
+class IncrementalExactBvEvaluator final : public IncrementalJqEvaluator {
+ public:
+  IncrementalExactBvEvaluator(const JqObjective* objective, double alpha)
+      : IncrementalJqEvaluator(objective, alpha),
+        prior_stat_(LogOdds(EffectiveQuality(alpha))) {
+    FoldMembers({}, &state_);  // empty product
+  }
+
+  /// Above this member count the 2^n cache is not maintained (arrays of
+  /// 3 * 2^n doubles); moves are scored by full enumeration instead.
+  static constexpr std::size_t kMaxCachedMembers = 20;
+
+ protected:
+  double ComputeAdd(const Worker& worker) override {
+    const std::size_t new_n = size() + 1;
+    if (new_n > kMaxCachedMembers) return FullScore(kNoMember, &worker);
+    if (!state_.valid) {
+      FoldMembers(Hypothetical(kNoMember, nullptr), &scratch_);
+      ExtendInPlace(&scratch_, worker.quality);
+    } else {
+      ExtendFrom(state_, worker.quality, &scratch_);
+    }
+    CountIncrementalEvaluation();
+    return Sweep(scratch_);
+  }
+  double ComputeRemove(std::size_t idx) override {
+    if (size() - 1 > kMaxCachedMembers) return FullScore(idx, nullptr);
+    FoldMembers(Hypothetical(idx, nullptr), &scratch_);
+    CountIncrementalEvaluation();
+    return Sweep(scratch_);
+  }
+  double ComputeSwap(std::size_t out_idx, const Worker& in) override {
+    if (size() > kMaxCachedMembers) return FullScore(out_idx, &in);
+    FoldMembers(Hypothetical(out_idx, &in), &scratch_);
+    CountIncrementalEvaluation();
+    return Sweep(scratch_);
+  }
+  void AdoptStaged() override { state_ = std::move(scratch_); }
+  void DiscardStaged() override { scratch_.valid = false; }
+
+ private:
+  struct EnumState {
+    std::vector<double> r;   // decision statistic, prior excluded
+    std::vector<double> p0;  // Pr(V | t = 0)
+    std::vector<double> p1;  // Pr(V | t = 1)
+    bool valid = false;
+  };
+
+  std::vector<double> Hypothetical(std::size_t out_idx,
+                                   const Worker* in) const {
+    return MaterializeWith(out_idx, in).qualities();
+  }
+
+  /// Builds the enumeration table by folding qualities one at a time;
+  /// total work sum_j 2^j = O(2^n).
+  static void FoldMembers(const std::vector<double>& qs, EnumState* out) {
+    out->r.assign(1, 0.0);
+    out->p0.assign(1, 1.0);
+    out->p1.assign(1, 1.0);
+    for (double q : qs) ExtendInPlace(out, q);
+    out->valid = true;
+  }
+
+  static void ExtendInPlace(EnumState* state, double q) {
+    const std::size_t m = state->r.size();
+    const double phi = LogOdds(EffectiveQuality(q));
+    state->r.resize(2 * m);
+    state->p0.resize(2 * m);
+    state->p1.resize(2 * m);
+    for (std::size_t mask = 0; mask < m; ++mask) {
+      // High half: the new worker votes 1; low half: votes 0.
+      state->r[m + mask] = state->r[mask] - phi;
+      state->p0[m + mask] = state->p0[mask] * (1.0 - q);
+      state->p1[m + mask] = state->p1[mask] * q;
+      state->r[mask] += phi;
+      state->p0[mask] *= q;
+      state->p1[mask] *= (1.0 - q);
+    }
+  }
+
+  static void ExtendFrom(const EnumState& base, double q, EnumState* out) {
+    *out = base;
+    ExtendInPlace(out, q);
+  }
+
+  double Sweep(const EnumState& state) const {
+    double jq = 0.0;
+    for (std::size_t mask = 0; mask < state.r.size(); ++mask) {
+      // BV answers 0 iff the prior-weighted statistic is >= 0 (Theorem 1).
+      if (prior_stat_ + state.r[mask] >= 0.0) {
+        jq += alpha() * state.p0[mask];
+      } else {
+        jq += (1.0 - alpha()) * state.p1[mask];
+      }
+    }
+    return jq;
+  }
+
+  double FullScore(std::size_t out_idx, const Worker* in) {
+    scratch_.valid = false;
+    const std::vector<double> qs = Hypothetical(out_idx, in);
+    CountFullEvaluation();
+    if (qs.empty()) return EmptyJuryJq(alpha());
+    return ExactJqBv(Jury::FromQualities(qs), alpha()).value();
+  }
+
+  double prior_stat_;
+  EnumState state_;
+  EnumState scratch_;
+};
+
+// ---------------------------------------------------------------------------
+// BV/bucket session: keeps the Algorithm-1 key distribution of the committed
+// jury (plus the Theorem-3 prior pseudo-worker) and scores moves by O(span)
+// convolution/deconvolution. The bucket grid is pinned to the jury's maximum
+// log-odds, exactly as `EstimateJq` derives it, so the state is rebuilt
+// whenever a move changes that maximum (or enters/leaves the §4.4 shortcut
+// and all-q=0.5 special cases).
+// ---------------------------------------------------------------------------
+class IncrementalBucketBvEvaluator final : public IncrementalJqEvaluator {
+ public:
+  IncrementalBucketBvEvaluator(const JqObjective* objective, double alpha,
+                               const BucketJqOptions& options)
+      : IncrementalJqEvaluator(objective, alpha), options_(options) {
+    JURY_CHECK_GT(options_.num_buckets, 0);
+    if (!IsUninformativeAlpha(alpha)) {
+      has_prior_ = true;
+      prior_q_ = NormalizeQuality(alpha);
+    }
+  }
+
+  /// Key-span guard: past this the dense delta state would be larger than
+  /// the one-shot estimator's own dense limit; score via `EstimateJq`.
+  static constexpr std::int64_t kMaxIncrementalSpan = std::int64_t{1} << 22;
+
+ protected:
+  double ComputeAdd(const Worker& worker) override {
+    return Score(kNoMember, &worker);
+  }
+  double ComputeRemove(std::size_t idx) override {
+    return Score(idx, nullptr);
+  }
+  double ComputeSwap(std::size_t out_idx, const Worker& in) override {
+    return Score(out_idx, &in);
+  }
+
+  void AdoptStaged() override {
+    // Mirror the member-list change in the normalized-quality view.
+    if (staged_out_ != kNoMember && staged_has_in_) {
+      norm_q_[staged_out_] = staged_in_q_;  // swap in place
+    } else if (staged_out_ != kNoMember) {
+      norm_q_.erase(norm_q_.begin() + static_cast<std::ptrdiff_t>(staged_out_));
+    } else if (staged_has_in_) {
+      norm_q_.push_back(staged_in_q_);
+    }
+    if (scratch_regular_) {
+      dist_ = std::move(scratch_dist_);
+      if (scratch_rebuilt_ || grid_upper_ != scratch_upper_) {
+        grid_upper_ = scratch_upper_;
+        RefreshBuckets();
+      } else if (staged_out_ != kNoMember && staged_has_in_) {
+        bucket_[staged_out_] = staged_in_bucket_;
+      } else if (staged_out_ != kNoMember) {
+        bucket_.erase(bucket_.begin() +
+                      static_cast<std::ptrdiff_t>(staged_out_));
+      } else if (staged_has_in_) {
+        bucket_.push_back(staged_in_bucket_);
+      }
+      dist_valid_ = true;
+    } else {
+      dist_valid_ = false;
+    }
+  }
+
+ private:
+  double Score(std::size_t out_idx, const Worker* in) {
+    staged_out_ = out_idx;
+    staged_has_in_ = in != nullptr;
+    staged_in_q_ = in != nullptr ? NormalizeQuality(in->quality) : 0.5;
+    scratch_regular_ = false;
+    scratch_rebuilt_ = false;
+
+    const std::size_t count =
+        norm_q_.size() - (out_idx != kNoMember ? 1 : 0) + (in != nullptr ? 1 : 0);
+    if (count == 0) {
+      // `Evaluate` short-circuits the empty jury before the estimator runs.
+      CountIncrementalEvaluation();
+      return EmptyJuryJq(alpha());
+    }
+
+    // The grid and the special-case modes depend only on the maximum
+    // normalized quality of jury + prior (phi is monotone in q).
+    double max_q = has_prior_ ? prior_q_ : 0.0;
+    for (std::size_t i = 0; i < norm_q_.size(); ++i) {
+      if (i == out_idx) continue;
+      max_q = std::max(max_q, norm_q_[i]);
+    }
+    if (in != nullptr) max_q = std::max(max_q, staged_in_q_);
+
+    // §4.4 escape hatch: a near-perfect juror pins JQ into (cutoff, 1].
+    if (options_.high_quality_cutoff < 1.0 &&
+        max_q > options_.high_quality_cutoff) {
+      CountIncrementalEvaluation();
+      return max_q;
+    }
+    const double upper = LogOdds(EffectiveQuality(max_q));
+    if (upper <= 0.0) {
+      // Every juror and the prior sit exactly at 0.5: JQ = 0.5 exactly.
+      CountIncrementalEvaluation();
+      return 0.5;
+    }
+    const double delta = upper / static_cast<double>(options_.num_buckets);
+    staged_in_bucket_ =
+        in != nullptr ? BucketOf(staged_in_q_, delta) : std::int64_t{0};
+
+    if (dist_valid_ && upper == grid_upper_) {
+      // Same grid: the neighbouring jury's key distribution is one
+      // (de)convolution away from the committed one.
+      const std::int64_t out_b =
+          out_idx != kNoMember ? bucket_[out_idx] : std::int64_t{0};
+      const std::int64_t projected =
+          dist_.span() - out_b + (in != nullptr ? staged_in_bucket_ : 0);
+      if (projected <= kMaxIncrementalSpan) {
+        scratch_dist_ = dist_;
+        if (out_idx != kNoMember) {
+          scratch_dist_.Deconvolve(out_b, norm_q_[out_idx]);
+        }
+        if (in != nullptr) {
+          scratch_dist_.Convolve(staged_in_bucket_, staged_in_q_);
+        }
+        scratch_upper_ = upper;
+        scratch_regular_ = true;
+        CountIncrementalEvaluation();
+        return std::min(scratch_dist_.PositiveMass(), 1.0);
+      }
+    }
+
+    // Grid changed (the max-quality member moved) or no valid cached
+    // state: rebuild the key distribution from scratch on the new grid.
+    scratch_dist_.Reset();
+    std::int64_t span = 0;
+    for (std::size_t i = 0; i < norm_q_.size(); ++i) {
+      if (i == out_idx) continue;
+      span += FoldWorker(norm_q_[i], delta);
+    }
+    if (in != nullptr) span += FoldWorker(staged_in_q_, delta);
+    if (has_prior_) span += FoldWorker(prior_q_, delta);
+    CountFullEvaluation();
+    if (span > kMaxIncrementalSpan) {
+      // Oversized dense state: score one-shot and drop the cache.
+      scratch_regular_ = false;
+      return OneShot(out_idx, in);
+    }
+    scratch_upper_ = upper;
+    scratch_regular_ = true;
+    scratch_rebuilt_ = true;
+    return std::min(scratch_dist_.PositiveMass(), 1.0);
+  }
+
+  std::int64_t BucketOf(double norm_q, double delta) const {
+    const double phi = LogOdds(EffectiveQuality(norm_q));
+    return static_cast<std::int64_t>(std::ceil(phi / delta - 0.5));
+  }
+
+  std::int64_t FoldWorker(double norm_q, double delta) {
+    const std::int64_t b = BucketOf(norm_q, delta);
+    if (scratch_dist_.span() + b <= kMaxIncrementalSpan) {
+      scratch_dist_.Convolve(b, norm_q);
+    }
+    return b;
+  }
+
+  double OneShot(std::size_t out_idx, const Worker* in) const {
+    return EstimateJq(MaterializeWith(out_idx, in), alpha(), options_)
+        .value();
+  }
+
+  void RefreshBuckets() {
+    const double delta =
+        grid_upper_ / static_cast<double>(options_.num_buckets);
+    bucket_.resize(norm_q_.size());
+    for (std::size_t i = 0; i < norm_q_.size(); ++i) {
+      bucket_[i] = BucketOf(norm_q_[i], delta);
+    }
+  }
+
+  BucketJqOptions options_;
+  bool has_prior_ = false;
+  double prior_q_ = 0.5;
+
+  // Committed state: normalized member qualities (aligned with members()),
+  // their buckets under the committed grid, and the key distribution of
+  // jury + prior. `dist_valid_` is false in the special-case modes.
+  std::vector<double> norm_q_;
+  std::vector<std::int64_t> bucket_;
+  BucketKeyDistribution dist_;
+  bool dist_valid_ = false;
+  double grid_upper_ = 0.0;
+
+  // Scratch for the staged move.
+  BucketKeyDistribution scratch_dist_;
+  bool scratch_regular_ = false;
+  bool scratch_rebuilt_ = false;
+  double scratch_upper_ = 0.0;
+  std::size_t staged_out_ = kNoMember;
+  bool staged_has_in_ = false;
+  double staged_in_q_ = 0.5;
+  std::int64_t staged_in_bucket_ = 0;
+};
+
+}  // namespace
+
+// --------------------------------------------------------------- base class
+
+IncrementalJqEvaluator::IncrementalJqEvaluator(const JqObjective* objective,
+                                               double alpha)
+    : objective_(objective),
+      alpha_(alpha),
+      current_jq_(EmptyJuryJq(alpha)) {}
+
+double IncrementalJqEvaluator::ScoreAdd(const Worker& worker) {
+  staged_ = MoveKind::kAdd;
+  staged_idx_ = kNoMember;
+  staged_worker_ = worker;
+  staged_score_ = ComputeAdd(worker);
+  return staged_score_;
+}
+
+double IncrementalJqEvaluator::ScoreRemove(std::size_t idx) {
+  JURY_CHECK_LT(idx, members_.size());
+  staged_ = MoveKind::kRemove;
+  staged_idx_ = idx;
+  staged_score_ = ComputeRemove(idx);
+  return staged_score_;
+}
+
+double IncrementalJqEvaluator::ScoreSwap(std::size_t out_idx,
+                                         const Worker& in_worker) {
+  JURY_CHECK_LT(out_idx, members_.size());
+  staged_ = MoveKind::kSwap;
+  staged_idx_ = out_idx;
+  staged_worker_ = in_worker;
+  staged_score_ = ComputeSwap(out_idx, in_worker);
+  return staged_score_;
+}
+
+void IncrementalJqEvaluator::Commit() {
+  JURY_CHECK(staged_ != MoveKind::kNone) << "Commit without a staged move";
+  AdoptStaged();
+  switch (staged_) {
+    case MoveKind::kAdd:
+      members_.push_back(std::move(staged_worker_));
+      break;
+    case MoveKind::kRemove:
+      members_.erase(members_.begin() +
+                     static_cast<std::ptrdiff_t>(staged_idx_));
+      break;
+    case MoveKind::kSwap:
+      members_[staged_idx_] = std::move(staged_worker_);
+      break;
+    case MoveKind::kNone:
+      break;
+  }
+  current_jq_ = staged_score_;
+  staged_ = MoveKind::kNone;
+}
+
+void IncrementalJqEvaluator::Rollback() {
+  if (staged_ == MoveKind::kNone) return;
+  DiscardStaged();
+  staged_ = MoveKind::kNone;
+}
+
+Jury IncrementalJqEvaluator::MaterializeWith(std::size_t out_idx,
+                                             const Worker* in) const {
+  Jury jury;
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (i == out_idx) {
+      if (in != nullptr) jury.Add(*in);  // swap in place
+      continue;
+    }
+    jury.Add(members_[i]);
+  }
+  if (in != nullptr && out_idx == kNoMember) jury.Add(*in);
+  return jury;
+}
+
+void IncrementalJqEvaluator::CountFullEvaluation() const {
+  ++objective_->counters_.full;
+}
+
+void IncrementalJqEvaluator::CountIncrementalEvaluation() const {
+  ++objective_->counters_.incremental;
+}
+
+// ---------------------------------------------------------------- factories
+
+std::unique_ptr<IncrementalJqEvaluator> JqObjective::StartSession(
+    double alpha, bool incremental) const {
+  if (!incremental) {
+    return std::make_unique<FullRecomputeEvaluator>(this, alpha);
+  }
+  return StartIncrementalSession(alpha);
+}
+
+std::unique_ptr<IncrementalJqEvaluator> JqObjective::StartIncrementalSession(
+    double alpha) const {
+  // Objectives without a delta backend still get the session API.
+  return std::make_unique<FullRecomputeEvaluator>(this, alpha);
+}
+
+std::unique_ptr<IncrementalJqEvaluator>
+BucketBvObjective::StartIncrementalSession(double alpha) const {
+  return std::make_unique<IncrementalBucketBvEvaluator>(this, alpha,
+                                                        options_);
+}
+
+std::unique_ptr<IncrementalJqEvaluator>
+ExactBvObjective::StartIncrementalSession(double alpha) const {
+  return std::make_unique<IncrementalExactBvEvaluator>(this, alpha);
+}
+
+std::unique_ptr<IncrementalJqEvaluator>
+MajorityObjective::StartIncrementalSession(double alpha) const {
+  return std::make_unique<IncrementalMajorityEvaluator>(this, alpha);
+}
+
+// --------------------------------------------------------------- one-shots
 
 double BucketBvObjective::Evaluate(const Jury& candidate_jury,
                                    double alpha) const {

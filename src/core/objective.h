@@ -1,18 +1,51 @@
 #ifndef JURYOPT_CORE_OBJECTIVE_H_
 #define JURYOPT_CORE_OBJECTIVE_H_
 
+#include <cstddef>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "jq/bucket.h"
 #include "model/jury.h"
+#include "model/worker.h"
 
 namespace jury {
+
+class IncrementalJqEvaluator;
+
+/// Tolerance of the session-vs-Evaluate equivalence contract: a delta
+/// update and a from-scratch evaluation of the same jury agree within this
+/// bound (property-tested). Solvers band every score-sensitive comparison
+/// (acceptance, argmax, incumbent tracking, tie-breaks) at this tolerance
+/// so the two evaluation paths make identical decisions — the bucket
+/// objective produces *exact* JQ ties between neighbouring juries, so
+/// strict comparisons would flip on evaluation noise.
+inline constexpr double kScoreEquivalenceTol = 1e-12;
+
+/// \brief Split instrumentation for the runtime figures: how many candidate
+/// juries were scored from scratch (O(n) per worker and worse) versus by an
+/// O(n) delta update inside an `IncrementalJqEvaluator` session.
+struct EvaluationCounters {
+  /// From-scratch evaluations: every `Evaluate` call plus every session
+  /// score that had to rebuild its cached state (grid change, cache limit).
+  std::size_t full = 0;
+  /// Delta-updated session scores.
+  std::size_t incremental = 0;
+
+  std::size_t total() const { return full + incremental; }
+};
 
 /// \brief The quality function a JSP solver maximizes. OPTJS plugs in the
 /// bucket-approximated Bayesian-Voting JQ; the MVJS baseline plugs in the
 /// exact Majority-Voting JQ. Solvers treat this as a black box, which is
 /// exactly how §7 argues the annealing heuristic generalizes.
+///
+/// Two-level API:
+///  * `Evaluate` — stateless one-shot scoring of an arbitrary jury;
+///  * `StartSession` — an `IncrementalJqEvaluator` that scores the
+///    add/remove/swap neighbourhood of a growing jury via O(n) delta
+///    updates, which is how the solvers explore candidates.
 class JqObjective {
  public:
   virtual ~JqObjective() = default;
@@ -27,19 +60,112 @@ class JqObjective {
   /// to decide whether "add if it fits" needs an acceptance test.
   virtual bool monotone_in_size() const = 0;
 
-  /// Number of `Evaluate` calls so far (instrumentation for the runtime
-  /// figures).
-  std::size_t evaluations() const { return evaluations_; }
+  /// Opens an evaluation session starting from the empty jury. When
+  /// `incremental` is false the session scores every move by materializing
+  /// the jury and calling `Evaluate` — the `--no-incremental` reference
+  /// path that delta updates are asserted bit-equal (within 1e-12) against.
+  std::unique_ptr<IncrementalJqEvaluator> StartSession(
+      double alpha, bool incremental = true) const;
+
+  /// Total number of jury scorings so far (full + incremental), kept for
+  /// the original instrumentation consumers.
+  std::size_t evaluations() const { return counters_.total(); }
+  /// Full vs. incremental breakdown.
+  const EvaluationCounters& evaluation_counters() const { return counters_; }
+  void ResetEvaluationCounters() const { counters_ = EvaluationCounters{}; }
 
  protected:
-  void CountEvaluation() const { ++evaluations_; }
+  /// Backend hook: returns the delta-updating session. The default is the
+  /// full-recompute session, so third-party objectives keep working.
+  virtual std::unique_ptr<IncrementalJqEvaluator> StartIncrementalSession(
+      double alpha) const;
+
+  void CountEvaluation() const { ++counters_.full; }
 
  private:
-  mutable std::size_t evaluations_ = 0;
+  friend class IncrementalJqEvaluator;
+  mutable EvaluationCounters counters_;
+};
+
+/// \brief A stateful evaluation session over one growing/shrinking jury.
+///
+/// The session owns the jury's member list. Solvers *stage* a candidate
+/// move with one of the `Score*` calls — which returns the JQ the jury
+/// would have after the move, computed by an O(n) delta update where the
+/// backend supports it — and then either `Commit()` (adopt the move and its
+/// score) or `Rollback()` (discard it). A subsequent `Score*` call replaces
+/// the staged move, so a solver may scan many candidates and re-stage the
+/// winner before committing.
+///
+/// Scores agree with `JqObjective::Evaluate` on the materialized jury to
+/// within 1e-12 (property-tested); the `incremental=false` session produced
+/// by `StartSession` is exactly `Evaluate` under the hood.
+class IncrementalJqEvaluator {
+ public:
+  virtual ~IncrementalJqEvaluator() = default;
+
+  double alpha() const { return alpha_; }
+  /// Committed members, in insertion order (swap replaces in place).
+  const std::vector<Worker>& members() const { return members_; }
+  std::size_t size() const { return members_.size(); }
+  /// JQ of the committed jury (`EmptyJuryJq(alpha)` for the empty jury).
+  double current_jq() const { return current_jq_; }
+  bool has_staged_move() const { return staged_ != MoveKind::kNone; }
+
+  /// JQ of members + `worker`; stages the addition.
+  double ScoreAdd(const Worker& worker);
+  /// JQ with member `idx` removed; stages the removal.
+  double ScoreRemove(std::size_t idx);
+  /// JQ with member `out_idx` replaced by `in_worker`; stages the swap.
+  double ScoreSwap(std::size_t out_idx, const Worker& in_worker);
+  /// Adopts the staged move: the member list and `current_jq` now reflect
+  /// it. Requires a staged move.
+  void Commit();
+  /// Discards the staged move (no-op when nothing is staged).
+  void Rollback();
+
+ protected:
+  IncrementalJqEvaluator(const JqObjective* objective, double alpha);
+
+  /// Sentinel for "no member leaves" in `MaterializeWith`.
+  static constexpr std::size_t kNoMember = static_cast<std::size_t>(-1);
+
+  /// Materializes the committed members with a hypothetical move applied:
+  /// `out_idx == kNoMember` with `in` appends (add); a valid `out_idx`
+  /// with `in` replaces in place (swap); a valid `out_idx` without `in`
+  /// skips that member (remove). All backends share this one definition so
+  /// their jury views cannot drift apart.
+  Jury MaterializeWith(std::size_t out_idx, const Worker* in) const;
+
+  /// Backend hooks: compute the score of the staged move into scratch
+  /// state. `AdoptStaged` is called by `Commit` *before* the base class
+  /// updates the member list; `DiscardStaged` by `Rollback`.
+  virtual double ComputeAdd(const Worker& worker) = 0;
+  virtual double ComputeRemove(std::size_t idx) = 0;
+  virtual double ComputeSwap(std::size_t out_idx, const Worker& in) = 0;
+  virtual void AdoptStaged() = 0;
+  virtual void DiscardStaged() {}
+
+  /// Instrumentation forwarded to the owning objective's counters.
+  void CountFullEvaluation() const;
+  void CountIncrementalEvaluation() const;
+
+ private:
+  enum class MoveKind { kNone, kAdd, kRemove, kSwap };
+
+  const JqObjective* objective_;
+  double alpha_;
+  std::vector<Worker> members_;
+  double current_jq_;
+  MoveKind staged_ = MoveKind::kNone;
+  std::size_t staged_idx_ = 0;
+  Worker staged_worker_;
+  double staged_score_ = 0.0;
 };
 
 /// BV jury quality via Algorithm 1 (`EstimateJq`). The paper's OPTJS
-/// objective.
+/// objective. Sessions keep the Algorithm-1 key distribution as state and
+/// add/remove workers by O(span) convolution/deconvolution.
 class BucketBvObjective final : public JqObjective {
  public:
   explicit BucketBvObjective(BucketJqOptions options = {})
@@ -49,26 +175,42 @@ class BucketBvObjective final : public JqObjective {
   bool monotone_in_size() const override { return true; }
   const BucketJqOptions& options() const { return options_; }
 
+ protected:
+  std::unique_ptr<IncrementalJqEvaluator> StartIncrementalSession(
+      double alpha) const override;
+
  private:
   BucketJqOptions options_;
 };
 
 /// BV jury quality by exact 2^n enumeration; only for small juries
-/// (tests, Fig. 7(a)-scale experiments).
+/// (tests, Fig. 7(a)-scale experiments). Sessions cache the enumeration
+/// state (per-voting decision statistic and conditional probabilities), so
+/// a move re-folds in O(2^n) instead of re-enumerating in O(n 2^n).
 class ExactBvObjective final : public JqObjective {
  public:
   std::string name() const override { return "BV/exact"; }
   double Evaluate(const Jury& candidate_jury, double alpha) const override;
   bool monotone_in_size() const override { return true; }
+
+ protected:
+  std::unique_ptr<IncrementalJqEvaluator> StartIncrementalSession(
+      double alpha) const override;
 };
 
 /// MV jury quality via the exact Poisson-binomial DP. The MVJS baseline
-/// objective (Cao et al. [7] solve argmax JQ(J, MV, 0.5)).
+/// objective (Cao et al. [7] solve argmax JQ(J, MV, 0.5)). Sessions keep
+/// the two conditional Poisson-binomial pmfs and update them in O(n) via
+/// `PoissonBinomial::AddTrial`/`RemoveTrial`.
 class MajorityObjective final : public JqObjective {
  public:
   std::string name() const override { return "MV/exact"; }
   double Evaluate(const Jury& candidate_jury, double alpha) const override;
   bool monotone_in_size() const override { return false; }
+
+ protected:
+  std::unique_ptr<IncrementalJqEvaluator> StartIncrementalSession(
+      double alpha) const override;
 };
 
 }  // namespace jury

@@ -34,20 +34,26 @@ Result<JspSolution> SolveOptjs(const JspInstance& instance, Rng* rng,
       instance.num_candidates() <= options.exhaustive_threshold) {
     ExhaustiveOptions exhaustive;
     exhaustive.max_candidates = options.exhaustive_threshold;
+    exhaustive.use_incremental = options.use_incremental;
     JURY_ASSIGN_OR_RETURN(best,
                           SolveExhaustive(instance, objective, exhaustive));
   } else {
+    AnnealingOptions annealing = options.annealing;
+    annealing.use_incremental &= options.use_incremental;
+    GreedyOptions greedy;
+    greedy.use_incremental = options.use_incremental;
     JURY_ASSIGN_OR_RETURN(
-        best, SolveAnnealing(instance, objective, rng, options.annealing));
+        best, SolveAnnealing(instance, objective, rng, annealing));
     best.jq = TightJq(instance, best, options.bucket);
     // Cheap deterministic fallbacks: annealing occasionally ends in a poor
     // local optimum; keep whichever jury re-evaluates best.
     JURY_ASSIGN_OR_RETURN(JspSolution by_quality,
-                          SolveGreedyByQuality(instance, objective));
+                          SolveGreedyByQuality(instance, objective, greedy));
     by_quality.jq = TightJq(instance, by_quality, options.bucket);
     if (by_quality.jq > best.jq) best = by_quality;
-    JURY_ASSIGN_OR_RETURN(JspSolution by_value,
-                          SolveGreedyByValuePerCost(instance, objective));
+    JURY_ASSIGN_OR_RETURN(
+        JspSolution by_value,
+        SolveGreedyByValuePerCost(instance, objective, greedy));
     by_value.jq = TightJq(instance, by_value, options.bucket);
     if (by_value.jq > best.jq) best = by_value;
     return best;

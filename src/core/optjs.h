@@ -19,6 +19,10 @@ struct OptjsOptions {
   /// Below this candidate count the (exact, Lemma-1-pruned) exhaustive
   /// search is used instead of annealing; 0 disables the shortcut.
   std::size_t exhaustive_threshold = 12;
+  /// Master switch for delta-update evaluation across every solver the
+  /// facade drives (annealing, exhaustive, greedy fallbacks). Overrides
+  /// the per-solver flags when false.
+  bool use_incremental = true;
 };
 
 /// \brief OPTJS — the paper's "Optimal Jury Selection System" (Fig. 1):

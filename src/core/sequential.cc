@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "model/prior.h"
 #include "util/check.h"
@@ -45,6 +46,11 @@ Result<SequentialOutcome> RunSequentialPolicy(
   }
 
   SequentialDecision decision(config.alpha);
+  std::unique_ptr<IncrementalJqEvaluator> projected;
+  if (config.projected_objective != nullptr) {
+    projected = config.projected_objective->StartSession(
+        config.alpha, config.use_incremental);
+  }
   SequentialOutcome outcome;
   outcome.answer = decision.CurrentAnswer();
   outcome.confidence = decision.Confidence();
@@ -64,6 +70,13 @@ Result<SequentialOutcome> RunSequentialPolicy(
       return Status::InvalidArgument("elicited vote must be 0 or 1");
     }
     decision.Observe(worker.quality, vote);
+    if (projected != nullptr) {
+      // The grow step: the purchased prefix gains one juror — an O(n)
+      // session delta instead of re-scoring the prefix from scratch.
+      projected->ScoreAdd(worker);
+      projected->Commit();
+      outcome.projected_jq.push_back(projected->current_jq());
+    }
     outcome.spent += worker.cost;
     ++outcome.votes_used;
     outcome.answer = decision.CurrentAnswer();

@@ -6,6 +6,7 @@
 #include <limits>
 #include <vector>
 
+#include "core/objective.h"
 #include "model/worker.h"
 #include "util/result.h"
 
@@ -51,6 +52,14 @@ struct SequentialConfig {
   double budget = std::numeric_limits<double>::infinity();
   /// Hard cap on the number of votes bought.
   std::size_t max_votes = std::numeric_limits<std::size_t>::max();
+  /// Optional: when set, the policy's grow step also feeds each purchased
+  /// worker into an `IncrementalJqEvaluator` session of this objective and
+  /// records the *offline* jury quality of the prefix bought so far — the
+  /// JQ the purchased jury would have before any votes are read. One O(n)
+  /// delta update per vote, against O(n^2) re-evaluation per step.
+  const JqObjective* projected_objective = nullptr;
+  /// Delta-update the projected-JQ session (see AnnealingOptions).
+  bool use_incremental = true;
 };
 
 /// \brief Result of one sequential run.
@@ -62,6 +71,9 @@ struct SequentialOutcome {
   /// True when the confidence threshold (not budget/stream exhaustion)
   /// ended the run.
   bool stopped_by_confidence = false;
+  /// Offline JQ of the purchased prefix after each vote; filled only when
+  /// `SequentialConfig::projected_objective` is set.
+  std::vector<double> projected_jq;
 };
 
 /// \brief Buys votes from `stream` in order — paying each worker's cost and

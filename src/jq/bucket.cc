@@ -133,6 +133,54 @@ double RunSparse(const std::vector<BucketedWorker>& ws,
 
 }  // namespace
 
+void BucketKeyDistribution::Reset() {
+  pmf_.assign(1, 1.0);
+  span_ = 0;
+}
+
+void BucketKeyDistribution::Convolve(std::int64_t b, double q) {
+  JURY_CHECK_GE(b, 0);
+  if (b == 0) return;  // +0 and -0 coincide: exact identity
+  const std::int64_t new_span = span_ + b;
+  std::vector<double> nxt(static_cast<std::size_t>(2 * new_span + 1), 0.0);
+  for (std::int64_t key = -span_; key <= span_; ++key) {
+    const double prob = pmf_[static_cast<std::size_t>(key + span_)];
+    if (prob == 0.0) continue;
+    nxt[static_cast<std::size_t>(key + b + new_span)] += prob * q;
+    nxt[static_cast<std::size_t>(key - b + new_span)] += prob * (1.0 - q);
+  }
+  pmf_.swap(nxt);
+  span_ = new_span;
+}
+
+void BucketKeyDistribution::Deconvolve(std::int64_t b, double q) {
+  JURY_CHECK_GE(b, 0);
+  if (b == 0) return;
+  JURY_CHECK_GE(span_, b);
+  JURY_CHECK(q >= 0.5 && q <= 1.0)
+      << "Deconvolve requires a normalized quality, got " << q;
+  const std::int64_t ns = span_ - b;
+  std::vector<double> g(static_cast<std::size_t>(2 * ns + 1), 0.0);
+  for (std::int64_t j = ns; j >= -ns; --j) {
+    const double above = (j + 2 * b <= ns)
+                             ? g[static_cast<std::size_t>(j + 2 * b + ns)]
+                             : 0.0;
+    g[static_cast<std::size_t>(j + ns)] =
+        (pmf_[static_cast<std::size_t>(j + b + span_)] - (1.0 - q) * above) /
+        q;
+  }
+  pmf_.swap(g);
+  span_ = ns;
+}
+
+double BucketKeyDistribution::PositiveMass() const {
+  double acc = 0.5 * pmf_[static_cast<std::size_t>(span_)];
+  for (std::int64_t key = 1; key <= span_; ++key) {
+    acc += pmf_[static_cast<std::size_t>(key + span_)];
+  }
+  return acc;
+}
+
 double BucketErrorBound(int n, double delta) {
   JURY_CHECK_GE(n, 0);
   JURY_CHECK_GE(delta, 0.0);

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "model/jury.h"
 #include "util/result.h"
@@ -74,6 +75,44 @@ struct BucketJqStats {
 Result<double> EstimateJq(const Jury& jury, double alpha,
                           const BucketJqOptions& options = {},
                           BucketJqStats* stats = nullptr);
+
+/// \brief The Algorithm-1 DP state as a standalone value: a dense
+/// distribution over the bucketed decision-statistic key `sum_i ±b_i`,
+/// supporting O(span) worker insertion (convolution with the two-point
+/// distribution {+b: q, -b: 1-q}) and O(span) removal (deconvolution).
+///
+/// This is what makes the incremental BV/bucket evaluator's per-move cost
+/// O(n) instead of O(n^2): a solver move touches one worker, so the key
+/// distribution of the neighbouring jury is one (de)convolution away.
+class BucketKeyDistribution {
+ public:
+  BucketKeyDistribution() { Reset(); }
+
+  /// Back to the empty product: a point mass at key 0.
+  void Reset();
+
+  /// Folds in a worker with bucket `b >= 0` and normalized quality
+  /// `q in [0.5, 1]`: the key moves +b with probability q and -b with
+  /// probability 1-q. `b == 0` is an exact no-op (the two shifts coincide).
+  void Convolve(std::int64_t b, double q);
+
+  /// Inverse of `Convolve` for a worker previously folded in. Runs the
+  /// backward recurrence `g[j] = (f[j+b] - (1-q) g[j+2b]) / q` from the top
+  /// key down; the homogeneous error gain (1-q)/q never exceeds 1 because
+  /// normalization guarantees q >= 1/2, so roundoff does not amplify.
+  void Deconvolve(std::int64_t b, double q);
+
+  /// `sum_{key > 0} Pr[key] + 0.5 Pr[key = 0]` — JQ-hat before the
+  /// min(., 1) clamp (steps 21-25 of Algorithm 1).
+  double PositiveMass() const;
+
+  /// Current half-width of the key support (sum of folded buckets).
+  std::int64_t span() const { return span_; }
+
+ private:
+  std::vector<double> pmf_;  // size 2*span_+1; index = key + span_
+  std::int64_t span_ = 0;
+};
 
 /// The §4.4 additive bound `e^{n*delta/4} - 1`.
 double BucketErrorBound(int n, double delta);

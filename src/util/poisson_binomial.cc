@@ -2,22 +2,59 @@
 
 #include <algorithm>
 
+#include "util/check.h"
+
 namespace jury {
 
 PoissonBinomial::PoissonBinomial(const std::vector<double>& probs) {
-  pmf_.assign(probs.size() + 1, 0.0);
-  pmf_[0] = 1.0;
-  std::size_t count = 0;
-  for (double raw : probs) {
-    const double p = std::min(std::max(raw, 0.0), 1.0);
-    mean_ += p;
-    ++count;
-    // In-place convolution with Bernoulli(p), iterating downwards so each
-    // entry is read before being overwritten.
-    for (std::size_t k = count; k > 0; --k) {
-      pmf_[k] = pmf_[k] * (1.0 - p) + pmf_[k - 1] * p;
+  pmf_.reserve(probs.size() + 1);
+  pmf_.assign(1, 1.0);
+  for (double raw : probs) AddTrial(raw);
+}
+
+void PoissonBinomial::AddTrial(double raw) {
+  const double p = std::min(std::max(raw, 0.0), 1.0);
+  mean_ += p;
+  pmf_.push_back(0.0);
+  // In-place convolution with Bernoulli(p), iterating downwards so each
+  // entry is read before being overwritten.
+  for (std::size_t k = pmf_.size() - 1; k > 0; --k) {
+    pmf_[k] = pmf_[k] * (1.0 - p) + pmf_[k - 1] * p;
+  }
+  pmf_[0] *= (1.0 - p);
+}
+
+void PoissonBinomial::RemoveTrial(double raw) {
+  JURY_CHECK_GE(size(), 1) << "RemoveTrial on an empty distribution";
+  const double p = std::min(std::max(raw, 0.0), 1.0);
+  mean_ -= p;
+  const std::size_t n = pmf_.size() - 1;  // trials before removal
+  // Solve f = g (*) Bernoulli(p) for g, i.e. f[k] = g[k](1-p) + g[k-1]p.
+  if (p == 0.0) {
+    pmf_.pop_back();  // identity convolution: f[k] = g[k]
+  } else if (p == 1.0) {
+    pmf_.erase(pmf_.begin());  // pure shift: f[k] = g[k-1]
+  } else if (p < 0.5) {
+    // Forward recurrence g[k] = (f[k] - p g[k-1]) / (1-p): the homogeneous
+    // error gain p/(1-p) < 1, so roundoff contracts going up.
+    double prev = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      prev = (pmf_[k] - p * prev) / (1.0 - p);
+      pmf_[k] = std::min(std::max(prev, 0.0), 1.0);
     }
-    pmf_[0] *= (1.0 - p);
+    pmf_.pop_back();
+  } else {
+    // Backward recurrence g[k-1] = (f[k] - (1-p) g[k]) / p: gain (1-p)/p
+    // <= 1 for p >= 1/2, so roundoff contracts going down. `fk` carries
+    // f[k] across the in-place overwrite of slot k-1.
+    double next = 0.0;
+    double fk = pmf_[n];
+    for (std::size_t k = n; k > 0; --k) {
+      next = (fk - (1.0 - p) * next) / p;
+      fk = pmf_[k - 1];
+      pmf_[k - 1] = std::min(std::max(next, 0.0), 1.0);
+    }
+    pmf_.pop_back();
   }
 }
 

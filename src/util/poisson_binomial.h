@@ -20,6 +20,20 @@ class PoissonBinomial {
   /// (each clamped to [0, 1]).
   explicit PoissonBinomial(const std::vector<double>& probs);
 
+  /// Appends one Bernoulli(p) trial in O(n): the in-place convolution step
+  /// of the constructor. Building a distribution by successive `AddTrial`
+  /// calls is bit-identical to the batch constructor.
+  void AddTrial(double p);
+
+  /// Removes one Bernoulli(p) trial in O(n) by deconvolution. `p` must be
+  /// (the clamped value of) a probability previously folded in; the pmf is
+  /// otherwise meaningless. Numerically stable in both regimes: the forward
+  /// recurrence divides by 1-p (used when p < 1/2) and the backward
+  /// recurrence divides by p (used when p >= 1/2), so the error gain per
+  /// step, min(p, 1-p) / max(p, 1-p), never exceeds 1. The degenerate
+  /// trials p = 0 and p = 1 invert exactly (identity and shift).
+  void RemoveTrial(double p);
+
   /// Pr[X = k]; zero outside {0, ..., n}.
   double Pmf(int k) const;
   /// Pr[X >= k].

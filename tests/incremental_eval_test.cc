@@ -1,0 +1,230 @@
+// Property tests for the IncrementalJqEvaluator sessions: every staged
+// score must agree with a from-scratch `Evaluate` of the materialized jury
+// within 1e-12, across all three backends, arbitrary add/remove/swap
+// sequences, rollbacks, and the bucket estimator's special-case modes.
+
+#include <memory>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "core/jsp.h"
+#include "core/objective.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace jury {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+Jury MaterializeMembers(const IncrementalJqEvaluator& session) {
+  Jury jury;
+  for (const Worker& w : session.members()) jury.Add(w);
+  return jury;
+}
+
+Worker RandomWorker(Rng* rng, int serial, double qlo = 0.05,
+                    double qhi = 0.95) {
+  return Worker("w" + std::to_string(serial), rng->Uniform(qlo, qhi), 0.0);
+}
+
+/// Shared churn harness: random add/remove/swap moves, each committed or
+/// rolled back at random; after every step the staged score and the
+/// committed score are checked against the stateless evaluator.
+void ChurnAgainstEvaluate(const JqObjective& objective, double alpha,
+                          std::uint64_t seed, int steps, double qlo,
+                          double qhi, std::size_t max_size) {
+  Rng rng(seed);
+  auto session = objective.StartSession(alpha);
+  std::vector<Worker> shadow;  // mirrors the committed member list
+  int serial = 0;
+
+  ASSERT_NEAR(session->current_jq(), EmptyJuryJq(alpha), kTol);
+
+  for (int step = 0; step < steps; ++step) {
+    const std::uint64_t move =
+        shadow.empty() ? 0 : (shadow.size() >= max_size
+                                  ? 1 + rng.UniformInt(2)
+                                  : rng.UniformInt(3));
+    std::vector<Worker> hypothetical = shadow;
+    double score = 0.0;
+    if (move == 0) {  // add
+      const Worker w = RandomWorker(&rng, serial++, qlo, qhi);
+      score = session->ScoreAdd(w);
+      hypothetical.push_back(w);
+    } else if (move == 1) {  // remove
+      const std::size_t idx =
+          rng.UniformInt(static_cast<std::uint64_t>(shadow.size()));
+      score = session->ScoreRemove(idx);
+      hypothetical.erase(hypothetical.begin() +
+                         static_cast<std::ptrdiff_t>(idx));
+    } else {  // swap
+      const std::size_t idx =
+          rng.UniformInt(static_cast<std::uint64_t>(shadow.size()));
+      const Worker w = RandomWorker(&rng, serial++, qlo, qhi);
+      score = session->ScoreSwap(idx, w);
+      hypothetical[idx] = w;
+    }
+
+    Jury jury(hypothetical);
+    ASSERT_NEAR(score, objective.Evaluate(jury, alpha), kTol)
+        << objective.name() << " seed=" << seed << " step=" << step
+        << " move=" << move << " size=" << hypothetical.size();
+
+    if (rng.Bernoulli(0.3)) {
+      session->Rollback();
+      // The committed state must be untouched by the discarded move.
+      ASSERT_NEAR(session->current_jq(),
+                  objective.Evaluate(Jury(shadow), alpha), kTol);
+    } else {
+      session->Commit();
+      shadow = std::move(hypothetical);
+      ASSERT_EQ(session->size(), shadow.size());
+      ASSERT_NEAR(session->current_jq(),
+                  objective.Evaluate(MaterializeMembers(*session), alpha),
+                  kTol)
+          << objective.name() << " seed=" << seed << " step=" << step;
+    }
+  }
+}
+
+TEST(IncrementalEvalTest, BucketBvChurnMatchesEvaluate) {
+  const BucketBvObjective objective;
+  for (double alpha : {0.5, 0.3, 0.8}) {
+    ChurnAgainstEvaluate(objective, alpha, 101, 200, 0.05, 0.95, 40);
+  }
+}
+
+TEST(IncrementalEvalTest, BucketBvHighResolutionGrid) {
+  BucketJqOptions options;
+  options.num_buckets = 400;
+  const BucketBvObjective objective(options);
+  ChurnAgainstEvaluate(objective, 0.5, 103, 120, 0.05, 0.95, 25);
+}
+
+TEST(IncrementalEvalTest, BucketBvShortcutAndDegenerateModes) {
+  // Qualities straddling the 0.99 high-quality cutoff force the session in
+  // and out of the §4.4 shortcut; qualities at exactly 0.5 exercise the
+  // all-phi-zero mode; qualities below 0.5 the flip normalization.
+  const BucketBvObjective objective;
+  ChurnAgainstEvaluate(objective, 0.5, 107, 150, 0.3, 1.0, 20);
+  ChurnAgainstEvaluate(objective, 0.7, 109, 150, 0.3, 1.0, 20);
+
+  // Deterministic walk through the modes.
+  auto session = objective.StartSession(0.5);
+  const Worker half("half", 0.5, 0.0);
+  const Worker sharp("sharp", 0.999, 0.0);
+  const Worker solid("solid", 0.8, 0.0);
+  session->ScoreAdd(half);
+  session->Commit();
+  EXPECT_NEAR(session->current_jq(), 0.5, kTol);  // all-0.5 mode
+  session->ScoreAdd(sharp);
+  session->Commit();
+  EXPECT_NEAR(session->current_jq(), 0.999, kTol);  // shortcut mode
+  session->ScoreAdd(solid);
+  session->Commit();
+  EXPECT_NEAR(session->current_jq(), 0.999, kTol);  // still shortcut
+  session->ScoreRemove(1);  // drop "sharp": back to the regular DP
+  session->Commit();
+  EXPECT_NEAR(session->current_jq(),
+              objective.Evaluate(MaterializeMembers(*session), 0.5), kTol);
+}
+
+TEST(IncrementalEvalTest, ExactBvChurnMatchesEvaluate) {
+  const ExactBvObjective objective;
+  for (double alpha : {0.5, 0.35}) {
+    ChurnAgainstEvaluate(objective, alpha, 211, 150, 0.05, 0.95, 10);
+  }
+}
+
+TEST(IncrementalEvalTest, ExactBvBeyondCacheCapFallsBackCorrectly) {
+  const ExactBvObjective objective;
+  Rng rng(223);
+  auto session = objective.StartSession(0.5);
+  // Grow past the 2^n cache cap (20 members) and make sure scores stay
+  // correct through the enumeration fallback and the rebuild on shrink.
+  for (std::size_t i = 0; i < 22; ++i) {
+    session->ScoreAdd(RandomWorker(&rng, static_cast<int>(i), 0.55, 0.9));
+    session->Commit();
+  }
+  EXPECT_NEAR(session->current_jq(),
+              objective.Evaluate(MaterializeMembers(*session), 0.5), kTol);
+  // Shrink back under the cap: the cache must rebuild transparently.
+  session->ScoreRemove(0);
+  session->Commit();
+  session->ScoreRemove(0);
+  session->Commit();
+  EXPECT_NEAR(session->current_jq(),
+              objective.Evaluate(MaterializeMembers(*session), 0.5), kTol);
+}
+
+TEST(IncrementalEvalTest, MajorityChurnMatchesEvaluate) {
+  const MajorityObjective objective;
+  for (double alpha : {0.5, 0.2, 0.9}) {
+    ChurnAgainstEvaluate(objective, alpha, 307, 250, 0.05, 0.95, 60);
+  }
+}
+
+TEST(IncrementalEvalTest, MajorityHandlesDegenerateQualities) {
+  const MajorityObjective objective;
+  ChurnAgainstEvaluate(objective, 0.5, 311, 120, 0.0, 1.0, 30);
+}
+
+TEST(IncrementalEvalTest, FullRecomputeSessionIsEvaluateVerbatim) {
+  const BucketBvObjective bucket;
+  const MajorityObjective majority;
+  for (const JqObjective* objective :
+       std::vector<const JqObjective*>{&bucket, &majority}) {
+    Rng rng(401);
+    auto session = objective->StartSession(0.5, /*incremental=*/false);
+    std::vector<Worker> shadow;
+    for (int step = 0; step < 40; ++step) {
+      const Worker w = RandomWorker(&rng, step, 0.4, 0.9);
+      const double score = session->ScoreAdd(w);
+      shadow.push_back(w);
+      // Bit-equal, not just near: the fallback session *is* Evaluate.
+      ASSERT_EQ(score, objective->Evaluate(Jury(shadow), 0.5));
+      session->Commit();
+    }
+  }
+}
+
+TEST(IncrementalEvalTest, RestagingReplacesThePendingMove) {
+  const MajorityObjective objective;
+  auto session = objective.StartSession(0.5);
+  const Worker a("a", 0.9, 0.0);
+  const Worker b("b", 0.6, 0.0);
+  session->ScoreAdd(a);
+  session->ScoreAdd(b);  // replaces the staged move
+  session->Commit();
+  ASSERT_EQ(session->size(), 1u);
+  EXPECT_EQ(session->members()[0].id, "b");
+  EXPECT_NEAR(session->current_jq(), 0.6, kTol);
+}
+
+TEST(IncrementalEvalTest, CountersSplitFullAndIncremental) {
+  const MajorityObjective objective;
+  objective.ResetEvaluationCounters();
+  auto session = objective.StartSession(0.5);
+  const Worker w("w", 0.7, 0.0);
+  session->ScoreAdd(w);
+  session->Commit();
+  session->ScoreAdd(w);
+  session->Rollback();
+  EXPECT_EQ(objective.evaluation_counters().incremental, 2u);
+  EXPECT_EQ(objective.evaluation_counters().full, 0u);
+
+  Jury jury;
+  jury.Add(w);
+  objective.Evaluate(jury, 0.5);
+  EXPECT_EQ(objective.evaluation_counters().full, 1u);
+  EXPECT_EQ(objective.evaluations(), 3u);  // legacy total
+
+  auto reference = objective.StartSession(0.5, /*incremental=*/false);
+  reference->ScoreAdd(w);
+  EXPECT_EQ(objective.evaluation_counters().full, 2u);
+  EXPECT_EQ(objective.evaluation_counters().incremental, 2u);
+}
+
+}  // namespace
+}  // namespace jury

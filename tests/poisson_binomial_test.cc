@@ -112,5 +112,108 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(1, 2, 5, 17, 50),
                        ::testing::Values(1, 2, 3)));
 
+// ------------------------------------------------ AddTrial / RemoveTrial
+
+TEST(PoissonBinomialDeltaTest, AddTrialMatchesBatchConstruction) {
+  Rng rng(11);
+  std::vector<double> ps;
+  PoissonBinomial incremental({});
+  for (int i = 0; i < 40; ++i) {
+    ps.push_back(rng.Uniform());
+    incremental.AddTrial(ps.back());
+    const PoissonBinomial batch(ps);
+    ASSERT_EQ(incremental.size(), batch.size());
+    for (int k = 0; k <= batch.size(); ++k) {
+      // Bit-identical: AddTrial is exactly the constructor's fold step.
+      ASSERT_EQ(incremental.Pmf(k), batch.Pmf(k)) << "i=" << i << " k=" << k;
+    }
+  }
+}
+
+TEST(PoissonBinomialDeltaTest, AddThenRemoveRoundTripsThePmf) {
+  Rng rng(13);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> ps;
+    const int n = 1 + static_cast<int>(rng.UniformInt(60));
+    for (int i = 0; i < n; ++i) ps.push_back(rng.Uniform());
+    PoissonBinomial pb(ps);
+    const std::vector<double> before = pb.pmf();
+    const double extra = rng.Uniform();
+    pb.AddTrial(extra);
+    pb.RemoveTrial(extra);
+    ASSERT_EQ(pb.pmf().size(), before.size());
+    for (std::size_t k = 0; k < before.size(); ++k) {
+      EXPECT_NEAR(pb.pmf()[k], before[k], 1e-12)
+          << "trial=" << trial << " k=" << k << " extra=" << extra;
+    }
+    EXPECT_NEAR(pb.Mean(), Mean(ps) * n, 1e-9);
+  }
+}
+
+TEST(PoissonBinomialDeltaTest, RoundTripHandlesDegenerateProbs) {
+  // p = 0 and p = 1 convolve as identity/shift and must invert exactly;
+  // also exercise them mixed with interior probabilities.
+  for (double extra : {0.0, 1.0, 0.5, 1e-9, 1.0 - 1e-9}) {
+    PoissonBinomial pb({0.0, 1.0, 0.3, 0.7});
+    const std::vector<double> before = pb.pmf();
+    pb.AddTrial(extra);
+    pb.RemoveTrial(extra);
+    ASSERT_EQ(pb.pmf().size(), before.size()) << "extra=" << extra;
+    for (std::size_t k = 0; k < before.size(); ++k) {
+      EXPECT_NEAR(pb.pmf()[k], before[k], 1e-12)
+          << "extra=" << extra << " k=" << k;
+    }
+  }
+}
+
+TEST(PoissonBinomialDeltaTest, RemoveAnyTrialMatchesRebuiltDistribution) {
+  Rng rng(17);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<double> ps;
+    const int n = 2 + static_cast<int>(rng.UniformInt(40));
+    for (int i = 0; i < n; ++i) {
+      // Include occasional degenerate and near-degenerate entries.
+      const double u = rng.Uniform();
+      ps.push_back(u < 0.1 ? 0.0 : (u > 0.9 ? 1.0 : rng.Uniform()));
+    }
+    PoissonBinomial pb(ps);
+    const std::size_t victim = rng.UniformInt(static_cast<std::uint64_t>(n));
+    pb.RemoveTrial(ps[victim]);
+
+    std::vector<double> rest = ps;
+    rest.erase(rest.begin() + static_cast<std::ptrdiff_t>(victim));
+    const PoissonBinomial rebuilt(rest);
+    ASSERT_EQ(pb.size(), rebuilt.size());
+    for (int k = 0; k <= rebuilt.size(); ++k) {
+      EXPECT_NEAR(pb.Pmf(k), rebuilt.Pmf(k), 1e-12)
+          << "trial=" << trial << " k=" << k;
+    }
+  }
+}
+
+TEST(PoissonBinomialDeltaTest, LongAddRemoveChurnStaysAccurate) {
+  // A solver-shaped workload: hundreds of interleaved adds/removes must not
+  // accumulate error beyond the 1e-12 contract.
+  Rng rng(19);
+  std::vector<double> live;
+  PoissonBinomial pb({});
+  for (int step = 0; step < 400; ++step) {
+    if (live.empty() || rng.Bernoulli(0.6)) {
+      live.push_back(rng.Uniform());
+      pb.AddTrial(live.back());
+    } else {
+      const std::size_t victim =
+          rng.UniformInt(static_cast<std::uint64_t>(live.size()));
+      pb.RemoveTrial(live[victim]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+    }
+  }
+  const PoissonBinomial rebuilt(live);
+  ASSERT_EQ(pb.size(), rebuilt.size());
+  for (int k = 0; k <= rebuilt.size(); ++k) {
+    EXPECT_NEAR(pb.Pmf(k), rebuilt.Pmf(k), 1e-12) << "k=" << k;
+  }
+}
+
 }  // namespace
 }  // namespace jury

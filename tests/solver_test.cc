@@ -2,6 +2,7 @@
 
 #include "gtest/gtest.h"
 #include "core/annealing.h"
+#include "core/branch_bound.h"
 #include "core/exhaustive.h"
 #include "core/greedy.h"
 #include "core/mvjs.h"
@@ -380,6 +381,141 @@ TEST(OptjsFacadeTest, GreedyFallbackRescuesStuckAnnealing) {
     const auto solution = SolveOptjs(instance, &solver_rng, options).value();
     EXPECT_GE(solution.jq, 0.97 - 0.01) << "seed " << seed;
   }
+}
+
+// ------------------------------------ incremental/full equivalence harness
+
+/// Every solver must return the same jury — and the same JQ within 1e-12 —
+/// whether moves are scored by session delta updates or by from-scratch
+/// `Evaluate` calls. 50 seeded instances, both BV objectives and MV.
+void ExpectSameSolution(const JspSolution& incremental,
+                        const JspSolution& full, const JspInstance& instance,
+                        const std::string& label, int inst) {
+  EXPECT_EQ(incremental.selected, full.selected)
+      << label << " instance " << inst << ": incremental "
+      << incremental.Describe(instance) << " vs full "
+      << full.Describe(instance);
+  EXPECT_NEAR(incremental.jq, full.jq, 1e-12)
+      << label << " instance " << inst;
+}
+
+TEST(IncrementalEquivalenceTest, AnnealingAndGreedyOnFiftyInstances) {
+  Rng rng(90001);
+  const BucketBvObjective bucket;
+  const MajorityObjective majority;
+  for (int inst = 0; inst < 50; ++inst) {
+    const auto instance =
+        MakeInstance(RandomPool(&rng, 14, 0.4, 0.95, 0.05, 0.4),
+                     rng.Uniform(0.3, 1.0));
+    const std::uint64_t sa_seed = 5000 + static_cast<std::uint64_t>(inst);
+    for (const JqObjective* objective :
+         {static_cast<const JqObjective*>(&bucket),
+          static_cast<const JqObjective*>(&majority)}) {
+      AnnealingOptions inc_opts, full_opts;
+      full_opts.use_incremental = false;
+      Rng r1(sa_seed), r2(sa_seed);
+      const auto inc =
+          SolveAnnealing(instance, *objective, &r1, inc_opts).value();
+      const auto full =
+          SolveAnnealing(instance, *objective, &r2, full_opts).value();
+      ExpectSameSolution(inc, full, instance,
+                         "annealing/" + objective->name(), inst);
+
+      GreedyOptions g_inc, g_full;
+      g_full.use_incremental = false;
+      ExpectSameSolution(
+          SolveGreedyMarginalGain(instance, *objective, g_inc).value(),
+          SolveGreedyMarginalGain(instance, *objective, g_full).value(),
+          instance, "marginal-gain/" + objective->name(), inst);
+      ExpectSameSolution(
+          SolveOddTopK(instance, *objective, g_inc).value(),
+          SolveOddTopK(instance, *objective, g_full).value(), instance,
+          "odd-top-k/" + objective->name(), inst);
+    }
+  }
+}
+
+TEST(IncrementalEquivalenceTest, ExhaustiveAndBranchBound) {
+  Rng rng(90007);
+  const BucketBvObjective bucket;
+  const ExactBvObjective exact;
+  const MajorityObjective majority;
+  for (int inst = 0; inst < 15; ++inst) {
+    const auto instance =
+        MakeInstance(RandomPool(&rng, 10, 0.4, 0.95, 0.05, 0.4),
+                     rng.Uniform(0.3, 1.0));
+    ExhaustiveOptions ex_inc, ex_full;
+    ex_full.use_incremental = false;
+    for (const JqObjective* objective :
+         {static_cast<const JqObjective*>(&bucket),
+          static_cast<const JqObjective*>(&exact),
+          static_cast<const JqObjective*>(&majority)}) {
+      ExpectSameSolution(
+          SolveExhaustive(instance, *objective, ex_inc).value(),
+          SolveExhaustive(instance, *objective, ex_full).value(), instance,
+          "exhaustive/" + objective->name(), inst);
+    }
+    BranchBoundOptions bb_inc, bb_full;
+    bb_full.use_incremental = false;
+    for (const JqObjective* objective :
+         {static_cast<const JqObjective*>(&bucket),
+          static_cast<const JqObjective*>(&exact)}) {
+      ExpectSameSolution(
+          SolveBranchAndBound(instance, *objective, bb_inc).value(),
+          SolveBranchAndBound(instance, *objective, bb_full).value(),
+          instance, "branch-bound/" + objective->name(), inst);
+    }
+  }
+}
+
+TEST(IncrementalEquivalenceTest, ExhaustiveBreaksExactTiesIdentically) {
+  // Identical workers produce juries with bit-identical JQ *and* cost; the
+  // Gray-code and ascending sweeps visit them in different orders, so the
+  // tie-break must not depend on visit order (it prefers the smaller
+  // mask, i.e. the ascending sweep's first hit).
+  std::vector<Worker> workers = {{"a", 0.7, 1.0}, {"b", 0.7, 1.0},
+                                 {"c", 0.8, 1.5}, {"d", 0.7, 1.0}};
+  const auto instance = MakeInstance(std::move(workers), 2.5);
+  ExhaustiveOptions inc, full;
+  full.use_incremental = false;
+  const MajorityObjective mv;  // non-monotone: no maximality filter
+  const ExactBvObjective bv;
+  for (const JqObjective* objective :
+       {static_cast<const JqObjective*>(&mv),
+        static_cast<const JqObjective*>(&bv)}) {
+    const auto a = SolveExhaustive(instance, *objective, inc).value();
+    const auto b = SolveExhaustive(instance, *objective, full).value();
+    EXPECT_EQ(a.selected, b.selected) << objective->name();
+    EXPECT_NEAR(a.jq, b.jq, 1e-12);
+  }
+}
+
+TEST(IncrementalEquivalenceTest, SolversSpendFarFewerFullEvaluations) {
+  // The instrumentation behind the Fig. 7/9 runtime story: with sessions
+  // on, annealing's full (from-scratch) evaluation count collapses — only
+  // grid rebuilds remain — while the no-incremental path is all-full.
+  Rng rng(90011);
+  const auto instance = MakeInstance(
+      RandomPool(&rng, 100, 0.4, 0.95, 0.05, 0.4), 1.0);
+  const BucketBvObjective objective;
+
+  objective.ResetEvaluationCounters();
+  Rng r1(7);
+  ASSERT_TRUE(SolveAnnealing(instance, objective, &r1).ok());
+  const EvaluationCounters with_sessions = objective.evaluation_counters();
+
+  objective.ResetEvaluationCounters();
+  AnnealingOptions no_inc;
+  no_inc.use_incremental = false;
+  Rng r2(7);
+  ASSERT_TRUE(SolveAnnealing(instance, objective, &r2, no_inc).ok());
+  const EvaluationCounters without = objective.evaluation_counters();
+
+  EXPECT_EQ(without.incremental, 0u);
+  EXPECT_GT(with_sessions.incremental, 0u);
+  // >= 5x fewer full evaluations is the acceptance bar; in practice the
+  // ratio is far larger (full evals only happen on grid rebuilds).
+  EXPECT_LT(with_sessions.full * 5, without.full);
 }
 
 TEST(MvjsTest, ReportsExactMajorityJq) {
