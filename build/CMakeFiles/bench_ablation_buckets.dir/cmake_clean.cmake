@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_buckets.dir/bench/bench_ablation_buckets.cc.o"
+  "CMakeFiles/bench_ablation_buckets.dir/bench/bench_ablation_buckets.cc.o.d"
+  "bench_ablation_buckets"
+  "bench_ablation_buckets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_buckets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_miscalibration.dir/bench/bench_ablation_miscalibration.cc.o"
+  "CMakeFiles/bench_ablation_miscalibration.dir/bench/bench_ablation_miscalibration.cc.o.d"
+  "bench_ablation_miscalibration"
+  "bench_ablation_miscalibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_miscalibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_online.dir/bench/bench_ablation_online.cc.o"
+  "CMakeFiles/bench_ablation_online.dir/bench/bench_ablation_online.cc.o.d"
+  "bench_ablation_online"
+  "bench_ablation_online.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_optjs.dir/bench/bench_fig7_optjs.cc.o"
+  "CMakeFiles/bench_fig7_optjs.dir/bench/bench_fig7_optjs.cc.o.d"
+  "bench_fig7_optjs"
+  "bench_fig7_optjs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_optjs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_jq_computation.dir/bench/bench_fig9_jq_computation.cc.o"
+  "CMakeFiles/bench_fig9_jq_computation.dir/bench/bench_fig9_jq_computation.cc.o.d"
+  "bench_fig9_jq_computation"
+  "bench_fig9_jq_computation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_jq_computation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

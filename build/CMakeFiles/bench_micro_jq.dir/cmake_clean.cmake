@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_jq.dir/bench/bench_micro_jq.cc.o"
+  "CMakeFiles/bench_micro_jq.dir/bench/bench_micro_jq.cc.o.d"
+  "bench_micro_jq"
+  "bench_micro_jq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_jq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multiclass.dir/bench/bench_multiclass.cc.o"
+  "CMakeFiles/bench_multiclass.dir/bench/bench_multiclass.cc.o.d"
+  "bench_multiclass"
+  "bench_multiclass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multiclass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

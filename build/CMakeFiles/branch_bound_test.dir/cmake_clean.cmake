@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/branch_bound_test.dir/tests/branch_bound_test.cc.o"
+  "CMakeFiles/branch_bound_test.dir/tests/branch_bound_test.cc.o.d"
+  "branch_bound_test"
+  "branch_bound_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/branch_bound_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/budget_table_test.dir/tests/budget_table_test.cc.o"
+  "CMakeFiles/budget_table_test.dir/tests/budget_table_test.cc.o.d"
+  "budget_table_test"
+  "budget_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/budget_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

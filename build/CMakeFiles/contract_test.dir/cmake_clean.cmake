@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contract_test.dir/tests/contract_test.cc.o"
+  "CMakeFiles/contract_test.dir/tests/contract_test.cc.o.d"
+  "contract_test"
+  "contract_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contract_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

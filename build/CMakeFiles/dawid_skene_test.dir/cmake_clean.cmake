@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dawid_skene_test.dir/tests/dawid_skene_test.cc.o"
+  "CMakeFiles/dawid_skene_test.dir/tests/dawid_skene_test.cc.o.d"
+  "dawid_skene_test"
+  "dawid_skene_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dawid_skene_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_map_test.dir/tests/exact_map_test.cc.o"
+  "CMakeFiles/exact_map_test.dir/tests/exact_map_test.cc.o.d"
+  "exact_map_test"
+  "exact_map_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_eval_test.dir/tests/incremental_eval_test.cc.o"
+  "CMakeFiles/incremental_eval_test.dir/tests/incremental_eval_test.cc.o.d"
+  "incremental_eval_test"
+  "incremental_eval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jq_bucket_test.dir/tests/jq_bucket_test.cc.o"
+  "CMakeFiles/jq_bucket_test.dir/tests/jq_bucket_test.cc.o.d"
+  "jq_bucket_test"
+  "jq_bucket_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jq_bucket_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jq_closed_form_test.dir/tests/jq_closed_form_test.cc.o"
+  "CMakeFiles/jq_closed_form_test.dir/tests/jq_closed_form_test.cc.o.d"
+  "jq_closed_form_test"
+  "jq_closed_form_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jq_closed_form_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jq_exact_test.dir/tests/jq_exact_test.cc.o"
+  "CMakeFiles/jq_exact_test.dir/tests/jq_exact_test.cc.o.d"
+  "jq_exact_test"
+  "jq_exact_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jq_exact_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jury_cli.dir/examples/jury_cli.cc.o"
+  "CMakeFiles/jury_cli.dir/examples/jury_cli.cc.o.d"
+  "jury_cli"
+  "jury_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jury_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

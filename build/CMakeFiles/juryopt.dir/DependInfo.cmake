@@ -1,0 +1,76 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/allocation.cc" "CMakeFiles/juryopt.dir/src/core/allocation.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/core/allocation.cc.o.d"
+  "/root/repo/src/core/annealing.cc" "CMakeFiles/juryopt.dir/src/core/annealing.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/core/annealing.cc.o.d"
+  "/root/repo/src/core/branch_bound.cc" "CMakeFiles/juryopt.dir/src/core/branch_bound.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/core/branch_bound.cc.o.d"
+  "/root/repo/src/core/budget_table.cc" "CMakeFiles/juryopt.dir/src/core/budget_table.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/core/budget_table.cc.o.d"
+  "/root/repo/src/core/exhaustive.cc" "CMakeFiles/juryopt.dir/src/core/exhaustive.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/core/exhaustive.cc.o.d"
+  "/root/repo/src/core/greedy.cc" "CMakeFiles/juryopt.dir/src/core/greedy.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/core/greedy.cc.o.d"
+  "/root/repo/src/core/jsp.cc" "CMakeFiles/juryopt.dir/src/core/jsp.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/core/jsp.cc.o.d"
+  "/root/repo/src/core/mvjs.cc" "CMakeFiles/juryopt.dir/src/core/mvjs.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/core/mvjs.cc.o.d"
+  "/root/repo/src/core/objective.cc" "CMakeFiles/juryopt.dir/src/core/objective.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/core/objective.cc.o.d"
+  "/root/repo/src/core/optjs.cc" "CMakeFiles/juryopt.dir/src/core/optjs.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/core/optjs.cc.o.d"
+  "/root/repo/src/core/sequential.cc" "CMakeFiles/juryopt.dir/src/core/sequential.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/core/sequential.cc.o.d"
+  "/root/repo/src/crowd/amt.cc" "CMakeFiles/juryopt.dir/src/crowd/amt.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/crowd/amt.cc.o.d"
+  "/root/repo/src/crowd/dawid_skene.cc" "CMakeFiles/juryopt.dir/src/crowd/dawid_skene.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/crowd/dawid_skene.cc.o.d"
+  "/root/repo/src/crowd/estimators.cc" "CMakeFiles/juryopt.dir/src/crowd/estimators.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/crowd/estimators.cc.o.d"
+  "/root/repo/src/crowd/mc_sim.cc" "CMakeFiles/juryopt.dir/src/crowd/mc_sim.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/crowd/mc_sim.cc.o.d"
+  "/root/repo/src/crowd/pool.cc" "CMakeFiles/juryopt.dir/src/crowd/pool.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/crowd/pool.cc.o.d"
+  "/root/repo/src/crowd/sentiment.cc" "CMakeFiles/juryopt.dir/src/crowd/sentiment.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/crowd/sentiment.cc.o.d"
+  "/root/repo/src/crowd/vote_sim.cc" "CMakeFiles/juryopt.dir/src/crowd/vote_sim.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/crowd/vote_sim.cc.o.d"
+  "/root/repo/src/jq/bucket.cc" "CMakeFiles/juryopt.dir/src/jq/bucket.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/jq/bucket.cc.o.d"
+  "/root/repo/src/jq/closed_form.cc" "CMakeFiles/juryopt.dir/src/jq/closed_form.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/jq/closed_form.cc.o.d"
+  "/root/repo/src/jq/exact.cc" "CMakeFiles/juryopt.dir/src/jq/exact.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/jq/exact.cc.o.d"
+  "/root/repo/src/jq/exact_map.cc" "CMakeFiles/juryopt.dir/src/jq/exact_map.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/jq/exact_map.cc.o.d"
+  "/root/repo/src/jq/monte_carlo.cc" "CMakeFiles/juryopt.dir/src/jq/monte_carlo.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/jq/monte_carlo.cc.o.d"
+  "/root/repo/src/jq/prior_transform.cc" "CMakeFiles/juryopt.dir/src/jq/prior_transform.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/jq/prior_transform.cc.o.d"
+  "/root/repo/src/jq/weighted.cc" "CMakeFiles/juryopt.dir/src/jq/weighted.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/jq/weighted.cc.o.d"
+  "/root/repo/src/model/jury.cc" "CMakeFiles/juryopt.dir/src/model/jury.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/model/jury.cc.o.d"
+  "/root/repo/src/model/prior.cc" "CMakeFiles/juryopt.dir/src/model/prior.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/model/prior.cc.o.d"
+  "/root/repo/src/model/votes.cc" "CMakeFiles/juryopt.dir/src/model/votes.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/model/votes.cc.o.d"
+  "/root/repo/src/model/worker.cc" "CMakeFiles/juryopt.dir/src/model/worker.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/model/worker.cc.o.d"
+  "/root/repo/src/model/worker_io.cc" "CMakeFiles/juryopt.dir/src/model/worker_io.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/model/worker_io.cc.o.d"
+  "/root/repo/src/multiclass/bv.cc" "CMakeFiles/juryopt.dir/src/multiclass/bv.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/multiclass/bv.cc.o.d"
+  "/root/repo/src/multiclass/confusion.cc" "CMakeFiles/juryopt.dir/src/multiclass/confusion.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/multiclass/confusion.cc.o.d"
+  "/root/repo/src/multiclass/dawid_skene.cc" "CMakeFiles/juryopt.dir/src/multiclass/dawid_skene.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/multiclass/dawid_skene.cc.o.d"
+  "/root/repo/src/multiclass/decompose.cc" "CMakeFiles/juryopt.dir/src/multiclass/decompose.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/multiclass/decompose.cc.o.d"
+  "/root/repo/src/multiclass/jq_bucket.cc" "CMakeFiles/juryopt.dir/src/multiclass/jq_bucket.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/multiclass/jq_bucket.cc.o.d"
+  "/root/repo/src/multiclass/jq_exact.cc" "CMakeFiles/juryopt.dir/src/multiclass/jq_exact.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/multiclass/jq_exact.cc.o.d"
+  "/root/repo/src/multiclass/jsp.cc" "CMakeFiles/juryopt.dir/src/multiclass/jsp.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/multiclass/jsp.cc.o.d"
+  "/root/repo/src/multiclass/model.cc" "CMakeFiles/juryopt.dir/src/multiclass/model.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/multiclass/model.cc.o.d"
+  "/root/repo/src/multiclass/multilabel.cc" "CMakeFiles/juryopt.dir/src/multiclass/multilabel.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/multiclass/multilabel.cc.o.d"
+  "/root/repo/src/multiclass/spammer.cc" "CMakeFiles/juryopt.dir/src/multiclass/spammer.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/multiclass/spammer.cc.o.d"
+  "/root/repo/src/strategy/bayesian.cc" "CMakeFiles/juryopt.dir/src/strategy/bayesian.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/strategy/bayesian.cc.o.d"
+  "/root/repo/src/strategy/half_voting.cc" "CMakeFiles/juryopt.dir/src/strategy/half_voting.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/strategy/half_voting.cc.o.d"
+  "/root/repo/src/strategy/majority.cc" "CMakeFiles/juryopt.dir/src/strategy/majority.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/strategy/majority.cc.o.d"
+  "/root/repo/src/strategy/random_ballot.cc" "CMakeFiles/juryopt.dir/src/strategy/random_ballot.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/strategy/random_ballot.cc.o.d"
+  "/root/repo/src/strategy/randomized_majority.cc" "CMakeFiles/juryopt.dir/src/strategy/randomized_majority.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/strategy/randomized_majority.cc.o.d"
+  "/root/repo/src/strategy/registry.cc" "CMakeFiles/juryopt.dir/src/strategy/registry.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/strategy/registry.cc.o.d"
+  "/root/repo/src/strategy/triadic.cc" "CMakeFiles/juryopt.dir/src/strategy/triadic.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/strategy/triadic.cc.o.d"
+  "/root/repo/src/strategy/voting_strategy.cc" "CMakeFiles/juryopt.dir/src/strategy/voting_strategy.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/strategy/voting_strategy.cc.o.d"
+  "/root/repo/src/strategy/weighted_majority.cc" "CMakeFiles/juryopt.dir/src/strategy/weighted_majority.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/strategy/weighted_majority.cc.o.d"
+  "/root/repo/src/util/csv.cc" "CMakeFiles/juryopt.dir/src/util/csv.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/util/csv.cc.o.d"
+  "/root/repo/src/util/env.cc" "CMakeFiles/juryopt.dir/src/util/env.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/util/env.cc.o.d"
+  "/root/repo/src/util/histogram.cc" "CMakeFiles/juryopt.dir/src/util/histogram.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/util/histogram.cc.o.d"
+  "/root/repo/src/util/math.cc" "CMakeFiles/juryopt.dir/src/util/math.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/util/math.cc.o.d"
+  "/root/repo/src/util/poisson_binomial.cc" "CMakeFiles/juryopt.dir/src/util/poisson_binomial.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/util/poisson_binomial.cc.o.d"
+  "/root/repo/src/util/rng.cc" "CMakeFiles/juryopt.dir/src/util/rng.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/util/rng.cc.o.d"
+  "/root/repo/src/util/stats.cc" "CMakeFiles/juryopt.dir/src/util/stats.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/util/stats.cc.o.d"
+  "/root/repo/src/util/status.cc" "CMakeFiles/juryopt.dir/src/util/status.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/util/status.cc.o.d"
+  "/root/repo/src/util/table.cc" "CMakeFiles/juryopt.dir/src/util/table.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/util/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

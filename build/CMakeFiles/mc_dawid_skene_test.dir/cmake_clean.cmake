@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_dawid_skene_test.dir/tests/mc_dawid_skene_test.cc.o"
+  "CMakeFiles/mc_dawid_skene_test.dir/tests/mc_dawid_skene_test.cc.o.d"
+  "mc_dawid_skene_test"
+  "mc_dawid_skene_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_dawid_skene_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_sim_test.dir/tests/mc_sim_test.cc.o"
+  "CMakeFiles/mc_sim_test.dir/tests/mc_sim_test.cc.o.d"
+  "mc_sim_test"
+  "mc_sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monotonicity_test.dir/tests/monotonicity_test.cc.o"
+  "CMakeFiles/monotonicity_test.dir/tests/monotonicity_test.cc.o.d"
+  "monotonicity_test"
+  "monotonicity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monotonicity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

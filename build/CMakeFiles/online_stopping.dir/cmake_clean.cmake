@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_stopping.dir/examples/online_stopping.cc.o"
+  "CMakeFiles/online_stopping.dir/examples/online_stopping.cc.o.d"
+  "online_stopping"
+  "online_stopping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_stopping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

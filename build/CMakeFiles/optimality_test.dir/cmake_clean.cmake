@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimality_test.dir/tests/optimality_test.cc.o"
+  "CMakeFiles/optimality_test.dir/tests/optimality_test.cc.o.d"
+  "optimality_test"
+  "optimality_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poisson_binomial_test.dir/tests/poisson_binomial_test.cc.o"
+  "CMakeFiles/poisson_binomial_test.dir/tests/poisson_binomial_test.cc.o.d"
+  "poisson_binomial_test"
+  "poisson_binomial_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poisson_binomial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prior_test.dir/tests/prior_test.cc.o"
+  "CMakeFiles/prior_test.dir/tests/prior_test.cc.o.d"
+  "prior_test"
+  "prior_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sentiment_campaign.dir/examples/sentiment_campaign.cc.o"
+  "CMakeFiles/sentiment_campaign.dir/examples/sentiment_campaign.cc.o.d"
+  "sentiment_campaign"
+  "sentiment_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sentiment_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequential_test.dir/tests/sequential_test.cc.o"
+  "CMakeFiles/sequential_test.dir/tests/sequential_test.cc.o.d"
+  "sequential_test"
+  "sequential_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weighted_jq_test.dir/tests/weighted_jq_test.cc.o"
+  "CMakeFiles/weighted_jq_test.dir/tests/weighted_jq_test.cc.o.d"
+  "weighted_jq_test"
+  "weighted_jq_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weighted_jq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
