@@ -10,6 +10,7 @@
 #include "jq/closed_form.h"
 #include "jq/exact.h"
 #include "model/jury.h"
+#include "util/poisson_binomial.h"
 #include "util/rng.h"
 
 namespace jury {
@@ -122,6 +123,60 @@ void BM_IncrementalSwapMajority(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_IncrementalSwapMajority)->Arg(10)->Arg(100)->Arg(500);
+
+void BM_PoissonBinomialTailAfterDelta(benchmark::State& state) {
+  // Regression case for the cached suffix/prefix sums: the MV session's
+  // per-move kernel — one AddTrial + RemoveTrial delta followed by a
+  // Tail/Cdf pair — must cost one O(n) cache rebuild, not two O(n)
+  // sweeps (and repeat queries must be O(1), covered below).
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(31);
+  std::vector<double> probs;
+  for (int i = 0; i < n; ++i) probs.push_back(rng.Uniform(0.3, 0.95));
+  PoissonBinomial pb(probs);
+  const int k = n / 2 + 1;
+  for (auto _ : state) {
+    pb.RemoveTrial(probs[0]);
+    pb.AddTrial(probs[0]);
+    benchmark::DoNotOptimize(pb.TailAtLeast(k));
+    benchmark::DoNotOptimize(pb.CdfAtMost(k - 1));
+  }
+}
+BENCHMARK(BM_PoissonBinomialTailAfterDelta)->Arg(10)->Arg(100)->Arg(500);
+
+void BM_PoissonBinomialTailCached(benchmark::State& state) {
+  // Steady-state queries against an unchanged distribution: O(1) lookups
+  // into the cumulative caches.
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(31);
+  std::vector<double> probs;
+  for (int i = 0; i < n; ++i) probs.push_back(rng.Uniform(0.3, 0.95));
+  const PoissonBinomial pb(probs);
+  int k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pb.TailAtLeast(k % (n + 1)));
+    benchmark::DoNotOptimize(pb.CdfAtMost(k % (n + 1)));
+    ++k;
+  }
+}
+BENCHMARK(BM_PoissonBinomialTailCached)->Arg(10)->Arg(100)->Arg(500);
+
+void BM_SessionCloneBucket(benchmark::State& state) {
+  // Cost of cloning a BV/bucket session — what each greedy scan shard
+  // pays once per round to own its private delta-update state.
+  const int n = static_cast<int>(state.range(0));
+  const Jury jury = MakeJury(n);
+  const BucketBvObjective objective;
+  auto session = objective.StartSession(0.5);
+  for (const Worker& w : jury.workers()) {
+    session->ScoreAdd(w);
+    session->Commit();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session->Clone());
+  }
+}
+BENCHMARK(BM_SessionCloneBucket)->Arg(10)->Arg(50)->Arg(200);
 
 void BM_AnnealingSolve(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

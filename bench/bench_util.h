@@ -2,7 +2,10 @@
 #define JURYOPT_BENCH_BENCH_UTIL_H_
 
 #include <cstdint>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -67,6 +70,39 @@ inline void PrintEvaluationCounters(const std::string& label,
   }
   std::cout << ")\n";
 }
+
+/// Accumulates the thread-scaling measurements (solver x thread-count x
+/// wall-clock) of a bench binary and, when the `JURY_BENCH_JSON`
+/// environment variable names a path, writes them as a JSON artifact for
+/// the CI bench-smoke job. Speedups are relative to the same solver's
+/// 1-thread row, so the scaling claim is reproducible from one binary.
+class ThreadScalingReport {
+ public:
+  void Add(const std::string& solver, int n, std::size_t threads,
+           double seconds, double speedup_vs_serial) {
+    std::ostringstream row;
+    row << "    {\"solver\": \"" << solver << "\", \"n\": " << n
+        << ", \"threads\": " << threads << ", \"seconds\": " << seconds
+        << ", \"speedup_vs_1_thread\": " << speedup_vs_serial << "}";
+    rows_.push_back(row.str());
+  }
+
+  /// No-op unless JURY_BENCH_JSON is set.
+  void WriteIfRequested() const {
+    const char* path = std::getenv("JURY_BENCH_JSON");
+    if (path == nullptr || path[0] == '\0') return;
+    std::ofstream out(path);
+    out << "{\n  \"thread_scaling\": [\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      out << rows_[i] << (i + 1 < rows_.size() ? ",\n" : "\n");
+    }
+    out << "  ]\n}\n";
+    std::cout << "Wrote thread-scaling JSON to " << path << "\n";
+  }
+
+ private:
+  std::vector<std::string> rows_;
+};
 
 }  // namespace jury::bench
 

@@ -299,5 +299,5 @@ CMakeFiles/allocation_test.dir/tests/allocation_test.cc.o: \
  /root/repo/src/model/worker.h /root/repo/src/util/status.h \
  /root/repo/src/core/objective.h /root/repo/src/jq/bucket.h \
  /root/repo/src/util/result.h /root/repo/src/util/check.h \
- /root/repo/src/util/rng.h /root/repo/src/core/exhaustive.h \
- /root/repo/tests/test_util.h
+ /root/repo/src/core/solver_options.h /root/repo/src/util/rng.h \
+ /root/repo/src/core/exhaustive.h /root/repo/tests/test_util.h

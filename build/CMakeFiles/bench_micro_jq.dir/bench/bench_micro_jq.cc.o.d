@@ -220,10 +220,12 @@ CMakeFiles/bench_micro_jq.dir/bench/bench_micro_jq.cc.o: \
  /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/util/check.h \
  /usr/include/c++/12/iostream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/sstream \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/rng.h \
+ /usr/include/c++/12/bits/sstream.tcc \
+ /root/repo/src/core/solver_options.h /root/repo/src/util/rng.h \
  /root/repo/src/jq/closed_form.h /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
- /root/repo/src/jq/exact.h /root/repo/src/strategy/voting_strategy.h
+ /root/repo/src/jq/exact.h /root/repo/src/strategy/voting_strategy.h \
+ /root/repo/src/util/poisson_binomial.h

@@ -298,10 +298,10 @@ CMakeFiles/determinism_test.dir/tests/determinism_test.cc.o: \
  /root/repo/src/model/worker.h /root/repo/src/util/status.h \
  /root/repo/src/core/objective.h /root/repo/src/jq/bucket.h \
  /root/repo/src/util/result.h /root/repo/src/util/check.h \
- /root/repo/src/util/rng.h /root/repo/src/core/mvjs.h \
- /root/repo/src/core/optjs.h /root/repo/src/core/exhaustive.h \
- /root/repo/src/core/sequential.h /root/repo/src/crowd/mc_sim.h \
- /root/repo/src/multiclass/confusion.h \
+ /root/repo/src/core/solver_options.h /root/repo/src/util/rng.h \
+ /root/repo/src/core/mvjs.h /root/repo/src/core/optjs.h \
+ /root/repo/src/core/exhaustive.h /root/repo/src/core/sequential.h \
+ /root/repo/src/crowd/mc_sim.h /root/repo/src/multiclass/confusion.h \
  /root/repo/src/multiclass/dawid_skene.h \
  /root/repo/src/multiclass/model.h /root/repo/src/crowd/pool.h \
  /root/repo/src/crowd/sentiment.h /root/repo/src/crowd/amt.h \

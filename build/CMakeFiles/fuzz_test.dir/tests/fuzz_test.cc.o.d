@@ -321,9 +321,9 @@ CMakeFiles/fuzz_test.dir/tests/fuzz_test.cc.o: \
  /root/repo/src/model/worker.h /root/repo/src/util/status.h \
  /root/repo/src/core/objective.h /root/repo/src/jq/bucket.h \
  /root/repo/src/util/result.h /root/repo/src/util/check.h \
- /root/repo/src/util/rng.h /root/repo/src/core/branch_bound.h \
- /root/repo/src/core/exhaustive.h /root/repo/src/core/greedy.h \
- /root/repo/src/core/mvjs.h /root/repo/src/core/optjs.h \
- /root/repo/src/jq/closed_form.h /root/repo/src/jq/exact.h \
- /root/repo/src/strategy/voting_strategy.h \
+ /root/repo/src/core/solver_options.h /root/repo/src/util/rng.h \
+ /root/repo/src/core/branch_bound.h /root/repo/src/core/exhaustive.h \
+ /root/repo/src/core/greedy.h /root/repo/src/core/mvjs.h \
+ /root/repo/src/core/optjs.h /root/repo/src/jq/closed_form.h \
+ /root/repo/src/jq/exact.h /root/repo/src/strategy/voting_strategy.h \
  /root/repo/src/strategy/registry.h /root/repo/tests/test_util.h

@@ -299,9 +299,9 @@ CMakeFiles/integration_test.dir/tests/integration_test.cc.o: \
  /root/repo/src/model/worker.h /root/repo/src/util/status.h \
  /root/repo/src/core/objective.h /root/repo/src/jq/bucket.h \
  /root/repo/src/util/result.h /root/repo/src/util/check.h \
- /root/repo/src/util/rng.h /root/repo/src/core/exhaustive.h \
- /root/repo/src/core/mvjs.h /root/repo/src/crowd/estimators.h \
- /root/repo/src/crowd/amt.h /root/repo/src/crowd/pool.h \
- /root/repo/src/crowd/sentiment.h /root/repo/src/crowd/vote_sim.h \
- /root/repo/src/strategy/bayesian.h \
+ /root/repo/src/core/solver_options.h /root/repo/src/util/rng.h \
+ /root/repo/src/core/exhaustive.h /root/repo/src/core/mvjs.h \
+ /root/repo/src/crowd/estimators.h /root/repo/src/crowd/amt.h \
+ /root/repo/src/crowd/pool.h /root/repo/src/crowd/sentiment.h \
+ /root/repo/src/crowd/vote_sim.h /root/repo/src/strategy/bayesian.h \
  /root/repo/src/strategy/voting_strategy.h /root/repo/src/util/stats.h

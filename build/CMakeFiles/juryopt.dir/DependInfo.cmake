@@ -66,6 +66,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/util/stats.cc" "CMakeFiles/juryopt.dir/src/util/stats.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/util/stats.cc.o.d"
   "/root/repo/src/util/status.cc" "CMakeFiles/juryopt.dir/src/util/status.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/util/status.cc.o.d"
   "/root/repo/src/util/table.cc" "CMakeFiles/juryopt.dir/src/util/table.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/util/table.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "CMakeFiles/juryopt.dir/src/util/thread_pool.cc.o" "gcc" "CMakeFiles/juryopt.dir/src/util/thread_pool.cc.o.d"
   )
 
 # Targets to which this target links.

@@ -298,6 +298,6 @@ CMakeFiles/monotonicity_test.dir/tests/monotonicity_test.cc.o: \
  /root/repo/src/model/worker.h /root/repo/src/util/status.h \
  /root/repo/src/core/objective.h /root/repo/src/jq/bucket.h \
  /root/repo/src/util/result.h /root/repo/src/util/check.h \
- /root/repo/src/core/greedy.h /root/repo/src/jq/exact.h \
- /root/repo/src/strategy/voting_strategy.h /root/repo/src/util/rng.h \
- /root/repo/tests/test_util.h
+ /root/repo/src/core/solver_options.h /root/repo/src/core/greedy.h \
+ /root/repo/src/jq/exact.h /root/repo/src/strategy/voting_strategy.h \
+ /root/repo/src/util/rng.h /root/repo/tests/test_util.h

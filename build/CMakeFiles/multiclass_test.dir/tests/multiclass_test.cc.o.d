@@ -329,4 +329,5 @@ CMakeFiles/multiclass_test.dir/tests/multiclass_test.cc.o: \
  /root/repo/src/multiclass/multilabel.h /root/repo/src/core/optjs.h \
  /root/repo/src/core/annealing.h /root/repo/src/core/jsp.h \
  /root/repo/src/core/objective.h /root/repo/src/jq/bucket.h \
- /root/repo/src/core/exhaustive.h /root/repo/src/multiclass/spammer.h
+ /root/repo/src/core/solver_options.h /root/repo/src/core/exhaustive.h \
+ /root/repo/src/multiclass/spammer.h

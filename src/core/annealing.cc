@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <vector>
+
+#include "util/thread_pool.h"
 
 namespace jury {
 namespace {
@@ -139,27 +142,13 @@ std::size_t PickUnselected(const SearchState& state, std::size_t n,
   return SearchState::kNone;
 }
 
-}  // namespace
-
-Result<JspSolution> SolveAnnealing(const JspInstance& instance,
-                                   const JqObjective& objective, Rng* rng,
-                                   const AnnealingOptions& options,
-                                   AnnealingStats* stats) {
-  JURY_RETURN_NOT_OK(instance.Validate());
-  if (rng == nullptr) {
-    return Status::InvalidArgument("SolveAnnealing requires an Rng");
-  }
-  if (!(options.initial_temperature > 0.0) || !(options.epsilon > 0.0) ||
-      !(options.cooling_factor > 0.0) || !(options.cooling_factor < 1.0)) {
-    return Status::InvalidArgument("invalid annealing schedule");
-  }
-  if (stats != nullptr) *stats = AnnealingStats{};
-
+/// One annealing chain (the whole of Algorithm 3): the body of the
+/// historical single-run solver, unchanged, so `num_restarts = 1` with the
+/// caller's rng reproduces the old trajectories seed-for-seed.
+JspSolution RunChain(const JspInstance& instance, const JqObjective& objective,
+                     Rng* rng, const AnnealingOptions& options,
+                     AnnealingStats* stats) {
   const std::size_t n = instance.num_candidates();
-  if (n == 0) {
-    return MakeSolution(instance, {}, EmptyJuryJq(instance.alpha));
-  }
-
   SearchState state(instance, objective, options.use_incremental, stats);
   const bool blind_adds =
       options.trust_monotone_adds && objective.monotone_in_size();
@@ -247,6 +236,75 @@ Result<JspSolution> SolveAnnealing(const JspInstance& instance,
     return MakeSolution(instance, state.best_members(), state.best_jq());
   }
   return MakeSolution(instance, state.members(), state.current_jq());
+}
+
+}  // namespace
+
+Result<JspSolution> SolveAnnealing(const JspInstance& instance,
+                                   const JqObjective& objective, Rng* rng,
+                                   const AnnealingOptions& options,
+                                   AnnealingStats* stats) {
+  JURY_RETURN_NOT_OK(instance.Validate());
+  if (rng == nullptr) {
+    return Status::InvalidArgument("SolveAnnealing requires an Rng");
+  }
+  if (!(options.initial_temperature > 0.0) || !(options.epsilon > 0.0) ||
+      !(options.cooling_factor > 0.0) || !(options.cooling_factor < 1.0)) {
+    return Status::InvalidArgument("invalid annealing schedule");
+  }
+  if (options.num_restarts == 0) {
+    return Status::InvalidArgument("num_restarts must be >= 1");
+  }
+  if (stats != nullptr) *stats = AnnealingStats{};
+
+  if (instance.num_candidates() == 0) {
+    return MakeSolution(instance, {}, EmptyJuryJq(instance.alpha));
+  }
+
+  if (options.num_restarts == 1) {
+    return RunChain(instance, objective, rng, options, stats);
+  }
+
+  // Multi-restart: split per-chain rng streams from the caller's rng
+  // *serially*, then run the chains across the pool. Each chain owns its
+  // state, session, rng, and stats; the shared objective only accumulates
+  // its (atomic) evaluation counters. Chain k's trajectory depends only on
+  // seeds[k], so the result set — and the ordered best-of reduction below
+  // — is bit-identical for every thread count.
+  const std::size_t chains = options.num_restarts;
+  std::vector<std::uint64_t> seeds(chains);
+  for (std::uint64_t& seed : seeds) seed = rng->Next();
+
+  std::vector<JspSolution> solutions(chains);
+  std::vector<AnnealingStats> chain_stats(chains);
+  ThreadPool pool(std::min(ResolveThreadCount(options.num_threads), chains));
+  pool.ParallelFor(0, chains, 1, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t k = begin; k < end; ++k) {
+      Rng chain_rng(seeds[k]);
+      solutions[k] = RunChain(instance, objective, &chain_rng, options,
+                              stats != nullptr ? &chain_stats[k] : nullptr);
+    }
+  });
+
+  std::size_t best = 0;
+  for (std::size_t k = 1; k < chains; ++k) {
+    const bool better =
+        solutions[k].jq > solutions[best].jq + kScoreTol ||
+        (solutions[k].jq > solutions[best].jq - kScoreTol &&
+         solutions[k].cost < solutions[best].cost);
+    if (better) best = k;
+  }
+  if (stats != nullptr) {
+    for (const AnnealingStats& s : chain_stats) {
+      stats->temperature_levels += s.temperature_levels;
+      stats->moves_attempted += s.moves_attempted;
+      stats->moves_accepted += s.moves_accepted;
+      stats->uphill_accepts += s.uphill_accepts;
+      stats->downhill_accepts += s.downhill_accepts;
+      stats->objective_evaluations += s.objective_evaluations;
+    }
+  }
+  return solutions[best];
 }
 
 }  // namespace jury

@@ -5,13 +5,14 @@
 
 #include "core/jsp.h"
 #include "core/objective.h"
+#include "core/solver_options.h"
 #include "util/result.h"
 #include "util/rng.h"
 
 namespace jury {
 
 /// \brief Knobs of the simulated-annealing JSP heuristic (Algorithm 3).
-struct AnnealingOptions {
+struct AnnealingOptions : SolverOptions {
   /// Initial temperature T (step 1 of Algorithm 3).
   double initial_temperature = 1.0;
   /// Loop terminates when T drops below epsilon (the paper uses 1e-8).
@@ -45,6 +46,16 @@ struct AnnealingOptions {
   /// decisions aligned — so either path's trajectory differs from the
   /// pre-session solver for a given seed.
   bool use_incremental = true;
+  /// Independent restart chains, run across `num_threads` pool threads
+  /// (each chain owns its own evaluation session and an `Rng` stream split
+  /// deterministically from the caller's `rng` *before* the parallel
+  /// region), reduced best-of in chain order with the `kScoreTol` band
+  /// (strictly better JQ wins; a banded tie goes to the cheaper jury, then
+  /// the earlier chain). The result is therefore bit-identical for any
+  /// thread count, including 1. With the default single restart the
+  /// caller's rng is used directly, preserving the historical
+  /// single-chain trajectories seed-for-seed.
+  std::size_t num_restarts = 1;
 };
 
 /// \brief Per-run instrumentation.
@@ -66,6 +77,9 @@ struct AnnealingStats {
 /// when it fits the budget, otherwise swapping it against a random selected
 /// one (Algorithm 4), accepting quality-decreasing swaps with probability
 /// `exp(delta / T)` (Boltzmann). Temperature halves until epsilon.
+/// `options.num_restarts > 1` runs that many independent chains in
+/// parallel and returns the best jury found; `stats` then aggregates the
+/// per-chain instrumentation.
 Result<JspSolution> SolveAnnealing(const JspInstance& instance,
                                    const JqObjective& objective, Rng* rng,
                                    const AnnealingOptions& options = {},

@@ -1,28 +1,59 @@
 #include "core/budget_table.h"
 
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace jury {
 
 Result<std::vector<BudgetQualityRow>> BuildBudgetQualityTable(
     const std::vector<Worker>& candidates, const std::vector<double>& budgets,
     double alpha, Rng* rng, const OptjsOptions& options) {
-  std::vector<BudgetQualityRow> rows;
-  rows.reserve(budgets.size());
-  for (double budget : budgets) {
-    JspInstance instance;
-    instance.candidates = candidates;
-    instance.budget = budget;
-    instance.alpha = alpha;
-    JURY_ASSIGN_OR_RETURN(JspSolution solution,
-                          SolveOptjs(instance, rng, options));
-    BudgetQualityRow row;
-    row.budget = budget;
-    row.selected = solution.selected;
-    row.jury_ids = solution.Describe(instance);
-    row.jq = solution.jq;
-    row.required = solution.cost;
-    rows.push_back(std::move(row));
+  if (rng == nullptr) {
+    return Status::InvalidArgument("BuildBudgetQualityTable requires an Rng");
+  }
+  // Rows are independent solves, so they fill across the pool. Each row
+  // gets its own rng stream, forked from the caller's rng serially (in row
+  // order) before the parallel region, and the inner solvers run with one
+  // thread apiece — row-level parallelism already saturates the pool and
+  // nesting pools would oversubscribe. Row k's result depends only on its
+  // own stream, so the table is bit-identical for any thread count.
+  const std::size_t count = budgets.size();
+  std::vector<std::uint64_t> row_seeds(count);
+  for (std::uint64_t& seed : row_seeds) seed = rng->Next();
+  OptjsOptions row_options = options;
+  row_options.num_threads = 1;
+
+  const std::size_t threads = std::min(
+      ResolveThreadCount(options.num_threads), count > 0 ? count : 1);
+  std::vector<BudgetQualityRow> rows(count);
+  std::vector<Status> row_status(count, Status::OK());
+  ThreadPool pool(threads);
+  pool.ParallelFor(0, count, 1, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      JspInstance instance;
+      instance.candidates = candidates;
+      instance.budget = budgets[i];
+      instance.alpha = alpha;
+      Rng row_rng(row_seeds[i]);
+      Result<JspSolution> solution = SolveOptjs(instance, &row_rng,
+                                                row_options);
+      if (!solution.ok()) {
+        row_status[i] = solution.status();
+        continue;
+      }
+      rows[i].budget = budgets[i];
+      rows[i].selected = solution.value().selected;
+      rows[i].jury_ids = solution.value().Describe(instance);
+      rows[i].jq = solution.value().jq;
+      rows[i].required = solution.value().cost;
+    }
+  });
+  for (const Status& status : row_status) {
+    JURY_RETURN_NOT_OK(status);
   }
   return rows;
 }

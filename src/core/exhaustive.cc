@@ -4,11 +4,23 @@
 #include <bit>
 #include <cstdint>
 #include <memory>
+#include <vector>
+
+#include "util/thread_pool.h"
 
 namespace jury {
 namespace {
 
 constexpr double kTieTol = kScoreEquivalenceTol;
+
+/// Shard-partitioned sweeps fix the top `kShardBits` bits of the subset
+/// mask (16 shards). A function of nothing but this constant and N — never
+/// the thread count — so the shard walk order, and with it every
+/// floating-point delta-update history, is reproducible on any pool size.
+constexpr std::size_t kShardBits = 4;
+/// Below this candidate count sharding is pure overhead; the serial
+/// Gray-code sweep runs instead (it returns the same jury either way).
+constexpr std::size_t kMinShardedCandidates = 8;
 
 /// Deterministic tie-break shared by both sweeps: at (numerically) equal
 /// quality prefer the cheaper jury, so "required" budgets in the Fig. 1
@@ -85,24 +97,54 @@ JspSolution SweepFromScratch(const JspInstance& instance,
   return best;
 }
 
-/// Gray-code sweep: consecutive masks differ in exactly one bit
-/// (`ctz(k)`), so the session walks the whole subset lattice with one
-/// add/remove delta update per jury.
-JspSolution SweepGrayCode(const JspInstance& instance,
-                          const JqObjective& objective, bool monotone) {
+/// Walks one shard of the subset lattice with its own evaluation session:
+/// the masks whose top bits equal `fixed_mask`, enumerating the
+/// `low_bits` low bits in Gray-code order (consecutive masks differ in
+/// exactly one bit — `ctz(k)` — so each jury is one add/remove delta
+/// update). The serial sweep is the single shard `fixed_mask = 0,
+/// low_bits = n`. `best`/`best_mask` enter as the empty-jury baseline and
+/// leave as the shard-local incumbent under `Improves`.
+void SweepGrayShard(const JspInstance& instance, const JqObjective& objective,
+                    bool monotone, std::uint64_t fixed_mask,
+                    std::size_t low_bits, JspSolution* best,
+                    std::uint64_t* best_mask) {
   const std::size_t n = instance.num_candidates();
-  JspSolution best = MakeSolution(instance, {}, EmptyJuryJq(instance.alpha));
-  std::uint64_t best_mask = 0;
   auto session = objective.StartSession(instance.alpha, true);
   std::vector<bool> in_jury(n, false);
   std::vector<std::size_t> session_members;  // candidate index by position
 
-  const std::uint64_t total = 1ull << n;
-  std::uint64_t mask = 0;
+  // Commit the shard's fixed workers in ascending bit order — a pure
+  // function of the shard id, so the session history (and its
+  // floating-point roundoff) never depends on scheduling.
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((fixed_mask >> i) & 1u) {
+      session->ScoreAdd(instance.candidates[i]);
+      session->Commit();
+      in_jury[i] = true;
+      session_members.push_back(i);
+    }
+  }
+
+  const auto consider = [&](std::uint64_t mask) {
+    double cost = 0.0;
+    if (!FeasibleCost(instance, mask, &cost)) return;
+    if (monotone && !IsMaximal(instance, mask, cost)) return;
+    const double jq = session->current_jq();
+    if (Improves(jq, cost, mask, *best_mask, *best)) {
+      *best = MakeSolution(instance, MaskToIndices(mask, n), jq);
+      *best_mask = mask;
+    }
+  };
+
+  // The low-bits-all-zero state is a real candidate jury for every shard
+  // but the first (where it is the empty jury the sweep starts from).
+  if (fixed_mask != 0) consider(fixed_mask);
+
+  std::uint64_t low = 0;
+  const std::uint64_t total = 1ull << low_bits;
   for (std::uint64_t k = 1; k < total; ++k) {
-    const std::size_t bit =
-        static_cast<std::size_t>(std::countr_zero(k));
-    mask ^= 1ull << bit;
+    const std::size_t bit = static_cast<std::size_t>(std::countr_zero(k));
+    low ^= 1ull << bit;
     if (!in_jury[bit]) {
       session->ScoreAdd(instance.candidates[bit]);
       session->Commit();
@@ -117,13 +159,54 @@ JspSolution SweepGrayCode(const JspInstance& instance,
       in_jury[bit] = false;
       session_members.erase(it);
     }
-    double cost = 0.0;
-    if (!FeasibleCost(instance, mask, &cost)) continue;
-    if (monotone && !IsMaximal(instance, mask, cost)) continue;
-    const double jq = session->current_jq();
-    if (Improves(jq, cost, mask, best_mask, best)) {
-      best = MakeSolution(instance, MaskToIndices(mask, n), jq);
-      best_mask = mask;
+    consider(fixed_mask | low);
+  }
+}
+
+/// Single-session Gray-code sweep (the historical incremental path).
+JspSolution SweepGrayCode(const JspInstance& instance,
+                          const JqObjective& objective, bool monotone) {
+  JspSolution best = MakeSolution(instance, {}, EmptyJuryJq(instance.alpha));
+  std::uint64_t best_mask = 0;
+  SweepGrayShard(instance, objective, monotone, 0,
+                 instance.num_candidates(), &best, &best_mask);
+  return best;
+}
+
+/// Partitioned Gray-code sweep: 2^kShardBits shards, each owning the
+/// masks under one fixed top-bit pattern, claimed dynamically by the pool
+/// and merged serially in shard order. Every shard starts its local
+/// reduction from the same empty-jury baseline the serial sweep starts
+/// from, and `Improves` is visit-order independent, so the merged winner
+/// equals the serial sweep's for any thread count.
+JspSolution SweepGraySharded(const JspInstance& instance,
+                             const JqObjective& objective, bool monotone,
+                             std::size_t threads) {
+  const std::size_t n = instance.num_candidates();
+  const std::size_t low_bits = n - kShardBits;
+  const std::size_t shards = std::size_t{1} << kShardBits;
+
+  const JspSolution baseline =
+      MakeSolution(instance, {}, EmptyJuryJq(instance.alpha));
+  std::vector<JspSolution> bests(shards, baseline);
+  std::vector<std::uint64_t> best_masks(shards, 0);
+
+  ThreadPool pool(std::min(threads, shards));
+  pool.ParallelFor(0, shards, 1, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t s = begin; s < end; ++s) {
+      SweepGrayShard(instance, objective, monotone,
+                     static_cast<std::uint64_t>(s) << low_bits, low_bits,
+                     &bests[s], &best_masks[s]);
+    }
+  });
+
+  JspSolution best = baseline;
+  std::uint64_t best_mask = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    if (Improves(bests[s].jq, bests[s].cost, best_masks[s], best_mask,
+                 best)) {
+      best = bests[s];
+      best_mask = best_masks[s];
     }
   }
   return best;
@@ -146,9 +229,14 @@ Result<JspSolution> SolveExhaustive(const JspInstance& instance,
   if (n == 0) {
     return MakeSolution(instance, {}, EmptyJuryJq(instance.alpha));
   }
-  return options.use_incremental
-             ? SweepGrayCode(instance, objective, monotone)
-             : SweepFromScratch(instance, objective, monotone);
+  if (!options.use_incremental) {
+    return SweepFromScratch(instance, objective, monotone);
+  }
+  const std::size_t threads = ResolveThreadCount(options.num_threads);
+  if (threads > 1 && n >= kMinShardedCandidates) {
+    return SweepGraySharded(instance, objective, monotone, threads);
+  }
+  return SweepGrayCode(instance, objective, monotone);
 }
 
 }  // namespace jury

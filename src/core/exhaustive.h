@@ -3,18 +3,28 @@
 
 #include "core/jsp.h"
 #include "core/objective.h"
+#include "core/solver_options.h"
 #include "util/result.h"
 
 namespace jury {
 
 /// \brief Options for the brute-force JSP solver.
-struct ExhaustiveOptions {
+struct ExhaustiveOptions : SolverOptions {
   /// Hard cap on the candidate count (2^N subsets are enumerated).
   std::size_t max_candidates = 22;
   /// Walk the subsets in Gray-code order, so consecutive juries differ by
   /// one worker and each is scored by a single session add/remove delta
   /// update instead of a from-scratch evaluation. Disable to recover the
-  /// original ascending-mask sweep.
+  /// original ascending-mask sweep (always serial — it is the reference
+  /// path).
+  ///
+  /// With `num_threads != 1` (and enough candidates) the Gray-code sweep
+  /// is partitioned: the top bits of the subset mask are fixed per shard
+  /// — the shard count depends only on N, never on the thread count — and
+  /// each shard walks the Gray code of its low bits on its own session.
+  /// Shard-local incumbents are merged serially in shard order under the
+  /// same tie-break (`Improves`), which is visit-order independent, so
+  /// every thread count returns the same jury as the serial sweep.
   bool use_incremental = true;
 };
 

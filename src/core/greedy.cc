@@ -5,6 +5,9 @@
 #include <limits>
 #include <memory>
 #include <numeric>
+#include <vector>
+
+#include "util/thread_pool.h"
 
 namespace jury {
 namespace {
@@ -134,26 +137,69 @@ Result<JspSolution> SolveGreedyMarginalGain(const JspInstance& instance,
   std::vector<std::size_t> selected;
   double cost = 0.0;
 
+  // Parallel scan machinery: candidates are sharded across the pool, each
+  // shard scoring through its own clone of the round's session. A clone
+  // carries the committed cached state bit-for-bit, so every candidate's
+  // score is a pure function of (committed jury, candidate) — identical
+  // whichever thread computes it — and the ordered banded argmax below
+  // picks the same winner the serial scan would.
+  const std::size_t threads =
+      std::min(ResolveThreadCount(options.num_threads), n > 0 ? n : 1);
+  // Clone support is probed once, on the still-empty session (a copy of
+  // empty backend state — one small allocation); backends that return
+  // nullptr fall back to the serial scan.
+  const bool parallel_scan = threads > 1 && session->Clone() != nullptr;
+  ThreadPool pool(parallel_scan ? threads : 1);
+  std::vector<double> scores(n, 0.0);
+  std::vector<char> scored(n, 0);
+
   for (;;) {
     std::size_t best_idx = static_cast<std::size_t>(-1);
     double best_score = -std::numeric_limits<double>::infinity();
-    for (std::size_t i = 0; i < n; ++i) {
-      if (in_jury[i]) continue;
-      if (cost + instance.candidates[i].cost > instance.budget) continue;
-      const double score = session->ScoreAdd(instance.candidates[i]);
-      if (score > best_score + kScoreTol) {
-        best_score = score;
-        best_idx = i;
+    if (parallel_scan) {
+      std::fill(scored.begin(), scored.end(), 0);
+      const std::size_t grain = (n + threads - 1) / threads;
+      pool.ParallelFor(0, n, grain,
+                       [&](std::size_t begin, std::size_t end) {
+                         auto shard_session = session->Clone();
+                         for (std::size_t i = begin; i < end; ++i) {
+                           if (in_jury[i]) continue;
+                           if (cost + instance.candidates[i].cost >
+                               instance.budget) {
+                             continue;
+                           }
+                           scores[i] =
+                               shard_session->ScoreAdd(instance.candidates[i]);
+                           shard_session->Rollback();
+                           scored[i] = 1;
+                         }
+                       });
+      for (std::size_t i = 0; i < n; ++i) {
+        if (scored[i] && scores[i] > best_score + kScoreTol) {
+          best_score = scores[i];
+          best_idx = i;
+        }
       }
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (in_jury[i]) continue;
+        if (cost + instance.candidates[i].cost > instance.budget) continue;
+        const double score = session->ScoreAdd(instance.candidates[i]);
+        if (score > best_score + kScoreTol) {
+          best_score = score;
+          best_idx = i;
+        }
+      }
+      session->Rollback();
     }
-    session->Rollback();
     if (best_idx == static_cast<std::size_t>(-1)) break;  // nothing fits
     if (!objective.monotone_in_size() &&
         best_score <= session->current_jq() + kScoreTol) {
       break;  // for MV-like objectives an extension can hurt; stop early
     }
-    session->ScoreAdd(instance.candidates[best_idx]);
-    session->Commit();
+    // The winner's score is already known: commit it directly instead of
+    // re-staging (and re-evaluating) the winning delta.
+    session->CommitAdd(instance.candidates[best_idx], best_score);
     in_jury[best_idx] = true;
     selected.push_back(best_idx);
     cost += instance.candidates[best_idx].cost;

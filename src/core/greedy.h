@@ -3,6 +3,7 @@
 
 #include "core/jsp.h"
 #include "core/objective.h"
+#include "core/solver_options.h"
 #include "util/result.h"
 
 namespace jury {
@@ -10,7 +11,7 @@ namespace jury {
 /// \brief Cheap deterministic JSP baselines, used for ablations (E19) and as
 /// seeds/components of the MVJS system. All of them grow juries one worker
 /// at a time through an `IncrementalJqEvaluator` session.
-struct GreedyOptions {
+struct GreedyOptions : SolverOptions {
   /// Score candidate additions by delta update (see AnnealingOptions).
   bool use_incremental = true;
 };
@@ -41,8 +42,13 @@ Result<JspSolution> SolveOddTopK(const JspInstance& instance,
 /// True marginal-gain greedy: each round scores *every* affordable
 /// candidate addition through the session (an O(n) delta update apiece
 /// rather than an O(n^2) from-scratch evaluation) and commits the best
-/// one. Stops when nothing fits — or, for non-monotone objectives, when
-/// the best addition no longer improves the jury.
+/// one directly at its remembered score. Stops when nothing fits — or,
+/// for non-monotone objectives, when the best addition no longer improves
+/// the jury. With `options.num_threads != 1` the per-round scan shards
+/// candidates across threads, each thread scoring through its own
+/// `Clone()` of the round's session; scores are bit-identical to the
+/// serial scan and the winner is picked by the same ordered banded argmax,
+/// so the selected jury never depends on the thread count.
 Result<JspSolution> SolveGreedyMarginalGain(const JspInstance& instance,
                                             const JqObjective& objective,
                                             const GreedyOptions& options = {});

@@ -43,6 +43,13 @@ class FullRecomputeEvaluator final : public IncrementalJqEvaluator {
     return objective_->Evaluate(MaterializeWith(out_idx, &in), alpha());
   }
   void AdoptStaged() override {}
+  /// No cached state: committing a pre-scored add is free.
+  void ApplyAdd(const Worker&) override {}
+
+ public:
+  std::unique_ptr<IncrementalJqEvaluator> Clone() const override {
+    return std::make_unique<FullRecomputeEvaluator>(*this);
+  }
 
  private:
   const JqObjective* objective_;
@@ -81,6 +88,16 @@ class IncrementalMajorityEvaluator final : public IncrementalJqEvaluator {
   void AdoptStaged() override {
     zeros_t0_ = std::move(scratch_t0_);
     zeros_t1_ = std::move(scratch_t1_);
+  }
+  void ApplyAdd(const Worker& worker) override {
+    // Same convolution the scratch path runs, minus the scratch copies.
+    zeros_t0_.AddTrial(worker.quality);
+    zeros_t1_.AddTrial(1.0 - worker.quality);
+  }
+
+ public:
+  std::unique_ptr<IncrementalJqEvaluator> Clone() const override {
+    return std::make_unique<IncrementalMajorityEvaluator>(*this);
   }
 
  private:
@@ -156,6 +173,21 @@ class IncrementalExactBvEvaluator final : public IncrementalJqEvaluator {
   }
   void AdoptStaged() override { state_ = std::move(scratch_); }
   void DiscardStaged() override { scratch_.valid = false; }
+  void ApplyAdd(const Worker& worker) override {
+    scratch_.valid = false;
+    if (size() + 1 > kMaxCachedMembers || !state_.valid) {
+      // Past the cache cap (or with no cached table) the next scoring
+      // rebuilds from the member list anyway.
+      state_.valid = false;
+      return;
+    }
+    ExtendInPlace(&state_, worker.quality);
+  }
+
+ public:
+  std::unique_ptr<IncrementalJqEvaluator> Clone() const override {
+    return std::make_unique<IncrementalExactBvEvaluator>(*this);
+  }
 
  private:
   struct EnumState {
@@ -291,6 +323,56 @@ class IncrementalBucketBvEvaluator final : public IncrementalJqEvaluator {
     }
   }
 
+  void ApplyAdd(const Worker& worker) override {
+    // The in-place mirror of `Score(kNoMember, &worker)` + `AdoptStaged`:
+    // same grid/special-case decisions, same convolution, but applied to
+    // the committed key distribution directly — no scratch copy and no
+    // `PositiveMass` sweep, since the score is already known.
+    const double q = NormalizeQuality(worker.quality);
+    double max_q = has_prior_ ? prior_q_ : 0.0;
+    for (double v : norm_q_) max_q = std::max(max_q, v);
+    max_q = std::max(max_q, q);
+    norm_q_.push_back(q);
+    if (options_.high_quality_cutoff < 1.0 &&
+        max_q > options_.high_quality_cutoff) {
+      dist_valid_ = false;  // §4.4 shortcut mode: no key state to maintain
+      return;
+    }
+    const double upper = LogOdds(EffectiveQuality(max_q));
+    if (upper <= 0.0) {
+      dist_valid_ = false;  // all-exactly-0.5 mode
+      return;
+    }
+    const double delta = upper / static_cast<double>(options_.num_buckets);
+    if (dist_valid_ && upper == grid_upper_) {
+      const std::int64_t b = BucketOf(q, delta);
+      if (dist_.span() + b <= kMaxIncrementalSpan) {
+        dist_.Convolve(b, q);
+        bucket_.push_back(b);
+        return;
+      }
+    }
+    // Grid moved or no cached state: rebuild on the new grid (counts as a
+    // full evaluation, exactly like the Score rebuild path).
+    dist_.Reset();
+    std::int64_t span = 0;
+    for (double v : norm_q_) span += FoldWorkerInto(&dist_, v, delta);
+    if (has_prior_) span += FoldWorkerInto(&dist_, prior_q_, delta);
+    CountFullEvaluation();
+    if (span > kMaxIncrementalSpan) {
+      dist_valid_ = false;
+      return;
+    }
+    grid_upper_ = upper;
+    RefreshBuckets();
+    dist_valid_ = true;
+  }
+
+ public:
+  std::unique_ptr<IncrementalJqEvaluator> Clone() const override {
+    return std::make_unique<IncrementalBucketBvEvaluator>(*this);
+  }
+
  private:
   double Score(std::size_t out_idx, const Worker* in) {
     staged_out_ = out_idx;
@@ -382,9 +464,14 @@ class IncrementalBucketBvEvaluator final : public IncrementalJqEvaluator {
   }
 
   std::int64_t FoldWorker(double norm_q, double delta) {
+    return FoldWorkerInto(&scratch_dist_, norm_q, delta);
+  }
+
+  std::int64_t FoldWorkerInto(BucketKeyDistribution* dist, double norm_q,
+                              double delta) const {
     const std::int64_t b = BucketOf(norm_q, delta);
-    if (scratch_dist_.span() + b <= kMaxIncrementalSpan) {
-      scratch_dist_.Convolve(b, norm_q);
+    if (dist->span() + b <= kMaxIncrementalSpan) {
+      dist->Convolve(b, norm_q);
     }
     return b;
   }
@@ -490,6 +577,13 @@ void IncrementalJqEvaluator::Rollback() {
   staged_ = MoveKind::kNone;
 }
 
+void IncrementalJqEvaluator::CommitAdd(const Worker& worker, double score) {
+  Rollback();
+  ApplyAdd(worker);
+  members_.push_back(worker);
+  current_jq_ = score;
+}
+
 Jury IncrementalJqEvaluator::MaterializeWith(std::size_t out_idx,
                                              const Worker* in) const {
   Jury jury;
@@ -505,11 +599,11 @@ Jury IncrementalJqEvaluator::MaterializeWith(std::size_t out_idx,
 }
 
 void IncrementalJqEvaluator::CountFullEvaluation() const {
-  ++objective_->counters_.full;
+  objective_->full_evals_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void IncrementalJqEvaluator::CountIncrementalEvaluation() const {
-  ++objective_->counters_.incremental;
+  objective_->incremental_evals_.fetch_add(1, std::memory_order_relaxed);
 }
 
 // ---------------------------------------------------------------- factories

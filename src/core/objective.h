@@ -1,6 +1,7 @@
 #ifndef JURYOPT_CORE_OBJECTIVE_H_
 #define JURYOPT_CORE_OBJECTIVE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
 #include <string>
@@ -25,7 +26,10 @@ inline constexpr double kScoreEquivalenceTol = 1e-12;
 
 /// \brief Split instrumentation for the runtime figures: how many candidate
 /// juries were scored from scratch (O(n) per worker and worse) versus by an
-/// O(n) delta update inside an `IncrementalJqEvaluator` session.
+/// O(n) delta update inside an `IncrementalJqEvaluator` session. A snapshot
+/// value — the objective itself accumulates atomically, so concurrent
+/// sessions (parallel restart chains, cloned scan shards) can score without
+/// racing on the instrumentation.
 struct EvaluationCounters {
   /// From-scratch evaluations: every `Evaluate` call plus every session
   /// score that had to rebuild its cached state (grid change, cache limit).
@@ -69,10 +73,19 @@ class JqObjective {
 
   /// Total number of jury scorings so far (full + incremental), kept for
   /// the original instrumentation consumers.
-  std::size_t evaluations() const { return counters_.total(); }
-  /// Full vs. incremental breakdown.
-  const EvaluationCounters& evaluation_counters() const { return counters_; }
-  void ResetEvaluationCounters() const { counters_ = EvaluationCounters{}; }
+  std::size_t evaluations() const { return evaluation_counters().total(); }
+  /// Full vs. incremental breakdown (a consistent-enough snapshot; exact
+  /// once all sessions have quiesced).
+  EvaluationCounters evaluation_counters() const {
+    EvaluationCounters snapshot;
+    snapshot.full = full_evals_.load(std::memory_order_relaxed);
+    snapshot.incremental = incremental_evals_.load(std::memory_order_relaxed);
+    return snapshot;
+  }
+  void ResetEvaluationCounters() const {
+    full_evals_.store(0, std::memory_order_relaxed);
+    incremental_evals_.store(0, std::memory_order_relaxed);
+  }
 
  protected:
   /// Backend hook: returns the delta-updating session. The default is the
@@ -80,11 +93,14 @@ class JqObjective {
   virtual std::unique_ptr<IncrementalJqEvaluator> StartIncrementalSession(
       double alpha) const;
 
-  void CountEvaluation() const { ++counters_.full; }
+  void CountEvaluation() const {
+    full_evals_.fetch_add(1, std::memory_order_relaxed);
+  }
 
  private:
   friend class IncrementalJqEvaluator;
-  mutable EvaluationCounters counters_;
+  mutable std::atomic<std::size_t> full_evals_{0};
+  mutable std::atomic<std::size_t> incremental_evals_{0};
 };
 
 /// \brief A stateful evaluation session over one growing/shrinking jury.
@@ -112,6 +128,28 @@ class IncrementalJqEvaluator {
   double current_jq() const { return current_jq_; }
   bool has_staged_move() const { return staged_ != MoveKind::kNone; }
 
+  /// Deep copy of this session at its committed state, for per-thread
+  /// scan shards: a clone scores exactly the moves the original would
+  /// (bit-identical — it copies the backend's cached state, not a rebuilt
+  /// equivalent), so candidates can be sharded across threads without the
+  /// winner depending on which thread scored which shard. Clones report
+  /// into the owning objective's (atomic) evaluation counters. Returns
+  /// nullptr for backends without clone support, in which case callers
+  /// must fall back to the serial scan. Any staged move is not cloned;
+  /// clone before staging.
+  virtual std::unique_ptr<IncrementalJqEvaluator> Clone() const {
+    return nullptr;
+  }
+
+  /// Commits "add `worker`" when its score is already known — from a
+  /// previous `Score*` on this session or on a `Clone()` — without
+  /// re-computing the delta. This is the scan-then-commit fast path: a
+  /// candidate scan remembers the staged winner's score and commits it
+  /// directly, saving one delta evaluation per round. Discards any staged
+  /// move first. `score` must be the value `ScoreAdd(worker)` would
+  /// return; the backend applies the move to its committed state in place.
+  void CommitAdd(const Worker& worker, double score);
+
   /// JQ of members + `worker`; stages the addition.
   double ScoreAdd(const Worker& worker);
   /// JQ with member `idx` removed; stages the removal.
@@ -126,6 +164,8 @@ class IncrementalJqEvaluator {
 
  protected:
   IncrementalJqEvaluator(const JqObjective* objective, double alpha);
+  /// Memberwise copy for `Clone` implementations.
+  IncrementalJqEvaluator(const IncrementalJqEvaluator&) = default;
 
   /// Sentinel for "no member leaves" in `MaterializeWith`.
   static constexpr std::size_t kNoMember = static_cast<std::size_t>(-1);
@@ -145,6 +185,15 @@ class IncrementalJqEvaluator {
   virtual double ComputeSwap(std::size_t out_idx, const Worker& in) = 0;
   virtual void AdoptStaged() = 0;
   virtual void DiscardStaged() {}
+
+  /// Backend hook for `CommitAdd`: fold `worker` into the committed cached
+  /// state directly (no scoring, no scratch round-trip). The default
+  /// recomputes via `ComputeAdd` + `AdoptStaged`, which is always correct;
+  /// backends override it with the in-place update.
+  virtual void ApplyAdd(const Worker& worker) {
+    ComputeAdd(worker);
+    AdoptStaged();
+  }
 
   /// Instrumentation forwarded to the owning objective's counters.
   void CountFullEvaluation() const;

@@ -35,13 +35,16 @@ Result<JspSolution> SolveOptjs(const JspInstance& instance, Rng* rng,
     ExhaustiveOptions exhaustive;
     exhaustive.max_candidates = options.exhaustive_threshold;
     exhaustive.use_incremental = options.use_incremental;
+    exhaustive.num_threads = options.num_threads;
     JURY_ASSIGN_OR_RETURN(best,
                           SolveExhaustive(instance, objective, exhaustive));
   } else {
     AnnealingOptions annealing = options.annealing;
     annealing.use_incremental &= options.use_incremental;
+    annealing.num_threads = options.num_threads;
     GreedyOptions greedy;
     greedy.use_incremental = options.use_incremental;
+    greedy.num_threads = options.num_threads;
     JURY_ASSIGN_OR_RETURN(
         best, SolveAnnealing(instance, objective, rng, annealing));
     best.jq = TightJq(instance, best, options.bucket);

@@ -23,6 +23,12 @@ struct OptjsOptions {
   /// facade drives (annealing, exhaustive, greedy fallbacks). Overrides
   /// the per-solver flags when false.
   bool use_incremental = true;
+  /// Threads for the parallel sections of every solver the facade drives
+  /// (copied over the per-solver `num_threads` knobs): 0 = auto
+  /// (`JURYOPT_THREADS`, then hardware concurrency), 1 = serial. All
+  /// parallel paths return the serial path's jury bit-for-bit, so this
+  /// only trades wall-clock for cores.
+  std::size_t num_threads = 0;
 };
 
 /// \brief OPTJS — the paper's "Optimal Jury Selection System" (Fig. 1):

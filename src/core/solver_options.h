@@ -1,0 +1,24 @@
+#ifndef JURYOPT_CORE_SOLVER_OPTIONS_H_
+#define JURYOPT_CORE_SOLVER_OPTIONS_H_
+
+#include <cstddef>
+
+namespace jury {
+
+/// \brief Knobs shared by every JSP solver. Per-solver option structs
+/// inherit from this, so `options.num_threads` configures the parallel
+/// execution layer uniformly.
+struct SolverOptions {
+  /// Threads for the solver's parallel sections (restart chains, candidate
+  /// shards, subset partitions). 0 = auto: the `JURYOPT_THREADS`
+  /// environment variable when set, otherwise the hardware concurrency
+  /// (`ResolveThreadCount` in util/thread_pool.h). 1 forces the serial
+  /// path. Every parallel path is bit-deterministic in the thread count
+  /// and returns the same jury as the serial path (property-tested), so
+  /// this knob only trades wall-clock for cores.
+  std::size_t num_threads = 0;
+};
+
+}  // namespace jury
+
+#endif  // JURYOPT_CORE_SOLVER_OPTIONS_H_

@@ -142,14 +142,17 @@ void BucketKeyDistribution::Convolve(std::int64_t b, double q) {
   JURY_CHECK_GE(b, 0);
   if (b == 0) return;  // +0 and -0 coincide: exact identity
   const std::int64_t new_span = span_ + b;
-  std::vector<double> nxt(static_cast<std::size_t>(2 * new_span + 1), 0.0);
+  // `assign` reuses the scratch buffer's capacity: per-move convolutions
+  // stop allocating once the session has seen its largest span.
+  scratch_.assign(static_cast<std::size_t>(2 * new_span + 1), 0.0);
   for (std::int64_t key = -span_; key <= span_; ++key) {
     const double prob = pmf_[static_cast<std::size_t>(key + span_)];
     if (prob == 0.0) continue;
-    nxt[static_cast<std::size_t>(key + b + new_span)] += prob * q;
-    nxt[static_cast<std::size_t>(key - b + new_span)] += prob * (1.0 - q);
+    scratch_[static_cast<std::size_t>(key + b + new_span)] += prob * q;
+    scratch_[static_cast<std::size_t>(key - b + new_span)] +=
+        prob * (1.0 - q);
   }
-  pmf_.swap(nxt);
+  pmf_.swap(scratch_);
   span_ = new_span;
 }
 
@@ -160,16 +163,18 @@ void BucketKeyDistribution::Deconvolve(std::int64_t b, double q) {
   JURY_CHECK(q >= 0.5 && q <= 1.0)
       << "Deconvolve requires a normalized quality, got " << q;
   const std::int64_t ns = span_ - b;
-  std::vector<double> g(static_cast<std::size_t>(2 * ns + 1), 0.0);
+  // Every entry is written exactly once (descending j only reads entries
+  // written earlier in the pass), so a resize without zeroing suffices.
+  scratch_.resize(static_cast<std::size_t>(2 * ns + 1));
   for (std::int64_t j = ns; j >= -ns; --j) {
-    const double above = (j + 2 * b <= ns)
-                             ? g[static_cast<std::size_t>(j + 2 * b + ns)]
-                             : 0.0;
-    g[static_cast<std::size_t>(j + ns)] =
+    const double above =
+        (j + 2 * b <= ns) ? scratch_[static_cast<std::size_t>(j + 2 * b + ns)]
+                          : 0.0;
+    scratch_[static_cast<std::size_t>(j + ns)] =
         (pmf_[static_cast<std::size_t>(j + b + span_)] - (1.0 - q) * above) /
         q;
   }
-  pmf_.swap(g);
+  pmf_.swap(scratch_);
   span_ = ns;
 }
 

@@ -88,6 +88,20 @@ class BucketKeyDistribution {
  public:
   BucketKeyDistribution() { Reset(); }
 
+  /// Copies transfer only the distribution (pmf + span), not the scratch
+  /// buffer: sessions copy the committed distribution once per staged move
+  /// (`scratch_dist_ = dist_`), and dragging the convolution scratch along
+  /// would double that copy for no benefit.
+  BucketKeyDistribution(const BucketKeyDistribution& other)
+      : pmf_(other.pmf_), span_(other.span_) {}
+  BucketKeyDistribution& operator=(const BucketKeyDistribution& other) {
+    pmf_ = other.pmf_;  // reuses capacity
+    span_ = other.span_;
+    return *this;
+  }
+  BucketKeyDistribution(BucketKeyDistribution&&) = default;
+  BucketKeyDistribution& operator=(BucketKeyDistribution&&) = default;
+
   /// Back to the empty product: a point mass at key 0.
   void Reset();
 
@@ -111,6 +125,10 @@ class BucketKeyDistribution {
 
  private:
   std::vector<double> pmf_;  // size 2*span_+1; index = key + span_
+  /// Preallocated flat buffer the (de)convolutions write into before
+  /// swapping with `pmf_`: per-move updates reuse its capacity instead of
+  /// allocating a fresh vector per call.
+  std::vector<double> scratch_;
   std::int64_t span_ = 0;
 };
 

@@ -15,6 +15,7 @@ PoissonBinomial::PoissonBinomial(const std::vector<double>& probs) {
 void PoissonBinomial::AddTrial(double raw) {
   const double p = std::min(std::max(raw, 0.0), 1.0);
   mean_ += p;
+  cumulative_valid_ = false;
   pmf_.push_back(0.0);
   // In-place convolution with Bernoulli(p), iterating downwards so each
   // entry is read before being overwritten.
@@ -28,6 +29,7 @@ void PoissonBinomial::RemoveTrial(double raw) {
   JURY_CHECK_GE(size(), 1) << "RemoveTrial on an empty distribution";
   const double p = std::min(std::max(raw, 0.0), 1.0);
   mean_ -= p;
+  cumulative_valid_ = false;
   const std::size_t n = pmf_.size() - 1;  // trials before removal
   // Solve f = g (*) Bernoulli(p) for g, i.e. f[k] = g[k](1-p) + g[k-1]p.
   if (p == 0.0) {
@@ -63,22 +65,34 @@ double PoissonBinomial::Pmf(int k) const {
   return pmf_[static_cast<std::size_t>(k)];
 }
 
+void PoissonBinomial::RefreshCumulative() const {
+  const std::size_t m = pmf_.size();
+  prefix_.resize(m);
+  suffix_.resize(m);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    acc += pmf_[i];
+    prefix_[i] = std::min(acc, 1.0);
+  }
+  acc = 0.0;
+  for (std::size_t i = m; i > 0; --i) {
+    acc += pmf_[i - 1];
+    suffix_[i - 1] = std::min(acc, 1.0);
+  }
+  cumulative_valid_ = true;
+}
+
 double PoissonBinomial::TailAtLeast(int k) const {
   if (k <= 0) return 1.0;
-  double acc = 0.0;
-  for (int i = std::max(k, 0); i <= size(); ++i) {
-    acc += pmf_[static_cast<std::size_t>(i)];
-  }
-  return std::min(acc, 1.0);
+  if (k > size()) return 0.0;
+  if (!cumulative_valid_) RefreshCumulative();
+  return suffix_[static_cast<std::size_t>(k)];
 }
 
 double PoissonBinomial::CdfAtMost(int k) const {
   if (k < 0) return 0.0;
-  double acc = 0.0;
-  for (int i = 0; i <= std::min(k, size()); ++i) {
-    acc += pmf_[static_cast<std::size_t>(i)];
-  }
-  return std::min(acc, 1.0);
+  if (!cumulative_valid_) RefreshCumulative();
+  return prefix_[static_cast<std::size_t>(std::min(k, size()))];
 }
 
 }  // namespace jury

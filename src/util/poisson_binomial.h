@@ -36,9 +36,10 @@ class PoissonBinomial {
 
   /// Pr[X = k]; zero outside {0, ..., n}.
   double Pmf(int k) const;
-  /// Pr[X >= k].
+  /// Pr[X >= k]. O(1) via the cached suffix sums; the first query after an
+  /// `AddTrial`/`RemoveTrial` rebuilds the cache in one O(n) pass.
   double TailAtLeast(int k) const;
-  /// Pr[X <= k].
+  /// Pr[X <= k]. O(1) via the cached prefix sums (same rebuild policy).
   double CdfAtMost(int k) const;
   /// E[X] = sum of probs.
   double Mean() const { return mean_; }
@@ -48,8 +49,20 @@ class PoissonBinomial {
   const std::vector<double>& pmf() const { return pmf_; }
 
  private:
+  /// Rebuilds `prefix_`/`suffix_` when a trial update invalidated them.
+  /// Solver sessions call `TailAtLeast` + `CdfAtMost` once per staged
+  /// move, so the pair costs one O(n) pass instead of two O(n) sums.
+  void RefreshCumulative() const;
+
   std::vector<double> pmf_;
   double mean_ = 0.0;
+
+  // Cumulative caches: prefix_[k] = Pr[X <= k] (summed from below),
+  // suffix_[k] = Pr[X >= k] (summed from above); both clamped to <= 1.
+  // Invalidated by AddTrial/RemoveTrial, rebuilt lazily on first query.
+  mutable std::vector<double> prefix_;
+  mutable std::vector<double> suffix_;
+  mutable bool cumulative_valid_ = false;
 };
 
 }  // namespace jury

@@ -1,0 +1,105 @@
+#ifndef JURYOPT_UTIL_THREAD_POOL_H_
+#define JURYOPT_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace jury {
+
+/// Resolves a requested thread count to the number of threads a solver
+/// should actually use: `requested` when positive, otherwise the
+/// `JURYOPT_THREADS` environment variable when set to a positive integer,
+/// otherwise `std::thread::hardware_concurrency()` (at least 1).
+std::size_t ResolveThreadCount(std::size_t requested);
+
+/// \brief Fixed-size pool of worker threads running "parallel regions".
+///
+/// The pool exists so the solver layer can fan independent JQ evaluations
+/// (annealing restarts, greedy candidate shards, Gray-code subset
+/// partitions, budget-table rows) across cores while staying
+/// *bit-deterministic regardless of thread count*: work is always split
+/// into shards whose boundaries do not depend on scheduling, every shard
+/// writes to its own output slots, and reductions happen serially in shard
+/// order after the region completes. Threads only decide *when* a shard
+/// runs, never *what* it computes or how results combine.
+///
+/// A pool of size 1 never spawns threads: every region runs inline on the
+/// caller, which is the `num_threads = 1` fallback path. For larger sizes
+/// the caller participates in each region alongside `size - 1` workers.
+class ThreadPool {
+ public:
+  /// Creates a pool that runs regions on `num_threads` threads total
+  /// (caller + num_threads - 1 workers). Clamped to at least 1.
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Splits [begin, end) into contiguous shards of at most `grain`
+  /// elements and runs `body(shard_begin, shard_end)` once per shard,
+  /// claiming shards dynamically across the pool. Returns after every
+  /// shard has completed. Shard boundaries depend only on (begin, end,
+  /// grain) — never on the thread count — so a body that writes
+  /// per-element or per-shard outputs produces identical results on any
+  /// pool size. `body` must not throw and must not call back into the
+  /// same pool (regions do not nest).
+  void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+                   const std::function<void(std::size_t, std::size_t)>& body);
+
+ private:
+  void WorkerLoop();
+  void RunRegion();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  bool shutdown_ = false;
+  std::uint64_t generation_ = 0;
+  std::size_t busy_workers_ = 0;
+
+  // Current region, valid while busy_workers_ > 0 or the caller runs it.
+  const std::function<void(std::size_t, std::size_t)>* body_ = nullptr;
+  std::size_t region_begin_ = 0;
+  std::size_t region_end_ = 0;
+  std::size_t region_grain_ = 1;
+  std::atomic<std::size_t> next_shard_{0};
+  std::size_t shard_count_ = 0;
+};
+
+/// Result of `ParallelArgmax`: the winning index and its score, or
+/// `kNoArgmax` / -inf when no index was eligible.
+struct ArgmaxResult {
+  static constexpr std::size_t kNoArgmax = static_cast<std::size_t>(-1);
+  std::size_t index = kNoArgmax;
+  double score = 0.0;
+};
+
+/// \brief Deterministic parallel argmax over [0, n).
+///
+/// Evaluates `score(i)` for every index with `eligible(i)` across the pool
+/// (shards of `grain` indices; each evaluation must depend only on `i`,
+/// not on evaluation order), then reduces *serially in index order* with
+/// the solver suite's banded comparison: index `i` replaces the incumbent
+/// iff `score(i) > best + tol`. This reproduces, for any thread count, the
+/// exact scan-loop semantics the serial solvers use (first index wins
+/// within the `kScoreEquivalenceTol` band), so parallel and serial runs
+/// pick identical winners. `eligible` may be null (all indices eligible).
+ArgmaxResult ParallelArgmax(ThreadPool* pool, std::size_t n,
+                            std::size_t grain,
+                            const std::function<double(std::size_t)>& score,
+                            const std::function<bool(std::size_t)>& eligible,
+                            double tol);
+
+}  // namespace jury
+
+#endif  // JURYOPT_UTIL_THREAD_POOL_H_

@@ -1,8 +1,12 @@
+#include <cstdlib>
+#include <string>
 #include <tuple>
+#include <vector>
 
 #include "gtest/gtest.h"
 #include "core/annealing.h"
 #include "core/branch_bound.h"
+#include "core/budget_table.h"
 #include "core/exhaustive.h"
 #include "core/greedy.h"
 #include "core/mvjs.h"
@@ -516,6 +520,157 @@ TEST(IncrementalEquivalenceTest, SolversSpendFarFewerFullEvaluations) {
   // >= 5x fewer full evaluations is the acceptance bar; in practice the
   // ratio is far larger (full evals only happen on grid rebuilds).
   EXPECT_LT(with_sessions.full * 5, without.full);
+}
+
+// ------------------------------------ thread-count determinism harness
+
+/// Scoped JURYOPT_THREADS override; the solvers resolve the variable on
+/// every call, so flipping it between runs exercises the real dispatch.
+/// Restores the previous value on destruction — the TSAN CI job runs this
+/// binary with JURYOPT_THREADS=4 and later tests must still see it.
+class ScopedThreadsEnv {
+ public:
+  explicit ScopedThreadsEnv(const std::string& value) {
+    const char* prev = std::getenv("JURYOPT_THREADS");
+    if (prev != nullptr) {
+      had_previous_ = true;
+      previous_ = prev;
+    }
+    ::setenv("JURYOPT_THREADS", value.c_str(), 1);
+  }
+  ~ScopedThreadsEnv() {
+    if (had_previous_) {
+      ::setenv("JURYOPT_THREADS", previous_.c_str(), 1);
+    } else {
+      ::unsetenv("JURYOPT_THREADS");
+    }
+  }
+
+ private:
+  bool had_previous_ = false;
+  std::string previous_;
+};
+
+/// Every parallelized solver must return the same jury — and the same JQ
+/// within 1e-12 — for every thread count (the solvers are documented as
+/// bit-deterministic in the thread count; this is the property test behind
+/// that claim). 24 seeded instances x JURYOPT_THREADS in {1, 2, 8}.
+TEST(ThreadDeterminismTest, AllParallelSolversAcrossThreadCounts) {
+  Rng rng(77001);
+  const BucketBvObjective bucket;
+  const MajorityObjective majority;
+  const char* kThreadCounts[] = {"1", "2", "8"};
+  for (int inst = 0; inst < 24; ++inst) {
+    const auto instance =
+        MakeInstance(RandomPool(&rng, 12, 0.4, 0.95, 0.05, 0.4),
+                     rng.Uniform(0.3, 1.0));
+    const std::uint64_t seed = 8800 + static_cast<std::uint64_t>(inst);
+
+    JspSolution ref_sa, ref_greedy, ref_exhaustive, ref_mv_greedy;
+    bool have_ref = false;
+    for (const char* threads : kThreadCounts) {
+      ScopedThreadsEnv env(threads);
+      // Multi-restart annealing: 4 chains split from one seed.
+      AnnealingOptions sa_opts;
+      sa_opts.num_restarts = 4;
+      Rng sa_rng(seed);
+      const auto sa =
+          SolveAnnealing(instance, bucket, &sa_rng, sa_opts).value();
+      // Greedy marginal-gain: sharded candidate scan, both objectives.
+      const auto greedy =
+          SolveGreedyMarginalGain(instance, bucket, {}).value();
+      const auto mv_greedy =
+          SolveGreedyMarginalGain(instance, majority, {}).value();
+      // Exhaustive: partitioned Gray-code sweep.
+      const auto exhaustive =
+          SolveExhaustive(instance, bucket, {}).value();
+
+      if (!have_ref) {
+        ref_sa = sa;
+        ref_greedy = greedy;
+        ref_mv_greedy = mv_greedy;
+        ref_exhaustive = exhaustive;
+        have_ref = true;
+        continue;
+      }
+      EXPECT_EQ(sa.selected, ref_sa.selected)
+          << "annealing, instance " << inst << ", threads " << threads;
+      EXPECT_NEAR(sa.jq, ref_sa.jq, 1e-12);
+      EXPECT_EQ(greedy.selected, ref_greedy.selected)
+          << "greedy, instance " << inst << ", threads " << threads;
+      EXPECT_NEAR(greedy.jq, ref_greedy.jq, 1e-12);
+      EXPECT_EQ(mv_greedy.selected, ref_mv_greedy.selected)
+          << "mv greedy, instance " << inst << ", threads " << threads;
+      EXPECT_NEAR(mv_greedy.jq, ref_mv_greedy.jq, 1e-12);
+      EXPECT_EQ(exhaustive.selected, ref_exhaustive.selected)
+          << "exhaustive, instance " << inst << ", threads " << threads;
+      EXPECT_NEAR(exhaustive.jq, ref_exhaustive.jq, 1e-12);
+    }
+  }
+}
+
+TEST(ThreadDeterminismTest, BudgetTableAcrossThreadCounts) {
+  Rng pool_rng(77011);
+  const auto pool = RandomPool(&pool_rng, 10, 0.5, 0.95, 0.05, 0.4);
+  const std::vector<double> budgets{0.2, 0.4, 0.6, 0.8};
+  std::vector<BudgetQualityRow> reference;
+  for (const char* threads : {"1", "2", "8"}) {
+    ScopedThreadsEnv env(threads);
+    Rng rng(321);
+    const auto rows =
+        BuildBudgetQualityTable(pool, budgets, 0.5, &rng).value();
+    if (reference.empty()) {
+      reference = rows;
+      continue;
+    }
+    ASSERT_EQ(rows.size(), reference.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      EXPECT_EQ(rows[i].selected, reference[i].selected)
+          << "row " << i << ", threads " << threads;
+      EXPECT_NEAR(rows[i].jq, reference[i].jq, 1e-12);
+    }
+  }
+}
+
+TEST(ThreadDeterminismTest, MultiRestartNeverLosesToSingleChainBadly) {
+  // Best-of-K is a max over chains that include fresh seeds; across a pool
+  // of instances it must at least match a single chain's mean quality.
+  Rng rng(77021);
+  const BucketBvObjective bucket;
+  double single_total = 0.0;
+  double multi_total = 0.0;
+  for (int inst = 0; inst < 10; ++inst) {
+    const auto instance =
+        MakeInstance(RandomPool(&rng, 16, 0.4, 0.95, 0.05, 0.4), 0.5);
+    Rng r1(42), r2(42);
+    AnnealingOptions single;
+    const auto s = SolveAnnealing(instance, bucket, &r1, single).value();
+    AnnealingOptions multi;
+    multi.num_restarts = 4;
+    const auto m = SolveAnnealing(instance, bucket, &r2, multi).value();
+    single_total += s.jq;
+    multi_total += m.jq;
+    EXPECT_LE(m.cost, instance.budget + 1e-12);
+  }
+  EXPECT_GE(multi_total, single_total - 1e-9);
+}
+
+TEST(ThreadDeterminismTest, MultiRestartStatsAggregateAllChains) {
+  Rng rng(77031);
+  const BucketBvObjective bucket;
+  const auto instance =
+      MakeInstance(RandomPool(&rng, 20, 0.5, 0.95, 0.05, 0.3), 0.5);
+  Rng sa_rng(17);
+  AnnealingOptions opts;
+  opts.num_restarts = 3;
+  AnnealingStats stats;
+  ASSERT_TRUE(SolveAnnealing(instance, bucket, &sa_rng, opts, &stats).ok());
+  // Each chain runs 27 temperature levels of 20 moves (see
+  // AnnealingSolverTest.StatsAreConsistent); the aggregate is 3x that.
+  EXPECT_EQ(stats.temperature_levels, 3u * 27u);
+  EXPECT_EQ(stats.moves_attempted, 3u * 27u * 20u);
+  EXPECT_EQ(stats.moves_accepted,
+            stats.uphill_accepts + stats.downhill_accepts);
 }
 
 TEST(MvjsTest, ReportsExactMajorityJq) {

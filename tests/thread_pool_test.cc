@@ -1,0 +1,158 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "core/objective.h"
+
+namespace jury {
+namespace {
+
+TEST(ResolveThreadCountTest, ExplicitRequestWins) {
+  ::setenv("JURYOPT_THREADS", "7", 1);
+  EXPECT_EQ(ResolveThreadCount(3), 3u);
+  ::unsetenv("JURYOPT_THREADS");
+}
+
+TEST(ResolveThreadCountTest, EnvOverridesAuto) {
+  ::setenv("JURYOPT_THREADS", "5", 1);
+  EXPECT_EQ(ResolveThreadCount(0), 5u);
+  ::unsetenv("JURYOPT_THREADS");
+}
+
+TEST(ResolveThreadCountTest, AutoFallsBackToHardware) {
+  ::unsetenv("JURYOPT_THREADS");
+  const unsigned hw = std::thread::hardware_concurrency();
+  EXPECT_EQ(ResolveThreadCount(0), hw > 0 ? hw : 1u);
+}
+
+TEST(ResolveThreadCountTest, NonPositiveEnvIgnored) {
+  ::setenv("JURYOPT_THREADS", "0", 1);
+  EXPECT_GE(ResolveThreadCount(0), 1u);
+  ::setenv("JURYOPT_THREADS", "garbage", 1);
+  EXPECT_GE(ResolveThreadCount(0), 1u);
+  ::unsetenv("JURYOPT_THREADS");
+}
+
+TEST(ThreadPoolTest, LifecycleAcrossSizes) {
+  // Construction and destruction must be clean whether or not workers were
+  // ever given work (the destructor joins through the shutdown path).
+  for (std::size_t size : {0u, 1u, 2u, 4u, 8u}) {
+    ThreadPool pool(size);
+    EXPECT_GE(pool.num_threads(), 1u);
+  }
+  {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.num_threads(), 4u);
+    pool.ParallelFor(0, 10, 2, [](std::size_t, std::size_t) {});
+  }  // destructor joins busy-capable workers
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  for (std::size_t threads : {1u, 2u, 5u}) {
+    ThreadPool pool(threads);
+    for (std::size_t n : {0u, 1u, 7u, 64u, 1000u}) {
+      for (std::size_t grain : {1u, 3u, 64u, 2000u}) {
+        std::vector<std::atomic<int>> hits(n);
+        for (auto& h : hits) h.store(0);
+        pool.ParallelFor(0, n, grain,
+                         [&](std::size_t begin, std::size_t end) {
+                           ASSERT_LE(begin, end);
+                           ASSERT_LE(end, n);
+                           for (std::size_t i = begin; i < end; ++i) {
+                             hits[i].fetch_add(1);
+                           }
+                         });
+        for (std::size_t i = 0; i < n; ++i) {
+          EXPECT_EQ(hits[i].load(), 1) << "threads=" << threads
+                                       << " n=" << n << " grain=" << grain
+                                       << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHonorsShardBoundaries) {
+  // Shard boundaries are a pure function of (begin, end, grain): every
+  // callback must start at begin + k*grain regardless of pool size.
+  for (std::size_t threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    std::mutex mu;
+    std::set<std::pair<std::size_t, std::size_t>> shards;
+    pool.ParallelFor(10, 55, 10, [&](std::size_t begin, std::size_t end) {
+      std::lock_guard<std::mutex> lock(mu);
+      shards.emplace(begin, end);
+    });
+    const std::set<std::pair<std::size_t, std::size_t>> expected{
+        {10, 20}, {20, 30}, {30, 40}, {40, 50}, {50, 55}};
+    EXPECT_EQ(shards, expected) << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyRegions) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> total{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.ParallelFor(0, 32, 4, [&](std::size_t begin, std::size_t end) {
+      total.fetch_add(end - begin);
+    });
+  }
+  EXPECT_EQ(total.load(), 200u * 32u);
+}
+
+TEST(ParallelArgmaxTest, FindsTheMaximum) {
+  const std::vector<double> scores{0.1, 0.7, 0.3, 0.9, 0.2};
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    const ArgmaxResult result = ParallelArgmax(
+        &pool, scores.size(), 1, [&](std::size_t i) { return scores[i]; },
+        nullptr, kScoreEquivalenceTol);
+    EXPECT_EQ(result.index, 3u);
+    EXPECT_DOUBLE_EQ(result.score, 0.9);
+  }
+}
+
+TEST(ParallelArgmaxTest, BreaksTiesByLowestIndex) {
+  // Exact ties — and ties within the kScoreEquivalenceTol band — go to
+  // the earliest index, matching the serial solvers' scan loops.
+  const std::vector<double> scores{0.5, 0.8, 0.8, 0.8 + 0.5e-12, 0.2};
+  for (std::size_t threads : {1u, 3u, 8u}) {
+    ThreadPool pool(threads);
+    for (std::size_t grain : {1u, 2u, 16u}) {
+      const ArgmaxResult result = ParallelArgmax(
+          &pool, scores.size(), grain,
+          [&](std::size_t i) { return scores[i]; }, nullptr,
+          kScoreEquivalenceTol);
+      EXPECT_EQ(result.index, 1u) << "threads=" << threads
+                                  << " grain=" << grain;
+    }
+  }
+}
+
+TEST(ParallelArgmaxTest, RespectsEligibility) {
+  const std::vector<double> scores{0.9, 0.8, 0.7, 0.6};
+  ThreadPool pool(4);
+  const ArgmaxResult result = ParallelArgmax(
+      &pool, scores.size(), 1, [&](std::size_t i) { return scores[i]; },
+      [](std::size_t i) { return i % 2 == 1; }, kScoreEquivalenceTol);
+  EXPECT_EQ(result.index, 1u);
+  EXPECT_DOUBLE_EQ(result.score, 0.8);
+}
+
+TEST(ParallelArgmaxTest, NoEligibleIndexYieldsSentinel) {
+  ThreadPool pool(2);
+  const ArgmaxResult result = ParallelArgmax(
+      &pool, 5, 1, [](std::size_t) { return 1.0; },
+      [](std::size_t) { return false; }, kScoreEquivalenceTol);
+  EXPECT_EQ(result.index, ArgmaxResult::kNoArgmax);
+}
+
+}  // namespace
+}  // namespace jury
