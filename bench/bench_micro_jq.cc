@@ -178,6 +178,201 @@ void BM_SessionCloneBucket(benchmark::State& state) {
 }
 BENCHMARK(BM_SessionCloneBucket)->Arg(10)->Arg(50)->Arg(200);
 
+// ---------------------------------------------------------------------------
+// Scalar vs batched (SoA) kernel sections: the greedy candidate scan is the
+// flat-profile consumer — one hypothetical add per affordable candidate per
+// round — so the win of the fused batched kernels is measured here rather
+// than asserted. Scalar = the per-candidate copy/convolve/query sequence
+// the sessions used to run; batched = the bit-identical fused kernel.
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kScanCandidates = 64;
+
+std::vector<double> ScanProbs(std::uint64_t seed = 43) {
+  Rng rng(seed);
+  std::vector<double> probs;
+  for (std::size_t j = 0; j < kScanCandidates; ++j) {
+    probs.push_back(rng.Uniform(0.3, 0.95));
+  }
+  return probs;
+}
+
+void BM_PoissonBinomialScanScalar(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(31);
+  std::vector<double> committed;
+  for (int i = 0; i < n; ++i) committed.push_back(rng.Uniform(0.3, 0.95));
+  const PoissonBinomial pb(committed);
+  const std::vector<double> candidates = ScanProbs();
+  const int k = (n + 1) / 2 + 1;
+  for (auto _ : state) {
+    for (double p : candidates) {
+      PoissonBinomial copy = pb;
+      copy.AddTrial(p);
+      benchmark::DoNotOptimize(copy.TailAtLeast(k));
+      benchmark::DoNotOptimize(copy.CdfAtMost(k - 1));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kScanCandidates));
+}
+BENCHMARK(BM_PoissonBinomialScanScalar)->Arg(10)->Arg(100)->Arg(500);
+
+void BM_PoissonBinomialScanBatched(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(31);
+  std::vector<double> committed;
+  for (int i = 0; i < n; ++i) committed.push_back(rng.Uniform(0.3, 0.95));
+  const PoissonBinomial pb(committed);
+  const std::vector<double> candidates = ScanProbs();
+  const int k = (n + 1) / 2 + 1;
+  std::vector<double> tails(candidates.size());
+  std::vector<double> cdfs(candidates.size());
+  for (auto _ : state) {
+    pb.EvaluateBatch(candidates.data(), candidates.size(), k, k - 1,
+                     tails.data(), cdfs.data());
+    benchmark::DoNotOptimize(tails.data());
+    benchmark::DoNotOptimize(cdfs.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kScanCandidates));
+}
+BENCHMARK(BM_PoissonBinomialScanBatched)->Arg(10)->Arg(100)->Arg(500);
+
+void BM_PoissonBinomialConstructScalar(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(37);
+  std::vector<double> probs;
+  for (int i = 0; i < n; ++i) probs.push_back(rng.Uniform());
+  for (auto _ : state) {
+    PoissonBinomial pb({});
+    for (double p : probs) pb.AddTrial(p);
+    benchmark::DoNotOptimize(pb.Pmf(n / 2));
+  }
+}
+BENCHMARK(BM_PoissonBinomialConstructScalar)->Arg(100)->Arg(500);
+
+void BM_PoissonBinomialConstructBatched(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(37);
+  std::vector<double> probs;
+  for (int i = 0; i < n; ++i) probs.push_back(rng.Uniform());
+  for (auto _ : state) {
+    PoissonBinomial pb({});
+    pb.AddTrialBatch(probs.data(), probs.size());
+    benchmark::DoNotOptimize(pb.Pmf(n / 2));
+  }
+}
+BENCHMARK(BM_PoissonBinomialConstructBatched)->Arg(100)->Arg(500);
+
+void BM_BucketScanScalar(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(41);
+  BucketKeyDistribution dist;
+  for (int i = 0; i < n; ++i) {
+    dist.Convolve(1 + static_cast<std::int64_t>(rng.UniformInt(50)),
+                  rng.Uniform(0.5, 0.95));
+  }
+  std::vector<std::int64_t> bs;
+  std::vector<double> qs;
+  for (std::size_t j = 0; j < kScanCandidates; ++j) {
+    bs.push_back(1 + static_cast<std::int64_t>(rng.UniformInt(50)));
+    qs.push_back(rng.Uniform(0.5, 0.95));
+  }
+  for (auto _ : state) {
+    for (std::size_t j = 0; j < kScanCandidates; ++j) {
+      BucketKeyDistribution copy = dist;
+      copy.Convolve(bs[j], qs[j]);
+      benchmark::DoNotOptimize(copy.PositiveMass());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kScanCandidates));
+}
+BENCHMARK(BM_BucketScanScalar)->Arg(10)->Arg(50)->Arg(200);
+
+void BM_BucketScanBatched(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(41);
+  BucketKeyDistribution dist;
+  for (int i = 0; i < n; ++i) {
+    dist.Convolve(1 + static_cast<std::int64_t>(rng.UniformInt(50)),
+                  rng.Uniform(0.5, 0.95));
+  }
+  std::vector<std::int64_t> bs;
+  std::vector<double> qs;
+  for (std::size_t j = 0; j < kScanCandidates; ++j) {
+    bs.push_back(1 + static_cast<std::int64_t>(rng.UniformInt(50)));
+    qs.push_back(rng.Uniform(0.5, 0.95));
+  }
+  std::vector<double> out(kScanCandidates);
+  for (auto _ : state) {
+    dist.ConvolvePositiveMassBatch(bs.data(), qs.data(), kScanCandidates,
+                                   out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kScanCandidates));
+}
+BENCHMARK(BM_BucketScanBatched)->Arg(10)->Arg(50)->Arg(200);
+
+/// End-to-end greedy-round shape: score every candidate against a
+/// committed session. Scalar = ScoreAdd + Rollback per candidate (the old
+/// scan); batched = one ScoreAddBatch call (what the solver runs now).
+void SessionScan(benchmark::State& state, const JqObjective& objective,
+                 bool batched) {
+  const int n = static_cast<int>(state.range(0));
+  const Jury jury = MakeJury(n);
+  auto session = objective.StartSession(0.5);
+  for (const Worker& w : jury.workers()) {
+    session->ScoreAdd(w);
+    session->Commit();
+  }
+  Rng rng(47);
+  std::vector<Worker> candidates;
+  for (std::size_t j = 0; j < kScanCandidates; ++j) {
+    candidates.emplace_back(
+        "c" + std::to_string(j),
+        rng.TruncatedGaussian(0.7, 0.22360679774997896, 0.01, 0.99), 0.0);
+  }
+  std::vector<const Worker*> ptrs;
+  for (const Worker& w : candidates) ptrs.push_back(&w);
+  std::vector<double> scores(ptrs.size());
+  for (auto _ : state) {
+    if (batched) {
+      session->ScoreAddBatch(ptrs.data(), ptrs.size(), scores.data());
+    } else {
+      for (std::size_t j = 0; j < ptrs.size(); ++j) {
+        scores[j] = session->ScoreAdd(*ptrs[j]);
+        session->Rollback();
+      }
+    }
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kScanCandidates));
+}
+
+void BM_SessionScanScalarBucket(benchmark::State& state) {
+  SessionScan(state, BucketBvObjective(), /*batched=*/false);
+}
+BENCHMARK(BM_SessionScanScalarBucket)->Arg(10)->Arg(50)->Arg(200);
+
+void BM_SessionScanBatchedBucket(benchmark::State& state) {
+  SessionScan(state, BucketBvObjective(), /*batched=*/true);
+}
+BENCHMARK(BM_SessionScanBatchedBucket)->Arg(10)->Arg(50)->Arg(200);
+
+void BM_SessionScanScalarMajority(benchmark::State& state) {
+  SessionScan(state, MajorityObjective(), /*batched=*/false);
+}
+BENCHMARK(BM_SessionScanScalarMajority)->Arg(10)->Arg(100)->Arg(500);
+
+void BM_SessionScanBatchedMajority(benchmark::State& state) {
+  SessionScan(state, MajorityObjective(), /*batched=*/true);
+}
+BENCHMARK(BM_SessionScanBatchedMajority)->Arg(10)->Arg(100)->Arg(500);
+
 void BM_AnnealingSolve(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   Rng pool_rng(7);

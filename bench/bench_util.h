@@ -13,6 +13,7 @@
 #include "model/worker.h"
 #include "util/env.h"
 #include "util/rng.h"
+#include "util/scheduler.h"
 
 namespace jury::bench {
 
@@ -74,8 +75,13 @@ inline void PrintEvaluationCounters(const std::string& label,
 /// Accumulates the thread-scaling measurements (solver x thread-count x
 /// wall-clock) of a bench binary and, when the `JURY_BENCH_JSON`
 /// environment variable names a path, writes them as a JSON artifact for
-/// the CI bench-smoke job. Speedups are relative to the same solver's
-/// 1-thread row, so the scaling claim is reproducible from one binary.
+/// the CI bench-smoke job (the committed baseline lives at the repo root
+/// as BENCH_scaling.json and anchors the perf-regression gate). Speedups
+/// are relative to the same solver's 1-thread row, so the scaling claim
+/// is reproducible from one binary. A second section records the nested
+/// budget-table ablation (fixed-pool inner pin vs nested solver
+/// parallelism) together with the scheduler counters that prove the
+/// nested solves actually fanned out.
 class ThreadScalingReport {
  public:
   void Add(const std::string& solver, int n, std::size_t threads,
@@ -87,6 +93,37 @@ class ThreadScalingReport {
     rows_.push_back(row.str());
   }
 
+  /// One nested-budget-table measurement: the same workload with inner
+  /// solves pinned to one thread (the PR 2 fixed-pool behavior) vs fanned
+  /// out as nested regions, at `threads` parallelism.
+  void AddNested(int n, std::size_t rows, std::size_t threads,
+                 double seconds_fixed_pool, double seconds_nested) {
+    const double improvement =
+        seconds_nested > 0.0 ? seconds_fixed_pool / seconds_nested : 0.0;
+    std::ostringstream row;
+    row << "    {\"workload\": \"budget_table_nested\", \"n\": " << n
+        << ", \"rows\": " << rows << ", \"threads\": " << threads
+        << ", \"seconds_fixed_pool\": " << seconds_fixed_pool
+        << ", \"seconds_nested\": " << seconds_nested
+        << ", \"improvement_vs_fixed_pool\": " << improvement << "}";
+    nested_rows_.push_back(row.str());
+  }
+
+  /// Scheduler counters snapshotted around the nested workload: nonzero
+  /// `nested_regions` (and, with idle workers, `tasks_stolen`) is the
+  /// direct evidence that budget-table rows fanned their inner OPTJS
+  /// solves across workers instead of pinning them.
+  void SetSchedulerCounters(const SchedulerCounters& counters) {
+    std::ostringstream obj;
+    obj << "  \"scheduler\": {\"tasks_spawned\": " << counters.tasks_spawned
+        << ", \"tasks_stolen\": " << counters.tasks_stolen
+        << ", \"tasks_injected\": " << counters.tasks_injected
+        << ", \"regions\": " << counters.regions
+        << ", \"nested_regions\": " << counters.nested_regions
+        << ", \"inline_regions\": " << counters.inline_regions << "}";
+    scheduler_json_ = obj.str();
+  }
+
   /// No-op unless JURY_BENCH_JSON is set.
   void WriteIfRequested() const {
     const char* path = std::getenv("JURY_BENCH_JSON");
@@ -96,12 +133,20 @@ class ThreadScalingReport {
     for (std::size_t i = 0; i < rows_.size(); ++i) {
       out << rows_[i] << (i + 1 < rows_.size() ? ",\n" : "\n");
     }
-    out << "  ]\n}\n";
+    out << "  ],\n  \"budget_table_nested\": [\n";
+    for (std::size_t i = 0; i < nested_rows_.size(); ++i) {
+      out << nested_rows_[i] << (i + 1 < nested_rows_.size() ? ",\n" : "\n");
+    }
+    out << "  ]";
+    if (!scheduler_json_.empty()) out << ",\n" << scheduler_json_;
+    out << "\n}\n";
     std::cout << "Wrote thread-scaling JSON to " << path << "\n";
   }
 
  private:
   std::vector<std::string> rows_;
+  std::vector<std::string> nested_rows_;
+  std::string scheduler_json_;
 };
 
 }  // namespace jury::bench

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""CI gate for the parallel layer's perf trajectory.
+
+Usage: check_scaling_regression.py BASELINE.json FRESH.json
+
+Compares a fresh `bench_ablation_solvers` JSON artifact against the
+committed baseline (BENCH_scaling.json at the repo root) and fails when:
+
+  * a solver's 4-thread speedup drops below 80% of the baseline's — but
+    only for rows whose baseline actually scaled (speedup > 1.1): rows
+    at or under that cutoff are indistinguishable from measurement noise
+    (a 1-core baseline records ~1.0x +- a few percent) and make no
+    scaling claim to defend, so they cannot flake the gate;
+  * the nested budget-table improvement at 4 threads drops below 80% of a
+    baseline improvement that exceeded 1.1 (same rationale);
+  * the fresh run's scheduler counters show no nested regions at all —
+    the budget-table rows must actually fan their inner solves out.
+
+The 20% tolerance absorbs runner-to-runner noise; real regressions (a
+serialized path, a lost nested fan-out) overshoot it by far.
+
+Note on baseline provenance: a baseline recorded on a single-core box has
+speedups ~1.0, so the speedup checks are mostly skipped until the
+baseline is regenerated on multi-core hardware (commit the CI artifact
+as BENCH_scaling.json). The nested-regions counter check is hardware-
+independent and catches total serialization either way.
+"""
+
+import json
+import sys
+
+TOLERANCE = 0.8
+# Baseline rows at or below this are noise, not a scaling claim.
+MIN_BASELINE_CLAIM = 1.1
+THREADS = 4
+
+
+def fail(msg: str) -> None:
+    print(f"SCALING REGRESSION: {msg}")
+    sys.exit(1)
+
+
+def rows_at(report: dict, section: str, threads: int) -> dict:
+    out = {}
+    for row in report.get(section, []):
+        if row.get("threads") == threads:
+            key = row.get("solver") or row.get("workload")
+            out[key] = row
+    return out
+
+
+def main() -> None:
+    if len(sys.argv) != 3:
+        fail("usage: check_scaling_regression.py BASELINE.json FRESH.json")
+    with open(sys.argv[1]) as f:
+        baseline = json.load(f)
+    with open(sys.argv[2]) as f:
+        fresh = json.load(f)
+
+    base_rows = rows_at(baseline, "thread_scaling", THREADS)
+    fresh_rows = rows_at(fresh, "thread_scaling", THREADS)
+    if not fresh_rows:
+        fail(f"fresh report has no thread_scaling rows at {THREADS} threads")
+    checked = 0
+    for solver, base in base_rows.items():
+        base_speedup = base.get("speedup_vs_1_thread", 0.0)
+        if base_speedup <= MIN_BASELINE_CLAIM:
+            print(f"skip   {solver}: baseline speedup {base_speedup:.2f} "
+                  "makes no scaling claim")
+            continue
+        if solver not in fresh_rows:
+            fail(f"solver '{solver}' missing from the fresh report")
+        fresh_speedup = fresh_rows[solver].get("speedup_vs_1_thread", 0.0)
+        floor = TOLERANCE * base_speedup
+        status = "ok" if fresh_speedup >= floor else "FAIL"
+        print(f"{status:6} {solver}: {fresh_speedup:.2f}x vs baseline "
+              f"{base_speedup:.2f}x (floor {floor:.2f}x)")
+        if fresh_speedup < floor:
+            fail(f"'{solver}' 4-thread speedup {fresh_speedup:.2f}x fell "
+                 f"below {floor:.2f}x")
+        checked += 1
+
+    base_nested = rows_at(baseline, "budget_table_nested", THREADS)
+    fresh_nested = rows_at(fresh, "budget_table_nested", THREADS)
+    for workload, base in base_nested.items():
+        base_improvement = base.get("improvement_vs_fixed_pool", 0.0)
+        if base_improvement <= MIN_BASELINE_CLAIM:
+            print(f"skip   {workload}: baseline improvement "
+                  f"{base_improvement:.2f} makes no claim")
+            continue
+        if workload not in fresh_nested:
+            fail(f"nested workload '{workload}' missing from fresh report")
+        fresh_improvement = fresh_nested[workload].get(
+            "improvement_vs_fixed_pool", 0.0)
+        floor = TOLERANCE * base_improvement
+        status = "ok" if fresh_improvement >= floor else "FAIL"
+        print(f"{status:6} {workload}: {fresh_improvement:.2f}x vs baseline "
+              f"{base_improvement:.2f}x (floor {floor:.2f}x)")
+        if fresh_improvement < floor:
+            fail(f"nested improvement {fresh_improvement:.2f}x fell below "
+                 f"{floor:.2f}x")
+
+    scheduler = fresh.get("scheduler", {})
+    nested_regions = scheduler.get("nested_regions", 0)
+    print(f"scheduler counters: {scheduler}")
+    if nested_regions < 1:
+        fail("no nested regions recorded — budget-table rows did not fan "
+             "out their inner solves")
+
+    print(f"scaling gate passed ({checked} scaling rows checked, "
+          f"{nested_regions} nested regions observed)")
+
+
+if __name__ == "__main__":
+    main()

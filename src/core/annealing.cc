@@ -5,7 +5,7 @@
 #include <memory>
 #include <vector>
 
-#include "util/thread_pool.h"
+#include "util/scheduler.h"
 
 namespace jury {
 namespace {
@@ -266,25 +266,30 @@ Result<JspSolution> SolveAnnealing(const JspInstance& instance,
   }
 
   // Multi-restart: split per-chain rng streams from the caller's rng
-  // *serially*, then run the chains across the pool. Each chain owns its
-  // state, session, rng, and stats; the shared objective only accumulates
-  // its (atomic) evaluation counters. Chain k's trajectory depends only on
-  // seeds[k], so the result set — and the ordered best-of reduction below
-  // — is bit-identical for every thread count.
+  // *serially*, then run the chains as one region on the process-wide
+  // scheduler. Each chain owns its state, session, rng, and stats; the
+  // shared objective only accumulates its (atomic) evaluation counters.
+  // Chain k's trajectory depends only on seeds[k], so the result set —
+  // and the ordered best-of reduction below — is bit-identical for every
+  // thread count. When this solve itself runs inside a task (a
+  // budget-table row), the region nests and idle workers steal chains.
   const std::size_t chains = options.num_restarts;
   std::vector<std::uint64_t> seeds(chains);
   for (std::uint64_t& seed : seeds) seed = rng->Next();
 
   std::vector<JspSolution> solutions(chains);
   std::vector<AnnealingStats> chain_stats(chains);
-  ThreadPool pool(std::min(ResolveThreadCount(options.num_threads), chains));
-  pool.ParallelFor(0, chains, 1, [&](std::size_t begin, std::size_t end) {
+  const auto run_chains = [&](std::size_t begin, std::size_t end) {
     for (std::size_t k = begin; k < end; ++k) {
       Rng chain_rng(seeds[k]);
-      solutions[k] = RunChain(instance, objective, &chain_rng, options,
-                              stats != nullptr ? &chain_stats[k] : nullptr);
+      solutions[k] =
+          RunChain(instance, objective, &chain_rng, options,
+                   stats != nullptr ? &chain_stats[k] : nullptr);
     }
-  });
+  };
+  Scheduler::GlobalParallelFor(
+      0, chains, 1, run_chains,
+      std::min(ResolveThreadCount(options.num_threads), chains));
 
   std::size_t best = 0;
   for (std::size_t k = 1; k < chains; ++k) {

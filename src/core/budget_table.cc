@@ -4,35 +4,39 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/scheduler.h"
 #include "util/table.h"
-#include "util/thread_pool.h"
 
 namespace jury {
 
 Result<std::vector<BudgetQualityRow>> BuildBudgetQualityTable(
     const std::vector<Worker>& candidates, const std::vector<double>& budgets,
-    double alpha, Rng* rng, const OptjsOptions& options) {
+    double alpha, Rng* rng, const OptjsOptions& options,
+    const BudgetTableOptions& table_options) {
   if (rng == nullptr) {
     return Status::InvalidArgument("BuildBudgetQualityTable requires an Rng");
   }
-  // Rows are independent solves, so they fill across the pool. Each row
-  // gets its own rng stream, forked from the caller's rng serially (in row
-  // order) before the parallel region, and the inner solvers run with one
-  // thread apiece — row-level parallelism already saturates the pool and
-  // nesting pools would oversubscribe. Row k's result depends only on its
-  // own stream, so the table is bit-identical for any thread count.
+  // Rows are independent solves that run as one region on the process-wide
+  // scheduler. Each row gets its own rng stream, forked from the caller's
+  // rng serially (in row order) before the region. With nested solver
+  // parallelism (the default) the inner OPTJS solve keeps the caller's
+  // thread setting: a row task fans its restart chains / candidate scans /
+  // subset shards out as nested regions, and workers with no row of their
+  // own steal those — the fix for the old pin-to-one-thread starvation
+  // when rows < workers. Row k's result depends only on its own stream
+  // (and every inner parallel path is deterministic in the thread count),
+  // so the table is bit-identical for any thread count, nested or not.
   const std::size_t count = budgets.size();
   std::vector<std::uint64_t> row_seeds(count);
   for (std::uint64_t& seed : row_seeds) seed = rng->Next();
   OptjsOptions row_options = options;
-  row_options.num_threads = 1;
+  if (!table_options.nested_solver_parallelism) row_options.num_threads = 1;
 
   const std::size_t threads = std::min(
       ResolveThreadCount(options.num_threads), count > 0 ? count : 1);
   std::vector<BudgetQualityRow> rows(count);
   std::vector<Status> row_status(count, Status::OK());
-  ThreadPool pool(threads);
-  pool.ParallelFor(0, count, 1, [&](std::size_t begin, std::size_t end) {
+  const auto fill_rows = [&](std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) {
       JspInstance instance;
       instance.candidates = candidates;
@@ -51,7 +55,8 @@ Result<std::vector<BudgetQualityRow>> BuildBudgetQualityTable(
       rows[i].jq = solution.value().jq;
       rows[i].required = solution.value().cost;
     }
-  });
+  };
+  Scheduler::GlobalParallelFor(0, count, 1, fill_rows, threads);
   for (const Status& status : row_status) {
     JURY_RETURN_NOT_OK(status);
   }

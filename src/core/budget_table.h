@@ -22,12 +22,31 @@ struct BudgetQualityRow {
   double required = 0.0;
 };
 
+/// \brief Execution knobs for `BuildBudgetQualityTable` (the solve
+/// configuration itself lives in `OptjsOptions`).
+struct BudgetTableOptions {
+  /// When true (the default), each row's inner OPTJS solve keeps the
+  /// caller's `num_threads` setting: the row runs as a task on the
+  /// process-wide scheduler and fans its own parallel sections (restart
+  /// chains, candidate scans, subset shards) out as *nested* regions, so
+  /// idle workers help finish a row instead of sitting out the tail —
+  /// with fewer rows than workers the old behavior starved them. False
+  /// restores the historical fixed-pool behavior (row-level parallelism
+  /// only, inner solvers pinned to one thread); kept for the bench
+  /// ablation that measures the nested-parallelism win. Either way the
+  /// table is bit-identical for any thread count — rows depend only on
+  /// their serially-forked rng streams and every inner parallel path is
+  /// itself deterministic in the thread count.
+  bool nested_solver_parallelism = true;
+};
+
 /// \brief Computes the budget-quality table for a candidate pool, one row
 /// per entry of `budgets`, so the task provider can pick the best
 /// budget-quality trade-off before paying anyone (§1).
 Result<std::vector<BudgetQualityRow>> BuildBudgetQualityTable(
     const std::vector<Worker>& candidates, const std::vector<double>& budgets,
-    double alpha, Rng* rng, const OptjsOptions& options = {});
+    double alpha, Rng* rng, const OptjsOptions& options = {},
+    const BudgetTableOptions& table_options = {});
 
 /// Renders the table in the paper's style (monospace, percent JQ).
 std::string FormatBudgetQualityTable(const std::vector<BudgetQualityRow>& rows);

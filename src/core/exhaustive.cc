@@ -6,7 +6,7 @@
 #include <memory>
 #include <vector>
 
-#include "util/thread_pool.h"
+#include "util/scheduler.h"
 
 namespace jury {
 namespace {
@@ -191,14 +191,20 @@ JspSolution SweepGraySharded(const JspInstance& instance,
   std::vector<JspSolution> bests(shards, baseline);
   std::vector<std::uint64_t> best_masks(shards, 0);
 
-  ThreadPool pool(std::min(threads, shards));
-  pool.ParallelFor(0, shards, 1, [&](std::size_t begin, std::size_t end) {
-    for (std::size_t s = begin; s < end; ++s) {
-      SweepGrayShard(instance, objective, monotone,
-                     static_cast<std::uint64_t>(s) << low_bits, low_bits,
-                     &bests[s], &best_masks[s]);
-    }
-  });
+  // Shards claim dynamically on the process-wide scheduler (nestable: an
+  // exhaustive solve inside a budget-table row fans out to idle workers).
+  // The grain is pinned at 1 — each element is a stateful Gray-code walk,
+  // so this loop must not be grain-autotuned.
+  Scheduler::Global()->ParallelFor(
+      0, shards, 1,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t s = begin; s < end; ++s) {
+          SweepGrayShard(instance, objective, monotone,
+                         static_cast<std::uint64_t>(s) << low_bits, low_bits,
+                         &bests[s], &best_masks[s]);
+        }
+      },
+      std::min(threads, shards));
 
   JspSolution best = baseline;
   std::uint64_t best_mask = 0;

@@ -7,7 +7,7 @@
 #include <numeric>
 #include <vector>
 
-#include "util/thread_pool.h"
+#include "util/scheduler.h"
 
 namespace jury {
 namespace {
@@ -137,68 +137,74 @@ Result<JspSolution> SolveGreedyMarginalGain(const JspInstance& instance,
   std::vector<std::size_t> selected;
   double cost = 0.0;
 
-  // Parallel scan machinery: candidates are sharded across the pool, each
-  // shard scoring through its own clone of the round's session. A clone
-  // carries the committed cached state bit-for-bit, so every candidate's
-  // score is a pure function of (committed jury, candidate) — identical
-  // whichever thread computes it — and the ordered banded argmax below
-  // picks the same winner the serial scan would.
+  // Scan machinery: each round gathers the affordable candidates (in
+  // ascending index order) and scores them through the session's batched
+  // `ScoreAddBatch` kernel. In the parallel case the candidate list is
+  // sharded across the process-wide scheduler with an autotuned grain —
+  // legal because every candidate's score is a pure function of
+  // (committed jury, candidate), never of how candidates are grouped into
+  // shards — and each shard scores through its own clone of the round's
+  // session, which carries the committed cached state bit-for-bit. The
+  // ordered banded argmax below therefore picks the same winner as the
+  // serial scan, for any thread count and any grain.
   const std::size_t threads =
       std::min(ResolveThreadCount(options.num_threads), n > 0 ? n : 1);
   // Clone support is probed once, on the still-empty session (a copy of
   // empty backend state — one small allocation); backends that return
-  // nullptr fall back to the serial scan.
+  // nullptr fall back to the single-session scan.
   const bool parallel_scan = threads > 1 && session->Clone() != nullptr;
-  ThreadPool pool(parallel_scan ? threads : 1);
-  std::vector<double> scores(n, 0.0);
-  std::vector<char> scored(n, 0);
+  // Grain feedback per *solve*, not per process: per-item cost differs by
+  // orders of magnitude across backends (batched MV vs full-recompute),
+  // so a shared tuner would drag every workload toward the last one's
+  // grain. One solve runs many rounds of the same workload — the EMA
+  // converges after the first. The per-shard overhead to amortize is the
+  // session clone, hence the floor of 8 candidates per shard.
+  GrainTuner scan_tuner(/*min_grain=*/8);
 
+  std::vector<const Worker*> eligible;
+  std::vector<std::size_t> eligible_idx;
+  std::vector<double> scores;
   for (;;) {
-    std::size_t best_idx = static_cast<std::size_t>(-1);
-    double best_score = -std::numeric_limits<double>::infinity();
-    if (parallel_scan) {
-      std::fill(scored.begin(), scored.end(), 0);
-      const std::size_t grain = (n + threads - 1) / threads;
-      pool.ParallelFor(0, n, grain,
-                       [&](std::size_t begin, std::size_t end) {
-                         auto shard_session = session->Clone();
-                         for (std::size_t i = begin; i < end; ++i) {
-                           if (in_jury[i]) continue;
-                           if (cost + instance.candidates[i].cost >
-                               instance.budget) {
-                             continue;
-                           }
-                           scores[i] =
-                               shard_session->ScoreAdd(instance.candidates[i]);
-                           shard_session->Rollback();
-                           scored[i] = 1;
-                         }
-                       });
-      for (std::size_t i = 0; i < n; ++i) {
-        if (scored[i] && scores[i] > best_score + kScoreTol) {
-          best_score = scores[i];
-          best_idx = i;
-        }
-      }
-    } else {
-      for (std::size_t i = 0; i < n; ++i) {
-        if (in_jury[i]) continue;
-        if (cost + instance.candidates[i].cost > instance.budget) continue;
-        const double score = session->ScoreAdd(instance.candidates[i]);
-        if (score > best_score + kScoreTol) {
-          best_score = score;
-          best_idx = i;
-        }
-      }
-      session->Rollback();
+    eligible.clear();
+    eligible_idx.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (in_jury[i]) continue;
+      if (cost + instance.candidates[i].cost > instance.budget) continue;
+      eligible.push_back(&instance.candidates[i]);
+      eligible_idx.push_back(i);
     }
-    if (best_idx == static_cast<std::size_t>(-1)) break;  // nothing fits
+    if (eligible.empty()) break;  // nothing fits
+    scores.resize(eligible.size());
+    if (parallel_scan && eligible.size() > 1) {
+      Scheduler::Global()->ParallelForTuned(
+          &scan_tuner, 0, eligible.size(),
+          [&](std::size_t begin, std::size_t end) {
+            auto shard_session = session->Clone();
+            shard_session->ScoreAddBatch(eligible.data() + begin,
+                                         end - begin, scores.data() + begin);
+          },
+          threads);
+    } else {
+      session->ScoreAddBatch(eligible.data(), eligible.size(),
+                             scores.data());
+    }
+    // Banded first-wins argmax, serially in candidate-index order (the
+    // eligible list is ascending in i).
+    std::size_t best_pos = 0;
+    double best_score = -std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < scores.size(); ++j) {
+      if (scores[j] > best_score + kScoreTol) {
+        best_score = scores[j];
+        best_pos = j;
+      }
+    }
     if (!objective.monotone_in_size() &&
         best_score <= session->current_jq() + kScoreTol) {
       break;  // for MV-like objectives an extension can hurt; stop early
     }
     // The winner's score is already known: commit it directly instead of
     // re-staging (and re-evaluating) the winning delta.
+    const std::size_t best_idx = eligible_idx[best_pos];
     session->CommitAdd(instance.candidates[best_idx], best_score);
     in_jury[best_idx] = true;
     selected.push_back(best_idx);

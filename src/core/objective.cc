@@ -100,6 +100,36 @@ class IncrementalMajorityEvaluator final : public IncrementalJqEvaluator {
     return std::make_unique<IncrementalMajorityEvaluator>(*this);
   }
 
+  /// Batched scan: both conditional pmfs are queried through
+  /// `PoissonBinomial::EvaluateBatch`, whose fused SoA loops replace the
+  /// per-candidate scratch copy + convolution + cumulative rebuild of the
+  /// scalar path while reproducing its arithmetic bit for bit.
+  void ScoreAddBatch(const Worker* const* candidates, std::size_t count,
+                     double* scores) override {
+    Rollback();
+    if (count == 0) return;
+    const int n_new = zeros_t0_.size() + 1;
+    const int zeros_needed = n_new / 2 + 1;
+    batch_q0_.resize(count);
+    batch_q1_.resize(count);
+    batch_tail_.resize(count);
+    batch_cdf_.resize(count);
+    for (std::size_t j = 0; j < count; ++j) {
+      const double q = candidates[j]->quality;
+      batch_q0_[j] = q;
+      batch_q1_[j] = 1.0 - q;
+    }
+    zeros_t0_.EvaluateBatch(batch_q0_.data(), count, zeros_needed, 0,
+                            batch_tail_.data(), nullptr);
+    zeros_t1_.EvaluateBatch(batch_q1_.data(), count, 0, zeros_needed - 1,
+                            nullptr, batch_cdf_.data());
+    const double a = alpha();
+    for (std::size_t j = 0; j < count; ++j) {
+      scores[j] = a * batch_tail_[j] + (1.0 - a) * batch_cdf_[j];
+    }
+    CountIncrementalEvaluations(count);
+  }
+
  private:
   void LoadScratch() {
     scratch_t0_ = zeros_t0_;
@@ -126,6 +156,10 @@ class IncrementalMajorityEvaluator final : public IncrementalJqEvaluator {
   PoissonBinomial zeros_t1_{std::vector<double>{}};
   PoissonBinomial scratch_t0_{std::vector<double>{}};
   PoissonBinomial scratch_t1_{std::vector<double>{}};
+
+  // Reusable SoA staging for `ScoreAddBatch` (capacity persists across
+  // greedy rounds; cloned along with the session, which is harmless).
+  std::vector<double> batch_q0_, batch_q1_, batch_tail_, batch_cdf_;
 };
 
 // ---------------------------------------------------------------------------
@@ -373,6 +407,69 @@ class IncrementalBucketBvEvaluator final : public IncrementalJqEvaluator {
     return std::make_unique<IncrementalBucketBvEvaluator>(*this);
   }
 
+  /// Batched scan: candidates that stay on the committed grid are scored
+  /// through the fused `ConvolvePositiveMassBatch` kernel (one read-only
+  /// pass over the committed key distribution per candidate — no scratch
+  /// copy, no scatter); candidates that fire a special case (§4.4
+  /// shortcut, all-0.5, grid move, span overflow, no cached state) fall
+  /// back to the scalar `ScoreAdd` path, which handles — and counts —
+  /// them exactly as before. Scores are bit-identical to the scalar scan.
+  void ScoreAddBatch(const Worker* const* candidates, std::size_t count,
+                     double* scores) override {
+    Rollback();
+    if (count == 0) return;
+    // The committed part of each candidate's max-quality scan is the same
+    // value the scalar path recomputes per candidate.
+    double committed_max = has_prior_ ? prior_q_ : 0.0;
+    for (double v : norm_q_) committed_max = std::max(committed_max, v);
+
+    batch_bs_.clear();
+    batch_qs_.clear();
+    batch_slot_.clear();
+    std::size_t fast_or_special = 0;
+    for (std::size_t j = 0; j < count; ++j) {
+      const double q = NormalizeQuality(candidates[j]->quality);
+      const double max_q = std::max(committed_max, q);
+      if (options_.high_quality_cutoff < 1.0 &&
+          max_q > options_.high_quality_cutoff) {
+        scores[j] = max_q;  // §4.4 escape hatch
+        ++fast_or_special;
+        continue;
+      }
+      const double upper = LogOdds(EffectiveQuality(max_q));
+      if (upper <= 0.0) {
+        scores[j] = 0.5;  // everyone exactly at 0.5
+        ++fast_or_special;
+        continue;
+      }
+      if (dist_valid_ && upper == grid_upper_) {
+        const double delta =
+            upper / static_cast<double>(options_.num_buckets);
+        const std::int64_t b = BucketOf(q, delta);
+        if (dist_.span() + b <= kMaxIncrementalSpan) {
+          batch_bs_.push_back(b);
+          batch_qs_.push_back(q);
+          batch_slot_.push_back(j);
+          ++fast_or_special;
+          continue;
+        }
+      }
+      // Grid move / invalid cache / oversized span: the scalar path owns
+      // these (including their full-evaluation accounting).
+      scores[j] = ScoreAdd(*candidates[j]);
+      Rollback();
+    }
+    if (!batch_bs_.empty()) {
+      batch_out_.resize(batch_bs_.size());
+      dist_.ConvolvePositiveMassBatch(batch_bs_.data(), batch_qs_.data(),
+                                      batch_bs_.size(), batch_out_.data());
+      for (std::size_t m = 0; m < batch_bs_.size(); ++m) {
+        scores[batch_slot_[m]] = std::min(batch_out_[m], 1.0);
+      }
+    }
+    CountIncrementalEvaluations(fast_or_special);
+  }
+
  private:
   double Score(std::size_t out_idx, const Worker* in) {
     staged_out_ = out_idx;
@@ -512,6 +609,12 @@ class IncrementalBucketBvEvaluator final : public IncrementalJqEvaluator {
   bool staged_has_in_ = false;
   double staged_in_q_ = 0.5;
   std::int64_t staged_in_bucket_ = 0;
+
+  // Reusable SoA staging for `ScoreAddBatch`.
+  std::vector<std::int64_t> batch_bs_;
+  std::vector<double> batch_qs_;
+  std::vector<std::size_t> batch_slot_;
+  std::vector<double> batch_out_;
 };
 
 }  // namespace
@@ -530,6 +633,17 @@ double IncrementalJqEvaluator::ScoreAdd(const Worker& worker) {
   staged_worker_ = worker;
   staged_score_ = ComputeAdd(worker);
   return staged_score_;
+}
+
+void IncrementalJqEvaluator::ScoreAddBatch(const Worker* const* candidates,
+                                           std::size_t count,
+                                           double* scores) {
+  // Reference implementation: the scalar scan loop, so backends without a
+  // batched kernel (full-recompute, exact-BV) behave exactly as before.
+  for (std::size_t j = 0; j < count; ++j) {
+    scores[j] = ScoreAdd(*candidates[j]);
+  }
+  Rollback();
 }
 
 double IncrementalJqEvaluator::ScoreRemove(std::size_t idx) {
@@ -604,6 +718,11 @@ void IncrementalJqEvaluator::CountFullEvaluation() const {
 
 void IncrementalJqEvaluator::CountIncrementalEvaluation() const {
   objective_->incremental_evals_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void IncrementalJqEvaluator::CountIncrementalEvaluations(std::size_t n) const {
+  if (n == 0) return;
+  objective_->incremental_evals_.fetch_add(n, std::memory_order_relaxed);
 }
 
 // ---------------------------------------------------------------- factories

@@ -152,6 +152,24 @@ class IncrementalJqEvaluator {
 
   /// JQ of members + `worker`; stages the addition.
   double ScoreAdd(const Worker& worker);
+
+  /// \brief Batched candidate scoring — the greedy-scan fast path.
+  ///
+  /// Fills `scores[j]` with the value `ScoreAdd(*candidates[j])` would
+  /// return, for every candidate, against the *committed* jury; leaves no
+  /// move staged (any previously staged move is discarded). The base
+  /// implementation loops `ScoreAdd` + `Rollback`; the MV and BV/bucket
+  /// backends override it with fused structure-of-arrays kernels
+  /// (`PoissonBinomial::EvaluateBatch`,
+  /// `BucketKeyDistribution::ConvolvePositiveMassBatch`) whose contiguous
+  /// inner loops skip the per-candidate scratch copies and virtual
+  /// dispatch of the scalar path. Each score is a pure function of
+  /// (committed jury, candidate) — never of how candidates are grouped
+  /// into batches — so sharding a scan across threads with any grain
+  /// yields the same scores, which is what keeps the parallel greedy scan
+  /// bit-deterministic in the thread count.
+  virtual void ScoreAddBatch(const Worker* const* candidates,
+                             std::size_t count, double* scores);
   /// JQ with member `idx` removed; stages the removal.
   double ScoreRemove(std::size_t idx);
   /// JQ with member `out_idx` replaced by `in_worker`; stages the swap.
@@ -198,6 +216,8 @@ class IncrementalJqEvaluator {
   /// Instrumentation forwarded to the owning objective's counters.
   void CountFullEvaluation() const;
   void CountIncrementalEvaluation() const;
+  /// Bulk form for batched kernels: one atomic add for `n` scorings.
+  void CountIncrementalEvaluations(std::size_t n) const;
 
  private:
   enum class MoveKind { kNone, kAdd, kRemove, kSwap };

@@ -4,6 +4,7 @@
 
 #include "core/greedy.h"
 #include "core/objective.h"
+#include "util/scheduler.h"
 
 namespace jury {
 namespace {
@@ -45,20 +46,56 @@ Result<JspSolution> SolveOptjs(const JspInstance& instance, Rng* rng,
     GreedyOptions greedy;
     greedy.use_incremental = options.use_incremental;
     greedy.num_threads = options.num_threads;
-    JURY_ASSIGN_OR_RETURN(
-        best, SolveAnnealing(instance, objective, rng, annealing));
-    best.jq = TightJq(instance, best, options.bucket);
+    // The annealing solve and the two greedy fallbacks (each with its
+    // tight re-evaluation) are independent: at >1 threads the fallbacks
+    // run as tasks on the process-wide scheduler while the caller runs
+    // annealing. Deterministic: the rng is consumed only by annealing
+    // (exactly as in the serial order below), the fallbacks take no rng,
+    // and the jq comparisons after the join run in the fixed serial
+    // order. When SolveOptjs itself runs inside a task (a budget-table
+    // row), these become nested tasks idle workers can steal.
+    const std::size_t threads = ResolveThreadCount(options.num_threads);
+    Result<JspSolution> by_quality_result = JspSolution{};
+    Result<JspSolution> by_value_result = JspSolution{};
+    // One definition per fallback, run either as a task or inline, so the
+    // parallel and serial paths cannot diverge.
+    const auto solve_by_quality = [&] {
+      by_quality_result = SolveGreedyByQuality(instance, objective, greedy);
+      if (by_quality_result.ok()) {
+        by_quality_result.value().jq =
+            TightJq(instance, by_quality_result.value(), options.bucket);
+      }
+    };
+    const auto solve_by_value = [&] {
+      by_value_result = SolveGreedyByValuePerCost(instance, objective, greedy);
+      if (by_value_result.ok()) {
+        by_value_result.value().jq =
+            TightJq(instance, by_value_result.value(), options.bucket);
+      }
+    };
+    if (threads > 1) {
+      TaskGroup fallbacks;
+      fallbacks.Run(solve_by_quality);
+      fallbacks.Run(solve_by_value);
+      JURY_ASSIGN_OR_RETURN(
+          best, SolveAnnealing(instance, objective, rng, annealing));
+      best.jq = TightJq(instance, best, options.bucket);
+      fallbacks.Wait();
+    } else {
+      JURY_ASSIGN_OR_RETURN(
+          best, SolveAnnealing(instance, objective, rng, annealing));
+      best.jq = TightJq(instance, best, options.bucket);
+      solve_by_quality();
+      solve_by_value();
+    }
     // Cheap deterministic fallbacks: annealing occasionally ends in a poor
-    // local optimum; keep whichever jury re-evaluates best.
-    JURY_ASSIGN_OR_RETURN(JspSolution by_quality,
-                          SolveGreedyByQuality(instance, objective, greedy));
-    by_quality.jq = TightJq(instance, by_quality, options.bucket);
-    if (by_quality.jq > best.jq) best = by_quality;
-    JURY_ASSIGN_OR_RETURN(
-        JspSolution by_value,
-        SolveGreedyByValuePerCost(instance, objective, greedy));
-    by_value.jq = TightJq(instance, by_value, options.bucket);
-    if (by_value.jq > best.jq) best = by_value;
+    // local optimum; keep whichever jury re-evaluates best. Same check
+    // order as the historical serial code, so errors and ties resolve
+    // identically however the three solves were scheduled.
+    JURY_RETURN_NOT_OK(by_quality_result.status());
+    JURY_RETURN_NOT_OK(by_value_result.status());
+    if (by_quality_result.value().jq > best.jq) best = by_quality_result.value();
+    if (by_value_result.value().jq > best.jq) best = by_value_result.value();
     return best;
   }
   best.jq = TightJq(instance, best, options.bucket);

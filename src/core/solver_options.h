@@ -9,13 +9,22 @@ namespace jury {
 /// inherit from this, so `options.num_threads` configures the parallel
 /// execution layer uniformly.
 struct SolverOptions {
-  /// Threads for the solver's parallel sections (restart chains, candidate
-  /// shards, subset partitions). 0 = auto: the `JURYOPT_THREADS`
-  /// environment variable when set, otherwise the hardware concurrency
-  /// (`ResolveThreadCount` in util/thread_pool.h). 1 forces the serial
-  /// path. Every parallel path is bit-deterministic in the thread count
-  /// and returns the same jury as the serial path (property-tested), so
-  /// this knob only trades wall-clock for cores.
+  /// Parallelism cap for each of the solver's parallel *regions* (restart
+  /// chains, candidate shards, subset partitions), which run on the
+  /// process-wide work-stealing scheduler. 0 = auto: the
+  /// `JURYOPT_THREADS` environment variable when set, otherwise the
+  /// hardware concurrency (`ResolveThreadCount` in util/scheduler.h).
+  /// 1 forces the serial path (which never touches the scheduler).
+  ///
+  /// Note the cap is per region, not per solve: with nested solves
+  /// (budget-table rows, the OPTJS fallback tasks) several capped
+  /// regions can be in flight at once, so a solve's total concurrency is
+  /// bounded by the scheduler's worker set rather than by this knob. To
+  /// budget CPU for the whole process, export `JURYOPT_THREADS` before
+  /// startup — it sizes the scheduler itself (1 = no workers ever
+  /// spawn). Every parallel path is bit-deterministic in the thread
+  /// count and returns the same jury as the serial path
+  /// (property-tested), so these knobs only trade wall-clock for cores.
   std::size_t num_threads = 0;
 };
 

@@ -186,6 +186,55 @@ double BucketKeyDistribution::PositiveMass() const {
   return acc;
 }
 
+void BucketKeyDistribution::ConvolvePositiveMassBatch(const std::int64_t* bs,
+                                                      const double* qs,
+                                                      std::size_t count,
+                                                      double* out) const {
+  // `f` indexed by key + span_; keys outside [-span_, span_] read as zero,
+  // which is what the segmented loops below encode branch-free. For new
+  // key s the convolved entry is g[s] = f[s-b]*q + f[s+b]*(1-q), built in
+  // exactly that order by Convolve's ascending scatter, and PositiveMass
+  // accumulates 0.5*g[0] then g[1..new_span] ascending — replicated here
+  // term for term so the fused result is bit-identical to the scalar
+  // copy-convolve-sweep.
+  const double* f = pmf_.data();
+  const std::int64_t s = span_;
+  double committed_mass = -1.0;  // lazy: only b == 0 candidates need it
+  for (std::size_t j = 0; j < count; ++j) {
+    const std::int64_t b = bs[j];
+    JURY_CHECK_GE(b, 0);
+    if (b == 0) {
+      // Convolve(0, q) is an exact no-op: the committed mass verbatim.
+      if (committed_mass < 0.0) committed_mass = PositiveMass();
+      out[j] = committed_mass;
+      continue;
+    }
+    const double q = qs[j];
+    const double omq = 1.0 - q;
+    const std::int64_t ns = s + b;  // new span
+    double acc;
+    if (b <= s) {
+      // g[0] has both source keys -b and +b in range.
+      acc = 0.5 * (f[-b + s] * q + f[b + s] * omq);
+      std::int64_t key = 1;
+      for (; key <= s - b; ++key) {
+        acc += f[key - b + s] * q + f[key + b + s] * omq;
+      }
+      for (; key <= ns; ++key) {
+        acc += f[key - b + s] * q;
+      }
+    } else {
+      // The candidate's bucket exceeds the committed span: key 0 and the
+      // low keys draw only zeros; mass starts at key b - s.
+      acc = 0.0;
+      for (std::int64_t key = b - s; key <= ns; ++key) {
+        acc += f[key - b + s] * q;
+      }
+    }
+    out[j] = acc;
+  }
+}
+
 double BucketErrorBound(int n, double delta) {
   JURY_CHECK_GE(n, 0);
   JURY_CHECK_GE(delta, 0.0);

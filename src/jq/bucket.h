@@ -120,6 +120,25 @@ class BucketKeyDistribution {
   /// min(., 1) clamp (steps 21-25 of Algorithm 1).
   double PositiveMass() const;
 
+  /// \brief Fused batched candidate evaluation — the greedy-scan kernel
+  /// for the BV/bucket backend.
+  ///
+  /// For each candidate worker `(bs[j], qs[j])` (bucket >= 0, normalized
+  /// quality), computes the positive mass of this distribution convolved
+  /// with that candidate, without copying or mutating anything:
+  ///
+  ///   out[j] = {copy = *this; copy.Convolve(bs[j], qs[j]);
+  ///             copy.PositiveMass()}
+  ///
+  /// bit-for-bit (the per-key convolution terms and the ascending mass
+  /// summation replicate the scalar pair's arithmetic exactly). Where the
+  /// scalar pair runs three O(span) memory passes per candidate (copy the
+  /// pmf, scatter the convolution, re-read for the mass sweep), the fused
+  /// kernel runs one read-only pass over contiguous storage per candidate
+  /// — no scratch, no allocation, no per-candidate dispatch.
+  void ConvolvePositiveMassBatch(const std::int64_t* bs, const double* qs,
+                                 std::size_t count, double* out) const;
+
   /// Current half-width of the key support (sum of folded buckets).
   std::int64_t span() const { return span_; }
 

@@ -7,9 +7,97 @@
 namespace jury {
 
 PoissonBinomial::PoissonBinomial(const std::vector<double>& probs) {
-  pmf_.reserve(probs.size() + 1);
   pmf_.assign(1, 1.0);
-  for (double raw : probs) AddTrial(raw);
+  AddTrialBatch(probs.data(), probs.size());
+}
+
+void PoissonBinomial::AddTrialBatch(const double* probs, std::size_t count) {
+  if (count == 0) return;
+  cumulative_valid_ = false;
+  pmf_.reserve(pmf_.size() + count);
+  // Same in-place convolution as `AddTrial`, trial by trial, but over raw
+  // contiguous storage with the reservation hoisted out: the nested loop
+  // carries no per-trial reallocation or call overhead and vectorizes.
+  // Bit-identical to the scalar path (same expressions, same order).
+  for (std::size_t t = 0; t < count; ++t) {
+    const double p = std::min(std::max(probs[t], 0.0), 1.0);
+    const double one_minus_p = 1.0 - p;
+    mean_ += p;
+    pmf_.push_back(0.0);
+    double* f = pmf_.data();
+    for (std::size_t k = pmf_.size() - 1; k > 0; --k) {
+      f[k] = f[k] * one_minus_p + f[k - 1] * p;
+    }
+    f[0] *= one_minus_p;
+  }
+}
+
+void PoissonBinomial::EvaluateBatch(const double* probs, std::size_t count,
+                                    int tail_k, int cdf_k, double* tails,
+                                    double* cdfs) const {
+  if (count == 0 || (tails == nullptr && cdfs == nullptr)) return;
+  const int n = size();      // committed trials
+  const int new_n = n + 1;   // trials after the hypothetical addition
+  // SoA staging: clamped candidate probabilities and one accumulator per
+  // candidate, both contiguous so the inner candidate loops vectorize.
+  // Thread-local so the per-round scan (twice per greedy shard on the MV
+  // backend) reuses capacity instead of allocating per call.
+  static thread_local std::vector<double> p;
+  static thread_local std::vector<double> acc;
+  p.resize(count);
+  for (std::size_t j = 0; j < count; ++j) {
+    p[j] = std::min(std::max(probs[j], 0.0), 1.0);
+  }
+  acc.resize(count);
+
+  // g_j[k] = pmf[k] * (1 - p_j) + pmf[k-1] * p_j is the k-th entry of the
+  // hypothetical pmf — exactly the `AddTrial` update expression, with
+  // out-of-range committed entries reading as zero.
+  if (tails != nullptr) {
+    if (tail_k <= 0) {
+      std::fill(tails, tails + count, 1.0);
+    } else if (tail_k > new_n) {
+      std::fill(tails, tails + count, 0.0);
+    } else {
+      // Descending accumulation from the top index, replicating the
+      // suffix-sum order (and final clamp) of `RefreshCumulative`.
+      std::fill(acc.begin(), acc.end(), 0.0);
+      for (int k = new_n; k >= tail_k; --k) {
+        const double a = k <= n ? pmf_[static_cast<std::size_t>(k)] : 0.0;
+        const double b = k >= 1 ? pmf_[static_cast<std::size_t>(k - 1)] : 0.0;
+        double* acc_ptr = acc.data();
+        const double* p_ptr = p.data();
+        for (std::size_t j = 0; j < count; ++j) {
+          acc_ptr[j] += a * (1.0 - p_ptr[j]) + b * p_ptr[j];
+        }
+      }
+      for (std::size_t j = 0; j < count; ++j) {
+        tails[j] = std::min(acc[j], 1.0);
+      }
+    }
+  }
+
+  if (cdfs != nullptr) {
+    if (cdf_k < 0) {
+      std::fill(cdfs, cdfs + count, 0.0);
+    } else {
+      // Ascending accumulation from zero — the prefix-sum order.
+      const int kk = std::min(cdf_k, new_n);
+      std::fill(acc.begin(), acc.end(), 0.0);
+      for (int k = 0; k <= kk; ++k) {
+        const double a = k <= n ? pmf_[static_cast<std::size_t>(k)] : 0.0;
+        const double b = k >= 1 ? pmf_[static_cast<std::size_t>(k - 1)] : 0.0;
+        double* acc_ptr = acc.data();
+        const double* p_ptr = p.data();
+        for (std::size_t j = 0; j < count; ++j) {
+          acc_ptr[j] += a * (1.0 - p_ptr[j]) + b * p_ptr[j];
+        }
+      }
+      for (std::size_t j = 0; j < count; ++j) {
+        cdfs[j] = std::min(acc[j], 1.0);
+      }
+    }
+  }
 }
 
 void PoissonBinomial::AddTrial(double raw) {

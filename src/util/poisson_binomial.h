@@ -1,6 +1,7 @@
 #ifndef JURYOPT_UTIL_POISSON_BINOMIAL_H_
 #define JURYOPT_UTIL_POISSON_BINOMIAL_H_
 
+#include <cstddef>
 #include <vector>
 
 namespace jury {
@@ -24,6 +25,35 @@ class PoissonBinomial {
   /// of the constructor. Building a distribution by successive `AddTrial`
   /// calls is bit-identical to the batch constructor.
   void AddTrial(double p);
+
+  /// Appends `count` trials, bit-identical to calling `AddTrial` on each
+  /// element of `probs` in order, but with one reservation and a flat
+  /// doubly-nested loop over contiguous storage instead of per-trial
+  /// push_back / function-call overhead. This is the construction kernel;
+  /// the constructor delegates to it.
+  void AddTrialBatch(const double* probs, std::size_t count);
+
+  /// \brief Batched candidate evaluation — the greedy-scan kernel.
+  ///
+  /// For each candidate probability `probs[j]`, computes tail and/or cdf
+  /// queries of the *hypothetical* distribution X + Bernoulli(probs[j])
+  /// without mutating this one:
+  ///
+  ///   tails[j] = Pr[X + Bern(p_j) >= tail_k]
+  ///   cdfs[j]  = Pr[X + Bern(p_j) <= cdf_k]
+  ///
+  /// Either output may be null to skip that query. Bit-identical to
+  /// `{copy; copy.AddTrial(probs[j]); copy.TailAtLeast(tail_k);
+  /// copy.CdfAtMost(cdf_k)}` per candidate: the convolution terms and the
+  /// cumulative summation order (descending for tails, ascending for
+  /// cdfs, with the same clamping points) are replicated exactly. The
+  /// structure-of-arrays layout — candidate probabilities and accumulators
+  /// in contiguous thread-local scratch (reused across calls), the
+  /// committed pmf entries hoisted to scalars in the outer loop — makes
+  /// the inner loop over candidates auto-vectorizable with no
+  /// per-candidate dispatch, copies, or steady-state allocation.
+  void EvaluateBatch(const double* probs, std::size_t count, int tail_k,
+                     int cdf_k, double* tails, double* cdfs) const;
 
   /// Removes one Bernoulli(p) trial in O(n) by deconvolution. `p` must be
   /// (the clamped value of) a probability previously folded in; the pmf is

@@ -1,0 +1,471 @@
+#include "util/scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/env.h"
+
+namespace jury {
+namespace {
+
+/// Innermost task-execution frames of the calling thread, linked so a
+/// thread helping several schedulers (a test-local one from inside the
+/// global one) classifies nested regions against the right instance.
+struct TaskFrame {
+  Scheduler* scheduler;
+  TaskFrame* prev;
+};
+thread_local TaskFrame* tls_task_frame = nullptr;
+
+/// Worker identity: which scheduler (if any) owns the calling thread, and
+/// the index of its deque.
+struct WorkerIdentity {
+  Scheduler* scheduler = nullptr;
+  std::size_t index = 0;
+};
+thread_local WorkerIdentity tls_worker;
+
+std::size_t GlobalSchedulerSize() {
+  // JURYOPT_THREADS at process start is a *budget*: a user who exports 2
+  // wants at most 2 busy threads in the whole process (and 1 means no
+  // workers at all), so it sizes the pool exactly.
+  const std::int64_t env = GetEnvInt("JURYOPT_THREADS", 0);
+  if (env > 0) return static_cast<std::size_t>(env);
+  // Otherwise: hardware concurrency with a floor of 8 — tests and
+  // benches request multi-threaded dispatch via JURYOPT_THREADS set
+  // *after* the scheduler exists, and idle workers cost only a sleeping
+  // thread apiece, while an under-sized pool would silently serialize
+  // those runs.
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::size_t size = hw > 0 ? static_cast<std::size_t>(hw) : 1;
+  return std::max<std::size_t>(size, 8);
+}
+
+}  // namespace
+
+std::size_t ResolveThreadCount(std::size_t requested) {
+  if (requested > 0) return requested;
+  const std::int64_t env = GetEnvInt("JURYOPT_THREADS", 0);
+  if (env > 0) return static_cast<std::size_t>(env);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<std::size_t>(hw) : 1;
+}
+
+// ---------------------------------------------------------------- GrainTuner
+
+std::size_t GrainTuner::Pick(std::size_t count,
+                             std::size_t parallelism) const {
+  if (count == 0) return min_grain_;
+  if (parallelism == 0) parallelism = 1;
+  // Upper bound keeps at least `parallelism` shards so no thread idles by
+  // construction; the measured feedback can only subdivide further.
+  std::size_t upper = count / parallelism;
+  if (upper == 0) upper = 1;
+  std::size_t grain = upper;  // no feedback yet: one shard per thread
+  const std::uint64_t ema = ema_ns_per_item_x1024_.load(
+      std::memory_order_relaxed);
+  if (ema > 0) {
+    const std::uint64_t items = (target_shard_ns_ << 10) / ema;
+    grain = items == 0
+                ? 1
+                : static_cast<std::size_t>(std::min<std::uint64_t>(
+                      items, upper));
+  }
+  if (grain < min_grain_) grain = min_grain_;
+  if (grain > count) grain = count;
+  return grain;
+}
+
+void GrainTuner::Record(std::size_t items, std::uint64_t elapsed_ns) {
+  if (items == 0) return;
+  std::uint64_t per_item = (elapsed_ns << 10) / items;
+  if (per_item == 0) per_item = 1;
+  const std::uint64_t old =
+      ema_ns_per_item_x1024_.load(std::memory_order_relaxed);
+  ema_ns_per_item_x1024_.store(old == 0 ? per_item : (3 * old + per_item) / 4,
+                               std::memory_order_relaxed);
+}
+
+// ----------------------------------------------------------------- TaskGroup
+
+TaskGroup::TaskGroup(Scheduler* scheduler)
+    : scheduler_(scheduler != nullptr ? scheduler : Scheduler::Global()) {}
+
+TaskGroup::~TaskGroup() {
+  try {
+    Wait();
+  } catch (...) {
+    // Destructor-path errors are dropped; call Wait() to observe them.
+  }
+}
+
+void TaskGroup::Run(std::function<void()> fn) {
+  Scheduler::Task* task = new Scheduler::Task;
+  task->fn = std::move(fn);
+  task->group = this;
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  scheduler_->Submit(task);
+}
+
+void TaskGroup::Wait() {
+  while (pending_.load(std::memory_order_acquire) != 0) {
+    if (Scheduler::Task* task = scheduler_->TryAcquire()) {
+      scheduler_->RunTask(task);
+      continue;
+    }
+    // Nothing runnable anywhere: every remaining task of this group is in
+    // flight on another thread. Block until the group advances; the
+    // timeout re-arms the scan so a task queued between the failed
+    // acquire and the wait cannot strand us.
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait_for(lock, std::chrono::microseconds(200), [&] {
+      return pending_.load(std::memory_order_acquire) == 0;
+    });
+  }
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::swap(error, error_);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void TaskGroup::OnTaskFinished(std::exception_ptr error) {
+  // The whole completion runs under the mutex: the waiter in `Wait()` may
+  // observe pending == 0 the instant it is stored and destroy the group —
+  // but its final error-swap locks this same mutex, so it cannot finish
+  // until this critical section (the group's last touch) has released.
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (error && !error_) error_ = error;
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    cv_.notify_all();
+  }
+}
+
+// --------------------------------------------------------- Scheduler::Deque
+
+Scheduler::Deque::Ring::Ring(std::size_t cap)
+    : capacity(cap), slots(new std::atomic<Task*>[cap]) {
+  for (std::size_t i = 0; i < cap; ++i) {
+    slots[i].store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+Scheduler::Deque::Deque() {
+  auto ring = std::make_unique<Ring>(256);
+  ring_.store(ring.get(), std::memory_order_relaxed);
+  retired_.push_back(std::move(ring));
+}
+
+Scheduler::Deque::~Deque() = default;
+
+Scheduler::Deque::Ring* Scheduler::Deque::Grow(Ring* ring,
+                                               std::int64_t bottom,
+                                               std::int64_t top) {
+  auto bigger = std::make_unique<Ring>(ring->capacity * 2);
+  for (std::int64_t i = top; i < bottom; ++i) {
+    bigger->Slot(i).store(ring->Slot(i).load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  }
+  Ring* raw = bigger.get();
+  {
+    std::lock_guard<std::mutex> lock(retired_mutex_);
+    retired_.push_back(std::move(bigger));
+  }
+  // The old ring stays alive (and keeps its values): a concurrent thief
+  // holding the stale pointer still reads the task it will CAS for.
+  ring_.store(raw, std::memory_order_release);
+  return raw;
+}
+
+void Scheduler::Deque::Push(Task* task) {
+  const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+  const std::int64_t t = top_.load(std::memory_order_acquire);
+  Ring* ring = ring_.load(std::memory_order_relaxed);
+  if (b - t >= static_cast<std::int64_t>(ring->capacity)) {
+    ring = Grow(ring, b, t);
+  }
+  ring->Slot(b).store(task, std::memory_order_release);
+  bottom_.store(b + 1, std::memory_order_seq_cst);
+}
+
+Scheduler::Task* Scheduler::Deque::Pop() {
+  const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+  Ring* ring = ring_.load(std::memory_order_relaxed);
+  bottom_.store(b, std::memory_order_seq_cst);
+  std::int64_t t = top_.load(std::memory_order_seq_cst);
+  if (t <= b) {
+    Task* task = ring->Slot(b).load(std::memory_order_relaxed);
+    if (t == b) {
+      // Last element: race the thieves for it via top.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        task = nullptr;
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return task;
+  }
+  bottom_.store(b + 1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+Scheduler::Task* Scheduler::Deque::Steal() {
+  std::int64_t t = top_.load(std::memory_order_seq_cst);
+  const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+  if (t >= b) return nullptr;
+  Ring* ring = ring_.load(std::memory_order_acquire);
+  Task* task = ring->Slot(t).load(std::memory_order_acquire);
+  if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                    std::memory_order_relaxed)) {
+    return nullptr;  // lost to the owner's Pop or another thief
+  }
+  return task;
+}
+
+// ------------------------------------------------------------------ Scheduler
+
+Scheduler* Scheduler::Global() {
+  static Scheduler global(GlobalSchedulerSize());
+  return &global;
+}
+
+Scheduler::Scheduler(std::size_t num_threads) {
+  const std::size_t n = num_threads > 0 ? num_threads : 1;
+  deques_.reserve(n - 1);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    deques_.push_back(std::make_unique<Deque>());
+  }
+  workers_.reserve(n - 1);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+Scheduler::~Scheduler() {
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    shutdown_ = true;
+  }
+  sleep_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  // Tasks spawned during the drain (by other draining tasks) land on the
+  // injection queue once the workers are gone; finish them inline so a
+  // shutdown-while-busy destruction never strands a TaskGroup.
+  while (Task* task = TryAcquire()) RunTask(task);
+}
+
+bool Scheduler::InTask() const {
+  for (const TaskFrame* frame = tls_task_frame; frame != nullptr;
+       frame = frame->prev) {
+    if (frame->scheduler == this) return true;
+  }
+  return false;
+}
+
+void Scheduler::Submit(Task* task) {
+  tasks_spawned_.fetch_add(1, std::memory_order_relaxed);
+  if (tls_worker.scheduler == this) {
+    deques_[tls_worker.index]->Push(task);
+  } else {
+    std::lock_guard<std::mutex> lock(inject_mutex_);
+    inject_queue_.push_back(task);
+  }
+  available_.fetch_add(1, std::memory_order_release);
+  {
+    // Pairs with the sleep predicate so a worker cannot slip between its
+    // availability check and its wait.
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+  }
+  sleep_cv_.notify_one();
+}
+
+Scheduler::Task* Scheduler::TryAcquire() {
+  constexpr std::size_t kExternal = static_cast<std::size_t>(-1);
+  std::size_t self = kExternal;
+  if (tls_worker.scheduler == this) {
+    self = tls_worker.index;
+    if (Task* task = deques_[self]->Pop()) {
+      available_.fetch_sub(1, std::memory_order_relaxed);
+      return task;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(inject_mutex_);
+    if (!inject_queue_.empty()) {
+      Task* task = inject_queue_.front();
+      inject_queue_.pop_front();
+      available_.fetch_sub(1, std::memory_order_relaxed);
+      tasks_injected_.fetch_add(1, std::memory_order_relaxed);
+      return task;
+    }
+  }
+  const std::size_t n = deques_.size();
+  const std::size_t start = self == kExternal ? 0 : self + 1;
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t victim = (start + k) % n;
+    if (victim == self) continue;
+    if (Task* task = deques_[victim]->Steal()) {
+      available_.fetch_sub(1, std::memory_order_relaxed);
+      tasks_stolen_.fetch_add(1, std::memory_order_relaxed);
+      return task;
+    }
+  }
+  return nullptr;
+}
+
+void Scheduler::RunTask(Task* task) {
+  TaskFrame frame{this, tls_task_frame};
+  tls_task_frame = &frame;
+  std::exception_ptr error;
+  try {
+    task->fn();
+  } catch (...) {
+    error = std::current_exception();
+  }
+  tls_task_frame = frame.prev;
+  TaskGroup* group = task->group;
+  delete task;
+  // Last: once the group observes the decrement it may be destroyed.
+  group->OnTaskFinished(error);
+}
+
+void Scheduler::WorkerLoop(std::size_t index) {
+  tls_worker.scheduler = this;
+  tls_worker.index = index;
+  for (;;) {
+    if (Task* task = TryAcquire()) {
+      RunTask(task);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    if (available_.load(std::memory_order_acquire) > 0) continue;
+    if (shutdown_) return;
+    sleep_cv_.wait(lock, [&] {
+      return shutdown_ || available_.load(std::memory_order_acquire) > 0;
+    });
+    if (shutdown_ && available_.load(std::memory_order_acquire) == 0) return;
+  }
+}
+
+void Scheduler::ParallelFor(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t max_parallelism) {
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  const std::size_t count = end - begin;
+  const std::size_t shards = (count + grain - 1) / grain;
+  std::size_t parallelism = num_threads();
+  if (max_parallelism > 0) parallelism = std::min(parallelism, max_parallelism);
+  parallelism = std::min(parallelism, shards);
+  if (parallelism <= 1) {
+    // Inline fallback: identical shard boundaries, caller runs them all.
+    inline_regions_.fetch_add(1, std::memory_order_relaxed);
+    for (std::size_t shard = 0; shard < shards; ++shard) {
+      const std::size_t shard_begin = begin + shard * grain;
+      body(shard_begin, std::min(end, shard_begin + grain));
+    }
+    return;
+  }
+
+  regions_.fetch_add(1, std::memory_order_relaxed);
+  if (InTask()) nested_regions_.fetch_add(1, std::memory_order_relaxed);
+
+  // The region is claim-based: `parallelism` participants (the caller plus
+  // parallelism - 1 stealable tasks) pull shard indices from one atomic
+  // counter. Shard boundaries stay a pure function of (begin, end, grain);
+  // the counter only decides *when* a shard runs and on which thread.
+  struct Region {
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> cancelled{false};
+  } region;
+  const auto run_shards = [&] {
+    for (;;) {
+      if (region.cancelled.load(std::memory_order_relaxed)) return;
+      const std::size_t shard =
+          region.next.fetch_add(1, std::memory_order_relaxed);
+      if (shard >= shards) return;
+      const std::size_t shard_begin = begin + shard * grain;
+      try {
+        body(shard_begin, std::min(end, shard_begin + grain));
+      } catch (...) {
+        region.cancelled.store(true, std::memory_order_relaxed);
+        throw;
+      }
+    }
+  };
+
+  TaskGroup group(this);
+  for (std::size_t i = 0; i + 1 < parallelism; ++i) group.Run(run_shards);
+  std::exception_ptr caller_error;
+  try {
+    run_shards();
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+  group.Wait();  // rethrows the first task exception
+  if (caller_error) std::rethrow_exception(caller_error);
+}
+
+void Scheduler::GlobalParallelFor(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t max_parallelism) {
+  if (max_parallelism == 1) {
+    // Same shard boundaries as the scheduler's inline path, run without
+    // ever instantiating Global().
+    if (begin >= end) return;
+    if (grain == 0) grain = 1;
+    const std::size_t shards = (end - begin + grain - 1) / grain;
+    for (std::size_t shard = 0; shard < shards; ++shard) {
+      const std::size_t shard_begin = begin + shard * grain;
+      body(shard_begin, std::min(end, shard_begin + grain));
+    }
+    return;
+  }
+  Global()->ParallelFor(begin, end, grain, body, max_parallelism);
+}
+
+void Scheduler::ParallelForTuned(
+    GrainTuner* tuner, std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t max_parallelism) {
+  if (begin >= end) return;
+  const std::size_t count = end - begin;
+  std::size_t parallelism = num_threads();
+  if (max_parallelism > 0) parallelism = std::min(parallelism, max_parallelism);
+  const std::size_t grain = tuner->Pick(count, parallelism);
+  const auto timed = [&](std::size_t shard_begin, std::size_t shard_end) {
+    const auto start = std::chrono::steady_clock::now();
+    body(shard_begin, shard_end);
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    tuner->Record(shard_end - shard_begin,
+                  ns > 0 ? static_cast<std::uint64_t>(ns) : 0);
+  };
+  ParallelFor(begin, end, grain, timed, max_parallelism);
+}
+
+SchedulerCounters Scheduler::counters() const {
+  SchedulerCounters snapshot;
+  snapshot.tasks_spawned = tasks_spawned_.load(std::memory_order_relaxed);
+  snapshot.tasks_stolen = tasks_stolen_.load(std::memory_order_relaxed);
+  snapshot.tasks_injected = tasks_injected_.load(std::memory_order_relaxed);
+  snapshot.regions = regions_.load(std::memory_order_relaxed);
+  snapshot.nested_regions = nested_regions_.load(std::memory_order_relaxed);
+  snapshot.inline_regions = inline_regions_.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+void Scheduler::ResetCounters() {
+  tasks_spawned_.store(0, std::memory_order_relaxed);
+  tasks_stolen_.store(0, std::memory_order_relaxed);
+  tasks_injected_.store(0, std::memory_order_relaxed);
+  regions_.store(0, std::memory_order_relaxed);
+  nested_regions_.store(0, std::memory_order_relaxed);
+  inline_regions_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace jury

@@ -1,0 +1,278 @@
+#ifndef JURYOPT_UTIL_SCHEDULER_H_
+#define JURYOPT_UTIL_SCHEDULER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace jury {
+
+/// Resolves a requested thread count to the number of threads a solver
+/// should actually use: `requested` when positive, otherwise the
+/// `JURYOPT_THREADS` environment variable when set to a positive integer,
+/// otherwise `std::thread::hardware_concurrency()` (at least 1).
+std::size_t ResolveThreadCount(std::size_t requested);
+
+class Scheduler;
+
+/// \brief A set of tasks spawned onto a scheduler, waited on as a unit.
+///
+/// Groups nest: a task may create its own `TaskGroup`, spawn subtasks, and
+/// `Wait()` on them — this is how a budget-table row fans its inner OPTJS
+/// solve across idle workers. A waiting thread never blocks while runnable
+/// tasks exist: `Wait()` keeps executing tasks (its own deque first, then
+/// steals), so nesting cannot deadlock and cores stay busy.
+///
+/// The first exception thrown by a task is captured and rethrown from
+/// `Wait()` (after every task of the group has finished); later exceptions
+/// are dropped. The destructor waits for outstanding tasks but swallows
+/// any captured exception — call `Wait()` explicitly to observe errors.
+class TaskGroup {
+ public:
+  /// Groups on the process-wide scheduler by default.
+  explicit TaskGroup(Scheduler* scheduler = nullptr);
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Spawns `fn` as a task of this group. From a worker thread the task is
+  /// pushed onto that worker's own deque (LIFO — nested work runs hot
+  /// unless an idle worker steals it); from any other thread it lands on
+  /// the scheduler's injection queue.
+  void Run(std::function<void()> fn);
+
+  /// Blocks until every task of the group has finished, executing queued
+  /// tasks (not necessarily this group's) while it waits. Rethrows the
+  /// group's first captured exception.
+  void Wait();
+
+ private:
+  friend class Scheduler;
+  void OnTaskFinished(std::exception_ptr error);
+
+  Scheduler* scheduler_;
+  std::atomic<std::size_t> pending_{0};
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::exception_ptr error_;  // guarded by mutex_
+};
+
+/// \brief Per-call-site grain autotuner for `Scheduler::ParallelFor`.
+///
+/// Records measured per-shard cost (a lossy, racy exponential moving
+/// average — feedback only, never correctness) and picks the grain that
+/// targets `target_shard_ns` of work per shard, clamped to the
+/// determinism-safe bounds [min_grain, count / parallelism]: any grain in
+/// that range yields shard boundaries that are a pure function of
+/// (count, grain), so a loop whose per-element outputs do not depend on
+/// how elements are grouped into shards (the `ParallelFor` contract)
+/// computes identical results whatever the tuner measured. Tuned loops
+/// must satisfy that per-element purity; loops whose shard *walk* carries
+/// state across elements (e.g. the exhaustive Gray-code shards) must pin
+/// their grain instead.
+class GrainTuner {
+ public:
+  explicit GrainTuner(std::size_t min_grain = 1,
+                      std::uint64_t target_shard_ns = 100'000)
+      : min_grain_(min_grain > 0 ? min_grain : 1),
+        target_shard_ns_(target_shard_ns > 0 ? target_shard_ns : 1) {}
+
+  /// The grain to use for a loop of `count` elements on `parallelism`
+  /// threads. Without feedback, one shard per thread (the fixed-pool
+  /// default); with feedback, `target_shard_ns` worth of elements.
+  std::size_t Pick(std::size_t count, std::size_t parallelism) const;
+
+  /// Feeds back one shard's measured cost. Thread-safe (relaxed atomics;
+  /// concurrent updates may drop each other — the EMA only steers).
+  void Record(std::size_t items, std::uint64_t elapsed_ns);
+
+  /// Scaled EMA of the per-item cost (ns << 10); 0 = no feedback yet.
+  std::uint64_t ema_ns_per_item_x1024() const {
+    return ema_ns_per_item_x1024_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::size_t min_grain_;
+  std::uint64_t target_shard_ns_;
+  std::atomic<std::uint64_t> ema_ns_per_item_x1024_{0};
+};
+
+/// \brief Snapshot of the scheduler's activity counters (relaxed atomics;
+/// exact once all regions have quiesced). The bench harness records these
+/// around a workload to show — rather than assert — that nested solves
+/// actually fanned out across workers.
+struct SchedulerCounters {
+  /// Tasks pushed onto a worker's own deque or the injection queue.
+  std::uint64_t tasks_spawned = 0;
+  /// Tasks executed by a thread other than the one that spawned them
+  /// (taken from another worker's deque top).
+  std::uint64_t tasks_stolen = 0;
+  /// Tasks taken from the external-submission injection queue.
+  std::uint64_t tasks_injected = 0;
+  /// Parallel regions dispatched across workers.
+  std::uint64_t regions = 0;
+  /// Regions started from inside a task — nested parallelism (e.g. a
+  /// budget-table row fanning out its inner solver).
+  std::uint64_t nested_regions = 0;
+  /// Regions that ran inline on the caller (serial cap or single shard).
+  std::uint64_t inline_regions = 0;
+};
+
+/// \brief Process-wide work-stealing scheduler.
+///
+/// One fixed set of worker threads serves every parallel region in the
+/// process, replacing the per-call fixed pools of the previous layer. Each
+/// worker owns a Chase–Lev-style deque: the owner pushes and pops at the
+/// bottom (LIFO, so nested regions run their own freshest work), thieves
+/// steal from the top (FIFO, so the oldest — usually largest — pending
+/// task migrates to an idle core). Tasks spawned from non-worker threads
+/// enter through a shared injection queue.
+///
+/// Determinism contract (inherited from the fixed pool, kept verbatim):
+/// `ParallelFor` splits [begin, end) into shards whose boundaries depend
+/// only on (begin, end, grain) — never on the worker count, the stealing
+/// order, or which thread ran a shard. Bodies write per-element or
+/// per-shard outputs; reductions happen serially in index order after the
+/// region. Threads decide *when* a shard runs, never *what* it computes.
+///
+/// Unlike the old pool, regions nest: a `ParallelFor` body may itself call
+/// `ParallelFor` (or spawn a `TaskGroup`), and its subtasks are stealable
+/// by any idle worker. This is what lets a budget-table row fan out its
+/// inner OPTJS solve instead of pinning it to one thread.
+class Scheduler {
+ public:
+  /// The process-wide instance. Sized once, at first use: exactly
+  /// JURYOPT_THREADS when that is exported at process start (the env var
+  /// is a whole-process CPU budget — 1 means no workers ever spawn),
+  /// otherwise max(hardware concurrency, 8) — generously, because idle
+  /// workers just sleep, while an under-sized pool would silently
+  /// serialize the multi-threaded dispatch that tests request by setting
+  /// JURYOPT_THREADS after startup. Serial call sites (resolved
+  /// parallelism <= 1) avoid touching this entirely, so a num_threads=1
+  /// embedder never spawns a pool.
+  static Scheduler* Global();
+
+  /// A private instance for tests. `num_threads` counts the caller, so a
+  /// scheduler of size 1 has no workers and runs everything inline.
+  explicit Scheduler(std::size_t num_threads);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Workers + the participating caller.
+  std::size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Splits [begin, end) into contiguous shards of at most `grain`
+  /// elements and runs `body(shard_begin, shard_end)` once per shard,
+  /// claiming shards dynamically across at most `max_parallelism` threads
+  /// (0 = no cap beyond the scheduler's size). Returns after every shard
+  /// completed; rethrows the first exception a shard threw (remaining
+  /// shards are abandoned once an exception is seen, so a throwing body
+  /// forfeits the coverage guarantee). Shard boundaries depend only on
+  /// (begin, end, grain). May be called from inside another region's body
+  /// (the region nests; idle workers steal its shards).
+  void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+                   const std::function<void(std::size_t, std::size_t)>& body,
+                   std::size_t max_parallelism = 0);
+
+  /// `ParallelFor` with the grain chosen by `tuner` (and per-shard cost fed
+  /// back into it). Only for loops whose per-element outputs are pure in
+  /// the element index — see `GrainTuner`.
+  void ParallelForTuned(
+      GrainTuner* tuner, std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t, std::size_t)>& body,
+      std::size_t max_parallelism = 0);
+
+  /// `Global()->ParallelFor`, except that a serial cap (`max_parallelism
+  /// == 1`) runs the identical shard loop inline *without touching — or
+  /// lazily spawning — the global scheduler*. Call sites use this instead
+  /// of hand-rolling the guard, so the invariant "a num_threads=1 caller
+  /// never constructs the worker pool" is structural.
+  static void GlobalParallelFor(
+      std::size_t begin, std::size_t end, std::size_t grain,
+      const std::function<void(std::size_t, std::size_t)>& body,
+      std::size_t max_parallelism);
+
+  SchedulerCounters counters() const;
+  void ResetCounters();
+
+  /// True when the calling thread is currently executing a task of this
+  /// scheduler (used to classify nested regions; exposed for tests).
+  bool InTask() const;
+
+ private:
+  friend class TaskGroup;
+
+  struct Task {
+    std::function<void()> fn;
+    TaskGroup* group = nullptr;
+  };
+
+  /// Chase–Lev-style work-stealing deque. The owner pushes/pops at the
+  /// bottom; any thread steals from the top. All slots are atomic, so the
+  /// implementation is ThreadSanitizer-clean without fences.
+  class Deque {
+   public:
+    Deque();
+    ~Deque();
+    void Push(Task* task);  // owner only
+    Task* Pop();            // owner only
+    Task* Steal();          // any thread
+
+   private:
+    struct Ring {
+      explicit Ring(std::size_t capacity);
+      std::size_t capacity;
+      std::unique_ptr<std::atomic<Task*>[]> slots;
+      std::atomic<Task*>& Slot(std::int64_t i) {
+        return slots[static_cast<std::size_t>(i) & (capacity - 1)];
+      }
+    };
+    Ring* Grow(Ring* ring, std::int64_t bottom, std::int64_t top);
+
+    std::atomic<std::int64_t> top_{0};
+    std::atomic<std::int64_t> bottom_{0};
+    std::atomic<Ring*> ring_;
+    // Retired rings stay alive until destruction: a thief may still be
+    // reading a stale ring pointer (its values are preserved by Grow).
+    std::vector<std::unique_ptr<Ring>> retired_;
+    std::mutex retired_mutex_;
+  };
+
+  void WorkerLoop(std::size_t index);
+  void Submit(Task* task);
+  Task* TryAcquire();
+  void RunTask(Task* task);
+
+  std::vector<std::unique_ptr<Deque>> deques_;  // one per worker
+  std::vector<std::thread> workers_;
+
+  std::mutex inject_mutex_;
+  std::deque<Task*> inject_queue_;
+
+  std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;
+  bool shutdown_ = false;                  // guarded by sleep_mutex_
+  std::atomic<std::size_t> available_{0};  // queued, not yet acquired
+
+  std::atomic<std::uint64_t> tasks_spawned_{0};
+  std::atomic<std::uint64_t> tasks_stolen_{0};
+  std::atomic<std::uint64_t> tasks_injected_{0};
+  std::atomic<std::uint64_t> regions_{0};
+  std::atomic<std::uint64_t> nested_regions_{0};
+  std::atomic<std::uint64_t> inline_regions_{0};
+};
+
+}  // namespace jury
+
+#endif  // JURYOPT_UTIL_SCHEDULER_H_

@@ -1,100 +1,9 @@
 #include "util/thread_pool.h"
 
-#include <algorithm>
 #include <limits>
-
-#include "util/env.h"
+#include <vector>
 
 namespace jury {
-
-std::size_t ResolveThreadCount(std::size_t requested) {
-  if (requested > 0) return requested;
-  const std::int64_t env = GetEnvInt("JURYOPT_THREADS", 0);
-  if (env > 0) return static_cast<std::size_t>(env);
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? static_cast<std::size_t>(hw) : 1;
-}
-
-ThreadPool::ThreadPool(std::size_t num_threads) {
-  const std::size_t n = num_threads > 0 ? num_threads : 1;
-  workers_.reserve(n - 1);
-  for (std::size_t i = 0; i + 1 < n; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
-  }
-}
-
-ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    shutdown_ = true;
-  }
-  start_cv_.notify_all();
-  for (std::thread& worker : workers_) worker.join();
-}
-
-void ThreadPool::WorkerLoop() {
-  std::uint64_t seen_generation = 0;
-  for (;;) {
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      start_cv_.wait(lock, [&] {
-        return shutdown_ || generation_ != seen_generation;
-      });
-      if (shutdown_) return;
-      seen_generation = generation_;
-    }
-    RunRegion();
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      --busy_workers_;
-    }
-    done_cv_.notify_one();
-  }
-}
-
-void ThreadPool::RunRegion() {
-  for (;;) {
-    const std::size_t shard = next_shard_.fetch_add(1);
-    if (shard >= shard_count_) return;
-    const std::size_t shard_begin = region_begin_ + shard * region_grain_;
-    const std::size_t shard_end =
-        std::min(region_end_, shard_begin + region_grain_);
-    (*body_)(shard_begin, shard_end);
-  }
-}
-
-void ThreadPool::ParallelFor(
-    std::size_t begin, std::size_t end, std::size_t grain,
-    const std::function<void(std::size_t, std::size_t)>& body) {
-  if (begin >= end) return;
-  if (grain == 0) grain = 1;
-  const std::size_t count = end - begin;
-  const std::size_t shards = (count + grain - 1) / grain;
-  if (workers_.empty() || shards == 1) {
-    // Inline fallback: identical shard boundaries, caller runs them all.
-    for (std::size_t shard = 0; shard < shards; ++shard) {
-      const std::size_t shard_begin = begin + shard * grain;
-      body(shard_begin, std::min(end, shard_begin + grain));
-    }
-    return;
-  }
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    body_ = &body;
-    region_begin_ = begin;
-    region_end_ = end;
-    region_grain_ = grain;
-    shard_count_ = shards;
-    next_shard_.store(0);
-    busy_workers_ = workers_.size();
-    ++generation_;
-  }
-  start_cv_.notify_all();
-  RunRegion();  // the caller claims shards alongside the workers
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [&] { return busy_workers_ == 0; });
-  body_ = nullptr;
-}
 
 ArgmaxResult ParallelArgmax(ThreadPool* pool, std::size_t n,
                             std::size_t grain,

@@ -1,79 +1,51 @@
 #ifndef JURYOPT_UTIL_THREAD_POOL_H_
 #define JURYOPT_UTIL_THREAD_POOL_H_
 
-#include <atomic>
-#include <condition_variable>
 #include <cstddef>
-#include <cstdint>
 #include <functional>
-#include <mutex>
-#include <thread>
-#include <vector>
+
+#include "util/scheduler.h"
 
 namespace jury {
 
-/// Resolves a requested thread count to the number of threads a solver
-/// should actually use: `requested` when positive, otherwise the
-/// `JURYOPT_THREADS` environment variable when set to a positive integer,
-/// otherwise `std::thread::hardware_concurrency()` (at least 1).
-std::size_t ResolveThreadCount(std::size_t requested);
+// `ResolveThreadCount` now lives in util/scheduler.h (included above) and
+// is re-exported here for the historical includers.
 
-/// \brief Fixed-size pool of worker threads running "parallel regions".
+/// \brief Compatibility shim over the process-wide work-stealing scheduler.
 ///
-/// The pool exists so the solver layer can fan independent JQ evaluations
-/// (annealing restarts, greedy candidate shards, Gray-code subset
-/// partitions, budget-table rows) across cores while staying
-/// *bit-deterministic regardless of thread count*: work is always split
-/// into shards whose boundaries do not depend on scheduling, every shard
-/// writes to its own output slots, and reductions happen serially in shard
-/// order after the region completes. Threads only decide *when* a shard
-/// runs, never *what* it computes or how results combine.
+/// The fixed-size per-call pool this class used to be is retired: regions
+/// now run on `Scheduler::Global()`, and `num_threads` survives as the
+/// region's parallelism cap (1 = inline on the caller, exactly the old
+/// serial path). The determinism contract is unchanged — shard boundaries
+/// are a pure function of (begin, end, grain), reductions happen serially
+/// in shard order after the region — and, unlike the old pool, regions may
+/// nest: a body may call back into `ParallelFor` (or the scheduler
+/// directly) and idle workers will steal the inner shards.
 ///
-/// A pool of size 1 never spawns threads: every region runs inline on the
-/// caller, which is the `num_threads = 1` fallback path. For larger sizes
-/// the caller participates in each region alongside `size - 1` workers.
+/// Every in-repo solver now uses `Scheduler` directly; this header stays
+/// as the stable pool-shaped API for out-of-tree callers (plus the
+/// `ParallelArgmax` reduction helper) with its original tests as the
+/// contract. New code should use `Scheduler`.
 class ThreadPool {
  public:
-  /// Creates a pool that runs regions on `num_threads` threads total
-  /// (caller + num_threads - 1 workers). Clamped to at least 1.
-  explicit ThreadPool(std::size_t num_threads);
-  ~ThreadPool();
+  explicit ThreadPool(std::size_t num_threads)
+      : num_threads_(num_threads > 0 ? num_threads : 1) {}
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  std::size_t num_threads() const { return workers_.size() + 1; }
+  std::size_t num_threads() const { return num_threads_; }
 
-  /// Splits [begin, end) into contiguous shards of at most `grain`
-  /// elements and runs `body(shard_begin, shard_end)` once per shard,
-  /// claiming shards dynamically across the pool. Returns after every
-  /// shard has completed. Shard boundaries depend only on (begin, end,
-  /// grain) — never on the thread count — so a body that writes
-  /// per-element or per-shard outputs produces identical results on any
-  /// pool size. `body` must not throw and must not call back into the
-  /// same pool (regions do not nest).
+  /// See `Scheduler::GlobalParallelFor`; `num_threads` caps the
+  /// parallelism, and a size-1 pool runs inline without ever touching (or
+  /// spawning) the global scheduler — the old zero-worker serial pool.
   void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
-                   const std::function<void(std::size_t, std::size_t)>& body);
+                   const std::function<void(std::size_t, std::size_t)>& body) {
+    Scheduler::GlobalParallelFor(begin, end, grain, body, num_threads_);
+  }
 
  private:
-  void WorkerLoop();
-  void RunRegion();
-
-  std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable start_cv_;
-  std::condition_variable done_cv_;
-  bool shutdown_ = false;
-  std::uint64_t generation_ = 0;
-  std::size_t busy_workers_ = 0;
-
-  // Current region, valid while busy_workers_ > 0 or the caller runs it.
-  const std::function<void(std::size_t, std::size_t)>* body_ = nullptr;
-  std::size_t region_begin_ = 0;
-  std::size_t region_end_ = 0;
-  std::size_t region_grain_ = 1;
-  std::atomic<std::size_t> next_shard_{0};
-  std::size_t shard_count_ = 0;
+  std::size_t num_threads_;
 };
 
 /// Result of `ParallelArgmax`: the winning index and its score, or

@@ -1,3 +1,6 @@
+#include <cstdlib>
+#include <string>
+
 #include "gtest/gtest.h"
 #include "core/budget_table.h"
 #include "test_util.h"
@@ -133,6 +136,91 @@ TEST(BudgetTableTest, FormatsInPaperStyle) {
   EXPECT_NE(rendered.find("Budget"), std::string::npos);
   EXPECT_NE(rendered.find("{B, C, G}"), std::string::npos);
   EXPECT_NE(rendered.find("84.50%"), std::string::npos);
+}
+
+/// Sets JURYOPT_THREADS for one scope, restoring the previous value — the
+/// TSAN CI job runs this binary with JURYOPT_THREADS=4 and later tests
+/// must still see it.
+class ScopedThreadsEnv {
+ public:
+  explicit ScopedThreadsEnv(const std::string& value) {
+    const char* prev = std::getenv("JURYOPT_THREADS");
+    if (prev != nullptr) {
+      had_previous_ = true;
+      previous_ = prev;
+    }
+    ::setenv("JURYOPT_THREADS", value.c_str(), 1);
+  }
+  ~ScopedThreadsEnv() {
+    if (had_previous_) {
+      ::setenv("JURYOPT_THREADS", previous_.c_str(), 1);
+    } else {
+      ::unsetenv("JURYOPT_THREADS");
+    }
+  }
+
+ private:
+  bool had_previous_ = false;
+  std::string previous_;
+};
+
+TEST(BudgetTableNestedParallelismTest, NestedTablesAreThreadCountInvariant) {
+  // The nested-parallel path proper: 16 candidates force the annealing
+  // branch of SolveOptjs, 3 restart chains give every row inner parallel
+  // regions, and 2 rows < workers force the scheduler to fan those inner
+  // regions across otherwise-idle workers. The table must be bit-identical
+  // for JURYOPT_THREADS in {1, 2, 8}.
+  Rng pool_rng(88001);
+  const auto pool =
+      jury::testing::RandomPool(&pool_rng, 16, 0.5, 0.95, 0.05, 0.4);
+  const std::vector<double> budgets{0.3, 0.7};
+  OptjsOptions options;
+  options.annealing.num_restarts = 3;
+  std::vector<BudgetQualityRow> reference;
+  for (const char* threads : {"1", "2", "8"}) {
+    ScopedThreadsEnv env(threads);
+    Rng rng(654);
+    const auto rows =
+        BuildBudgetQualityTable(pool, budgets, 0.5, &rng, options).value();
+    if (reference.empty()) {
+      reference = rows;
+      continue;
+    }
+    ASSERT_EQ(rows.size(), reference.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      EXPECT_EQ(rows[i].selected, reference[i].selected)
+          << "row " << i << ", threads " << threads;
+      EXPECT_NEAR(rows[i].jq, reference[i].jq, 1e-12);
+    }
+  }
+}
+
+TEST(BudgetTableNestedParallelismTest, NestedMatchesFixedPoolBaseline) {
+  // Nested solver parallelism is a scheduling change only: the same table
+  // as the historical inner-pinned-to-one-thread mode, bit for bit.
+  Rng pool_rng(88011);
+  const auto pool =
+      jury::testing::RandomPool(&pool_rng, 16, 0.5, 0.95, 0.05, 0.4);
+  const std::vector<double> budgets{0.25, 0.5, 0.75};
+  OptjsOptions options;
+  options.annealing.num_restarts = 2;
+  ScopedThreadsEnv env("8");
+  BudgetTableOptions nested;  // default: nested parallelism on
+  BudgetTableOptions pinned;
+  pinned.nested_solver_parallelism = false;
+  Rng rng_a(987);
+  const auto with_nested =
+      BuildBudgetQualityTable(pool, budgets, 0.5, &rng_a, options, nested)
+          .value();
+  Rng rng_b(987);
+  const auto with_pin =
+      BuildBudgetQualityTable(pool, budgets, 0.5, &rng_b, options, pinned)
+          .value();
+  ASSERT_EQ(with_nested.size(), with_pin.size());
+  for (std::size_t i = 0; i < with_nested.size(); ++i) {
+    EXPECT_EQ(with_nested[i].selected, with_pin[i].selected) << "row " << i;
+    EXPECT_NEAR(with_nested[i].jq, with_pin[i].jq, 1e-12);
+  }
 }
 
 }  // namespace

@@ -226,5 +226,106 @@ TEST(IncrementalEvalTest, CountersSplitFullAndIncremental) {
   EXPECT_EQ(objective.evaluation_counters().incremental, 2u);
 }
 
+/// Shared harness for the batched-scan contract: against a committed jury
+/// of each size in `committed_sizes`, `ScoreAddBatch` must reproduce the
+/// scalar `ScoreAdd` score of every candidate bit for bit, and the scores
+/// must not depend on how the candidate list is split into batches (the
+/// invariant that lets the parallel greedy scan shard with any grain).
+void BatchMatchesScalar(const JqObjective& objective, double alpha,
+                        bool incremental, std::uint64_t seed) {
+  Rng rng(seed);
+  auto session = objective.StartSession(alpha, incremental);
+  std::vector<Worker> candidates;
+  for (int j = 0; j < 24; ++j) {
+    candidates.push_back(RandomWorker(&rng, j));
+  }
+  // Stress the bucket backend's special cases: a §4.4-shortcut candidate,
+  // a grid-moving near-max candidate, and exact coin flippers.
+  candidates.push_back(Worker("hq", 0.995, 0.0));
+  candidates.push_back(Worker("gridmove", 0.949, 0.0));
+  candidates.push_back(Worker("coin", 0.5, 0.0));
+  candidates.push_back(Worker("flip", 0.2, 0.0));
+  std::vector<const Worker*> ptrs;
+  for (const Worker& w : candidates) ptrs.push_back(&w);
+
+  for (int committed = 0; committed < 4; ++committed) {
+    std::vector<double> scalar(ptrs.size());
+    for (std::size_t j = 0; j < ptrs.size(); ++j) {
+      scalar[j] = session->ScoreAdd(*ptrs[j]);
+      session->Rollback();
+    }
+    std::vector<double> batched(ptrs.size(), -1.0);
+    session->ScoreAddBatch(ptrs.data(), ptrs.size(), batched.data());
+    for (std::size_t j = 0; j < ptrs.size(); ++j) {
+      EXPECT_EQ(batched[j], scalar[j])
+          << objective.name() << " committed=" << committed << " j=" << j
+          << " (" << ptrs[j]->id << ")";
+    }
+    // Batch-composition independence: two half-batches, same scores.
+    const std::size_t half = ptrs.size() / 2;
+    std::vector<double> split(ptrs.size(), -1.0);
+    session->ScoreAddBatch(ptrs.data(), half, split.data());
+    session->ScoreAddBatch(ptrs.data() + half, ptrs.size() - half,
+                           split.data() + half);
+    for (std::size_t j = 0; j < ptrs.size(); ++j) {
+      EXPECT_EQ(split[j], batched[j])
+          << objective.name() << " committed=" << committed << " j=" << j;
+    }
+    EXPECT_FALSE(session->has_staged_move());
+    // Grow the committed jury through the batch-scored winner, as the
+    // greedy solver does, and make sure the session stays coherent.
+    const std::size_t winner = static_cast<std::size_t>(committed);
+    session->CommitAdd(*ptrs[winner], batched[winner]);
+    EXPECT_EQ(session->current_jq(), batched[winner]);
+  }
+}
+
+TEST(IncrementalEvalTest, ScoreAddBatchMatchesScalarBucketBv) {
+  BatchMatchesScalar(BucketBvObjective(), 0.5, true, 31001);
+  BatchMatchesScalar(BucketBvObjective(), 0.7, true, 31003);
+  BucketJqOptions no_shortcut;
+  no_shortcut.high_quality_cutoff = 1.0;
+  BatchMatchesScalar(BucketBvObjective(no_shortcut), 0.5, true, 31005);
+}
+
+TEST(IncrementalEvalTest, ScoreAddBatchMatchesScalarMajority) {
+  BatchMatchesScalar(MajorityObjective(), 0.5, true, 31011);
+  BatchMatchesScalar(MajorityObjective(), 0.65, true, 31013);
+}
+
+TEST(IncrementalEvalTest, ScoreAddBatchMatchesScalarExactBv) {
+  BatchMatchesScalar(ExactBvObjective(), 0.5, true, 31021);
+}
+
+TEST(IncrementalEvalTest, ScoreAddBatchMatchesScalarFullRecompute) {
+  BatchMatchesScalar(BucketBvObjective(), 0.5, /*incremental=*/false, 31031);
+  BatchMatchesScalar(MajorityObjective(), 0.5, /*incremental=*/false, 31033);
+}
+
+TEST(IncrementalEvalTest, ScoreAddBatchOnClonesMatchesParent) {
+  // The parallel greedy scan scores through per-shard clones; their batch
+  // scores must be bit-identical to the parent session's.
+  const BucketBvObjective objective;
+  Rng rng(31041);
+  auto session = objective.StartSession(0.5);
+  for (int i = 0; i < 5; ++i) {
+    session->ScoreAdd(RandomWorker(&rng, 100 + i));
+    session->Commit();
+  }
+  std::vector<Worker> candidates;
+  for (int j = 0; j < 16; ++j) candidates.push_back(RandomWorker(&rng, j));
+  std::vector<const Worker*> ptrs;
+  for (const Worker& w : candidates) ptrs.push_back(&w);
+  std::vector<double> parent(ptrs.size());
+  session->ScoreAddBatch(ptrs.data(), ptrs.size(), parent.data());
+  auto clone = session->Clone();
+  ASSERT_NE(clone, nullptr);
+  std::vector<double> cloned(ptrs.size());
+  clone->ScoreAddBatch(ptrs.data(), ptrs.size(), cloned.data());
+  for (std::size_t j = 0; j < ptrs.size(); ++j) {
+    EXPECT_EQ(cloned[j], parent[j]) << "j=" << j;
+  }
+}
+
 }  // namespace
 }  // namespace jury

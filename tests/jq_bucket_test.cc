@@ -286,6 +286,39 @@ TEST(BucketJqTest, MixedExtremeAndWeakWorkers) {
   EXPECT_NEAR(exact, 0.98, 1e-9);
 }
 
+TEST(BucketKeyDistributionBatchTest, FusedMassMatchesCopyConvolveSweep) {
+  // The fused greedy-scan kernel must equal {copy; Convolve; PositiveMass}
+  // bit for bit, across committed spans, candidate buckets larger and
+  // smaller than the span, and the b == 0 no-op case.
+  Rng rng(47);
+  for (int committed : {0, 1, 3, 8, 20}) {
+    BucketKeyDistribution dist;
+    for (int i = 0; i < committed; ++i) {
+      dist.Convolve(1 + static_cast<std::int64_t>(rng.UniformInt(40)),
+                    rng.Uniform(0.5, 1.0));
+    }
+    std::vector<std::int64_t> bs;
+    std::vector<double> qs;
+    for (int j = 0; j < 25; ++j) {
+      bs.push_back(static_cast<std::int64_t>(rng.UniformInt(60)));  // incl. 0
+      qs.push_back(rng.Uniform(0.5, 1.0));
+    }
+    bs.push_back(0);  // exact no-op candidate
+    qs.push_back(0.75);
+    bs.push_back(dist.span() + 17);  // bucket beyond the committed span
+    qs.push_back(0.9);
+    std::vector<double> fused(bs.size());
+    dist.ConvolvePositiveMassBatch(bs.data(), qs.data(), bs.size(),
+                                   fused.data());
+    for (std::size_t j = 0; j < bs.size(); ++j) {
+      BucketKeyDistribution copy = dist;
+      copy.Convolve(bs[j], qs[j]);
+      EXPECT_EQ(fused[j], copy.PositiveMass())
+          << "committed=" << committed << " j=" << j << " b=" << bs[j];
+    }
+  }
+}
+
 TEST(ApplyPriorTest, UninformativePriorIsIdentity) {
   const Jury jury = Figure2Jury();
   EXPECT_EQ(ApplyPrior(jury, 0.5).size(), jury.size());

@@ -215,5 +215,71 @@ TEST(PoissonBinomialDeltaTest, LongAddRemoveChurnStaysAccurate) {
   }
 }
 
+TEST(PoissonBinomialBatchTest, AddTrialBatchIsBitIdenticalToScalarAdds) {
+  Rng rng(23);
+  for (int n : {0, 1, 7, 64, 300}) {
+    std::vector<double> probs;
+    for (int i = 0; i < n; ++i) probs.push_back(rng.Uniform());
+    probs.push_back(0.0);  // degenerate trials must round-trip too
+    probs.push_back(1.0);
+    PoissonBinomial scalar({});
+    for (double p : probs) scalar.AddTrial(p);
+    PoissonBinomial batched({});
+    batched.AddTrialBatch(probs.data(), probs.size());
+    ASSERT_EQ(scalar.size(), batched.size()) << "n=" << n;
+    for (int k = 0; k <= scalar.size(); ++k) {
+      EXPECT_EQ(scalar.Pmf(k), batched.Pmf(k)) << "n=" << n << " k=" << k;
+    }
+    EXPECT_EQ(scalar.Mean(), batched.Mean());
+  }
+}
+
+TEST(PoissonBinomialBatchTest, EvaluateBatchMatchesAddTrialThenQueries) {
+  // The greedy-scan kernel contract: for every candidate p, the batched
+  // tail/cdf equals {copy; AddTrial(p); TailAtLeast/CdfAtMost} bit for
+  // bit — including the clamped out-of-range and degenerate-p cases.
+  Rng rng(29);
+  for (int n : {0, 1, 5, 40, 200}) {
+    std::vector<double> committed;
+    for (int i = 0; i < n; ++i) committed.push_back(rng.Uniform(0.05, 0.95));
+    const PoissonBinomial pb(committed);
+    std::vector<double> candidates;
+    for (int j = 0; j < 37; ++j) candidates.push_back(rng.Uniform());
+    candidates.push_back(0.0);
+    candidates.push_back(1.0);
+    candidates.push_back(-0.25);  // clamps like AddTrial
+    candidates.push_back(1.75);
+    for (int tail_k : {-1, 0, 1, n / 2, n / 2 + 1, n + 1, n + 2}) {
+      for (int cdf_k : {-1, 0, n / 2, n + 1, n + 5}) {
+        std::vector<double> tails(candidates.size());
+        std::vector<double> cdfs(candidates.size());
+        pb.EvaluateBatch(candidates.data(), candidates.size(), tail_k,
+                         cdf_k, tails.data(), cdfs.data());
+        for (std::size_t j = 0; j < candidates.size(); ++j) {
+          PoissonBinomial copy = pb;
+          copy.AddTrial(candidates[j]);
+          EXPECT_EQ(tails[j], copy.TailAtLeast(tail_k))
+              << "n=" << n << " j=" << j << " tail_k=" << tail_k;
+          EXPECT_EQ(cdfs[j], copy.CdfAtMost(cdf_k))
+              << "n=" << n << " j=" << j << " cdf_k=" << cdf_k;
+        }
+      }
+    }
+  }
+}
+
+TEST(PoissonBinomialBatchTest, EvaluateBatchHonorsNullOutputs) {
+  const PoissonBinomial pb({0.3, 0.8});
+  const double probs[] = {0.5, 0.9};
+  double tails[2] = {-1.0, -1.0};
+  pb.EvaluateBatch(probs, 2, 2, 0, tails, nullptr);
+  PoissonBinomial copy = pb;
+  copy.AddTrial(0.5);
+  EXPECT_EQ(tails[0], copy.TailAtLeast(2));
+  double cdfs[2] = {-1.0, -1.0};
+  pb.EvaluateBatch(probs, 2, 0, 1, nullptr, cdfs);
+  EXPECT_EQ(cdfs[0], copy.CdfAtMost(1));
+}
+
 }  // namespace
 }  // namespace jury
