@@ -240,6 +240,100 @@ void RunIncrementalAblation() {
   bench::PrintEvaluationCounters("annealing N=100 (BV/bucket)", demo);
 }
 
+/// Batched-vs-scalar annealing-neighbourhood ablation: the same SA
+/// workload with the batched best-improvement polish (the unified
+/// ScoreAddBatch/ScoreRemoveBatch/ScoreSwapBatch neighbourhood scan) on,
+/// against the PR 3 baselines — the plain scalar-neighbourhood run and
+/// the quality-matched "x3 restarts" scale-up. The counter columns are
+/// the evidence the unified scan argues from: the polish reaches a
+/// deeper local optimum with delta-updated batch scores, where matching
+/// its quality by restarts multiplies the full-evaluation (grid-rebuild)
+/// budget instead.
+void RunBatchedNeighbourhoodAblation(bench::ThreadScalingReport* report) {
+  const int reps = static_cast<int>(bench::Reps(8));
+  constexpr int kN = 24;
+  bench::PrintHeader(
+      "Ablation — batched vs scalar annealing neighbourhood",
+      "SA at N = 24, B = 0.5; polish = batched unified move scan; "
+      "baselines = PR 3 scalar neighbourhood (polish off) and x3 restarts; "
+      "mean over " + std::to_string(reps) + " instances.");
+
+  struct Config {
+    std::string name;
+    AnnealingOptions options;
+  };
+  std::vector<Config> configs;
+  {
+    Config off{"scalar neighbourhood (PR 3)", {}};
+    off.options.max_polish_moves = 0;
+    configs.push_back(off);
+    Config restarts{"scalar neighbourhood x3 restarts", {}};
+    restarts.options.max_polish_moves = 0;
+    restarts.options.num_restarts = 3;
+    configs.push_back(restarts);
+    Config polish{"batched neighbourhood polish", {}};
+    configs.push_back(polish);
+    // The payoff regime: the batched scan lets the schedule be cut in
+    // half (cooling 0.25 ~ halves the temperature levels) because the
+    // polish recovers the local-search quality SA would otherwise need
+    // the long tail of the schedule (or extra restarts) to find.
+    Config half{"half schedule + batched polish", {}};
+    half.options.cooling_factor = 0.25;
+    configs.push_back(half);
+  }
+
+  const BucketBvObjective objective;
+  Rng rng(737373);
+  std::vector<JspInstance> instances;
+  std::vector<double> optima;
+  for (int rep = 0; rep < reps; ++rep) {
+    Rng pool_rng = rng.Fork();
+    JspInstance instance;
+    instance.candidates = bench::PaperPool(&pool_rng, kN, 0.7);
+    instance.budget = 0.5;
+    instance.alpha = 0.5;
+    optima.push_back(
+        SolveBranchAndBound(instance, objective).value().jq);
+    instances.push_back(std::move(instance));
+  }
+
+  Table table({"config", "mean JQ gap", "full evals", "incr evals",
+               "secs/solve", "polish moves"});
+  for (const Config& config : configs) {
+    OnlineStats gap, secs;
+    std::size_t polish_moves = 0;
+    objective.ResetEvaluationCounters();
+    for (int rep = 0; rep < reps; ++rep) {
+      Rng sa_rng(31000 + static_cast<std::uint64_t>(rep));
+      AnnealingStats stats;
+      Timer t;
+      const auto s = SolveAnnealing(instances[static_cast<std::size_t>(rep)],
+                                    objective, &sa_rng, config.options,
+                                    &stats)
+                         .value();
+      secs.Add(t.ElapsedSeconds());
+      gap.Add(optima[static_cast<std::size_t>(rep)] - s.jq);
+      polish_moves += stats.polish_moves;
+    }
+    const EvaluationCounters counters = objective.evaluation_counters();
+    table.AddRow({config.name, FormatPercent(gap.mean(), 3),
+                  std::to_string(counters.full),
+                  std::to_string(counters.incremental),
+                  Format(secs.mean(), 6), std::to_string(polish_moves)});
+    report->AddAnnealingNeighbourhood(config.name, kN, gap.mean(),
+                                      counters.full, counters.incremental,
+                                      secs.mean());
+  }
+  std::cout << table.ToString()
+            << "Takeaway: the batched polish makes every returned jury "
+               "single-move locally optimal by construction (contiguous "
+               "fused-kernel scans over the full neighbourhood), so the "
+               "SA schedule can be cut — the half-schedule config matches "
+               "the PR 3 baseline's quality with fewer full (grid-"
+               "rebuild) evaluations and far less wall-clock, where "
+               "matching it by extra restarts multiplies both.\n";
+}
+
 /// Nested-parallelism ablation: the budget-table workload the scheduler
 /// exists for — 2 rows (fewer than the workers at 4 threads) each driving
 /// an inner OPTJS solve with 8 restart chains. The fixed-pool baseline
@@ -441,6 +535,7 @@ int RunParallelAblation() {
                "while the deterministic reductions keep the juries "
                "bit-identical.\n";
   violations += RunNestedBudgetTableAblation(&report);
+  RunBatchedNeighbourhoodAblation(&report);
   report.WriteIfRequested();
   return violations;
 }

@@ -10,8 +10,10 @@
 #include "jq/closed_form.h"
 #include "jq/exact.h"
 #include "model/jury.h"
+#include "model/worker_pool_view.h"
 #include "util/poisson_binomial.h"
 #include "util/rng.h"
+#include "util/simd_dispatch.h"
 
 namespace jury {
 namespace {
@@ -372,6 +374,232 @@ void BM_SessionScanBatchedMajority(benchmark::State& state) {
   SessionScan(state, MajorityObjective(), /*batched=*/true);
 }
 BENCHMARK(BM_SessionScanBatchedMajority)->Arg(10)->Arg(100)->Arg(500);
+
+// ---------------------------------------------------------------------------
+// Scalar vs AVX2 kernel sections: the same fused batched kernels pinned to
+// one dispatch level (util/simd_dispatch.h), so the SIMD win is measured
+// per kernel — the acceptance bar is >= 1.5x for AVX2 over scalar on
+// EvaluateBatch and ConvolvePositiveMassBatch on AVX2 hardware. Levels are
+// bit-identical, so these rows differ in time only.
+// ---------------------------------------------------------------------------
+
+/// The dispatch level selected at startup, captured before any bench pins
+/// a different one (the level-pinned benches restore it on exit so the
+/// remaining benches run on the production default).
+simd::Level DefaultSimdLevel() {
+  static const simd::Level level = simd::ActiveLevel();
+  return level;
+}
+
+/// Pins a dispatch level for the duration of a benchmark run; skips the
+/// benchmark when the level is unavailable on this build/CPU.
+bool PinLevelOrSkip(benchmark::State& state, simd::Level level) {
+  DefaultSimdLevel();  // capture before the first pin
+  if (!simd::SetLevel(level)) {
+    state.SkipWithError("SIMD level unavailable");
+    return false;
+  }
+  return true;
+}
+
+void BM_EvaluateBatchKernel(benchmark::State& state, simd::Level level) {
+  if (!PinLevelOrSkip(state, level)) return;
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(31);
+  std::vector<double> committed;
+  for (int i = 0; i < n; ++i) committed.push_back(rng.Uniform(0.3, 0.95));
+  const PoissonBinomial pb(committed);
+  const std::vector<double> candidates = ScanProbs();
+  const int k = (n + 1) / 2 + 1;
+  std::vector<double> tails(candidates.size());
+  std::vector<double> cdfs(candidates.size());
+  for (auto _ : state) {
+    pb.EvaluateBatch(candidates.data(), candidates.size(), k, k - 1,
+                     tails.data(), cdfs.data());
+    benchmark::DoNotOptimize(tails.data());
+    benchmark::DoNotOptimize(cdfs.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kScanCandidates));
+  simd::SetLevel(DefaultSimdLevel());
+}
+BENCHMARK_CAPTURE(BM_EvaluateBatchKernel, scalar, simd::Level::kScalar)
+    ->Arg(10)->Arg(100)->Arg(500);
+BENCHMARK_CAPTURE(BM_EvaluateBatchKernel, avx2, simd::Level::kAvx2)
+    ->Arg(10)->Arg(100)->Arg(500);
+
+void BM_ConvolveMassKernel(benchmark::State& state, simd::Level level) {
+  if (!PinLevelOrSkip(state, level)) return;
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(41);
+  BucketKeyDistribution dist;
+  for (int i = 0; i < n; ++i) {
+    dist.Convolve(1 + static_cast<std::int64_t>(rng.UniformInt(50)),
+                  rng.Uniform(0.5, 0.95));
+  }
+  std::vector<std::int64_t> bs;
+  std::vector<double> qs;
+  for (std::size_t j = 0; j < kScanCandidates; ++j) {
+    bs.push_back(1 + static_cast<std::int64_t>(rng.UniformInt(50)));
+    qs.push_back(rng.Uniform(0.5, 0.95));
+  }
+  std::vector<double> out(kScanCandidates);
+  for (auto _ : state) {
+    dist.ConvolvePositiveMassBatch(bs.data(), qs.data(), kScanCandidates,
+                                   out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kScanCandidates));
+  simd::SetLevel(DefaultSimdLevel());
+}
+BENCHMARK_CAPTURE(BM_ConvolveMassKernel, scalar, simd::Level::kScalar)
+    ->Arg(10)->Arg(50)->Arg(200);
+BENCHMARK_CAPTURE(BM_ConvolveMassKernel, avx2, simd::Level::kAvx2)
+    ->Arg(10)->Arg(50)->Arg(200);
+
+void BM_RemoveBatchKernel(benchmark::State& state, simd::Level level) {
+  if (!PinLevelOrSkip(state, level)) return;
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(31);
+  std::vector<double> committed;
+  for (int i = 0; i < n; ++i) committed.push_back(rng.Uniform(0.3, 0.95));
+  const PoissonBinomial pb(committed);
+  // Remove every committed trial — the shape of a polish remove scan.
+  const int k = n / 2 + 1;
+  std::vector<double> tails(committed.size());
+  std::vector<double> cdfs(committed.size());
+  for (auto _ : state) {
+    pb.EvaluateRemoveBatch(committed.data(), committed.size(), k, k - 1,
+                           tails.data(), cdfs.data());
+    benchmark::DoNotOptimize(tails.data());
+    benchmark::DoNotOptimize(cdfs.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  simd::SetLevel(DefaultSimdLevel());
+}
+BENCHMARK_CAPTURE(BM_RemoveBatchKernel, scalar, simd::Level::kScalar)
+    ->Arg(10)->Arg(100)->Arg(500);
+BENCHMARK_CAPTURE(BM_RemoveBatchKernel, avx2, simd::Level::kAvx2)
+    ->Arg(10)->Arg(100)->Arg(500);
+
+// ---------------------------------------------------------------------------
+// Unified remove/swap session scans: scalar Score* + Rollback loops vs the
+// batched ScoreRemoveBatch / ScoreSwapBatch passes the annealing polish
+// runs (view-bound sessions, both objectives).
+// ---------------------------------------------------------------------------
+
+struct ScanFixture {
+  std::vector<Worker> pool;
+  WorkerPoolView view;
+  std::unique_ptr<IncrementalJqEvaluator> session;
+
+  ScanFixture(const JqObjective& objective, int n) {
+    Rng rng(47);
+    for (int i = 0; i < n; ++i) {
+      pool.emplace_back(
+          "w" + std::to_string(i),
+          rng.TruncatedGaussian(0.7, 0.22360679774997896, 0.01, 0.99), 0.0);
+    }
+    view = WorkerPoolView(pool);
+    session = objective.StartSession(view, 0.5);
+    // Commit the first half; scan removes over members and swaps/adds
+    // against the second half.
+    for (int i = 0; i < n / 2; ++i) {
+      session->ScoreAdd(view.worker(static_cast<std::size_t>(i)));
+      session->Commit();
+    }
+  }
+};
+
+void SessionRemoveScan(benchmark::State& state, const JqObjective& objective,
+                       bool batched) {
+  ScanFixture fx(objective, static_cast<int>(state.range(0)));
+  const std::size_t size = fx.session->size();
+  std::vector<std::size_t> positions(size);
+  for (std::size_t pos = 0; pos < size; ++pos) positions[pos] = pos;
+  std::vector<double> scores(size);
+  for (auto _ : state) {
+    if (batched) {
+      fx.session->ScoreRemoveBatch(positions.data(), size, scores.data());
+    } else {
+      for (std::size_t pos = 0; pos < size; ++pos) {
+        scores[pos] = fx.session->ScoreRemove(pos);
+        fx.session->Rollback();
+      }
+    }
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+
+void BM_SessionRemoveScanScalarBucket(benchmark::State& state) {
+  SessionRemoveScan(state, BucketBvObjective(), /*batched=*/false);
+}
+BENCHMARK(BM_SessionRemoveScanScalarBucket)->Arg(50)->Arg(200);
+
+void BM_SessionRemoveScanBatchedBucket(benchmark::State& state) {
+  SessionRemoveScan(state, BucketBvObjective(), /*batched=*/true);
+}
+BENCHMARK(BM_SessionRemoveScanBatchedBucket)->Arg(50)->Arg(200);
+
+void BM_SessionRemoveScanScalarMajority(benchmark::State& state) {
+  SessionRemoveScan(state, MajorityObjective(), /*batched=*/false);
+}
+BENCHMARK(BM_SessionRemoveScanScalarMajority)->Arg(50)->Arg(200);
+
+void BM_SessionRemoveScanBatchedMajority(benchmark::State& state) {
+  SessionRemoveScan(state, MajorityObjective(), /*batched=*/true);
+}
+BENCHMARK(BM_SessionRemoveScanBatchedMajority)->Arg(50)->Arg(200);
+
+void SessionSwapScan(benchmark::State& state, const JqObjective& objective,
+                     bool batched) {
+  ScanFixture fx(objective, static_cast<int>(state.range(0)));
+  const std::size_t n = fx.view.size();
+  std::vector<std::size_t> ins;
+  for (std::size_t i = fx.session->size(); i < n; ++i) ins.push_back(i);
+  std::vector<double> scores(ins.size());
+  std::size_t out_pos = 0;
+  for (auto _ : state) {
+    if (batched) {
+      fx.session->ScoreSwapBatch(out_pos % fx.session->size(), ins.data(),
+                                 ins.size(), scores.data());
+    } else {
+      for (std::size_t j = 0; j < ins.size(); ++j) {
+        scores[j] = fx.session->ScoreSwap(out_pos % fx.session->size(),
+                                          fx.view.worker(ins[j]));
+        fx.session->Rollback();
+      }
+    }
+    ++out_pos;
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ins.size()));
+}
+
+void BM_SessionSwapScanScalarBucket(benchmark::State& state) {
+  SessionSwapScan(state, BucketBvObjective(), /*batched=*/false);
+}
+BENCHMARK(BM_SessionSwapScanScalarBucket)->Arg(50)->Arg(200);
+
+void BM_SessionSwapScanBatchedBucket(benchmark::State& state) {
+  SessionSwapScan(state, BucketBvObjective(), /*batched=*/true);
+}
+BENCHMARK(BM_SessionSwapScanBatchedBucket)->Arg(50)->Arg(200);
+
+void BM_SessionSwapScanScalarMajority(benchmark::State& state) {
+  SessionSwapScan(state, MajorityObjective(), /*batched=*/false);
+}
+BENCHMARK(BM_SessionSwapScanScalarMajority)->Arg(50)->Arg(200);
+
+void BM_SessionSwapScanBatchedMajority(benchmark::State& state) {
+  SessionSwapScan(state, MajorityObjective(), /*batched=*/true);
+}
+BENCHMARK(BM_SessionSwapScanBatchedMajority)->Arg(50)->Arg(200);
 
 void BM_AnnealingSolve(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

@@ -1,12 +1,14 @@
 #ifndef JURYOPT_BENCH_BENCH_UTIL_H_
 #define JURYOPT_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/objective.h"
@@ -109,6 +111,22 @@ class ThreadScalingReport {
     nested_rows_.push_back(row.str());
   }
 
+  /// One annealing-neighbourhood ablation row: the same SA workload with
+  /// the batched polish scan on vs the PR 3 scalar-neighbourhood
+  /// baselines, with the evaluation-counter evidence.
+  void AddAnnealingNeighbourhood(const std::string& config, int n,
+                                 double mean_gap, std::size_t full_evals,
+                                 std::size_t incremental_evals,
+                                 double seconds) {
+    std::ostringstream row;
+    row << "    {\"config\": \"" << config << "\", \"n\": " << n
+        << ", \"mean_jq_gap\": " << mean_gap
+        << ", \"full_evals\": " << full_evals
+        << ", \"incremental_evals\": " << incremental_evals
+        << ", \"seconds\": " << seconds << "}";
+    neighbourhood_rows_.push_back(row.str());
+  }
+
   /// Scheduler counters snapshotted around the nested workload: nonzero
   /// `nested_regions` (and, with idle workers, `tasks_stolen`) is the
   /// direct evidence that budget-table rows fanned their inner OPTJS
@@ -129,7 +147,12 @@ class ThreadScalingReport {
     const char* path = std::getenv("JURY_BENCH_JSON");
     if (path == nullptr || path[0] == '\0') return;
     std::ofstream out(path);
-    out << "{\n  \"thread_scaling\": [\n";
+    // Host provenance: a baseline recorded on a 1-thread box makes no
+    // scaling claim, and scripts/check_scaling_regression.py skips the
+    // speedup gates for such baselines.
+    out << "{\n  \"host\": {\"hardware_threads\": "
+        << std::max(1u, std::thread::hardware_concurrency()) << "},\n";
+    out << "  \"thread_scaling\": [\n";
     for (std::size_t i = 0; i < rows_.size(); ++i) {
       out << rows_[i] << (i + 1 < rows_.size() ? ",\n" : "\n");
     }
@@ -138,6 +161,14 @@ class ThreadScalingReport {
       out << nested_rows_[i] << (i + 1 < nested_rows_.size() ? ",\n" : "\n");
     }
     out << "  ]";
+    if (!neighbourhood_rows_.empty()) {
+      out << ",\n  \"annealing_neighbourhood\": [\n";
+      for (std::size_t i = 0; i < neighbourhood_rows_.size(); ++i) {
+        out << neighbourhood_rows_[i]
+            << (i + 1 < neighbourhood_rows_.size() ? ",\n" : "\n");
+      }
+      out << "  ]";
+    }
     if (!scheduler_json_.empty()) out << ",\n" << scheduler_json_;
     out << "\n}\n";
     std::cout << "Wrote thread-scaling JSON to " << path << "\n";
@@ -146,6 +177,7 @@ class ThreadScalingReport {
  private:
   std::vector<std::string> rows_;
   std::vector<std::string> nested_rows_;
+  std::vector<std::string> neighbourhood_rows_;
   std::string scheduler_json_;
 };
 

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <memory>
+#include <span>
 #include <vector>
 
+#include "model/worker_pool_view.h"
 #include "util/scheduler.h"
 
 namespace jury {
@@ -21,11 +24,13 @@ constexpr double kScoreTol = kScoreEquivalenceTol;
 /// committed (move accepted) or rolled back (rejected).
 class SearchState {
  public:
-  SearchState(const JspInstance& instance, const JqObjective& objective,
-              bool use_incremental, AnnealingStats* stats)
+  SearchState(const JspInstance& instance, const WorkerPoolView& view,
+              const JqObjective& objective, bool use_incremental,
+              AnnealingStats* stats)
       : instance_(instance),
         stats_(stats),
-        session_(objective.StartSession(instance.alpha, use_incremental)) {
+        session_(objective.StartSession(view, instance.alpha,
+                                        use_incremental)) {
     selected_.assign(instance.num_candidates(), false);
     best_members_ = members_;
     best_jq_ = session_->current_jq();
@@ -142,14 +147,163 @@ std::size_t PickUnselected(const SearchState& state, std::size_t n,
   return SearchState::kNone;
 }
 
+/// \brief Batched best-improvement polish of one jury over its full
+/// add/remove/swap neighbourhood — the unified-move-scan retrofit of the
+/// annealing neighbourhood (see `AnnealingOptions::max_polish_moves`).
+///
+/// Each scan is three contiguous batched passes: every affordable add
+/// through `ScoreAddBatch`, every removal through `ScoreRemoveBatch`
+/// (skipped for monotone objectives, where Lemma 1 rules removals out),
+/// and every member's affordable swap partners through `ScoreSwapBatch` —
+/// all on view indices, all fused-kernel scans, where the SA schedule
+/// probes one random move at a time. The best strictly-improving move
+/// (banded first-wins, scan order: adds by index, removals by position,
+/// swaps by (position, index)) is applied and the scan repeats until no
+/// move clears the band or the move cap is hit. Deterministic and
+/// rng-free, hence bit-stable across thread counts and SIMD levels.
+JspSolution PolishNeighbourhood(const JspInstance& instance,
+                                const WorkerPoolView& view,
+                                const JqObjective& objective,
+                                const AnnealingOptions& options,
+                                const std::vector<std::size_t>& start,
+                                AnnealingStats* stats) {
+  const std::size_t n = instance.num_candidates();
+  const std::span<const double> cost_col = view.cost();
+  auto session =
+      objective.StartSession(view, instance.alpha, options.use_incremental);
+  std::vector<bool> selected(n, false);
+  std::vector<std::size_t> order;  // member index by session position
+  double cost = 0.0;
+  for (std::size_t idx : start) {
+    session->ScoreAdd(view.worker(idx));
+    session->Commit();
+    selected[idx] = true;
+    order.push_back(idx);
+    cost += cost_col[idx];
+  }
+  const std::size_t move_cap =
+      options.max_polish_moves == AnnealingOptions::kAutoPolishMoves
+          ? 2 * n + 8
+          : options.max_polish_moves;
+  const bool monotone = objective.monotone_in_size();
+
+  enum class Kind { kNone, kAdd, kRemove, kSwap };
+  std::vector<std::size_t> batch_ids;
+  std::vector<std::size_t> positions;
+  std::vector<double> scores;
+  for (std::size_t applied = 0; applied < move_cap; ++applied) {
+    if (stats != nullptr) ++stats->polish_scans;
+    const double current = session->current_jq();
+    double best_score = -std::numeric_limits<double>::infinity();
+    Kind best_kind = Kind::kNone;
+    std::size_t best_in = 0;
+    std::size_t best_pos = 0;
+    const auto consider = [&](double score, Kind kind, std::size_t in,
+                              std::size_t pos) {
+      if (score > best_score + kScoreTol) {
+        best_score = score;
+        best_kind = kind;
+        best_in = in;
+        best_pos = pos;
+      }
+    };
+
+    // Adds: one batched pass over every affordable unselected candidate.
+    batch_ids.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!selected[i] && cost + cost_col[i] <= instance.budget) {
+        batch_ids.push_back(i);
+      }
+    }
+    if (!batch_ids.empty()) {
+      scores.resize(batch_ids.size());
+      session->ScoreAddBatch(batch_ids.data(), batch_ids.size(),
+                             scores.data());
+      for (std::size_t j = 0; j < batch_ids.size(); ++j) {
+        consider(scores[j], Kind::kAdd, batch_ids[j], 0);
+      }
+    }
+
+    // Removals: one batched pass over every member position. A monotone
+    // objective (Lemma 1) cannot improve by shrinking, so the scan is
+    // skipped there — the decision depends only on the objective, never
+    // on scores, so the incremental/full paths stay aligned.
+    const std::size_t size = order.size();
+    if (!monotone && size > 0) {
+      positions.resize(size);
+      for (std::size_t pos = 0; pos < size; ++pos) positions[pos] = pos;
+      scores.resize(size);
+      session->ScoreRemoveBatch(positions.data(), size, scores.data());
+      for (std::size_t pos = 0; pos < size; ++pos) {
+        consider(scores[pos], Kind::kRemove, 0, pos);
+      }
+    }
+
+    // Swaps: per member position, one batched pass over its affordable
+    // partners (the out member's remove fold is amortized inside
+    // `ScoreSwapBatch`).
+    for (std::size_t pos = 0; pos < size; ++pos) {
+      const double c_out = cost_col[order[pos]];
+      batch_ids.clear();
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!selected[i] && cost - c_out + cost_col[i] <= instance.budget) {
+          batch_ids.push_back(i);
+        }
+      }
+      if (batch_ids.empty()) continue;
+      scores.resize(batch_ids.size());
+      session->ScoreSwapBatch(pos, batch_ids.data(), batch_ids.size(),
+                              scores.data());
+      for (std::size_t j = 0; j < batch_ids.size(); ++j) {
+        consider(scores[j], Kind::kSwap, batch_ids[j], pos);
+      }
+    }
+
+    if (best_kind == Kind::kNone || best_score <= current + kScoreTol) {
+      break;  // local optimum under the band
+    }
+    // Apply the winner by re-staging it (one scalar delta) and committing.
+    switch (best_kind) {
+      case Kind::kAdd:
+        session->ScoreAdd(view.worker(best_in));
+        session->Commit();
+        selected[best_in] = true;
+        order.push_back(best_in);
+        cost += cost_col[best_in];
+        break;
+      case Kind::kRemove:
+        session->ScoreRemove(best_pos);
+        session->Commit();
+        selected[order[best_pos]] = false;
+        cost -= cost_col[order[best_pos]];
+        order.erase(order.begin() + static_cast<std::ptrdiff_t>(best_pos));
+        break;
+      case Kind::kSwap:
+        session->ScoreSwap(best_pos, view.worker(best_in));
+        session->Commit();
+        selected[order[best_pos]] = false;
+        selected[best_in] = true;
+        cost += cost_col[best_in] - cost_col[order[best_pos]];
+        order[best_pos] = best_in;
+        break;
+      case Kind::kNone:
+        break;
+    }
+    if (stats != nullptr) ++stats->polish_moves;
+  }
+  return MakeSolution(instance, order, session->current_jq());
+}
+
 /// One annealing chain (the whole of Algorithm 3): the body of the
 /// historical single-run solver, unchanged, so `num_restarts = 1` with the
-/// caller's rng reproduces the old trajectories seed-for-seed.
-JspSolution RunChain(const JspInstance& instance, const JqObjective& objective,
-                     Rng* rng, const AnnealingOptions& options,
-                     AnnealingStats* stats) {
+/// caller's rng reproduces the old trajectories seed-for-seed (the
+/// rng-free polish below only post-processes the chain's result).
+JspSolution RunChain(const JspInstance& instance, const WorkerPoolView& view,
+                     const JqObjective& objective, Rng* rng,
+                     const AnnealingOptions& options, AnnealingStats* stats) {
   const std::size_t n = instance.num_candidates();
-  SearchState state(instance, objective, options.use_incremental, stats);
+  SearchState state(instance, view, objective, options.use_incremental,
+                    stats);
   const bool blind_adds =
       options.trust_monotone_adds && objective.monotone_in_size();
 
@@ -232,10 +386,15 @@ JspSolution RunChain(const JspInstance& instance, const JqObjective& objective,
     }
   }
 
-  if (options.return_best_seen) {
-    return MakeSolution(instance, state.best_members(), state.best_jq());
+  JspSolution result =
+      options.return_best_seen
+          ? MakeSolution(instance, state.best_members(), state.best_jq())
+          : MakeSolution(instance, state.members(), state.current_jq());
+  if (options.max_polish_moves > 0) {
+    result = PolishNeighbourhood(instance, view, objective, options,
+                                 result.selected, stats);
   }
-  return MakeSolution(instance, state.members(), state.current_jq());
+  return result;
 }
 
 }  // namespace
@@ -261,8 +420,12 @@ Result<JspSolution> SolveAnnealing(const JspInstance& instance,
     return MakeSolution(instance, {}, EmptyJuryJq(instance.alpha));
   }
 
+  // One columnar snapshot per solve, shared read-only by every chain's
+  // session (and the polish scans).
+  const WorkerPoolView view(instance.candidates);
+
   if (options.num_restarts == 1) {
-    return RunChain(instance, objective, rng, options, stats);
+    return RunChain(instance, view, objective, rng, options, stats);
   }
 
   // Multi-restart: split per-chain rng streams from the caller's rng
@@ -283,7 +446,7 @@ Result<JspSolution> SolveAnnealing(const JspInstance& instance,
     for (std::size_t k = begin; k < end; ++k) {
       Rng chain_rng(seeds[k]);
       solutions[k] =
-          RunChain(instance, objective, &chain_rng, options,
+          RunChain(instance, view, objective, &chain_rng, options,
                    stats != nullptr ? &chain_stats[k] : nullptr);
     }
   };
@@ -307,6 +470,8 @@ Result<JspSolution> SolveAnnealing(const JspInstance& instance,
       stats->uphill_accepts += s.uphill_accepts;
       stats->downhill_accepts += s.downhill_accepts;
       stats->objective_evaluations += s.objective_evaluations;
+      stats->polish_scans += s.polish_scans;
+      stats->polish_moves += s.polish_moves;
     }
   }
   return solutions[best];

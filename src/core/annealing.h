@@ -46,6 +46,26 @@ struct AnnealingOptions : SolverOptions {
   /// decisions aligned — so either path's trajectory differs from the
   /// pre-session solver for a given seed.
   bool use_incremental = true;
+  /// \brief Batched neighbourhood polish (the unified-move-scan retrofit
+  /// of the annealing neighbourhood).
+  ///
+  /// After the Algorithm-3 schedule finishes, each chain's jury is
+  /// improved by deterministic best-improvement local search over the
+  /// *entire* add/remove/swap neighbourhood, scanned through the unified
+  /// batched move-scan API (`ScoreAddBatch` / `ScoreRemoveBatch` /
+  /// `ScoreSwapBatch` on view indices): one contiguous batched pass per
+  /// move family instead of one random probe per step. The polish is
+  /// rng-free (it consumes nothing from the chain's stream, so the SA
+  /// trajectory is untouched), banded at `kScoreEquivalenceTol` like
+  /// every other score-sensitive decision, and identical between the
+  /// incremental and full-recompute evaluation paths. It can only raise
+  /// the returned JQ. This caps the number of *applied* polish moves
+  /// (each strictly improving); 0 disables the polish entirely — the
+  /// pre-polish behavior, kept for the bench ablation — and
+  /// `kAutoPolishMoves` resolves to 2n + 8 at solve time.
+  std::size_t max_polish_moves = kAutoPolishMoves;
+  static constexpr std::size_t kAutoPolishMoves =
+      static_cast<std::size_t>(-1);
   /// Independent restart chains, run across `num_threads` pool threads
   /// (each chain owns its own evaluation session and an `Rng` stream split
   /// deterministically from the caller's `rng` *before* the parallel
@@ -68,6 +88,10 @@ struct AnnealingStats {
   std::size_t downhill_accepts = 0;  // genuinely downhill,
                                      // Boltzmann-accepted
   std::size_t objective_evaluations = 0;
+  /// Batched-neighbourhood polish instrumentation (kept separate from the
+  /// Algorithm-3 counters above, whose exact values are contract-tested).
+  std::size_t polish_scans = 0;  // full-neighbourhood batched scans run
+  std::size_t polish_moves = 0;  // improving moves applied by the polish
 };
 
 /// \brief JSP by simulated annealing (Algorithms 3–4).

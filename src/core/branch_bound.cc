@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <memory>
 #include <numeric>
+#include <vector>
+
+#include "model/worker_pool_view.h"
 
 namespace jury {
 namespace {
@@ -14,16 +17,34 @@ class Searcher {
   Searcher(const JspInstance& instance, const JqObjective& objective,
            const BranchBoundOptions& options, BranchBoundStats* stats)
       : instance_(instance),
+        view_(instance.candidates),
         objective_(objective),
         options_(options),
         stats_(stats) {
-    order_.resize(instance.num_candidates());
+    const std::size_t n = instance.num_candidates();
+    order_.resize(n);
     std::iota(order_.begin(), order_.end(), std::size_t{0});
-    std::stable_sort(order_.begin(), order_.end(),
-                     [&](std::size_t a, std::size_t b) {
-                       return instance.candidates[a].quality >
-                              instance.candidates[b].quality;
-                     });
+    if (options.order_by_marginal_gain && n > 0) {
+      // Candidate ordering through the unified batched scan: every
+      // single-worker marginal score in one contiguous `ScoreAddBatch`
+      // pass against the empty jury. Always the delta-update session —
+      // the ordering is a deterministic heuristic shared by both
+      // evaluation paths (see BranchBoundOptions).
+      std::vector<double> gains(n);
+      const auto scan =
+          objective.StartSession(view_, instance.alpha, /*incremental=*/true);
+      scan->ScoreAddBatch(order_.data(), n, gains.data());
+      std::stable_sort(order_.begin(), order_.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return gains[a] > gains[b];
+                       });
+    } else {
+      const std::span<const double> quality = view_.quality();
+      std::stable_sort(order_.begin(), order_.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return quality[a] > quality[b];
+                       });
+    }
     best_jq_ = EmptyJuryJq(instance.alpha);
     best_cost_ = 0.0;
   }
@@ -33,9 +54,9 @@ class Searcher {
       // The session tracks the Lemma-1 "optimistic" jury: the current
       // selection plus every still-undecided worker. At the root that is
       // the whole pool.
-      session_ = objective_.StartSession(instance_.alpha, true);
+      session_ = objective_.StartSession(view_, instance_.alpha, true);
       for (std::size_t idx : order_) {
-        session_->ScoreAdd(instance_.candidates[idx]);
+        session_->ScoreAdd(view_.worker(idx));
         session_->Commit();
         session_members_.push_back(idx);
       }
@@ -91,7 +112,7 @@ class Searcher {
   }
 
   void SessionReAdd(std::size_t candidate) {
-    session_->ScoreAdd(instance_.candidates[candidate]);
+    session_->ScoreAdd(view_.worker(candidate));
     session_->Commit();
     session_members_.push_back(candidate);
   }
@@ -148,6 +169,7 @@ class Searcher {
   }
 
   const JspInstance& instance_;
+  const WorkerPoolView view_;
   const JqObjective& objective_;
   const BranchBoundOptions& options_;
   BranchBoundStats* stats_;

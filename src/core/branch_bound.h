@@ -19,6 +19,16 @@ struct BranchBoundOptions {
   /// costs O(n) instead of an O(n^2) from-scratch evaluation. Disable to
   /// recover the original per-node evaluation.
   bool use_incremental = true;
+  /// Order candidates by their batched single-worker marginal scores (one
+  /// `ScoreAddBatch` over the whole pool against the empty jury) instead
+  /// of raw quality. For BV this sorts by *flip-normalized* strength —
+  /// sub-0.5 workers are as informative as their mirror image — which
+  /// tightens the include-first search order; for the >= 0.5 pools of the
+  /// paper's experiments the two orders coincide. The ordering scan always
+  /// runs on the delta-update session (it is a heuristic, not a score), so
+  /// the search order — and hence the returned jury — is identical
+  /// between the incremental and full-recompute evaluation paths.
+  bool order_by_marginal_gain = true;
 };
 
 struct BranchBoundStats {

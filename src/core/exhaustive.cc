@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "model/worker_pool_view.h"
 #include "util/scheduler.h"
 
 namespace jury {
@@ -104,12 +105,12 @@ JspSolution SweepFromScratch(const JspInstance& instance,
 /// update). The serial sweep is the single shard `fixed_mask = 0,
 /// low_bits = n`. `best`/`best_mask` enter as the empty-jury baseline and
 /// leave as the shard-local incumbent under `Improves`.
-void SweepGrayShard(const JspInstance& instance, const JqObjective& objective,
-                    bool monotone, std::uint64_t fixed_mask,
-                    std::size_t low_bits, JspSolution* best,
-                    std::uint64_t* best_mask) {
+void SweepGrayShard(const JspInstance& instance, const WorkerPoolView& view,
+                    const JqObjective& objective, bool monotone,
+                    std::uint64_t fixed_mask, std::size_t low_bits,
+                    JspSolution* best, std::uint64_t* best_mask) {
   const std::size_t n = instance.num_candidates();
-  auto session = objective.StartSession(instance.alpha, true);
+  auto session = objective.StartSession(view, instance.alpha, true);
   std::vector<bool> in_jury(n, false);
   std::vector<std::size_t> session_members;  // candidate index by position
 
@@ -118,7 +119,7 @@ void SweepGrayShard(const JspInstance& instance, const JqObjective& objective,
   // floating-point roundoff) never depends on scheduling.
   for (std::size_t i = 0; i < n; ++i) {
     if ((fixed_mask >> i) & 1u) {
-      session->ScoreAdd(instance.candidates[i]);
+      session->ScoreAdd(view.worker(i));
       session->Commit();
       in_jury[i] = true;
       session_members.push_back(i);
@@ -146,7 +147,7 @@ void SweepGrayShard(const JspInstance& instance, const JqObjective& objective,
     const std::size_t bit = static_cast<std::size_t>(std::countr_zero(k));
     low ^= 1ull << bit;
     if (!in_jury[bit]) {
-      session->ScoreAdd(instance.candidates[bit]);
+      session->ScoreAdd(view.worker(bit));
       session->Commit();
       in_jury[bit] = true;
       session_members.push_back(bit);
@@ -165,10 +166,11 @@ void SweepGrayShard(const JspInstance& instance, const JqObjective& objective,
 
 /// Single-session Gray-code sweep (the historical incremental path).
 JspSolution SweepGrayCode(const JspInstance& instance,
+                          const WorkerPoolView& view,
                           const JqObjective& objective, bool monotone) {
   JspSolution best = MakeSolution(instance, {}, EmptyJuryJq(instance.alpha));
   std::uint64_t best_mask = 0;
-  SweepGrayShard(instance, objective, monotone, 0,
+  SweepGrayShard(instance, view, objective, monotone, 0,
                  instance.num_candidates(), &best, &best_mask);
   return best;
 }
@@ -180,6 +182,7 @@ JspSolution SweepGrayCode(const JspInstance& instance,
 /// from, and `Improves` is visit-order independent, so the merged winner
 /// equals the serial sweep's for any thread count.
 JspSolution SweepGraySharded(const JspInstance& instance,
+                             const WorkerPoolView& view,
                              const JqObjective& objective, bool monotone,
                              std::size_t threads) {
   const std::size_t n = instance.num_candidates();
@@ -199,7 +202,7 @@ JspSolution SweepGraySharded(const JspInstance& instance,
       0, shards, 1,
       [&](std::size_t begin, std::size_t end) {
         for (std::size_t s = begin; s < end; ++s) {
-          SweepGrayShard(instance, objective, monotone,
+          SweepGrayShard(instance, view, objective, monotone,
                          static_cast<std::uint64_t>(s) << low_bits, low_bits,
                          &bests[s], &best_masks[s]);
         }
@@ -238,11 +241,14 @@ Result<JspSolution> SolveExhaustive(const JspInstance& instance,
   if (!options.use_incremental) {
     return SweepFromScratch(instance, objective, monotone);
   }
+  // One columnar snapshot per solve, shared read-only by every shard's
+  // session.
+  const WorkerPoolView view(instance.candidates);
   const std::size_t threads = ResolveThreadCount(options.num_threads);
   if (threads > 1 && n >= kMinShardedCandidates) {
-    return SweepGraySharded(instance, objective, monotone, threads);
+    return SweepGraySharded(instance, view, objective, monotone, threads);
   }
-  return SweepGrayCode(instance, objective, monotone);
+  return SweepGrayCode(instance, view, objective, monotone);
 }
 
 }  // namespace jury

@@ -7,6 +7,7 @@
 #include <numeric>
 #include <vector>
 
+#include "model/worker_pool_view.h"
 #include "util/scheduler.h"
 
 namespace jury {
@@ -21,13 +22,15 @@ constexpr double kScoreTol = kScoreEquivalenceTol;
 /// add) while the reference path keeps the original single final
 /// evaluation.
 JspSolution FillInOrder(const JspInstance& instance,
+                        const WorkerPoolView& view,
                         const JqObjective& objective,
                         const std::vector<std::size_t>& order,
                         const GreedyOptions& options) {
+  const std::span<const double> cost_col = view.cost();
   std::vector<std::size_t> selected;
   double cost = 0.0;
   for (std::size_t idx : order) {
-    const double c = instance.candidates[idx].cost;
+    const double c = cost_col[idx];
     if (cost + c <= instance.budget) {
       selected.push_back(idx);
       cost += c;
@@ -35,31 +38,28 @@ JspSolution FillInOrder(const JspInstance& instance,
   }
   double jq;
   if (options.use_incremental) {
-    auto session = objective.StartSession(instance.alpha, true);
+    auto session = objective.StartSession(view, instance.alpha, true);
     for (std::size_t idx : selected) {
-      session->ScoreAdd(instance.candidates[idx]);
+      session->ScoreAdd(view.worker(idx));
       session->Commit();
     }
     jq = session->current_jq();
   } else {
     Jury jury;
-    for (std::size_t idx : selected) jury.Add(instance.candidates[idx]);
+    for (std::size_t idx : selected) jury.Add(view.worker(idx));
     jq = jury.empty() ? EmptyJuryJq(instance.alpha)
                       : objective.Evaluate(jury, instance.alpha);
   }
   return MakeSolution(instance, std::move(selected), jq);
 }
 
-std::vector<std::size_t> SortedIndices(
-    const JspInstance& instance,
-    const std::function<double(const Worker&)>& score) {
-  std::vector<std::size_t> order(instance.num_candidates());
+/// Indices sorted by a precomputed key column, descending (stable).
+std::vector<std::size_t> SortedIndices(const std::vector<double>& keys) {
+  std::vector<std::size_t> order(keys.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
-  std::stable_sort(order.begin(), order.end(),
-                   [&](std::size_t a, std::size_t b) {
-                     return score(instance.candidates[a]) >
-                            score(instance.candidates[b]);
-                   });
+  std::stable_sort(
+      order.begin(), order.end(),
+      [&](std::size_t a, std::size_t b) { return keys[a] > keys[b]; });
   return order;
 }
 
@@ -69,28 +69,35 @@ Result<JspSolution> SolveGreedyByQuality(const JspInstance& instance,
                                          const JqObjective& objective,
                                          const GreedyOptions& options) {
   JURY_RETURN_NOT_OK(instance.Validate());
-  const auto order =
-      SortedIndices(instance, [](const Worker& w) { return w.quality; });
-  return FillInOrder(instance, objective, order, options);
+  const WorkerPoolView view(instance.candidates);
+  const std::vector<double> keys(view.quality().begin(),
+                                 view.quality().end());
+  return FillInOrder(instance, view, objective, SortedIndices(keys),
+                     options);
 }
 
 Result<JspSolution> SolveGreedyByValuePerCost(const JspInstance& instance,
                                               const JqObjective& objective,
                                               const GreedyOptions& options) {
   JURY_RETURN_NOT_OK(instance.Validate());
-  const auto order = SortedIndices(instance, [](const Worker& w) {
+  const WorkerPoolView view(instance.candidates);
+  std::vector<double> keys(view.size());
+  for (std::size_t i = 0; i < view.size(); ++i) {
     constexpr double kMinCost = 1e-9;  // free workers get a huge score
-    return (w.quality - 0.5) / std::max(w.cost, kMinCost);
-  });
-  return FillInOrder(instance, objective, order, options);
+    keys[i] = (view.quality()[i] - 0.5) / std::max(view.cost()[i], kMinCost);
+  }
+  return FillInOrder(instance, view, objective, SortedIndices(keys),
+                     options);
 }
 
 Result<JspSolution> SolveOddTopK(const JspInstance& instance,
                                  const JqObjective& objective,
                                  const GreedyOptions& options) {
   JURY_RETURN_NOT_OK(instance.Validate());
-  const auto order =
-      SortedIndices(instance, [](const Worker& w) { return w.quality; });
+  const WorkerPoolView view(instance.candidates);
+  const std::vector<double> keys(view.quality().begin(),
+                                 view.quality().end());
+  const auto order = SortedIndices(keys);
 
   // The "k best-quality workers that fit" sets are nested in k, so one
   // session grows through all of them, snapshotting at odd sizes. The
@@ -98,19 +105,19 @@ Result<JspSolution> SolveOddTopK(const JspInstance& instance,
   // original solver did.
   JspSolution best = MakeSolution(instance, {}, EmptyJuryJq(instance.alpha));
   auto session = options.use_incremental
-                     ? objective.StartSession(instance.alpha, true)
+                     ? objective.StartSession(view, instance.alpha, true)
                      : nullptr;
   Jury jury;
   std::vector<std::size_t> selected;
   double cost = 0.0;
   for (std::size_t idx : order) {
-    const double c = instance.candidates[idx].cost;
+    const double c = view.cost()[idx];
     if (cost + c > instance.budget) continue;
     if (session != nullptr) {
-      session->ScoreAdd(instance.candidates[idx]);
+      session->ScoreAdd(view.worker(idx));
       session->Commit();
     } else {
-      jury.Add(instance.candidates[idx]);
+      jury.Add(view.worker(idx));
     }
     selected.push_back(idx);
     cost += c;
@@ -131,22 +138,26 @@ Result<JspSolution> SolveGreedyMarginalGain(const JspInstance& instance,
                                             const GreedyOptions& options) {
   JURY_RETURN_NOT_OK(instance.Validate());
   const std::size_t n = instance.num_candidates();
+  // One columnar snapshot per solve: sessions (and their per-shard
+  // clones) score straight off the view's contiguous columns, and the
+  // affordability filter reads the cost column instead of Worker structs.
+  const WorkerPoolView view(instance.candidates);
   auto session =
-      objective.StartSession(instance.alpha, options.use_incremental);
+      objective.StartSession(view, instance.alpha, options.use_incremental);
   std::vector<bool> in_jury(n, false);
   std::vector<std::size_t> selected;
   double cost = 0.0;
 
-  // Scan machinery: each round gathers the affordable candidates (in
-  // ascending index order) and scores them through the session's batched
+  // Scan machinery: each round gathers the affordable candidate indices
+  // (ascending) and scores them through the session's index-based batched
   // `ScoreAddBatch` kernel. In the parallel case the candidate list is
   // sharded across the process-wide scheduler with an autotuned grain —
   // legal because every candidate's score is a pure function of
   // (committed jury, candidate), never of how candidates are grouped into
   // shards — and each shard scores through its own clone of the round's
-  // session, which carries the committed cached state bit-for-bit. The
-  // ordered banded argmax below therefore picks the same winner as the
-  // serial scan, for any thread count and any grain.
+  // session, which carries the committed cached state (and the view
+  // binding) bit-for-bit. The ordered banded argmax below therefore picks
+  // the same winner as the serial scan, for any thread count and grain.
   const std::size_t threads =
       std::min(ResolveThreadCount(options.num_threads), n > 0 ? n : 1);
   // Clone support is probed once, on the still-empty session (a copy of
@@ -161,31 +172,29 @@ Result<JspSolution> SolveGreedyMarginalGain(const JspInstance& instance,
   // session clone, hence the floor of 8 candidates per shard.
   GrainTuner scan_tuner(/*min_grain=*/8);
 
-  std::vector<const Worker*> eligible;
+  const std::span<const double> cost_col = view.cost();
   std::vector<std::size_t> eligible_idx;
   std::vector<double> scores;
   for (;;) {
-    eligible.clear();
     eligible_idx.clear();
     for (std::size_t i = 0; i < n; ++i) {
       if (in_jury[i]) continue;
-      if (cost + instance.candidates[i].cost > instance.budget) continue;
-      eligible.push_back(&instance.candidates[i]);
+      if (cost + cost_col[i] > instance.budget) continue;
       eligible_idx.push_back(i);
     }
-    if (eligible.empty()) break;  // nothing fits
-    scores.resize(eligible.size());
-    if (parallel_scan && eligible.size() > 1) {
+    if (eligible_idx.empty()) break;  // nothing fits
+    scores.resize(eligible_idx.size());
+    if (parallel_scan && eligible_idx.size() > 1) {
       Scheduler::Global()->ParallelForTuned(
-          &scan_tuner, 0, eligible.size(),
+          &scan_tuner, 0, eligible_idx.size(),
           [&](std::size_t begin, std::size_t end) {
             auto shard_session = session->Clone();
-            shard_session->ScoreAddBatch(eligible.data() + begin,
+            shard_session->ScoreAddBatch(eligible_idx.data() + begin,
                                          end - begin, scores.data() + begin);
           },
           threads);
     } else {
-      session->ScoreAddBatch(eligible.data(), eligible.size(),
+      session->ScoreAddBatch(eligible_idx.data(), eligible_idx.size(),
                              scores.data());
     }
     // Banded first-wins argmax, serially in candidate-index order (the
@@ -205,10 +214,10 @@ Result<JspSolution> SolveGreedyMarginalGain(const JspInstance& instance,
     // The winner's score is already known: commit it directly instead of
     // re-staging (and re-evaluating) the winning delta.
     const std::size_t best_idx = eligible_idx[best_pos];
-    session->CommitAdd(instance.candidates[best_idx], best_score);
+    session->CommitAdd(view.worker(best_idx), best_score);
     in_jury[best_idx] = true;
     selected.push_back(best_idx);
-    cost += instance.candidates[best_idx].cost;
+    cost += cost_col[best_idx];
   }
   return MakeSolution(instance, std::move(selected), session->current_jq());
 }

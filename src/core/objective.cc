@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -10,6 +11,7 @@
 #include "jq/closed_form.h"
 #include "jq/exact.h"
 #include "model/prior.h"
+#include "model/worker_pool_view.h"
 #include "util/check.h"
 #include "util/math.h"
 #include "util/poisson_binomial.h"
@@ -17,9 +19,10 @@
 namespace jury {
 namespace {
 
-/// §3.3 flip reinterpretation for a single quality (`Normalize` on one
-/// worker): ties at 0.5 are left unflipped.
-double NormalizeQuality(double q) { return q < 0.5 ? 1.0 - q : q; }
+/// §3.3 flip reinterpretation for a single quality; shared with the
+/// columnar `WorkerPoolView`, whose `norm_quality()` column precomputes
+/// exactly this value (see model/worker.h).
+double NormalizeQuality(double q) { return NormalizedQuality(q); }
 
 // ---------------------------------------------------------------------------
 // Full-recompute session: the `--no-incremental` reference path. Scores every
@@ -100,7 +103,7 @@ class IncrementalMajorityEvaluator final : public IncrementalJqEvaluator {
     return std::make_unique<IncrementalMajorityEvaluator>(*this);
   }
 
-  /// Batched scan: both conditional pmfs are queried through
+  /// Batched add scan: both conditional pmfs are queried through
   /// `PoissonBinomial::EvaluateBatch`, whose fused SoA loops replace the
   /// per-candidate scratch copy + convolution + cumulative rebuild of the
   /// scalar path while reproducing its arithmetic bit for bit.
@@ -108,17 +111,120 @@ class IncrementalMajorityEvaluator final : public IncrementalJqEvaluator {
                      double* scores) override {
     Rollback();
     if (count == 0) return;
-    const int n_new = zeros_t0_.size() + 1;
-    const int zeros_needed = n_new / 2 + 1;
     batch_q0_.resize(count);
     batch_q1_.resize(count);
-    batch_tail_.resize(count);
-    batch_cdf_.resize(count);
     for (std::size_t j = 0; j < count; ++j) {
       const double q = candidates[j]->quality;
       batch_q0_[j] = q;
       batch_q1_[j] = 1.0 - q;
     }
+    FinishAddBatch(count, scores);
+  }
+
+  /// Index-based add scan: candidate probabilities come straight from the
+  /// view's quality column — the gather the columnar refactor deletes.
+  void ScoreAddBatch(const std::size_t* pool_indices, std::size_t count,
+                     double* scores) override {
+    Rollback();
+    if (count == 0) return;
+    JURY_CHECK(view() != nullptr) << "index-based batch scan without a view";
+    const std::span<const double> quality = view()->quality();
+    batch_q0_.resize(count);
+    batch_q1_.resize(count);
+    for (std::size_t j = 0; j < count; ++j) {
+      const double q = quality[pool_indices[j]];
+      batch_q0_[j] = q;
+      batch_q1_[j] = 1.0 - q;
+    }
+    FinishAddBatch(count, scores);
+  }
+
+  /// Batched remove scan: for each member position, the tail/cdf pair of
+  /// the committed pmfs with that member's trial deconvolved out, through
+  /// `PoissonBinomial::EvaluateRemoveBatch` — the remove fold of the
+  /// unified scan, bit-identical to {copy; RemoveTrial; queries}.
+  void ScoreRemoveBatch(const std::size_t* member_positions,
+                        std::size_t count, double* scores) override {
+    Rollback();
+    if (count == 0) return;
+    const int n = zeros_t0_.size();
+    if (n <= 1) {
+      // Removing the only member leaves the empty jury.
+      const double empty = EmptyJuryJq(alpha());
+      for (std::size_t j = 0; j < count; ++j) scores[j] = empty;
+      CountIncrementalEvaluations(count);
+      return;
+    }
+    const int zeros_needed = (n - 1) / 2 + 1;
+    const std::vector<double>& committed = member_qualities();
+    batch_q0_.resize(count);
+    batch_q1_.resize(count);
+    batch_tail_.resize(count);
+    batch_cdf_.resize(count);
+    for (std::size_t j = 0; j < count; ++j) {
+      const double q = committed[member_positions[j]];
+      batch_q0_[j] = q;
+      batch_q1_[j] = 1.0 - q;
+    }
+    zeros_t0_.EvaluateRemoveBatch(batch_q0_.data(), count, zeros_needed, -1,
+                                  batch_tail_.data(), nullptr);
+    zeros_t1_.EvaluateRemoveBatch(batch_q1_.data(), count, 0,
+                                  zeros_needed - 1, nullptr,
+                                  batch_cdf_.data());
+    const double a = alpha();
+    for (std::size_t j = 0; j < count; ++j) {
+      scores[j] = a * batch_tail_[j] + (1.0 - a) * batch_cdf_[j];
+    }
+    CountIncrementalEvaluations(count);
+  }
+
+  /// Batched swap scan: the outgoing member's trial is deconvolved once
+  /// into the scratch pmfs, then every swap-in candidate is scored through
+  /// the same fused `EvaluateBatch` kernel the add scan runs — one remove
+  /// fold amortized over the whole partner scan.
+  void ScoreSwapBatch(std::size_t out_position,
+                      const std::size_t* pool_indices, std::size_t count,
+                      double* scores) override {
+    Rollback();
+    if (count == 0) return;
+    JURY_CHECK(view() != nullptr) << "index-based batch scan without a view";
+    const double q_out = member_qualities()[out_position];
+    scratch_t0_ = zeros_t0_;
+    scratch_t1_ = zeros_t1_;
+    scratch_t0_.RemoveTrial(q_out);
+    scratch_t1_.RemoveTrial(1.0 - q_out);
+    const int n = scratch_t0_.size() + 1;  // == committed size
+    const int zeros_needed = n / 2 + 1;
+    const std::span<const double> quality = view()->quality();
+    batch_q0_.resize(count);
+    batch_q1_.resize(count);
+    batch_tail_.resize(count);
+    batch_cdf_.resize(count);
+    for (std::size_t j = 0; j < count; ++j) {
+      const double q = quality[pool_indices[j]];
+      batch_q0_[j] = q;
+      batch_q1_[j] = 1.0 - q;
+    }
+    scratch_t0_.EvaluateBatch(batch_q0_.data(), count, zeros_needed, 0,
+                              batch_tail_.data(), nullptr);
+    scratch_t1_.EvaluateBatch(batch_q1_.data(), count, 0, zeros_needed - 1,
+                              nullptr, batch_cdf_.data());
+    const double a = alpha();
+    for (std::size_t j = 0; j < count; ++j) {
+      scores[j] = a * batch_tail_[j] + (1.0 - a) * batch_cdf_[j];
+    }
+    CountIncrementalEvaluations(count);
+  }
+
+ private:
+  /// Shared tail of the add scans: `batch_q0_`/`batch_q1_` hold the
+  /// candidate probabilities (conditioned on t = 0 / t = 1); queries both
+  /// committed pmfs and blends the MV score, exactly as `ScratchScore`.
+  void FinishAddBatch(std::size_t count, double* scores) {
+    const int n_new = zeros_t0_.size() + 1;
+    const int zeros_needed = n_new / 2 + 1;
+    batch_tail_.resize(count);
+    batch_cdf_.resize(count);
     zeros_t0_.EvaluateBatch(batch_q0_.data(), count, zeros_needed, 0,
                             batch_tail_.data(), nullptr);
     zeros_t1_.EvaluateBatch(batch_q1_.data(), count, 0, zeros_needed - 1,
@@ -130,7 +236,6 @@ class IncrementalMajorityEvaluator final : public IncrementalJqEvaluator {
     CountIncrementalEvaluations(count);
   }
 
- private:
   void LoadScratch() {
     scratch_t0_ = zeros_t0_;
     scratch_t1_ = zeros_t1_;
@@ -407,29 +512,80 @@ class IncrementalBucketBvEvaluator final : public IncrementalJqEvaluator {
     return std::make_unique<IncrementalBucketBvEvaluator>(*this);
   }
 
-  /// Batched scan: candidates that stay on the committed grid are scored
-  /// through the fused `ConvolvePositiveMassBatch` kernel (one read-only
-  /// pass over the committed key distribution per candidate — no scratch
-  /// copy, no scatter); candidates that fire a special case (§4.4
-  /// shortcut, all-0.5, grid move, span overflow, no cached state) fall
-  /// back to the scalar `ScoreAdd` path, which handles — and counts —
-  /// them exactly as before. Scores are bit-identical to the scalar scan.
+  /// Batched add scan: candidates that stay on the committed grid are
+  /// scored through the fused `ConvolvePositiveMassBatch` kernel (one
+  /// read-only pass over the committed key distribution per candidate —
+  /// no scratch copy, no scatter); candidates that fire a special case
+  /// (§4.4 shortcut, all-0.5, grid move, span overflow, no cached state)
+  /// fall back to the scalar `ScoreAdd` path, which handles — and counts
+  /// — them exactly as before. Scores are bit-identical to the scalar
+  /// scan.
   void ScoreAddBatch(const Worker* const* candidates, std::size_t count,
                      double* scores) override {
     Rollback();
     if (count == 0) return;
-    // The committed part of each candidate's max-quality scan is the same
-    // value the scalar path recomputes per candidate.
-    double committed_max = has_prior_ ? prior_q_ : 0.0;
-    for (double v : norm_q_) committed_max = std::max(committed_max, v);
-
+    const double committed_max = CommittedMaxQuality();
     batch_bs_.clear();
     batch_qs_.clear();
     batch_slot_.clear();
     std::size_t fast_or_special = 0;
     for (std::size_t j = 0; j < count; ++j) {
       const double q = NormalizeQuality(candidates[j]->quality);
-      const double max_q = std::max(committed_max, q);
+      if (!StageAddCandidate(j, q, LogOdds(EffectiveQuality(q)),
+                             committed_max, scores, &fast_or_special)) {
+        // Grid move / invalid cache / oversized span: the scalar path owns
+        // these (including their full-evaluation accounting).
+        scores[j] = ScoreAdd(*candidates[j]);
+        Rollback();
+      }
+    }
+    FlushConvolveBatch(dist_, scores, fast_or_special);
+  }
+
+  /// Index-based add scan: normalized qualities and log-odds come straight
+  /// from the view's columns — no per-candidate `Worker` gather and no
+  /// re-running of the flip/log per score.
+  void ScoreAddBatch(const std::size_t* pool_indices, std::size_t count,
+                     double* scores) override {
+    Rollback();
+    if (count == 0) return;
+    JURY_CHECK(view() != nullptr) << "index-based batch scan without a view";
+    const std::span<const double> norm = view()->norm_quality();
+    const std::span<const double> phi = view()->log_odds();
+    const double committed_max = CommittedMaxQuality();
+    batch_bs_.clear();
+    batch_qs_.clear();
+    batch_slot_.clear();
+    std::size_t fast_or_special = 0;
+    for (std::size_t j = 0; j < count; ++j) {
+      const std::size_t idx = pool_indices[j];
+      if (!StageAddCandidate(j, norm[idx], phi[idx], committed_max, scores,
+                             &fast_or_special)) {
+        scores[j] = ScoreAdd(view()->worker(idx));
+        Rollback();
+      }
+    }
+    FlushConvolveBatch(dist_, scores, fast_or_special);
+  }
+
+  /// Batched remove scan: members whose removal keeps the committed grid
+  /// are scored by `DeconvolvePositiveMass` — one fused deconvolve + mass
+  /// pass over the committed distribution, no scratch copy. Removing the
+  /// grid-defining (max log-odds) member falls back to the scalar path,
+  /// which owns the rebuild and its full-evaluation accounting.
+  void ScoreRemoveBatch(const std::size_t* member_positions,
+                        std::size_t count, double* scores) override {
+    Rollback();
+    if (count == 0) return;
+    std::size_t fast_or_special = 0;
+    for (std::size_t j = 0; j < count; ++j) {
+      const std::size_t pos = member_positions[j];
+      if (norm_q_.size() <= 1) {
+        scores[j] = EmptyJuryJq(alpha());  // removal empties the jury
+        ++fast_or_special;
+        continue;
+      }
+      const double max_q = MaxQualityWithout(pos);
       if (options_.high_quality_cutoff < 1.0 &&
           max_q > options_.high_quality_cutoff) {
         scores[j] = max_q;  // §4.4 escape hatch
@@ -443,10 +599,64 @@ class IncrementalBucketBvEvaluator final : public IncrementalJqEvaluator {
         continue;
       }
       if (dist_valid_ && upper == grid_upper_) {
+        scores[j] = std::min(
+            dist_.DeconvolvePositiveMass(bucket_[pos], norm_q_[pos]), 1.0);
+        ++fast_or_special;
+        continue;
+      }
+      scores[j] = ScoreRemove(pos);
+      Rollback();
+    }
+    CountIncrementalEvaluations(fast_or_special);
+  }
+
+  /// Batched swap scan: the outgoing member is deconvolved *once* into a
+  /// shared scratch distribution, then every same-grid swap-in partner is
+  /// scored through the fused `ConvolvePositiveMassBatch` kernel — the
+  /// remove fold amortized over the whole partner scan. Grid-changing
+  /// candidates (the outgoing member was the max, or the incoming one
+  /// becomes it) fall back to the scalar path per candidate.
+  void ScoreSwapBatch(std::size_t out_position,
+                      const std::size_t* pool_indices, std::size_t count,
+                      double* scores) override {
+    Rollback();
+    if (count == 0) return;
+    JURY_CHECK(view() != nullptr) << "index-based batch scan without a view";
+    const std::span<const double> norm = view()->norm_quality();
+    const std::span<const double> phi = view()->log_odds();
+    const double removed_max = MaxQualityWithout(out_position);
+    const std::int64_t out_b = dist_valid_ ? bucket_[out_position] : 0;
+    batch_bs_.clear();
+    batch_qs_.clear();
+    batch_slot_.clear();
+    std::size_t fast_or_special = 0;
+    bool scratch_ready = false;
+    for (std::size_t j = 0; j < count; ++j) {
+      const std::size_t idx = pool_indices[j];
+      const double q = norm[idx];
+      const double max_q = std::max(removed_max, q);
+      if (options_.high_quality_cutoff < 1.0 &&
+          max_q > options_.high_quality_cutoff) {
+        scores[j] = max_q;
+        ++fast_or_special;
+        continue;
+      }
+      const double upper = LogOdds(EffectiveQuality(max_q));
+      if (upper <= 0.0) {
+        scores[j] = 0.5;
+        ++fast_or_special;
+        continue;
+      }
+      if (dist_valid_ && upper == grid_upper_) {
         const double delta =
             upper / static_cast<double>(options_.num_buckets);
-        const std::int64_t b = BucketOf(q, delta);
-        if (dist_.span() + b <= kMaxIncrementalSpan) {
+        const std::int64_t b = BucketFromPhi(phi[idx], delta);
+        if (dist_.span() - out_b + b <= kMaxIncrementalSpan) {
+          if (!scratch_ready) {
+            swap_dist_ = dist_;
+            swap_dist_.Deconvolve(out_b, norm_q_[out_position]);
+            scratch_ready = true;
+          }
           batch_bs_.push_back(b);
           batch_qs_.push_back(q);
           batch_slot_.push_back(j);
@@ -454,15 +664,79 @@ class IncrementalBucketBvEvaluator final : public IncrementalJqEvaluator {
           continue;
         }
       }
-      // Grid move / invalid cache / oversized span: the scalar path owns
-      // these (including their full-evaluation accounting).
-      scores[j] = ScoreAdd(*candidates[j]);
+      scores[j] = ScoreSwap(out_position, view()->worker(idx));
       Rollback();
     }
+    FlushConvolveBatch(swap_dist_, scores, fast_or_special);
+  }
+
+ private:
+  /// Max normalized quality of jury + prior — the committed part of every
+  /// add candidate's grid scan, hoisted out of the batch loop (the scalar
+  /// path recomputes it per candidate; `std::max` folds are
+  /// order-insensitive for the NaN-free qualities involved, so the hoist
+  /// is bit-neutral).
+  double CommittedMaxQuality() const {
+    double max_q = has_prior_ ? prior_q_ : 0.0;
+    for (double v : norm_q_) max_q = std::max(max_q, v);
+    return max_q;
+  }
+
+  /// Same fold with member `out` excluded — the committed part of every
+  /// remove/swap candidate's grid scan.
+  double MaxQualityWithout(std::size_t out) const {
+    double max_q = has_prior_ ? prior_q_ : 0.0;
+    for (std::size_t i = 0; i < norm_q_.size(); ++i) {
+      if (i == out) continue;
+      max_q = std::max(max_q, norm_q_[i]);
+    }
+    return max_q;
+  }
+
+  /// One add candidate of a batched scan: resolves the special cases
+  /// (§4.4 shortcut, all-0.5) directly into `scores[j]`, or stages the
+  /// candidate for the fused convolve kernel. Returns false when the
+  /// candidate needs the scalar fallback (grid move, invalid cache,
+  /// oversized span).
+  bool StageAddCandidate(std::size_t j, double q, double candidate_phi,
+                         double committed_max, double* scores,
+                         std::size_t* fast_or_special) {
+    const double max_q = std::max(committed_max, q);
+    if (options_.high_quality_cutoff < 1.0 &&
+        max_q > options_.high_quality_cutoff) {
+      scores[j] = max_q;  // §4.4 escape hatch
+      ++*fast_or_special;
+      return true;
+    }
+    const double upper = LogOdds(EffectiveQuality(max_q));
+    if (upper <= 0.0) {
+      scores[j] = 0.5;  // everyone exactly at 0.5
+      ++*fast_or_special;
+      return true;
+    }
+    if (dist_valid_ && upper == grid_upper_) {
+      const double delta = upper / static_cast<double>(options_.num_buckets);
+      const std::int64_t b = BucketFromPhi(candidate_phi, delta);
+      if (dist_.span() + b <= kMaxIncrementalSpan) {
+        batch_bs_.push_back(b);
+        batch_qs_.push_back(q);
+        batch_slot_.push_back(j);
+        ++*fast_or_special;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Shared tail of the batched scans: runs the fused convolve kernel for
+  /// the staged candidates against `dist` and books the fast/special
+  /// scorings as one bulk counter update.
+  void FlushConvolveBatch(const BucketKeyDistribution& dist, double* scores,
+                          std::size_t fast_or_special) {
     if (!batch_bs_.empty()) {
       batch_out_.resize(batch_bs_.size());
-      dist_.ConvolvePositiveMassBatch(batch_bs_.data(), batch_qs_.data(),
-                                      batch_bs_.size(), batch_out_.data());
+      dist.ConvolvePositiveMassBatch(batch_bs_.data(), batch_qs_.data(),
+                                     batch_bs_.size(), batch_out_.data());
       for (std::size_t m = 0; m < batch_bs_.size(); ++m) {
         scores[batch_slot_[m]] = std::min(batch_out_[m], 1.0);
       }
@@ -470,7 +744,6 @@ class IncrementalBucketBvEvaluator final : public IncrementalJqEvaluator {
     CountIncrementalEvaluations(fast_or_special);
   }
 
- private:
   double Score(std::size_t out_idx, const Worker* in) {
     staged_out_ = out_idx;
     staged_has_in_ = in != nullptr;
@@ -556,7 +829,13 @@ class IncrementalBucketBvEvaluator final : public IncrementalJqEvaluator {
   }
 
   std::int64_t BucketOf(double norm_q, double delta) const {
-    const double phi = LogOdds(EffectiveQuality(norm_q));
+    return BucketFromPhi(LogOdds(EffectiveQuality(norm_q)), delta);
+  }
+
+  /// Bucket of a precomputed log-odds (the view's `log_odds()` column
+  /// stores exactly `LogOdds(EffectiveQuality(norm_q))`, so column-sourced
+  /// buckets are bit-identical to `BucketOf`).
+  std::int64_t BucketFromPhi(double phi, double delta) const {
     return static_cast<std::int64_t>(std::ceil(phi / delta - 0.5));
   }
 
@@ -602,6 +881,9 @@ class IncrementalBucketBvEvaluator final : public IncrementalJqEvaluator {
 
   // Scratch for the staged move.
   BucketKeyDistribution scratch_dist_;
+  // Scratch for the batched swap scan: the committed distribution with
+  // the outgoing member deconvolved, shared by every same-grid partner.
+  BucketKeyDistribution swap_dist_;
   bool scratch_regular_ = false;
   bool scratch_rebuilt_ = false;
   double scratch_upper_ = 0.0;
@@ -646,6 +928,35 @@ void IncrementalJqEvaluator::ScoreAddBatch(const Worker* const* candidates,
   Rollback();
 }
 
+void IncrementalJqEvaluator::ScoreAddBatch(const std::size_t* pool_indices,
+                                           std::size_t count,
+                                           double* scores) {
+  JURY_CHECK(view_ != nullptr) << "index-based batch scan without a view";
+  for (std::size_t j = 0; j < count; ++j) {
+    scores[j] = ScoreAdd(view_->worker(pool_indices[j]));
+  }
+  Rollback();
+}
+
+void IncrementalJqEvaluator::ScoreRemoveBatch(
+    const std::size_t* member_positions, std::size_t count, double* scores) {
+  for (std::size_t j = 0; j < count; ++j) {
+    scores[j] = ScoreRemove(member_positions[j]);
+  }
+  Rollback();
+}
+
+void IncrementalJqEvaluator::ScoreSwapBatch(std::size_t out_position,
+                                            const std::size_t* pool_indices,
+                                            std::size_t count,
+                                            double* scores) {
+  JURY_CHECK(view_ != nullptr) << "index-based batch scan without a view";
+  for (std::size_t j = 0; j < count; ++j) {
+    scores[j] = ScoreSwap(out_position, view_->worker(pool_indices[j]));
+  }
+  Rollback();
+}
+
 double IncrementalJqEvaluator::ScoreRemove(std::size_t idx) {
   JURY_CHECK_LT(idx, members_.size());
   staged_ = MoveKind::kRemove;
@@ -669,13 +980,17 @@ void IncrementalJqEvaluator::Commit() {
   AdoptStaged();
   switch (staged_) {
     case MoveKind::kAdd:
+      member_quality_.push_back(staged_worker_.quality);
       members_.push_back(std::move(staged_worker_));
       break;
     case MoveKind::kRemove:
+      member_quality_.erase(member_quality_.begin() +
+                            static_cast<std::ptrdiff_t>(staged_idx_));
       members_.erase(members_.begin() +
                      static_cast<std::ptrdiff_t>(staged_idx_));
       break;
     case MoveKind::kSwap:
+      member_quality_[staged_idx_] = staged_worker_.quality;
       members_[staged_idx_] = std::move(staged_worker_);
       break;
     case MoveKind::kNone:
@@ -694,6 +1009,7 @@ void IncrementalJqEvaluator::Rollback() {
 void IncrementalJqEvaluator::CommitAdd(const Worker& worker, double score) {
   Rollback();
   ApplyAdd(worker);
+  member_quality_.push_back(worker.quality);
   members_.push_back(worker);
   current_jq_ = score;
 }
@@ -733,6 +1049,13 @@ std::unique_ptr<IncrementalJqEvaluator> JqObjective::StartSession(
     return std::make_unique<FullRecomputeEvaluator>(this, alpha);
   }
   return StartIncrementalSession(alpha);
+}
+
+std::unique_ptr<IncrementalJqEvaluator> JqObjective::StartSession(
+    const WorkerPoolView& view, double alpha, bool incremental) const {
+  auto session = StartSession(alpha, incremental);
+  session->BindView(&view);
+  return session;
 }
 
 std::unique_ptr<IncrementalJqEvaluator> JqObjective::StartIncrementalSession(

@@ -14,6 +14,7 @@
 namespace jury {
 
 class IncrementalJqEvaluator;
+class WorkerPoolView;
 
 /// Tolerance of the session-vs-Evaluate equivalence contract: a delta
 /// update and a from-scratch evaluation of the same jury agree within this
@@ -71,6 +72,16 @@ class JqObjective {
   std::unique_ptr<IncrementalJqEvaluator> StartSession(
       double alpha, bool incremental = true) const;
 
+  /// View-bound session: identical scoring semantics, with the candidate
+  /// pool's columnar snapshot attached so the index-based batched
+  /// move-scan APIs (`ScoreAddBatch`/`ScoreRemoveBatch`/`ScoreSwapBatch`
+  /// over view indices) read contiguous columns instead of re-gathering
+  /// `Worker` structs. `view` must outlive the session (solvers build it
+  /// once per solve from `JspInstance::candidates`).
+  std::unique_ptr<IncrementalJqEvaluator> StartSession(
+      const WorkerPoolView& view, double alpha,
+      bool incremental = true) const;
+
   /// Total number of jury scorings so far (full + incremental), kept for
   /// the original instrumentation consumers.
   std::size_t evaluations() const { return evaluation_counters().total(); }
@@ -123,6 +134,19 @@ class IncrementalJqEvaluator {
   double alpha() const { return alpha_; }
   /// Committed members, in insertion order (swap replaces in place).
   const std::vector<Worker>& members() const { return members_; }
+  /// Committed members' qualities as a contiguous column, positionally
+  /// aligned with `members()` and maintained through `Commit`/`CommitAdd`:
+  /// the committed-side half of the columnar story, so batch backends fold
+  /// committed state without re-reading `Worker` structs.
+  const std::vector<double>& member_qualities() const {
+    return member_quality_;
+  }
+  /// The columnar pool view bound at `StartSession(view, ...)` (nullptr
+  /// for unbound sessions). Clones share the parent's view.
+  const WorkerPoolView* view() const { return view_; }
+  /// Binds `view` as the candidate pool the index-based batch APIs score
+  /// from. The view must outlive the session.
+  void BindView(const WorkerPoolView* view) { view_ = view; }
   std::size_t size() const { return members_.size(); }
   /// JQ of the committed jury (`EmptyJuryJq(alpha)` for the empty jury).
   double current_jq() const { return current_jq_; }
@@ -170,6 +194,37 @@ class IncrementalJqEvaluator {
   /// bit-deterministic in the thread count.
   virtual void ScoreAddBatch(const Worker* const* candidates,
                              std::size_t count, double* scores);
+
+  /// \brief Unified batched move-scan API over the bound view.
+  ///
+  /// The index-based triplet below is the one scan surface every solver's
+  /// inner loop runs on: candidates are named by *view indices* (adds,
+  /// swap-ins) or *member positions* (removes, swap-outs), and the MV and
+  /// BV/bucket backends score them through fused structure-of-arrays
+  /// kernels (`PoissonBinomial::EvaluateBatch`/`EvaluateRemoveBatch`,
+  /// `BucketKeyDistribution::ConvolvePositiveMassBatch`/
+  /// `DeconvolvePositiveMass`) that read the view's contiguous columns
+  /// directly — no per-candidate `Worker` gather, no scratch copies, no
+  /// virtual dispatch per score. All three are bit-identical to the
+  /// corresponding scalar `Score*` loop (EXPECT_EQ-tested), leave no move
+  /// staged, and are pure functions of (committed jury, candidate) — so
+  /// scans can be sharded across threads with any grain without changing
+  /// a single bit. The base implementations loop the scalar calls, which
+  /// is what the full-recompute and exact-BV sessions use.
+  ///
+  /// Fills `scores[j]` with `ScoreAdd(view()->worker(pool_indices[j]))`.
+  virtual void ScoreAddBatch(const std::size_t* pool_indices,
+                             std::size_t count, double* scores);
+  /// Fills `scores[j]` with `ScoreRemove(member_positions[j])`.
+  virtual void ScoreRemoveBatch(const std::size_t* member_positions,
+                                std::size_t count, double* scores);
+  /// Fills `scores[j]` with
+  /// `ScoreSwap(out_position, view()->worker(pool_indices[j]))` — the
+  /// swap-partner scan of the annealing neighbourhood.
+  virtual void ScoreSwapBatch(std::size_t out_position,
+                              const std::size_t* pool_indices,
+                              std::size_t count, double* scores);
+
   /// JQ with member `idx` removed; stages the removal.
   double ScoreRemove(std::size_t idx);
   /// JQ with member `out_idx` replaced by `in_worker`; stages the swap.
@@ -224,7 +279,9 @@ class IncrementalJqEvaluator {
 
   const JqObjective* objective_;
   double alpha_;
+  const WorkerPoolView* view_ = nullptr;
   std::vector<Worker> members_;
+  std::vector<double> member_quality_;  // aligned with members_
   double current_jq_;
   MoveKind staged_ = MoveKind::kNone;
   std::size_t staged_idx_ = 0;

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "model/prior.h"
+#include "model/worker_pool_view.h"
 #include "util/check.h"
 #include "util/math.h"
 
@@ -46,10 +47,13 @@ Result<SequentialOutcome> RunSequentialPolicy(
   }
 
   SequentialDecision decision(config.alpha);
+  // Columnar snapshot of the stream, bound to the projected session like
+  // every other solver's pool view.
+  const WorkerPoolView stream_view(stream);
   std::unique_ptr<IncrementalJqEvaluator> projected;
   if (config.projected_objective != nullptr) {
     projected = config.projected_objective->StartSession(
-        config.alpha, config.use_incremental);
+        stream_view, config.alpha, config.use_incremental);
   }
   SequentialOutcome outcome;
   outcome.answer = decision.CurrentAnswer();

@@ -10,6 +10,8 @@
 #include "model/worker.h"
 #include "util/check.h"
 #include "util/math.h"
+#include "util/simd_dispatch.h"
+#include "util/simd_kernels_inl.h"
 
 namespace jury {
 namespace {
@@ -179,60 +181,55 @@ void BucketKeyDistribution::Deconvolve(std::int64_t b, double q) {
 }
 
 double BucketKeyDistribution::PositiveMass() const {
-  double acc = 0.5 * pmf_[static_cast<std::size_t>(span_)];
-  for (std::int64_t key = 1; key <= span_; ++key) {
-    acc += pmf_[static_cast<std::size_t>(key + span_)];
-  }
-  return acc;
+  // Canonical interleaved accumulation (simd_kernels_inl.h): 0.5 * g[0]
+  // plus four interleaved partial sums over the positive keys. One fixed
+  // order shared by every mass consumer — the fused batch kernels at
+  // every dispatch level sum in exactly this order, which is what lets
+  // the AVX2 variant run one IEEE chain per vector lane and still be
+  // bit-identical to this function.
+  return simd::internal::CommittedMass(pmf_.data(), span_);
 }
 
 void BucketKeyDistribution::ConvolvePositiveMassBatch(const std::int64_t* bs,
                                                       const double* qs,
                                                       std::size_t count,
                                                       double* out) const {
-  // `f` indexed by key + span_; keys outside [-span_, span_] read as zero,
-  // which is what the segmented loops below encode branch-free. For new
-  // key s the convolved entry is g[s] = f[s-b]*q + f[s+b]*(1-q), built in
-  // exactly that order by Convolve's ascending scatter, and PositiveMass
-  // accumulates 0.5*g[0] then g[1..new_span] ascending — replicated here
-  // term for term so the fused result is bit-identical to the scalar
-  // copy-convolve-sweep.
-  const double* f = pmf_.data();
-  const std::int64_t s = span_;
-  double committed_mass = -1.0;  // lazy: only b == 0 candidates need it
+  // Keys outside [-span_, span_] read as zero, which the kernel's
+  // segmented/masked loops encode branch-free. For new key s the convolved
+  // entry is g[s] = f[s-b]*q + f[s+b]*(1-q), built in exactly that order
+  // by Convolve's ascending scatter, and PositiveMass accumulates 0.5*g[0]
+  // then g[1..new_span] ascending — the dispatched `convolve_mass` kernel
+  // (scalar reference or AVX2; see simd_dispatch.h) replicates this term
+  // for term, so the fused result is bit-identical to the scalar
+  // copy-convolve-sweep at every level.
   for (std::size_t j = 0; j < count; ++j) {
-    const std::int64_t b = bs[j];
-    JURY_CHECK_GE(b, 0);
-    if (b == 0) {
-      // Convolve(0, q) is an exact no-op: the committed mass verbatim.
-      if (committed_mass < 0.0) committed_mass = PositiveMass();
-      out[j] = committed_mass;
-      continue;
-    }
-    const double q = qs[j];
-    const double omq = 1.0 - q;
-    const std::int64_t ns = s + b;  // new span
-    double acc;
-    if (b <= s) {
-      // g[0] has both source keys -b and +b in range.
-      acc = 0.5 * (f[-b + s] * q + f[b + s] * omq);
-      std::int64_t key = 1;
-      for (; key <= s - b; ++key) {
-        acc += f[key - b + s] * q + f[key + b + s] * omq;
-      }
-      for (; key <= ns; ++key) {
-        acc += f[key - b + s] * q;
-      }
-    } else {
-      // The candidate's bucket exceeds the committed span: key 0 and the
-      // low keys draw only zeros; mass starts at key b - s.
-      acc = 0.0;
-      for (std::int64_t key = b - s; key <= ns; ++key) {
-        acc += f[key - b + s] * q;
-      }
-    }
-    out[j] = acc;
+    JURY_CHECK_GE(bs[j], 0);
   }
+  simd::Kernels().convolve_mass(pmf_.data(), span_, bs, qs, count, out);
+}
+
+double BucketKeyDistribution::DeconvolvePositiveMass(std::int64_t b,
+                                                     double q) const {
+  // Fused {copy; Deconvolve(b, q); PositiveMass()}: the same backward
+  // recurrence over a reused row (no full-distribution copy), then the
+  // same ascending mass sweep — bit-identical to the scalar pair.
+  JURY_CHECK_GE(b, 0);
+  if (b == 0) return PositiveMass();
+  JURY_CHECK_GE(span_, b);
+  JURY_CHECK(q >= 0.5 && q <= 1.0)
+      << "DeconvolvePositiveMass requires a normalized quality, got " << q;
+  const std::int64_t ns = span_ - b;
+  static thread_local std::vector<double> row;
+  row.resize(static_cast<std::size_t>(2 * ns + 1));
+  for (std::int64_t j = ns; j >= -ns; --j) {
+    const double above =
+        (j + 2 * b <= ns) ? row[static_cast<std::size_t>(j + 2 * b + ns)]
+                          : 0.0;
+    row[static_cast<std::size_t>(j + ns)] =
+        (pmf_[static_cast<std::size_t>(j + b + span_)] - (1.0 - q) * above) /
+        q;
+  }
+  return simd::internal::CommittedMass(row.data(), ns);
 }
 
 double BucketErrorBound(int n, double delta) {

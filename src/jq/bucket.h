@@ -117,7 +117,10 @@ class BucketKeyDistribution {
   void Deconvolve(std::int64_t b, double q);
 
   /// `sum_{key > 0} Pr[key] + 0.5 Pr[key = 0]` — JQ-hat before the
-  /// min(., 1) clamp (steps 21-25 of Algorithm 1).
+  /// min(., 1) clamp (steps 21-25 of Algorithm 1). Accumulated in the
+  /// canonical four-chain interleaved order shared by every mass consumer
+  /// (util/simd_kernels_inl.h), so the fused batch kernels — including
+  /// the AVX2 lane-per-chain variant — are bit-identical to this.
   double PositiveMass() const;
 
   /// \brief Fused batched candidate evaluation — the greedy-scan kernel
@@ -130,14 +133,30 @@ class BucketKeyDistribution {
   ///   out[j] = {copy = *this; copy.Convolve(bs[j], qs[j]);
   ///             copy.PositiveMass()}
   ///
-  /// bit-for-bit (the per-key convolution terms and the ascending mass
-  /// summation replicate the scalar pair's arithmetic exactly). Where the
-  /// scalar pair runs three O(span) memory passes per candidate (copy the
-  /// pmf, scatter the convolution, re-read for the mass sweep), the fused
-  /// kernel runs one read-only pass over contiguous storage per candidate
-  /// — no scratch, no allocation, no per-candidate dispatch.
+  /// bit-for-bit (the per-key convolution terms and PositiveMass's
+  /// canonical interleaved summation replicate the scalar pair's
+  /// arithmetic exactly). Where the scalar pair runs three O(span) memory
+  /// passes per candidate (copy the pmf, scatter the convolution, re-read
+  /// for the mass sweep), the fused kernel runs one read-only pass over
+  /// contiguous storage per candidate — no scratch copy, no allocation,
+  /// no per-candidate dispatch. Runs on the runtime-dispatched
+  /// `convolve_mass` kernel (util/simd_dispatch.h): scalar reference or
+  /// AVX2, bit-identical either way.
   void ConvolvePositiveMassBatch(const std::int64_t* bs, const double* qs,
                                  std::size_t count, double* out) const;
+
+  /// \brief Fused remove-candidate evaluation — the remove fold of the
+  /// unified move scan for the BV/bucket backend.
+  ///
+  /// Positive mass of this distribution with a previously-folded worker
+  /// `(b, q)` deconvolved out, without copying or mutating anything:
+  ///
+  ///   {copy = *this; copy.Deconvolve(b, q); copy.PositiveMass()}
+  ///
+  /// bit-for-bit, in one backward-recurrence pass over a reused row plus
+  /// the ascending mass sweep — where the scalar pair pays a full
+  /// distribution copy first. Same preconditions as `Deconvolve`.
+  double DeconvolvePositiveMass(std::int64_t b, double q) const;
 
   /// Current half-width of the key support (sum of folded buckets).
   std::int64_t span() const { return span_; }

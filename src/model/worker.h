@@ -38,6 +38,13 @@ inline constexpr double kQualityEpsilon = 1e-12;
 /// Clamps `q` away from the endpoints so that `LogOdds(q)` is finite.
 double EffectiveQuality(double q);
 
+/// §3.3 flip reinterpretation for a single quality (`Normalize` on one
+/// worker): a quality below 0.5 is read as voting the *wrong* answer with
+/// probability q, i.e. the right one with 1 - q; ties at 0.5 are left
+/// unflipped. Shared by the BV evaluation backends and the columnar
+/// `WorkerPoolView` so the two sources cannot drift apart.
+inline double NormalizedQuality(double q) { return q < 0.5 ? 1.0 - q : q; }
+
 }  // namespace jury
 
 #endif  // JURYOPT_MODEL_WORKER_H_

@@ -1,0 +1,33 @@
+#include "model/worker_pool_view.h"
+
+#include "util/math.h"
+
+namespace jury {
+
+WorkerPoolView::WorkerPoolView(std::span<const Worker> workers)
+    : workers_(workers) {
+  const std::size_t n = workers.size();
+  quality_.resize(n);
+  cost_.resize(n);
+  norm_quality_.resize(n);
+  log_odds_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Worker& w = workers[i];
+    quality_[i] = w.quality;
+    cost_[i] = w.cost;
+    // Same expressions the evaluation backends run on the Worker structs,
+    // evaluated once: column-sourced scores stay bit-identical.
+    const double norm = NormalizedQuality(w.quality);
+    norm_quality_[i] = norm;
+    log_odds_[i] = LogOdds(EffectiveQuality(norm));
+  }
+}
+
+std::size_t WorkerPoolView::IndexOf(std::string_view id) const {
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    if (workers_[i].id == id) return i;
+  }
+  return kNotFound;
+}
+
+}  // namespace jury

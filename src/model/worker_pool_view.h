@@ -1,0 +1,79 @@
+#ifndef JURYOPT_MODEL_WORKER_POOL_VIEW_H_
+#define JURYOPT_MODEL_WORKER_POOL_VIEW_H_
+
+#include <cstddef>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "model/worker.h"
+
+namespace jury {
+
+/// \brief Immutable columnar (structure-of-arrays) snapshot of a candidate
+/// worker pool, built once per solve.
+///
+/// The JQ kernels under every JSP solver — the Poisson-binomial
+/// convolutions for MV, the Algorithm-1 bucketed key DP for BV — are flat
+/// numeric loops over worker probabilities, yet the pool is stored as an
+/// array of `Worker` structs (id string + quality + cost). Before this
+/// view, every batched scan re-gathered those fields through an
+/// `const Worker* const*` indirection per candidate per round. The view
+/// hoists that gather to one O(n) pass per solve: contiguous `double`
+/// columns for the quality, cost, §3.3 flip-normalized quality, and
+/// log-odds `phi(q) = ln(q/(1-q))` of every candidate, plus a stable
+/// index ↔ WorkerId map. Evaluation sessions bound to a view
+/// (`JqObjective::StartSession(view, ...)`) consume the columns directly
+/// in their batched move scans; the derived columns are computed with
+/// exactly the session backends' own expressions
+/// (`NormalizeQuality`/`EffectiveQuality`/`LogOdds`), so column-sourced
+/// scores are bit-identical to struct-sourced ones.
+///
+/// The view does not own the workers: it keeps a `std::span` over the
+/// caller's array (a `JspInstance::candidates` vector in every in-repo
+/// use), which must outlive the view. Views are immutable after
+/// construction and therefore freely shared across threads.
+class WorkerPoolView {
+ public:
+  static constexpr std::size_t kNotFound = static_cast<std::size_t>(-1);
+
+  WorkerPoolView() = default;
+  explicit WorkerPoolView(std::span<const Worker> workers);
+
+  std::size_t size() const { return quality_.size(); }
+  bool empty() const { return quality_.empty(); }
+
+  /// The backing AoS record (id, quality, cost) for index `i`.
+  const Worker& worker(std::size_t i) const { return workers_[i]; }
+  std::span<const Worker> workers() const { return workers_; }
+
+  /// Raw quality column: `quality()[i] == worker(i).quality`.
+  std::span<const double> quality() const { return quality_; }
+  /// Cost column: `cost()[i] == worker(i).cost`.
+  std::span<const double> cost() const { return cost_; }
+  /// §3.3 flip-normalized quality column: `q < 0.5 ? 1 - q : q`. This is
+  /// the value the BV/bucket backend feeds its key DP.
+  std::span<const double> norm_quality() const { return norm_quality_; }
+  /// Log-odds column `LogOdds(EffectiveQuality(norm_quality()[i]))` — the
+  /// bucketable weight phi(q_i) of Algorithm 1, precomputed so batched
+  /// scans bucket a candidate without re-running the log per score.
+  std::span<const double> log_odds() const { return log_odds_; }
+
+  /// Index of the first worker whose id is `id`, or `kNotFound`. A linear
+  /// scan (first occurrence wins — ids are not required to be unique):
+  /// id lookups are an offline convenience, not a solver hot path, so the
+  /// view's per-solve construction stays pure column fills with no string
+  /// hashing or allocation.
+  std::size_t IndexOf(std::string_view id) const;
+
+ private:
+  std::span<const Worker> workers_;
+  std::vector<double> quality_;
+  std::vector<double> cost_;
+  std::vector<double> norm_quality_;
+  std::vector<double> log_odds_;
+};
+
+}  // namespace jury
+
+#endif  // JURYOPT_MODEL_WORKER_POOL_VIEW_H_

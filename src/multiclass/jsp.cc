@@ -77,6 +77,15 @@ Result<McJspSolution> SolveMcAnnealing(const McJspInstance& instance, Rng* rng,
   const std::size_t n = instance.candidates.size();
   if (n == 0) return Finish(instance, {}, EmptyMcJq(instance.prior));
 
+  // Columnar cost snapshot, mirroring the binary solvers' WorkerPoolView:
+  // the per-move affordability tests below read one contiguous double
+  // column instead of re-gathering McWorker structs (confusion matrix +
+  // strings) per probe.
+  std::vector<double> cost_col(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    cost_col[i] = instance.candidates[i].cost;
+  }
+
   std::vector<bool> in_jury(n, false);
   std::vector<std::size_t> members;
   double cost = 0.0;
@@ -87,12 +96,11 @@ Result<McJspSolution> SolveMcAnnealing(const McJspInstance& instance, Rng* rng,
        temperature *= options.cooling_factor) {
     for (std::size_t step = 0; step < n; ++step) {
       const std::size_t r = static_cast<std::size_t>(rng->UniformInt(n));
-      if (!in_jury[r] &&
-          cost + instance.candidates[r].cost <= instance.budget) {
+      if (!in_jury[r] && cost + cost_col[r] <= instance.budget) {
         // Lemma 1 (extended in §7): adding a worker never hurts BV.
         members.push_back(r);
         in_jury[r] = true;
-        cost += instance.candidates[r].cost;
+        cost += cost_col[r];
         current_jq = EvaluateJq(instance, BuildJury(instance, members),
                                 options.bucket);
         continue;
@@ -123,8 +131,7 @@ Result<McJspSolution> SolveMcAnnealing(const McJspInstance& instance, Rng* rng,
         JURY_CHECK_LT(in_idx, n);
         out_idx = r;
       }
-      const double new_cost = cost - instance.candidates[out_idx].cost +
-                              instance.candidates[in_idx].cost;
+      const double new_cost = cost - cost_col[out_idx] + cost_col[in_idx];
       if (new_cost > instance.budget) continue;
       const double new_jq = EvaluateJq(
           instance, BuildJury(instance, members, out_idx, in_idx),
@@ -153,6 +160,12 @@ Result<McJspSolution> SolveMcExhaustive(const McJspInstance& instance,
                               std::to_string(max_candidates));
   }
   McJspSolution best = Finish(instance, {}, EmptyMcJq(instance.prior));
+  // Columnar cost snapshot (see SolveMcAnnealing): the 2^n feasibility
+  // sweep reads a flat double column, not McWorker structs.
+  std::vector<double> cost_col(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    cost_col[i] = instance.candidates[i].cost;
+  }
   const std::uint64_t total = 1ull << n;
   for (std::uint64_t mask = 1; mask < total; ++mask) {
     std::vector<std::size_t> selected;
@@ -161,7 +174,7 @@ Result<McJspSolution> SolveMcExhaustive(const McJspInstance& instance,
     for (std::size_t i = 0; i < n && feasible; ++i) {
       if ((mask >> i) & 1u) {
         selected.push_back(i);
-        cost += instance.candidates[i].cost;
+        cost += cost_col[i];
         if (cost > instance.budget) feasible = false;
       }
     }

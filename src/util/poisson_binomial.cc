@@ -1,8 +1,10 @@
 #include "util/poisson_binomial.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "util/check.h"
+#include "util/simd_dispatch.h"
 
 namespace jury {
 
@@ -52,7 +54,10 @@ void PoissonBinomial::EvaluateBatch(const double* probs, std::size_t count,
 
   // g_j[k] = pmf[k] * (1 - p_j) + pmf[k-1] * p_j is the k-th entry of the
   // hypothetical pmf — exactly the `AddTrial` update expression, with
-  // out-of-range committed entries reading as zero.
+  // out-of-range committed entries reading as zero. The per-k inner loop
+  // over candidates is the dispatched `fused_step` kernel (scalar
+  // reference or AVX2, bit-identical either way; see simd_dispatch.h).
+  const simd::KernelTable& kernels = simd::Kernels();
   if (tails != nullptr) {
     if (tail_k <= 0) {
       std::fill(tails, tails + count, 1.0);
@@ -65,11 +70,7 @@ void PoissonBinomial::EvaluateBatch(const double* probs, std::size_t count,
       for (int k = new_n; k >= tail_k; --k) {
         const double a = k <= n ? pmf_[static_cast<std::size_t>(k)] : 0.0;
         const double b = k >= 1 ? pmf_[static_cast<std::size_t>(k - 1)] : 0.0;
-        double* acc_ptr = acc.data();
-        const double* p_ptr = p.data();
-        for (std::size_t j = 0; j < count; ++j) {
-          acc_ptr[j] += a * (1.0 - p_ptr[j]) + b * p_ptr[j];
-        }
+        kernels.fused_step(a, b, p.data(), acc.data(), count);
       }
       for (std::size_t j = 0; j < count; ++j) {
         tails[j] = std::min(acc[j], 1.0);
@@ -87,17 +88,29 @@ void PoissonBinomial::EvaluateBatch(const double* probs, std::size_t count,
       for (int k = 0; k <= kk; ++k) {
         const double a = k <= n ? pmf_[static_cast<std::size_t>(k)] : 0.0;
         const double b = k >= 1 ? pmf_[static_cast<std::size_t>(k - 1)] : 0.0;
-        double* acc_ptr = acc.data();
-        const double* p_ptr = p.data();
-        for (std::size_t j = 0; j < count; ++j) {
-          acc_ptr[j] += a * (1.0 - p_ptr[j]) + b * p_ptr[j];
-        }
+        kernels.fused_step(a, b, p.data(), acc.data(), count);
       }
       for (std::size_t j = 0; j < count; ++j) {
         cdfs[j] = std::min(acc[j], 1.0);
       }
     }
   }
+}
+
+void PoissonBinomial::EvaluateRemoveBatch(const double* probs,
+                                          std::size_t count, int tail_k,
+                                          int cdf_k, double* tails,
+                                          double* cdfs) const {
+  if (count == 0 || (tails == nullptr && cdfs == nullptr)) return;
+  JURY_CHECK_GE(size(), 1) << "EvaluateRemoveBatch on an empty distribution";
+  // Clamp exactly as `RemoveTrial` would; the kernels assume [0, 1].
+  static thread_local std::vector<double> p;
+  p.resize(count);
+  for (std::size_t j = 0; j < count; ++j) {
+    p[j] = std::min(std::max(probs[j], 0.0), 1.0);
+  }
+  simd::Kernels().remove_query(pmf_.data(), size(), p.data(), count, tail_k,
+                               cdf_k, tails, cdfs);
 }
 
 void PoissonBinomial::AddTrial(double raw) {

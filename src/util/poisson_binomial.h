@@ -55,6 +55,28 @@ class PoissonBinomial {
   void EvaluateBatch(const double* probs, std::size_t count, int tail_k,
                      int cdf_k, double* tails, double* cdfs) const;
 
+  /// \brief Batched remove-candidate evaluation — the remove fold of the
+  /// unified move scan.
+  ///
+  /// For each candidate probability `probs[j]` (a trial previously folded
+  /// in), computes tail and/or cdf queries of the hypothetical
+  /// distribution with that one trial deconvolved out, without mutating
+  /// this one:
+  ///
+  ///   tails[j] = Pr[X - Bern(p_j) >= tail_k]
+  ///   cdfs[j]  = Pr[X - Bern(p_j) <= cdf_k]
+  ///
+  /// Either output may be null to skip that query. Bit-identical to
+  /// `{copy; copy.RemoveTrial(probs[j]); copy.TailAtLeast(tail_k);
+  /// copy.CdfAtMost(cdf_k)}` per candidate: the same regime-split
+  /// recurrences, per-entry clamps, and cumulative summation orders.
+  /// Requires at least one trial. Runs on the runtime-dispatched
+  /// `remove_query` kernel (util/simd_dispatch.h) — scalar reference or
+  /// AVX2, selected once at startup, all levels bit-identical.
+  void EvaluateRemoveBatch(const double* probs, std::size_t count,
+                           int tail_k, int cdf_k, double* tails,
+                           double* cdfs) const;
+
   /// Removes one Bernoulli(p) trial in O(n) by deconvolution. `p` must be
   /// (the clamped value of) a probability previously folded in; the pmf is
   /// otherwise meaningless. Numerically stable in both regimes: the forward

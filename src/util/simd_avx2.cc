@@ -1,0 +1,259 @@
+// AVX2 variants of the dispatched JQ kernels (see simd_dispatch.h). This
+// is the only translation unit built with -mavx2 (CMake gates it behind
+// JURYOPT_ENABLE_AVX2 + a compiler check, defining JURYOPT_HAVE_AVX2);
+// the table below is reachable only after a runtime cpuid check.
+//
+// Bit-identity with the scalar table is a hard contract: every candidate's
+// arithmetic runs the same IEEE operations in the same order — the vector
+// paths only spread *independent candidates* across the 4 lanes (their
+// accumulation chains never mix), and no FMA contraction can occur
+// (-mavx2 does not enable FMA, and the kernels use explicit mul/add
+// intrinsics). Candidates a vector path does not cover — b == 0 keys,
+// degenerate p in {0, 1}, sub-block tails — run the shared scalar bodies
+// from simd_kernels_inl.h.
+
+#if defined(JURYOPT_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/simd_dispatch.h"
+#include "util/simd_kernels_inl.h"
+
+namespace jury::simd {
+namespace {
+
+constexpr std::size_t kLanes = 4;
+
+void FusedStepAvx2(double a, double b, const double* p, double* acc,
+                   std::size_t n) {
+  const __m256d va = _mm256_set1_pd(a);
+  const __m256d vb = _mm256_set1_pd(b);
+  const __m256d ones = _mm256_set1_pd(1.0);
+  std::size_t j = 0;
+  for (; j + kLanes <= n; j += kLanes) {
+    const __m256d pj = _mm256_loadu_pd(p + j);
+    // a*(1-p) + b*p with the scalar kernel's exact operation order.
+    const __m256d term =
+        _mm256_add_pd(_mm256_mul_pd(va, _mm256_sub_pd(ones, pj)),
+                      _mm256_mul_pd(vb, pj));
+    _mm256_storeu_pd(acc + j,
+                     _mm256_add_pd(_mm256_loadu_pd(acc + j), term));
+  }
+  for (; j < n; ++j) {
+    acc[j] += a * (1.0 - p[j]) + b * p[j];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// convolve_mass: per candidate, the canonical 4-chain interleaved mass
+// (see simd_kernels_inl.h) with the four chains in the four vector lanes —
+// two contiguous unaligned loads per 4 keys, no gathers. The batch stages
+// f once into a zero-padded scratch buffer so the per-key bounds checks
+// vanish (out-of-range keys read an exact 0.0, which is what the generic
+// body's checks return), and the loop tail runs the shared scalar chain
+// code — so every candidate reproduces the scalar kernel bit for bit.
+// ---------------------------------------------------------------------------
+
+/// Vector body of `ConvolveMassOnePadded`: the canonical eight chains as
+/// two 4-lane accumulators, 8 keys per step.
+double ConvolveMassOneAvx2(const double* center, std::int64_t s,
+                           std::int64_t b, double q) {
+  const double omq = 1.0 - q;
+  const std::int64_t n = s + b;  // keys 1..n carry mass
+  const double* lo = center + 1 - b;
+  const double* hi = center + 1 + b;
+  const __m256d vq = _mm256_set1_pd(q);
+  const __m256d vomq = _mm256_set1_pd(omq);
+  __m256d vacc_a = _mm256_setzero_pd();  // chains 0..3
+  __m256d vacc_b = _mm256_setzero_pd();  // chains 4..7
+  std::int64_t k = 0;
+  const auto step = [&](std::int64_t at) {
+    const __m256d t1a = _mm256_mul_pd(_mm256_loadu_pd(lo + at), vq);
+    const __m256d t2a = _mm256_mul_pd(_mm256_loadu_pd(hi + at), vomq);
+    vacc_a = _mm256_add_pd(vacc_a, _mm256_add_pd(t1a, t2a));
+    const __m256d t1b = _mm256_mul_pd(_mm256_loadu_pd(lo + at + 4), vq);
+    const __m256d t2b = _mm256_mul_pd(_mm256_loadu_pd(hi + at + 4), vomq);
+    vacc_b = _mm256_add_pd(vacc_b, _mm256_add_pd(t1b, t2b));
+  };
+  // Two canonical 8-key steps per iteration: chain k&7 assignments are
+  // unchanged, the unroll only widens the scheduling window.
+  for (; k + 16 <= n; k += 16) {
+    step(k);
+    step(k + 8);
+  }
+  for (; k + 8 <= n; k += 8) {
+    step(k);
+  }
+  alignas(32) double chains[internal::kMassChains];
+  _mm256_store_pd(chains, vacc_a);
+  _mm256_store_pd(chains + 4, vacc_b);
+  for (; k < n; ++k) {
+    chains[k & 7] += lo[k] * q + hi[k] * omq;
+  }
+  const double g0 = center[-b] * q + center[b] * omq;
+  return 0.5 * g0 + internal::CombineMassChains(chains);
+}
+
+void ConvolveMassAvx2(const double* f, std::int64_t span,
+                      const std::int64_t* bs, const double* qs,
+                      std::size_t count, double* out) {
+  internal::ConvolveMassBatch(f, span, bs, qs, count, out,
+                              &ConvolveMassOneAvx2);
+}
+
+// ---------------------------------------------------------------------------
+// remove_query: candidates grouped by deconvolution regime (forward for
+// p < 1/2, backward for p >= 1/2), each group in 4-lane blocks. The
+// recurrence is vectorized *across candidates* (lane l carries its own
+// unclamped recurrence value), with the clamped rows staged in a
+// lane-interleaved buffer G[k * 4 + l]; the tail/cdf partial sums then run
+// over G in the scalar summation orders (descending / ascending in k), one
+// independent chain per lane.
+// ---------------------------------------------------------------------------
+
+struct RemoveScratch {
+  std::vector<double> g;             // lane-interleaved rows, n * 4
+  std::vector<std::size_t> forward;  // candidate slots, 0 < p < 1/2
+  std::vector<std::size_t> backward; // candidate slots, 1/2 <= p < 1
+};
+
+RemoveScratch& Scratch() {
+  static thread_local RemoveScratch scratch;
+  return scratch;
+}
+
+/// One 4-lane block: `slots` are the candidate indices, `pad` lanes at the
+/// end replicate a safe probability and have their outputs discarded.
+void RemoveQueryBlockAvx2(const double* f, int n, const double* p,
+                          const std::size_t* slots, std::size_t active,
+                          bool forward_regime, int tail_k, int cdf_k,
+                          double* tails, double* cdfs, double* g) {
+  const std::size_t entries = static_cast<std::size_t>(n);
+  alignas(32) double lane_p[kLanes];
+  const double pad = forward_regime ? 0.25 : 0.75;  // div-safe, discarded
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    lane_p[l] = l < active ? p[slots[l]] : pad;
+  }
+  const __m256d vp = _mm256_load_pd(lane_p);
+  const __m256d ones = _mm256_set1_pd(1.0);
+  const __m256d zeros = _mm256_setzero_pd();
+  const __m256d vomp = _mm256_sub_pd(ones, vp);
+
+  if (forward_regime) {
+    // carry = (f[k] - p * carry) / (1 - p), stored clamped — RemoveTrial's
+    // forward recurrence, lane-parallel.
+    __m256d carry = zeros;
+    for (std::size_t k = 0; k < entries; ++k) {
+      carry = _mm256_div_pd(
+          _mm256_sub_pd(_mm256_set1_pd(f[k]), _mm256_mul_pd(vp, carry)),
+          vomp);
+      _mm256_storeu_pd(
+          g + k * kLanes,
+          _mm256_min_pd(_mm256_max_pd(carry, zeros), ones));
+    }
+  } else {
+    // carry = (f[k] - (1 - p) * carry) / p, k descending, row k-1 stored.
+    __m256d carry = zeros;
+    for (std::size_t k = entries; k > 0; --k) {
+      carry = _mm256_div_pd(
+          _mm256_sub_pd(_mm256_set1_pd(f[k]), _mm256_mul_pd(vomp, carry)),
+          vp);
+      _mm256_storeu_pd(
+          g + (k - 1) * kLanes,
+          _mm256_min_pd(_mm256_max_pd(carry, zeros), ones));
+    }
+  }
+
+  alignas(32) double lane_out[kLanes];
+  if (tails != nullptr) {
+    if (tail_k <= 0) {
+      for (std::size_t l = 0; l < active; ++l) tails[slots[l]] = 1.0;
+    } else if (tail_k > n - 1) {
+      for (std::size_t l = 0; l < active; ++l) tails[slots[l]] = 0.0;
+    } else {
+      __m256d acc = zeros;
+      for (std::size_t k = entries; k > static_cast<std::size_t>(tail_k);
+           --k) {
+        acc = _mm256_add_pd(acc, _mm256_loadu_pd(g + (k - 1) * kLanes));
+      }
+      acc = _mm256_min_pd(acc, ones);
+      _mm256_store_pd(lane_out, acc);
+      for (std::size_t l = 0; l < active; ++l) tails[slots[l]] = lane_out[l];
+    }
+  }
+  if (cdfs != nullptr) {
+    if (cdf_k < 0) {
+      for (std::size_t l = 0; l < active; ++l) cdfs[slots[l]] = 0.0;
+    } else {
+      const std::size_t kk =
+          std::min(static_cast<std::size_t>(cdf_k), entries - 1);
+      __m256d acc = zeros;
+      for (std::size_t k = 0; k <= kk; ++k) {
+        acc = _mm256_add_pd(acc, _mm256_loadu_pd(g + k * kLanes));
+      }
+      acc = _mm256_min_pd(acc, ones);
+      _mm256_store_pd(lane_out, acc);
+      for (std::size_t l = 0; l < active; ++l) cdfs[slots[l]] = lane_out[l];
+    }
+  }
+}
+
+void RemoveQueryAvx2(const double* pmf, int n, const double* p,
+                     std::size_t count, int tail_k, int cdf_k, double* tails,
+                     double* cdfs) {
+  RemoveScratch& scratch = Scratch();
+  scratch.g.resize(static_cast<std::size_t>(n) * kLanes);
+  scratch.forward.clear();
+  scratch.backward.clear();
+  for (std::size_t j = 0; j < count; ++j) {
+    const double pj = p[j];
+    if (pj == 0.0 || pj == 1.0) {
+      // Exact inverses: one shared scalar row (rare in real pools).
+      static thread_local std::vector<double> row;
+      row.resize(static_cast<std::size_t>(n));
+      internal::RemoveTrialRow(pmf, n, pj, row.data());
+      if (tails != nullptr) {
+        tails[j] = internal::TailFromRow(row.data(),
+                                         static_cast<std::size_t>(n), tail_k);
+      }
+      if (cdfs != nullptr) {
+        cdfs[j] = internal::CdfFromRow(row.data(),
+                                       static_cast<std::size_t>(n), cdf_k);
+      }
+    } else if (pj < 0.5) {
+      scratch.forward.push_back(j);
+    } else {
+      scratch.backward.push_back(j);
+    }
+  }
+  for (int regime = 0; regime < 2; ++regime) {
+    const bool forward = regime == 0;
+    const std::vector<std::size_t>& slots =
+        forward ? scratch.forward : scratch.backward;
+    for (std::size_t begin = 0; begin < slots.size(); begin += kLanes) {
+      const std::size_t active = std::min(kLanes, slots.size() - begin);
+      RemoveQueryBlockAvx2(pmf, n, p, slots.data() + begin, active, forward,
+                           tail_k, cdf_k, tails, cdfs, scratch.g.data());
+    }
+  }
+}
+
+constexpr KernelTable kAvx2Table{
+    "avx2",
+    &FusedStepAvx2,
+    &ConvolveMassAvx2,
+    &RemoveQueryAvx2,
+};
+
+}  // namespace
+
+const KernelTable& Avx2Table() { return kAvx2Table; }
+
+}  // namespace jury::simd
+
+#endif  // JURYOPT_HAVE_AVX2

@@ -1,0 +1,213 @@
+#ifndef JURYOPT_UTIL_SIMD_KERNELS_INL_H_
+#define JURYOPT_UTIL_SIMD_KERNELS_INL_H_
+
+// Shared per-candidate scalar bodies of the dispatched kernels (see
+// simd_dispatch.h for the contracts). The scalar kernel table is a loop
+// over these; the AVX2 table reuses them for candidates its vector paths
+// do not cover (b == 0 keys, degenerate p in {0, 1}, sub-block tails), so
+// every level agrees with the reference arithmetic by construction.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace jury::simd::internal {
+
+// The canonical positive-mass accumulation order: 0.5 * g[0] plus EIGHT
+// interleaved partial sums over g[1..ns] (chain r takes the keys with
+// (key - 1) % 8 == r), combined pairwise as
+// ((s0+s1)+(s2+s3)) + ((s4+s5)+(s6+s7)). Every mass consumer —
+// `BucketKeyDistribution::PositiveMass`, the fused convolve/deconvolve
+// folds, and both kernel tables — uses exactly this order. Eight chains
+// break the loop-carried add-latency bound (one add per key) that a
+// single running sum imposes, letting the scalar build's autovectorizer
+// and the AVX2 kernel (two 4-lane accumulators, contiguous loads, one
+// independent IEEE chain per lane) both run at load/ALU throughput —
+// while every level still matches the scalar reference bit for bit. The
+// order is a fixed property of the contract, not of the dispatch level.
+inline constexpr std::size_t kMassChains = 8;
+
+/// Combines the eight chain sums in the canonical pairwise order.
+inline double CombineMassChains(const double* s) {
+  return ((s[0] + s[1]) + (s[2] + s[3])) + ((s[4] + s[5]) + (s[6] + s[7]));
+}
+
+/// Positive mass of the committed key pmf `f` (indexed key + span):
+/// `BucketKeyDistribution::PositiveMass` verbatim.
+inline double CommittedMass(const double* f, std::int64_t s) {
+  const double* g1 = f + s + 1;  // key 1
+  double ch[kMassChains] = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+  std::int64_t k = 0;
+  for (; k + 8 <= s; k += 8) {
+    ch[0] += g1[k];
+    ch[1] += g1[k + 1];
+    ch[2] += g1[k + 2];
+    ch[3] += g1[k + 3];
+    ch[4] += g1[k + 4];
+    ch[5] += g1[k + 5];
+    ch[6] += g1[k + 6];
+    ch[7] += g1[k + 7];
+  }
+  for (; k < s; ++k) ch[k & 7] += g1[k];
+  return 0.5 * f[static_cast<std::size_t>(s)] + CombineMassChains(ch);
+}
+
+/// One candidate of `convolve_mass` over a *zero-padded* pmf: `center`
+/// points at key 0 of a buffer where every index in [-(b), s + 2b] is
+/// readable (committed entries inside [-s, s], exact 0.0 outside — the
+/// padding stands in for the scalar bounds checks; adding a zero term is
+/// bit-neutral for the masses involved). Computes the positive mass of
+/// the convolution with {+b: q, -b: 1-q},
+///   g[key] = center[key - b] * q + center[key + b] * (1 - q),
+/// in the canonical interleaved order. Requires `b >= 1`.
+inline double ConvolveMassOnePadded(const double* center, std::int64_t s,
+                                    std::int64_t b, double q) {
+  const double omq = 1.0 - q;
+  const std::int64_t n = s + b;  // keys 1..n carry mass
+  const double* lo = center + 1 - b;
+  const double* hi = center + 1 + b;
+  double ch[kMassChains] = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+  std::int64_t k = 0;
+  for (; k + 8 <= n; k += 8) {
+    ch[0] += lo[k] * q + hi[k] * omq;
+    ch[1] += lo[k + 1] * q + hi[k + 1] * omq;
+    ch[2] += lo[k + 2] * q + hi[k + 2] * omq;
+    ch[3] += lo[k + 3] * q + hi[k + 3] * omq;
+    ch[4] += lo[k + 4] * q + hi[k + 4] * omq;
+    ch[5] += lo[k + 5] * q + hi[k + 5] * omq;
+    ch[6] += lo[k + 6] * q + hi[k + 6] * omq;
+    ch[7] += lo[k + 7] * q + hi[k + 7] * omq;
+  }
+  for (; k < n; ++k) ch[k & 7] += lo[k] * q + hi[k] * omq;
+  const double g0 = center[-b] * q + center[b] * omq;
+  return 0.5 * g0 + CombineMassChains(ch);
+}
+
+/// Bounds-checked variant for candidates whose bucket is too large to pad
+/// for (b beyond the batch padding cap): identical operation sequence,
+/// with out-of-range reads returning the same exact 0.0 the padding
+/// holds, so the two variants agree bit for bit wherever both apply.
+inline double ConvolveMassOneGeneric(const double* f, std::int64_t s,
+                                     std::int64_t b, double q) {
+  const double omq = 1.0 - q;
+  const std::int64_t n = s + b;
+  const auto at = [&](std::int64_t key) {
+    return (key >= -s && key <= s) ? f[static_cast<std::size_t>(key + s)]
+                                   : 0.0;
+  };
+  double ch[kMassChains] = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+  for (std::int64_t k = 0; k < n; ++k) {
+    const std::int64_t key = k + 1;
+    ch[k & 7] += at(key - b) * q + at(key + b) * omq;
+  }
+  const double g0 = at(-b) * q + at(b) * omq;
+  return 0.5 * g0 + CombineMassChains(ch);
+}
+
+/// Shared batch driver for the `convolve_mass` kernels: computes the
+/// padding cap, stages `f` once into a zero-padded thread-local buffer
+/// (indices the candidate bodies can form span [-max_b, s + 2 max_b]
+/// around key 0), resolves b == 0 candidates to the lazily-computed
+/// committed mass and over-cap candidates to the bounds-checked generic
+/// body, and routes the rest through `body(center, s, b, q)` — the only
+/// piece that differs between dispatch levels. Keeping the geometry in
+/// one place is what keeps the levels' bit-identity structural.
+template <typename PerCandidate>
+inline void ConvolveMassBatch(const double* f, std::int64_t span,
+                              const std::int64_t* bs, const double* qs,
+                              std::size_t count, double* out,
+                              const PerCandidate& body) {
+  const std::int64_t s = span;
+  // Padding cap: past this a candidate's zero-padding would balloon the
+  // buffer, so it takes the bounds-checked body (bit-identical anyway).
+  const std::int64_t b_cap = 2 * s + 64;
+  std::int64_t max_b = 0;
+  for (std::size_t j = 0; j < count; ++j) {
+    if (bs[j] >= 1 && bs[j] <= b_cap) max_b = std::max(max_b, bs[j]);
+  }
+  static thread_local std::vector<double> padded;
+  const double* center = nullptr;
+  if (max_b > 0) {
+    const std::size_t lo_pad = static_cast<std::size_t>(max_b);
+    const std::size_t hi_pad = static_cast<std::size_t>(2 * max_b);
+    const std::size_t committed_len = static_cast<std::size_t>(2 * s + 1);
+    padded.assign(lo_pad + committed_len + hi_pad, 0.0);
+    std::copy(f, f + committed_len, padded.data() + lo_pad);
+    center = padded.data() + lo_pad + static_cast<std::size_t>(s);
+  }
+  bool have_committed = false;
+  double committed_mass = 0.0;  // lazy: only b == 0 candidates need it
+  for (std::size_t j = 0; j < count; ++j) {
+    const std::int64_t b = bs[j];
+    if (b == 0) {
+      // Convolve(0, q) is an exact no-op: the committed mass verbatim.
+      if (!have_committed) {
+        committed_mass = CommittedMass(f, span);
+        have_committed = true;
+      }
+      out[j] = committed_mass;
+    } else if (b <= b_cap) {
+      out[j] = body(center, s, b, qs[j]);
+    } else {
+      out[j] = ConvolveMassOneGeneric(f, s, b, qs[j]);
+    }
+  }
+}
+
+/// Writes the deconvolution of one Bernoulli(p) trial out of the n-trial
+/// Poisson-binomial pmf `f` (n + 1 entries) into `g` (n entries):
+/// `PoissonBinomial::RemoveTrial` verbatim — the same regime split, the
+/// same unclamped recurrence carry with per-entry [0, 1] clamps on the
+/// stored values, and the exact inverses for p in {0, 1}. `p` must be
+/// pre-clamped to [0, 1] and `n >= 1`.
+inline void RemoveTrialRow(const double* f, int n, double p, double* g) {
+  const std::size_t m = static_cast<std::size_t>(n);
+  if (p == 0.0) {
+    for (std::size_t k = 0; k < m; ++k) g[k] = f[k];  // identity
+  } else if (p == 1.0) {
+    for (std::size_t k = 0; k < m; ++k) g[k] = f[k + 1];  // pure shift
+  } else if (p < 0.5) {
+    // Forward recurrence g[k] = (f[k] - p g[k-1]) / (1-p); the carried
+    // value stays unclamped, the stored one is clamped — as RemoveTrial.
+    double prev = 0.0;
+    for (std::size_t k = 0; k < m; ++k) {
+      prev = (f[k] - p * prev) / (1.0 - p);
+      g[k] = std::min(std::max(prev, 0.0), 1.0);
+    }
+  } else {
+    // Backward recurrence g[k-1] = (f[k] - (1-p) g[k]) / p.
+    double next = 0.0;
+    for (std::size_t k = m; k > 0; --k) {
+      next = (f[k] - (1.0 - p) * next) / p;
+      g[k - 1] = std::min(std::max(next, 0.0), 1.0);
+    }
+  }
+}
+
+/// `TailAtLeast(k)` over a raw pmf row of `entries` entries (trial count
+/// entries - 1): the descending accumulation order and final min(., 1)
+/// clamp of `PoissonBinomial::RefreshCumulative`.
+inline double TailFromRow(const double* g, std::size_t entries, int k) {
+  if (k <= 0) return 1.0;
+  if (k > static_cast<int>(entries) - 1) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = entries; i > static_cast<std::size_t>(k); --i) {
+    acc += g[i - 1];
+  }
+  return std::min(acc, 1.0);
+}
+
+/// `CdfAtMost(k)` over a raw pmf row: ascending accumulation, min(., 1).
+inline double CdfFromRow(const double* g, std::size_t entries, int k) {
+  if (k < 0) return 0.0;
+  const std::size_t kk =
+      std::min(static_cast<std::size_t>(k), entries - 1);
+  double acc = 0.0;
+  for (std::size_t i = 0; i <= kk; ++i) acc += g[i];
+  return std::min(acc, 1.0);
+}
+
+}  // namespace jury::simd::internal
+
+#endif  // JURYOPT_UTIL_SIMD_KERNELS_INL_H_

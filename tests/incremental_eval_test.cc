@@ -9,6 +9,7 @@
 #include "gtest/gtest.h"
 #include "core/jsp.h"
 #include "core/objective.h"
+#include "model/worker_pool_view.h"
 #include "test_util.h"
 #include "util/rng.h"
 
@@ -300,6 +301,171 @@ TEST(IncrementalEvalTest, ScoreAddBatchMatchesScalarExactBv) {
 TEST(IncrementalEvalTest, ScoreAddBatchMatchesScalarFullRecompute) {
   BatchMatchesScalar(BucketBvObjective(), 0.5, /*incremental=*/false, 31031);
   BatchMatchesScalar(MajorityObjective(), 0.5, /*incremental=*/false, 31033);
+}
+
+/// Shared harness for the unified (view-index) move-scan contract: against
+/// committed juries of several sizes, the index-based `ScoreAddBatch`,
+/// `ScoreRemoveBatch`, and `ScoreSwapBatch` must reproduce the scalar
+/// `Score*` score of every candidate bit for bit, independently of batch
+/// composition — and spend exactly the evaluation-counter budget the
+/// scalar scan spends (the relaxed atomic accumulation must not lose
+/// counts; see JqObjective::evaluation_counters).
+void UnifiedScanMatchesScalar(const JqObjective& objective, double alpha,
+                              bool incremental, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Worker> pool;
+  for (int j = 0; j < 20; ++j) pool.push_back(RandomWorker(&rng, j));
+  // Bucket-backend special cases: §4.4 shortcut, grid mover, coin, flip.
+  pool.push_back(Worker("hq", 0.995, 0.0));
+  pool.push_back(Worker("gridmove", 0.949, 0.0));
+  pool.push_back(Worker("coin", 0.5, 0.0));
+  pool.push_back(Worker("flip", 0.2, 0.0));
+  const WorkerPoolView view(pool);
+  auto session = objective.StartSession(view, alpha, incremental);
+  std::vector<std::size_t> ids(view.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = i;
+
+  for (int committed = 0; committed < 5; ++committed) {
+    const std::size_t size = session->size();
+    // ---- adds (index-based) ----
+    std::vector<double> scalar(ids.size());
+    objective.ResetEvaluationCounters();
+    for (std::size_t j = 0; j < ids.size(); ++j) {
+      scalar[j] = session->ScoreAdd(view.worker(ids[j]));
+      session->Rollback();
+    }
+    const EvaluationCounters scalar_adds = objective.evaluation_counters();
+    objective.ResetEvaluationCounters();
+    std::vector<double> batched(ids.size(), -1.0);
+    session->ScoreAddBatch(ids.data(), ids.size(), batched.data());
+    const EvaluationCounters batch_adds = objective.evaluation_counters();
+    for (std::size_t j = 0; j < ids.size(); ++j) {
+      EXPECT_EQ(batched[j], scalar[j])
+          << objective.name() << " add committed=" << committed
+          << " j=" << j << " (" << view.worker(ids[j]).id << ")";
+    }
+    EXPECT_EQ(batch_adds.total(), scalar_adds.total())
+        << objective.name() << " add counters, committed=" << committed;
+    // Batch-composition independence.
+    const std::size_t half = ids.size() / 2;
+    std::vector<double> split(ids.size(), -1.0);
+    session->ScoreAddBatch(ids.data(), half, split.data());
+    session->ScoreAddBatch(ids.data() + half, ids.size() - half,
+                           split.data() + half);
+    for (std::size_t j = 0; j < ids.size(); ++j) {
+      EXPECT_EQ(split[j], batched[j]) << objective.name() << " add split";
+    }
+    // Index-based and Worker-pointer-based scans agree.
+    std::vector<const Worker*> ptrs;
+    for (std::size_t i : ids) ptrs.push_back(&view.worker(i));
+    std::vector<double> by_ptr(ids.size(), -1.0);
+    session->ScoreAddBatch(ptrs.data(), ptrs.size(), by_ptr.data());
+    for (std::size_t j = 0; j < ids.size(); ++j) {
+      EXPECT_EQ(by_ptr[j], batched[j]) << objective.name() << " ptr vs idx";
+    }
+
+    if (size > 0) {
+      // ---- removes (member positions) ----
+      std::vector<std::size_t> positions(size);
+      for (std::size_t pos = 0; pos < size; ++pos) positions[pos] = pos;
+      std::vector<double> rm_scalar(size);
+      objective.ResetEvaluationCounters();
+      for (std::size_t pos = 0; pos < size; ++pos) {
+        rm_scalar[pos] = session->ScoreRemove(pos);
+        session->Rollback();
+      }
+      const EvaluationCounters scalar_rm = objective.evaluation_counters();
+      objective.ResetEvaluationCounters();
+      std::vector<double> rm_batched(size, -1.0);
+      session->ScoreRemoveBatch(positions.data(), size, rm_batched.data());
+      const EvaluationCounters batch_rm = objective.evaluation_counters();
+      for (std::size_t pos = 0; pos < size; ++pos) {
+        EXPECT_EQ(rm_batched[pos], rm_scalar[pos])
+            << objective.name() << " remove committed=" << committed
+            << " pos=" << pos;
+      }
+      EXPECT_EQ(batch_rm.total(), scalar_rm.total())
+          << objective.name() << " remove counters";
+
+      // ---- swaps (one out position, batch of partners) ----
+      for (const std::size_t out_pos :
+           {std::size_t{0}, size / 2, size - 1}) {
+        std::vector<double> sw_scalar(ids.size());
+        objective.ResetEvaluationCounters();
+        for (std::size_t j = 0; j < ids.size(); ++j) {
+          sw_scalar[j] = session->ScoreSwap(out_pos, view.worker(ids[j]));
+          session->Rollback();
+        }
+        const EvaluationCounters scalar_sw = objective.evaluation_counters();
+        objective.ResetEvaluationCounters();
+        std::vector<double> sw_batched(ids.size(), -1.0);
+        session->ScoreSwapBatch(out_pos, ids.data(), ids.size(),
+                                sw_batched.data());
+        const EvaluationCounters batch_sw = objective.evaluation_counters();
+        for (std::size_t j = 0; j < ids.size(); ++j) {
+          EXPECT_EQ(sw_batched[j], sw_scalar[j])
+              << objective.name() << " swap committed=" << committed
+              << " out=" << out_pos << " j=" << j;
+        }
+        EXPECT_EQ(batch_sw.total(), scalar_sw.total())
+            << objective.name() << " swap counters";
+      }
+    }
+    EXPECT_FALSE(session->has_staged_move());
+    // Grow through a batch-scored winner, as the solvers do.
+    const std::size_t winner = static_cast<std::size_t>(committed);
+    session->CommitAdd(view.worker(winner), batched[winner]);
+    EXPECT_EQ(session->current_jq(), batched[winner]);
+  }
+}
+
+TEST(IncrementalEvalTest, UnifiedScanMatchesScalarBucketBv) {
+  UnifiedScanMatchesScalar(BucketBvObjective(), 0.5, true, 41001);
+  UnifiedScanMatchesScalar(BucketBvObjective(), 0.7, true, 41003);
+  BucketJqOptions no_shortcut;
+  no_shortcut.high_quality_cutoff = 1.0;
+  UnifiedScanMatchesScalar(BucketBvObjective(no_shortcut), 0.5, true, 41005);
+}
+
+TEST(IncrementalEvalTest, UnifiedScanMatchesScalarMajority) {
+  UnifiedScanMatchesScalar(MajorityObjective(), 0.5, true, 41011);
+  UnifiedScanMatchesScalar(MajorityObjective(), 0.65, true, 41013);
+}
+
+TEST(IncrementalEvalTest, UnifiedScanMatchesScalarExactBv) {
+  // Exercises the base-class scalar-loop fallbacks of the unified API.
+  UnifiedScanMatchesScalar(ExactBvObjective(), 0.5, true, 41021);
+}
+
+TEST(IncrementalEvalTest, UnifiedScanMatchesScalarFullRecompute) {
+  UnifiedScanMatchesScalar(BucketBvObjective(), 0.5, /*incremental=*/false,
+                           41031);
+  UnifiedScanMatchesScalar(MajorityObjective(), 0.5, /*incremental=*/false,
+                           41033);
+}
+
+TEST(IncrementalEvalTest, MemberQualityColumnTracksMembers) {
+  const MajorityObjective objective;
+  Rng rng(41041);
+  std::vector<Worker> pool;
+  for (int j = 0; j < 8; ++j) pool.push_back(RandomWorker(&rng, j));
+  const WorkerPoolView view(pool);
+  auto session = objective.StartSession(view, 0.5);
+  for (std::size_t i = 0; i < 6; ++i) {
+    session->ScoreAdd(view.worker(i));
+    session->Commit();
+  }
+  session->ScoreSwap(2, view.worker(7));
+  session->Commit();
+  session->ScoreRemove(0);
+  session->Commit();
+  session->CommitAdd(view.worker(6), session->ScoreAdd(view.worker(6)));
+  ASSERT_EQ(session->member_qualities().size(), session->members().size());
+  for (std::size_t pos = 0; pos < session->size(); ++pos) {
+    EXPECT_EQ(session->member_qualities()[pos],
+              session->members()[pos].quality)
+        << pos;
+  }
 }
 
 TEST(IncrementalEvalTest, ScoreAddBatchOnClonesMatchesParent) {
