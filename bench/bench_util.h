@@ -6,7 +6,6 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -14,6 +13,7 @@
 #include "core/objective.h"
 #include "model/worker.h"
 #include "util/env.h"
+#include "util/json.h"
 #include "util/rng.h"
 #include "util/scheduler.h"
 
@@ -74,25 +74,42 @@ inline void PrintEvaluationCounters(const std::string& label,
   std::cout << ")\n";
 }
 
-/// Accumulates the thread-scaling measurements (solver x thread-count x
-/// wall-clock) of a bench binary and, when the `JURY_BENCH_JSON`
-/// environment variable names a path, writes them as a JSON artifact for
-/// the CI bench-smoke job (the committed baseline lives at the repo root
-/// as BENCH_scaling.json and anchors the perf-regression gate). Speedups
-/// are relative to the same solver's 1-thread row, so the scaling claim
-/// is reproducible from one binary. A second section records the nested
-/// budget-table ablation (fixed-pool inner pin vs nested solver
-/// parallelism) together with the scheduler counters that prove the
-/// nested solves actually fanned out.
+/// Accumulates the measurements of a bench binary and, when the
+/// `JURY_BENCH_JSON` environment variable names a path, writes them as a
+/// JSON artifact for the CI bench-smoke job (the committed baseline lives
+/// at the repo root as BENCH_scaling.json and anchors the perf-regression
+/// gate). Serialization goes through util/json.h — the same deterministic
+/// sorted-key writer `JspSolution::ToJson` and `api::SolveReport::ToJson`
+/// use — instead of hand-rolled string splicing, so the artifact's bytes
+/// are stable given the same measurements. Sections:
+///
+///  * `thread_scaling` — solver x thread-count x wall-clock; speedups are
+///    relative to the same solver's 1-thread row.
+///  * `budget_table_nested` — the nested budget-table ablation
+///    (fixed-pool inner pin vs nested solver parallelism), plus the
+///    scheduler counters that prove the nested solves actually fanned out.
+///  * `annealing_neighbourhood` — batched-polish vs scalar-neighbourhood
+///    SA configurations.
+///  * `plan_context_reuse` — per-call setup (validate + view build) vs a
+///    reused `api::PoolPlanContext` over repeated requests on one pool.
+///  * `solve_many` — `SolveMany` request throughput across thread counts.
 class ThreadScalingReport {
  public:
+  ThreadScalingReport()
+      : rows_(Json::Array()),
+        nested_rows_(Json::Array()),
+        neighbourhood_rows_(Json::Array()),
+        reuse_rows_(Json::Array()),
+        solve_many_rows_(Json::Array()) {}
+
   void Add(const std::string& solver, int n, std::size_t threads,
            double seconds, double speedup_vs_serial) {
-    std::ostringstream row;
-    row << "    {\"solver\": \"" << solver << "\", \"n\": " << n
-        << ", \"threads\": " << threads << ", \"seconds\": " << seconds
-        << ", \"speedup_vs_1_thread\": " << speedup_vs_serial << "}";
-    rows_.push_back(row.str());
+    rows_.Append(Json::Object()
+                     .Set("solver", solver)
+                     .Set("n", n)
+                     .Set("threads", static_cast<std::uint64_t>(threads))
+                     .Set("seconds", seconds)
+                     .Set("speedup_vs_1_thread", speedup_vs_serial));
   }
 
   /// One nested-budget-table measurement: the same workload with inner
@@ -102,13 +119,15 @@ class ThreadScalingReport {
                  double seconds_fixed_pool, double seconds_nested) {
     const double improvement =
         seconds_nested > 0.0 ? seconds_fixed_pool / seconds_nested : 0.0;
-    std::ostringstream row;
-    row << "    {\"workload\": \"budget_table_nested\", \"n\": " << n
-        << ", \"rows\": " << rows << ", \"threads\": " << threads
-        << ", \"seconds_fixed_pool\": " << seconds_fixed_pool
-        << ", \"seconds_nested\": " << seconds_nested
-        << ", \"improvement_vs_fixed_pool\": " << improvement << "}";
-    nested_rows_.push_back(row.str());
+    nested_rows_.Append(
+        Json::Object()
+            .Set("workload", "budget_table_nested")
+            .Set("n", n)
+            .Set("rows", static_cast<std::uint64_t>(rows))
+            .Set("threads", static_cast<std::uint64_t>(threads))
+            .Set("seconds_fixed_pool", seconds_fixed_pool)
+            .Set("seconds_nested", seconds_nested)
+            .Set("improvement_vs_fixed_pool", improvement));
   }
 
   /// One annealing-neighbourhood ablation row: the same SA workload with
@@ -118,13 +137,52 @@ class ThreadScalingReport {
                                  double mean_gap, std::size_t full_evals,
                                  std::size_t incremental_evals,
                                  double seconds) {
-    std::ostringstream row;
-    row << "    {\"config\": \"" << config << "\", \"n\": " << n
-        << ", \"mean_jq_gap\": " << mean_gap
-        << ", \"full_evals\": " << full_evals
-        << ", \"incremental_evals\": " << incremental_evals
-        << ", \"seconds\": " << seconds << "}";
-    neighbourhood_rows_.push_back(row.str());
+    neighbourhood_rows_.Append(
+        Json::Object()
+            .Set("config", config)
+            .Set("n", n)
+            .Set("mean_jq_gap", mean_gap)
+            .Set("full_evals", static_cast<std::uint64_t>(full_evals))
+            .Set("incremental_evals",
+                 static_cast<std::uint64_t>(incremental_evals))
+            .Set("seconds", seconds));
+  }
+
+  /// One PlanContext-reuse row: `requests` repeated solves on one pool,
+  /// cold per-call setup (validate + view rebuild per request) vs the
+  /// reused context (setup amortized into `Plan`; `instances_created` is
+  /// the arena high-water mark proving the reuse).
+  void AddPlanContextReuse(const std::string& solver, int n,
+                           std::size_t requests, double seconds_cold,
+                           double seconds_reused,
+                           std::size_t instances_created) {
+    const double speedup =
+        seconds_reused > 0.0 ? seconds_cold / seconds_reused : 0.0;
+    reuse_rows_.Append(
+        Json::Object()
+            .Set("solver", solver)
+            .Set("n", n)
+            .Set("requests", static_cast<std::uint64_t>(requests))
+            .Set("seconds_cold", seconds_cold)
+            .Set("seconds_reused", seconds_reused)
+            .Set("speedup_vs_cold", speedup)
+            .Set("instances_created",
+                 static_cast<std::uint64_t>(instances_created)));
+  }
+
+  /// One SolveMany throughput row at a thread count.
+  void AddSolveMany(int n, std::size_t requests, std::size_t threads,
+                    double seconds) {
+    solve_many_rows_.Append(
+        Json::Object()
+            .Set("workload", "solve_many")
+            .Set("n", n)
+            .Set("requests", static_cast<std::uint64_t>(requests))
+            .Set("threads", static_cast<std::uint64_t>(threads))
+            .Set("seconds", seconds)
+            .Set("requests_per_second",
+                 seconds > 0.0 ? static_cast<double>(requests) / seconds
+                               : 0.0));
   }
 
   /// Scheduler counters snapshotted around the nested workload: nonzero
@@ -132,53 +190,49 @@ class ThreadScalingReport {
   /// direct evidence that budget-table rows fanned their inner OPTJS
   /// solves across workers instead of pinning them.
   void SetSchedulerCounters(const SchedulerCounters& counters) {
-    std::ostringstream obj;
-    obj << "  \"scheduler\": {\"tasks_spawned\": " << counters.tasks_spawned
-        << ", \"tasks_stolen\": " << counters.tasks_stolen
-        << ", \"tasks_injected\": " << counters.tasks_injected
-        << ", \"regions\": " << counters.regions
-        << ", \"nested_regions\": " << counters.nested_regions
-        << ", \"inline_regions\": " << counters.inline_regions << "}";
-    scheduler_json_ = obj.str();
+    scheduler_json_ =
+        Json::Object()
+            .Set("tasks_spawned", counters.tasks_spawned)
+            .Set("tasks_stolen", counters.tasks_stolen)
+            .Set("tasks_injected", counters.tasks_injected)
+            .Set("regions", counters.regions)
+            .Set("nested_regions", counters.nested_regions)
+            .Set("inline_regions", counters.inline_regions);
+    have_scheduler_ = true;
   }
 
   /// No-op unless JURY_BENCH_JSON is set.
   void WriteIfRequested() const {
     const char* path = std::getenv("JURY_BENCH_JSON");
     if (path == nullptr || path[0] == '\0') return;
-    std::ofstream out(path);
+    Json doc = Json::Object();
     // Host provenance: a baseline recorded on a 1-thread box makes no
     // scaling claim, and scripts/check_scaling_regression.py skips the
     // speedup gates for such baselines.
-    out << "{\n  \"host\": {\"hardware_threads\": "
-        << std::max(1u, std::thread::hardware_concurrency()) << "},\n";
-    out << "  \"thread_scaling\": [\n";
-    for (std::size_t i = 0; i < rows_.size(); ++i) {
-      out << rows_[i] << (i + 1 < rows_.size() ? ",\n" : "\n");
-    }
-    out << "  ],\n  \"budget_table_nested\": [\n";
-    for (std::size_t i = 0; i < nested_rows_.size(); ++i) {
-      out << nested_rows_[i] << (i + 1 < nested_rows_.size() ? ",\n" : "\n");
-    }
-    out << "  ]";
-    if (!neighbourhood_rows_.empty()) {
-      out << ",\n  \"annealing_neighbourhood\": [\n";
-      for (std::size_t i = 0; i < neighbourhood_rows_.size(); ++i) {
-        out << neighbourhood_rows_[i]
-            << (i + 1 < neighbourhood_rows_.size() ? ",\n" : "\n");
-      }
-      out << "  ]";
-    }
-    if (!scheduler_json_.empty()) out << ",\n" << scheduler_json_;
-    out << "\n}\n";
+    doc.Set("host",
+            Json::Object().Set(
+                "hardware_threads",
+                static_cast<std::uint64_t>(
+                    std::max(1u, std::thread::hardware_concurrency()))));
+    doc.Set("thread_scaling", rows_);
+    doc.Set("budget_table_nested", nested_rows_);
+    doc.Set("annealing_neighbourhood", neighbourhood_rows_);
+    doc.Set("plan_context_reuse", reuse_rows_);
+    doc.Set("solve_many", solve_many_rows_);
+    if (have_scheduler_) doc.Set("scheduler", scheduler_json_);
+    std::ofstream out(path);
+    out << doc.Dump() << "\n";
     std::cout << "Wrote thread-scaling JSON to " << path << "\n";
   }
 
  private:
-  std::vector<std::string> rows_;
-  std::vector<std::string> nested_rows_;
-  std::vector<std::string> neighbourhood_rows_;
-  std::string scheduler_json_;
+  Json rows_;
+  Json nested_rows_;
+  Json neighbourhood_rows_;
+  Json reuse_rows_;
+  Json solve_many_rows_;
+  Json scheduler_json_;
+  bool have_scheduler_ = false;
 };
 
 }  // namespace jury::bench

@@ -1,24 +1,115 @@
-// jury_cli: budget-quality planning for a worker pool loaded from CSV.
+// jury_cli: jury planning for a worker pool loaded from CSV, through the
+// unified solve API.
 //
 // Usage:
-//   ./build/examples/jury_cli workers.csv [alpha] [budget...]
+//   ./build/jury_cli [workers.csv] [alpha] [budget...]          budget table
+//   ./build/jury_cli [workers.csv] --solver=NAME [flags] [budget...]
+//   ./build/jury_cli --list-solvers
+//
+// Flags:
+//   --solver=NAME    run one registry solver per budget (SolverRegistry
+//                    names; see --list-solvers) instead of the table;
+//                    bare numbers are then all budgets
+//   --alpha=A        task prior (default 0.5; with this flag set, bare
+//                    numbers are all budgets)
+//   --seed=S         rng seed for the stochastic solvers (default 20150323)
+//   --json           print each SolveReport as one JSON line
+//   --list-solvers   print the registry names, one per line, and exit
 //
 // workers.csv columns: id,quality,cost  (header optional, '#' comments ok)
-// With no arguments, runs on the paper's Figure-1 pool as a demo.
+// With no CSV, runs on the paper's Figure-1 pool as a demo.
 
 #include <cstdlib>
 #include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
 
+#include "api/registry.h"
+#include "api/solve.h"
 #include "core/budget_table.h"
 #include "model/worker_io.h"
 #include "util/rng.h"
 
+namespace {
+
+struct CliArgs {
+  std::string csv_path;
+  std::string solver;
+  double alpha = 0.5;
+  std::uint64_t seed = 20150323;
+  bool json = false;
+  bool list_solvers = false;
+  std::vector<double> budgets;
+  bool alpha_flag_seen = false;
+  bool alpha_positional_seen = false;
+};
+
+/// True iff `arg` parses as a double in its entirety — the test that
+/// separates numeric positionals (alpha/budgets) from file paths, so a
+/// digit-leading CSV name like "2024_pool.csv" is still a path.
+bool IsNumber(const char* arg, double* value) {
+  char* end = nullptr;
+  *value = std::strtod(arg, &end);
+  return end != arg && *end == '\0';
+}
+
+bool ParseArgs(int argc, char** argv, CliArgs* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    double value = 0.0;
+    if (arg == "--list-solvers") {
+      args->list_solvers = true;
+    } else if (arg == "--json") {
+      args->json = true;
+    } else if (arg.rfind("--solver=", 0) == 0) {
+      args->solver = std::string(arg.substr(9));
+    } else if (arg.rfind("--alpha=", 0) == 0) {
+      args->alpha = std::atof(arg.substr(8).data());
+      args->alpha_flag_seen = true;
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      args->seed = std::strtoull(arg.substr(7).data(), nullptr, 10);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "error: unknown flag " << arg << "\n";
+      return false;
+    } else if (!IsNumber(argv[i], &value)) {
+      if (!args->csv_path.empty()) {
+        std::cerr << "error: more than one CSV path (" << args->csv_path
+                  << ", " << arg << ")\n";
+        return false;
+      }
+      args->csv_path = std::string(arg);
+    } else if (!args->alpha_flag_seen && !args->alpha_positional_seen &&
+               args->budgets.empty() && args->solver.empty()) {
+      // Legacy positional form: csv [alpha] [budget...]. An explicit
+      // --alpha (or --solver mode) routes every number to the budgets.
+      args->alpha = value;
+      args->alpha_positional_seen = true;
+    } else {
+      args->budgets.push_back(value);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace jury;
 
+  CliArgs args;
+  if (!ParseArgs(argc, argv, &args)) return 1;
+
+  if (args.list_solvers) {
+    for (const std::string& name : api::RegisteredSolverNames()) {
+      std::cout << name << "\n";
+    }
+    return 0;
+  }
+
   std::vector<Worker> workers;
-  if (argc > 1) {
-    auto loaded = LoadWorkersCsv(argv[1]);
+  if (!args.csv_path.empty()) {
+    auto loaded = LoadWorkersCsv(args.csv_path);
     if (!loaded.ok()) {
       std::cerr << "error: " << loaded.status() << "\n";
       return 1;
@@ -35,24 +126,75 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const double alpha = argc > 2 ? std::atof(argv[2]) : 0.5;
-  std::vector<double> budgets;
-  for (int i = 3; i < argc; ++i) budgets.push_back(std::atof(argv[i]));
-  if (budgets.empty()) {
+  if (args.budgets.empty()) {
     // Default grid: 10 steps up to the full pool cost.
     double total = 0.0;
     for (const Worker& w : workers) total += w.cost;
-    for (int step = 1; step <= 10; ++step) budgets.push_back(total * step / 10);
+    for (int step = 1; step <= 10; ++step) {
+      args.budgets.push_back(total * step / 10);
+    }
   }
 
-  std::cout << "Pool: " << workers.size() << " workers, prior alpha = "
-            << alpha << "\n\n";
-  Rng rng(20150323);
-  auto rows = BuildBudgetQualityTable(workers, budgets, alpha, &rng);
-  if (!rows.ok()) {
-    std::cerr << "error: " << rows.status() << "\n";
+  if (args.solver.empty()) {
+    // Historical default: the Fig. 1 budget-quality table.
+    std::cout << "Pool: " << workers.size() << " workers, prior alpha = "
+              << args.alpha << "\n\n";
+    Rng rng(args.seed);
+    auto rows = BuildBudgetQualityTable(workers, args.budgets, args.alpha,
+                                        &rng);
+    if (!rows.ok()) {
+      std::cerr << "error: " << rows.status() << "\n";
+      return 1;
+    }
+    std::cout << FormatBudgetQualityTable(rows.value());
+    return 0;
+  }
+
+  // Registry path: plan the pool once, then answer one request per budget
+  // against the long-lived context — the serving-layer shape.
+  auto planned = api::PoolPlanContext::Plan(workers);
+  if (!planned.ok()) {
+    std::cerr << "error: " << planned.status() << "\n";
     return 1;
   }
-  std::cout << FormatBudgetQualityTable(rows.value());
+  api::PoolPlanContext context = std::move(planned).value();
+
+  std::vector<api::SolveRequest> requests;
+  for (const double budget : args.budgets) {
+    api::SolveRequest request;
+    request.solver = args.solver;
+    request.budget = budget;
+    request.alpha = args.alpha;
+    request.rng_seed = args.seed;
+    requests.push_back(std::move(request));
+  }
+  auto reports = context.SolveMany(requests);
+  if (!reports.ok()) {
+    std::cerr << "error: " << reports.status() << "\n";
+    return 1;
+  }
+
+  if (!args.json) {
+    std::cout << "Pool: " << workers.size() << " workers, prior alpha = "
+              << args.alpha << ", solver = " << args.solver << "\n\n";
+  }
+  for (std::size_t i = 0; i < reports.value().size(); ++i) {
+    const api::SolveReport& report = reports.value()[i];
+    if (args.json) {
+      std::cout << report.ToJson() << "\n";
+      continue;
+    }
+    std::string ids = "{";
+    for (std::size_t j = 0; j < report.solution.selected.size(); ++j) {
+      if (j > 0) ids += ", ";
+      ids += context.candidates()[report.solution.selected[j]].id;
+    }
+    ids += "}";
+    std::cout << "B = " << requests[i].budget << ": jury " << ids
+              << ", JQ = " << 100.0 * report.solution.jq << "%"
+              << ", cost = " << report.solution.cost << ", "
+              << report.evaluations.total() << " evals, "
+              << 1e3 * report.wall_seconds << " ms\n";
+  }
   return 0;
 }

@@ -1,0 +1,255 @@
+#include "api/registry.h"
+
+#include <functional>
+#include <utility>
+
+#include "util/timer.h"
+
+namespace jury::api {
+namespace {
+
+/// Shared tail of every adapter: snapshot the per-solve objective's
+/// counters into the uniform report. The objective is constructed by the
+/// adapter for exactly one solve, so the snapshot is that solve's exact
+/// full/incremental split.
+SolveReport FinishReport(const std::string& solver, JspSolution solution,
+                         const JqObjective& objective, double wall_seconds,
+                         std::map<std::string, double> stats) {
+  SolveReport report;
+  report.solver = solver;
+  report.solution = std::move(solution);
+  report.wall_seconds = wall_seconds;
+  report.evaluations = objective.evaluation_counters();
+  report.stats = std::move(stats);
+  return report;
+}
+
+std::map<std::string, double> FlattenAnnealingStats(
+    const AnnealingStats& stats) {
+  return {
+      {"downhill_accepts", static_cast<double>(stats.downhill_accepts)},
+      {"moves_accepted", static_cast<double>(stats.moves_accepted)},
+      {"moves_attempted", static_cast<double>(stats.moves_attempted)},
+      {"objective_evaluations",
+       static_cast<double>(stats.objective_evaluations)},
+      {"polish_moves", static_cast<double>(stats.polish_moves)},
+      {"polish_scans", static_cast<double>(stats.polish_scans)},
+      {"temperature_levels", static_cast<double>(stats.temperature_levels)},
+      {"uphill_accepts", static_cast<double>(stats.uphill_accepts)},
+  };
+}
+
+// ---------------------------------------------------------------------------
+// Raw-solver adapters: objective chosen by `tuning.objective`, solve
+// delegated to the core planned-pool overload, so a registry solve is
+// bit-identical to the legacy free function on the same inputs.
+// ---------------------------------------------------------------------------
+
+class AnnealingSolver final : public JspSolver {
+ public:
+  std::string name() const override { return "annealing"; }
+  Result<SolveReport> Solve(PoolPlanContext& context,
+                            const SolveRequest& request) const override {
+    std::unique_ptr<JqObjective> objective;
+    JURY_ASSIGN_OR_RETURN(objective, MakeObjective(request.tuning));
+    auto lease = context.AcquireInstance(request.budget, request.alpha);
+    Rng rng(request.rng_seed);
+    AnnealingStats stats;
+    Timer timer;
+    JspSolution solution;
+    JURY_ASSIGN_OR_RETURN(
+        solution,
+        SolveAnnealing(lease.instance(), context.view(), *objective, &rng,
+                       request.tuning.annealing, &stats));
+    return FinishReport(name(), std::move(solution), *objective,
+                        timer.ElapsedSeconds(), FlattenAnnealingStats(stats));
+  }
+};
+
+class ExhaustiveSolver final : public JspSolver {
+ public:
+  std::string name() const override { return "exhaustive"; }
+  Result<SolveReport> Solve(PoolPlanContext& context,
+                            const SolveRequest& request) const override {
+    std::unique_ptr<JqObjective> objective;
+    JURY_ASSIGN_OR_RETURN(objective, MakeObjective(request.tuning));
+    auto lease = context.AcquireInstance(request.budget, request.alpha);
+    Timer timer;
+    JspSolution solution;
+    JURY_ASSIGN_OR_RETURN(
+        solution, SolveExhaustive(lease.instance(), context.view(),
+                                  *objective, request.tuning.exhaustive));
+    return FinishReport(name(), std::move(solution), *objective,
+                        timer.ElapsedSeconds(), {});
+  }
+};
+
+class BranchBoundSolver final : public JspSolver {
+ public:
+  std::string name() const override { return "branch-bound"; }
+  Result<SolveReport> Solve(PoolPlanContext& context,
+                            const SolveRequest& request) const override {
+    std::unique_ptr<JqObjective> objective;
+    JURY_ASSIGN_OR_RETURN(objective, MakeObjective(request.tuning));
+    auto lease = context.AcquireInstance(request.budget, request.alpha);
+    BranchBoundStats stats;
+    Timer timer;
+    JspSolution solution;
+    JURY_ASSIGN_OR_RETURN(
+        solution,
+        SolveBranchAndBound(lease.instance(), context.view(), *objective,
+                            request.tuning.branch_bound, &stats));
+    return FinishReport(
+        name(), std::move(solution), *objective, timer.ElapsedSeconds(),
+        {{"nodes_explored", static_cast<double>(stats.nodes_explored)},
+         {"nodes_pruned_bound",
+          static_cast<double>(stats.nodes_pruned_bound)},
+         {"nodes_pruned_budget",
+          static_cast<double>(stats.nodes_pruned_budget)}});
+  }
+};
+
+/// One adapter class for the four greedy family members — they share the
+/// options type and the "deterministic, no stats struct" shape; only the
+/// core entry point differs.
+class GreedyFamilySolver final : public JspSolver {
+ public:
+  using Entry = Result<JspSolution> (*)(const JspInstance&,
+                                        const WorkerPoolView&,
+                                        const JqObjective&,
+                                        const GreedyOptions&);
+  GreedyFamilySolver(std::string name, Entry entry)
+      : name_(std::move(name)), entry_(entry) {}
+
+  std::string name() const override { return name_; }
+  Result<SolveReport> Solve(PoolPlanContext& context,
+                            const SolveRequest& request) const override {
+    std::unique_ptr<JqObjective> objective;
+    JURY_ASSIGN_OR_RETURN(objective, MakeObjective(request.tuning));
+    auto lease = context.AcquireInstance(request.budget, request.alpha);
+    Timer timer;
+    JspSolution solution;
+    JURY_ASSIGN_OR_RETURN(solution,
+                          entry_(lease.instance(), context.view(), *objective,
+                                 request.tuning.greedy));
+    return FinishReport(name_, std::move(solution), *objective,
+                        timer.ElapsedSeconds(), {});
+  }
+
+ private:
+  std::string name_;
+  Entry entry_;
+};
+
+// ---------------------------------------------------------------------------
+// Facade adapters: the two Fig. 1 systems fix their own objectives
+// (BV/bucket for OPTJS, MV/exact for MVJS) and surface the inner SA
+// instrumentation.
+// ---------------------------------------------------------------------------
+
+class OptjsSolver final : public JspSolver {
+ public:
+  std::string name() const override { return "optjs"; }
+  Result<SolveReport> Solve(PoolPlanContext& context,
+                            const SolveRequest& request) const override {
+    const OptjsOptions& options = request.tuning.optjs;
+    const BucketBvObjective objective(options.bucket);
+    auto lease = context.AcquireInstance(request.budget, request.alpha);
+    Rng rng(request.rng_seed);
+    AnnealingStats stats;
+    bool used_shortcut = false;
+    Timer timer;
+    JspSolution solution;
+    JURY_ASSIGN_OR_RETURN(
+        solution, SolveOptjs(lease.instance(), context.view(), objective,
+                             &rng, options, &stats, &used_shortcut));
+    std::map<std::string, double> flat = FlattenAnnealingStats(stats);
+    flat["used_exhaustive_shortcut"] = used_shortcut ? 1.0 : 0.0;
+    return FinishReport(name(), std::move(solution), objective,
+                        timer.ElapsedSeconds(), std::move(flat));
+  }
+};
+
+class MvjsSolver final : public JspSolver {
+ public:
+  std::string name() const override { return "mvjs"; }
+  Result<SolveReport> Solve(PoolPlanContext& context,
+                            const SolveRequest& request) const override {
+    const MajorityObjective objective;
+    auto lease = context.AcquireInstance(request.budget, request.alpha);
+    Rng rng(request.rng_seed);
+    AnnealingStats stats;
+    Timer timer;
+    JspSolution solution;
+    JURY_ASSIGN_OR_RETURN(
+        solution, SolveMvjs(lease.instance(), context.view(), objective,
+                            &rng, request.tuning.mvjs, &stats));
+    return FinishReport(name(), std::move(solution), objective,
+                        timer.ElapsedSeconds(), FlattenAnnealingStats(stats));
+  }
+};
+
+/// The process-lived registry: stateless adapters in registration order.
+/// Built once, on first use, like the strategy registry.
+const std::vector<std::unique_ptr<JspSolver>>& Registry() {
+  static const auto* registry = [] {
+    auto* solvers = new std::vector<std::unique_ptr<JspSolver>>();
+    solvers->push_back(std::make_unique<AnnealingSolver>());
+    solvers->push_back(std::make_unique<ExhaustiveSolver>());
+    // The explicit casts pick the planned-pool overloads (the legacy
+    // wrappers share the name).
+    solvers->push_back(std::make_unique<GreedyFamilySolver>(
+        "greedy-quality",
+        static_cast<GreedyFamilySolver::Entry>(&SolveGreedyByQuality)));
+    solvers->push_back(std::make_unique<GreedyFamilySolver>(
+        "greedy-value",
+        static_cast<GreedyFamilySolver::Entry>(&SolveGreedyByValuePerCost)));
+    solvers->push_back(std::make_unique<GreedyFamilySolver>(
+        "greedy-mg",
+        static_cast<GreedyFamilySolver::Entry>(&SolveGreedyMarginalGain)));
+    solvers->push_back(std::make_unique<GreedyFamilySolver>(
+        "odd-top-k", static_cast<GreedyFamilySolver::Entry>(&SolveOddTopK)));
+    solvers->push_back(std::make_unique<BranchBoundSolver>());
+    solvers->push_back(std::make_unique<OptjsSolver>());
+    solvers->push_back(std::make_unique<MvjsSolver>());
+    return solvers;
+  }();
+  return *registry;
+}
+
+}  // namespace
+
+Result<const JspSolver*> FindSolver(const std::string& name) {
+  for (const std::unique_ptr<JspSolver>& solver : Registry()) {
+    if (solver->name() == name) return solver.get();
+  }
+  return Status::NotFound("unknown solver '" + name +
+                          "'; see RegisteredSolverNames()");
+}
+
+std::vector<std::string> RegisteredSolverNames() {
+  std::vector<std::string> names;
+  names.reserve(Registry().size());
+  for (const std::unique_ptr<JspSolver>& solver : Registry()) {
+    names.push_back(solver->name());
+  }
+  return names;
+}
+
+Result<std::unique_ptr<JqObjective>> MakeObjective(const SolverTuning& tuning) {
+  if (tuning.objective == "bv-bucket") {
+    JURY_RETURN_NOT_OK(tuning.bucket.Validate());
+    return std::unique_ptr<JqObjective>(
+        std::make_unique<BucketBvObjective>(tuning.bucket));
+  }
+  if (tuning.objective == "bv-exact") {
+    return std::unique_ptr<JqObjective>(std::make_unique<ExactBvObjective>());
+  }
+  if (tuning.objective == "mv-exact") {
+    return std::unique_ptr<JqObjective>(std::make_unique<MajorityObjective>());
+  }
+  return Status::NotFound("unknown objective '" + tuning.objective +
+                          "' (expected bv-bucket, bv-exact, or mv-exact)");
+}
+
+}  // namespace jury::api

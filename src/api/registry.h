@@ -1,0 +1,38 @@
+#ifndef JURYOPT_API_REGISTRY_H_
+#define JURYOPT_API_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/solve.h"
+#include "util/result.h"
+
+namespace jury::api {
+
+/// Resolves a built-in JSP solver by its stable registry name; NotFound
+/// for unknown names (mirrors `MakeStrategy` in strategy/registry.h).
+/// The returned adapter is stateless and process-lived — hold the
+/// pointer freely.
+///
+/// Registered names, in ablation order: "annealing", "exhaustive",
+/// "greedy-quality", "greedy-value", "greedy-mg", "odd-top-k",
+/// "branch-bound", then the two Fig. 1 system facades "optjs" and
+/// "mvjs".
+Result<const JspSolver*> FindSolver(const std::string& name);
+
+/// Names of every registered solver, in registration order. The bench
+/// ablations and the `jury_cli --solver` smoke tests iterate this list
+/// instead of hard-coding call sites, so a newly registered solver is
+/// benched and smoke-tested for free.
+std::vector<std::string> RegisteredSolverNames();
+
+/// Instantiates the objective the *raw* solvers score with, by
+/// `tuning.objective` name: "bv-bucket" (`BucketBvObjective(tuning.bucket)`),
+/// "bv-exact", or "mv-exact". NotFound for unknown names. The facades
+/// ("optjs", "mvjs") fix their own objectives and ignore this.
+Result<std::unique_ptr<JqObjective>> MakeObjective(const SolverTuning& tuning);
+
+}  // namespace jury::api
+
+#endif  // JURYOPT_API_REGISTRY_H_

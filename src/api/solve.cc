@@ -1,0 +1,145 @@
+#include "api/solve.h"
+
+#include <algorithm>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "api/registry.h"
+#include "model/prior.h"
+#include "util/json.h"
+#include "util/scheduler.h"
+
+namespace jury::api {
+
+Status SolveRequest::Validate() const {
+  if (solver.empty()) {
+    return Status::InvalidArgument("SolveRequest.solver must name a solver");
+  }
+  if (!(budget >= 0.0)) {
+    return Status::InvalidArgument("budget must be non-negative");
+  }
+  return ValidateAlpha(alpha);
+}
+
+std::string SolveReport::ToJson() const {
+  Json stats_json = Json::Object();
+  for (const auto& [key, value] : stats) stats_json.Set(key, value);
+  return Json::Object()
+      .Set("evaluations",
+           Json::Object()
+               .Set("full", static_cast<std::uint64_t>(evaluations.full))
+               .Set("incremental",
+                    static_cast<std::uint64_t>(evaluations.incremental)))
+      .Set("solution", solution.ToJsonValue())
+      .Set("solver", solver)
+      .Set("stats", std::move(stats_json))
+      .Set("wall_seconds", wall_seconds)
+      .Dump();
+}
+
+/// The instance arena: a mutex-guarded free list of `JspInstance` objects
+/// whose candidate vectors were copied from the plan exactly once. The
+/// lock is held only for the list pop/push — never across a solve — so
+/// concurrent requests contend for nanoseconds, not solve time.
+struct PoolPlanContext::Arena {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<JspInstance>> free_list;
+  std::size_t created = 0;
+};
+
+PoolPlanContext::PoolPlanContext(std::vector<Worker> candidates)
+    : candidates_(std::move(candidates)),
+      view_(candidates_),
+      arena_(std::make_unique<Arena>()) {}
+
+// Out of line so `Arena` is complete where unique_ptr needs it. The move
+// is safe for the view: moving the vector keeps its heap buffer, so the
+// view's internal spans stay valid.
+PoolPlanContext::PoolPlanContext(PoolPlanContext&&) noexcept = default;
+PoolPlanContext& PoolPlanContext::operator=(PoolPlanContext&&) noexcept =
+    default;
+PoolPlanContext::~PoolPlanContext() = default;
+
+Result<PoolPlanContext> PoolPlanContext::Plan(std::vector<Worker> candidates) {
+  for (const Worker& worker : candidates) {
+    JURY_RETURN_NOT_OK(ValidateWorker(worker));
+  }
+  return PoolPlanContext(std::move(candidates));
+}
+
+PoolPlanContext::InstanceLease PoolPlanContext::AcquireInstance(double budget,
+                                                                double alpha) {
+  std::unique_ptr<JspInstance> instance;
+  {
+    std::lock_guard<std::mutex> lock(arena_->mutex);
+    if (!arena_->free_list.empty()) {
+      instance = std::move(arena_->free_list.back());
+      arena_->free_list.pop_back();
+    } else {
+      ++arena_->created;
+    }
+  }
+  if (instance == nullptr) {
+    instance = std::make_unique<JspInstance>();
+    instance->candidates = candidates_;  // the one O(n) copy, then reused
+  }
+  instance->budget = budget;
+  instance->alpha = alpha;
+  return InstanceLease(this, std::move(instance));
+}
+
+void PoolPlanContext::ReturnInstance(std::unique_ptr<JspInstance> instance) {
+  std::lock_guard<std::mutex> lock(arena_->mutex);
+  arena_->free_list.push_back(std::move(instance));
+}
+
+std::size_t PoolPlanContext::instances_created() const {
+  std::lock_guard<std::mutex> lock(arena_->mutex);
+  return arena_->created;
+}
+
+PoolPlanContext::InstanceLease::~InstanceLease() {
+  if (owner_ != nullptr) owner_->ReturnInstance(std::move(instance_));
+}
+
+Result<SolveReport> PoolPlanContext::Solve(const SolveRequest& request) {
+  JURY_RETURN_NOT_OK(request.Validate());
+  const JspSolver* solver = nullptr;
+  JURY_ASSIGN_OR_RETURN(solver, FindSolver(request.solver));
+  return solver->Solve(*this, request);
+}
+
+Result<std::vector<SolveReport>> PoolPlanContext::SolveMany(
+    std::span<const SolveRequest> requests, std::size_t num_threads) {
+  const std::size_t count = requests.size();
+  std::vector<std::optional<Result<SolveReport>>> results(count);
+  const std::size_t threads =
+      std::min(ResolveThreadCount(num_threads),
+               std::max<std::size_t>(count, 1));
+  // One task per request (grain 1): requests are heterogeneous — a batch
+  // can mix exhaustive solves with greedy ones — so idle workers should
+  // steal individual requests, and a request's own nested regions
+  // (restart chains, candidate scans) fan out further on the same
+  // scheduler. Every request is solved by the same code path as a serial
+  // `Solve`, reading only its own seeded rng, so the result vector is a
+  // pure function of the request list.
+  Scheduler::GlobalParallelFor(
+      0, count, 1,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          results[i].emplace(Solve(requests[i]));
+        }
+      },
+      threads);
+
+  std::vector<SolveReport> reports;
+  reports.reserve(count);
+  for (std::optional<Result<SolveReport>>& result : results) {
+    JURY_RETURN_NOT_OK(result->status());
+    reports.push_back(std::move(*result).value());
+  }
+  return reports;
+}
+
+}  // namespace jury::api

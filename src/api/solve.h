@@ -1,0 +1,216 @@
+#ifndef JURYOPT_API_SOLVE_H_
+#define JURYOPT_API_SOLVE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/annealing.h"
+#include "core/branch_bound.h"
+#include "core/exhaustive.h"
+#include "core/greedy.h"
+#include "core/jsp.h"
+#include "core/mvjs.h"
+#include "core/objective.h"
+#include "core/optjs.h"
+#include "model/worker.h"
+#include "model/worker_pool_view.h"
+#include "util/result.h"
+
+namespace jury::api {
+
+/// \brief The uniform, typed options bag a `SolveRequest` carries: one
+/// field per solver family, each the solver's own options struct with its
+/// own `Validate()`. A request touches only the fields its named solver
+/// consumes (an "annealing" request never reads `exhaustive`), so
+/// defaults elsewhere cost nothing; every consumed field is validated at
+/// solve entry and surfaces bad knobs as a `Status`, never a CHECK abort.
+struct SolverTuning {
+  /// Objective for the *raw* solvers ("annealing", "exhaustive", the
+  /// greedy family, "branch-bound"): "bv-bucket" (Algorithm 1, the OPTJS
+  /// objective — configured by `bucket`), "bv-exact" (2^n enumeration,
+  /// small juries only), or "mv-exact" (exact Majority Voting). The
+  /// facades ignore it: "optjs" always scores with BV/bucket (configured
+  /// by `optjs.bucket`), "mvjs" always with MV/exact.
+  std::string objective = "bv-bucket";
+  /// Algorithm-1 configuration of the "bv-bucket" objective.
+  BucketJqOptions bucket;
+
+  AnnealingOptions annealing;
+  GreedyOptions greedy;
+  ExhaustiveOptions exhaustive;
+  BranchBoundOptions branch_bound;
+  OptjsOptions optjs;
+  MvjsOptions mvjs;
+};
+
+/// \brief One jury-selection query against a planned pool: the §2.2
+/// instance scalars (budget, prior alpha), the registry name of the
+/// solver to run, its options overrides, and the seed of the solve's
+/// private rng stream. Everything a solve depends on is in here — two
+/// equal requests against the same pool return bit-identical juries, on
+/// any thread count, in any batch order.
+struct SolveRequest {
+  /// Registry name (see `RegisteredSolverNames()` in api/registry.h).
+  std::string solver = "optjs";
+  /// Budget B of the feasible-jury constraint `sum of costs <= B`.
+  double budget = 0.0;
+  /// Task prior alpha = Pr[t = 0].
+  double alpha = 0.5;
+  /// Seed of the solve's private `Rng` stream (stochastic solvers only;
+  /// the deterministic solvers never draw from it).
+  std::uint64_t rng_seed = 20150323;
+  /// Typed options overrides for the named solver.
+  SolverTuning tuning;
+
+  /// Validates the request scalars (finite non-negative budget, a valid
+  /// prior, a non-empty solver name). The tuning bag is validated by the
+  /// solver that consumes it, at solve entry.
+  Status Validate() const;
+};
+
+/// \brief Uniform result + instrumentation contract of every registered
+/// solver — the stats block that historically only annealing exposed,
+/// now filled by all of them.
+struct SolveReport {
+  /// Registry name of the solver that produced this report.
+  std::string solver;
+  /// The selected jury (indices into the planned pool's candidates).
+  JspSolution solution;
+  /// Wall-clock of the solve itself (excludes request validation and
+  /// registry lookup; includes all nested parallel sections).
+  double wall_seconds = 0.0;
+  /// Full vs. delta-update jury scorings performed by this solve — the
+  /// objective is instantiated per solve, so the counters are exact and
+  /// never bleed across concurrent requests.
+  EvaluationCounters evaluations;
+  /// Solver-specific instrumentation flattened to key -> double
+  /// (annealing move/acceptance counters, branch-and-bound node counts,
+  /// ...). A `std::map`, so iteration — and the JSON below — is sorted.
+  std::map<std::string, double> stats;
+
+  /// Deterministic JSON (sorted keys; see util/json.h) for bench and
+  /// service logs:
+  /// `{"evaluations":{...},"solution":{...},"solver":...,"stats":{...},
+  ///   "wall_seconds":...}`.
+  std::string ToJson() const;
+};
+
+class PoolPlanContext;
+
+/// \brief The common solver interface behind the registry: one virtual
+/// `Solve` over (planned pool, request). Implementations are stateless
+/// adapters around the core free functions' planned-pool overloads, so a
+/// registry solve is bit-identical to the corresponding legacy call.
+class JspSolver {
+ public:
+  virtual ~JspSolver() = default;
+  /// The stable registry name ("annealing", "optjs", ...).
+  virtual std::string name() const = 0;
+  virtual Result<SolveReport> Solve(PoolPlanContext& context,
+                                    const SolveRequest& request) const = 0;
+};
+
+/// \brief A long-lived planning context for one candidate pool — the
+/// serving-layer shape of the paper's Fig. 1 system: one crowd worker
+/// pool answering a *stream* of jury-selection queries with varying
+/// budgets and task priors. Built once per pool, it owns everything the
+/// per-request path used to rebuild from scratch:
+///
+///  * the validated candidate snapshot (pool validation runs once, at
+///    `Plan`, never per request);
+///  * the columnar `WorkerPoolView` every evaluation session scores from;
+///  * a reusable arena of prevalidated `JspInstance` scratch objects, so
+///    a request only stamps its (budget, alpha) scalars onto a leased
+///    instance instead of copying the pool.
+///
+/// `Solve` runs one request; `SolveMany` fans a batch across the
+/// process-wide scheduler, each request bit-identical to its serial
+/// solve. The context is safe for concurrent `Solve` calls (the arena is
+/// internally synchronized; the view is immutable).
+class PoolPlanContext {
+ public:
+  /// Validates the pool (every worker's quality/cost ranges) and builds
+  /// the plan. InvalidArgument on a bad worker.
+  static Result<PoolPlanContext> Plan(std::vector<Worker> candidates);
+
+  // Movable, not copyable. Defined out of line: the arena type is
+  // private to solve.cc.
+  PoolPlanContext(PoolPlanContext&&) noexcept;
+  PoolPlanContext& operator=(PoolPlanContext&&) noexcept;
+  ~PoolPlanContext();
+  PoolPlanContext(const PoolPlanContext&) = delete;
+  PoolPlanContext& operator=(const PoolPlanContext&) = delete;
+
+  const std::vector<Worker>& candidates() const { return candidates_; }
+  std::size_t num_candidates() const { return candidates_.size(); }
+  /// The pool's columnar snapshot, shared read-only by every solve.
+  const WorkerPoolView& view() const { return view_; }
+
+  /// Solves one request: validates its scalars, resolves the solver by
+  /// name (NotFound for unknown names), and runs it against this plan.
+  Result<SolveReport> Solve(const SolveRequest& request);
+
+  /// Solves a batch, fanned across the process-wide scheduler
+  /// (`num_threads` = 0 resolves via JURYOPT_THREADS, 1 = serial).
+  /// Requests are independent — each draws only from its own seeded rng —
+  /// so report `i` is bit-identical to `Solve(requests[i])` for any
+  /// thread count and any batch order (property-tested). On error the
+  /// whole batch fails with the lowest-index request's status.
+  Result<std::vector<SolveReport>> SolveMany(
+      std::span<const SolveRequest> requests, std::size_t num_threads = 0);
+
+  /// \brief RAII lease of a prevalidated per-request instance from the
+  /// context's arena (returned to the free list on destruction).
+  class InstanceLease {
+   public:
+    InstanceLease(InstanceLease&& other) noexcept
+        : owner_(other.owner_), instance_(std::move(other.instance_)) {
+      other.owner_ = nullptr;
+    }
+    InstanceLease& operator=(InstanceLease&&) = delete;
+    InstanceLease(const InstanceLease&) = delete;
+    InstanceLease& operator=(const InstanceLease&) = delete;
+    ~InstanceLease();
+
+    JspInstance& instance() { return *instance_; }
+    const JspInstance& instance() const { return *instance_; }
+
+   private:
+    friend class PoolPlanContext;
+    InstanceLease(PoolPlanContext* owner,
+                  std::unique_ptr<JspInstance> instance)
+        : owner_(owner), instance_(std::move(instance)) {}
+
+    PoolPlanContext* owner_;
+    std::unique_ptr<JspInstance> instance_;
+  };
+
+  /// Checks an instance out of the arena with the request's scalars
+  /// stamped on. The candidate copy is made at most once per concurrency
+  /// level and reused for every later request — the amortization the
+  /// bench's PlanContext-reuse section measures.
+  InstanceLease AcquireInstance(double budget, double alpha);
+
+  /// Instances materialized so far (arena high-water mark): stays at the
+  /// solve concurrency — not the request count — under reuse.
+  std::size_t instances_created() const;
+
+ private:
+  struct Arena;
+
+  explicit PoolPlanContext(std::vector<Worker> candidates);
+
+  void ReturnInstance(std::unique_ptr<JspInstance> instance);
+
+  std::vector<Worker> candidates_;
+  WorkerPoolView view_;
+  std::unique_ptr<Arena> arena_;
+};
+
+}  // namespace jury::api
+
+#endif  // JURYOPT_API_SOLVE_H_

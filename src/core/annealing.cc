@@ -399,30 +399,47 @@ JspSolution RunChain(const JspInstance& instance, const WorkerPoolView& view,
 
 }  // namespace
 
+Status AnnealingOptions::Validate() const {
+  if (!(initial_temperature > 0.0) || !(epsilon > 0.0) ||
+      !(cooling_factor > 0.0) || !(cooling_factor < 1.0)) {
+    return Status::InvalidArgument("invalid annealing schedule");
+  }
+  if (!(removal_probability >= 0.0) || !(removal_probability <= 1.0)) {
+    return Status::InvalidArgument(
+        "removal_probability must be a probability");
+  }
+  if (num_restarts == 0) {
+    return Status::InvalidArgument("num_restarts must be >= 1");
+  }
+  return Status::OK();
+}
+
 Result<JspSolution> SolveAnnealing(const JspInstance& instance,
                                    const JqObjective& objective, Rng* rng,
                                    const AnnealingOptions& options,
                                    AnnealingStats* stats) {
   JURY_RETURN_NOT_OK(instance.Validate());
+  // One columnar snapshot per solve, shared read-only by every chain's
+  // session (and the polish scans). The planned overload below hoists
+  // this (and the pool validation above) to a per-pool context.
+  const WorkerPoolView view(instance.candidates);
+  return SolveAnnealing(instance, view, objective, rng, options, stats);
+}
+
+Result<JspSolution> SolveAnnealing(const JspInstance& instance,
+                                   const WorkerPoolView& view,
+                                   const JqObjective& objective, Rng* rng,
+                                   const AnnealingOptions& options,
+                                   AnnealingStats* stats) {
   if (rng == nullptr) {
     return Status::InvalidArgument("SolveAnnealing requires an Rng");
   }
-  if (!(options.initial_temperature > 0.0) || !(options.epsilon > 0.0) ||
-      !(options.cooling_factor > 0.0) || !(options.cooling_factor < 1.0)) {
-    return Status::InvalidArgument("invalid annealing schedule");
-  }
-  if (options.num_restarts == 0) {
-    return Status::InvalidArgument("num_restarts must be >= 1");
-  }
+  JURY_RETURN_NOT_OK(options.Validate());
   if (stats != nullptr) *stats = AnnealingStats{};
 
   if (instance.num_candidates() == 0) {
-    return MakeSolution(instance, {}, EmptyJuryJq(instance.alpha));
+    return MakeSolution(instance, {}, objective.EmptyJq(instance.alpha));
   }
-
-  // One columnar snapshot per solve, shared read-only by every chain's
-  // session (and the polish scans).
-  const WorkerPoolView view(instance.candidates);
 
   if (options.num_restarts == 1) {
     return RunChain(instance, view, objective, rng, options, stats);

@@ -11,6 +11,8 @@
 
 namespace jury {
 
+class WorkerPoolView;
+
 /// \brief Knobs of the simulated-annealing JSP heuristic (Algorithm 3).
 struct AnnealingOptions : SolverOptions {
   /// Initial temperature T (step 1 of Algorithm 3).
@@ -76,6 +78,13 @@ struct AnnealingOptions : SolverOptions {
   /// caller's rng is used directly, preserving the historical
   /// single-chain trajectories seed-for-seed.
   std::size_t num_restarts = 1;
+
+  /// Checks every knob's range (positive temperatures, a cooling factor in
+  /// (0, 1), a probability for `removal_probability`, >= 1 restart) and
+  /// returns InvalidArgument naming the offender. Called at every solve
+  /// entry, so bad knobs fail fast as a `Status` instead of surfacing as
+  /// silent misbehavior (an instantly-cold schedule) or CHECK aborts.
+  Status Validate() const;
 };
 
 /// \brief Per-run instrumentation.
@@ -105,6 +114,19 @@ struct AnnealingStats {
 /// parallel and returns the best jury found; `stats` then aggregates the
 /// per-chain instrumentation.
 Result<JspSolution> SolveAnnealing(const JspInstance& instance,
+                                   const JqObjective& objective, Rng* rng,
+                                   const AnnealingOptions& options = {},
+                                   AnnealingStats* stats = nullptr);
+
+/// \brief Planned-pool overload: the per-solve setup (pool validation and
+/// the columnar `WorkerPoolView` snapshot) is hoisted to the caller, which
+/// built it once — `api::PoolPlanContext` for the serving path. `view`
+/// must be a snapshot of `instance.candidates`-equal workers, and the
+/// pool must already be validated (only the options are re-checked here).
+/// Bit-identical to the wrapper above, which is now one `Validate` + one
+/// view build + this call.
+Result<JspSolution> SolveAnnealing(const JspInstance& instance,
+                                   const WorkerPoolView& view,
                                    const JqObjective& objective, Rng* rng,
                                    const AnnealingOptions& options = {},
                                    AnnealingStats* stats = nullptr);

@@ -14,10 +14,11 @@ constexpr double kTieTol = kScoreEquivalenceTol;
 
 class Searcher {
  public:
-  Searcher(const JspInstance& instance, const JqObjective& objective,
-           const BranchBoundOptions& options, BranchBoundStats* stats)
+  Searcher(const JspInstance& instance, const WorkerPoolView& view,
+           const JqObjective& objective, const BranchBoundOptions& options,
+           BranchBoundStats* stats)
       : instance_(instance),
-        view_(instance.candidates),
+        view_(view),
         objective_(objective),
         options_(options),
         stats_(stats) {
@@ -45,7 +46,7 @@ class Searcher {
                          return quality[a] > quality[b];
                        });
     }
-    best_jq_ = EmptyJuryJq(instance.alpha);
+    best_jq_ = objective.EmptyJq(instance.alpha);
     best_cost_ = 0.0;
   }
 
@@ -126,7 +127,7 @@ class Searcher {
     if (depth == order_.size()) {
       double leaf_jq;
       if (selected_.empty()) {
-        leaf_jq = EmptyJuryJq(instance_.alpha);
+        leaf_jq = objective_.EmptyJq(instance_.alpha);
       } else if (session_ != nullptr) {
         leaf_jq = session_->current_jq();  // suffix is empty here
       } else {
@@ -169,7 +170,7 @@ class Searcher {
   }
 
   const JspInstance& instance_;
-  const WorkerPoolView view_;
+  const WorkerPoolView& view_;
   const JqObjective& objective_;
   const BranchBoundOptions& options_;
   BranchBoundStats* stats_;
@@ -186,17 +187,34 @@ class Searcher {
 
 }  // namespace
 
+Status BranchBoundOptions::Validate() const {
+  if (max_nodes == 0) {
+    return Status::InvalidArgument("max_nodes must be >= 1");
+  }
+  return Status::OK();
+}
+
 Result<JspSolution> SolveBranchAndBound(const JspInstance& instance,
                                         const JqObjective& objective,
                                         const BranchBoundOptions& options,
                                         BranchBoundStats* stats) {
   JURY_RETURN_NOT_OK(instance.Validate());
+  const WorkerPoolView view(instance.candidates);
+  return SolveBranchAndBound(instance, view, objective, options, stats);
+}
+
+Result<JspSolution> SolveBranchAndBound(const JspInstance& instance,
+                                        const WorkerPoolView& view,
+                                        const JqObjective& objective,
+                                        const BranchBoundOptions& options,
+                                        BranchBoundStats* stats) {
+  JURY_RETURN_NOT_OK(options.Validate());
   if (!objective.monotone_in_size()) {
     return Status::InvalidArgument(
         "branch-and-bound requires a monotone objective (Lemma 1)");
   }
   if (stats != nullptr) *stats = BranchBoundStats{};
-  Searcher searcher(instance, objective, options, stats);
+  Searcher searcher(instance, view, objective, options, stats);
   JURY_RETURN_NOT_OK(searcher.Run());
   return searcher.Solution();
 }

@@ -7,6 +7,8 @@
 
 namespace jury {
 
+class WorkerPoolView;
+
 /// \brief Options/instrumentation for the branch-and-bound JSP solver.
 struct BranchBoundOptions {
   /// Hard cap on explored nodes (guards pathological instances);
@@ -29,6 +31,10 @@ struct BranchBoundOptions {
   /// the search order — and hence the returned jury — is identical
   /// between the incremental and full-recompute evaluation paths.
   bool order_by_marginal_gain = true;
+
+  /// Rejects a zero node budget (which would ResourceExhaust every solve
+  /// at the root). Called at every solve entry.
+  Status Validate() const;
 };
 
 struct BranchBoundStats {
@@ -51,6 +57,14 @@ struct BranchBoundStats {
 /// for MV use `SolveExhaustive`. Ties break towards cheaper juries, like
 /// the exhaustive solver.
 Result<JspSolution> SolveBranchAndBound(const JspInstance& instance,
+                                        const JqObjective& objective,
+                                        const BranchBoundOptions& options = {},
+                                        BranchBoundStats* stats = nullptr);
+
+/// Planned-pool overload (see the annealing planned overload for the
+/// contract): pool validation and the columnar view are the caller's.
+Result<JspSolution> SolveBranchAndBound(const JspInstance& instance,
+                                        const WorkerPoolView& view,
                                         const JqObjective& objective,
                                         const BranchBoundOptions& options = {},
                                         BranchBoundStats* stats = nullptr);

@@ -77,7 +77,8 @@ std::vector<std::size_t> MaskToIndices(std::uint64_t mask, std::size_t n) {
 JspSolution SweepFromScratch(const JspInstance& instance,
                              const JqObjective& objective, bool monotone) {
   const std::size_t n = instance.num_candidates();
-  JspSolution best = MakeSolution(instance, {}, EmptyJuryJq(instance.alpha));
+  JspSolution best =
+      MakeSolution(instance, {}, objective.EmptyJq(instance.alpha));
   std::uint64_t best_mask = 0;
   const std::uint64_t total = 1ull << n;
   for (std::uint64_t mask = 1; mask < total; ++mask) {
@@ -168,7 +169,8 @@ void SweepGrayShard(const JspInstance& instance, const WorkerPoolView& view,
 JspSolution SweepGrayCode(const JspInstance& instance,
                           const WorkerPoolView& view,
                           const JqObjective& objective, bool monotone) {
-  JspSolution best = MakeSolution(instance, {}, EmptyJuryJq(instance.alpha));
+  JspSolution best =
+      MakeSolution(instance, {}, objective.EmptyJq(instance.alpha));
   std::uint64_t best_mask = 0;
   SweepGrayShard(instance, view, objective, monotone, 0,
                  instance.num_candidates(), &best, &best_mask);
@@ -190,7 +192,7 @@ JspSolution SweepGraySharded(const JspInstance& instance,
   const std::size_t shards = std::size_t{1} << kShardBits;
 
   const JspSolution baseline =
-      MakeSolution(instance, {}, EmptyJuryJq(instance.alpha));
+      MakeSolution(instance, {}, objective.EmptyJq(instance.alpha));
   std::vector<JspSolution> bests(shards, baseline);
   std::vector<std::uint64_t> best_masks(shards, 0);
 
@@ -223,10 +225,29 @@ JspSolution SweepGraySharded(const JspInstance& instance,
 
 }  // namespace
 
+Status ExhaustiveOptions::Validate() const {
+  if (max_candidates == 0 || max_candidates > 62) {
+    return Status::InvalidArgument(
+        "max_candidates must lie in [1, 62] (64-bit subset masks)");
+  }
+  return Status::OK();
+}
+
 Result<JspSolution> SolveExhaustive(const JspInstance& instance,
                                     const JqObjective& objective,
                                     const ExhaustiveOptions& options) {
   JURY_RETURN_NOT_OK(instance.Validate());
+  // One columnar snapshot per solve, shared read-only by every shard's
+  // session; the planned overload hoists it to a per-pool context.
+  const WorkerPoolView view(instance.candidates);
+  return SolveExhaustive(instance, view, objective, options);
+}
+
+Result<JspSolution> SolveExhaustive(const JspInstance& instance,
+                                    const WorkerPoolView& view,
+                                    const JqObjective& objective,
+                                    const ExhaustiveOptions& options) {
+  JURY_RETURN_NOT_OK(options.Validate());
   const std::size_t n = instance.num_candidates();
   if (n > options.max_candidates) {
     return Status::OutOfRange(
@@ -236,14 +257,11 @@ Result<JspSolution> SolveExhaustive(const JspInstance& instance,
   }
   const bool monotone = objective.monotone_in_size();
   if (n == 0) {
-    return MakeSolution(instance, {}, EmptyJuryJq(instance.alpha));
+    return MakeSolution(instance, {}, objective.EmptyJq(instance.alpha));
   }
   if (!options.use_incremental) {
     return SweepFromScratch(instance, objective, monotone);
   }
-  // One columnar snapshot per solve, shared read-only by every shard's
-  // session.
-  const WorkerPoolView view(instance.candidates);
   const std::size_t threads = ResolveThreadCount(options.num_threads);
   if (threads > 1 && n >= kMinShardedCandidates) {
     return SweepGraySharded(instance, view, objective, monotone, threads);

@@ -8,9 +8,12 @@
 
 namespace jury {
 
+class WorkerPoolView;
+
 /// \brief Options for the brute-force JSP solver.
 struct ExhaustiveOptions : SolverOptions {
   /// Hard cap on the candidate count (2^N subsets are enumerated).
+  /// Must stay within [1, 62]: subsets are 64-bit masks.
   std::size_t max_candidates = 22;
   /// Walk the subsets in Gray-code order, so consecutive juries differ by
   /// one worker and each is scored by a single session add/remove delta
@@ -26,6 +29,10 @@ struct ExhaustiveOptions : SolverOptions {
   /// same tie-break (`Improves`), which is visit-order independent, so
   /// every thread count returns the same jury as the serial sweep.
   bool use_incremental = true;
+
+  /// Range-checks `max_candidates` (the subset masks are 64-bit);
+  /// InvalidArgument otherwise. Called at every solve entry.
+  Status Validate() const;
 };
 
 /// \brief Exact JSP by enumerating every feasible jury (the paper's
@@ -36,6 +43,13 @@ struct ExhaustiveOptions : SolverOptions {
 /// which prunes most of the 2^N evaluations. Returns OutOfRange when N
 /// exceeds `max_candidates`.
 Result<JspSolution> SolveExhaustive(const JspInstance& instance,
+                                    const JqObjective& objective,
+                                    const ExhaustiveOptions& options = {});
+
+/// Planned-pool overload (see the annealing planned overload for the
+/// contract): pool validation and the columnar view are the caller's.
+Result<JspSolution> SolveExhaustive(const JspInstance& instance,
+                                    const WorkerPoolView& view,
                                     const JqObjective& objective,
                                     const ExhaustiveOptions& options = {});
 

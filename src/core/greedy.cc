@@ -47,7 +47,7 @@ JspSolution FillInOrder(const JspInstance& instance,
   } else {
     Jury jury;
     for (std::size_t idx : selected) jury.Add(view.worker(idx));
-    jq = jury.empty() ? EmptyJuryJq(instance.alpha)
+    jq = jury.empty() ? objective.EmptyJq(instance.alpha)
                       : objective.Evaluate(jury, instance.alpha);
   }
   return MakeSolution(instance, std::move(selected), jq);
@@ -70,6 +70,14 @@ Result<JspSolution> SolveGreedyByQuality(const JspInstance& instance,
                                          const GreedyOptions& options) {
   JURY_RETURN_NOT_OK(instance.Validate());
   const WorkerPoolView view(instance.candidates);
+  return SolveGreedyByQuality(instance, view, objective, options);
+}
+
+Result<JspSolution> SolveGreedyByQuality(const JspInstance& instance,
+                                         const WorkerPoolView& view,
+                                         const JqObjective& objective,
+                                         const GreedyOptions& options) {
+  JURY_RETURN_NOT_OK(options.Validate());
   const std::vector<double> keys(view.quality().begin(),
                                  view.quality().end());
   return FillInOrder(instance, view, objective, SortedIndices(keys),
@@ -81,6 +89,14 @@ Result<JspSolution> SolveGreedyByValuePerCost(const JspInstance& instance,
                                               const GreedyOptions& options) {
   JURY_RETURN_NOT_OK(instance.Validate());
   const WorkerPoolView view(instance.candidates);
+  return SolveGreedyByValuePerCost(instance, view, objective, options);
+}
+
+Result<JspSolution> SolveGreedyByValuePerCost(const JspInstance& instance,
+                                              const WorkerPoolView& view,
+                                              const JqObjective& objective,
+                                              const GreedyOptions& options) {
+  JURY_RETURN_NOT_OK(options.Validate());
   std::vector<double> keys(view.size());
   for (std::size_t i = 0; i < view.size(); ++i) {
     constexpr double kMinCost = 1e-9;  // free workers get a huge score
@@ -95,6 +111,14 @@ Result<JspSolution> SolveOddTopK(const JspInstance& instance,
                                  const GreedyOptions& options) {
   JURY_RETURN_NOT_OK(instance.Validate());
   const WorkerPoolView view(instance.candidates);
+  return SolveOddTopK(instance, view, objective, options);
+}
+
+Result<JspSolution> SolveOddTopK(const JspInstance& instance,
+                                 const WorkerPoolView& view,
+                                 const JqObjective& objective,
+                                 const GreedyOptions& options) {
+  JURY_RETURN_NOT_OK(options.Validate());
   const std::vector<double> keys(view.quality().begin(),
                                  view.quality().end());
   const auto order = SortedIndices(keys);
@@ -103,7 +127,8 @@ Result<JspSolution> SolveOddTopK(const JspInstance& instance,
   // session grows through all of them, snapshotting at odd sizes. The
   // reference path evaluates each odd prefix from scratch, as the
   // original solver did.
-  JspSolution best = MakeSolution(instance, {}, EmptyJuryJq(instance.alpha));
+  JspSolution best =
+      MakeSolution(instance, {}, objective.EmptyJq(instance.alpha));
   auto session = options.use_incremental
                      ? objective.StartSession(view, instance.alpha, true)
                      : nullptr;
@@ -137,11 +162,19 @@ Result<JspSolution> SolveGreedyMarginalGain(const JspInstance& instance,
                                             const JqObjective& objective,
                                             const GreedyOptions& options) {
   JURY_RETURN_NOT_OK(instance.Validate());
-  const std::size_t n = instance.num_candidates();
   // One columnar snapshot per solve: sessions (and their per-shard
   // clones) score straight off the view's contiguous columns, and the
   // affordability filter reads the cost column instead of Worker structs.
   const WorkerPoolView view(instance.candidates);
+  return SolveGreedyMarginalGain(instance, view, objective, options);
+}
+
+Result<JspSolution> SolveGreedyMarginalGain(const JspInstance& instance,
+                                            const WorkerPoolView& view,
+                                            const JqObjective& objective,
+                                            const GreedyOptions& options) {
+  JURY_RETURN_NOT_OK(options.Validate());
+  const std::size_t n = instance.num_candidates();
   auto session =
       objective.StartSession(view, instance.alpha, options.use_incremental);
   std::vector<bool> in_jury(n, false);

@@ -8,12 +8,19 @@
 
 namespace jury {
 
+class WorkerPoolView;
+
 /// \brief Cheap deterministic JSP baselines, used for ablations (E19) and as
 /// seeds/components of the MVJS system. All of them grow juries one worker
 /// at a time through an `IncrementalJqEvaluator` session.
 struct GreedyOptions : SolverOptions {
   /// Score candidate additions by delta update (see AnnealingOptions).
   bool use_incremental = true;
+
+  /// Every knob is a free boolean/count today, so this always returns OK;
+  /// it exists so the uniform options contract (`*Options::Validate()`
+  /// called at every solve entry) covers the greedy family too.
+  Status Validate() const { return Status::OK(); }
 };
 
 /// Sorts candidates by quality (descending) and adds each one that still
@@ -50,6 +57,25 @@ Result<JspSolution> SolveOddTopK(const JspInstance& instance,
 /// serial scan and the winner is picked by the same ordered banded argmax,
 /// so the selected jury never depends on the thread count.
 Result<JspSolution> SolveGreedyMarginalGain(const JspInstance& instance,
+                                            const JqObjective& objective,
+                                            const GreedyOptions& options = {});
+
+/// Planned-pool overloads of the four greedy solvers: pool validation and
+/// the columnar view are hoisted to the caller (see the annealing planned
+/// overload for the contract). Bit-identical to the wrappers above.
+Result<JspSolution> SolveGreedyByQuality(const JspInstance& instance,
+                                         const WorkerPoolView& view,
+                                         const JqObjective& objective,
+                                         const GreedyOptions& options = {});
+Result<JspSolution> SolveGreedyByValuePerCost(
+    const JspInstance& instance, const WorkerPoolView& view,
+    const JqObjective& objective, const GreedyOptions& options = {});
+Result<JspSolution> SolveOddTopK(const JspInstance& instance,
+                                 const WorkerPoolView& view,
+                                 const JqObjective& objective,
+                                 const GreedyOptions& options = {});
+Result<JspSolution> SolveGreedyMarginalGain(const JspInstance& instance,
+                                            const WorkerPoolView& view,
                                             const JqObjective& objective,
                                             const GreedyOptions& options = {});
 

@@ -4,6 +4,7 @@
 
 #include "model/prior.h"
 #include "util/check.h"
+#include "util/json.h"
 
 namespace jury {
 
@@ -36,6 +37,19 @@ std::string JspSolution::Describe(const JspInstance& instance) const {
   out += "}";
   return out;
 }
+
+Json JspSolution::ToJsonValue() const {
+  Json selected_json = Json::Array();
+  for (const std::size_t idx : selected) {
+    selected_json.Append(static_cast<std::uint64_t>(idx));
+  }
+  return Json::Object()
+      .Set("cost", cost)
+      .Set("jq", jq)
+      .Set("selected", std::move(selected_json));
+}
+
+std::string JspSolution::ToJson() const { return ToJsonValue().Dump(); }
 
 double EmptyJuryJq(double alpha) { return std::max(alpha, 1.0 - alpha); }
 

@@ -7,6 +7,7 @@
 
 #include "model/jury.h"
 #include "model/worker.h"
+#include "util/json.h"
 #include "util/status.h"
 
 namespace jury {
@@ -39,6 +40,15 @@ struct JspSolution {
   Jury ToJury(const JspInstance& instance) const;
   /// Comma-separated worker ids, for reports.
   std::string Describe(const JspInstance& instance) const;
+  /// Deterministic JSON serialization (sorted keys, round-trip doubles):
+  /// `{"cost":...,"jq":...,"selected":[...]}`. Shared by
+  /// `api::SolveReport::ToJson` and the bench/service logs, so the same
+  /// solution always serializes to the same bytes.
+  std::string ToJson() const;
+  /// The same document as a `Json` value, for embedding in larger reports.
+  Json ToJsonValue() const;
+
+  bool operator==(const JspSolution& other) const = default;
 };
 
 /// JQ of the empty jury: the strategy can only follow the prior, so the

@@ -2,26 +2,39 @@
 
 #include "core/greedy.h"
 #include "core/objective.h"
+#include "model/worker_pool_view.h"
 
 namespace jury {
 
 Result<JspSolution> SolveMvjs(const JspInstance& instance, Rng* rng,
                               const MvjsOptions& options) {
   JURY_RETURN_NOT_OK(instance.Validate());
+  const WorkerPoolView view(instance.candidates);
   const MajorityObjective objective;
+  return SolveMvjs(instance, view, objective, rng, options);
+}
+
+Result<JspSolution> SolveMvjs(const JspInstance& instance,
+                              const WorkerPoolView& view,
+                              const MajorityObjective& objective, Rng* rng,
+                              const MvjsOptions& options,
+                              AnnealingStats* annealing_stats) {
+  JURY_RETURN_NOT_OK(options.Validate());
 
   AnnealingOptions annealing = options.annealing;
   annealing.trust_monotone_adds = false;  // MV is not monotone in size
   annealing.use_incremental &= options.use_incremental;
-  JURY_ASSIGN_OR_RETURN(JspSolution best,
-                        SolveAnnealing(instance, objective, rng, annealing));
+  JURY_ASSIGN_OR_RETURN(
+      JspSolution best,
+      SolveAnnealing(instance, view, objective, rng, annealing,
+                     annealing_stats));
 
   if (options.use_odd_top_k) {
     GreedyOptions greedy_options;
     greedy_options.use_incremental = options.use_incremental;
     JURY_ASSIGN_OR_RETURN(
         JspSolution greedy,
-        SolveOddTopK(instance, objective, greedy_options));
+        SolveOddTopK(instance, view, objective, greedy_options));
     if (greedy.jq > best.jq) best = greedy;
   }
   return best;

@@ -907,7 +907,7 @@ IncrementalJqEvaluator::IncrementalJqEvaluator(const JqObjective* objective,
                                                double alpha)
     : objective_(objective),
       alpha_(alpha),
-      current_jq_(EmptyJuryJq(alpha)) {}
+      current_jq_(objective->EmptyJq(alpha)) {}
 
 double IncrementalJqEvaluator::ScoreAdd(const Worker& worker) {
   staged_ = MoveKind::kAdd;

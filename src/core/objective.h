@@ -16,6 +16,11 @@ namespace jury {
 class IncrementalJqEvaluator;
 class WorkerPoolView;
 
+/// JQ of the empty jury under the scalar binary prior (see core/jsp.h,
+/// which owns the definition); redeclared here so the `EmptyJq` default
+/// below needs no header cycle.
+double EmptyJuryJq(double alpha);
+
 /// Tolerance of the session-vs-Evaluate equivalence contract: a delta
 /// update and a from-scratch evaluation of the same jury agree within this
 /// bound (property-tested). Solvers band every score-sensitive comparison
@@ -57,13 +62,22 @@ class JqObjective {
   virtual std::string name() const = 0;
 
   /// JQ estimate of `candidate_jury` under prior `alpha`. Must accept the
-  /// empty jury (returning `EmptyJuryJq(alpha)`).
+  /// empty jury (returning `EmptyJq(alpha)`).
   virtual double Evaluate(const Jury& candidate_jury, double alpha) const = 0;
 
   /// Whether JQ never decreases when a worker is added (Lemma 1). True for
   /// BV; false for MV (an even-sized extension can hurt). Solvers use this
   /// to decide whether "add if it fits" needs an acceptance test.
   virtual bool monotone_in_size() const = 0;
+
+  /// JQ of the *empty* jury under this objective — the baseline every
+  /// solver starts its search (and its incumbent tracking) from. The
+  /// binary objectives all follow the scalar prior: `EmptyJuryJq(alpha) =
+  /// max(alpha, 1-alpha)`. Objectives whose prior is richer than one
+  /// scalar (the multiclass facade, which adapts a confusion-matrix
+  /// problem behind this interface) override it, so the solver drivers
+  /// never hard-code the binary formula.
+  virtual double EmptyJq(double alpha) const { return EmptyJuryJq(alpha); }
 
   /// Opens an evaluation session starting from the empty jury. When
   /// `incremental` is false the session scores every move by materializing

@@ -4,6 +4,7 @@
 
 #include "core/greedy.h"
 #include "core/objective.h"
+#include "model/worker_pool_view.h"
 #include "util/scheduler.h"
 
 namespace jury {
@@ -25,20 +26,45 @@ double TightJq(const JspInstance& instance, const JspSolution& solution,
 
 }  // namespace
 
+Status OptjsOptions::Validate() const {
+  JURY_RETURN_NOT_OK(bucket.Validate());
+  if (exhaustive_threshold > 62) {
+    return Status::InvalidArgument(
+        "exhaustive_threshold must be <= 62 (64-bit subset masks)");
+  }
+  return annealing.Validate();
+}
+
 Result<JspSolution> SolveOptjs(const JspInstance& instance, Rng* rng,
                                const OptjsOptions& options) {
   JURY_RETURN_NOT_OK(instance.Validate());
+  const WorkerPoolView view(instance.candidates);
   const BucketBvObjective objective(options.bucket);
+  return SolveOptjs(instance, view, objective, rng, options);
+}
+
+Result<JspSolution> SolveOptjs(const JspInstance& instance,
+                               const WorkerPoolView& view,
+                               const BucketBvObjective& objective, Rng* rng,
+                               const OptjsOptions& options,
+                               AnnealingStats* annealing_stats,
+                               bool* used_exhaustive_shortcut) {
+  JURY_RETURN_NOT_OK(options.Validate());
+  if (annealing_stats != nullptr) *annealing_stats = AnnealingStats{};
 
   JspSolution best;
-  if (options.exhaustive_threshold > 0 &&
-      instance.num_candidates() <= options.exhaustive_threshold) {
+  const bool shortcut = options.exhaustive_threshold > 0 &&
+                        instance.num_candidates() <= options.exhaustive_threshold;
+  if (used_exhaustive_shortcut != nullptr) {
+    *used_exhaustive_shortcut = shortcut;
+  }
+  if (shortcut) {
     ExhaustiveOptions exhaustive;
     exhaustive.max_candidates = options.exhaustive_threshold;
     exhaustive.use_incremental = options.use_incremental;
     exhaustive.num_threads = options.num_threads;
-    JURY_ASSIGN_OR_RETURN(best,
-                          SolveExhaustive(instance, objective, exhaustive));
+    JURY_ASSIGN_OR_RETURN(
+        best, SolveExhaustive(instance, view, objective, exhaustive));
   } else {
     AnnealingOptions annealing = options.annealing;
     annealing.use_incremental &= options.use_incremental;
@@ -60,14 +86,16 @@ Result<JspSolution> SolveOptjs(const JspInstance& instance, Rng* rng,
     // One definition per fallback, run either as a task or inline, so the
     // parallel and serial paths cannot diverge.
     const auto solve_by_quality = [&] {
-      by_quality_result = SolveGreedyByQuality(instance, objective, greedy);
+      by_quality_result =
+          SolveGreedyByQuality(instance, view, objective, greedy);
       if (by_quality_result.ok()) {
         by_quality_result.value().jq =
             TightJq(instance, by_quality_result.value(), options.bucket);
       }
     };
     const auto solve_by_value = [&] {
-      by_value_result = SolveGreedyByValuePerCost(instance, objective, greedy);
+      by_value_result =
+          SolveGreedyByValuePerCost(instance, view, objective, greedy);
       if (by_value_result.ok()) {
         by_value_result.value().jq =
             TightJq(instance, by_value_result.value(), options.bucket);
@@ -78,12 +106,14 @@ Result<JspSolution> SolveOptjs(const JspInstance& instance, Rng* rng,
       fallbacks.Run(solve_by_quality);
       fallbacks.Run(solve_by_value);
       JURY_ASSIGN_OR_RETURN(
-          best, SolveAnnealing(instance, objective, rng, annealing));
+          best, SolveAnnealing(instance, view, objective, rng, annealing,
+                               annealing_stats));
       best.jq = TightJq(instance, best, options.bucket);
       fallbacks.Wait();
     } else {
       JURY_ASSIGN_OR_RETURN(
-          best, SolveAnnealing(instance, objective, rng, annealing));
+          best, SolveAnnealing(instance, view, objective, rng, annealing,
+                               annealing_stats));
       best.jq = TightJq(instance, best, options.bucket);
       solve_by_quality();
       solve_by_value();

@@ -29,6 +29,12 @@ struct OptjsOptions {
   /// parallel paths return the serial path's jury bit-for-bit, so this
   /// only trades wall-clock for cores.
   std::size_t num_threads = 0;
+
+  /// Validates the facade's own knobs plus everything it forwards: the
+  /// Algorithm-1 bucket count, the annealing schedule, and the
+  /// exhaustive-shortcut threshold (0 = disabled, else a 64-bit-mask
+  /// bound). Called at every solve entry.
+  Status Validate() const;
 };
 
 /// \brief OPTJS — the paper's "Optimal Jury Selection System" (Fig. 1):
@@ -38,6 +44,23 @@ struct OptjsOptions {
 /// underestimate of the true JQ by at most the §4.4 bound.
 Result<JspSolution> SolveOptjs(const JspInstance& instance, Rng* rng,
                                const OptjsOptions& options = {});
+
+/// \brief Planned-pool overload: pool validation and the columnar view are
+/// the caller's (see the annealing planned overload for the contract), and
+/// the Algorithm-1 objective is passed in rather than built per call so
+/// the caller owns its evaluation counters — `objective.options()` must
+/// equal `options.bucket`. When `annealing_stats` is non-null it receives
+/// the inner SA instrumentation (zeroed when the exhaustive shortcut ran
+/// instead); `used_exhaustive_shortcut` (when non-null) records which
+/// path the facade actually took. The one-argument wrapper above is
+/// exactly: validate pool, build view, build
+/// `BucketBvObjective(options.bucket)`, call this.
+Result<JspSolution> SolveOptjs(const JspInstance& instance,
+                               const WorkerPoolView& view,
+                               const BucketBvObjective& objective, Rng* rng,
+                               const OptjsOptions& options = {},
+                               AnnealingStats* annealing_stats = nullptr,
+                               bool* used_exhaustive_shortcut = nullptr);
 
 }  // namespace jury
 

@@ -10,10 +10,23 @@
 #include "model/worker.h"
 #include "util/check.h"
 #include "util/math.h"
+#include "util/status.h"
 #include "util/simd_dispatch.h"
 #include "util/simd_kernels_inl.h"
 
 namespace jury {
+
+Status BucketJqOptions::Validate() const {
+  if (num_buckets < 1) {
+    return Status::InvalidArgument("bucket.num_buckets must be >= 1");
+  }
+  if (!(high_quality_cutoff > 0.0) || !(high_quality_cutoff <= 1.0)) {
+    return Status::InvalidArgument(
+        "bucket.high_quality_cutoff must lie in (0, 1]");
+  }
+  return Status::OK();
+}
+
 namespace {
 
 /// Sorted (bucket, quality) pair; workers are processed in decreasing bucket

@@ -37,6 +37,11 @@ struct BucketJqOptions {
   /// max such quality. Set to 1.0 to disable (then qualities are clamped by
   /// `EffectiveQuality` before the log-odds transform).
   double high_quality_cutoff = 0.99;
+
+  /// Range-checks the knobs (>= 1 bucket, a cutoff in (0, 1]); the one
+  /// definition every entry that consumes bucket options calls
+  /// (`OptjsOptions::Validate`, the api-layer objective factory).
+  Status Validate() const;
 };
 
 /// \brief Instrumentation filled in by `EstimateJq`.

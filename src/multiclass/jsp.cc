@@ -1,9 +1,14 @@
 #include "multiclass/jsp.h"
 
 #include <algorithm>
-#include <cmath>
-#include <cstdint>
+#include <cstddef>
+#include <string>
+#include <vector>
 
+#include "core/annealing.h"
+#include "core/exhaustive.h"
+#include "core/jsp.h"
+#include "core/objective.h"
 #include "util/check.h"
 
 namespace jury::mc {
@@ -16,34 +21,81 @@ double EmptyMcJq(const McPrior& prior) {
   return best;
 }
 
-McJury BuildJury(const McJspInstance& instance,
-                 const std::vector<std::size_t>& selected,
-                 std::size_t skip = static_cast<std::size_t>(-1),
-                 std::size_t extra = static_cast<std::size_t>(-1)) {
-  McJury jury;
-  for (std::size_t idx : selected) {
-    if (idx != skip) jury.Add(instance.candidates[idx]);
+/// \brief The §7 argument made literal: "the simulated annealing
+/// heuristic regards computing JQ as a black box", so the multi-class
+/// problem is solved by the *same* solver drivers as the binary one —
+/// this adapter is the black box. It presents `EstimateMcJq` behind the
+/// binary `JqObjective` interface: the binary solvers see placeholder
+/// `Worker`s whose ids index the real `McWorker`s (and whose costs are
+/// the per-solve cost column the feasibility tests read), and every
+/// evaluation maps the jury back to confusion-matrix workers. Before
+/// this adapter, multiclass/jsp.cc carried a copy-pasted mirror of the
+/// SA loop and the exhaustive sweep; now both delegate to core/, so
+/// solver improvements (batched polish, Lemma-1 pruning, Gray-code
+/// sharding) reach the multi-class workload for free.
+///
+/// There is no incremental backend (the tuple-key DP has no cheap
+/// deconvolution yet — see ROADMAP), so sessions fall back to the
+/// full-recompute path: every staged move re-estimates the jury, exactly
+/// like the historical mirror did.
+class McJqObjectiveAdapter final : public JqObjective {
+ public:
+  McJqObjectiveAdapter(const McJspInstance& instance,
+                       const McBucketOptions& bucket)
+      : instance_(instance),
+        bucket_(bucket),
+        empty_jq_(EmptyMcJq(instance.prior)) {}
+
+  std::string name() const override { return "MC/bucket"; }
+  /// Lemma 1 extends to multi-class BV (§7): more workers never hurt.
+  bool monotone_in_size() const override { return true; }
+  /// The empty jury follows the *vector* prior, not the scalar alpha the
+  /// binary interface carries — this override is why the shared solver
+  /// drivers call `objective.EmptyJq` instead of `EmptyJuryJq`.
+  double EmptyJq(double /*alpha*/) const override { return empty_jq_; }
+
+  double Evaluate(const Jury& candidate_jury, double /*alpha*/) const override {
+    CountEvaluation();
+    if (candidate_jury.empty()) return empty_jq_;
+    McJury mc_jury;
+    for (const Worker& worker : candidate_jury.workers()) {
+      // Placeholder ids are the decimal candidate indices (see
+      // MakeBinaryInstance); juries only ever hold workers from there.
+      const std::size_t idx = static_cast<std::size_t>(
+          std::stoull(worker.id));
+      JURY_CHECK_LT(idx, instance_.candidates.size());
+      mc_jury.Add(instance_.candidates[idx]);
+    }
+    return EstimateMcJq(mc_jury, instance_.prior, bucket_).value();
   }
-  if (extra != static_cast<std::size_t>(-1)) {
-    jury.Add(instance.candidates[extra]);
+
+ private:
+  const McJspInstance& instance_;
+  const McBucketOptions& bucket_;
+  double empty_jq_;
+};
+
+/// Binary instance over placeholder workers: id = candidate index, cost =
+/// the real cost (the column every affordability test reads), quality = a
+/// neutral 0.5 the adapter never consults. Alpha is likewise a neutral
+/// placeholder — the adapter overrides everything alpha-dependent.
+JspInstance MakeBinaryInstance(const McJspInstance& instance) {
+  JspInstance binary;
+  binary.budget = instance.budget;
+  binary.alpha = 0.5;
+  binary.candidates.reserve(instance.candidates.size());
+  for (std::size_t i = 0; i < instance.candidates.size(); ++i) {
+    binary.candidates.emplace_back(std::to_string(i), 0.5,
+                                   instance.candidates[i].cost);
   }
-  return jury;
+  return binary;
 }
 
-double EvaluateJq(const McJspInstance& instance, const McJury& jury,
-                  const McBucketOptions& bucket) {
-  if (jury.empty()) return EmptyMcJq(instance.prior);
-  return EstimateMcJq(jury, instance.prior, bucket).value();
-}
-
-McJspSolution Finish(const McJspInstance& instance,
-                     std::vector<std::size_t> selected, double jq) {
-  std::sort(selected.begin(), selected.end());
+McJspSolution FromBinary(const JspSolution& solution) {
   McJspSolution out;
-  out.jq = jq;
-  out.cost = 0.0;
-  for (std::size_t idx : selected) out.cost += instance.candidates[idx].cost;
-  out.selected = std::move(selected);
+  out.selected = solution.selected;
+  out.jq = solution.jq;
+  out.cost = solution.cost;
   return out;
 }
 
@@ -74,116 +126,30 @@ Result<McJspSolution> SolveMcAnnealing(const McJspInstance& instance, Rng* rng,
   if (rng == nullptr) {
     return Status::InvalidArgument("SolveMcAnnealing requires an Rng");
   }
-  const std::size_t n = instance.candidates.size();
-  if (n == 0) return Finish(instance, {}, EmptyMcJq(instance.prior));
-
-  // Columnar cost snapshot, mirroring the binary solvers' WorkerPoolView:
-  // the per-move affordability tests below read one contiguous double
-  // column instead of re-gathering McWorker structs (confusion matrix +
-  // strings) per probe.
-  std::vector<double> cost_col(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    cost_col[i] = instance.candidates[i].cost;
-  }
-
-  std::vector<bool> in_jury(n, false);
-  std::vector<std::size_t> members;
-  double cost = 0.0;
-  double current_jq = EmptyMcJq(instance.prior);
-
-  for (double temperature = options.initial_temperature;
-       temperature >= options.epsilon;
-       temperature *= options.cooling_factor) {
-    for (std::size_t step = 0; step < n; ++step) {
-      const std::size_t r = static_cast<std::size_t>(rng->UniformInt(n));
-      if (!in_jury[r] && cost + cost_col[r] <= instance.budget) {
-        // Lemma 1 (extended in §7): adding a worker never hurts BV.
-        members.push_back(r);
-        in_jury[r] = true;
-        cost += cost_col[r];
-        current_jq = EvaluateJq(instance, BuildJury(instance, members),
-                                options.bucket);
-        continue;
-      }
-      // Swap move (Algorithm 4 analogue).
-      std::size_t out_idx;
-      std::size_t in_idx;
-      if (!in_jury[r]) {
-        if (members.empty()) continue;
-        out_idx = members[static_cast<std::size_t>(
-            rng->UniformInt(members.size()))];
-        in_idx = r;
-      } else {
-        const std::size_t complement = n - members.size();
-        if (complement == 0) continue;
-        std::size_t target =
-            static_cast<std::size_t>(rng->UniformInt(complement));
-        in_idx = n;  // sentinel
-        for (std::size_t i = 0; i < n; ++i) {
-          if (!in_jury[i]) {
-            if (target == 0) {
-              in_idx = i;
-              break;
-            }
-            --target;
-          }
-        }
-        JURY_CHECK_LT(in_idx, n);
-        out_idx = r;
-      }
-      const double new_cost = cost - cost_col[out_idx] + cost_col[in_idx];
-      if (new_cost > instance.budget) continue;
-      const double new_jq = EvaluateJq(
-          instance, BuildJury(instance, members, out_idx, in_idx),
-          options.bucket);
-      const double delta = new_jq - current_jq;
-      if (delta >= 0.0 || rng->Uniform() <= std::exp(delta / temperature)) {
-        auto it = std::find(members.begin(), members.end(), out_idx);
-        *it = in_idx;
-        in_jury[out_idx] = false;
-        in_jury[in_idx] = true;
-        cost = new_cost;
-        current_jq = new_jq;
-      }
-    }
-  }
-  return Finish(instance, members, current_jq);
+  const JspInstance binary = MakeBinaryInstance(instance);
+  const McJqObjectiveAdapter objective(instance, options.bucket);
+  AnnealingOptions annealing;
+  annealing.initial_temperature = options.initial_temperature;
+  annealing.epsilon = options.epsilon;
+  annealing.cooling_factor = options.cooling_factor;
+  JspSolution solution;
+  JURY_ASSIGN_OR_RETURN(
+      solution, SolveAnnealing(binary, objective, rng, annealing));
+  return FromBinary(solution);
 }
 
 Result<McJspSolution> SolveMcExhaustive(const McJspInstance& instance,
                                         const McBucketOptions& bucket,
                                         std::size_t max_candidates) {
   JURY_RETURN_NOT_OK(instance.Validate());
-  const std::size_t n = instance.candidates.size();
-  if (n > max_candidates) {
-    return Status::OutOfRange("exhaustive multi-class JSP guarded to N <= " +
-                              std::to_string(max_candidates));
-  }
-  McJspSolution best = Finish(instance, {}, EmptyMcJq(instance.prior));
-  // Columnar cost snapshot (see SolveMcAnnealing): the 2^n feasibility
-  // sweep reads a flat double column, not McWorker structs.
-  std::vector<double> cost_col(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    cost_col[i] = instance.candidates[i].cost;
-  }
-  const std::uint64_t total = 1ull << n;
-  for (std::uint64_t mask = 1; mask < total; ++mask) {
-    std::vector<std::size_t> selected;
-    double cost = 0.0;
-    bool feasible = true;
-    for (std::size_t i = 0; i < n && feasible; ++i) {
-      if ((mask >> i) & 1u) {
-        selected.push_back(i);
-        cost += cost_col[i];
-        if (cost > instance.budget) feasible = false;
-      }
-    }
-    if (!feasible) continue;
-    const double jq =
-        EvaluateJq(instance, BuildJury(instance, selected), bucket);
-    if (jq > best.jq) best = Finish(instance, std::move(selected), jq);
-  }
-  return best;
+  const JspInstance binary = MakeBinaryInstance(instance);
+  const McJqObjectiveAdapter objective(instance, bucket);
+  ExhaustiveOptions exhaustive;
+  exhaustive.max_candidates = max_candidates;
+  JspSolution solution;
+  JURY_ASSIGN_OR_RETURN(solution,
+                        SolveExhaustive(binary, objective, exhaustive));
+  return FromBinary(solution);
 }
 
 }  // namespace jury::mc

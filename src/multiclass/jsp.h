@@ -26,7 +26,8 @@ struct McJspSolution {
   double cost = 0.0;
 };
 
-/// \brief Simulated-annealing knobs; same schedule as the binary Algorithm 3.
+/// \brief Simulated-annealing knobs; same schedule as the binary Algorithm 3
+/// (they are forwarded into `AnnealingOptions` and validated there).
 struct McAnnealingOptions {
   double initial_temperature = 1.0;
   double epsilon = 1e-8;
@@ -39,10 +40,20 @@ struct McAnnealingOptions {
 /// binary heuristic carries over ("the simulated annealing heuristic regards
 /// computing JQ as a black box"). Lemma 1 still holds (more workers never
 /// hurt BV), so affordable additions are accepted unconditionally.
+///
+/// Since the unified-solve-API redesign this *is* the binary solver: the
+/// multi-class objective is adapted behind the `JqObjective` interface
+/// (placeholder workers carrying the per-solve cost column, ids indexing
+/// the real `McWorker`s) and the shared `SolveAnnealing` driver runs the
+/// schedule — including its rng-free batched best-improvement polish —
+/// instead of the copy-pasted mirror this file used to carry.
 Result<McJspSolution> SolveMcAnnealing(const McJspInstance& instance, Rng* rng,
                                        const McAnnealingOptions& options = {});
 
 /// Exhaustive multi-class JSP for small candidate pools (tests/benchmarks).
+/// Delegates to the shared `SolveExhaustive` driver through the same
+/// adapter, inheriting its Lemma-1 maximality pruning and its
+/// cheaper-jury-on-ties tie-break.
 Result<McJspSolution> SolveMcExhaustive(const McJspInstance& instance,
                                         const McBucketOptions& bucket = {},
                                         std::size_t max_candidates = 16);

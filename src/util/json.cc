@@ -1,0 +1,112 @@
+#include "util/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace jury {
+namespace {
+
+void AppendNumber(double value, std::string* out) {
+  if (!std::isfinite(value)) {
+    out->append("null");
+    return;
+  }
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  JURY_CHECK(ec == std::errc());
+  out->append(buf, ptr);
+}
+
+template <typename Int>
+void AppendInteger(Int value, std::string* out) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  JURY_CHECK(ec == std::errc());
+  out->append(buf, ptr);
+}
+
+}  // namespace
+
+Json& Json::Set(const std::string& key, Json value) {
+  JURY_CHECK(is_object()) << "Json::Set on a non-object document";
+  std::get<ObjectRepr>(repr_).insert_or_assign(key, std::move(value));
+  return *this;
+}
+
+Json& Json::Append(Json value) {
+  JURY_CHECK(is_array()) << "Json::Append on a non-array document";
+  std::get<ArrayRepr>(repr_).push_back(std::move(value));
+  return *this;
+}
+
+std::string Json::Quote(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"': out.append("\\\""); break;
+      case '\\': out.append("\\\\"); break;
+      case '\n': out.append("\\n"); break;
+      case '\r': out.append("\\r"); break;
+      case '\t': out.append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out.append(buf);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+void Json::DumpTo(std::string* out) const {
+  if (std::holds_alternative<std::monostate>(repr_)) {
+    out->append("null");
+  } else if (const bool* b = std::get_if<bool>(&repr_)) {
+    out->append(*b ? "true" : "false");
+  } else if (const double* d = std::get_if<double>(&repr_)) {
+    AppendNumber(*d, out);
+  } else if (const std::int64_t* i = std::get_if<std::int64_t>(&repr_)) {
+    AppendInteger(*i, out);
+  } else if (const std::uint64_t* u = std::get_if<std::uint64_t>(&repr_)) {
+    AppendInteger(*u, out);
+  } else if (const std::string* s = std::get_if<std::string>(&repr_)) {
+    out->append(Quote(*s));
+  } else if (const ObjectRepr* obj = std::get_if<ObjectRepr>(&repr_)) {
+    out->push_back('{');
+    bool first = true;
+    for (const auto& [key, value] : *obj) {  // std::map: sorted keys
+      if (!first) out->push_back(',');
+      first = false;
+      out->append(Quote(key));
+      out->push_back(':');
+      value.DumpTo(out);
+    }
+    out->push_back('}');
+  } else {
+    const ArrayRepr& array = std::get<ArrayRepr>(repr_);
+    out->push_back('[');
+    for (std::size_t i = 0; i < array.size(); ++i) {
+      if (i > 0) out->push_back(',');
+      array[i].DumpTo(out);
+    }
+    out->push_back(']');
+  }
+}
+
+std::string Json::Dump() const {
+  std::string out;
+  DumpTo(&out);
+  return out;
+}
+
+}  // namespace jury

@@ -1,0 +1,76 @@
+#ifndef JURYOPT_UTIL_JSON_H_
+#define JURYOPT_UTIL_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace jury {
+
+/// \brief Minimal JSON document builder with *deterministic* output.
+///
+/// The serving and bench layers log machine-readable artifacts —
+/// `JspSolution::ToJson`, `api::SolveReport::ToJson`, the
+/// `BENCH_scaling.json` harness — and those artifacts are diffed, gated,
+/// and committed as baselines, so byte-stable serialization matters more
+/// than features. `Dump()` therefore emits object keys in sorted order
+/// (objects are backed by `std::map`), doubles in shortest round-trip
+/// form (`std::to_chars`), and no insignificant whitespace: the same
+/// document always serializes to the same bytes, on every host.
+///
+/// This is a writer, not a parser; consumers that need to read the
+/// artifacts back (CI gates) use Python's `json` module.
+class Json {
+ public:
+  /// null
+  Json() : repr_(std::monostate{}) {}
+  Json(bool value) : repr_(value) {}                   // NOLINT
+  Json(double value) : repr_(value) {}                 // NOLINT
+  Json(std::int64_t value) : repr_(value) {}           // NOLINT
+  Json(std::uint64_t value) : repr_(value) {}          // NOLINT
+  Json(int value) : repr_(std::int64_t{value}) {}      // NOLINT
+  Json(std::string value) : repr_(std::move(value)) {} // NOLINT
+  Json(const char* value) : repr_(std::string(value)) {}  // NOLINT
+
+  static Json Object() {
+    Json j;
+    j.repr_ = ObjectRepr{};
+    return j;
+  }
+  static Json Array() {
+    Json j;
+    j.repr_ = ArrayRepr{};
+    return j;
+  }
+
+  /// Sets `key` on an object (the value is replaced if present). The
+  /// document must have been created by `Object()`.
+  Json& Set(const std::string& key, Json value);
+  /// Appends to an array created by `Array()`.
+  Json& Append(Json value);
+
+  bool is_object() const { return std::holds_alternative<ObjectRepr>(repr_); }
+  bool is_array() const { return std::holds_alternative<ArrayRepr>(repr_); }
+
+  /// Compact serialization: sorted object keys, shortest round-trip
+  /// doubles, `null` for non-finite numbers (JSON has no NaN/Inf).
+  std::string Dump() const;
+
+  /// Escapes `text` per RFC 8259 and wraps it in quotes.
+  static std::string Quote(const std::string& text);
+
+ private:
+  using ObjectRepr = std::map<std::string, Json>;
+  using ArrayRepr = std::vector<Json>;
+  std::variant<std::monostate, bool, double, std::int64_t, std::uint64_t,
+               std::string, ObjectRepr, ArrayRepr>
+      repr_;
+
+  void DumpTo(std::string* out) const;
+};
+
+}  // namespace jury
+
+#endif  // JURYOPT_UTIL_JSON_H_

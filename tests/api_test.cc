@@ -1,0 +1,478 @@
+// Contract tests of the unified solve API (src/api/): the SolverRegistry,
+// the SolveRequest/SolveReport facade, and the reusable PoolPlanContext.
+//
+// The central claims, property-tested over seeded instances:
+//  * every registered solver returns the *bit-identical* jury through the
+//    new SolveRequest path and the legacy free function;
+//  * SolveMany over shuffled request batches is order- and
+//    thread-count-invariant;
+//  * unknown solver names and invalid options surface as non-OK Status —
+//    never aborts.
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "api/registry.h"
+#include "api/solve.h"
+#include "core/annealing.h"
+#include "core/branch_bound.h"
+#include "core/exhaustive.h"
+#include "core/greedy.h"
+#include "core/mvjs.h"
+#include "core/optjs.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace jury::api {
+namespace {
+
+using jury::testing::RandomPool;
+
+std::vector<std::vector<Worker>> SeededPools(int count, int n) {
+  std::vector<std::vector<Worker>> pools;
+  Rng rng(20150323);
+  for (int i = 0; i < count; ++i) {
+    Rng pool_rng = rng.Fork();
+    pools.push_back(RandomPool(&pool_rng, n, 0.5, 0.95, 0.05, 0.5));
+  }
+  return pools;
+}
+
+/// The legacy call the registry adapter for `name` must match bit-for-bit.
+Result<JspSolution> LegacySolve(const std::string& name,
+                                const JspInstance& instance,
+                                const SolveRequest& request) {
+  if (name == "optjs") {
+    Rng rng(request.rng_seed);
+    return SolveOptjs(instance, &rng, request.tuning.optjs);
+  }
+  if (name == "mvjs") {
+    Rng rng(request.rng_seed);
+    return SolveMvjs(instance, &rng, request.tuning.mvjs);
+  }
+  auto objective = MakeObjective(request.tuning);
+  if (!objective.ok()) return objective.status();
+  if (name == "annealing") {
+    Rng rng(request.rng_seed);
+    return SolveAnnealing(instance, *objective.value(), &rng,
+                          request.tuning.annealing);
+  }
+  if (name == "exhaustive") {
+    return SolveExhaustive(instance, *objective.value(),
+                           request.tuning.exhaustive);
+  }
+  if (name == "greedy-quality") {
+    return SolveGreedyByQuality(instance, *objective.value(),
+                                request.tuning.greedy);
+  }
+  if (name == "greedy-value") {
+    return SolveGreedyByValuePerCost(instance, *objective.value(),
+                                     request.tuning.greedy);
+  }
+  if (name == "greedy-mg") {
+    return SolveGreedyMarginalGain(instance, *objective.value(),
+                                   request.tuning.greedy);
+  }
+  if (name == "odd-top-k") {
+    return SolveOddTopK(instance, *objective.value(), request.tuning.greedy);
+  }
+  if (name == "branch-bound") {
+    return SolveBranchAndBound(instance, *objective.value(),
+                               request.tuning.branch_bound);
+  }
+  return Status::NotFound("test has no legacy mapping for '" + name + "'");
+}
+
+TEST(RegistryTest, NamesAreStableAndResolvable) {
+  const std::vector<std::string> names = RegisteredSolverNames();
+  const std::vector<std::string> expected = {
+      "annealing",   "exhaustive", "greedy-quality", "greedy-value",
+      "greedy-mg",   "odd-top-k",  "branch-bound",   "optjs",
+      "mvjs"};
+  EXPECT_EQ(names, expected);
+  for (const std::string& name : names) {
+    auto solver = FindSolver(name);
+    ASSERT_TRUE(solver.ok()) << name;
+    EXPECT_EQ(solver.value()->name(), name);
+  }
+}
+
+TEST(RegistryTest, UnknownSolverIsNotFoundNotAbort) {
+  EXPECT_EQ(FindSolver("no-such-solver").status().code(),
+            StatusCode::kNotFound);
+  auto context =
+      PoolPlanContext::Plan(jury::testing::Figure1Workers()).value();
+  SolveRequest request;
+  request.solver = "no-such-solver";
+  request.budget = 15.0;
+  EXPECT_EQ(context.Solve(request).status().code(), StatusCode::kNotFound);
+}
+
+class RegistryContractTest : public ::testing::TestWithParam<std::string> {};
+
+INSTANTIATE_TEST_SUITE_P(AllSolvers, RegistryContractTest,
+                         ::testing::ValuesIn(RegisteredSolverNames()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           std::replace(name.begin(), name.end(), '-', '_');
+                           return name;
+                         });
+
+/// (a) of the registry contract: the SolveRequest path equals the legacy
+/// free function bit-for-bit on seeded instances.
+TEST_P(RegistryContractTest, MatchesLegacyFreeFunctionBitForBit) {
+  const std::string name = GetParam();
+  for (const std::vector<Worker>& pool : SeededPools(5, 10)) {
+    auto context = PoolPlanContext::Plan(pool).value();
+    for (const double budget : {0.25, 0.8}) {
+      for (const std::uint64_t seed : {11ull, 20150323ull}) {
+        SolveRequest request;
+        request.solver = name;
+        request.budget = budget;
+        request.alpha = 0.4;
+        request.rng_seed = seed;
+        if (seed == 11ull) {
+          // Cover OPTJS's annealing-plus-fallbacks branch too (N = 10
+          // takes the exhaustive shortcut at the default threshold).
+          request.tuning.optjs.exhaustive_threshold = 4;
+        }
+        auto report = context.Solve(request);
+        ASSERT_TRUE(report.ok()) << name << ": " << report.status();
+        EXPECT_EQ(report.value().solver, name);
+
+        JspInstance instance;
+        instance.candidates = pool;
+        instance.budget = budget;
+        instance.alpha = 0.4;
+        auto legacy = LegacySolve(name, instance, request);
+        ASSERT_TRUE(legacy.ok()) << name << ": " << legacy.status();
+        EXPECT_EQ(report.value().solution.selected, legacy.value().selected)
+            << name << " B=" << budget << " seed=" << seed;
+        EXPECT_EQ(report.value().solution.jq, legacy.value().jq);
+        EXPECT_EQ(report.value().solution.cost, legacy.value().cost);
+      }
+    }
+  }
+}
+
+/// The registry path is bit-deterministic in the thread count, like every
+/// core solver (the PR 2-4 invariant carried through the facade).
+TEST_P(RegistryContractTest, ThreadCountInvariant) {
+  const std::string name = GetParam();
+  const auto pools = SeededPools(3, 10);
+  std::vector<JspSolution> reference;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    std::size_t at = 0;
+    for (const std::vector<Worker>& pool : pools) {
+      auto context = PoolPlanContext::Plan(pool).value();
+      SolveRequest request;
+      request.solver = name;
+      request.budget = 0.6;
+      request.alpha = 0.5;
+      request.rng_seed = 99;
+      request.tuning.annealing.num_restarts = 4;  // exercise the chains
+      request.tuning.annealing.num_threads = threads;
+      request.tuning.greedy.num_threads = threads;
+      request.tuning.exhaustive.num_threads = threads;
+      request.tuning.optjs.num_threads = threads;
+      request.tuning.optjs.annealing.num_restarts = 4;
+      request.tuning.mvjs.annealing.num_restarts = 4;
+      request.tuning.mvjs.annealing.num_threads = threads;
+      auto report = context.Solve(request);
+      ASSERT_TRUE(report.ok()) << name << ": " << report.status();
+      if (threads == 1) {
+        reference.push_back(report.value().solution);
+      } else {
+        EXPECT_EQ(report.value().solution.selected,
+                  reference[at].selected)
+            << name << " pool " << at;
+        EXPECT_EQ(report.value().solution.jq, reference[at].jq);
+      }
+      ++at;
+    }
+  }
+}
+
+/// (b) of the registry contract: SolveMany over shuffled batches is
+/// order- and thread-count-invariant, and equals the serial per-request
+/// path.
+TEST(SolveManyTest, OrderAndThreadCountInvariant) {
+  const auto pools = SeededPools(1, 12);
+  auto context = PoolPlanContext::Plan(pools[0]).value();
+
+  const std::vector<std::string> names = RegisteredSolverNames();
+  std::vector<SolveRequest> requests;
+  for (std::size_t i = 0; i < 3 * names.size(); ++i) {
+    SolveRequest request;
+    request.solver = names[i % names.size()];
+    request.budget = 0.3 + 0.25 * static_cast<double>(i % 3);
+    request.alpha = i % 2 == 0 ? 0.5 : 0.35;
+    request.rng_seed = 1000 + i;
+    requests.push_back(std::move(request));
+  }
+
+  // Serial reference: one Solve per request.
+  std::vector<JspSolution> expected;
+  for (const SolveRequest& request : requests) {
+    auto report = context.Solve(request);
+    ASSERT_TRUE(report.ok()) << request.solver << ": " << report.status();
+    expected.push_back(report.value().solution);
+  }
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    auto batch = context.SolveMany(requests, threads);
+    ASSERT_TRUE(batch.ok()) << batch.status();
+    ASSERT_EQ(batch.value().size(), requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      EXPECT_EQ(batch.value()[i].solution, expected[i])
+          << requests[i].solver << " at " << threads << " threads";
+    }
+  }
+
+  // Shuffled batch: report i must still answer shuffled request i.
+  std::vector<std::size_t> order(requests.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  Rng shuffle_rng(7);
+  shuffle_rng.Shuffle(&order);
+  std::vector<SolveRequest> shuffled;
+  for (const std::size_t idx : order) shuffled.push_back(requests[idx]);
+  auto batch = context.SolveMany(shuffled, 8);
+  ASSERT_TRUE(batch.ok()) << batch.status();
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(batch.value()[i].solution, expected[order[i]])
+        << "shuffled position " << i;
+  }
+}
+
+TEST(SolveManyTest, FailsWithTheLowestIndexError) {
+  auto context =
+      PoolPlanContext::Plan(jury::testing::Figure1Workers()).value();
+  std::vector<SolveRequest> requests(3);
+  requests[0].solver = "greedy-quality";
+  requests[0].budget = 10.0;
+  requests[1].solver = "not-a-solver";
+  requests[1].budget = 10.0;
+  requests[2].solver = "greedy-quality";
+  requests[2].budget = -1.0;  // also invalid, but later in the batch
+  const auto result = context.SolveMany(requests, 8);
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+/// (c) of the registry contract: invalid options are a Status, not an
+/// abort, for every entry that consumes them.
+TEST(OptionsValidationTest, BadKnobsReturnStatusNotAbort) {
+  auto context =
+      PoolPlanContext::Plan(jury::testing::Figure1Workers()).value();
+  const auto expect_invalid = [&](SolveRequest request,
+                                  StatusCode code =
+                                      StatusCode::kInvalidArgument) {
+    request.budget = request.budget == 0.0 ? 15.0 : request.budget;
+    const auto result = context.Solve(request);
+    EXPECT_FALSE(result.ok()) << request.solver;
+    EXPECT_EQ(result.status().code(), code) << result.status();
+  };
+
+  {
+    SolveRequest request;
+    request.solver = "annealing";
+    request.tuning.annealing.cooling_factor = 1.5;
+    expect_invalid(request);
+  }
+  {
+    SolveRequest request;
+    request.solver = "annealing";
+    request.tuning.annealing.num_restarts = 0;
+    expect_invalid(request);
+  }
+  {
+    SolveRequest request;
+    request.solver = "optjs";
+    request.tuning.optjs.annealing.epsilon = 0.0;
+    expect_invalid(request);
+  }
+  {
+    SolveRequest request;
+    request.solver = "optjs";
+    request.tuning.optjs.bucket.num_buckets = 0;
+    expect_invalid(request);
+  }
+  {
+    SolveRequest request;
+    request.solver = "mvjs";
+    request.tuning.mvjs.annealing.initial_temperature = -1.0;
+    expect_invalid(request);
+  }
+  {
+    SolveRequest request;
+    request.solver = "exhaustive";
+    request.tuning.exhaustive.max_candidates = 0;
+    expect_invalid(request);
+  }
+  {
+    SolveRequest request;
+    request.solver = "branch-bound";
+    request.tuning.branch_bound.max_nodes = 0;
+    expect_invalid(request);
+  }
+  {
+    // MV is not monotone: branch-and-bound must reject it, not abort.
+    SolveRequest request;
+    request.solver = "branch-bound";
+    request.tuning.objective = "mv-exact";
+    expect_invalid(request);
+  }
+  {
+    SolveRequest request;
+    request.solver = "greedy-mg";
+    request.tuning.objective = "no-such-objective";
+    expect_invalid(request, StatusCode::kNotFound);
+  }
+  {
+    SolveRequest request;
+    request.solver = "greedy-quality";
+    request.budget = -2.0;
+    const auto result = context.Solve(request);
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    SolveRequest request;
+    request.solver = "greedy-quality";
+    request.budget = 1.0;
+    request.alpha = 1.5;
+    const auto result = context.Solve(request);
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(OptionsValidationTest, DirectValidateCalls) {
+  EXPECT_TRUE(AnnealingOptions{}.Validate().ok());
+  EXPECT_TRUE(GreedyOptions{}.Validate().ok());
+  EXPECT_TRUE(ExhaustiveOptions{}.Validate().ok());
+  EXPECT_TRUE(BranchBoundOptions{}.Validate().ok());
+  EXPECT_TRUE(OptjsOptions{}.Validate().ok());
+  EXPECT_TRUE(MvjsOptions{}.Validate().ok());
+
+  AnnealingOptions bad_removal;
+  bad_removal.removal_probability = 2.0;
+  EXPECT_FALSE(bad_removal.Validate().ok());
+  ExhaustiveOptions too_wide;
+  too_wide.max_candidates = 63;
+  EXPECT_FALSE(too_wide.Validate().ok());
+  OptjsOptions bad_threshold;
+  bad_threshold.exhaustive_threshold = 63;
+  EXPECT_FALSE(bad_threshold.Validate().ok());
+
+  // Legacy free functions validate too (the "call it at every Solve*
+  // entry" satellite): the thin wrappers share the planned entry.
+  JspInstance instance;
+  instance.candidates = jury::testing::Figure1Workers();
+  instance.budget = 15.0;
+  const BucketBvObjective objective;
+  Rng rng(1);
+  AnnealingOptions bad_schedule;
+  bad_schedule.cooling_factor = 0.0;
+  EXPECT_EQ(
+      SolveAnnealing(instance, objective, &rng, bad_schedule).status().code(),
+      StatusCode::kInvalidArgument);
+  BranchBoundOptions zero_nodes;
+  zero_nodes.max_nodes = 0;
+  EXPECT_EQ(SolveBranchAndBound(instance, objective, zero_nodes)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PlanContextTest, RejectsInvalidPools) {
+  std::vector<Worker> bad = jury::testing::Figure1Workers();
+  bad[2].quality = 1.5;
+  EXPECT_EQ(PoolPlanContext::Plan(bad).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PlanContextTest, ArenaReusesInstancesAcrossRequests) {
+  auto context =
+      PoolPlanContext::Plan(jury::testing::Figure1Workers()).value();
+  for (int i = 0; i < 32; ++i) {
+    SolveRequest request;
+    request.solver = "greedy-quality";
+    request.budget = 5.0 + i;
+    ASSERT_TRUE(context.Solve(request).ok());
+  }
+  // Serial solves lease and return one instance: the candidate copy was
+  // made once, not 32 times.
+  EXPECT_EQ(context.instances_created(), 1u);
+}
+
+TEST(PlanContextTest, ZeroBudgetReturnsTheEmptyJury) {
+  auto context =
+      PoolPlanContext::Plan(jury::testing::Figure1Workers()).value();
+  SolveRequest request;
+  request.solver = "optjs";
+  request.budget = 0.0;
+  request.alpha = 0.3;
+  const auto report = context.Solve(request);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report.value().solution.selected.empty());
+  EXPECT_DOUBLE_EQ(report.value().solution.jq, 0.7);  // max(alpha, 1-alpha)
+}
+
+TEST(ToJsonTest, SolutionSerializationIsDeterministic) {
+  JspSolution solution;
+  solution.selected = {1, 2, 6};
+  solution.jq = 0.845;
+  solution.cost = 14.0;
+  EXPECT_EQ(solution.ToJson(),
+            "{\"cost\":14,\"jq\":0.845,\"selected\":[1,2,6]}");
+  EXPECT_EQ(solution.ToJson(), solution.ToJson());
+}
+
+TEST(ToJsonTest, ReportSerializationSortsKeys) {
+  SolveReport report;
+  report.solver = "annealing";
+  report.solution.selected = {0};
+  report.solution.jq = 0.75;
+  report.solution.cost = 2.0;
+  report.wall_seconds = 0.5;
+  report.evaluations.full = 3;
+  report.evaluations.incremental = 7;
+  report.stats = {{"zeta", 1.0}, {"alpha", 2.0}};
+  EXPECT_EQ(report.ToJson(),
+            "{\"evaluations\":{\"full\":3,\"incremental\":7},"
+            "\"solution\":{\"cost\":2,\"jq\":0.75,\"selected\":[0]},"
+            "\"solver\":\"annealing\","
+            "\"stats\":{\"alpha\":2,\"zeta\":1},"
+            "\"wall_seconds\":0.5}");
+}
+
+TEST(ReportTest, StatsAreUniformAcrossSolvers) {
+  // The stats block that historically only annealing exposed: every
+  // stochastic solver reports the SA counters, branch-and-bound its node
+  // counts, and all of them the evaluation split.
+  auto context =
+      PoolPlanContext::Plan(jury::testing::Figure1Workers()).value();
+  SolveRequest request;
+  request.budget = 15.0;
+  request.solver = "annealing";
+  auto annealing = context.Solve(request).value();
+  EXPECT_GT(annealing.stats.at("moves_attempted"), 0.0);
+  EXPECT_GT(annealing.evaluations.total(), 0u);
+  EXPECT_GT(annealing.wall_seconds, 0.0);
+
+  request.solver = "branch-bound";
+  auto branch_bound = context.Solve(request).value();
+  EXPECT_GT(branch_bound.stats.at("nodes_explored"), 0.0);
+  EXPECT_GT(branch_bound.evaluations.total(), 0u);
+
+  request.solver = "optjs";
+  auto optjs = context.Solve(request).value();
+  EXPECT_EQ(optjs.stats.at("used_exhaustive_shortcut"), 1.0);  // N=7 <= 12
+  EXPECT_GT(optjs.evaluations.total(), 0u);
+}
+
+}  // namespace
+}  // namespace jury::api
