@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "api/solve.h"
 #include "core/annealing.h"
 #include "core/objective.h"
 #include "jq/bucket.h"
@@ -318,6 +319,56 @@ void BM_BucketScanBatched(benchmark::State& state) {
 }
 BENCHMARK(BM_BucketScanBatched)->Arg(10)->Arg(50)->Arg(200);
 
+void BM_BucketRemoveScanScalar(benchmark::State& state) {
+  // The pre-kernel remove scan: one full distribution copy plus a
+  // deconvolve and mass sweep per removal candidate.
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(53);
+  BucketKeyDistribution dist;
+  std::vector<std::int64_t> bs;
+  std::vector<double> qs;
+  for (int i = 0; i < n; ++i) {
+    bs.push_back(1 + static_cast<std::int64_t>(rng.UniformInt(50)));
+    qs.push_back(rng.Uniform(0.5, 0.95));
+    dist.Convolve(bs.back(), qs.back());
+  }
+  for (auto _ : state) {
+    for (int i = 0; i < n; ++i) {
+      BucketKeyDistribution copy = dist;
+      copy.Deconvolve(bs[static_cast<std::size_t>(i)],
+                      qs[static_cast<std::size_t>(i)]);
+      benchmark::DoNotOptimize(copy.PositiveMass());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BucketRemoveScanScalar)->Arg(10)->Arg(50)->Arg(200);
+
+void BM_BucketRemoveScanBatched(benchmark::State& state) {
+  // The batched deconvolve fold: every committed member scored for
+  // removal in one dispatched kernel call, no copies.
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(53);
+  BucketKeyDistribution dist;
+  std::vector<std::int64_t> bs;
+  std::vector<double> qs;
+  for (int i = 0; i < n; ++i) {
+    bs.push_back(1 + static_cast<std::int64_t>(rng.UniformInt(50)));
+    qs.push_back(rng.Uniform(0.5, 0.95));
+    dist.Convolve(bs.back(), qs.back());
+  }
+  std::vector<double> out(bs.size());
+  for (auto _ : state) {
+    dist.DeconvolvePositiveMassBatch(bs.data(), qs.data(), bs.size(),
+                                     out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BucketRemoveScanBatched)->Arg(10)->Arg(50)->Arg(200);
+
 /// End-to-end greedy-round shape: score every candidate against a
 /// committed session. Scalar = ScoreAdd + Rollback per candidate (the old
 /// scan); batched = one ScoreAddBatch call (what the solver runs now).
@@ -427,6 +478,8 @@ BENCHMARK_CAPTURE(BM_EvaluateBatchKernel, scalar, simd::Level::kScalar)
     ->Arg(10)->Arg(100)->Arg(500);
 BENCHMARK_CAPTURE(BM_EvaluateBatchKernel, avx2, simd::Level::kAvx2)
     ->Arg(10)->Arg(100)->Arg(500);
+BENCHMARK_CAPTURE(BM_EvaluateBatchKernel, avx512, simd::Level::kAvx512)
+    ->Arg(10)->Arg(100)->Arg(500);
 
 void BM_ConvolveMassKernel(benchmark::State& state, simd::Level level) {
   if (!PinLevelOrSkip(state, level)) return;
@@ -457,6 +510,8 @@ BENCHMARK_CAPTURE(BM_ConvolveMassKernel, scalar, simd::Level::kScalar)
     ->Arg(10)->Arg(50)->Arg(200);
 BENCHMARK_CAPTURE(BM_ConvolveMassKernel, avx2, simd::Level::kAvx2)
     ->Arg(10)->Arg(50)->Arg(200);
+BENCHMARK_CAPTURE(BM_ConvolveMassKernel, avx512, simd::Level::kAvx512)
+    ->Arg(10)->Arg(50)->Arg(200);
 
 void BM_RemoveBatchKernel(benchmark::State& state, simd::Level level) {
   if (!PinLevelOrSkip(state, level)) return;
@@ -483,6 +538,40 @@ BENCHMARK_CAPTURE(BM_RemoveBatchKernel, scalar, simd::Level::kScalar)
     ->Arg(10)->Arg(100)->Arg(500);
 BENCHMARK_CAPTURE(BM_RemoveBatchKernel, avx2, simd::Level::kAvx2)
     ->Arg(10)->Arg(100)->Arg(500);
+BENCHMARK_CAPTURE(BM_RemoveBatchKernel, avx512, simd::Level::kAvx512)
+    ->Arg(10)->Arg(100)->Arg(500);
+
+void BM_DeconvolveMassKernel(benchmark::State& state, simd::Level level) {
+  // The batched bucket deconvolve fold pinned to one dispatch level — the
+  // remove-scan shape: every folded member deconvolved out hypothetically
+  // in one kernel call.
+  if (!PinLevelOrSkip(state, level)) return;
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(53);
+  BucketKeyDistribution dist;
+  std::vector<std::int64_t> bs;
+  std::vector<double> qs;
+  for (int i = 0; i < n; ++i) {
+    bs.push_back(1 + static_cast<std::int64_t>(rng.UniformInt(50)));
+    qs.push_back(rng.Uniform(0.5, 0.95));
+    dist.Convolve(bs.back(), qs.back());
+  }
+  std::vector<double> out(bs.size());
+  for (auto _ : state) {
+    dist.DeconvolvePositiveMassBatch(bs.data(), qs.data(), bs.size(),
+                                     out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  simd::SetLevel(DefaultSimdLevel());
+}
+BENCHMARK_CAPTURE(BM_DeconvolveMassKernel, scalar, simd::Level::kScalar)
+    ->Arg(10)->Arg(50)->Arg(200);
+BENCHMARK_CAPTURE(BM_DeconvolveMassKernel, avx2, simd::Level::kAvx2)
+    ->Arg(10)->Arg(50)->Arg(200);
+BENCHMARK_CAPTURE(BM_DeconvolveMassKernel, avx512, simd::Level::kAvx512)
+    ->Arg(10)->Arg(50)->Arg(200);
 
 // ---------------------------------------------------------------------------
 // Unified remove/swap session scans: scalar Score* + Rollback loops vs the
@@ -648,6 +737,59 @@ void BM_AnnealingSolveNoIncremental(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AnnealingSolveNoIncremental)->Arg(50)->Arg(100)->Arg(200);
+
+// ---------------------------------------------------------------------------
+// Fused multi-request move scans: the SolveMany seam with and without the
+// flat-combining broker. Same requests, byte-identical reports — the rows
+// differ only in where the batched kernel passes run (each worker thread
+// inline vs coalesced drains on whichever thread holds the combiner).
+// ---------------------------------------------------------------------------
+
+void SolveManyMoveScans(benchmark::State& state, bool fused) {
+  const int n = static_cast<int>(state.range(0));
+  Rng pool_rng(59);
+  std::vector<Worker> pool;
+  for (int i = 0; i < n; ++i) {
+    pool.emplace_back(
+        "w" + std::to_string(i),
+        pool_rng.TruncatedGaussian(0.7, 0.22360679774997896, 0.01, 0.99),
+        pool_rng.TruncatedGaussian(0.05, 0.2, 0.01, 1e9));
+  }
+  auto context = api::PoolPlanContext::Plan(std::move(pool)).value();
+  // Scan-heavy requests (annealing polish + the greedy round scans), all
+  // runnable concurrently so the broker actually sees overlapping passes.
+  std::vector<api::SolveRequest> requests;
+  for (std::size_t i = 0; i < 8; ++i) {
+    api::SolveRequest request;
+    request.solver = i % 2 == 0 ? "annealing" : "greedy-mg";
+    request.budget = 0.4 + 0.1 * static_cast<double>(i % 3);
+    request.rng_seed = 900 + i;
+    requests.push_back(std::move(request));
+  }
+  api::SolveManyOptions options;
+  options.num_threads = 4;
+  options.fuse_move_scans = fused;
+  for (auto _ : state) {
+    auto reports = context.SolveMany(requests, options);
+    if (!reports.ok()) {
+      state.SkipWithError("SolveMany failed");
+      return;
+    }
+    benchmark::DoNotOptimize(reports.value().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(requests.size()));
+}
+
+void BM_SolveManyMoveScansUnfused(benchmark::State& state) {
+  SolveManyMoveScans(state, /*fused=*/false);
+}
+BENCHMARK(BM_SolveManyMoveScansUnfused)->Arg(50)->Arg(200);
+
+void BM_SolveManyMoveScansFused(benchmark::State& state) {
+  SolveManyMoveScans(state, /*fused=*/true);
+}
+BENCHMARK(BM_SolveManyMoveScansFused)->Arg(50)->Arg(200);
 
 }  // namespace
 }  // namespace jury

@@ -16,6 +16,7 @@
 #include "util/json.h"
 #include "util/rng.h"
 #include "util/scheduler.h"
+#include "util/simd_dispatch.h"
 
 namespace jury::bench {
 
@@ -170,15 +171,18 @@ class ThreadScalingReport {
                  static_cast<std::uint64_t>(instances_created)));
   }
 
-  /// One SolveMany throughput row at a thread count.
+  /// One SolveMany throughput row at a thread count. `fused` marks the
+  /// cross-request move-scan fusion ablation rows (the flat-combining
+  /// broker on) against their per-request-dispatch siblings.
   void AddSolveMany(int n, std::size_t requests, std::size_t threads,
-                    double seconds) {
+                    double seconds, bool fused = false) {
     solve_many_rows_.Append(
         Json::Object()
             .Set("workload", "solve_many")
             .Set("n", n)
             .Set("requests", static_cast<std::uint64_t>(requests))
             .Set("threads", static_cast<std::uint64_t>(threads))
+            .Set("fused_move_scans", fused)
             .Set("seconds", seconds)
             .Set("requests_per_second",
                  seconds > 0.0 ? static_cast<double>(requests) / seconds
@@ -208,12 +212,19 @@ class ThreadScalingReport {
     Json doc = Json::Object();
     // Host provenance: a baseline recorded on a 1-thread box makes no
     // scaling claim, and scripts/check_scaling_regression.py skips the
-    // speedup gates for such baselines.
+    // speedup gates for such baselines. `simd_levels` records the kernel
+    // tiers this host could execute, so the gate can skip level-pinned
+    // rows a weaker baseline host never ran.
+    Json simd_levels = Json::Array();
+    simd_levels.Append(std::string("scalar"));
+    if (simd::Avx2Available()) simd_levels.Append(std::string("avx2"));
+    if (simd::Avx512Available()) simd_levels.Append(std::string("avx512"));
     doc.Set("host",
-            Json::Object().Set(
-                "hardware_threads",
-                static_cast<std::uint64_t>(
-                    std::max(1u, std::thread::hardware_concurrency()))));
+            Json::Object()
+                .Set("hardware_threads",
+                     static_cast<std::uint64_t>(
+                         std::max(1u, std::thread::hardware_concurrency())))
+                .Set("simd_levels", simd_levels));
     doc.Set("thread_scaling", rows_);
     doc.Set("budget_table_nested", nested_rows_);
     doc.Set("annealing_neighbourhood", neighbourhood_rows_);

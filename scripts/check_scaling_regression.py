@@ -27,6 +27,15 @@ the hardware-independent nested-regions counter check remains. Baselines
 without a host section (pre-field artifacts) keep the per-row >1.1x
 claim filter, which already skipped 1-core noise rows in practice.
 
+Rows pinned to a SIMD dispatch level (a "simd_level" field, e.g. rows
+measured under a forced avx512 table) are comparable only between hosts
+that can execute that level. The harness records the recording host's
+executable tiers as "host.simd_levels"; a pinned row whose level is
+missing from either the baseline's or the fresh host's list is skipped —
+an AVX-512 row recorded on an AVX-512 box must not fail the gate on a
+runner that cannot run the kernel at all (and vice versa). Artifacts
+without the field (pre-field baselines) skip the level filter entirely.
+
 Note on baseline provenance: a baseline recorded on a single-core box has
 speedups ~1.0, so the speedup checks are mostly skipped until the
 baseline is regenerated on multi-core hardware (commit the CI artifact
@@ -53,8 +62,30 @@ def rows_at(report: dict, section: str, threads: int) -> dict:
     for row in report.get(section, []):
         if row.get("threads") == threads:
             key = row.get("solver") or row.get("workload")
+            if row.get("simd_level"):
+                key = f"{key}@{row['simd_level']}"
             out[key] = row
     return out
+
+
+def host_simd_levels(report: dict):
+    """The recording host's executable kernel tiers, or None when the
+    artifact predates the field (then no level filtering is possible)."""
+    levels = report.get("host", {}).get("simd_levels")
+    return set(levels) if levels is not None else None
+
+
+def level_unavailable(row: dict, baseline: dict, fresh: dict) -> bool:
+    """True when the row is pinned to a SIMD level that either host's
+    recorded tier list lacks — such rows make no cross-host claim."""
+    level = row.get("simd_level")
+    if not level:
+        return False
+    for report in (baseline, fresh):
+        levels = host_simd_levels(report)
+        if levels is not None and level not in levels:
+            return True
+    return False
 
 
 def main() -> None:
@@ -81,6 +112,10 @@ def main() -> None:
         base_rows = {}
     checked = 0
     for solver, base in base_rows.items():
+        if level_unavailable(base, baseline, fresh):
+            print(f"skip   {solver}: pinned SIMD level unavailable on the "
+                  "baseline or fresh host")
+            continue
         base_speedup = base.get("speedup_vs_1_thread", 0.0)
         if base_speedup <= MIN_BASELINE_CLAIM:
             print(f"skip   {solver}: baseline speedup {base_speedup:.2f} "

@@ -1,0 +1,67 @@
+#include "api/fused_scan.h"
+
+#include <utility>
+
+namespace jury::api {
+
+void FusedScanBroker::Execute(KernelPass pass) {
+  std::atomic<bool> done{false};
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    queue_.push_back(PendingPass{pass, &done});
+  }
+  passes_.fetch_add(1, std::memory_order_relaxed);
+
+  // Wait for a combiner to run our pass, bidding for the combiner role
+  // ourselves so progress never depends on any particular thread: if the
+  // current combiner unlocked just before our enqueue, the next try_lock
+  // here succeeds and we drain our own pass (plus anything that piled up
+  // behind it).
+  while (!done.load(std::memory_order_acquire)) {
+    if (combiner_.try_lock()) {
+      DrainQueue();
+      combiner_.unlock();
+      // Our pass may still have been claimed by a racing combiner that
+      // swapped the queue out before our drain saw it — the outer loop
+      // re-checks `done` either way.
+    }
+  }
+}
+
+void FusedScanBroker::DrainQueue() {
+  std::vector<PendingPass> batch;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      if (queue_.empty()) return;
+      batch.clear();
+      std::swap(batch, queue_);
+    }
+    // The fused sweep: passes from however many requests, back to back on
+    // this core, kernel table and caches staying hot.
+    for (const PendingPass& pending : batch) {
+      pending.pass.run(pending.pass.ctx);
+      pending.done->store(true, std::memory_order_release);
+    }
+    drains_.fetch_add(1, std::memory_order_relaxed);
+    if (batch.size() > 1) {
+      fused_drains_.fetch_add(1, std::memory_order_relaxed);
+    }
+    std::size_t seen = max_drain_.load(std::memory_order_relaxed);
+    while (batch.size() > seen &&
+           !max_drain_.compare_exchange_weak(seen, batch.size(),
+                                             std::memory_order_relaxed)) {
+    }
+  }
+}
+
+FusedScanStats FusedScanBroker::stats() const {
+  FusedScanStats stats;
+  stats.passes = passes_.load(std::memory_order_relaxed);
+  stats.drains = drains_.load(std::memory_order_relaxed);
+  stats.fused_drains = fused_drains_.load(std::memory_order_relaxed);
+  stats.max_drain = max_drain_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace jury::api

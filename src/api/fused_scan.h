@@ -1,0 +1,92 @@
+#ifndef JURYOPT_API_FUSED_SCAN_H_
+#define JURYOPT_API_FUSED_SCAN_H_
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "core/objective.h"
+
+namespace jury::api {
+
+/// \brief Counters a `FusedScanBroker` accumulates over its lifetime —
+/// the observability half of the cross-request fusion seam. All monotone,
+/// so a caller can snapshot them after `SolveMany` returns without
+/// synchronizing against stragglers.
+struct FusedScanStats {
+  /// Kernel passes submitted through the broker (one per batched
+  /// move-scan flush that reached `Execute`).
+  std::size_t passes = 0;
+  /// Combiner drains — times one thread grabbed the combiner role and
+  /// ran a non-empty queue of passes back to back.
+  std::size_t drains = 0;
+  /// Drains that ran more than one pass — actual cross-request fusion,
+  /// as opposed to a pass that found the queue otherwise empty.
+  std::size_t fused_drains = 0;
+  /// Largest number of passes any single drain ran back to back.
+  std::size_t max_drain = 0;
+};
+
+/// \brief Flat-combining `MoveScanSink`: the object `SolveMany` scopes
+/// around a fused batch so concurrently queued requests hand their
+/// batched move-scan kernel passes to one combiner thread, which runs
+/// them back to back in a single fused sweep over the kernel tables.
+///
+/// Why flat combining instead of a lock: the passes are the hot part of
+/// a solve (one SIMD sweep per staged scan), and under a plain mutex
+/// every thread would serialize *and* bounce the kernel table's cache
+/// lines between cores. Here the queue mutex is held only for a
+/// push_back; whichever thread wins the combiner lock drains the whole
+/// queue — its core keeps the dispatched kernel table, the pmf rows, and
+/// the instruction stream hot across consecutive passes, which is the
+/// "one fused kernel pass" the seam is named for.
+///
+/// Correctness: each pass is a pure function of its submitting session's
+/// staged state (see `MoveScanSink`), so running passes from different
+/// requests back to back on one thread is arithmetic-identical to
+/// running them inline on their own threads, in any order. `Execute`
+/// returns only after the pass's `done` flag is set with release
+/// ordering (and observed with acquire), so the submitting session reads
+/// its freshly written scores with the necessary happens-before edge.
+///
+/// A thread waiting for its pass spins on its `done` flag but also keeps
+/// bidding for the combiner role, so the broker is deadlock-free even if
+/// the current combiner is preempted between drains: some waiter always
+/// makes progress. Passes never re-enter the sink (sink contract), so
+/// the combiner never self-deadlocks.
+class FusedScanBroker final : public MoveScanSink {
+ public:
+  FusedScanBroker() = default;
+  FusedScanBroker(const FusedScanBroker&) = delete;
+  FusedScanBroker& operator=(const FusedScanBroker&) = delete;
+
+  /// Enqueues the pass and blocks until some combiner has run it.
+  void Execute(KernelPass pass) override;
+
+  /// Lifetime counters; safe to read once no `Execute` is in flight.
+  FusedScanStats stats() const;
+
+ private:
+  struct PendingPass {
+    KernelPass pass;
+    std::atomic<bool>* done;
+  };
+
+  /// Drains the queue repeatedly until it is observed empty, running
+  /// every drained pass. Caller must hold `combiner_`.
+  void DrainQueue();
+
+  std::mutex queue_mutex_;
+  std::vector<PendingPass> queue_;
+  std::mutex combiner_;
+
+  std::atomic<std::size_t> passes_{0};
+  std::atomic<std::size_t> drains_{0};
+  std::atomic<std::size_t> fused_drains_{0};
+  std::atomic<std::size_t> max_drain_{0};
+};
+
+}  // namespace jury::api
+
+#endif  // JURYOPT_API_FUSED_SCAN_H_

@@ -12,6 +12,16 @@ namespace {
 /// counters into the uniform report. The objective is constructed by the
 /// adapter for exactly one solve, so the snapshot is that solve's exact
 /// full/incremental split.
+/// Binds the calling thread's ambient move-scan sink (scoped by a fusing
+/// `SolveMany`; nullptr outside one — sessions then run passes inline)
+/// onto the adapter's freshly constructed per-solve objective. Every
+/// adapter calls this between constructing its objective and opening the
+/// first session, so a fused batch coalesces kernel passes from all its
+/// requests regardless of which solver each request named.
+void BindAmbientScanSink(const JqObjective& objective) {
+  objective.BindScanSink(CurrentThreadScanSink());
+}
+
 SolveReport FinishReport(const std::string& solver, JspSolution solution,
                          const JqObjective& objective, double wall_seconds,
                          std::map<std::string, double> stats) {
@@ -52,6 +62,7 @@ class AnnealingSolver final : public JspSolver {
                             const SolveRequest& request) const override {
     std::unique_ptr<JqObjective> objective;
     JURY_ASSIGN_OR_RETURN(objective, MakeObjective(request.tuning));
+    BindAmbientScanSink(*objective);
     auto lease = context.AcquireInstance(request.budget, request.alpha);
     Rng rng(request.rng_seed);
     AnnealingStats stats;
@@ -73,6 +84,7 @@ class ExhaustiveSolver final : public JspSolver {
                             const SolveRequest& request) const override {
     std::unique_ptr<JqObjective> objective;
     JURY_ASSIGN_OR_RETURN(objective, MakeObjective(request.tuning));
+    BindAmbientScanSink(*objective);
     auto lease = context.AcquireInstance(request.budget, request.alpha);
     Timer timer;
     JspSolution solution;
@@ -91,6 +103,7 @@ class BranchBoundSolver final : public JspSolver {
                             const SolveRequest& request) const override {
     std::unique_ptr<JqObjective> objective;
     JURY_ASSIGN_OR_RETURN(objective, MakeObjective(request.tuning));
+    BindAmbientScanSink(*objective);
     auto lease = context.AcquireInstance(request.budget, request.alpha);
     BranchBoundStats stats;
     Timer timer;
@@ -126,6 +139,7 @@ class GreedyFamilySolver final : public JspSolver {
                             const SolveRequest& request) const override {
     std::unique_ptr<JqObjective> objective;
     JURY_ASSIGN_OR_RETURN(objective, MakeObjective(request.tuning));
+    BindAmbientScanSink(*objective);
     auto lease = context.AcquireInstance(request.budget, request.alpha);
     Timer timer;
     JspSolution solution;
@@ -154,6 +168,7 @@ class OptjsSolver final : public JspSolver {
                             const SolveRequest& request) const override {
     const OptjsOptions& options = request.tuning.optjs;
     const BucketBvObjective objective(options.bucket);
+    BindAmbientScanSink(objective);
     auto lease = context.AcquireInstance(request.budget, request.alpha);
     Rng rng(request.rng_seed);
     AnnealingStats stats;
@@ -176,6 +191,7 @@ class MvjsSolver final : public JspSolver {
   Result<SolveReport> Solve(PoolPlanContext& context,
                             const SolveRequest& request) const override {
     const MajorityObjective objective;
+    BindAmbientScanSink(objective);
     auto lease = context.AcquireInstance(request.budget, request.alpha);
     Rng rng(request.rng_seed);
     AnnealingStats stats;

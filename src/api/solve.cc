@@ -112,11 +112,27 @@ Result<SolveReport> PoolPlanContext::Solve(const SolveRequest& request) {
 
 Result<std::vector<SolveReport>> PoolPlanContext::SolveMany(
     std::span<const SolveRequest> requests, std::size_t num_threads) {
+  SolveManyOptions options;
+  options.num_threads = num_threads;
+  return SolveMany(requests, options);
+}
+
+Result<std::vector<SolveReport>> PoolPlanContext::SolveMany(
+    std::span<const SolveRequest> requests, const SolveManyOptions& options) {
   const std::size_t count = requests.size();
   std::vector<std::optional<Result<SolveReport>>> results(count);
   const std::size_t threads =
-      std::min(ResolveThreadCount(num_threads),
+      std::min(ResolveThreadCount(options.num_threads),
                std::max<std::size_t>(count, 1));
+  // When fusing, one broker spans the whole batch: every task scopes it
+  // as the thread's ambient scan sink, the registry adapters bind it
+  // onto each per-solve objective, and sessions (plus their clones on
+  // nested scheduler threads) submit their batched kernel flushes to it
+  // instead of dispatching inline. Fusion never changes results — each
+  // pass is a pure function of its own session's staged state — so the
+  // bit-identity contract below is unchanged.
+  FusedScanBroker broker;
+  FusedScanBroker* const sink = options.fuse_move_scans ? &broker : nullptr;
   // One task per request (grain 1): requests are heterogeneous — a batch
   // can mix exhaustive solves with greedy ones — so idle workers should
   // steal individual requests, and a request's own nested regions
@@ -127,11 +143,15 @@ Result<std::vector<SolveReport>> PoolPlanContext::SolveMany(
   Scheduler::GlobalParallelFor(
       0, count, 1,
       [&](std::size_t begin, std::size_t end) {
+        ScopedThreadScanSink scoped(sink);
         for (std::size_t i = begin; i < end; ++i) {
           results[i].emplace(Solve(requests[i]));
         }
       },
       threads);
+  if (sink != nullptr && options.fusion_stats != nullptr) {
+    *options.fusion_stats = broker.stats();
+  }
 
   std::vector<SolveReport> reports;
   reports.reserve(count);

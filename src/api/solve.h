@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "api/fused_scan.h"
 #include "core/annealing.h"
 #include "core/branch_bound.h"
 #include "core/exhaustive.h"
@@ -99,6 +100,26 @@ struct SolveReport {
   std::string ToJson() const;
 };
 
+/// \brief Knobs of the batched `SolveMany` overload.
+struct SolveManyOptions {
+  /// Worker count for the fan-out (0 resolves via JURYOPT_THREADS,
+  /// 1 = serial) — same meaning as the legacy overload's parameter.
+  std::size_t num_threads = 0;
+  /// Routes every request's batched move-scan kernel flushes through one
+  /// shared `FusedScanBroker`, so passes from concurrently queued
+  /// requests coalesce into single fused sweeps (hot kernel table, hot
+  /// caches) instead of each thread dispatching its own. Reports are
+  /// byte-identical to the unfused path — each pass is a pure function
+  /// of its own session's staged state — for any thread count and batch
+  /// order (property-tested). Off by default: fusion pays off when many
+  /// scan-heavy requests run concurrently, and costs a queue hop when
+  /// they don't.
+  bool fuse_move_scans = false;
+  /// When non-null and `fuse_move_scans` is set, receives the broker's
+  /// lifetime counters (passes, drains, fusion rate) after the batch.
+  FusedScanStats* fusion_stats = nullptr;
+};
+
 class PoolPlanContext;
 
 /// \brief The common solver interface behind the registry: one virtual
@@ -162,6 +183,14 @@ class PoolPlanContext {
   /// whole batch fails with the lowest-index request's status.
   Result<std::vector<SolveReport>> SolveMany(
       std::span<const SolveRequest> requests, std::size_t num_threads = 0);
+
+  /// The knobbed overload: same fan-out and same bit-identity contract,
+  /// plus opt-in cross-request move-scan fusion (`fuse_move_scans`) —
+  /// batched kernel flushes from all requests in this call coalesce
+  /// through one flat-combining broker into fused sweeps. The legacy
+  /// overload above is exactly `SolveMany(requests, {.num_threads = n})`.
+  Result<std::vector<SolveReport>> SolveMany(
+      std::span<const SolveRequest> requests, const SolveManyOptions& options);
 
   /// \brief RAII lease of a prevalidated per-request instance from the
   /// context's arena (returned to the free list on destruction).

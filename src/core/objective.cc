@@ -166,15 +166,30 @@ class IncrementalMajorityEvaluator final : public IncrementalJqEvaluator {
       batch_q0_[j] = q;
       batch_q1_[j] = 1.0 - q;
     }
-    zeros_t0_.EvaluateRemoveBatch(batch_q0_.data(), count, zeros_needed, -1,
-                                  batch_tail_.data(), nullptr);
-    zeros_t1_.EvaluateRemoveBatch(batch_q1_.data(), count, 0,
-                                  zeros_needed - 1, nullptr,
-                                  batch_cdf_.data());
-    const double a = alpha();
-    for (std::size_t j = 0; j < count; ++j) {
-      scores[j] = a * batch_tail_[j] + (1.0 - a) * batch_cdf_[j];
-    }
+    struct Ctx {
+      IncrementalMajorityEvaluator* self;
+      std::size_t count;
+      int zeros_needed;
+      double* scores;
+    };
+    Ctx ctx{this, count, zeros_needed, scores};
+    RunKernelPass(
+        [](void* p) {
+          auto* c = static_cast<Ctx*>(p);
+          auto& e = *c->self;
+          e.zeros_t0_.EvaluateRemoveBatch(e.batch_q0_.data(), c->count,
+                                          c->zeros_needed, -1,
+                                          e.batch_tail_.data(), nullptr);
+          e.zeros_t1_.EvaluateRemoveBatch(e.batch_q1_.data(), c->count, 0,
+                                          c->zeros_needed - 1, nullptr,
+                                          e.batch_cdf_.data());
+          const double a = e.alpha();
+          for (std::size_t j = 0; j < c->count; ++j) {
+            c->scores[j] =
+                a * e.batch_tail_[j] + (1.0 - a) * e.batch_cdf_[j];
+          }
+        },
+        &ctx);
     CountIncrementalEvaluations(count);
   }
 
@@ -205,14 +220,30 @@ class IncrementalMajorityEvaluator final : public IncrementalJqEvaluator {
       batch_q0_[j] = q;
       batch_q1_[j] = 1.0 - q;
     }
-    scratch_t0_.EvaluateBatch(batch_q0_.data(), count, zeros_needed, 0,
-                              batch_tail_.data(), nullptr);
-    scratch_t1_.EvaluateBatch(batch_q1_.data(), count, 0, zeros_needed - 1,
-                              nullptr, batch_cdf_.data());
-    const double a = alpha();
-    for (std::size_t j = 0; j < count; ++j) {
-      scores[j] = a * batch_tail_[j] + (1.0 - a) * batch_cdf_[j];
-    }
+    struct Ctx {
+      IncrementalMajorityEvaluator* self;
+      std::size_t count;
+      int zeros_needed;
+      double* scores;
+    };
+    Ctx ctx{this, count, zeros_needed, scores};
+    RunKernelPass(
+        [](void* p) {
+          auto* c = static_cast<Ctx*>(p);
+          auto& e = *c->self;
+          e.scratch_t0_.EvaluateBatch(e.batch_q0_.data(), c->count,
+                                      c->zeros_needed, 0,
+                                      e.batch_tail_.data(), nullptr);
+          e.scratch_t1_.EvaluateBatch(e.batch_q1_.data(), c->count, 0,
+                                      c->zeros_needed - 1, nullptr,
+                                      e.batch_cdf_.data());
+          const double a = e.alpha();
+          for (std::size_t j = 0; j < c->count; ++j) {
+            c->scores[j] =
+                a * e.batch_tail_[j] + (1.0 - a) * e.batch_cdf_[j];
+          }
+        },
+        &ctx);
     CountIncrementalEvaluations(count);
   }
 
@@ -220,19 +251,38 @@ class IncrementalMajorityEvaluator final : public IncrementalJqEvaluator {
   /// Shared tail of the add scans: `batch_q0_`/`batch_q1_` hold the
   /// candidate probabilities (conditioned on t = 0 / t = 1); queries both
   /// committed pmfs and blends the MV score, exactly as `ScratchScore`.
+  /// The kernel pass goes through `RunKernelPass` so a bound
+  /// `MoveScanSink` can coalesce it with other requests' scans (see
+  /// objective.h; scores are identical either way).
   void FinishAddBatch(std::size_t count, double* scores) {
     const int n_new = zeros_t0_.size() + 1;
     const int zeros_needed = n_new / 2 + 1;
     batch_tail_.resize(count);
     batch_cdf_.resize(count);
-    zeros_t0_.EvaluateBatch(batch_q0_.data(), count, zeros_needed, 0,
-                            batch_tail_.data(), nullptr);
-    zeros_t1_.EvaluateBatch(batch_q1_.data(), count, 0, zeros_needed - 1,
-                            nullptr, batch_cdf_.data());
-    const double a = alpha();
-    for (std::size_t j = 0; j < count; ++j) {
-      scores[j] = a * batch_tail_[j] + (1.0 - a) * batch_cdf_[j];
-    }
+    struct Ctx {
+      IncrementalMajorityEvaluator* self;
+      std::size_t count;
+      int zeros_needed;
+      double* scores;
+    };
+    Ctx ctx{this, count, zeros_needed, scores};
+    RunKernelPass(
+        [](void* p) {
+          auto* c = static_cast<Ctx*>(p);
+          auto& e = *c->self;
+          e.zeros_t0_.EvaluateBatch(e.batch_q0_.data(), c->count,
+                                    c->zeros_needed, 0,
+                                    e.batch_tail_.data(), nullptr);
+          e.zeros_t1_.EvaluateBatch(e.batch_q1_.data(), c->count, 0,
+                                    c->zeros_needed - 1, nullptr,
+                                    e.batch_cdf_.data());
+          const double a = e.alpha();
+          for (std::size_t j = 0; j < c->count; ++j) {
+            c->scores[j] =
+                a * e.batch_tail_[j] + (1.0 - a) * e.batch_cdf_[j];
+          }
+        },
+        &ctx);
     CountIncrementalEvaluations(count);
   }
 
@@ -569,14 +619,20 @@ class IncrementalBucketBvEvaluator final : public IncrementalJqEvaluator {
   }
 
   /// Batched remove scan: members whose removal keeps the committed grid
-  /// are scored by `DeconvolvePositiveMass` — one fused deconvolve + mass
-  /// pass over the committed distribution, no scratch copy. Removing the
-  /// grid-defining (max log-odds) member falls back to the scalar path,
-  /// which owns the rebuild and its full-evaluation accounting.
+  /// are staged and scored through the fused `DeconvolvePositiveMassBatch`
+  /// kernel — the whole scan's backward-recurrence folds in one dispatched
+  /// call (scalar reference, AVX2 or AVX-512), with the row buffer staged
+  /// once for the batch instead of per member. Removing the grid-defining
+  /// (max log-odds) member falls back to the scalar path, which owns the
+  /// rebuild and its full-evaluation accounting. Scores and evaluation
+  /// counters are bit-identical to the per-member scalar loop.
   void ScoreRemoveBatch(const std::size_t* member_positions,
                         std::size_t count, double* scores) override {
     Rollback();
     if (count == 0) return;
+    batch_bs_.clear();
+    batch_qs_.clear();
+    batch_slot_.clear();
     std::size_t fast_or_special = 0;
     for (std::size_t j = 0; j < count; ++j) {
       const std::size_t pos = member_positions[j];
@@ -599,15 +655,16 @@ class IncrementalBucketBvEvaluator final : public IncrementalJqEvaluator {
         continue;
       }
       if (dist_valid_ && upper == grid_upper_) {
-        scores[j] = std::min(
-            dist_.DeconvolvePositiveMass(bucket_[pos], norm_q_[pos]), 1.0);
+        batch_bs_.push_back(bucket_[pos]);
+        batch_qs_.push_back(norm_q_[pos]);
+        batch_slot_.push_back(j);
         ++fast_or_special;
         continue;
       }
       scores[j] = ScoreRemove(pos);
       Rollback();
     }
-    CountIncrementalEvaluations(fast_or_special);
+    FlushDeconvolveBatch(scores, fast_or_special);
   }
 
   /// Batched swap scan: the outgoing member is deconvolved *once* into a
@@ -728,18 +785,62 @@ class IncrementalBucketBvEvaluator final : public IncrementalJqEvaluator {
     return false;
   }
 
-  /// Shared tail of the batched scans: runs the fused convolve kernel for
-  /// the staged candidates against `dist` and books the fast/special
-  /// scorings as one bulk counter update.
+  /// Shared tail of the batched add/swap scans: runs the fused convolve
+  /// kernel for the staged candidates against `dist` and books the
+  /// fast/special scorings as one bulk counter update. The kernel pass —
+  /// the staged-candidate sweep plus its result scatter — goes through
+  /// `RunKernelPass`, so a bound `MoveScanSink` can coalesce it with
+  /// passes from concurrently queued requests (see objective.h; results
+  /// are identical either way, the pass is a pure function of its staged
+  /// inputs).
   void FlushConvolveBatch(const BucketKeyDistribution& dist, double* scores,
                           std::size_t fast_or_special) {
     if (!batch_bs_.empty()) {
-      batch_out_.resize(batch_bs_.size());
-      dist.ConvolvePositiveMassBatch(batch_bs_.data(), batch_qs_.data(),
-                                     batch_bs_.size(), batch_out_.data());
-      for (std::size_t m = 0; m < batch_bs_.size(); ++m) {
-        scores[batch_slot_[m]] = std::min(batch_out_[m], 1.0);
-      }
+      struct Ctx {
+        IncrementalBucketBvEvaluator* self;
+        const BucketKeyDistribution* dist;
+        double* scores;
+      };
+      Ctx ctx{this, &dist, scores};
+      RunKernelPass(
+          [](void* p) {
+            auto* c = static_cast<Ctx*>(p);
+            auto& e = *c->self;
+            e.batch_out_.resize(e.batch_bs_.size());
+            c->dist->ConvolvePositiveMassBatch(
+                e.batch_bs_.data(), e.batch_qs_.data(), e.batch_bs_.size(),
+                e.batch_out_.data());
+            for (std::size_t m = 0; m < e.batch_bs_.size(); ++m) {
+              c->scores[e.batch_slot_[m]] = std::min(e.batch_out_[m], 1.0);
+            }
+          },
+          &ctx);
+    }
+    CountIncrementalEvaluations(fast_or_special);
+  }
+
+  /// Shared tail of the batched remove scan: same structure, with the
+  /// fused deconvolve kernel against the committed distribution.
+  void FlushDeconvolveBatch(double* scores, std::size_t fast_or_special) {
+    if (!batch_bs_.empty()) {
+      struct Ctx {
+        IncrementalBucketBvEvaluator* self;
+        double* scores;
+      };
+      Ctx ctx{this, scores};
+      RunKernelPass(
+          [](void* p) {
+            auto* c = static_cast<Ctx*>(p);
+            auto& e = *c->self;
+            e.batch_out_.resize(e.batch_bs_.size());
+            e.dist_.DeconvolvePositiveMassBatch(
+                e.batch_bs_.data(), e.batch_qs_.data(), e.batch_bs_.size(),
+                e.batch_out_.data());
+            for (std::size_t m = 0; m < e.batch_bs_.size(); ++m) {
+              c->scores[e.batch_slot_[m]] = std::min(e.batch_out_[m], 1.0);
+            }
+          },
+          &ctx);
     }
     CountIncrementalEvaluations(fast_or_special);
   }
@@ -901,12 +1002,28 @@ class IncrementalBucketBvEvaluator final : public IncrementalJqEvaluator {
 
 }  // namespace
 
+// ------------------------------------------------------------- scan sink
+
+namespace {
+thread_local MoveScanSink* t_scan_sink = nullptr;
+}  // namespace
+
+MoveScanSink* CurrentThreadScanSink() { return t_scan_sink; }
+
+ScopedThreadScanSink::ScopedThreadScanSink(MoveScanSink* sink)
+    : previous_(t_scan_sink) {
+  t_scan_sink = sink;
+}
+
+ScopedThreadScanSink::~ScopedThreadScanSink() { t_scan_sink = previous_; }
+
 // --------------------------------------------------------------- base class
 
 IncrementalJqEvaluator::IncrementalJqEvaluator(const JqObjective* objective,
                                                double alpha)
     : objective_(objective),
       alpha_(alpha),
+      scan_sink_(objective->scan_sink()),
       current_jq_(objective->EmptyJq(alpha)) {}
 
 double IncrementalJqEvaluator::ScoreAdd(const Worker& worker) {

@@ -223,26 +223,30 @@ void BucketKeyDistribution::ConvolvePositiveMassBatch(const std::int64_t* bs,
 
 double BucketKeyDistribution::DeconvolvePositiveMass(std::int64_t b,
                                                      double q) const {
-  // Fused {copy; Deconvolve(b, q); PositiveMass()}: the same backward
-  // recurrence over a reused row (no full-distribution copy), then the
-  // same ascending mass sweep — bit-identical to the scalar pair.
-  JURY_CHECK_GE(b, 0);
-  if (b == 0) return PositiveMass();
-  JURY_CHECK_GE(span_, b);
-  JURY_CHECK(q >= 0.5 && q <= 1.0)
-      << "DeconvolvePositiveMass requires a normalized quality, got " << q;
-  const std::int64_t ns = span_ - b;
-  static thread_local std::vector<double> row;
-  row.resize(static_cast<std::size_t>(2 * ns + 1));
-  for (std::int64_t j = ns; j >= -ns; --j) {
-    const double above =
-        (j + 2 * b <= ns) ? row[static_cast<std::size_t>(j + 2 * b + ns)]
-                          : 0.0;
-    row[static_cast<std::size_t>(j + ns)] =
-        (pmf_[static_cast<std::size_t>(j + b + span_)] - (1.0 - q) * above) /
-        q;
+  double out = 0.0;
+  DeconvolvePositiveMassBatch(&b, &q, 1, &out);
+  return out;
+}
+
+void BucketKeyDistribution::DeconvolvePositiveMassBatch(const std::int64_t* bs,
+                                                        const double* qs,
+                                                        std::size_t count,
+                                                        double* out) const {
+  // Fused {copy; Deconvolve(b, q); PositiveMass()} per candidate: the same
+  // backward recurrence over one reused row (no full-distribution copy),
+  // then the same canonical mass sweep — bit-identical to the scalar pair
+  // at every dispatch level (scalar reference, AVX2, AVX-512; see the
+  // `deconvolve_mass` contract in util/simd_dispatch.h).
+  for (std::size_t j = 0; j < count; ++j) {
+    JURY_CHECK_GE(bs[j], 0);
+    JURY_CHECK_GE(span_, bs[j]);
+    if (bs[j] > 0) {
+      JURY_CHECK(qs[j] >= 0.5 && qs[j] <= 1.0)
+          << "DeconvolvePositiveMass requires a normalized quality, got "
+          << qs[j];
+    }
   }
-  return simd::internal::CommittedMass(row.data(), ns);
+  simd::Kernels().deconvolve_mass(pmf_.data(), span_, bs, qs, count, out);
 }
 
 double BucketErrorBound(int n, double delta) {

@@ -161,7 +161,22 @@ class BucketKeyDistribution {
   /// bit-for-bit, in one backward-recurrence pass over a reused row plus
   /// the ascending mass sweep — where the scalar pair pays a full
   /// distribution copy first. Same preconditions as `Deconvolve`.
+  /// Runs on the runtime-dispatched `deconvolve_mass` kernel
+  /// (util/simd_dispatch.h) with a single-candidate batch.
   double DeconvolvePositiveMass(std::int64_t b, double q) const;
+
+  /// \brief Batched remove-candidate evaluation — the remove/swap fold of
+  /// the unified move scan for the BV/bucket backend.
+  ///
+  /// `out[j] = DeconvolvePositiveMass(bs[j], qs[j])` for each previously
+  /// folded candidate, bit for bit, in one dispatched kernel call: the
+  /// row buffer and the b == 0 committed mass are staged once for the
+  /// whole batch, and the vector levels run the backward recurrence in
+  /// descending lane-width blocks (see the `deconvolve_mass` contract).
+  /// Preconditions per candidate: `0 <= bs[j] <= span()` and, for
+  /// `bs[j] >= 1`, `qs[j] in [0.5, 1]`.
+  void DeconvolvePositiveMassBatch(const std::int64_t* bs, const double* qs,
+                                   std::size_t count, double* out) const;
 
   /// Current half-width of the key support (sum of folded buckets).
   std::int64_t span() const { return span_; }

@@ -107,6 +107,69 @@ void ConvolveMassAvx2(const double* f, std::int64_t span,
 }
 
 // ---------------------------------------------------------------------------
+// deconvolve_mass: per candidate, the backward recurrence of
+// `DeconvolveMassOneRow` in descending 4-lane blocks — legal whenever
+// 2b >= 4, because an entry only depends on the entry 2b above it, so a
+// block never reads its own writes; each lane runs the identical
+// sub/mul/div sequence the scalar body runs on that element. The mass
+// sweep is the canonical eight chains as two 4-lane accumulators (the
+// structure of `ConvolveMassOneAvx2`, minus the convolution terms).
+// Narrower buckets (b == 1) fall back to the shared scalar body.
+// ---------------------------------------------------------------------------
+
+/// `internal::CommittedMass` with the eight chains in two 4-lane
+/// accumulators: chain r still takes keys with (key - 1) % 8 == r in
+/// ascending order, and the chains combine in the canonical scalar order.
+double MassSweepAvx2(const double* row, std::int64_t ns) {
+  const double* g1 = row + ns + 1;  // key 1
+  __m256d vacc_a = _mm256_setzero_pd();  // chains 0..3
+  __m256d vacc_b = _mm256_setzero_pd();  // chains 4..7
+  std::int64_t k = 0;
+  for (; k + 8 <= ns; k += 8) {
+    vacc_a = _mm256_add_pd(vacc_a, _mm256_loadu_pd(g1 + k));
+    vacc_b = _mm256_add_pd(vacc_b, _mm256_loadu_pd(g1 + k + 4));
+  }
+  alignas(32) double chains[internal::kMassChains];
+  _mm256_store_pd(chains, vacc_a);
+  _mm256_store_pd(chains + 4, vacc_b);
+  for (; k < ns; ++k) chains[k & 7] += g1[k];
+  return 0.5 * row[static_cast<std::size_t>(ns)] +
+         internal::CombineMassChains(chains);
+}
+
+/// Vector body of `DeconvolveMassOneRow`: same row geometry (driver-zeroed
+/// top-2b pad), descending 4-lane blocks when 2b >= 4.
+double DeconvolveMassOneAvx2(const double* f, std::int64_t s, std::int64_t b,
+                             double q, double* row) {
+  const double omq = 1.0 - q;
+  const std::int64_t ns = s - b;
+  std::int64_t idx = 2 * ns;
+  if (2 * b >= static_cast<std::int64_t>(kLanes)) {
+    const __m256d vq = _mm256_set1_pd(q);
+    const __m256d vomq = _mm256_set1_pd(omq);
+    for (; idx + 1 >= static_cast<std::int64_t>(kLanes); idx -= kLanes) {
+      const std::int64_t lo = idx - static_cast<std::int64_t>(kLanes) + 1;
+      const __m256d vf = _mm256_loadu_pd(f + lo + 2 * b);
+      const __m256d vr = _mm256_loadu_pd(row + lo + 2 * b);
+      _mm256_storeu_pd(
+          row + lo,
+          _mm256_div_pd(_mm256_sub_pd(vf, _mm256_mul_pd(vomq, vr)), vq));
+    }
+  }
+  for (; idx >= 0; --idx) {
+    row[idx] = (f[idx + 2 * b] - omq * row[idx + 2 * b]) / q;
+  }
+  return MassSweepAvx2(row, ns);
+}
+
+void DeconvolveMassAvx2(const double* f, std::int64_t span,
+                        const std::int64_t* bs, const double* qs,
+                        std::size_t count, double* out) {
+  internal::DeconvolveMassBatch(f, span, bs, qs, count, out,
+                                &DeconvolveMassOneAvx2);
+}
+
+// ---------------------------------------------------------------------------
 // remove_query: candidates grouped by deconvolution regime (forward for
 // p < 1/2, backward for p >= 1/2), each group in 4-lane blocks. The
 // recurrence is vectorized *across candidates* (lane l carries its own
@@ -248,6 +311,7 @@ constexpr KernelTable kAvx2Table{
     &FusedStepAvx2,
     &ConvolveMassAvx2,
     &RemoveQueryAvx2,
+    &DeconvolveMassAvx2,
 };
 
 }  // namespace

@@ -1,0 +1,328 @@
+// AVX-512F variants of the dispatched JQ kernels (see simd_dispatch.h).
+// This is the only translation unit built with -mavx512f (CMake gates it
+// behind JURYOPT_ENABLE_AVX512 + a compiler check, defining
+// JURYOPT_HAVE_AVX512); the table below is reachable only after a runtime
+// cpuid + xgetbv check (AVX512F advertised *and* the OS saves the
+// opmask/ZMM state).
+//
+// Bit-identity with the scalar table is a hard contract: every candidate's
+// arithmetic runs the same IEEE operations in the same order — the vector
+// paths only spread *independent candidates or chains* across the 8 lanes
+// (their accumulation chains never mix), and no FMA contraction can occur
+// (the kernels use explicit mul/add intrinsics). The canonical 8-chain
+// mass accumulation (simd_kernels_inl.h) was designed for this tier: the
+// eight scalar chains are exactly the eight lanes of one 512-bit
+// accumulator, so where the AVX2 kernels split them across two registers,
+// here they collapse into one — same chains, same order, same bits.
+// Candidates a vector path does not cover — b == 0 keys, degenerate p in
+// {0, 1}, sub-block tails — run the shared scalar bodies from
+// simd_kernels_inl.h.
+
+#if defined(JURYOPT_HAVE_AVX512)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/simd_dispatch.h"
+#include "util/simd_kernels_inl.h"
+
+namespace jury::simd {
+namespace {
+
+constexpr std::size_t kLanes = 8;
+
+void FusedStepAvx512(double a, double b, const double* p, double* acc,
+                     std::size_t n) {
+  const __m512d va = _mm512_set1_pd(a);
+  const __m512d vb = _mm512_set1_pd(b);
+  const __m512d ones = _mm512_set1_pd(1.0);
+  std::size_t j = 0;
+  for (; j + kLanes <= n; j += kLanes) {
+    const __m512d pj = _mm512_loadu_pd(p + j);
+    // a*(1-p) + b*p with the scalar kernel's exact operation order.
+    const __m512d term =
+        _mm512_add_pd(_mm512_mul_pd(va, _mm512_sub_pd(ones, pj)),
+                      _mm512_mul_pd(vb, pj));
+    _mm512_storeu_pd(acc + j,
+                     _mm512_add_pd(_mm512_loadu_pd(acc + j), term));
+  }
+  for (; j < n; ++j) {
+    acc[j] += a * (1.0 - p[j]) + b * p[j];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// convolve_mass: per candidate, the canonical 8-chain interleaved mass
+// with all eight chains in the eight lanes of one accumulator — two
+// contiguous unaligned loads per 8 keys. Batch staging (zero-padded
+// scratch, b == 0 / over-cap routing) is the shared driver from
+// simd_kernels_inl.h, so only the per-candidate body differs.
+// ---------------------------------------------------------------------------
+
+/// Vector body of `ConvolveMassOnePadded`: the canonical eight chains as
+/// one 8-lane accumulator, 8 keys per step.
+double ConvolveMassOneAvx512(const double* center, std::int64_t s,
+                             std::int64_t b, double q) {
+  const double omq = 1.0 - q;
+  const std::int64_t n = s + b;  // keys 1..n carry mass
+  const double* lo = center + 1 - b;
+  const double* hi = center + 1 + b;
+  const __m512d vq = _mm512_set1_pd(q);
+  const __m512d vomq = _mm512_set1_pd(omq);
+  __m512d vacc = _mm512_setzero_pd();  // chains 0..7
+  std::int64_t k = 0;
+  const auto step = [&](std::int64_t at) {
+    const __m512d t1 = _mm512_mul_pd(_mm512_loadu_pd(lo + at), vq);
+    const __m512d t2 = _mm512_mul_pd(_mm512_loadu_pd(hi + at), vomq);
+    vacc = _mm512_add_pd(vacc, _mm512_add_pd(t1, t2));
+  };
+  // Two canonical 8-key steps per iteration: chain k&7 assignments are
+  // unchanged, the unroll only widens the scheduling window.
+  for (; k + 16 <= n; k += 16) {
+    step(k);
+    step(k + 8);
+  }
+  for (; k + 8 <= n; k += 8) {
+    step(k);
+  }
+  alignas(64) double chains[internal::kMassChains];
+  _mm512_store_pd(chains, vacc);
+  for (; k < n; ++k) {
+    chains[k & 7] += lo[k] * q + hi[k] * omq;
+  }
+  const double g0 = center[-b] * q + center[b] * omq;
+  return 0.5 * g0 + internal::CombineMassChains(chains);
+}
+
+void ConvolveMassAvx512(const double* f, std::int64_t span,
+                        const std::int64_t* bs, const double* qs,
+                        std::size_t count, double* out) {
+  internal::ConvolveMassBatch(f, span, bs, qs, count, out,
+                              &ConvolveMassOneAvx512);
+}
+
+// ---------------------------------------------------------------------------
+// deconvolve_mass: the backward recurrence in descending 8-lane blocks —
+// legal whenever 2b >= 8 (an entry only depends on the entry 2b above it,
+// so a block never reads its own writes); narrower buckets run the shared
+// scalar body. Mass sweep: the eight chains as one accumulator.
+// ---------------------------------------------------------------------------
+
+/// `internal::CommittedMass` with the eight chains in one 8-lane
+/// accumulator; chains combine in the canonical scalar order.
+double MassSweepAvx512(const double* row, std::int64_t ns) {
+  const double* g1 = row + ns + 1;  // key 1
+  __m512d vacc = _mm512_setzero_pd();
+  std::int64_t k = 0;
+  for (; k + 8 <= ns; k += 8) {
+    vacc = _mm512_add_pd(vacc, _mm512_loadu_pd(g1 + k));
+  }
+  alignas(64) double chains[internal::kMassChains];
+  _mm512_store_pd(chains, vacc);
+  for (; k < ns; ++k) chains[k & 7] += g1[k];
+  return 0.5 * row[static_cast<std::size_t>(ns)] +
+         internal::CombineMassChains(chains);
+}
+
+/// Vector body of `DeconvolveMassOneRow`: same row geometry (driver-zeroed
+/// top-2b pad), descending 8-lane blocks when 2b >= 8.
+double DeconvolveMassOneAvx512(const double* f, std::int64_t s,
+                               std::int64_t b, double q, double* row) {
+  const double omq = 1.0 - q;
+  const std::int64_t ns = s - b;
+  std::int64_t idx = 2 * ns;
+  if (2 * b >= static_cast<std::int64_t>(kLanes)) {
+    const __m512d vq = _mm512_set1_pd(q);
+    const __m512d vomq = _mm512_set1_pd(omq);
+    for (; idx + 1 >= static_cast<std::int64_t>(kLanes); idx -= kLanes) {
+      const std::int64_t lo = idx - static_cast<std::int64_t>(kLanes) + 1;
+      const __m512d vf = _mm512_loadu_pd(f + lo + 2 * b);
+      const __m512d vr = _mm512_loadu_pd(row + lo + 2 * b);
+      _mm512_storeu_pd(
+          row + lo,
+          _mm512_div_pd(_mm512_sub_pd(vf, _mm512_mul_pd(vomq, vr)), vq));
+    }
+  } else if (2 * b >= 4) {
+    // 4-lane blocks still fit between dependences: run them with 256-bit
+    // ops (VL subset of the F encoding is not needed — these are plain
+    // AVX instructions, legal in this TU).
+    const __m256d vq = _mm256_set1_pd(q);
+    const __m256d vomq = _mm256_set1_pd(omq);
+    for (; idx + 1 >= 4; idx -= 4) {
+      const std::int64_t lo = idx - 3;
+      const __m256d vf = _mm256_loadu_pd(f + lo + 2 * b);
+      const __m256d vr = _mm256_loadu_pd(row + lo + 2 * b);
+      _mm256_storeu_pd(
+          row + lo,
+          _mm256_div_pd(_mm256_sub_pd(vf, _mm256_mul_pd(vomq, vr)), vq));
+    }
+  }
+  for (; idx >= 0; --idx) {
+    row[idx] = (f[idx + 2 * b] - omq * row[idx + 2 * b]) / q;
+  }
+  return MassSweepAvx512(row, ns);
+}
+
+void DeconvolveMassAvx512(const double* f, std::int64_t span,
+                          const std::int64_t* bs, const double* qs,
+                          std::size_t count, double* out) {
+  internal::DeconvolveMassBatch(f, span, bs, qs, count, out,
+                                &DeconvolveMassOneAvx512);
+}
+
+// ---------------------------------------------------------------------------
+// remove_query: candidates grouped by deconvolution regime (forward for
+// p < 1/2, backward for p >= 1/2), each group in 8-lane blocks. The
+// recurrence is vectorized *across candidates* (lane l carries its own
+// unclamped recurrence value), with the clamped rows staged in a
+// lane-interleaved buffer G[k * 8 + l]; the tail/cdf partial sums then run
+// over G in the scalar summation orders (descending / ascending in k), one
+// independent chain per lane.
+// ---------------------------------------------------------------------------
+
+struct RemoveScratch {
+  std::vector<double> g;             // lane-interleaved rows, n * 8
+  std::vector<std::size_t> forward;  // candidate slots, 0 < p < 1/2
+  std::vector<std::size_t> backward; // candidate slots, 1/2 <= p < 1
+};
+
+RemoveScratch& Scratch() {
+  static thread_local RemoveScratch scratch;
+  return scratch;
+}
+
+/// One 8-lane block: `slots` are the candidate indices, `pad` lanes at the
+/// end replicate a safe probability and have their outputs discarded.
+void RemoveQueryBlockAvx512(const double* f, int n, const double* p,
+                            const std::size_t* slots, std::size_t active,
+                            bool forward_regime, int tail_k, int cdf_k,
+                            double* tails, double* cdfs, double* g) {
+  const std::size_t entries = static_cast<std::size_t>(n);
+  alignas(64) double lane_p[kLanes];
+  const double pad = forward_regime ? 0.25 : 0.75;  // div-safe, discarded
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    lane_p[l] = l < active ? p[slots[l]] : pad;
+  }
+  const __m512d vp = _mm512_load_pd(lane_p);
+  const __m512d ones = _mm512_set1_pd(1.0);
+  const __m512d zeros = _mm512_setzero_pd();
+  const __m512d vomp = _mm512_sub_pd(ones, vp);
+
+  if (forward_regime) {
+    // carry = (f[k] - p * carry) / (1 - p), stored clamped — RemoveTrial's
+    // forward recurrence, lane-parallel.
+    __m512d carry = zeros;
+    for (std::size_t k = 0; k < entries; ++k) {
+      carry = _mm512_div_pd(
+          _mm512_sub_pd(_mm512_set1_pd(f[k]), _mm512_mul_pd(vp, carry)),
+          vomp);
+      _mm512_storeu_pd(
+          g + k * kLanes,
+          _mm512_min_pd(_mm512_max_pd(carry, zeros), ones));
+    }
+  } else {
+    // carry = (f[k] - (1 - p) * carry) / p, k descending, row k-1 stored.
+    __m512d carry = zeros;
+    for (std::size_t k = entries; k > 0; --k) {
+      carry = _mm512_div_pd(
+          _mm512_sub_pd(_mm512_set1_pd(f[k]), _mm512_mul_pd(vomp, carry)),
+          vp);
+      _mm512_storeu_pd(
+          g + (k - 1) * kLanes,
+          _mm512_min_pd(_mm512_max_pd(carry, zeros), ones));
+    }
+  }
+
+  alignas(64) double lane_out[kLanes];
+  if (tails != nullptr) {
+    if (tail_k <= 0) {
+      for (std::size_t l = 0; l < active; ++l) tails[slots[l]] = 1.0;
+    } else if (tail_k > n - 1) {
+      for (std::size_t l = 0; l < active; ++l) tails[slots[l]] = 0.0;
+    } else {
+      __m512d acc = zeros;
+      for (std::size_t k = entries; k > static_cast<std::size_t>(tail_k);
+           --k) {
+        acc = _mm512_add_pd(acc, _mm512_loadu_pd(g + (k - 1) * kLanes));
+      }
+      acc = _mm512_min_pd(acc, ones);
+      _mm512_store_pd(lane_out, acc);
+      for (std::size_t l = 0; l < active; ++l) tails[slots[l]] = lane_out[l];
+    }
+  }
+  if (cdfs != nullptr) {
+    if (cdf_k < 0) {
+      for (std::size_t l = 0; l < active; ++l) cdfs[slots[l]] = 0.0;
+    } else {
+      const std::size_t kk =
+          std::min(static_cast<std::size_t>(cdf_k), entries - 1);
+      __m512d acc = zeros;
+      for (std::size_t k = 0; k <= kk; ++k) {
+        acc = _mm512_add_pd(acc, _mm512_loadu_pd(g + k * kLanes));
+      }
+      acc = _mm512_min_pd(acc, ones);
+      _mm512_store_pd(lane_out, acc);
+      for (std::size_t l = 0; l < active; ++l) cdfs[slots[l]] = lane_out[l];
+    }
+  }
+}
+
+void RemoveQueryAvx512(const double* pmf, int n, const double* p,
+                       std::size_t count, int tail_k, int cdf_k,
+                       double* tails, double* cdfs) {
+  RemoveScratch& scratch = Scratch();
+  scratch.g.resize(static_cast<std::size_t>(n) * kLanes);
+  scratch.forward.clear();
+  scratch.backward.clear();
+  for (std::size_t j = 0; j < count; ++j) {
+    const double pj = p[j];
+    if (pj == 0.0 || pj == 1.0) {
+      // Exact inverses: one shared scalar row (rare in real pools).
+      static thread_local std::vector<double> row;
+      row.resize(static_cast<std::size_t>(n));
+      internal::RemoveTrialRow(pmf, n, pj, row.data());
+      if (tails != nullptr) {
+        tails[j] = internal::TailFromRow(row.data(),
+                                         static_cast<std::size_t>(n), tail_k);
+      }
+      if (cdfs != nullptr) {
+        cdfs[j] = internal::CdfFromRow(row.data(),
+                                       static_cast<std::size_t>(n), cdf_k);
+      }
+    } else if (pj < 0.5) {
+      scratch.forward.push_back(j);
+    } else {
+      scratch.backward.push_back(j);
+    }
+  }
+  for (int regime = 0; regime < 2; ++regime) {
+    const bool forward = regime == 0;
+    const std::vector<std::size_t>& slots =
+        forward ? scratch.forward : scratch.backward;
+    for (std::size_t begin = 0; begin < slots.size(); begin += kLanes) {
+      const std::size_t active = std::min(kLanes, slots.size() - begin);
+      RemoveQueryBlockAvx512(pmf, n, p, slots.data() + begin, active, forward,
+                             tail_k, cdf_k, tails, cdfs, scratch.g.data());
+    }
+  }
+}
+
+constexpr KernelTable kAvx512Table{
+    "avx512",
+    &FusedStepAvx512,
+    &ConvolveMassAvx512,
+    &RemoveQueryAvx512,
+    &DeconvolveMassAvx512,
+};
+
+}  // namespace
+
+const KernelTable& Avx512Table() { return kAvx512Table; }
+
+}  // namespace jury::simd
+
+#endif  // JURYOPT_HAVE_AVX512

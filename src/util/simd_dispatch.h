@@ -22,14 +22,24 @@ namespace jury::simd {
 ///  * `kAvx2` — 4-wide AVX2 variants, compiled only when the toolchain
 ///    supports `-mavx2` (CMake option `JURYOPT_ENABLE_AVX2`) and selected
 ///    only when cpuid reports AVX2 at runtime.
+///  * `kAvx512` — 8-wide AVX-512F variants, compiled only when the
+///    toolchain supports `-mavx512f` (CMake option
+///    `JURYOPT_ENABLE_AVX512`) and selected only when cpuid reports
+///    AVX512F *and* xgetbv confirms the OS saves the opmask/ZMM register
+///    state. The canonical 8-chain mass accumulation order (see
+///    simd_kernels_inl.h) was designed for exactly this tier: the eight
+///    scalar chains become the eight lanes of one 512-bit accumulator.
 ///
-/// Selection: the `JURYOPT_SIMD` environment variable (`scalar` | `avx2`)
-/// when set (an unavailable request falls back to scalar), otherwise the
-/// best level the CPU supports. The choice is made once, on first use;
-/// `SetLevel` rebinds it for tests and benchmarks.
+/// Selection: the `JURYOPT_SIMD` environment variable (`scalar` | `avx2` |
+/// `avx512`, case-insensitive) when set — an unavailable request falls
+/// back to scalar, an unrecognized token logs one warning and falls back
+/// to autodetection — otherwise the best level the CPU supports. The
+/// choice is made once, on first use; `SetLevel` rebinds it for tests and
+/// benchmarks.
 enum class Level : int {
   kScalar = 0,
   kAvx2 = 1,
+  kAvx512 = 2,
 };
 
 /// \brief The dispatched kernel table. All function pointers are non-null.
@@ -61,6 +71,20 @@ enum class Level : int {
 ///    p >= 1/2, exact inverses for p in {0, 1}), the same per-entry
 ///    clamps, and the same cumulative summation orders (descending for
 ///    tails, ascending for cdfs, final min(., 1)).
+///  * `deconvolve_mass(f, span, bs, qs, count, out)` —
+///    the remove-side twin of `convolve_mass`: for each candidate
+///    `(bs[j], qs[j])` with `0 <= bs[j] <= span` and, for `bs[j] >= 1`,
+///    `qs[j] in [0.5, 1]`, `out[j]` = the positive mass of the dense key
+///    pmf `f` (2 * span + 1 entries, indexed key + span) with that
+///    worker deconvolved out — exactly `{copy; copy.Deconvolve(b, q);
+///    copy.PositiveMass()}` on a `BucketKeyDistribution`: the same
+///    backward recurrence `g[j] = (f[j+b] - (1-q) g[j+2b]) / q` from the
+///    top key down, then the canonical interleaved mass sweep over the
+///    shrunk span. `b == 0` candidates return the committed mass
+///    verbatim. The vector paths spread the recurrence across descending
+///    lane-width blocks — legal because entries 2b apart are the only
+///    dependence, so a block never reads its own writes once
+///    2b >= lane width; narrower buckets run the shared scalar body.
 struct KernelTable {
   const char* name;
   void (*fused_step)(double a, double b, const double* p, double* acc,
@@ -71,6 +95,9 @@ struct KernelTable {
   void (*remove_query)(const double* pmf, int n, const double* p,
                        std::size_t count, int tail_k, int cdf_k,
                        double* tails, double* cdfs);
+  void (*deconvolve_mass)(const double* f, std::int64_t span,
+                          const std::int64_t* bs, const double* qs,
+                          std::size_t count, double* out);
 };
 
 /// The active kernel table (selected on first use; see `Level`).
@@ -81,6 +108,15 @@ Level ActiveLevel();
 
 /// True when the AVX2 kernels are compiled in *and* the CPU reports AVX2.
 bool Avx2Available();
+
+/// True when the AVX-512 kernels are compiled in *and* the CPU reports
+/// AVX512F *and* the OS saves the opmask/ZMM state (xgetbv).
+bool Avx512Available();
+
+/// Parses a `JURYOPT_SIMD` token (case-insensitive `scalar` | `avx2` |
+/// `avx512`) into a level. Returns false on an unrecognized token, leaving
+/// `*out` untouched. Exposed for tests; availability is not checked here.
+bool ParseLevel(const char* token, Level* out);
 
 /// Rebinds the active table. Returns false (leaving the scalar table
 /// active) when `level` is unavailable on this build/CPU. Not synchronized

@@ -155,6 +155,65 @@ inline void ConvolveMassBatch(const double* f, std::int64_t span,
   }
 }
 
+/// One candidate of `deconvolve_mass` over a zero-padded row buffer:
+/// removes the worker `(b >= 1, q in [0.5, 1])` from the committed key pmf
+/// `f` (2s + 1 entries) by the backward recurrence of
+/// `BucketKeyDistribution::Deconvolve` and returns the positive mass of
+/// the shrunk (span s - b) result — `{copy; copy.Deconvolve(b, q);
+/// copy.PositiveMass()}` bit for bit.
+///
+/// `row` must hold 2s + 1 entries with the top 2b zeroed by the driver.
+/// In 0-based indices (idx = j + ns, ns = s - b) the recurrence reads
+///   row[idx] = (f[idx + 2b] - (1 - q) * row[idx + 2b]) / q
+/// descending from idx = 2ns: the `above` term of the bounds-checked
+/// original lands in the zeroed pad whenever idx + 2b > 2ns, and
+/// subtracting `(1 - q) * 0.0` is the exact arithmetic the branch's
+/// `above = 0.0` produces — the padding replaces the branch bit-neutrally.
+/// Entries exactly 2b apart are the row's only dependence, which is what
+/// lets the vector bodies run descending lane-width blocks (legal once
+/// 2b >= lane width) over the very same element arithmetic.
+inline double DeconvolveMassOneRow(const double* f, std::int64_t s,
+                                   std::int64_t b, double q, double* row) {
+  const double omq = 1.0 - q;
+  const std::int64_t ns = s - b;
+  for (std::int64_t idx = 2 * ns; idx >= 0; --idx) {
+    row[idx] = (f[idx + 2 * b] - omq * row[idx + 2 * b]) / q;
+  }
+  return CommittedMass(row, ns);
+}
+
+/// Shared batch driver for the `deconvolve_mass` kernels: stages one
+/// thread-local row buffer of fixed length 2 span + 1, zeroes each
+/// candidate's top-2b pad, resolves b == 0 candidates to the
+/// lazily-computed committed mass (Deconvolve(0, q) is an exact no-op),
+/// and routes the rest through `body(f, s, b, q, row)` — the only piece
+/// that differs between dispatch levels. Candidates must satisfy
+/// `0 <= bs[j] <= span` (checked by the `BucketKeyDistribution` wrappers).
+template <typename PerCandidate>
+inline void DeconvolveMassBatch(const double* f, std::int64_t span,
+                                const std::int64_t* bs, const double* qs,
+                                std::size_t count, double* out,
+                                const PerCandidate& body) {
+  static thread_local std::vector<double> row;
+  row.resize(static_cast<std::size_t>(2 * span + 1));
+  bool have_committed = false;
+  double committed_mass = 0.0;  // lazy: only b == 0 candidates need it
+  for (std::size_t j = 0; j < count; ++j) {
+    const std::int64_t b = bs[j];
+    if (b == 0) {
+      if (!have_committed) {
+        committed_mass = CommittedMass(f, span);
+        have_committed = true;
+      }
+      out[j] = committed_mass;
+      continue;
+    }
+    const std::int64_t ns = span - b;
+    std::fill(row.data() + 2 * ns + 1, row.data() + 2 * span + 1, 0.0);
+    out[j] = body(f, span, b, qs[j], row.data());
+  }
+}
+
 /// Writes the deconvolution of one Bernoulli(p) trial out of the n-trial
 /// Poisson-binomial pmf `f` (n + 1 entries) into `g` (n entries):
 /// `PoissonBinomial::RemoveTrial` verbatim — the same regime split, the

@@ -4,7 +4,9 @@
 // compositions ({copy; AddTrial/RemoveTrial/Convolve; queries}) — bit for
 // bit, across batch sizes 1–257 (odd tails, sub-block remainders) and
 // unaligned buffer offsets. Plus end-to-end solver equality: every solver
-// returns the identical jury under JURYOPT_SIMD=scalar and =avx2.
+// returns the identical jury under JURYOPT_SIMD=scalar, =avx2, and
+// =avx512 (each vector sweep runs at every compiled level and skips the
+// levels this host cannot execute).
 
 #include <cstddef>
 #include <vector>
@@ -57,6 +59,7 @@ constexpr std::size_t kOffsets[] = {0, 1, 3};  // unaligned starts
 TEST(SimdDispatchTest, LevelSelectionAndNames) {
   EXPECT_STREQ(simd::LevelName(simd::Level::kScalar), "scalar");
   EXPECT_STREQ(simd::LevelName(simd::Level::kAvx2), "avx2");
+  EXPECT_STREQ(simd::LevelName(simd::Level::kAvx512), "avx512");
   ASSERT_TRUE(simd::SetLevel(simd::Level::kScalar));
   EXPECT_EQ(simd::ActiveLevel(), simd::Level::kScalar);
   EXPECT_STREQ(simd::Kernels().name, "scalar");
@@ -69,6 +72,36 @@ TEST(SimdDispatchTest, LevelSelectionAndNames) {
     EXPECT_FALSE(simd::SetLevel(simd::Level::kAvx2));
     EXPECT_EQ(simd::ActiveLevel(), simd::Level::kScalar);
   }
+  if (simd::Avx512Available()) {
+    ASSERT_TRUE(simd::SetLevel(simd::Level::kAvx512));
+    EXPECT_EQ(simd::ActiveLevel(), simd::Level::kAvx512);
+    EXPECT_STREQ(simd::Kernels().name, "avx512");
+    ASSERT_TRUE(simd::SetLevel(simd::Level::kScalar));
+  } else {
+    EXPECT_FALSE(simd::SetLevel(simd::Level::kAvx512));
+    EXPECT_EQ(simd::ActiveLevel(), simd::Level::kScalar);
+  }
+}
+
+TEST(SimdDispatchTest, ParseLevelAcceptsAllSpellings) {
+  simd::Level level = simd::Level::kAvx2;
+  EXPECT_TRUE(simd::ParseLevel("scalar", &level));
+  EXPECT_EQ(level, simd::Level::kScalar);
+  EXPECT_TRUE(simd::ParseLevel("SCALAR", &level));
+  EXPECT_EQ(level, simd::Level::kScalar);
+  EXPECT_TRUE(simd::ParseLevel("avx2", &level));
+  EXPECT_EQ(level, simd::Level::kAvx2);
+  EXPECT_TRUE(simd::ParseLevel("Avx2", &level));
+  EXPECT_EQ(level, simd::Level::kAvx2);
+  EXPECT_TRUE(simd::ParseLevel("avx512", &level));
+  EXPECT_EQ(level, simd::Level::kAvx512);
+  EXPECT_TRUE(simd::ParseLevel("AVX512", &level));
+  EXPECT_EQ(level, simd::Level::kAvx512);
+  level = simd::Level::kAvx2;
+  EXPECT_FALSE(simd::ParseLevel("avx", &level));
+  EXPECT_FALSE(simd::ParseLevel("", &level));
+  EXPECT_FALSE(simd::ParseLevel("sse", &level));
+  EXPECT_EQ(level, simd::Level::kAvx2);  // rejected tokens leave *out alone
 }
 
 // ---------------------------------------------------------------------------
@@ -119,6 +152,11 @@ TEST(SimdDispatchTest, EvaluateBatchMatchesScalarCompositionScalarLevel) {
 TEST(SimdDispatchTest, EvaluateBatchMatchesScalarCompositionAvx2Level) {
   if (!simd::Avx2Available()) GTEST_SKIP() << "AVX2 unavailable";
   EvaluateBatchSweep(simd::Level::kAvx2);
+}
+
+TEST(SimdDispatchTest, EvaluateBatchMatchesScalarCompositionAvx512Level) {
+  if (!simd::Avx512Available()) GTEST_SKIP() << "AVX-512 unavailable";
+  EvaluateBatchSweep(simd::Level::kAvx512);
 }
 
 // ---------------------------------------------------------------------------
@@ -176,6 +214,11 @@ TEST(SimdDispatchTest, RemoveBatchMatchesScalarCompositionScalarLevel) {
 TEST(SimdDispatchTest, RemoveBatchMatchesScalarCompositionAvx2Level) {
   if (!simd::Avx2Available()) GTEST_SKIP() << "AVX2 unavailable";
   RemoveBatchSweep(simd::Level::kAvx2);
+}
+
+TEST(SimdDispatchTest, RemoveBatchMatchesScalarCompositionAvx512Level) {
+  if (!simd::Avx512Available()) GTEST_SKIP() << "AVX-512 unavailable";
+  RemoveBatchSweep(simd::Level::kAvx512);
 }
 
 // ---------------------------------------------------------------------------
@@ -252,14 +295,99 @@ TEST(SimdDispatchTest, BucketBatchMatchesScalarCompositionAvx2Level) {
   BucketBatchSweep(simd::Level::kAvx2);
 }
 
+TEST(SimdDispatchTest, BucketBatchMatchesScalarCompositionAvx512Level) {
+  if (!simd::Avx512Available()) GTEST_SKIP() << "AVX-512 unavailable";
+  BucketBatchSweep(simd::Level::kAvx512);
+}
+
 // ---------------------------------------------------------------------------
-// Cross-level equality: the same batched calls under scalar and AVX2
-// dispatch produce bit-identical outputs (stronger than both matching the
-// composition — it pins the dispatch seam itself).
+// BucketKeyDistribution::DeconvolvePositiveMassBatch — the batched bucket
+// remove/swap fold (the `deconvolve_mass` kernel).
 // ---------------------------------------------------------------------------
 
-TEST(SimdDispatchTest, LevelsAgreeBitForBitOnRandomBatches) {
+void DeconvolveBatchSweep(simd::Level level) {
+  ScopedSimdLevel scoped(level);
+  ASSERT_TRUE(scoped.ok());
+  Rng rng(90113);
+  // Worker counts chosen so the backward recurrence sees spans from tiny
+  // (vector paths must fall back to the scalar tail) to hundreds of keys.
+  for (int workers : {1, 2, 3, 9, 40}) {
+    BucketKeyDistribution dist;
+    std::vector<std::int64_t> folded_b;
+    std::vector<double> folded_q;
+    for (int i = 0; i < workers; ++i) {
+      // Buckets from 1 (2b below every vector width) through 40 (deep
+      // lane-width blocks), qualities across the whole legal range
+      // including the q = 1 degenerate edge.
+      folded_b.push_back(1 + static_cast<std::int64_t>(rng.UniformInt(40)));
+      folded_q.push_back(i % 7 == 0 ? 1.0 : rng.Uniform(0.5, 0.95));
+      dist.Convolve(folded_b.back(), folded_q.back());
+    }
+    // Candidate pool cycling through the folded workers, with b = 0
+    // no-op candidates interleaved so every batch exercises the shared
+    // committed-mass shortcut.
+    std::vector<std::int64_t> bpool(kMaxSweep + 8);
+    std::vector<double> qpool(kMaxSweep + 8);
+    for (std::size_t j = 0; j < bpool.size(); ++j) {
+      if (j % 5 == 4) {
+        bpool[j] = 0;
+        qpool[j] = rng.Uniform(0.5, 1.0);  // ignored for b == 0
+      } else {
+        const std::size_t i = j % folded_b.size();
+        bpool[j] = folded_b[i];
+        qpool[j] = folded_q[i];
+      }
+    }
+    for (const std::size_t offset : kOffsets) {
+      for (const std::size_t count : SweepSizes()) {
+        std::vector<double> out(count);
+        dist.DeconvolvePositiveMassBatch(bpool.data() + offset,
+                                         qpool.data() + offset, count,
+                                         out.data());
+        for (std::size_t j = 0; j < count; ++j) {
+          BucketKeyDistribution copy = dist;
+          copy.Deconvolve(bpool[offset + j], qpool[offset + j]);
+          ASSERT_EQ(out[j], copy.PositiveMass())
+              << simd::LevelName(level) << " workers=" << workers
+              << " count=" << count << " offset=" << offset << " j=" << j
+              << " b=" << bpool[offset + j] << " q=" << qpool[offset + j];
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdDispatchTest, DeconvolveBatchMatchesScalarCompositionScalarLevel) {
+  DeconvolveBatchSweep(simd::Level::kScalar);
+}
+
+TEST(SimdDispatchTest, DeconvolveBatchMatchesScalarCompositionAvx2Level) {
   if (!simd::Avx2Available()) GTEST_SKIP() << "AVX2 unavailable";
+  DeconvolveBatchSweep(simd::Level::kAvx2);
+}
+
+TEST(SimdDispatchTest, DeconvolveBatchMatchesScalarCompositionAvx512Level) {
+  if (!simd::Avx512Available()) GTEST_SKIP() << "AVX-512 unavailable";
+  DeconvolveBatchSweep(simd::Level::kAvx512);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-level equality: the same batched calls under scalar and each
+// available vector level produce bit-identical outputs (stronger than all
+// matching the composition — it pins the dispatch seam itself).
+// ---------------------------------------------------------------------------
+
+/// The vector levels this host can actually run (compiled + supported).
+std::vector<simd::Level> AvailableVectorLevels() {
+  std::vector<simd::Level> levels;
+  if (simd::Avx2Available()) levels.push_back(simd::Level::kAvx2);
+  if (simd::Avx512Available()) levels.push_back(simd::Level::kAvx512);
+  return levels;
+}
+
+TEST(SimdDispatchTest, LevelsAgreeBitForBitOnRandomBatches) {
+  const std::vector<simd::Level> vector_levels = AvailableVectorLevels();
+  if (vector_levels.empty()) GTEST_SKIP() << "no vector level available";
   Rng rng(90109);
   std::vector<double> committed;
   for (int i = 0; i < 29; ++i) committed.push_back(rng.Uniform(0.05, 0.95));
@@ -267,31 +395,68 @@ TEST(SimdDispatchTest, LevelsAgreeBitForBitOnRandomBatches) {
   std::vector<double> probs;
   for (int j = 0; j < 153; ++j) probs.push_back(rng.Uniform());
   const int k = 16;
+
+  BucketKeyDistribution dist;
+  std::vector<std::int64_t> folded_b;
+  std::vector<double> folded_q;
+  for (int i = 0; i < 23; ++i) {
+    folded_b.push_back(1 + static_cast<std::int64_t>(rng.UniformInt(30)));
+    folded_q.push_back(rng.Uniform(0.5, 0.95));
+    dist.Convolve(folded_b.back(), folded_q.back());
+  }
+  std::vector<std::int64_t> bs;
+  std::vector<double> qs;
+  for (int j = 0; j < 153; ++j) {
+    const std::size_t i = static_cast<std::size_t>(j) % folded_b.size();
+    bs.push_back(j % 6 == 5 ? 0 : folded_b[i]);
+    qs.push_back(folded_q[i]);
+  }
+
   std::vector<double> tails_s(probs.size()), cdfs_s(probs.size());
-  std::vector<double> tails_v(probs.size()), cdfs_v(probs.size());
+  std::vector<double> deconv_s(bs.size());
   {
     ScopedSimdLevel scalar(simd::Level::kScalar);
     pb.EvaluateBatch(probs.data(), probs.size(), k, k - 1, tails_s.data(),
                      cdfs_s.data());
+    dist.DeconvolvePositiveMassBatch(bs.data(), qs.data(), bs.size(),
+                                     deconv_s.data());
   }
-  {
-    ScopedSimdLevel avx2(simd::Level::kAvx2);
-    pb.EvaluateBatch(probs.data(), probs.size(), k, k - 1, tails_v.data(),
-                     cdfs_v.data());
-  }
-  for (std::size_t j = 0; j < probs.size(); ++j) {
-    ASSERT_EQ(tails_s[j], tails_v[j]) << j;
-    ASSERT_EQ(cdfs_s[j], cdfs_v[j]) << j;
+  for (const simd::Level level : vector_levels) {
+    std::vector<double> tails_v(probs.size()), cdfs_v(probs.size());
+    std::vector<double> deconv_v(bs.size());
+    {
+      ScopedSimdLevel scoped(level);
+      ASSERT_TRUE(scoped.ok());
+      pb.EvaluateBatch(probs.data(), probs.size(), k, k - 1, tails_v.data(),
+                       cdfs_v.data());
+      dist.DeconvolvePositiveMassBatch(bs.data(), qs.data(), bs.size(),
+                                       deconv_v.data());
+    }
+    for (std::size_t j = 0; j < probs.size(); ++j) {
+      ASSERT_EQ(tails_s[j], tails_v[j]) << simd::LevelName(level) << " " << j;
+      ASSERT_EQ(cdfs_s[j], cdfs_v[j]) << simd::LevelName(level) << " " << j;
+    }
+    for (std::size_t j = 0; j < bs.size(); ++j) {
+      ASSERT_EQ(deconv_s[j], deconv_v[j])
+          << simd::LevelName(level) << " deconv " << j;
+    }
   }
 }
 
 // ---------------------------------------------------------------------------
 // End-to-end: solvers return the identical jury at every dispatch level
-// (the JURYOPT_SIMD=scalar vs =avx2 equality run, in-process).
+// (the JURYOPT_SIMD=scalar vs =avx2 vs =avx512 equality run, in-process).
+// Annealing's polish scans drive the batched remove and swap folds —
+// including the bucket deconvolve kernel — so this covers every kernel on
+// every available level, not just the add fold.
 // ---------------------------------------------------------------------------
 
 TEST(SimdDispatchTest, SolversReturnIdenticalJuriesAcrossLevels) {
-  if (!simd::Avx2Available()) GTEST_SKIP() << "AVX2 unavailable";
+  std::vector<simd::Level> levels{simd::Level::kScalar};
+  for (const simd::Level vector_level : AvailableVectorLevels()) {
+    levels.push_back(vector_level);
+  }
+  if (levels.size() < 2) GTEST_SKIP() << "no vector level available";
   Rng rng(90111);
   const BucketBvObjective bucket;
   const MajorityObjective majority;
@@ -304,8 +469,7 @@ TEST(SimdDispatchTest, SolversReturnIdenticalJuriesAcrossLevels) {
 
     JspSolution ref_sa, ref_greedy, ref_mv_greedy, ref_ex, ref_bb;
     bool have_ref = false;
-    for (const simd::Level level :
-         {simd::Level::kScalar, simd::Level::kAvx2}) {
+    for (const simd::Level level : levels) {
       ScopedSimdLevel scoped(level);
       ASSERT_TRUE(scoped.ok());
       Rng sa_rng(seed);
