@@ -17,6 +17,7 @@
 #include "util/rng.h"
 #include "util/scheduler.h"
 #include "util/simd_dispatch.h"
+#include "util/stats_registry.h"
 
 namespace jury::bench {
 
@@ -231,6 +232,11 @@ class ThreadScalingReport {
     doc.Set("plan_context_reuse", reuse_rows_);
     doc.Set("solve_many", solve_many_rows_);
     if (have_scheduler_) doc.Set("scheduler", scheduler_json_);
+    // End-of-run snapshot of the process-wide registry (the same
+    // `{"counters":...,"gauges":...}` document `jury_cli --stats`
+    // prints): cumulative evaluation/fusion/plan counts across every
+    // workload in the binary, for cross-run artifact diffs.
+    doc.Set("process_stats", StatsRegistry::Global().ToJsonValue());
     std::ofstream out(path);
     out << doc.Dump() << "\n";
     std::cout << "Wrote thread-scaling JSON to " << path << "\n";

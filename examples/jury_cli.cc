@@ -14,11 +14,20 @@
 //                    numbers are all budgets)
 //   --seed=S         rng seed for the stochastic solvers (default 20150323)
 //   --json           print each SolveReport as one JSON line
+//   --stats          after the run, print the process-wide stats registry
+//                    (scheduler/eval/fusion/plan counters) as one JSON line
 //   --list-solvers   print the registry names, one per line, and exit
 //
 // workers.csv columns: id,quality,cost  (header optional, '#' comments ok)
 // With no CSV, runs on the paper's Figure-1 pool as a demo.
+//
+// Robustness contract (enforced by scripts/cli_robustness_test.sh):
+// malformed flags, unreadable or truncated files, unknown solver names,
+// and bad numeric values all exit non-zero with an error on stderr —
+// never an abort.
 
+#include <cerrno>
+#include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -30,6 +39,7 @@
 #include "core/budget_table.h"
 #include "model/worker_io.h"
 #include "util/rng.h"
+#include "util/stats_registry.h"
 
 namespace {
 
@@ -39,6 +49,7 @@ struct CliArgs {
   double alpha = 0.5;
   std::uint64_t seed = 20150323;
   bool json = false;
+  bool stats = false;
   bool list_solvers = false;
   std::vector<double> budgets;
   bool alpha_flag_seen = false;
@@ -54,6 +65,33 @@ bool IsNumber(const char* arg, double* value) {
   return end != arg && *end == '\0';
 }
 
+/// Full-string parse of a numeric flag value: trailing garbage
+/// ("--alpha=0.5x") is an error, not a silent truncation.
+bool ParseDoubleFlag(std::string_view flag, std::string_view text,
+                     double* value) {
+  const std::string copy(text);
+  if (!copy.empty() && IsNumber(copy.c_str(), value)) return true;
+  std::cerr << "error: " << flag << " needs a number, got \"" << text
+            << "\"\n";
+  return false;
+}
+
+bool ParseUint64Flag(std::string_view flag, std::string_view text,
+                     std::uint64_t* value) {
+  const std::string copy(text);
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(copy.c_str(), &end, 10);
+  if (!copy.empty() && copy[0] != '-' && end == copy.c_str() + copy.size() &&
+      errno == 0) {
+    *value = parsed;
+    return true;
+  }
+  std::cerr << "error: " << flag << " needs a non-negative integer, got \""
+            << text << "\"\n";
+  return false;
+}
+
 bool ParseArgs(int argc, char** argv, CliArgs* args) {
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -64,11 +102,17 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       args->json = true;
     } else if (arg.rfind("--solver=", 0) == 0) {
       args->solver = std::string(arg.substr(9));
+    } else if (arg == "--stats") {
+      args->stats = true;
     } else if (arg.rfind("--alpha=", 0) == 0) {
-      args->alpha = std::atof(arg.substr(8).data());
+      if (!ParseDoubleFlag("--alpha", arg.substr(8), &args->alpha)) {
+        return false;
+      }
       args->alpha_flag_seen = true;
     } else if (arg.rfind("--seed=", 0) == 0) {
-      args->seed = std::strtoull(arg.substr(7).data(), nullptr, 10);
+      if (!ParseUint64Flag("--seed", arg.substr(7), &args->seed)) {
+        return false;
+      }
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "error: unknown flag " << arg << "\n";
       return false;
@@ -92,13 +136,11 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
   return true;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+/// The run itself, factored out so `main` can append the --stats line on
+/// every exit path.
+int RunCli(const CliArgs& args_in) {
   using namespace jury;
-
-  CliArgs args;
-  if (!ParseArgs(argc, argv, &args)) return 1;
+  CliArgs args = args_in;
 
   if (args.list_solvers) {
     for (const std::string& name : api::RegisteredSolverNames()) {
@@ -197,4 +239,18 @@ int main(int argc, char** argv) {
               << 1e3 * report.wall_seconds << " ms\n";
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args;
+  if (!ParseArgs(argc, argv, &args)) return 1;
+  const int exit_code = RunCli(args);
+  if (args.stats) {
+    // Always the last stdout line, even after a failed run — the
+    // counters (request_errors, parse_errors) are most interesting then.
+    std::cout << jury::StatsRegistry::Global().ToJson() << "\n";
+  }
+  return exit_code;
 }

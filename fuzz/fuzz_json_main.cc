@@ -1,0 +1,13 @@
+// libFuzzer entry point over `Json::Parse` (see fuzz/targets.h). Built
+// only under -DJURYOPT_ENABLE_FUZZERS=ON with a clang toolchain:
+//   ./fuzz_json tests/corpus/json
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz/targets.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  jury::fuzz::FuzzJson(data, size);
+  return 0;
+}

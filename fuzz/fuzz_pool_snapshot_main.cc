@@ -1,0 +1,14 @@
+// libFuzzer entry point over pool-snapshot construction: bytes -> raw
+// IEEE quality/cost columns -> `PoolPlanContext::Plan` (see
+// fuzz/targets.h). Built only under -DJURYOPT_ENABLE_FUZZERS=ON:
+//   ./fuzz_pool_snapshot tests/corpus/pool_snapshot
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz/targets.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  jury::fuzz::FuzzPoolSnapshot(data, size);
+  return 0;
+}

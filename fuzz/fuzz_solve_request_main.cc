@@ -1,0 +1,14 @@
+// libFuzzer entry point over the request surface: bytes ->
+// `SolveRequest::FromJsonText` -> `Validate` -> `Solve` on a tiny pool
+// (see fuzz/targets.h). Built only under -DJURYOPT_ENABLE_FUZZERS=ON:
+//   ./fuzz_solve_request tests/corpus/solve_request
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz/targets.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  jury::fuzz::FuzzSolveRequest(data, size);
+  return 0;
+}

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Checks a stats-registry JSON export against the checked-in manifest.
+
+The stats registry (src/util/stats_registry.h) registers every
+instrument at static initialization, so the *schema* of a `--stats`
+export — which counters and gauges exist, not their values — is a
+process-invariant. This gate pins that schema to
+tests/stats_manifest.json: adding, renaming, or dropping an instrument
+without updating the manifest fails CI, which is exactly the review
+hook the observability surface needs (dashboards and downstream parsers
+key on these names).
+
+Usage:
+    check_stats_schema.py MANIFEST [EXPORT]
+
+MANIFEST is the checked-in schema (tests/stats_manifest.json). EXPORT is
+a file holding the registry JSON (`{"counters":{...},"gauges":{...}}`);
+with no EXPORT, the document is read from stdin, so the canonical CI
+invocation is:
+
+    jury_cli --stats --list-solvers | tail -n 1 | \
+        scripts/check_stats_schema.py tests/stats_manifest.json
+"""
+
+import json
+import sys
+
+
+def fail(message: str) -> None:
+    print(f"check_stats_schema: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(argv: list) -> None:
+    if len(argv) not in (2, 3):
+        fail(f"usage: {argv[0]} MANIFEST [EXPORT]")
+
+    with open(argv[1], encoding="utf-8") as f:
+        manifest = json.load(f)
+    if len(argv) == 3:
+        with open(argv[2], encoding="utf-8") as f:
+            export_text = f.read()
+    else:
+        export_text = sys.stdin.read()
+
+    try:
+        export = json.loads(export_text)
+    except json.JSONDecodeError as error:
+        fail(f"export is not valid JSON: {error}")
+
+    if sorted(export) != ["counters", "gauges"]:
+        fail(
+            "export must have exactly the keys 'counters' and 'gauges', "
+            f"got {sorted(export)}"
+        )
+
+    ok = True
+    for kind in ("counters", "gauges"):
+        expected = set(manifest.get(kind, []))
+        actual = set(export[kind])
+        for name in sorted(actual - expected):
+            print(
+                f"check_stats_schema: unexpected {kind[:-1]} {name!r} — "
+                "add it to tests/stats_manifest.json",
+                file=sys.stderr,
+            )
+            ok = False
+        for name in sorted(expected - actual):
+            print(
+                f"check_stats_schema: missing {kind[:-1]} {name!r} — "
+                "registered instruments must not silently disappear",
+                file=sys.stderr,
+            )
+            ok = False
+        for name, value in export[kind].items():
+            if not isinstance(value, int) or value < 0:
+                print(
+                    f"check_stats_schema: {kind[:-1]} {name!r} has "
+                    f"non-integer value {value!r}",
+                    file=sys.stderr,
+                )
+                ok = False
+
+    if not ok:
+        sys.exit(1)
+    total = sum(len(export[kind]) for kind in ("counters", "gauges"))
+    print(f"check_stats_schema: OK ({total} instruments match the manifest)")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# CLI robustness gate (registered as the `cli_robustness` ctest).
+#
+# Contract under test: jury_cli must never abort. Malformed flags,
+# unreadable or truncated input files, unknown solver names, and bad
+# numeric values all exit non-zero with an error on stderr; valid runs
+# exit zero; and --stats emits a registry export matching the checked-in
+# schema manifest (scripts/check_stats_schema.py).
+#
+# Usage: cli_robustness_test.sh <jury_cli-binary> <repo-root>
+set -u
+
+CLI="${1:?usage: cli_robustness_test.sh <jury_cli-binary> <repo-root>}"
+REPO="${2:?usage: cli_robustness_test.sh <jury_cli-binary> <repo-root>}"
+
+failures=0
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+# expect_fail NAME -- ARGS...: the run must exit non-zero (but not via a
+# signal — an abort is exactly the bug class this script exists to catch)
+# and say something on stderr.
+expect_fail() {
+  local name="$1"; shift; shift  # drop NAME and "--"
+  "$CLI" "$@" >"$tmpdir/out" 2>"$tmpdir/err"
+  local status=$?
+  if [ "$status" -eq 0 ]; then
+    echo "FAIL($name): expected non-zero exit, got 0" >&2
+    failures=$((failures + 1))
+  elif [ "$status" -ge 128 ]; then
+    echo "FAIL($name): killed by signal $((status - 128)) — an abort, not a Status" >&2
+    failures=$((failures + 1))
+  elif [ ! -s "$tmpdir/err" ]; then
+    echo "FAIL($name): non-zero exit but empty stderr" >&2
+    failures=$((failures + 1))
+  else
+    echo "ok($name)"
+  fi
+}
+
+expect_ok() {
+  local name="$1"; shift; shift
+  if ! "$CLI" "$@" >"$tmpdir/out" 2>"$tmpdir/err"; then
+    echo "FAIL($name): expected exit 0, got $? (stderr: $(cat "$tmpdir/err"))" >&2
+    failures=$((failures + 1))
+  else
+    echo "ok($name)"
+  fi
+}
+
+# --- flag parsing ---------------------------------------------------------
+expect_fail unknown_flag      -- --no-such-flag
+expect_fail alpha_garbage     -- --alpha=abc
+expect_fail alpha_trailing    -- --alpha=0.5x
+expect_fail alpha_empty       -- --alpha=
+expect_fail seed_garbage      -- --seed=xyz
+expect_fail seed_negative     -- --seed=-3
+expect_fail seed_trailing     -- --seed=12three
+
+# --- input files ----------------------------------------------------------
+expect_fail missing_csv       -- "$tmpdir/does_not_exist.csv" 5
+printf 'id,quality,cost\nw0,0.9' > "$tmpdir/truncated.csv"
+expect_fail truncated_csv     -- "$tmpdir/truncated.csv" 5
+printf 'id,quality,cost\nw0,nan,1.0\n' > "$tmpdir/nan_quality.csv"
+expect_fail nan_quality_csv   -- "$tmpdir/nan_quality.csv" 5
+printf '\x00\x01\x02 binary garbage \xff\xfe\n' > "$tmpdir/garbage.csv"
+expect_fail garbage_csv       -- "$tmpdir/garbage.csv" 5
+printf 'id,quality,cost\n' > "$tmpdir/empty_pool.csv"
+expect_fail empty_pool_csv    -- "$tmpdir/empty_pool.csv" 5
+
+# --- solver + request validation -----------------------------------------
+expect_fail unknown_solver    -- --solver=no-such-solver 5
+expect_fail bad_alpha_range   -- --solver=greedy-quality --alpha=1.5 5
+expect_fail negative_budget   -- --solver=greedy-quality --alpha=0.4 -5
+
+# --- happy paths stay happy ----------------------------------------------
+expect_ok list_solvers        -- --list-solvers
+expect_ok demo_pool           -- --solver=greedy-quality --json 5
+expect_ok legacy_table        -- 0.4 5 10
+
+# --- --stats schema -------------------------------------------------------
+if "$CLI" --solver=greedy-quality --json --stats 5 >"$tmpdir/stats_out" 2>&1; then
+  if tail -n 1 "$tmpdir/stats_out" | \
+     python3 "$REPO/scripts/check_stats_schema.py" \
+             "$REPO/tests/stats_manifest.json"; then
+    echo "ok(stats_schema)"
+  else
+    echo "FAIL(stats_schema): --stats export does not match manifest" >&2
+    failures=$((failures + 1))
+  fi
+else
+  echo "FAIL(stats_schema): --stats run exited non-zero" >&2
+  failures=$((failures + 1))
+fi
+
+# Counters must actually move: a greedy solve performs evaluations.
+if tail -n 1 "$tmpdir/stats_out" | grep -q '"api.requests_solved":1'; then
+  echo "ok(stats_live)"
+else
+  echo "FAIL(stats_live): api.requests_solved != 1 in: $(tail -n 1 "$tmpdir/stats_out")" >&2
+  failures=$((failures + 1))
+fi
+
+if [ "$failures" -ne 0 ]; then
+  echo "cli_robustness: $failures failure(s)" >&2
+  exit 1
+fi
+echo "cli_robustness: all checks passed"

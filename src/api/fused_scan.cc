@@ -2,7 +2,22 @@
 
 #include <utility>
 
+#include "util/stats_registry.h"
+
 namespace jury::api {
+
+namespace {
+
+// Process-wide aggregates across every broker instance (each broker's
+// own atomics remain the per-batch `FusedScanStats` source). Registered
+// at static initialization so the instrument set is identical in every
+// process, used or not.
+StatsRegistry::Counter& g_passes = RegisterStatsCounter("fusion.passes");
+StatsRegistry::Counter& g_drains = RegisterStatsCounter("fusion.drains");
+StatsRegistry::Counter& g_fused_drains =
+    RegisterStatsCounter("fusion.fused_drains");
+
+}  // namespace
 
 void FusedScanBroker::Execute(KernelPass pass) {
   std::atomic<bool> done{false};
@@ -11,6 +26,7 @@ void FusedScanBroker::Execute(KernelPass pass) {
     queue_.push_back(PendingPass{pass, &done});
   }
   passes_.fetch_add(1, std::memory_order_relaxed);
+  g_passes.Increment();
 
   // Wait for a combiner to run our pass, bidding for the combiner role
   // ourselves so progress never depends on any particular thread: if the
@@ -44,8 +60,10 @@ void FusedScanBroker::DrainQueue() {
       pending.done->store(true, std::memory_order_release);
     }
     drains_.fetch_add(1, std::memory_order_relaxed);
+    g_drains.Increment();
     if (batch.size() > 1) {
       fused_drains_.fetch_add(1, std::memory_order_relaxed);
+      g_fused_drains.Increment();
     }
     std::size_t seen = max_drain_.load(std::memory_order_relaxed);
     while (batch.size() > seen &&

@@ -1,6 +1,7 @@
 #include "api/solve.h"
 
 #include <algorithm>
+#include <limits>
 #include <mutex>
 #include <optional>
 #include <utility>
@@ -9,15 +10,36 @@
 #include "model/prior.h"
 #include "util/json.h"
 #include "util/scheduler.h"
+#include "util/stats_registry.h"
 
 namespace jury::api {
+
+namespace {
+
+// Serving-layer instruments (see util/stats_registry.h). File-scope
+// references: registration runs at static initialization — *before* any
+// use, so the instrument set (and with it the `--stats` schema) is
+// identical in every process — and the hot path pays one relaxed
+// fetch_add per bump.
+StatsRegistry::Counter& g_contexts_planned =
+    RegisterStatsCounter("plan.contexts_planned");
+StatsRegistry::Counter& g_instances_created =
+    RegisterStatsCounter("plan.instances_created");
+StatsRegistry::Counter& g_instances_leased =
+    RegisterStatsCounter("plan.instances_leased");
+StatsRegistry::Counter& g_requests_solved =
+    RegisterStatsCounter("api.requests_solved");
+StatsRegistry::Counter& g_request_errors =
+    RegisterStatsCounter("api.request_errors");
+
+}  // namespace
 
 Status SolveRequest::Validate() const {
   if (solver.empty()) {
     return Status::InvalidArgument("SolveRequest.solver must name a solver");
   }
-  if (!(budget >= 0.0)) {
-    return Status::InvalidArgument("budget must be non-negative");
+  if (!(budget >= 0.0) || !(budget <= std::numeric_limits<double>::max())) {
+    return Status::InvalidArgument("budget must be finite and non-negative");
   }
   return ValidateAlpha(alpha);
 }
@@ -25,15 +47,23 @@ Status SolveRequest::Validate() const {
 std::string SolveReport::ToJson() const {
   Json stats_json = Json::Object();
   for (const auto& [key, value] : stats) stats_json.Set(key, value);
-  return Json::Object()
+  Json document = Json::Object();
+  document
       .Set("evaluations",
            Json::Object()
                .Set("full", static_cast<std::uint64_t>(evaluations.full))
                .Set("incremental",
                     static_cast<std::uint64_t>(evaluations.incremental)))
       .Set("solution", solution.ToJsonValue())
-      .Set("solver", solver)
-      .Set("stats", std::move(stats_json))
+      .Set("solver", solver);
+  if (!process_stats.empty()) {
+    Json process_json = Json::Object();
+    for (const auto& [key, value] : process_stats) {
+      process_json.Set(key, value);
+    }
+    document.Set("process_stats", std::move(process_json));
+  }
+  return document.Set("stats", std::move(stats_json))
       .Set("wall_seconds", wall_seconds)
       .Dump();
 }
@@ -65,6 +95,7 @@ Result<PoolPlanContext> PoolPlanContext::Plan(std::vector<Worker> candidates) {
   for (const Worker& worker : candidates) {
     JURY_RETURN_NOT_OK(ValidateWorker(worker));
   }
+  g_contexts_planned.Increment();
   return PoolPlanContext(std::move(candidates));
 }
 
@@ -80,7 +111,9 @@ PoolPlanContext::InstanceLease PoolPlanContext::AcquireInstance(double budget,
       ++arena_->created;
     }
   }
+  g_instances_leased.Increment();
   if (instance == nullptr) {
+    g_instances_created.Increment();
     instance = std::make_unique<JspInstance>();
     instance->candidates = candidates_;  // the one O(n) copy, then reused
   }
@@ -104,10 +137,22 @@ PoolPlanContext::InstanceLease::~InstanceLease() {
 }
 
 Result<SolveReport> PoolPlanContext::Solve(const SolveRequest& request) {
-  JURY_RETURN_NOT_OK(request.Validate());
-  const JspSolver* solver = nullptr;
-  JURY_ASSIGN_OR_RETURN(solver, FindSolver(request.solver));
-  return solver->Solve(*this, request);
+  Result<SolveReport> result = [&]() -> Result<SolveReport> {
+    JURY_RETURN_NOT_OK(request.Validate());
+    const JspSolver* solver = nullptr;
+    JURY_ASSIGN_OR_RETURN(solver, FindSolver(request.solver));
+    return solver->Solve(*this, request);
+  }();
+  if (!result.ok()) {
+    g_request_errors.Increment();
+    return result;
+  }
+  g_requests_solved.Increment();
+  if (request.collect_process_stats) {
+    // Snapshot after the bump so the export covers this request too.
+    result.value().process_stats = StatsRegistry::Global().Snapshot();
+  }
+  return result;
 }
 
 Result<std::vector<SolveReport>> PoolPlanContext::SolveMany(

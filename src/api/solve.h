@@ -6,6 +6,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "api/fused_scan.h"
@@ -19,6 +20,7 @@
 #include "core/optjs.h"
 #include "model/worker.h"
 #include "model/worker_pool_view.h"
+#include "util/json.h"
 #include "util/result.h"
 
 namespace jury::api {
@@ -66,11 +68,35 @@ struct SolveRequest {
   std::uint64_t rng_seed = 20150323;
   /// Typed options overrides for the named solver.
   SolverTuning tuning;
+  /// Attach a snapshot of the process-wide `StatsRegistry` (scheduler,
+  /// evaluation, fusion, plan-context, and parser counters) to the
+  /// report as `SolveReport::process_stats`. Off by default because the
+  /// snapshot is process-cumulative — it varies with whatever else the
+  /// process has run — and would break the byte-identity of golden-trace
+  /// reports.
+  bool collect_process_stats = false;
 
   /// Validates the request scalars (finite non-negative budget, a valid
   /// prior, a non-empty solver name). The tuning bag is validated by the
   /// solver that consumes it, at solve entry.
   Status Validate() const;
+
+  /// \brief Strict JSON binding of the request, the wire shape of the
+  /// serving surface (and the fuzzed one: arbitrary bytes -> Parse ->
+  /// FromJson -> Validate -> Solve must never abort).
+  ///
+  /// `FromJson` starts from a default request and overlays the document:
+  /// every key is optional, unknown keys are an error (catches typos
+  /// instead of silently solving with defaults), and type mismatches,
+  /// non-finite numbers where finite ones are required, and out-of-range
+  /// integers all surface as InvalidArgument naming the JSON path.
+  /// `ToJsonValue` emits every field (including defaults), so
+  /// `FromJson(ToJsonValue(r)) == r` and the dump is byte-stable.
+  static Result<SolveRequest> FromJson(const Json& doc);
+  /// `Parse` + `FromJson` in one step for raw text.
+  static Result<SolveRequest> FromJsonText(std::string_view text);
+  Json ToJsonValue() const;
+  std::string ToJson() const;
 };
 
 /// \brief Uniform result + instrumentation contract of every registered
@@ -92,11 +118,17 @@ struct SolveReport {
   /// (annealing move/acceptance counters, branch-and-bound node counts,
   /// ...). A `std::map`, so iteration — and the JSON below — is sorted.
   std::map<std::string, double> stats;
+  /// Snapshot of the process-wide `StatsRegistry` taken after the solve,
+  /// filled only when the request set `collect_process_stats` (the
+  /// snapshot is process-cumulative, so it is opt-in to keep default
+  /// reports byte-identical across replays).
+  std::map<std::string, std::uint64_t> process_stats;
 
   /// Deterministic JSON (sorted keys; see util/json.h) for bench and
   /// service logs:
   /// `{"evaluations":{...},"solution":{...},"solver":...,"stats":{...},
-  ///   "wall_seconds":...}`.
+  ///   "wall_seconds":...}` — plus a `"process_stats"` object when the
+  /// request opted into the registry snapshot.
   std::string ToJson() const;
 };
 

@@ -1,0 +1,73 @@
+#ifndef JURYOPT_API_TRACE_H_
+#define JURYOPT_API_TRACE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/solve.h"
+#include "model/worker.h"
+#include "util/json.h"
+#include "util/result.h"
+
+namespace jury::api {
+
+/// \brief A recorded (pool, request stream, report stream) triple — the
+/// golden-trace fixture format behind the determinism gate.
+///
+/// The repo's load-bearing contract is that a solve is a pure function
+/// of (pool, request): bit-identical on any thread count, any SIMD
+/// dispatch tier, any batch order. A trace freezes one observed run of
+/// that function as JSON; replaying it under a *different* execution
+/// configuration (`JURYOPT_THREADS`, `JURYOPT_SIMD`) and diffing the
+/// bytes turns the contract into a CI gate instead of a property test's
+/// single-process claim. Fixtures live in `tests/golden/` and are
+/// replayed across the thread x SIMD matrix by `golden_trace_test` and
+/// the CI workflow.
+///
+/// Report JSON is stored *normalized* (see `NormalizeReportJson`):
+/// `wall_seconds` — the one legitimately nondeterministic field — is
+/// zeroed, and the document is re-dumped canonically, so equality is
+/// plain string comparison.
+struct SolveTrace {
+  /// The candidate pool the requests were solved against.
+  std::vector<Worker> pool;
+  /// The requests, in order, paired with their normalized report JSON.
+  struct Entry {
+    SolveRequest request;
+    std::string report_json;
+  };
+  std::vector<Entry> entries;
+
+  /// Deterministic JSON:
+  /// `{"entries":[{"report":{...},"request":{...}},...],"pool":[...]}`.
+  Json ToJsonValue() const;
+  std::string ToJson() const;
+
+  /// Strict parse of `ToJson` output (unknown keys, bad worker fields,
+  /// and malformed requests all surface as a `Status`). The stored
+  /// report documents are re-normalized on load, so a hand-edited
+  /// fixture cannot smuggle in a wall-clock diff.
+  static Result<SolveTrace> Parse(std::string_view text);
+};
+
+/// Canonical form of a `SolveReport::ToJson` document for byte
+/// comparison: parses it, zeroes `wall_seconds`, and re-dumps (sorted
+/// keys, shortest round-trip numbers). InvalidArgument when `json` is
+/// not a report-shaped document.
+Result<std::string> NormalizeReportJson(std::string_view json);
+
+/// Solves `requests` in order against a fresh plan of `pool` and records
+/// the normalized reports. Fails on the first request error.
+Result<SolveTrace> RecordTrace(std::vector<Worker> pool,
+                               std::vector<SolveRequest> requests);
+
+/// Re-solves every entry of `trace` under the *current* execution
+/// configuration and compares normalized report bytes. Returns the
+/// number of entries replayed; the first mismatch fails with an
+/// InvalidArgument whose message contains both documents.
+Result<std::size_t> ReplayTrace(const SolveTrace& trace);
+
+}  // namespace jury::api
+
+#endif  // JURYOPT_API_TRACE_H_

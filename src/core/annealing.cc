@@ -400,9 +400,22 @@ JspSolution RunChain(const JspInstance& instance, const WorkerPoolView& view,
 }  // namespace
 
 Status AnnealingOptions::Validate() const {
-  if (!(initial_temperature > 0.0) || !(epsilon > 0.0) ||
-      !(cooling_factor > 0.0) || !(cooling_factor < 1.0)) {
-    return Status::InvalidArgument("invalid annealing schedule");
+  // Checks run in field-declaration order and each failure names its own
+  // field: callers (and the fuzzers) rely on the lowest-index-field error
+  // contract. Every comparison is written NaN-safe (`!(x > 0)` is true
+  // for NaN), and the schedule bounds must be *finite* — an infinite
+  // initial temperature never cools below epsilon (inf * c == inf), so
+  // it would validate a non-terminating loop.
+  if (!(initial_temperature > 0.0) ||
+      !(initial_temperature <= std::numeric_limits<double>::max())) {
+    return Status::InvalidArgument(
+        "initial_temperature must be finite and > 0");
+  }
+  if (!(epsilon > 0.0) || !(epsilon <= std::numeric_limits<double>::max())) {
+    return Status::InvalidArgument("epsilon must be finite and > 0");
+  }
+  if (!(cooling_factor > 0.0) || !(cooling_factor < 1.0)) {
+    return Status::InvalidArgument("cooling_factor must be in (0, 1)");
   }
   if (!(removal_probability >= 0.0) || !(removal_probability <= 1.0)) {
     return Status::InvalidArgument(
@@ -410,6 +423,11 @@ Status AnnealingOptions::Validate() const {
   }
   if (num_restarts == 0) {
     return Status::InvalidArgument("num_restarts must be >= 1");
+  }
+  if (num_restarts > kMaxRestarts) {
+    // The restart fan-out allocates a chain state per restart; an
+    // attacker-controlled request must not turn that into an OOM.
+    return Status::InvalidArgument("num_restarts must be <= 1000000");
   }
   return Status::OK();
 }

@@ -78,6 +78,10 @@ struct AnnealingOptions : SolverOptions {
   /// caller's rng is used directly, preserving the historical
   /// single-chain trajectories seed-for-seed.
   std::size_t num_restarts = 1;
+  /// Upper bound `Validate` enforces on `num_restarts`: each restart
+  /// allocates a chain state, so an unchecked request-supplied count is a
+  /// remote OOM. A million chains is far beyond any useful fan-out.
+  static constexpr std::size_t kMaxRestarts = 1'000'000;
 
   /// Checks every knob's range (positive temperatures, a cooling factor in
   /// (0, 1), a probability for `removal_probability`, >= 1 restart) and

@@ -15,6 +15,7 @@
 #include "util/check.h"
 #include "util/math.h"
 #include "util/poisson_binomial.h"
+#include "util/stats_registry.h"
 
 namespace jury {
 namespace {
@@ -1145,17 +1146,39 @@ Jury IncrementalJqEvaluator::MaterializeWith(std::size_t out_idx,
   return jury;
 }
 
+namespace {
+
+// Process-wide mirrors of the per-objective counters (see
+// util/stats_registry.h): the per-objective atomics stay the per-solve
+// report source, while these aggregate across every objective in the
+// process for `--stats` and the report's opt-in snapshot. Registered at
+// static initialization so the instrument set is identical in every
+// process, used or not.
+StatsRegistry::Counter& g_full_evals = RegisterStatsCounter("eval.full");
+StatsRegistry::Counter& g_incremental_evals =
+    RegisterStatsCounter("eval.incremental");
+
+}  // namespace
+
+void JqObjective::CountEvaluation() const {
+  full_evals_.fetch_add(1, std::memory_order_relaxed);
+  g_full_evals.Increment();
+}
+
 void IncrementalJqEvaluator::CountFullEvaluation() const {
   objective_->full_evals_.fetch_add(1, std::memory_order_relaxed);
+  g_full_evals.Increment();
 }
 
 void IncrementalJqEvaluator::CountIncrementalEvaluation() const {
   objective_->incremental_evals_.fetch_add(1, std::memory_order_relaxed);
+  g_incremental_evals.Increment();
 }
 
 void IncrementalJqEvaluator::CountIncrementalEvaluations(std::size_t n) const {
   if (n == 0) return;
   objective_->incremental_evals_.fetch_add(n, std::memory_order_relaxed);
+  g_incremental_evals.Add(n);
 }
 
 // ---------------------------------------------------------------- factories

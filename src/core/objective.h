@@ -186,9 +186,9 @@ class JqObjective {
   virtual std::unique_ptr<IncrementalJqEvaluator> StartIncrementalSession(
       double alpha) const;
 
-  void CountEvaluation() const {
-    full_evals_.fetch_add(1, std::memory_order_relaxed);
-  }
+  // Out of line: besides the per-objective atomic it bumps the
+  // process-wide stats registry, which this header must not drag in.
+  void CountEvaluation() const;
 
  private:
   friend class IncrementalJqEvaluator;

@@ -27,12 +27,16 @@ double TightJq(const JspInstance& instance, const JspSolution& solution,
 }  // namespace
 
 Status OptjsOptions::Validate() const {
+  // Field-declaration order (bucket, annealing, exhaustive_threshold), so
+  // a request with several bad knobs reports the lowest-index one — the
+  // error contract the API tests pin.
   JURY_RETURN_NOT_OK(bucket.Validate());
+  JURY_RETURN_NOT_OK(annealing.Validate());
   if (exhaustive_threshold > 62) {
     return Status::InvalidArgument(
         "exhaustive_threshold must be <= 62 (64-bit subset masks)");
   }
-  return annealing.Validate();
+  return Status::OK();
 }
 
 Result<JspSolution> SolveOptjs(const JspInstance& instance, Rng* rng,

@@ -20,6 +20,11 @@ Status BucketJqOptions::Validate() const {
   if (num_buckets < 1) {
     return Status::InvalidArgument("bucket.num_buckets must be >= 1");
   }
+  if (num_buckets > kMaxBuckets) {
+    // The deconvolution tables are sized by the bucket count, so a
+    // request-supplied count must not become an unbounded allocation.
+    return Status::InvalidArgument("bucket.num_buckets must be <= 1000000");
+  }
   if (!(high_quality_cutoff > 0.0) || !(high_quality_cutoff <= 1.0)) {
     return Status::InvalidArgument(
         "bucket.high_quality_cutoff must lie in (0, 1]");

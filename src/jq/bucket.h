@@ -26,6 +26,11 @@ struct BucketJqOptions {
   /// (`numBuckets`); the paper's experiments default to 50 (§6.1.1) and its
   /// error analysis uses numBuckets = d*n with d >= 200 for the <1% bound.
   int num_buckets = 50;
+  /// Upper bound `Validate` enforces on `num_buckets`: the deconvolution
+  /// tables scale with the bucket count, so an unchecked request-supplied
+  /// count is a remote OOM. A million buckets is ~5000x the paper's
+  /// default and far past the <1% error regime.
+  static constexpr int kMaxBuckets = 1'000'000;
 
   /// Enables the Algorithm-2 sign-settled early termination.
   bool enable_pruning = true;

@@ -4,10 +4,25 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <variant>
 #include <vector>
 
+#include "util/result.h"
+
 namespace jury {
+
+/// \brief Limits `Json::Parse` enforces against hostile input. Every
+/// violation is a `Status`, never an abort or a silent truncation — the
+/// parser fronts the fuzzed `SolveRequest` surface, so its failure mode
+/// is part of the public API contract.
+struct JsonParseOptions {
+  /// Maximum container nesting (objects + arrays). A recursive-descent
+  /// parser burns stack per level, so unbounded depth is a remote
+  /// stack-overflow; 64 comfortably covers every document the repo
+  /// produces while keeping worst-case stack use trivial.
+  std::size_t max_depth = 64;
+};
 
 /// \brief Minimal JSON document builder with *deterministic* output.
 ///
@@ -20,8 +35,10 @@ namespace jury {
 /// form (`std::to_chars`), and no insignificant whitespace: the same
 /// document always serializes to the same bytes, on every host.
 ///
-/// This is a writer, not a parser; consumers that need to read the
-/// artifacts back (CI gates) use Python's `json` module.
+/// `Parse` is the matching reader, added for the robustness layer: the
+/// golden-trace replayer and the `SolveRequest` JSON surface must read
+/// documents back, and hostile input must surface as a `Status` (depth
+/// limits, overflow-safe numbers, strict UTF-8), never as a crash.
 class Json {
  public:
   /// null
@@ -53,10 +70,58 @@ class Json {
 
   bool is_object() const { return std::holds_alternative<ObjectRepr>(repr_); }
   bool is_array() const { return std::holds_alternative<ArrayRepr>(repr_); }
+  bool is_null() const { return std::holds_alternative<std::monostate>(repr_); }
+  bool is_bool() const { return std::holds_alternative<bool>(repr_); }
+  bool is_string() const { return std::holds_alternative<std::string>(repr_); }
+  /// True for any numeric representation (double, int64, uint64).
+  bool is_number() const {
+    return std::holds_alternative<double>(repr_) ||
+           std::holds_alternative<std::int64_t>(repr_) ||
+           std::holds_alternative<std::uint64_t>(repr_);
+  }
+
+  // -- Readers. All of them are total: a type mismatch is a `Status` (or a
+  // -- nullptr for the structural lookups), never a CHECK abort, because
+  // -- these run on parsed — possibly adversarial — documents.
+
+  /// Member `key` of an object document; nullptr when this is not an
+  /// object or the key is absent.
+  const Json* Find(const std::string& key) const;
+  /// The underlying object map (sorted); nullptr when not an object.
+  const std::map<std::string, Json>* GetObject() const;
+  /// The underlying array; nullptr when not an array.
+  const std::vector<Json>* GetArray() const;
+
+  Result<bool> GetBool() const;
+  /// Any numeric representation, widened to double.
+  Result<double> GetDouble() const;
+  /// Integer representations only (never a silent double truncation);
+  /// negative values are rejected.
+  Result<std::uint64_t> GetUint64() const;
+  Result<std::string> GetString() const;
 
   /// Compact serialization: sorted object keys, shortest round-trip
   /// doubles, `null` for non-finite numbers (JSON has no NaN/Inf).
   std::string Dump() const;
+
+  /// \brief Strict RFC 8259 parser, hardened for hostile input:
+  ///
+  ///  * container nesting beyond `options.max_depth` is rejected (no
+  ///    unbounded recursion / remote stack overflow);
+  ///  * numbers are grammar-checked and range-checked — an overflowing
+  ///    integer or an out-of-range double is an error, never a silently
+  ///    truncated or saturated value;
+  ///  * strings must be valid UTF-8 (overlongs, lone surrogates, and
+  ///    truncated sequences rejected), escapes are fully decoded
+  ///    (including surrogate pairs), and an unterminated string or a raw
+  ///    control character is a clear error naming the byte offset;
+  ///  * trailing non-whitespace after the document is an error.
+  ///
+  /// Every failure is an InvalidArgument `Status` with the byte offset;
+  /// no input can abort the process (fuzzed, and replayed as a corpus
+  /// gtest under ASAN/UBSAN).
+  static Result<Json> Parse(std::string_view text,
+                            const JsonParseOptions& options = {});
 
   /// Escapes `text` per RFC 8259 and wraps it in quotes.
   static std::string Quote(const std::string& text);

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "util/env.h"
+#include "util/stats_registry.h"
 
 namespace jury {
 namespace {
@@ -225,10 +226,51 @@ Scheduler::Task* Scheduler::Deque::Steal() {
 
 // ------------------------------------------------------------------ Scheduler
 
+namespace {
+// Published by Global() once its pool exists; read by the stats gauges,
+// which must report zeros — not spawn worker threads — before then.
+std::atomic<Scheduler*> g_global_scheduler{nullptr};
+}  // namespace
+
 Scheduler* Scheduler::Global() {
   static Scheduler global(GlobalSchedulerSize());
+  g_global_scheduler.store(&global, std::memory_order_release);
   return &global;
 }
+
+SchedulerCounters GlobalSchedulerCountersIfStarted() {
+  const Scheduler* global = g_global_scheduler.load(std::memory_order_acquire);
+  if (global == nullptr) return SchedulerCounters{};
+  return global->counters();
+}
+
+namespace {
+// Gauges, not counters: the scheduler already keeps its own relaxed
+// atomics, so the registry reads them on demand instead of double
+// counting on the steal/inject hot paths.
+const bool g_scheduler_gauges_registered = [] {
+  StatsRegistry& registry = StatsRegistry::Global();
+  registry.RegisterGauge("scheduler.tasks_spawned", [] {
+    return GlobalSchedulerCountersIfStarted().tasks_spawned;
+  });
+  registry.RegisterGauge("scheduler.tasks_stolen", [] {
+    return GlobalSchedulerCountersIfStarted().tasks_stolen;
+  });
+  registry.RegisterGauge("scheduler.tasks_injected", [] {
+    return GlobalSchedulerCountersIfStarted().tasks_injected;
+  });
+  registry.RegisterGauge("scheduler.regions", [] {
+    return GlobalSchedulerCountersIfStarted().regions;
+  });
+  registry.RegisterGauge("scheduler.nested_regions", [] {
+    return GlobalSchedulerCountersIfStarted().nested_regions;
+  });
+  registry.RegisterGauge("scheduler.inline_regions", [] {
+    return GlobalSchedulerCountersIfStarted().inline_regions;
+  });
+  return true;
+}();
+}  // namespace
 
 Scheduler::Scheduler(std::size_t num_threads) {
   const std::size_t n = num_threads > 0 ? num_threads : 1;

@@ -273,6 +273,13 @@ class Scheduler {
   std::atomic<std::uint64_t> inline_regions_{0};
 };
 
+/// \brief Counters of the process-wide scheduler *without* forcing its
+/// construction: all-zero until the first `Scheduler::Global()` call has
+/// actually spawned the pool. This is what the stats-registry gauges
+/// read, so a `--stats` export (or a report snapshot) can never be the
+/// thing that creates the worker threads.
+SchedulerCounters GlobalSchedulerCountersIfStarted();
+
 }  // namespace jury
 
 #endif  // JURYOPT_UTIL_SCHEDULER_H_

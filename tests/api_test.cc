@@ -11,9 +11,12 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
+#include <limits>
 #include <map>
 #include <numeric>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "api/registry.h"
@@ -27,6 +30,7 @@
 #include "gtest/gtest.h"
 #include "test_util.h"
 #include "util/rng.h"
+#include "util/stats_registry.h"
 
 namespace jury::api {
 namespace {
@@ -552,6 +556,322 @@ TEST(ReportTest, StatsAreUniformAcrossSolvers) {
   auto optjs = context.Solve(request).value();
   EXPECT_EQ(optjs.stats.at("used_exhaustive_shortcut"), 1.0);  // N=7 <= 12
   EXPECT_GT(optjs.evaluations.total(), 0u);
+}
+
+// --------------------------------------------- per-field Validate contract
+//
+// Every options field is flipped to each hostile value class in turn
+// (NaN, ±inf, negative, zero, huge) and the Status must name *that*
+// field; when several fields are bad, the lowest-declared one wins. The
+// fuzzers rely on this contract to map a crash back to a knob.
+
+struct FieldCase {
+  const char* name;
+  std::function<void(SolveRequest*)> mutate;
+  const char* error_fragment;  // "" means the request must stay valid
+};
+
+class RequestFieldValidation : public ::testing::TestWithParam<FieldCase> {};
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFields, RequestFieldValidation,
+    ::testing::Values(
+        // SolveRequest scalars, declaration order: solver, budget, alpha.
+        FieldCase{"solver_empty", [](SolveRequest* r) { r->solver.clear(); },
+                  "must name a solver"},
+        FieldCase{"budget_nan", [](SolveRequest* r) { r->budget = kNan; },
+                  "budget must be finite and non-negative"},
+        FieldCase{"budget_neg_inf",
+                  [](SolveRequest* r) { r->budget = -kInf; },
+                  "budget must be finite and non-negative"},
+        FieldCase{"budget_pos_inf", [](SolveRequest* r) { r->budget = kInf; },
+                  "budget must be finite and non-negative"},
+        FieldCase{"budget_negative",
+                  [](SolveRequest* r) { r->budget = -1.0; },
+                  "budget must be finite and non-negative"},
+        FieldCase{"budget_zero_is_valid",
+                  [](SolveRequest* r) { r->budget = 0.0; }, ""},
+        FieldCase{"budget_huge_is_valid",
+                  [](SolveRequest* r) {
+                    r->budget = std::numeric_limits<double>::max();
+                  },
+                  ""},
+        FieldCase{"alpha_nan", [](SolveRequest* r) { r->alpha = kNan; },
+                  "alpha outside [0,1]"},
+        FieldCase{"alpha_above_one",
+                  [](SolveRequest* r) { r->alpha = 1.0 + 1e-9; },
+                  "alpha outside [0,1]"},
+        FieldCase{"alpha_negative", [](SolveRequest* r) { r->alpha = -0.1; },
+                  "alpha outside [0,1]"},
+        FieldCase{"alpha_endpoints_are_valid",
+                  [](SolveRequest* r) { r->alpha = 1.0; }, ""},
+        // AnnealingOptions, declaration order: initial_temperature,
+        // epsilon, cooling_factor, ..., removal_probability, num_restarts.
+        FieldCase{"temperature_nan",
+                  [](SolveRequest* r) {
+                    r->solver = "annealing";
+                    r->tuning.annealing.initial_temperature = kNan;
+                  },
+                  "initial_temperature must be finite and > 0"},
+        FieldCase{"temperature_inf",
+                  [](SolveRequest* r) {
+                    r->solver = "annealing";
+                    r->tuning.annealing.initial_temperature = kInf;
+                  },
+                  "initial_temperature must be finite and > 0"},
+        FieldCase{"temperature_zero",
+                  [](SolveRequest* r) {
+                    r->solver = "annealing";
+                    r->tuning.annealing.initial_temperature = 0.0;
+                  },
+                  "initial_temperature must be finite and > 0"},
+        FieldCase{"epsilon_nan",
+                  [](SolveRequest* r) {
+                    r->solver = "annealing";
+                    r->tuning.annealing.epsilon = kNan;
+                  },
+                  "epsilon must be finite and > 0"},
+        FieldCase{"epsilon_negative",
+                  [](SolveRequest* r) {
+                    r->solver = "annealing";
+                    r->tuning.annealing.epsilon = -1e-8;
+                  },
+                  "epsilon must be finite and > 0"},
+        FieldCase{"cooling_nan",
+                  [](SolveRequest* r) {
+                    r->solver = "annealing";
+                    r->tuning.annealing.cooling_factor = kNan;
+                  },
+                  "cooling_factor must be in (0, 1)"},
+        FieldCase{"cooling_one",
+                  [](SolveRequest* r) {
+                    r->solver = "annealing";
+                    r->tuning.annealing.cooling_factor = 1.0;
+                  },
+                  "cooling_factor must be in (0, 1)"},
+        FieldCase{"removal_probability_nan",
+                  [](SolveRequest* r) {
+                    r->solver = "annealing";
+                    r->tuning.annealing.removal_probability = kNan;
+                  },
+                  "removal_probability must be a probability"},
+        FieldCase{"restarts_zero",
+                  [](SolveRequest* r) {
+                    r->solver = "annealing";
+                    r->tuning.annealing.num_restarts = 0;
+                  },
+                  "num_restarts must be >= 1"},
+        FieldCase{"restarts_huge",
+                  [](SolveRequest* r) {
+                    r->solver = "annealing";
+                    r->tuning.annealing.num_restarts =
+                        AnnealingOptions::kMaxRestarts + 1;
+                  },
+                  "num_restarts must be <= 1000000"},
+        // Lowest-index-field: initial_temperature is declared before
+        // cooling_factor, so it names the error even with both bad.
+        FieldCase{"lowest_field_wins_in_annealing",
+                  [](SolveRequest* r) {
+                    r->solver = "annealing";
+                    r->tuning.annealing.initial_temperature = kNan;
+                    r->tuning.annealing.cooling_factor = 7.0;
+                  },
+                  "initial_temperature must be finite and > 0"},
+        // Bucket knobs, declaration order: num_buckets, then cutoff.
+        FieldCase{"buckets_zero",
+                  [](SolveRequest* r) {
+                    r->solver = "optjs";
+                    r->tuning.optjs.bucket.num_buckets = 0;
+                  },
+                  "bucket.num_buckets must be >= 1"},
+        FieldCase{"buckets_huge",
+                  [](SolveRequest* r) {
+                    r->solver = "optjs";
+                    r->tuning.optjs.bucket.num_buckets =
+                        BucketJqOptions::kMaxBuckets + 1;
+                  },
+                  "bucket.num_buckets must be <= 1000000"},
+        FieldCase{"cutoff_nan",
+                  [](SolveRequest* r) {
+                    r->solver = "optjs";
+                    r->tuning.optjs.bucket.high_quality_cutoff = kNan;
+                  },
+                  "bucket.high_quality_cutoff must lie in (0, 1]"},
+        // OptjsOptions validates bucket before annealing before the
+        // threshold; with all three bad, bucket's error surfaces.
+        FieldCase{"optjs_validates_bucket_first",
+                  [](SolveRequest* r) {
+                    r->solver = "optjs";
+                    r->tuning.optjs.bucket.num_buckets = 0;
+                    r->tuning.optjs.annealing.epsilon = kNan;
+                    r->tuning.optjs.exhaustive_threshold = 63;
+                  },
+                  "bucket.num_buckets must be >= 1"},
+        FieldCase{"optjs_threshold_too_wide",
+                  [](SolveRequest* r) {
+                    r->solver = "optjs";
+                    r->tuning.optjs.exhaustive_threshold = 63;
+                  },
+                  "exhaustive_threshold must be <= 62"},
+        FieldCase{"exhaustive_zero",
+                  [](SolveRequest* r) {
+                    r->solver = "exhaustive";
+                    r->tuning.exhaustive.max_candidates = 0;
+                  },
+                  "max_candidates must lie in [1, 62]"},
+        FieldCase{"exhaustive_huge",
+                  [](SolveRequest* r) {
+                    r->solver = "exhaustive";
+                    r->tuning.exhaustive.max_candidates = 10000;
+                  },
+                  "max_candidates must lie in [1, 62]"},
+        FieldCase{"branch_bound_zero_nodes",
+                  [](SolveRequest* r) {
+                    r->solver = "branch-bound";
+                    r->tuning.branch_bound.max_nodes = 0;
+                  },
+                  "max_nodes must be >= 1"},
+        FieldCase{"mvjs_inherits_annealing_contract",
+                  [](SolveRequest* r) {
+                    r->solver = "mvjs";
+                    r->tuning.mvjs.annealing.cooling_factor = 0.0;
+                  },
+                  "cooling_factor must be in (0, 1)"}),
+    [](const ::testing::TestParamInfo<FieldCase>& info) {
+      return std::string(info.param.name);
+    });
+
+TEST_P(RequestFieldValidation, StatusNamesTheField) {
+  const FieldCase& field_case = GetParam();
+  auto context =
+      PoolPlanContext::Plan(jury::testing::Figure1Workers()).value();
+  SolveRequest request;
+  request.solver = "greedy-quality";
+  request.budget = 15.0;
+  field_case.mutate(&request);
+  const auto result = context.Solve(request);
+  if (std::string(field_case.error_fragment).empty()) {
+    EXPECT_TRUE(result.ok()) << result.status();
+    return;
+  }
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument)
+      << result.status();
+  EXPECT_NE(result.status().message().find(field_case.error_fragment),
+            std::string::npos)
+      << "status was: " << result.status();
+}
+
+// --------------------------------------------------- SolveRequest JSON
+
+TEST(RequestJsonTest, RoundTripsThroughJson) {
+  SolveRequest request;
+  request.solver = "annealing";
+  request.budget = 12.5;
+  request.alpha = 0.65;
+  request.rng_seed = 424242;
+  request.collect_process_stats = true;
+  request.tuning.objective = "bv-exact";
+  request.tuning.annealing.num_restarts = 4;
+  request.tuning.annealing.cooling_factor = 0.75;
+  request.tuning.annealing.return_best_seen = true;
+  request.tuning.bucket.num_buckets = 250;
+  request.tuning.optjs.exhaustive_threshold = 10;
+  request.tuning.mvjs.use_odd_top_k = false;
+
+  const std::string wire = request.ToJson();
+  auto reparsed = SolveRequest::FromJsonText(wire);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  // The binding writes every field, so equal wire bytes mean equal
+  // requests; byte-stable serialization is the golden-trace bedrock.
+  EXPECT_EQ(reparsed.value().ToJson(), wire);
+  EXPECT_EQ(reparsed.value().solver, "annealing");
+  EXPECT_EQ(reparsed.value().rng_seed, 424242u);
+  EXPECT_TRUE(reparsed.value().collect_process_stats);
+  EXPECT_EQ(reparsed.value().tuning.annealing.num_restarts, 4u);
+}
+
+TEST(RequestJsonTest, StrictBindingErrors) {
+  const auto expect_error = [](std::string_view text,
+                               std::string_view fragment) {
+    auto parsed = SolveRequest::FromJsonText(text);
+    ASSERT_FALSE(parsed.ok()) << text;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(parsed.status().message().find(fragment), std::string::npos)
+        << "status was: " << parsed.status() << " for " << text;
+  };
+  expect_error(R"({"solvr":"greedy-quality"})", "unknown key");
+  expect_error(R"({"solver":3})", "request.solver must be a string");
+  expect_error(R"({"budget":"lots"})", "request.budget must be a number");
+  expect_error(R"({"rng_seed":-1})",
+               "request.rng_seed must be a non-negative integer");
+  expect_error(R"({"tuning":{"annealing":{"num_restarts":1e99}}})",
+               "request.tuning.annealing.num_restarts must be a "
+               "non-negative integer");
+  expect_error(R"({"tuning":{"bucket":{"num_buckets":4294967296}}})",
+               "out of range");
+  expect_error(R"({"tuning":{"annealing":{"warp_speed":9}}})",
+               "unknown key");
+  expect_error(R"([1,2,3])", "request must be an object");
+  expect_error("not json at all", "JSON parse error");
+
+  // A malformed document must never mutate state: parse errors arrive
+  // before any Solve, so the registry's error counter is untouched.
+  auto ok = SolveRequest::FromJsonText(R"({"solver":"greedy-quality"})");
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_EQ(ok.value().solver, "greedy-quality");
+}
+
+// ------------------------------------------------- process-wide counters
+
+TEST(ProcessStatsTest, CountersAdvanceAcrossASolve) {
+  auto context =
+      PoolPlanContext::Plan(jury::testing::Figure1Workers()).value();
+  const auto before = StatsRegistry::Global().Snapshot();
+  SolveRequest request;
+  request.solver = "greedy-quality";
+  request.budget = 15.0;
+  ASSERT_TRUE(context.Solve(request).ok());
+  const auto after = StatsRegistry::Global().Snapshot();
+  EXPECT_EQ(after.at("api.requests_solved"),
+            before.at("api.requests_solved") + 1);
+  EXPECT_GT(after.at("eval.full") + after.at("eval.incremental"),
+            before.at("eval.full") + before.at("eval.incremental"));
+  EXPECT_EQ(after.at("plan.instances_leased"),
+            before.at("plan.instances_leased") + 1);
+  EXPECT_EQ(after.at("api.request_errors"), before.at("api.request_errors"));
+
+  request.solver = "no-such-solver";
+  ASSERT_FALSE(context.Solve(request).ok());
+  const auto errored = StatsRegistry::Global().Snapshot();
+  EXPECT_EQ(errored.at("api.request_errors"),
+            after.at("api.request_errors") + 1);
+  EXPECT_EQ(errored.at("api.requests_solved"),
+            after.at("api.requests_solved"));
+}
+
+TEST(ProcessStatsTest, ReportCarriesSnapshotOnlyWhenRequested) {
+  auto context =
+      PoolPlanContext::Plan(jury::testing::Figure1Workers()).value();
+  SolveRequest request;
+  request.solver = "greedy-quality";
+  request.budget = 15.0;
+
+  auto plain = context.Solve(request).value();
+  EXPECT_TRUE(plain.process_stats.empty());
+  EXPECT_EQ(plain.ToJson().find("process_stats"), std::string::npos)
+      << "default reports must stay byte-identical to the golden traces";
+
+  request.collect_process_stats = true;
+  auto with_stats = context.Solve(request).value();
+  ASSERT_FALSE(with_stats.process_stats.empty());
+  EXPECT_GT(with_stats.process_stats.at("api.requests_solved"), 0u);
+  EXPECT_GT(with_stats.process_stats.at("plan.contexts_planned"), 0u);
+  EXPECT_NE(with_stats.ToJson().find("\"process_stats\":{"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -9,10 +9,12 @@
 #include "gtest/gtest.h"
 #include "util/env.h"
 #include "util/histogram.h"
+#include "util/json.h"
 #include "util/math.h"
 #include "util/result.h"
 #include "util/rng.h"
 #include "util/stats.h"
+#include "util/stats_registry.h"
 #include "util/status.h"
 #include "util/table.h"
 #include "util/timer.h"
@@ -438,6 +440,197 @@ TEST(TimerTest, MeasuresNonNegativeElapsed) {
   for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
   EXPECT_GE(t.ElapsedSeconds(), 0.0);
   EXPECT_GE(t.ElapsedMillis(), t.ElapsedSeconds());
+}
+
+// ------------------------------------------------------------ Json::Parse
+//
+// Table-form hardening tests for the parser that fronts the fuzzed
+// SolveRequest surface. Each rejected row names the error fragment the
+// Status must carry, so a regression that swaps one failure mode for
+// another (say, overflow becoming saturation) is caught, not just
+// "still fails somehow".
+
+struct JsonAcceptCase {
+  const char* name;
+  const char* input;
+  const char* canonical;  // expected Dump() of the parsed document
+};
+
+TEST(JsonParseTest, AcceptsAndCanonicalizes) {
+  const JsonAcceptCase kCases[] = {
+      {"empty_object", "{}", "{}"},
+      {"empty_array", "[]", "[]"},
+      {"scalars", "[null,true,false]", "[null,true,false]"},
+      {"sorted_keys", R"({"b":1,"a":2})", R"({"a":2,"b":1})"},
+      {"nested", R"({"a":[1,{"b":[]}]})", R"({"a":[1,{"b":[]}]})"},
+      {"whitespace", " { \"a\" : [ 1 , 2 ] } ", R"({"a":[1,2]})"},
+      {"zero", "0", "0"},
+      {"negative_zero_stays_signed", "-0", "-0"},
+      {"int64_min", "-9223372036854775808", "-9223372036854775808"},
+      {"uint64_max", "18446744073709551615", "18446744073709551615"},
+      {"shortest_double", "0.1", "0.1"},
+      {"exponent", "1e3", "1000"},
+      // Dump re-escapes \b and \f as \u00XX control escapes; the
+      // decoded bytes round-trip either way.
+      {"escapes", R"(["\"\\\/\b\f\n\r\t"])",
+       R"(["\"\\/\u0008\u000c\n\r\t"])"},
+      {"unicode_escape", R"(["é"])", "[\"\xc3\xa9\"]"},
+      {"surrogate_pair", R"(["😀"])", "[\"\xf0\x9f\x98\x80\"]"},
+      {"raw_utf8", "[\"\xe2\x82\xac\"]", "[\"\xe2\x82\xac\"]"},
+  };
+  for (const JsonAcceptCase& c : kCases) {
+    SCOPED_TRACE(c.name);
+    Result<Json> parsed = Json::Parse(c.input);
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    EXPECT_EQ(parsed.value().Dump(), c.canonical);
+    // Canonical form is a fixed point: Dump(Parse(Dump(x))) == Dump(x).
+    Result<Json> reparsed = Json::Parse(parsed.value().Dump());
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+    EXPECT_EQ(reparsed.value().Dump(), c.canonical);
+  }
+}
+
+struct JsonRejectCase {
+  const char* name;
+  const char* input;
+  const char* error_fragment;  // must appear in the Status message
+};
+
+TEST(JsonParseTest, RejectsHostileInput) {
+  const JsonRejectCase kCases[] = {
+      {"empty", "", "unexpected end of input"},
+      {"whitespace_only", "  \n\t ", "unexpected end of input"},
+      {"trailing_garbage", "{} x", "trailing characters"},
+      {"two_documents", "1 2", "trailing characters"},
+      {"bad_literal", "truth", "invalid literal"},
+      {"truncated_literal", "nul", "invalid literal"},
+      {"unterminated_object", R"({"a":1)", "unterminated object"},
+      {"missing_colon", R"({"a" 1})", "expected ':' after object key"},
+      {"nonstring_key", "{1:2}", "expected object key string"},
+      {"unterminated_array", "[1,2", "unterminated array"},
+      {"bare_comma", "[1,,2]", "invalid number"},
+      {"leading_zero", "01", "leading zeros"},
+      {"leading_plus", "+1", "invalid number"},
+      {"bare_minus", "-", "invalid number"},
+      {"trailing_dot", "1.", "expected digits after decimal point"},
+      {"bare_exponent", "1e", "expected digits in exponent"},
+      {"int_overflow_pos", "18446744073709551616", "integer overflows"},
+      {"int_overflow_neg", "-9223372036854775809", "integer overflows"},
+      {"double_overflow", "1e999", "number out of double range"},
+      {"nan_is_not_json", "NaN", "invalid number"},
+      {"unterminated_string", R"(["abc)", "unterminated string"},
+      {"raw_control_char", "[\"a\nb\"]", "unescaped control character"},
+      {"bad_escape", R"(["\q"])", "invalid escape character"},
+      {"truncated_u_escape", R"(["\u12)", "truncated \\u escape"},
+      {"bad_hex_digit", R"(["\u12g4"])", "invalid hex digit"},
+      {"lone_high_surrogate", R"(["\ud800"])", "lone high surrogate"},
+      {"lone_low_surrogate", R"(["\udc00"])", "lone low surrogate"},
+      {"high_surrogate_no_escape", R"(["\ud800A"])", "lone high surrogate"},
+      {"bad_surrogate_pair", R"(["\ud800\u0041"])", "invalid low surrogate"},
+      {"utf8_stray_continuation", "[\"\x80\"]", "invalid UTF-8 lead byte"},
+      {"utf8_truncated", "[\"\xe2\x82", "truncated UTF-8 sequence"},
+      {"utf8_bad_continuation", "[\"\xe2\x41\x41\"]",
+       "invalid UTF-8 continuation byte"},
+  };
+  for (const JsonRejectCase& c : kCases) {
+    SCOPED_TRACE(c.name);
+    Result<Json> parsed = Json::Parse(c.input);
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(parsed.status().message().find(c.error_fragment),
+              std::string::npos)
+        << "status was: " << parsed.status();
+    EXPECT_NE(parsed.status().message().find("at byte"), std::string::npos)
+        << "every parse error must name its byte offset: "
+        << parsed.status();
+  }
+}
+
+TEST(JsonParseTest, DepthLimitBoundsRecursion) {
+  // 64 levels (the default cap) parse; 65 are rejected, and a custom cap
+  // moves the boundary with it.
+  const std::string at_limit(64, '[');
+  const std::string closed = at_limit + std::string(64, ']');
+  EXPECT_TRUE(Json::Parse(closed).ok());
+  const std::string over = "[" + closed + "]";
+  Result<Json> rejected = Json::Parse(over);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_NE(rejected.status().message().find("nesting deeper than 64"),
+            std::string::npos);
+
+  JsonParseOptions shallow;
+  shallow.max_depth = 2;
+  EXPECT_TRUE(Json::Parse("[[1]]", shallow).ok());
+  EXPECT_FALSE(Json::Parse("[[[1]]]", shallow).ok());
+}
+
+TEST(JsonParseTest, ReadersAreTotalOnTypeMismatch) {
+  Result<Json> parsed = Json::Parse(R"({"s":"x","n":1.5,"u":7,"neg":-1})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const Json& doc = parsed.value();
+
+  EXPECT_EQ(doc.Find("missing"), nullptr);
+  EXPECT_EQ(doc.Find("s")->GetArray(), nullptr);
+  EXPECT_EQ(doc.Find("s")->GetObject(), nullptr);
+  EXPECT_FALSE(doc.Find("s")->GetBool().ok());
+  EXPECT_FALSE(doc.Find("s")->GetDouble().ok());
+  EXPECT_FALSE(doc.Find("n")->GetString().ok());
+  // GetUint64 never truncates a double and never wraps a negative.
+  EXPECT_FALSE(doc.Find("n")->GetUint64().ok());
+  EXPECT_FALSE(doc.Find("neg")->GetUint64().ok());
+  EXPECT_EQ(doc.Find("u")->GetUint64().value(), 7u);
+  EXPECT_DOUBLE_EQ(doc.Find("n")->GetDouble().value(), 1.5);
+  EXPECT_EQ(doc.Find("s")->GetString().value(), "x");
+}
+
+// --------------------------------------------------------- StatsRegistry
+
+TEST(StatsRegistryTest, CounterRegistrationIsIdempotent) {
+  StatsRegistry registry;
+  StatsRegistry::Counter& a = registry.RegisterCounter("test.counter");
+  StatsRegistry::Counter& b = registry.RegisterCounter("test.counter");
+  EXPECT_EQ(&a, &b) << "same name must alias the same counter";
+  a.Increment();
+  b.Add(4);
+  EXPECT_EQ(a.value(), 5u);
+}
+
+TEST(StatsRegistryTest, SnapshotMergesCountersAndGauges) {
+  StatsRegistry registry;
+  registry.RegisterCounter("z.counter").Add(3);
+  registry.RegisterGauge("a.gauge", [] { return std::uint64_t{42}; });
+  const std::map<std::string, std::uint64_t> snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot.at("z.counter"), 3u);
+  EXPECT_EQ(snapshot.at("a.gauge"), 42u);
+}
+
+TEST(StatsRegistryTest, ToJsonIsSortedAndDeterministic) {
+  StatsRegistry registry;
+  registry.RegisterCounter("b.second").Add(2);
+  registry.RegisterCounter("a.first").Add(1);
+  registry.RegisterGauge("g.gauge", [] { return std::uint64_t{9}; });
+  EXPECT_EQ(registry.ToJson(),
+            R"({"counters":{"a.first":1,"b.second":2},"gauges":{"g.gauge":9}})");
+  EXPECT_EQ(registry.ToJson(), registry.ToJson());
+}
+
+TEST(StatsRegistryTest, GlobalExposesEagerlyRegisteredInstruments) {
+  // Process-wide instruments register at static initialization of their
+  // defining translation unit, so any binary that links a subsystem
+  // exports that subsystem's instruments whether or not the code ran.
+  // This test binary links util/json (it parses below), so the json
+  // counters must already exist; the full cross-subsystem schema is
+  // pinned against jury_cli by scripts/check_stats_schema.py, since only
+  // a whole-product binary links every registering object file.
+  Result<Json> parsed = Json::Parse(StatsRegistry::Global().ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const Json* counters = parsed.value().Find("counters");
+  const Json* gauges = parsed.value().Find("gauges");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_NE(counters->Find("json.documents_parsed"), nullptr);
+  EXPECT_NE(counters->Find("json.parse_errors"), nullptr);
 }
 
 }  // namespace
