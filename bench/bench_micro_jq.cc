@@ -12,6 +12,7 @@
 #include "jq/exact.h"
 #include "model/jury.h"
 #include "model/worker_pool_view.h"
+#include "util/cancellation.h"
 #include "util/poisson_binomial.h"
 #include "util/rng.h"
 #include "util/simd_dispatch.h"
@@ -737,6 +738,37 @@ void BM_AnnealingSolveNoIncremental(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AnnealingSolveNoIncremental)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_AnnealingStep(benchmark::State& state, bool with_token) {
+  // Deadline-check overhead: the identical SA workload with and without
+  // a live (never-firing) cancel token. The token variant pays what
+  // every deadline-armed solve pays — one relaxed flag load per step
+  // plus a clock probe every WorkGovernor::kDeadlineProbePeriod steps.
+  // scripts/check_deadline_overhead.py gates token/bare at <2% in CI.
+  const int n = 100;
+  Rng pool_rng(7);
+  JspInstance instance;
+  for (int i = 0; i < n; ++i) {
+    instance.candidates.emplace_back(
+        "w" + std::to_string(i),
+        pool_rng.TruncatedGaussian(0.7, 0.22360679774997896, 0.01, 0.99),
+        pool_rng.TruncatedGaussian(0.05, 0.2, 0.01, 1e9));
+  }
+  instance.budget = 0.5;
+  instance.alpha = 0.5;
+  const BucketBvObjective objective;
+  AnnealingOptions options;
+  const CancelToken token(3.6e6);  // an hour out: probes run, never fire
+  if (with_token) options.cancel_token = &token;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    benchmark::DoNotOptimize(
+        SolveAnnealing(instance, objective, &rng, options).value());
+  }
+}
+BENCHMARK_CAPTURE(BM_AnnealingStep, bare, false);
+BENCHMARK_CAPTURE(BM_AnnealingStep, token, true);
 
 // ---------------------------------------------------------------------------
 // Fused multi-request move scans: the SolveMany seam with and without the

@@ -13,6 +13,12 @@
 //   --alpha=A        task prior (default 0.5; with this flag set, bare
 //                    numbers are all budgets)
 //   --seed=S         rng seed for the stochastic solvers (default 20150323)
+//   --deadline-ms=D  wall-clock deadline per solve; an expired solve still
+//                    succeeds with its best-so-far jury (anytime result,
+//                    "terminated_early": true under --json)
+//   --max-work-units=W  deterministic per-strand work budget per solve
+//                    (0 = unlimited); same anytime semantics, but the
+//                    stop point is reproducible
 //   --json           print each SolveReport as one JSON line
 //   --stats          after the run, print the process-wide stats registry
 //                    (scheduler/eval/fusion/plan counters) as one JSON line
@@ -30,6 +36,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -38,6 +45,7 @@
 #include "api/solve.h"
 #include "core/budget_table.h"
 #include "model/worker_io.h"
+#include "util/cancellation.h"
 #include "util/rng.h"
 #include "util/stats_registry.h"
 
@@ -48,6 +56,8 @@ struct CliArgs {
   std::string solver;
   double alpha = 0.5;
   std::uint64_t seed = 20150323;
+  double deadline_ms = 0.0;
+  std::uint64_t max_work_units = 0;
   bool json = false;
   bool stats = false;
   bool list_solvers = false;
@@ -111,6 +121,20 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       args->alpha_flag_seen = true;
     } else if (arg.rfind("--seed=", 0) == 0) {
       if (!ParseUint64Flag("--seed", arg.substr(7), &args->seed)) {
+        return false;
+      }
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      if (!ParseDoubleFlag("--deadline-ms", arg.substr(14),
+                           &args->deadline_ms) ||
+          args->deadline_ms < 0.0) {
+        if (args->deadline_ms < 0.0) {
+          std::cerr << "error: --deadline-ms must be non-negative\n";
+        }
+        return false;
+      }
+    } else if (arg.rfind("--max-work-units=", 0) == 0) {
+      if (!ParseUint64Flag("--max-work-units", arg.substr(17),
+                           &args->max_work_units)) {
         return false;
       }
     } else if (arg.rfind("--", 0) == 0) {
@@ -178,17 +202,34 @@ int RunCli(const CliArgs& args_in) {
   }
 
   if (args.solver.empty()) {
-    // Historical default: the Fig. 1 budget-quality table.
+    // Historical default: the Fig. 1 budget-quality table. The limit
+    // flags apply here too: a deadline truncates the table to the rows
+    // finished in time, a work budget caps the row count
+    // deterministically (and both wind down each row's inner solve).
     std::cout << "Pool: " << workers.size() << " workers, prior alpha = "
               << args.alpha << "\n\n";
     Rng rng(args.seed);
+    OptjsOptions options;
+    options.max_work_units = args.max_work_units;
+    std::optional<CancelToken> deadline;
+    if (args.deadline_ms > 0.0) {
+      deadline.emplace(args.deadline_ms);
+      options.cancel_token = &*deadline;
+    }
+    TerminationInfo termination;
+    options.termination = &termination;
     auto rows = BuildBudgetQualityTable(workers, args.budgets, args.alpha,
-                                        &rng);
+                                        &rng, options);
     if (!rows.ok()) {
       std::cerr << "error: " << rows.status() << "\n";
       return 1;
     }
     std::cout << FormatBudgetQualityTable(rows.value());
+    if (termination.terminated_early()) {
+      std::cout << "(stopped early: " << StopReasonName(termination.reason)
+                << "; " << rows.value().size() << " of "
+                << args.budgets.size() << " rows)\n";
+    }
     return 0;
   }
 
@@ -208,6 +249,8 @@ int RunCli(const CliArgs& args_in) {
     request.budget = budget;
     request.alpha = args.alpha;
     request.rng_seed = args.seed;
+    request.deadline_ms = args.deadline_ms;
+    request.max_work_units = args.max_work_units;
     requests.push_back(std::move(request));
   }
   auto reports = context.SolveMany(requests);
@@ -236,7 +279,11 @@ int RunCli(const CliArgs& args_in) {
               << ", JQ = " << 100.0 * report.solution.jq << "%"
               << ", cost = " << report.solution.cost << ", "
               << report.evaluations.total() << " evals, "
-              << 1e3 * report.wall_seconds << " ms\n";
+              << 1e3 * report.wall_seconds << " ms";
+    if (report.terminated_early) {
+      std::cout << " [early: " << report.termination_reason << "]";
+    }
+    std::cout << "\n";
   }
   return 0;
 }

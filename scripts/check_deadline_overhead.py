@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Gate the deadline-check overhead of the solve path.
+
+``BM_AnnealingStep/token`` runs the identical annealing workload as
+``BM_AnnealingStep/bare`` but with a live (never-firing) cancel token,
+so the delta between the two is exactly what every deadline-armed solve
+pays: one relaxed flag load per SA step plus a periodic clock probe.
+The gate fails if the token variant is more than 2% slower.
+
+Usage: check_deadline_overhead.py BENCH_micro.fresh.json
+
+The input is a google-benchmark ``--benchmark_out`` JSON file. When the
+run used ``--benchmark_repetitions``, the ``_median`` aggregate is used
+(more robust on noisy CI runners); otherwise the single raw entry.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+BENCH = "BM_AnnealingStep"
+VARIANTS = ("bare", "token")
+MAX_RATIO = 1.02  # <2% overhead
+
+
+def pick_times(benchmarks: list[dict]) -> dict[str, float]:
+    """Prefer the median aggregate per variant; fall back to raw entries."""
+    medians: dict[str, float] = {}
+    raw: dict[str, float] = {}
+    for entry in benchmarks:
+        name = entry.get("name", "")
+        for variant in VARIANTS:
+            base = f"{BENCH}/{variant}"
+            if name == f"{base}_median":
+                medians[variant] = float(entry["real_time"])
+            elif name == base and entry.get("run_type", "iteration") != "aggregate":
+                # Repeated runs emit several raw entries; keep the minimum.
+                raw[variant] = min(raw.get(variant, float("inf")),
+                                   float(entry["real_time"]))
+    return medians if len(medians) == len(VARIANTS) else raw
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[1], encoding="utf-8") as fh:
+        doc = json.load(fh)
+    times = pick_times(doc.get("benchmarks", []))
+    missing = [v for v in VARIANTS if v not in times]
+    if missing:
+        print(f"check_deadline_overhead: missing {BENCH} variants: "
+              f"{', '.join(missing)}", file=sys.stderr)
+        return 1
+    ratio = times["token"] / times["bare"]
+    print(f"deadline-check overhead: {100.0 * (ratio - 1.0):+.2f}% "
+          f"(token {times['token']:.1f} vs bare {times['bare']:.1f}, "
+          f"limit +{100.0 * (MAX_RATIO - 1.0):.0f}%)")
+    if ratio > MAX_RATIO:
+        print("check_deadline_overhead: FAIL — cancel-token polling "
+              "regressed the annealing step", file=sys.stderr)
+        return 1
+    print("check_deadline_overhead: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -56,6 +56,10 @@ expect_fail alpha_empty       -- --alpha=
 expect_fail seed_garbage      -- --seed=xyz
 expect_fail seed_negative     -- --seed=-3
 expect_fail seed_trailing     -- --seed=12three
+expect_fail deadline_garbage  -- --deadline-ms=soon
+expect_fail deadline_negative -- --deadline-ms=-10
+expect_fail work_garbage      -- --max-work-units=lots
+expect_fail work_negative     -- --max-work-units=-1
 
 # --- input files ----------------------------------------------------------
 expect_fail missing_csv       -- "$tmpdir/does_not_exist.csv" 5
@@ -77,6 +81,25 @@ expect_fail negative_budget   -- --solver=greedy-quality --alpha=0.4 -5
 expect_ok list_solvers        -- --list-solvers
 expect_ok demo_pool           -- --solver=greedy-quality --json 5
 expect_ok legacy_table        -- 0.4 5 10
+
+# --- anytime limits -------------------------------------------------------
+# An expired/capped solve is a *success* with its best-so-far jury — exit 0,
+# and under --json the report says so. max_work_units=1 guarantees an early
+# stop for the stochastic solvers without racing the wall clock.
+expect_ok limited_table       -- --max-work-units=1 0.4 5 10
+expect_ok limited_deadline    -- --solver=annealing --deadline-ms=10000 --json 5
+if "$CLI" --solver=annealing --max-work-units=1 --json 5 \
+     >"$tmpdir/limited_out" 2>"$tmpdir/limited_err"; then
+  if grep -q '"terminated_early":true' "$tmpdir/limited_out"; then
+    echo "ok(limited_anytime_json)"
+  else
+    echo "FAIL(limited_anytime_json): no terminated_early in: $(cat "$tmpdir/limited_out")" >&2
+    failures=$((failures + 1))
+  fi
+else
+  echo "FAIL(limited_anytime_json): capped solve exited non-zero ($(cat "$tmpdir/limited_err"))" >&2
+  failures=$((failures + 1))
+fi
 
 # --- --stats schema -------------------------------------------------------
 if "$CLI" --solver=greedy-quality --json --stats 5 >"$tmpdir/stats_out" 2>&1; then

@@ -1,12 +1,60 @@
 #include "api/registry.h"
 
+#include <cstdint>
 #include <functional>
+#include <optional>
 #include <utility>
 
+#include "util/cancellation.h"
 #include "util/timer.h"
 
 namespace jury::api {
 namespace {
+
+/// Per-solve control block: materializes the request's deadline into a
+/// `CancelToken` chained to the caller's token (either signal stops the
+/// solve), carries the deterministic work budget, and owns the
+/// `TerminationInfo` the core solver fills. Stack-allocated inside each
+/// adapter's `Solve`, so nothing outlives the solve; the deadline clock
+/// starts at construction, just before the timed solve call.
+class SolveControls {
+ public:
+  explicit SolveControls(const SolveRequest& request)
+      : limits_active_(request.deadline_ms > 0.0 ||
+                       request.max_work_units != 0 ||
+                       request.cancel_token != nullptr),
+        max_work_units_(request.max_work_units),
+        token_(request.cancel_token) {
+    if (request.deadline_ms > 0.0) {
+      deadline_token_.emplace(request.deadline_ms, request.cancel_token);
+      token_ = &*deadline_token_;
+    }
+  }
+  SolveControls(const SolveControls&) = delete;
+  SolveControls& operator=(const SolveControls&) = delete;
+
+  /// Stamps the stop signal, work budget, and termination out-pointer
+  /// onto a core options struct (any `SolverOptions` subclass).
+  void Arm(SolverOptions& options) {
+    options.cancel_token = token_;
+    options.max_work_units = max_work_units_;
+    options.termination = &termination_;
+  }
+
+  void FillReport(SolveReport& report) const {
+    report.limits_active = limits_active_;
+    report.terminated_early = termination_.terminated_early();
+    report.termination_reason = StopReasonName(termination_.reason);
+    report.work_units = termination_.work_units;
+  }
+
+ private:
+  bool limits_active_;
+  std::uint64_t max_work_units_;
+  const CancelToken* token_;
+  std::optional<CancelToken> deadline_token_;
+  TerminationInfo termination_;
+};
 
 /// Shared tail of every adapter: snapshot the per-solve objective's
 /// counters into the uniform report. The objective is constructed by the
@@ -22,15 +70,39 @@ void BindAmbientScanSink(const JqObjective& objective) {
   objective.BindScanSink(CurrentThreadScanSink());
 }
 
+/// Builds the tuned objective, rejects pools its evaluator cannot score,
+/// and binds the ambient scan sink. A solver can stage any subset of the
+/// pool, so the whole pool must fit under the objective's jury cap — the
+/// exact-enumeration objective used to abort inside `Evaluate` when an
+/// oversized jury reached its 2^n guard; this is the boundary where that
+/// became a recoverable Status instead.
+Result<std::unique_ptr<JqObjective>> MakeCheckedObjective(
+    const PoolPlanContext& context, const SolveRequest& request) {
+  std::unique_ptr<JqObjective> objective;
+  JURY_ASSIGN_OR_RETURN(objective, MakeObjective(request.tuning));
+  if (context.candidates().size() > objective->max_jury_size()) {
+    return Status::InvalidArgument(
+        "pool of " + std::to_string(context.candidates().size()) +
+        " workers exceeds the '" + request.tuning.objective +
+        "' objective's jury cap of " +
+        std::to_string(objective->max_jury_size()) +
+        "; use the bv-bucket objective for pools this large");
+  }
+  BindAmbientScanSink(*objective);
+  return objective;
+}
+
 SolveReport FinishReport(const std::string& solver, JspSolution solution,
                          const JqObjective& objective, double wall_seconds,
-                         std::map<std::string, double> stats) {
+                         std::map<std::string, double> stats,
+                         const SolveControls& controls) {
   SolveReport report;
   report.solver = solver;
   report.solution = std::move(solution);
   report.wall_seconds = wall_seconds;
   report.evaluations = objective.evaluation_counters();
   report.stats = std::move(stats);
+  controls.FillReport(report);
   return report;
 }
 
@@ -61,19 +133,21 @@ class AnnealingSolver final : public JspSolver {
   Result<SolveReport> Solve(PoolPlanContext& context,
                             const SolveRequest& request) const override {
     std::unique_ptr<JqObjective> objective;
-    JURY_ASSIGN_OR_RETURN(objective, MakeObjective(request.tuning));
-    BindAmbientScanSink(*objective);
+    JURY_ASSIGN_OR_RETURN(objective, MakeCheckedObjective(context, request));
     auto lease = context.AcquireInstance(request.budget, request.alpha);
     Rng rng(request.rng_seed);
     AnnealingStats stats;
+    AnnealingOptions annealing = request.tuning.annealing;
+    SolveControls controls(request);
+    controls.Arm(annealing);
     Timer timer;
     JspSolution solution;
     JURY_ASSIGN_OR_RETURN(
-        solution,
-        SolveAnnealing(lease.instance(), context.view(), *objective, &rng,
-                       request.tuning.annealing, &stats));
+        solution, SolveAnnealing(lease.instance(), context.view(), *objective,
+                                 &rng, annealing, &stats));
     return FinishReport(name(), std::move(solution), *objective,
-                        timer.ElapsedSeconds(), FlattenAnnealingStats(stats));
+                        timer.ElapsedSeconds(), FlattenAnnealingStats(stats),
+                        controls);
   }
 };
 
@@ -83,16 +157,18 @@ class ExhaustiveSolver final : public JspSolver {
   Result<SolveReport> Solve(PoolPlanContext& context,
                             const SolveRequest& request) const override {
     std::unique_ptr<JqObjective> objective;
-    JURY_ASSIGN_OR_RETURN(objective, MakeObjective(request.tuning));
-    BindAmbientScanSink(*objective);
+    JURY_ASSIGN_OR_RETURN(objective, MakeCheckedObjective(context, request));
     auto lease = context.AcquireInstance(request.budget, request.alpha);
+    ExhaustiveOptions exhaustive = request.tuning.exhaustive;
+    SolveControls controls(request);
+    controls.Arm(exhaustive);
     Timer timer;
     JspSolution solution;
     JURY_ASSIGN_OR_RETURN(
         solution, SolveExhaustive(lease.instance(), context.view(),
-                                  *objective, request.tuning.exhaustive));
+                                  *objective, exhaustive));
     return FinishReport(name(), std::move(solution), *objective,
-                        timer.ElapsedSeconds(), {});
+                        timer.ElapsedSeconds(), {}, controls);
   }
 };
 
@@ -102,23 +178,26 @@ class BranchBoundSolver final : public JspSolver {
   Result<SolveReport> Solve(PoolPlanContext& context,
                             const SolveRequest& request) const override {
     std::unique_ptr<JqObjective> objective;
-    JURY_ASSIGN_OR_RETURN(objective, MakeObjective(request.tuning));
-    BindAmbientScanSink(*objective);
+    JURY_ASSIGN_OR_RETURN(objective, MakeCheckedObjective(context, request));
     auto lease = context.AcquireInstance(request.budget, request.alpha);
     BranchBoundStats stats;
+    BranchBoundOptions branch_bound = request.tuning.branch_bound;
+    SolveControls controls(request);
+    controls.Arm(branch_bound);
     Timer timer;
     JspSolution solution;
     JURY_ASSIGN_OR_RETURN(
         solution,
         SolveBranchAndBound(lease.instance(), context.view(), *objective,
-                            request.tuning.branch_bound, &stats));
+                            branch_bound, &stats));
     return FinishReport(
         name(), std::move(solution), *objective, timer.ElapsedSeconds(),
         {{"nodes_explored", static_cast<double>(stats.nodes_explored)},
          {"nodes_pruned_bound",
           static_cast<double>(stats.nodes_pruned_bound)},
          {"nodes_pruned_budget",
-          static_cast<double>(stats.nodes_pruned_budget)}});
+          static_cast<double>(stats.nodes_pruned_budget)}},
+        controls);
   }
 };
 
@@ -138,16 +217,18 @@ class GreedyFamilySolver final : public JspSolver {
   Result<SolveReport> Solve(PoolPlanContext& context,
                             const SolveRequest& request) const override {
     std::unique_ptr<JqObjective> objective;
-    JURY_ASSIGN_OR_RETURN(objective, MakeObjective(request.tuning));
-    BindAmbientScanSink(*objective);
+    JURY_ASSIGN_OR_RETURN(objective, MakeCheckedObjective(context, request));
     auto lease = context.AcquireInstance(request.budget, request.alpha);
+    GreedyOptions greedy = request.tuning.greedy;
+    SolveControls controls(request);
+    controls.Arm(greedy);
     Timer timer;
     JspSolution solution;
     JURY_ASSIGN_OR_RETURN(solution,
                           entry_(lease.instance(), context.view(), *objective,
-                                 request.tuning.greedy));
+                                 greedy));
     return FinishReport(name_, std::move(solution), *objective,
-                        timer.ElapsedSeconds(), {});
+                        timer.ElapsedSeconds(), {}, controls);
   }
 
  private:
@@ -166,13 +247,15 @@ class OptjsSolver final : public JspSolver {
   std::string name() const override { return "optjs"; }
   Result<SolveReport> Solve(PoolPlanContext& context,
                             const SolveRequest& request) const override {
-    const OptjsOptions& options = request.tuning.optjs;
+    OptjsOptions options = request.tuning.optjs;
     const BucketBvObjective objective(options.bucket);
     BindAmbientScanSink(objective);
     auto lease = context.AcquireInstance(request.budget, request.alpha);
     Rng rng(request.rng_seed);
     AnnealingStats stats;
     bool used_shortcut = false;
+    SolveControls controls(request);
+    controls.Arm(options);
     Timer timer;
     JspSolution solution;
     JURY_ASSIGN_OR_RETURN(
@@ -181,7 +264,7 @@ class OptjsSolver final : public JspSolver {
     std::map<std::string, double> flat = FlattenAnnealingStats(stats);
     flat["used_exhaustive_shortcut"] = used_shortcut ? 1.0 : 0.0;
     return FinishReport(name(), std::move(solution), objective,
-                        timer.ElapsedSeconds(), std::move(flat));
+                        timer.ElapsedSeconds(), std::move(flat), controls);
   }
 };
 
@@ -195,13 +278,17 @@ class MvjsSolver final : public JspSolver {
     auto lease = context.AcquireInstance(request.budget, request.alpha);
     Rng rng(request.rng_seed);
     AnnealingStats stats;
+    MvjsOptions mvjs = request.tuning.mvjs;
+    SolveControls controls(request);
+    controls.Arm(mvjs);
     Timer timer;
     JspSolution solution;
     JURY_ASSIGN_OR_RETURN(
         solution, SolveMvjs(lease.instance(), context.view(), objective,
-                            &rng, request.tuning.mvjs, &stats));
+                            &rng, mvjs, &stats));
     return FinishReport(name(), std::move(solution), objective,
-                        timer.ElapsedSeconds(), FlattenAnnealingStats(stats));
+                        timer.ElapsedSeconds(), FlattenAnnealingStats(stats),
+                        controls);
   }
 };
 

@@ -280,7 +280,8 @@ Status BindTuning(const Json& doc, const std::string& path,
 
 // -- Writers (the ToJsonValue mirror). Every field is emitted, defaults
 // -- included, so a dumped request reparses to an equal struct and the
-// -- bytes are stable.
+// -- bytes are stable. (The top-level limit fields are the one exception;
+// -- see ToJsonValue.)
 
 Json BucketToJson(const BucketJqOptions& options) {
   return Json::Object()
@@ -371,6 +372,11 @@ Result<SolveRequest> SolveRequest::FromJson(const Json& doc) {
       JURY_RETURN_NOT_OK(GetDoubleField(value, field, &request.alpha));
     } else if (key == "rng_seed") {
       JURY_RETURN_NOT_OK(GetUint64Field(value, field, &request.rng_seed));
+    } else if (key == "deadline_ms") {
+      JURY_RETURN_NOT_OK(GetDoubleField(value, field, &request.deadline_ms));
+    } else if (key == "max_work_units") {
+      JURY_RETURN_NOT_OK(
+          GetUint64Field(value, field, &request.max_work_units));
     } else if (key == "collect_process_stats") {
       JURY_RETURN_NOT_OK(
           GetBoolField(value, field, &request.collect_process_stats));
@@ -390,13 +396,20 @@ Result<SolveRequest> SolveRequest::FromJsonText(std::string_view text) {
 }
 
 Json SolveRequest::ToJsonValue() const {
-  return Json::Object()
-      .Set("alpha", alpha)
-      .Set("budget", budget)
-      .Set("collect_process_stats", collect_process_stats)
-      .Set("rng_seed", rng_seed)
-      .Set("solver", solver)
-      .Set("tuning", TuningToJson(tuning));
+  Json doc = Json::Object()
+                 .Set("alpha", alpha)
+                 .Set("budget", budget)
+                 .Set("collect_process_stats", collect_process_stats)
+                 .Set("rng_seed", rng_seed)
+                 .Set("solver", solver)
+                 .Set("tuning", TuningToJson(tuning));
+  // The two limit fields are the exception to "emit every field": written
+  // only when set, so limit-free dumps — the checked-in golden fixtures
+  // among them — keep their historical byte layout. (`cancel_token` is
+  // runtime-only and has no wire form at all.)
+  if (deadline_ms > 0.0) doc.Set("deadline_ms", deadline_ms);
+  if (max_work_units != 0) doc.Set("max_work_units", max_work_units);
+  return doc;
 }
 
 std::string SolveRequest::ToJson() const { return ToJsonValue().Dump(); }

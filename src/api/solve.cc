@@ -1,14 +1,19 @@
 #include "api/solve.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <limits>
 #include <mutex>
 #include <optional>
+#include <thread>
 #include <utility>
 
 #include "api/registry.h"
 #include "model/prior.h"
+#include "util/fault_injection.h"
 #include "util/json.h"
+#include "util/rng.h"
 #include "util/scheduler.h"
 #include "util/stats_registry.h"
 
@@ -31,6 +36,29 @@ StatsRegistry::Counter& g_requests_solved =
     RegisterStatsCounter("api.requests_solved");
 StatsRegistry::Counter& g_request_errors =
     RegisterStatsCounter("api.request_errors");
+StatsRegistry::Counter& g_solves_deadline_exceeded =
+    RegisterStatsCounter("api.solves_deadline_exceeded");
+StatsRegistry::Counter& g_solves_cancelled =
+    RegisterStatsCounter("api.solves_cancelled");
+StatsRegistry::Counter& g_retries = RegisterStatsCounter("api.retries");
+
+/// Sleeps out the policy's backoff before retry `retry_number` (1-based).
+/// The jitter stream is derived from (rng_seed, retry number), never from
+/// wall clock, so a replayed batch sleeps the same schedule.
+void BackoffBeforeRetry(const SolveRequest& request,
+                        std::size_t retry_number,
+                        const RetryPolicy& policy) {
+  if (policy.backoff_base_ms <= 0.0) return;
+  const std::size_t shift = std::min<std::size_t>(retry_number - 1, 20);
+  const double exponential_ms =
+      policy.backoff_base_ms *
+      static_cast<double>(std::uint64_t{1} << shift);
+  Rng jitter(request.rng_seed ^
+             (0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(retry_number)));
+  const double factor = 0.5 + jitter.Uniform();  // [0.5, 1.5)
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::milli>(exponential_ms * factor));
+}
 
 }  // namespace
 
@@ -40,6 +68,11 @@ Status SolveRequest::Validate() const {
   }
   if (!(budget >= 0.0) || !(budget <= std::numeric_limits<double>::max())) {
     return Status::InvalidArgument("budget must be finite and non-negative");
+  }
+  if (!(deadline_ms >= 0.0) ||
+      !(deadline_ms <= std::numeric_limits<double>::max())) {
+    return Status::InvalidArgument(
+        "deadline_ms must be finite and non-negative");
   }
   return ValidateAlpha(alpha);
 }
@@ -62,6 +95,13 @@ std::string SolveReport::ToJson() const {
       process_json.Set(key, value);
     }
     document.Set("process_stats", std::move(process_json));
+  }
+  if (limits_active) {
+    // Emitted only for limited solves: limit-free reports (every golden
+    // trace) keep their historical byte layout.
+    document.Set("terminated_early", terminated_early)
+        .Set("termination_reason", termination_reason)
+        .Set("work_units", work_units);
   }
   return document.Set("stats", std::move(stats_json))
       .Set("wall_seconds", wall_seconds)
@@ -101,6 +141,10 @@ Result<PoolPlanContext> PoolPlanContext::Plan(std::vector<Worker> candidates) {
 
 PoolPlanContext::InstanceLease PoolPlanContext::AcquireInstance(double budget,
                                                                 double alpha) {
+  // A cold lease copies the whole pool; the fault hook stands in for that
+  // allocation failing. First, before any arena mutation, so a fired
+  // fault leaves the free list and high-water mark untouched.
+  JURY_FAULT_POINT("plan.lease_instance");
   std::unique_ptr<JspInstance> instance;
   {
     std::lock_guard<std::mutex> lock(arena_->mutex);
@@ -138,16 +182,33 @@ PoolPlanContext::InstanceLease::~InstanceLease() {
 
 Result<SolveReport> PoolPlanContext::Solve(const SolveRequest& request) {
   Result<SolveReport> result = [&]() -> Result<SolveReport> {
-    JURY_RETURN_NOT_OK(request.Validate());
-    const JspSolver* solver = nullptr;
-    JURY_ASSIGN_OR_RETURN(solver, FindSolver(request.solver));
-    return solver->Solve(*this, request);
+    try {
+      JURY_RETURN_NOT_OK(request.Validate());
+      const JspSolver* solver = nullptr;
+      JURY_ASSIGN_OR_RETURN(solver, FindSolver(request.solver));
+      return solver->Solve(*this, request);
+    } catch (const FaultInjectedError& error) {
+      // The one place injected faults are converted: whatever site fired
+      // — on this thread or rethrown from a drained parallel region —
+      // surfaces as the same transient, retryable status class a real
+      // allocation failure would.
+      return Status::ResourceExhausted(error.what());
+    }
   }();
   if (!result.ok()) {
     g_request_errors.Increment();
     return result;
   }
   g_requests_solved.Increment();
+  const SolveReport& report = result.value();
+  if (report.terminated_early) {
+    if (report.termination_reason == StopReasonName(StopReason::kDeadline)) {
+      g_solves_deadline_exceeded.Increment();
+    } else if (report.termination_reason ==
+               StopReasonName(StopReason::kCancelled)) {
+      g_solves_cancelled.Increment();
+    }
+  }
   if (request.collect_process_stats) {
     // Snapshot after the bump so the export covers this request too.
     result.value().process_stats = StatsRegistry::Global().Snapshot();
@@ -178,6 +239,37 @@ Result<std::vector<SolveReport>> PoolPlanContext::SolveMany(
   // bit-identity contract below is unchanged.
   FusedScanBroker broker;
   FusedScanBroker* const sink = options.fuse_move_scans ? &broker : nullptr;
+  // Per-request retry loop. Only `kResourceExhausted` — the transient
+  // class (injected faults, node budgets) — is retried; anything else is
+  // final on the first attempt. Retries run inline on the same task, in
+  // attempt order, so the batch's bit-identity contract is untouched:
+  // each attempt is a full fresh solve from the request's own seed.
+  const std::size_t max_attempts =
+      std::max<std::size_t>(options.retry.max_attempts, 1);
+  std::atomic<std::uint64_t> total_attempts{0};
+  std::atomic<std::uint64_t> total_retries{0};
+  const auto solve_with_retry =
+      [&](const SolveRequest& request) -> Result<SolveReport> {
+    for (std::size_t attempt = 1;; ++attempt) {
+      total_attempts.fetch_add(1, std::memory_order_relaxed);
+      Result<SolveReport> result = Solve(request);
+      if (result.ok()) {
+        // Surfaced only when a retry actually happened, so retry-free
+        // reports stay byte-identical to their serial solves.
+        if (attempt > 1) {
+          result.value().stats["attempts"] = static_cast<double>(attempt);
+        }
+        return result;
+      }
+      if (attempt >= max_attempts ||
+          result.status().code() != StatusCode::kResourceExhausted) {
+        return result;
+      }
+      total_retries.fetch_add(1, std::memory_order_relaxed);
+      g_retries.Increment();
+      BackoffBeforeRetry(request, attempt, options.retry);
+    }
+  };
   // One task per request (grain 1): requests are heterogeneous — a batch
   // can mix exhaustive solves with greedy ones — so idle workers should
   // steal individual requests, and a request's own nested regions
@@ -185,17 +277,30 @@ Result<std::vector<SolveReport>> PoolPlanContext::SolveMany(
   // scheduler. Every request is solved by the same code path as a serial
   // `Solve`, reading only its own seeded rng, so the result vector is a
   // pure function of the request list.
-  Scheduler::GlobalParallelFor(
-      0, count, 1,
-      [&](std::size_t begin, std::size_t end) {
-        ScopedThreadScanSink scoped(sink);
-        for (std::size_t i = begin; i < end; ++i) {
-          results[i].emplace(Solve(requests[i]));
-        }
-      },
-      threads);
+  try {
+    Scheduler::GlobalParallelFor(
+        0, count, 1,
+        [&](std::size_t begin, std::size_t end) {
+          ScopedThreadScanSink scoped(sink);
+          for (std::size_t i = begin; i < end; ++i) {
+            results[i].emplace(solve_with_retry(requests[i]));
+          }
+        },
+        threads);
+  } catch (const FaultInjectedError& error) {
+    // The batch's own fan-out failed (a task spawn, before any
+    // per-request handler could run): fail the whole batch with the same
+    // clean, retryable status an in-solve fault gets.
+    return Status::ResourceExhausted(error.what());
+  }
   if (sink != nullptr && options.fusion_stats != nullptr) {
     *options.fusion_stats = broker.stats();
+  }
+  if (options.retry_stats != nullptr) {
+    options.retry_stats->attempts =
+        total_attempts.load(std::memory_order_relaxed);
+    options.retry_stats->retries =
+        total_retries.load(std::memory_order_relaxed);
   }
 
   std::vector<SolveReport> reports;

@@ -20,6 +20,7 @@
 #include "core/optjs.h"
 #include "model/worker.h"
 #include "model/worker_pool_view.h"
+#include "util/cancellation.h"
 #include "util/json.h"
 #include "util/result.h"
 
@@ -68,6 +69,24 @@ struct SolveRequest {
   std::uint64_t rng_seed = 20150323;
   /// Typed options overrides for the named solver.
   SolverTuning tuning;
+  /// Wall-clock deadline for this solve, in milliseconds from solve entry
+  /// (0 = none). When it expires the solve stops at its next check site
+  /// and returns the best jury found so far as a successful *anytime*
+  /// report (`SolveReport::terminated_early` set) — never an error.
+  /// Wall-clock, so where the solve stops varies run to run: keep
+  /// deadline-free requests for golden traces and replay tests.
+  double deadline_ms = 0.0;
+  /// Deterministic work budget (0 = unlimited). Each strand of the solve
+  /// (annealing chain, subset shard, scan, row) counts its own units
+  /// against this cap, and the strand structure is a pure function of the
+  /// request — so a capped solve stops at the same point and returns the
+  /// same jury for every thread count and SIMD tier. Units are
+  /// solver-specific (moves, Gray steps, rounds, nodes).
+  std::uint64_t max_work_units = 0;
+  /// Optional caller-owned cooperative cancel signal, polled at the same
+  /// check sites as the deadline. Runtime-only: never serialized, absent
+  /// from the JSON binding, and must outlive the solve.
+  const CancelToken* cancel_token = nullptr;
   /// Attach a snapshot of the process-wide `StatsRegistry` (scheduler,
   /// evaluation, fusion, plan-context, and parser counters) to the
   /// report as `SolveReport::process_stats`. Off by default because the
@@ -76,9 +95,9 @@ struct SolveRequest {
   /// reports.
   bool collect_process_stats = false;
 
-  /// Validates the request scalars (finite non-negative budget, a valid
-  /// prior, a non-empty solver name). The tuning bag is validated by the
-  /// solver that consumes it, at solve entry.
+  /// Validates the request scalars (finite non-negative budget and
+  /// deadline, a valid prior, a non-empty solver name). The tuning bag is
+  /// validated by the solver that consumes it, at solve entry.
   Status Validate() const;
 
   /// \brief Strict JSON binding of the request, the wire shape of the
@@ -90,8 +109,12 @@ struct SolveRequest {
   /// instead of silently solving with defaults), and type mismatches,
   /// non-finite numbers where finite ones are required, and out-of-range
   /// integers all surface as InvalidArgument naming the JSON path.
-  /// `ToJsonValue` emits every field (including defaults), so
-  /// `FromJson(ToJsonValue(r)) == r` and the dump is byte-stable.
+  /// `ToJsonValue` emits every field (including defaults), except the two
+  /// limit fields (`deadline_ms`, `max_work_units`), written only when
+  /// set so limit-free dumps keep their historical byte layout, and the
+  /// runtime-only `cancel_token`, which has no wire form. The round trip
+  /// `FromJson(ToJsonValue(r)) == r` still holds, and the dump is
+  /// byte-stable.
   static Result<SolveRequest> FromJson(const Json& doc);
   /// `Parse` + `FromJson` in one step for raw text.
   static Result<SolveRequest> FromJsonText(std::string_view text);
@@ -123,13 +146,56 @@ struct SolveReport {
   /// snapshot is process-cumulative, so it is opt-in to keep default
   /// reports byte-identical across replays).
   std::map<std::string, std::uint64_t> process_stats;
+  /// True when the solve stopped at a check site before natural
+  /// completion (work budget, deadline, or cancellation) and `solution`
+  /// is the best-so-far anytime result — still a valid, feasible jury.
+  bool terminated_early = false;
+  /// Why it stopped: "" (ran to completion), "work-limit", "deadline",
+  /// or "cancelled" — the highest-precedence reason across strands.
+  std::string termination_reason;
+  /// Work units counted across all strands (summed), in the solver's own
+  /// units (annealing moves, Gray steps, greedy rounds, B&B nodes).
+  std::uint64_t work_units = 0;
+  /// True when the request set any limit (deadline, work budget, or
+  /// cancel token). Gates the emission of the three fields above in
+  /// `ToJson`, so limit-free reports — every golden trace among them —
+  /// keep their historical byte layout.
+  bool limits_active = false;
 
   /// Deterministic JSON (sorted keys; see util/json.h) for bench and
   /// service logs:
   /// `{"evaluations":{...},"solution":{...},"solver":...,"stats":{...},
   ///   "wall_seconds":...}` — plus a `"process_stats"` object when the
-  /// request opted into the registry snapshot.
+  /// request opted into the registry snapshot, and the
+  /// `"terminated_early"` / `"termination_reason"` / `"work_units"`
+  /// triple when the request set any limit.
   std::string ToJson() const;
+};
+
+/// \brief Retry discipline for `SolveMany`: how many attempts each
+/// request gets and how attempts back off. Only transient failures —
+/// `kResourceExhausted`, the class that injected faults and exhausted
+/// node budgets surface as — are retried: deterministic failures
+/// (InvalidArgument, NotFound) would fail identically again, and anytime
+/// terminations (deadline, cancel, work limit) are successful reports,
+/// never errors.
+struct RetryPolicy {
+  /// Attempts per request, including the first. 1 = no retries.
+  std::size_t max_attempts = 1;
+  /// Backoff before retry k (k = 1 for the first retry):
+  /// `backoff_base_ms * 2^(k-1)`, scaled by a jitter factor in [0.5, 1.5)
+  /// drawn from a stream derived from (request rng_seed, attempt) — a
+  /// replayed batch sleeps the same schedule, while colliding requests
+  /// decorrelate. 0 = retry immediately.
+  double backoff_base_ms = 0.0;
+};
+
+/// \brief Aggregate retry accounting for one `SolveMany` batch.
+struct RetryStats {
+  /// Total solve attempts across the batch (>= the request count).
+  std::uint64_t attempts = 0;
+  /// Attempts beyond each request's first.
+  std::uint64_t retries = 0;
 };
 
 /// \brief Knobs of the batched `SolveMany` overload.
@@ -150,6 +216,13 @@ struct SolveManyOptions {
   /// When non-null and `fuse_move_scans` is set, receives the broker's
   /// lifetime counters (passes, drains, fusion rate) after the batch.
   FusedScanStats* fusion_stats = nullptr;
+  /// Per-request retry discipline (default: one attempt, no retries).
+  /// A request that succeeds on attempt k > 1 reports
+  /// `stats["attempts"] = k`; single-attempt reports are unchanged, so
+  /// retry-free batches stay byte-identical to serial solves.
+  RetryPolicy retry;
+  /// When non-null, receives the batch's aggregate attempt counts.
+  RetryStats* retry_stats = nullptr;
 };
 
 class PoolPlanContext;

@@ -166,7 +166,8 @@ JspSolution PolishNeighbourhood(const JspInstance& instance,
                                 const JqObjective& objective,
                                 const AnnealingOptions& options,
                                 const std::vector<std::size_t>& start,
-                                AnnealingStats* stats) {
+                                AnnealingStats* stats,
+                                WorkGovernor* governor) {
   const std::size_t n = instance.num_candidates();
   const std::span<const double> cost_col = view.cost();
   auto session =
@@ -192,6 +193,10 @@ JspSolution PolishNeighbourhood(const JspInstance& instance,
   std::vector<std::size_t> positions;
   std::vector<double> scores;
   for (std::size_t applied = 0; applied < move_cap; ++applied) {
+    // One polish scan is one work unit: scans dominate the polish cost
+    // and their count is a pure function of the jury, so the stop point
+    // stays deterministic under `max_work_units`.
+    if (governor->Tick() != StopReason::kNone) break;
     if (stats != nullptr) ++stats->polish_scans;
     const double current = session->current_jq();
     double best_score = -std::numeric_limits<double>::infinity();
@@ -300,18 +305,29 @@ JspSolution PolishNeighbourhood(const JspInstance& instance,
 /// rng-free polish below only post-processes the chain's result).
 JspSolution RunChain(const JspInstance& instance, const WorkerPoolView& view,
                      const JqObjective& objective, Rng* rng,
-                     const AnnealingOptions& options, AnnealingStats* stats) {
+                     const AnnealingOptions& options, AnnealingStats* stats,
+                     WorkGovernor* governor) {
   const std::size_t n = instance.num_candidates();
   SearchState state(instance, view, objective, options.use_incremental,
                     stats);
   const bool blind_adds =
       options.trust_monotone_adds && objective.monotone_in_size();
 
+  bool stop = false;
   for (double temperature = options.initial_temperature;
-       temperature >= options.epsilon;
+       temperature >= options.epsilon && !stop;
        temperature *= options.cooling_factor) {
     if (stats != nullptr) ++stats->temperature_levels;
     for (std::size_t step = 0; step < n; ++step) {
+      // The check site of Algorithm 3: one attempted move is one work
+      // unit, ticked before the move so a stopped chain never starts
+      // another scoring. The committed jury (and the best-seen
+      // incumbent) is always valid here, which is what makes the
+      // truncated chain an anytime result.
+      if (governor->Tick() != StopReason::kNone) {
+        stop = true;
+        break;
+      }
       const std::size_t r = static_cast<std::size_t>(rng->UniformInt(n));
       if (stats != nullptr) ++stats->moves_attempted;
 
@@ -390,9 +406,12 @@ JspSolution RunChain(const JspInstance& instance, const WorkerPoolView& view,
       options.return_best_seen
           ? MakeSolution(instance, state.best_members(), state.best_jq())
           : MakeSolution(instance, state.members(), state.current_jq());
-  if (options.max_polish_moves > 0) {
+  // A chain stopped by its governor skips the polish: the stop already
+  // consumed the strand's budget (or the clock), and whether the skip
+  // happens is itself deterministic under `max_work_units`.
+  if (options.max_polish_moves > 0 && !governor->stopped()) {
     result = PolishNeighbourhood(instance, view, objective, options,
-                                 result.selected, stats);
+                                 result.selected, stats, governor);
   }
   return result;
 }
@@ -454,13 +473,21 @@ Result<JspSolution> SolveAnnealing(const JspInstance& instance,
   }
   JURY_RETURN_NOT_OK(options.Validate());
   if (stats != nullptr) *stats = AnnealingStats{};
+  if (options.termination != nullptr) *options.termination = TerminationInfo{};
 
   if (instance.num_candidates() == 0) {
     return MakeSolution(instance, {}, objective.EmptyJq(instance.alpha));
   }
 
   if (options.num_restarts == 1) {
-    return RunChain(instance, view, objective, rng, options, stats);
+    WorkGovernor governor(options.cancel_token, options.max_work_units);
+    JspSolution solution =
+        RunChain(instance, view, objective, rng, options, stats, &governor);
+    if (options.termination != nullptr) {
+      options.termination->MergeStrand(governor.reason(),
+                                       governor.work_done());
+    }
+    return solution;
   }
 
   // Multi-restart: split per-chain rng streams from the caller's rng
@@ -477,12 +504,20 @@ Result<JspSolution> SolveAnnealing(const JspInstance& instance,
 
   std::vector<JspSolution> solutions(chains);
   std::vector<AnnealingStats> chain_stats(chains);
+  // Per-chain governors: each strand gets the full `max_work_units`
+  // budget, so its stop point depends only on its own seed — never on
+  // how chains were scheduled — and the outcomes merge serially below.
+  std::vector<WorkGovernor> governors(chains);
+  for (WorkGovernor& governor : governors) {
+    governor = WorkGovernor(options.cancel_token, options.max_work_units);
+  }
   const auto run_chains = [&](std::size_t begin, std::size_t end) {
     for (std::size_t k = begin; k < end; ++k) {
       Rng chain_rng(seeds[k]);
       solutions[k] =
           RunChain(instance, view, objective, &chain_rng, options,
-                   stats != nullptr ? &chain_stats[k] : nullptr);
+                   stats != nullptr ? &chain_stats[k] : nullptr,
+                   &governors[k]);
     }
   };
   Scheduler::GlobalParallelFor(
@@ -507,6 +542,12 @@ Result<JspSolution> SolveAnnealing(const JspInstance& instance,
       stats->objective_evaluations += s.objective_evaluations;
       stats->polish_scans += s.polish_scans;
       stats->polish_moves += s.polish_moves;
+    }
+  }
+  if (options.termination != nullptr) {
+    for (const WorkGovernor& governor : governors) {
+      options.termination->MergeStrand(governor.reason(),
+                                       governor.work_done());
     }
   }
   return solutions[best];

@@ -21,7 +21,8 @@ class Searcher {
         view_(view),
         objective_(objective),
         options_(options),
-        stats_(stats) {
+        stats_(stats),
+        governor_(options.cancel_token, options.max_work_units) {
     const std::size_t n = instance.num_candidates();
     order_.resize(n);
     std::iota(order_.begin(), order_.end(), std::size_t{0});
@@ -75,6 +76,8 @@ class Searcher {
     return out;
   }
 
+  const WorkGovernor& governor() const { return governor_; }
+
  private:
   double Evaluate(const std::vector<std::size_t>& selected) const {
     Jury jury;
@@ -119,6 +122,18 @@ class Searcher {
   }
 
   Status Dfs(std::size_t depth) {
+    // The check site: one explored node is one work unit. A governor
+    // stop latches `stopped_` and unwinds the recursion *normally* —
+    // every pending exclude-branch backtrack still re-adds its worker,
+    // so the session stays consistent and the incumbent is returned as
+    // the anytime result. Unlike `max_nodes` below, which stays a hard
+    // error (a guard against pathological instances, relied on by
+    // callers), a governor stop is a success.
+    if (stopped_) return Status::OK();
+    if (governor_.Tick() != StopReason::kNone) {
+      stopped_ = true;
+      return Status::OK();
+    }
     if (stats_ != nullptr) ++stats_->nodes_explored;
     if (++nodes_ > options_.max_nodes) {
       return Status::ResourceExhausted(
@@ -180,6 +195,8 @@ class Searcher {
   std::vector<std::size_t> selected_;
   double cost_ = 0.0;
   std::size_t nodes_ = 0;
+  WorkGovernor governor_;
+  bool stopped_ = false;
   double best_jq_;
   double best_cost_;
   std::vector<std::size_t> best_selected_;
@@ -214,8 +231,13 @@ Result<JspSolution> SolveBranchAndBound(const JspInstance& instance,
         "branch-and-bound requires a monotone objective (Lemma 1)");
   }
   if (stats != nullptr) *stats = BranchBoundStats{};
+  if (options.termination != nullptr) *options.termination = TerminationInfo{};
   Searcher searcher(instance, view, objective, options, stats);
   JURY_RETURN_NOT_OK(searcher.Run());
+  if (options.termination != nullptr) {
+    options.termination->MergeStrand(searcher.governor().reason(),
+                                     searcher.governor().work_done());
+  }
   return searcher.Solution();
 }
 

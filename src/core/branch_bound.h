@@ -3,6 +3,7 @@
 
 #include "core/jsp.h"
 #include "core/objective.h"
+#include "core/solver_options.h"
 #include "util/result.h"
 
 namespace jury {
@@ -10,7 +11,11 @@ namespace jury {
 class WorkerPoolView;
 
 /// \brief Options/instrumentation for the branch-and-bound JSP solver.
-struct BranchBoundOptions {
+/// The search itself is serial (the base's `num_threads` is unused); the
+/// base's cancellation fields bound it per explored node — a stop
+/// returns the incumbent as an anytime result, unlike the `max_nodes`
+/// overrun below, which stays a hard error.
+struct BranchBoundOptions : SolverOptions {
   /// Hard cap on explored nodes (guards pathological instances);
   /// ResourceExhausted when exceeded.
   std::size_t max_nodes = 2'000'000;

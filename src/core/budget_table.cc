@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/cancellation.h"
+#include "util/fault_injection.h"
 #include "util/scheduler.h"
 #include "util/table.h"
 
@@ -27,17 +29,40 @@ Result<std::vector<BudgetQualityRow>> BuildBudgetQualityTable(
   // (and every inner parallel path is deterministic in the thread count),
   // so the table is bit-identical for any thread count, nested or not.
   const std::size_t count = budgets.size();
+  // All `count` streams are forked even when the work budget truncates the
+  // table, so the caller's rng advances identically with or without limits.
   std::vector<std::uint64_t> row_seeds(count);
   for (std::uint64_t& seed : row_seeds) seed = rng->Next();
   OptjsOptions row_options = options;
   if (!table_options.nested_solver_parallelism) row_options.num_threads = 1;
+  // Rows inherit the stop signal and the per-strand work budget (an
+  // in-flight row winds its inner solve down on deadline) but not the
+  // termination out-pointer: rows run concurrently and the table owns one.
+  row_options.termination = nullptr;
 
-  const std::size_t threads = std::min(
-      ResolveThreadCount(options.num_threads), count > 0 ? count : 1);
-  std::vector<BudgetQualityRow> rows(count);
-  std::vector<Status> row_status(count, Status::OK());
+  // The check site: one row is one work unit at this level (each row's
+  // inner strands carry their own full per-strand budget). The cap is
+  // applied up-front, so the capped table is the same prefix for every
+  // thread count.
+  const std::size_t rows_to_run =
+      options.max_work_units != 0
+          ? std::min<std::size_t>(count, options.max_work_units)
+          : count;
+
+  const std::size_t threads =
+      std::min(ResolveThreadCount(options.num_threads),
+               rows_to_run > 0 ? rows_to_run : 1);
+  std::vector<BudgetQualityRow> rows(rows_to_run);
+  std::vector<Status> row_status(rows_to_run, Status::OK());
+  std::vector<unsigned char> row_done(rows_to_run, 0);
   const auto fill_rows = [&](std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) {
+      // Deadline / cancellation is polled at each row start; abandoned
+      // rows are dropped below by truncating to the completed prefix.
+      if (options.cancel_token != nullptr &&
+          options.cancel_token->Check() != StopReason::kNone) {
+        return;
+      }
       JspInstance instance;
       instance.candidates = candidates;
       instance.budget = budgets[i];
@@ -47,6 +72,7 @@ Result<std::vector<BudgetQualityRow>> BuildBudgetQualityTable(
                                                 row_options);
       if (!solution.ok()) {
         row_status[i] = solution.status();
+        row_done[i] = 1;
         continue;
       }
       rows[i].budget = budgets[i];
@@ -54,11 +80,35 @@ Result<std::vector<BudgetQualityRow>> BuildBudgetQualityTable(
       rows[i].jury_ids = solution.value().Describe(instance);
       rows[i].jq = solution.value().jq;
       rows[i].required = solution.value().cost;
+      row_done[i] = 1;
     }
   };
-  Scheduler::GlobalParallelFor(0, count, 1, fill_rows, threads);
-  for (const Status& status : row_status) {
-    JURY_RETURN_NOT_OK(status);
+  try {
+    Scheduler::GlobalParallelFor(0, rows_to_run, 1, fill_rows, threads);
+  } catch (const FaultInjectedError& error) {
+    // Injected faults (a row's inner solve, or the region's own task
+    // spawn) unwind through the drained region to here — the boundary
+    // that owns the Result contract for direct core callers.
+    return Status::ResourceExhausted(error.what());
+  }
+  std::size_t kept = 0;
+  while (kept < rows_to_run && row_done[kept] != 0) ++kept;
+  for (std::size_t i = 0; i < kept; ++i) {
+    JURY_RETURN_NOT_OK(row_status[i]);
+  }
+  rows.resize(kept);
+  if (options.termination != nullptr) {
+    *options.termination = TerminationInfo{};
+    if (rows_to_run < count) {
+      options.termination->MergeStrand(StopReason::kWorkLimit, 0);
+    }
+    // The token outlives the region, so a post-join probe still reports a
+    // deadline that expired mid-table — including the case where every
+    // row "finished" but the inner solves wound down degraded.
+    if (options.cancel_token != nullptr) {
+      options.termination->MergeStrand(options.cancel_token->Check(), 0);
+    }
+    options.termination->work_units += kept;
   }
   return rows;
 }
@@ -78,12 +128,29 @@ Result<BudgetQualityRow> MinimalBudgetForQuality(
     total += w.cost;
   }
 
+  // One bisection probe is one work unit; a stop keeps the best budget
+  // found so far (the full-pool solve below guarantees a valid fallback).
+  // Probes inherit the stop token (a deadline winds an in-flight probe
+  // down) but not the work budget — the governor consumes it at probe
+  // granularity, and passing it inside would degrade the full-pool
+  // fallback probe that the unreachable-target check depends on — and
+  // not the termination out-pointer.
+  WorkGovernor governor(options.cancel_token, options.max_work_units);
+  if (options.termination != nullptr) *options.termination = TerminationInfo{};
+  OptjsOptions probe_options = options;
+  probe_options.termination = nullptr;
+  probe_options.max_work_units = 0;
+
   auto solve_at = [&](double budget) -> Result<JspSolution> {
     JspInstance instance;
     instance.candidates = candidates;
     instance.budget = budget;
     instance.alpha = alpha;
-    return SolveOptjs(instance, rng, options);
+    try {
+      return SolveOptjs(instance, rng, probe_options);
+    } catch (const FaultInjectedError& error) {
+      return Status::ResourceExhausted(error.what());
+    }
   };
 
   JspSolution at_total;
@@ -99,6 +166,7 @@ Result<BudgetQualityRow> MinimalBudgetForQuality(
   JspSolution best = at_total;
   double best_budget = total;
   while (hi - lo > tolerance) {
+    if (governor.Tick() != StopReason::kNone) break;
     const double mid = (lo + hi) / 2.0;
     JspSolution probe;
     JURY_ASSIGN_OR_RETURN(probe, solve_at(mid));
@@ -113,6 +181,9 @@ Result<BudgetQualityRow> MinimalBudgetForQuality(
     }
   }
 
+  if (options.termination != nullptr) {
+    options.termination->MergeStrand(governor.reason(), governor.work_done());
+  }
   BudgetQualityRow row;
   row.budget = best_budget;
   row.selected = best.selected;

@@ -75,13 +75,20 @@ std::vector<std::size_t> MaskToIndices(std::uint64_t mask, std::size_t n) {
 /// The original ascending-mask sweep: every candidate jury is materialized
 /// and evaluated from scratch. Kept as the `--no-incremental` reference.
 JspSolution SweepFromScratch(const JspInstance& instance,
-                             const JqObjective& objective, bool monotone) {
+                             const JqObjective& objective, bool monotone,
+                             WorkGovernor* governor) {
   const std::size_t n = instance.num_candidates();
   JspSolution best =
       MakeSolution(instance, {}, objective.EmptyJq(instance.alpha));
   std::uint64_t best_mask = 0;
   const std::uint64_t total = 1ull << n;
   for (std::uint64_t mask = 1; mask < total; ++mask) {
+    // One enumerated mask is one work unit. The reference sweep walks
+    // masks in ascending order while the Gray sweeps walk shard-local
+    // Gray order, so under an active limit the two paths stop on
+    // *different* mask sets — the incremental/full equivalence contract
+    // holds only for unlimited solves (see ARCHITECTURE.md).
+    if (governor->Tick() != StopReason::kNone) break;
     double cost = 0.0;
     if (!FeasibleCost(instance, mask, &cost)) continue;
     if (monotone && !IsMaximal(instance, mask, cost)) continue;
@@ -109,7 +116,8 @@ JspSolution SweepFromScratch(const JspInstance& instance,
 void SweepGrayShard(const JspInstance& instance, const WorkerPoolView& view,
                     const JqObjective& objective, bool monotone,
                     std::uint64_t fixed_mask, std::size_t low_bits,
-                    JspSolution* best, std::uint64_t* best_mask) {
+                    JspSolution* best, std::uint64_t* best_mask,
+                    WorkGovernor* governor) {
   const std::size_t n = instance.num_candidates();
   auto session = objective.StartSession(view, instance.alpha, true);
   std::vector<bool> in_jury(n, false);
@@ -145,6 +153,12 @@ void SweepGrayShard(const JspInstance& instance, const WorkerPoolView& view,
   std::uint64_t low = 0;
   const std::uint64_t total = 1ull << low_bits;
   for (std::uint64_t k = 1; k < total; ++k) {
+    // The check site: one Gray step (one delta update + one candidate
+    // considered) is one work unit, counted against this *shard's* own
+    // budget — the walk order inside a shard is fixed, so the stop
+    // point is a pure function of (shard id, budget), never of which
+    // thread ran the shard.
+    if (governor->Tick() != StopReason::kNone) break;
     const std::size_t bit = static_cast<std::size_t>(std::countr_zero(k));
     low ^= 1ull << bit;
     if (!in_jury[bit]) {
@@ -168,12 +182,13 @@ void SweepGrayShard(const JspInstance& instance, const WorkerPoolView& view,
 /// Single-session Gray-code sweep (the historical incremental path).
 JspSolution SweepGrayCode(const JspInstance& instance,
                           const WorkerPoolView& view,
-                          const JqObjective& objective, bool monotone) {
+                          const JqObjective& objective, bool monotone,
+                          WorkGovernor* governor) {
   JspSolution best =
       MakeSolution(instance, {}, objective.EmptyJq(instance.alpha));
   std::uint64_t best_mask = 0;
   SweepGrayShard(instance, view, objective, monotone, 0,
-                 instance.num_candidates(), &best, &best_mask);
+                 instance.num_candidates(), &best, &best_mask, governor);
   return best;
 }
 
@@ -186,7 +201,8 @@ JspSolution SweepGrayCode(const JspInstance& instance,
 JspSolution SweepGraySharded(const JspInstance& instance,
                              const WorkerPoolView& view,
                              const JqObjective& objective, bool monotone,
-                             std::size_t threads) {
+                             std::size_t threads,
+                             const ExhaustiveOptions& options) {
   const std::size_t n = instance.num_candidates();
   const std::size_t low_bits = n - kShardBits;
   const std::size_t shards = std::size_t{1} << kShardBits;
@@ -195,18 +211,27 @@ JspSolution SweepGraySharded(const JspInstance& instance,
       MakeSolution(instance, {}, objective.EmptyJq(instance.alpha));
   std::vector<JspSolution> bests(shards, baseline);
   std::vector<std::uint64_t> best_masks(shards, 0);
+  // Per-shard governors, each with the full per-strand budget: a
+  // limited sweep stops each shard at the same point regardless of
+  // which thread claimed it (or whether the region ran inline).
+  std::vector<WorkGovernor> governors(shards);
+  for (WorkGovernor& governor : governors) {
+    governor = WorkGovernor(options.cancel_token, options.max_work_units);
+  }
 
   // Shards claim dynamically on the process-wide scheduler (nestable: an
-  // exhaustive solve inside a budget-table row fans out to idle workers).
-  // The grain is pinned at 1 — each element is a stateful Gray-code walk,
-  // so this loop must not be grain-autotuned.
-  Scheduler::Global()->ParallelFor(
+  // exhaustive solve inside a budget-table row fans out to idle workers;
+  // at parallelism 1 — a limit-forced sharded run — the shards run
+  // inline, in order, without touching the pool). The grain is pinned at
+  // 1 — each element is a stateful Gray-code walk, so this loop must not
+  // be grain-autotuned.
+  Scheduler::GlobalParallelFor(
       0, shards, 1,
       [&](std::size_t begin, std::size_t end) {
         for (std::size_t s = begin; s < end; ++s) {
           SweepGrayShard(instance, view, objective, monotone,
                          static_cast<std::uint64_t>(s) << low_bits, low_bits,
-                         &bests[s], &best_masks[s]);
+                         &bests[s], &best_masks[s], &governors[s]);
         }
       },
       std::min(threads, shards));
@@ -218,6 +243,12 @@ JspSolution SweepGraySharded(const JspInstance& instance,
                  best)) {
       best = bests[s];
       best_mask = best_masks[s];
+    }
+  }
+  if (options.termination != nullptr) {
+    for (const WorkGovernor& governor : governors) {
+      options.termination->MergeStrand(governor.reason(),
+                                       governor.work_done());
     }
   }
   return best;
@@ -256,17 +287,38 @@ Result<JspSolution> SolveExhaustive(const JspInstance& instance,
         std::to_string(n));
   }
   const bool monotone = objective.monotone_in_size();
+  if (options.termination != nullptr) *options.termination = TerminationInfo{};
   if (n == 0) {
     return MakeSolution(instance, {}, objective.EmptyJq(instance.alpha));
   }
   if (!options.use_incremental) {
-    return SweepFromScratch(instance, objective, monotone);
+    WorkGovernor governor(options.cancel_token, options.max_work_units);
+    JspSolution best =
+        SweepFromScratch(instance, objective, monotone, &governor);
+    if (options.termination != nullptr) {
+      options.termination->MergeStrand(governor.reason(),
+                                       governor.work_done());
+    }
+    return best;
   }
   const std::size_t threads = ResolveThreadCount(options.num_threads);
-  if (threads > 1 && n >= kMinShardedCandidates) {
-    return SweepGraySharded(instance, view, objective, monotone, threads);
+  // An active limit forces the *sharded* walk even at one thread: the
+  // 16-shard structure (not the thread count) then defines where each
+  // strand's budget runs out, so a capped sweep returns the same jury
+  // for every JURYOPT_THREADS value.
+  const bool limits_active =
+      options.cancel_token != nullptr || options.max_work_units != 0;
+  if ((threads > 1 || limits_active) && n >= kMinShardedCandidates) {
+    return SweepGraySharded(instance, view, objective, monotone, threads,
+                            options);
   }
-  return SweepGrayCode(instance, view, objective, monotone);
+  WorkGovernor governor(options.cancel_token, options.max_work_units);
+  JspSolution best =
+      SweepGrayCode(instance, view, objective, monotone, &governor);
+  if (options.termination != nullptr) {
+    options.termination->MergeStrand(governor.reason(), governor.work_done());
+  }
+  return best;
 }
 
 }  // namespace jury

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "model/worker_pool_view.h"
+#include "util/fault_injection.h"
 #include "util/scheduler.h"
 
 namespace jury {
@@ -26,6 +27,8 @@ JspSolution FillInOrder(const JspInstance& instance,
                         const JqObjective& objective,
                         const std::vector<std::size_t>& order,
                         const GreedyOptions& options) {
+  WorkGovernor governor(options.cancel_token, options.max_work_units);
+  if (options.termination != nullptr) *options.termination = TerminationInfo{};
   const std::span<const double> cost_col = view.cost();
   std::vector<std::size_t> selected;
   double cost = 0.0;
@@ -36,19 +39,32 @@ JspSolution FillInOrder(const JspInstance& instance,
       cost += c;
     }
   }
+  // The check site: one committed add is one work unit (the add's fold
+  // dominates the cost; the selection pass above is score-free). Both
+  // evaluation paths truncate after the same count, so the incremental
+  // and reference juries stay identical under `max_work_units`.
   double jq;
+  std::size_t kept = 0;
   if (options.use_incremental) {
     auto session = objective.StartSession(view, instance.alpha, true);
-    for (std::size_t idx : selected) {
-      session->ScoreAdd(view.worker(idx));
+    for (; kept < selected.size(); ++kept) {
+      if (governor.Tick() != StopReason::kNone) break;
+      session->ScoreAdd(view.worker(selected[kept]));
       session->Commit();
     }
     jq = session->current_jq();
   } else {
     Jury jury;
-    for (std::size_t idx : selected) jury.Add(view.worker(idx));
+    for (; kept < selected.size(); ++kept) {
+      if (governor.Tick() != StopReason::kNone) break;
+      jury.Add(view.worker(selected[kept]));
+    }
     jq = jury.empty() ? objective.EmptyJq(instance.alpha)
                       : objective.Evaluate(jury, instance.alpha);
+  }
+  selected.resize(kept);
+  if (options.termination != nullptr) {
+    options.termination->MergeStrand(governor.reason(), governor.work_done());
   }
   return MakeSolution(instance, std::move(selected), jq);
 }
@@ -119,6 +135,8 @@ Result<JspSolution> SolveOddTopK(const JspInstance& instance,
                                  const JqObjective& objective,
                                  const GreedyOptions& options) {
   JURY_RETURN_NOT_OK(options.Validate());
+  WorkGovernor governor(options.cancel_token, options.max_work_units);
+  if (options.termination != nullptr) *options.termination = TerminationInfo{};
   const std::vector<double> keys(view.quality().begin(),
                                  view.quality().end());
   const auto order = SortedIndices(keys);
@@ -126,7 +144,9 @@ Result<JspSolution> SolveOddTopK(const JspInstance& instance,
   // The "k best-quality workers that fit" sets are nested in k, so one
   // session grows through all of them, snapshotting at odd sizes. The
   // reference path evaluates each odd prefix from scratch, as the
-  // original solver did.
+  // original solver did. The check site ticks once per candidate
+  // considered; `best` tracks the incumbent odd prefix, so a stop
+  // returns a valid anytime jury.
   JspSolution best =
       MakeSolution(instance, {}, objective.EmptyJq(instance.alpha));
   auto session = options.use_incremental
@@ -136,6 +156,7 @@ Result<JspSolution> SolveOddTopK(const JspInstance& instance,
   std::vector<std::size_t> selected;
   double cost = 0.0;
   for (std::size_t idx : order) {
+    if (governor.Tick() != StopReason::kNone) break;
     const double c = view.cost()[idx];
     if (cost + c > instance.budget) continue;
     if (session != nullptr) {
@@ -154,6 +175,9 @@ Result<JspSolution> SolveOddTopK(const JspInstance& instance,
         best = MakeSolution(instance, selected, jq);
       }
     }
+  }
+  if (options.termination != nullptr) {
+    options.termination->MergeStrand(governor.reason(), governor.work_done());
   }
   return best;
 }
@@ -174,6 +198,8 @@ Result<JspSolution> SolveGreedyMarginalGain(const JspInstance& instance,
                                             const JqObjective& objective,
                                             const GreedyOptions& options) {
   JURY_RETURN_NOT_OK(options.Validate());
+  WorkGovernor governor(options.cancel_token, options.max_work_units);
+  if (options.termination != nullptr) *options.termination = TerminationInfo{};
   const std::size_t n = instance.num_candidates();
   auto session =
       objective.StartSession(view, instance.alpha, options.use_incremental);
@@ -209,6 +235,10 @@ Result<JspSolution> SolveGreedyMarginalGain(const JspInstance& instance,
   std::vector<std::size_t> eligible_idx;
   std::vector<double> scores;
   for (;;) {
+    // The check site: one selection round (one full candidate scan plus
+    // one commit) is one work unit. The committed jury is always valid
+    // here, so a stop returns the rounds completed so far.
+    if (governor.Tick() != StopReason::kNone) break;
     eligible_idx.clear();
     for (std::size_t i = 0; i < n; ++i) {
       if (in_jury[i]) continue;
@@ -221,6 +251,11 @@ Result<JspSolution> SolveGreedyMarginalGain(const JspInstance& instance,
       Scheduler::Global()->ParallelForTuned(
           &scan_tuner, 0, eligible_idx.size(),
           [&](std::size_t begin, std::size_t end) {
+            // A clone is a real allocation on a worker thread; the fault
+            // hook stands in for it failing. The throw unwinds through
+            // ParallelFor's first-exception path (remaining shards are
+            // abandoned, the region drains) up to the API boundary.
+            JURY_FAULT_POINT("eval.session_clone");
             auto shard_session = session->Clone();
             shard_session->ScoreAddBatch(eligible_idx.data() + begin,
                                          end - begin, scores.data() + begin);
@@ -251,6 +286,9 @@ Result<JspSolution> SolveGreedyMarginalGain(const JspInstance& instance,
     in_jury[best_idx] = true;
     selected.push_back(best_idx);
     cost += cost_col[best_idx];
+  }
+  if (options.termination != nullptr) {
+    options.termination->MergeStrand(governor.reason(), governor.work_done());
   }
   return MakeSolution(instance, std::move(selected), session->current_jq());
 }

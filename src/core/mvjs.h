@@ -3,6 +3,7 @@
 
 #include "core/annealing.h"
 #include "core/jsp.h"
+#include "core/solver_options.h"
 #include "util/result.h"
 #include "util/rng.h"
 
@@ -17,7 +18,7 @@ namespace jury {
 /// returning whichever is better (DESIGN.md substitution #2). Because both
 /// systems search equally hard, the measured OPTJS-vs-MVJS gap isolates the
 /// voting-strategy optimality, which is the paper's claim under test.
-struct MvjsOptions {
+struct MvjsOptions : SolverOptions {
   AnnealingOptions annealing;
   /// Also try the odd-top-k greedy and keep the better jury.
   bool use_odd_top_k = true;

@@ -1185,6 +1185,9 @@ void IncrementalJqEvaluator::CountIncrementalEvaluations(std::size_t n) const {
 
 std::unique_ptr<IncrementalJqEvaluator> JqObjective::StartSession(
     double alpha, bool incremental) const {
+  // Session construction is the solve path's first real allocation; the
+  // hook stands in for it failing before any state exists.
+  JURY_FAULT_POINT("eval.session_start");
   if (!incremental) {
     return std::make_unique<FullRecomputeEvaluator>(this, alpha);
   }
@@ -1229,10 +1232,16 @@ double BucketBvObjective::Evaluate(const Jury& candidate_jury,
   return EstimateJq(candidate_jury, alpha, options_).value();
 }
 
+std::size_t ExactBvObjective::max_jury_size() const {
+  return kMaxExactJurySize;
+}
+
 double ExactBvObjective::Evaluate(const Jury& candidate_jury,
                                   double alpha) const {
   CountEvaluation();
   if (candidate_jury.empty()) return EmptyJuryJq(alpha);
+  // Infallible past the boundary: the pool was checked against
+  // max_jury_size() before solving, and alpha at request validation.
   return ExactJqBv(candidate_jury, alpha).value();
 }
 

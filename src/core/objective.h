@@ -10,6 +10,7 @@
 #include "jq/bucket.h"
 #include "model/jury.h"
 #include "model/worker.h"
+#include "util/fault_injection.h"
 
 namespace jury {
 
@@ -124,6 +125,15 @@ class JqObjective {
   /// BV; false for MV (an even-sized extension can hurt). Solvers use this
   /// to decide whether "add if it fits" needs an acceptance test.
   virtual bool monotone_in_size() const = 0;
+
+  /// Largest candidate jury `Evaluate` accepts; unlimited by default. The
+  /// exact-enumeration objective is guarded to `kMaxExactJurySize`, and a
+  /// solver can stage any subset of the pool, so callers must reject pools
+  /// larger than this *before* solving (the API adapters do) — past the
+  /// boundary, an oversized jury is a programming error, not a Status.
+  virtual std::size_t max_jury_size() const {
+    return static_cast<std::size_t>(-1);
+  }
 
   /// JQ of the *empty* jury under this objective — the baseline every
   /// solver starts its search (and its incumbent tracking) from. The
@@ -365,6 +375,10 @@ class IncrementalJqEvaluator {
   /// session construction and copied into clones, so sharded scans on
   /// other threads submit to the same sink.
   void RunKernelPass(void (*run)(void*), void* ctx) {
+    // Stands in for a kernel flush failing (a sink queue allocation, a
+    // device error in an offloaded build). Thrown before the pass runs:
+    // staged state is untouched, so `Rollback()` restores the session.
+    JURY_FAULT_POINT("eval.kernel_flush");
     if (scan_sink_ != nullptr) {
       scan_sink_->Execute(KernelPass{run, ctx});
     } else {
@@ -417,6 +431,9 @@ class ExactBvObjective final : public JqObjective {
   std::string name() const override { return "BV/exact"; }
   double Evaluate(const Jury& candidate_jury, double alpha) const override;
   bool monotone_in_size() const override { return true; }
+  /// `kMaxExactJurySize` — the 2^n enumeration guard (defined in the .cc
+  /// to keep jq/exact.h out of this header).
+  std::size_t max_jury_size() const override;
 
  protected:
   std::unique_ptr<IncrementalJqEvaluator> StartIncrementalSession(

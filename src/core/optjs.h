@@ -4,6 +4,7 @@
 #include "core/annealing.h"
 #include "core/exhaustive.h"
 #include "core/jsp.h"
+#include "core/solver_options.h"
 #include "jq/bucket.h"
 #include "util/result.h"
 #include "util/rng.h"
@@ -11,7 +12,12 @@
 namespace jury {
 
 /// \brief Configuration of the Optimal Jury Selection System.
-struct OptjsOptions {
+///
+/// The base's `num_threads` caps the parallel sections of every solver
+/// the facade drives (copied over the per-solver knobs); the base's
+/// cancellation fields are likewise forwarded into every inner solve, so
+/// one token/work-budget bounds the whole facade.
+struct OptjsOptions : SolverOptions {
   /// Algorithm-1 settings used for every JQ evaluation.
   BucketJqOptions bucket;
   /// Simulated-annealing schedule (Algorithm 3).
@@ -23,12 +29,6 @@ struct OptjsOptions {
   /// facade drives (annealing, exhaustive, greedy fallbacks). Overrides
   /// the per-solver flags when false.
   bool use_incremental = true;
-  /// Threads for the parallel sections of every solver the facade drives
-  /// (copied over the per-solver `num_threads` knobs): 0 = auto
-  /// (`JURYOPT_THREADS`, then hardware concurrency), 1 = serial. All
-  /// parallel paths return the serial path's jury bit-for-bit, so this
-  /// only trades wall-clock for cores.
-  std::size_t num_threads = 0;
 
   /// Validates the facade's own knobs plus everything it forwards: the
   /// Algorithm-1 bucket count, the annealing schedule, and the

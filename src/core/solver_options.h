@@ -2,6 +2,9 @@
 #define JURYOPT_CORE_SOLVER_OPTIONS_H_
 
 #include <cstddef>
+#include <cstdint>
+
+#include "util/cancellation.h"
 
 namespace jury {
 
@@ -26,6 +29,33 @@ struct SolverOptions {
   /// count and returns the same jury as the serial path
   /// (property-tested), so these knobs only trade wall-clock for cores.
   std::size_t num_threads = 0;
+
+  /// Cooperative stop signal, polled at each solver's cheap check sites
+  /// (annealing step, greedy round, exhaustive mask, B&B node,
+  /// budget-table row). On expiry the solver returns its best-so-far
+  /// committed jury as an OK anytime result — never an error, never an
+  /// unwind — and reports how it ended through `termination`. nullptr =
+  /// run to completion. The token must outlive the solve; wall-clock
+  /// stops are inherently nondeterministic, so deterministic paths
+  /// (golden traces, bit-identity tests) never set one.
+  const CancelToken* cancel_token = nullptr;
+
+  /// Deterministic early-stop: each *strand* (each restart chain, each
+  /// exhaustive shard, each scan) stops after consuming this many work
+  /// units (0 = unlimited). Strand structure is a pure function of the
+  /// request, so unlike a deadline the stop point — and hence the
+  /// returned jury — is bit-identical across thread counts and SIMD
+  /// levels. What one work unit means per solver is documented in
+  /// ARCHITECTURE.md's check-site table.
+  std::uint64_t max_work_units = 0;
+
+  /// Optional out-param: how the solve ended (reason + work units
+  /// completed). The solver overwrites it unconditionally after all
+  /// strands have joined, so one instance can be reused across solves;
+  /// facades that fan out nested solves give each inner solve its own
+  /// instance and merge serially (never share the pointer across
+  /// concurrent tasks).
+  TerminationInfo* termination = nullptr;
 };
 
 }  // namespace jury

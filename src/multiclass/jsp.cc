@@ -126,6 +126,11 @@ Result<McJspSolution> SolveMcAnnealing(const McJspInstance& instance, Rng* rng,
   if (rng == nullptr) {
     return Status::InvalidArgument("SolveMcAnnealing requires an Rng");
   }
+  // Checked here so the adapter's `.value()` on `EstimateMcJq` (a plain
+  // double to the binary solver drivers) can never see the error path.
+  if (options.bucket.num_buckets <= 0) {
+    return Status::InvalidArgument("bucket.num_buckets must be positive");
+  }
   const JspInstance binary = MakeBinaryInstance(instance);
   const McJqObjectiveAdapter objective(instance, options.bucket);
   AnnealingOptions annealing;
@@ -142,6 +147,9 @@ Result<McJspSolution> SolveMcExhaustive(const McJspInstance& instance,
                                         const McBucketOptions& bucket,
                                         std::size_t max_candidates) {
   JURY_RETURN_NOT_OK(instance.Validate());
+  if (bucket.num_buckets <= 0) {
+    return Status::InvalidArgument("bucket.num_buckets must be positive");
+  }
   const JspInstance binary = MakeBinaryInstance(instance);
   const McJqObjectiveAdapter objective(instance, bucket);
   ExhaustiveOptions exhaustive;

@@ -1,0 +1,37 @@
+#include "util/cancellation.h"
+
+namespace jury {
+
+const char* StopReasonName(StopReason reason) {
+  switch (reason) {
+    case StopReason::kNone:
+      return "";
+    case StopReason::kWorkLimit:
+      return "work-limit";
+    case StopReason::kDeadline:
+      return "deadline";
+    case StopReason::kCancelled:
+      return "cancelled";
+  }
+  return "";
+}
+
+CancelToken::CancelToken(double deadline_ms, const CancelToken* parent)
+    : parent_(parent) {
+  if (deadline_ms > 0) {
+    has_deadline_ = true;
+    deadline_ =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(deadline_ms));
+  }
+}
+
+bool WorkGovernor::HasDeadlineInChain(const CancelToken* token) {
+  for (; token != nullptr; token = token->parent()) {
+    if (token->has_deadline()) return true;
+  }
+  return false;
+}
+
+}  // namespace jury

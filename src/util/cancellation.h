@@ -1,0 +1,195 @@
+#ifndef JURYOPT_UTIL_CANCELLATION_H_
+#define JURYOPT_UTIL_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace jury {
+
+/// Why a cooperative check site told its strand to stop. Ordered by
+/// precedence for aggregation across strands: a wall-clock or explicit
+/// stop outranks a deterministic work cap when both fire in one solve.
+enum class StopReason : unsigned char {
+  kNone = 0,
+  kWorkLimit,  ///< deterministic `max_work_units` budget consumed
+  kDeadline,   ///< wall-clock deadline passed
+  kCancelled,  ///< explicit `CancelToken::RequestCancel`
+};
+
+/// Stable wire name ("", "work-limit", "deadline", "cancelled") — what
+/// `SolveReport.termination_reason` carries.
+const char* StopReasonName(StopReason reason);
+
+/// \brief Cooperative cancellation signal: a relaxed-atomic flag plus an
+/// optional wall-clock deadline, optionally chained to a parent token.
+///
+/// Producers call `RequestCancel()` (any thread, any time); consumers
+/// poll `Check()` at cheap, well-defined boundaries — an annealing step,
+/// a greedy round, an exhaustive shard, a B&B node, a budget-table row —
+/// and wind down by *returning their best-so-far result*, never by
+/// unwinding. Nothing blocks on a token and nothing is preempted: a
+/// region that has started a shard finishes that shard's bounded work,
+/// which is what lets nested scheduler regions drain instead of
+/// orphaning tasks.
+///
+/// The parent link exists for the serving seam: a request may carry a
+/// caller-owned token *and* a per-solve deadline; the solve layer builds
+/// a deadline token chained to the caller's so either source stops the
+/// solve. Chains are read-only after construction, so polling is safe
+/// from any number of threads.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  /// Token that expires `deadline_ms` from now (<= 0 = no deadline),
+  /// chained to `parent` (may be nullptr).
+  explicit CancelToken(double deadline_ms,
+                       const CancelToken* parent = nullptr);
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Flips the flag. Idempotent; safe from any thread, including a
+  /// signal-free watchdog while solves are polling.
+  void RequestCancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  bool cancel_requested() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  bool has_deadline() const { return has_deadline_; }
+
+  /// Chains `parent` (may be nullptr): this token reports cancelled /
+  /// expired whenever the parent does. Must be set before the token is
+  /// shared with other threads.
+  void LinkParent(const CancelToken* parent) { parent_ = parent; }
+  const CancelToken* parent() const { return parent_; }
+
+  /// Cheap poll: kCancelled if the flag (or any ancestor's) is set,
+  /// kDeadline if a deadline has passed, kNone otherwise. Reads the
+  /// clock only when a deadline exists; call sites that tick per work
+  /// unit should go through `WorkGovernor`, which rate-limits even that.
+  StopReason Check() const {
+    if (cancelled_.load(std::memory_order_relaxed)) {
+      return StopReason::kCancelled;
+    }
+    if (has_deadline_ &&
+        std::chrono::steady_clock::now() >= deadline_) {
+      return StopReason::kDeadline;
+    }
+    if (parent_ != nullptr) return parent_->Check();
+    return StopReason::kNone;
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+  const CancelToken* parent_ = nullptr;
+};
+
+/// \brief What a solver reports back about how it ended: the first (by
+/// precedence) stop reason any strand hit, and the work units the whole
+/// solve completed. Aggregated serially in strand order, so the value is
+/// deterministic whenever the stop reasons themselves are (work-limit
+/// stops always; deadline/cancel stops report nondeterministic
+/// `work_units` by nature).
+struct TerminationInfo {
+  StopReason reason = StopReason::kNone;
+  std::uint64_t work_units = 0;
+
+  bool terminated_early() const { return reason != StopReason::kNone; }
+
+  /// Folds one strand's outcome in (serial call sites only). Precedence:
+  /// the enum order — cancelled > deadline > work-limit > none.
+  void MergeStrand(StopReason strand_reason, std::uint64_t strand_work) {
+    if (static_cast<unsigned char>(strand_reason) >
+        static_cast<unsigned char>(reason)) {
+      reason = strand_reason;
+    }
+    work_units += strand_work;
+  }
+  /// Folds a nested solve's aggregate in (same precedence rule).
+  void Merge(const TerminationInfo& other) {
+    MergeStrand(other.reason, other.work_units);
+  }
+};
+
+/// \brief Per-strand check-site driver: counts work units and decides
+/// when the strand must stop. A value type — each parallel strand (each
+/// annealing chain, each Gray-code shard, each scan) owns its own
+/// governor, so ticking is single-threaded and free of contention.
+///
+/// Two stop sources with different contracts:
+///  * `max_work_units` (0 = unlimited) is checked *exactly*, every tick,
+///    against this strand's own counter — a pure function of the
+///    strand's work sequence, hence bit-deterministic across thread
+///    counts, SIMD levels, and scheduling. The budget is per strand by
+///    design: strand structure is itself a pure function of the request.
+///  * the token's flag is polled every tick (one relaxed load), but the
+///    *clock* is probed only every `kDeadlineProbePeriod` ticks — check
+///    sites fire millions of times per second and a syscall-backed
+///    `now()` per tick would dwarf the work being bounded.
+///
+/// Once stopped, a governor stays stopped (`Tick` keeps counting work so
+/// `work_done()` stays truthful for the drain path, but the reason is
+/// latched).
+class WorkGovernor {
+ public:
+  /// Clock probes per `Tick` when a deadline exists: every 64th tick.
+  static constexpr std::uint64_t kDeadlineProbePeriod = 64;
+
+  /// Inert governor: `Tick` only counts.
+  WorkGovernor() = default;
+
+  WorkGovernor(const CancelToken* token, std::uint64_t max_work_units)
+      : token_(token), budget_(max_work_units) {
+    // A flag-only chain never reads the clock in Check(), so probing it
+    // every tick is already cheap; any deadline in the chain keeps the
+    // rate limiter on.
+    if (token_ != nullptr) probe_every_tick_ = !HasDeadlineInChain(token_);
+  }
+
+  /// Consumes `n` work units, then reports whether the strand must stop
+  /// (kNone = keep going). Call at the top of the bounded unit so a
+  /// stopped strand never starts the next unit.
+  StopReason Tick(std::uint64_t n = 1) {
+    done_ += n;
+    if (reason_ != StopReason::kNone) return reason_;
+    if (budget_ != 0 && done_ >= budget_) {
+      reason_ = StopReason::kWorkLimit;
+      return reason_;
+    }
+    if (token_ != nullptr) {
+      if (token_->cancel_requested()) {
+        reason_ = StopReason::kCancelled;
+        return reason_;
+      }
+      if (probe_every_tick_ || ++since_probe_ >= kDeadlineProbePeriod) {
+        since_probe_ = 0;
+        const StopReason checked = token_->Check();
+        if (checked != StopReason::kNone) reason_ = checked;
+      }
+    }
+    return reason_;
+  }
+
+  bool stopped() const { return reason_ != StopReason::kNone; }
+  StopReason reason() const { return reason_; }
+  std::uint64_t work_done() const { return done_; }
+  bool active() const { return token_ != nullptr || budget_ != 0; }
+
+ private:
+  static bool HasDeadlineInChain(const CancelToken* token);
+
+  const CancelToken* token_ = nullptr;
+  std::uint64_t budget_ = 0;
+  std::uint64_t done_ = 0;
+  std::uint64_t since_probe_ = 0;
+  StopReason reason_ = StopReason::kNone;
+  bool probe_every_tick_ = false;
+};
+
+}  // namespace jury
+
+#endif  // JURYOPT_UTIL_CANCELLATION_H_

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "util/env.h"
+#include "util/fault_injection.h"
 #include "util/stats_registry.h"
 
 namespace jury {
@@ -101,6 +102,11 @@ TaskGroup::~TaskGroup() {
 }
 
 void TaskGroup::Run(std::function<void()> fn) {
+  // Spawning allocates; the fault hook stands in for that allocation
+  // failing. It throws on the *caller's* thread, before the count is
+  // bumped, so the group stays consistent and the group's destructor
+  // drains any tasks already in flight.
+  JURY_FAULT_POINT("scheduler.task_spawn");
   Scheduler::Task* task = new Scheduler::Task;
   task->fn = std::move(fn);
   task->group = this;

@@ -1,0 +1,114 @@
+// The anytime-quality property, swept over every registry solver: a solve
+// stopped at a fraction of the full solve's work budget still returns a
+// *valid* jury (feasible under the budget, in-range indices), whose JQ is
+// bounded by the full solve's above and the empty jury's below, and —
+// because `max_work_units` is a per-strand budget checked exactly — the
+// stopped solve is bit-identical across thread counts.
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/registry.h"
+#include "api/solve.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace jury::api {
+namespace {
+
+using jury::testing::RandomPool;
+
+constexpr double kAlpha = 0.5;
+// Empty-jury baseline for the binary objectives: max(alpha, 1 - alpha).
+constexpr double kEmptyJq = 0.5;
+
+SolveRequest MakeRequest(const std::string& solver, std::size_t threads) {
+  SolveRequest request;
+  request.solver = solver;
+  request.budget = 0.8;
+  request.alpha = kAlpha;
+  request.rng_seed = 20150323;
+  request.tuning.annealing.num_restarts = 4;
+  request.tuning.annealing.num_threads = threads;
+  request.tuning.greedy.num_threads = threads;
+  request.tuning.exhaustive.num_threads = threads;
+  request.tuning.optjs.num_threads = threads;
+  request.tuning.optjs.annealing.num_restarts = 4;
+  request.tuning.mvjs.annealing.num_restarts = 4;
+  request.tuning.mvjs.annealing.num_threads = threads;
+  return request;
+}
+
+void ExpectValidJury(const SolveReport& report, double budget,
+                     std::size_t pool_size, const std::string& label) {
+  EXPECT_LE(report.solution.cost, budget + 1e-9) << label;
+  std::vector<std::size_t> selected = report.solution.selected;
+  std::sort(selected.begin(), selected.end());
+  EXPECT_TRUE(std::adjacent_find(selected.begin(), selected.end()) ==
+              selected.end())
+      << label << ": duplicate members";
+  for (const std::size_t idx : selected) {
+    EXPECT_LT(idx, pool_size) << label;
+  }
+}
+
+class AnytimeQualityTest : public ::testing::TestWithParam<std::string> {};
+
+INSTANTIATE_TEST_SUITE_P(AllSolvers, AnytimeQualityTest,
+                         ::testing::ValuesIn(RegisteredSolverNames()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           std::replace(name.begin(), name.end(), '-', '_');
+                           return name;
+                         });
+
+TEST_P(AnytimeQualityTest, StoppedSolvesAreValidBoundedAndDeterministic) {
+  const std::string solver = GetParam();
+  Rng pool_rng(17);
+  const std::vector<Worker> pool =
+      RandomPool(&pool_rng, 12, 0.55, 0.95, 0.05, 0.3);
+  auto context = PoolPlanContext::Plan(pool).value();
+
+  // The unlimited reference: its work_units is the total tick count the
+  // budgeted runs below are scaled from.
+  const SolveRequest full_request = MakeRequest(solver, 1);
+  auto full = context.Solve(full_request);
+  ASSERT_TRUE(full.ok()) << solver << ": " << full.status();
+  EXPECT_FALSE(full.value().terminated_early) << solver;
+  const std::uint64_t full_work = full.value().work_units;
+  ASSERT_GT(full_work, 0u) << solver << " reported no work";
+
+  for (const std::uint64_t divisor : {std::uint64_t{4}, std::uint64_t{2}}) {
+    const std::uint64_t cap = std::max<std::uint64_t>(1, full_work / divisor);
+    const std::string label =
+        solver + " at 1/" + std::to_string(divisor) + " work";
+    std::vector<JspSolution> per_thread;
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+      SolveRequest request = MakeRequest(solver, threads);
+      request.max_work_units = cap;
+      auto report = context.Solve(request);
+      ASSERT_TRUE(report.ok()) << label << ": " << report.status();
+      ExpectValidJury(report.value(), request.budget, pool.size(), label);
+      // Anytime bounds: never better than the finished solve (the
+      // incumbent is monotone within a strand and the stopped strands
+      // are prefixes of the full ones), never worse than doing nothing.
+      EXPECT_LE(report.value().solution.jq,
+                full.value().solution.jq + 1e-12)
+          << label;
+      EXPECT_GE(report.value().solution.jq, kEmptyJq - 1e-12) << label;
+      EXPECT_TRUE(report.value().limits_active) << label;
+      per_thread.push_back(report.value().solution);
+    }
+    // The per-strand budget makes the stop point a pure function of the
+    // request: thread count must not change the answer bit-for-bit.
+    EXPECT_EQ(per_thread[0].selected, per_thread[1].selected) << label;
+    EXPECT_EQ(per_thread[0].jq, per_thread[1].jq) << label;
+    EXPECT_EQ(per_thread[0].cost, per_thread[1].cost) << label;
+  }
+}
+
+}  // namespace
+}  // namespace jury::api

@@ -1,0 +1,309 @@
+// Unit tests of the cooperative-cancellation primitives (util/cancellation.h)
+// and their surfacing through the solve API: token chaining, stop-reason
+// precedence, exact work budgets, request validation of the new limit
+// fields, and the report-JSON gating that keeps limit-free reports
+// byte-identical to the historical layout.
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "api/registry.h"
+#include "api/solve.h"
+#include "core/budget_table.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "util/cancellation.h"
+#include "util/rng.h"
+
+namespace jury {
+namespace {
+
+using jury::testing::Figure1Workers;
+
+TEST(CancelTokenTest, FreshTokenReportsNone) {
+  CancelToken token;
+  EXPECT_EQ(token.Check(), StopReason::kNone);
+  EXPECT_FALSE(token.cancel_requested());
+  EXPECT_FALSE(token.has_deadline());
+}
+
+TEST(CancelTokenTest, RequestCancelIsStickyAndIdempotent) {
+  CancelToken token;
+  token.RequestCancel();
+  token.RequestCancel();
+  EXPECT_EQ(token.Check(), StopReason::kCancelled);
+  EXPECT_TRUE(token.cancel_requested());
+}
+
+TEST(CancelTokenTest, ExpiredDeadlineReportsDeadline) {
+  // A zero-width deadline is already past by the first Check().
+  CancelToken token(1e-6);
+  EXPECT_TRUE(token.has_deadline());
+  EXPECT_EQ(token.Check(), StopReason::kDeadline);
+}
+
+TEST(CancelTokenTest, FutureDeadlineReportsNone) {
+  CancelToken token(60'000.0);  // a minute out: never expires in-test
+  EXPECT_EQ(token.Check(), StopReason::kNone);
+}
+
+TEST(CancelTokenTest, ParentCancellationPropagatesThroughChain) {
+  CancelToken parent;
+  CancelToken child(60'000.0, &parent);
+  EXPECT_EQ(child.Check(), StopReason::kNone);
+  parent.RequestCancel();
+  EXPECT_EQ(child.Check(), StopReason::kCancelled);
+  // The child's own flag was never set.
+  EXPECT_FALSE(child.cancel_requested());
+}
+
+TEST(CancelTokenTest, OwnCancelOutranksParentDeadline) {
+  CancelToken parent(1e-6);
+  CancelToken child(0.0, &parent);
+  child.RequestCancel();
+  // Precedence is evaluated top-down: the child's explicit cancel wins.
+  EXPECT_EQ(child.Check(), StopReason::kCancelled);
+}
+
+TEST(TerminationInfoTest, MergeTakesHighestPrecedenceAndSumsWork) {
+  TerminationInfo info;
+  EXPECT_FALSE(info.terminated_early());
+  info.MergeStrand(StopReason::kWorkLimit, 10);
+  EXPECT_EQ(info.reason, StopReason::kWorkLimit);
+  info.MergeStrand(StopReason::kDeadline, 5);
+  EXPECT_EQ(info.reason, StopReason::kDeadline);
+  // Lower precedence never downgrades the latched reason.
+  info.MergeStrand(StopReason::kNone, 3);
+  info.MergeStrand(StopReason::kWorkLimit, 2);
+  EXPECT_EQ(info.reason, StopReason::kDeadline);
+  EXPECT_EQ(info.work_units, 20u);
+  TerminationInfo nested;
+  nested.MergeStrand(StopReason::kCancelled, 1);
+  info.Merge(nested);
+  EXPECT_EQ(info.reason, StopReason::kCancelled);
+  EXPECT_EQ(info.work_units, 21u);
+}
+
+TEST(StopReasonNameTest, WireNamesAreStable) {
+  EXPECT_STREQ(StopReasonName(StopReason::kNone), "");
+  EXPECT_STREQ(StopReasonName(StopReason::kWorkLimit), "work-limit");
+  EXPECT_STREQ(StopReasonName(StopReason::kDeadline), "deadline");
+  EXPECT_STREQ(StopReasonName(StopReason::kCancelled), "cancelled");
+}
+
+TEST(WorkGovernorTest, InertGovernorOnlyCounts) {
+  WorkGovernor governor;
+  EXPECT_FALSE(governor.active());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(governor.Tick(), StopReason::kNone);
+  }
+  EXPECT_EQ(governor.work_done(), 1000u);
+  EXPECT_FALSE(governor.stopped());
+}
+
+TEST(WorkGovernorTest, BudgetIsExactAndLatched) {
+  WorkGovernor governor(nullptr, 3);
+  EXPECT_TRUE(governor.active());
+  EXPECT_EQ(governor.Tick(), StopReason::kNone);
+  EXPECT_EQ(governor.Tick(), StopReason::kNone);
+  // The third unit consumes the budget exactly.
+  EXPECT_EQ(governor.Tick(), StopReason::kWorkLimit);
+  EXPECT_TRUE(governor.stopped());
+  // A stopped governor keeps counting (the drain path's work stays
+  // truthful) but the reason stays latched.
+  EXPECT_EQ(governor.Tick(), StopReason::kWorkLimit);
+  EXPECT_EQ(governor.work_done(), 4u);
+}
+
+TEST(WorkGovernorTest, CancelledTokenStopsNextTick) {
+  CancelToken token;
+  WorkGovernor governor(&token, 0);
+  EXPECT_EQ(governor.Tick(), StopReason::kNone);
+  token.RequestCancel();
+  EXPECT_EQ(governor.Tick(), StopReason::kCancelled);
+  EXPECT_EQ(governor.reason(), StopReason::kCancelled);
+}
+
+TEST(WorkGovernorTest, DeadlineIsProbedWithinOnePeriod) {
+  CancelToken token(1e-6);
+  WorkGovernor governor(&token, 0);
+  // The clock is rate-limited to one probe per kDeadlineProbePeriod
+  // ticks, so the stop lands within the first period.
+  StopReason reason = StopReason::kNone;
+  for (std::uint64_t i = 0; i < WorkGovernor::kDeadlineProbePeriod + 1; ++i) {
+    reason = governor.Tick();
+    if (reason != StopReason::kNone) break;
+  }
+  EXPECT_EQ(reason, StopReason::kDeadline);
+}
+
+// --------------------------------------------------------------- API seam
+
+TEST(DeadlineValidationTest, BadDeadlinesAreInvalidArgument) {
+  api::SolveRequest request;
+  request.solver = "greedy-quality";
+  request.budget = 5.0;
+  request.deadline_ms = -1.0;
+  auto status = request.Validate();
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("deadline_ms"), std::string::npos);
+  request.deadline_ms = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(request.Validate().ok());
+  request.deadline_ms = 0.0;
+  EXPECT_TRUE(request.Validate().ok());
+}
+
+TEST(ReportJsonTest, LimitFreeReportsOmitTerminationFields) {
+  auto context = api::PoolPlanContext::Plan(Figure1Workers()).value();
+  api::SolveRequest request;
+  request.solver = "greedy-quality";
+  request.budget = 10.0;
+  auto report = context.Solve(request);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_FALSE(report.value().limits_active);
+  const std::string json = report.value().ToJson();
+  // The historical byte layout: no termination keys without limits.
+  EXPECT_EQ(json.find("terminated_early"), std::string::npos) << json;
+  EXPECT_EQ(json.find("work_units"), std::string::npos) << json;
+}
+
+TEST(ReportJsonTest, LimitedReportsCarryTerminationFields) {
+  auto context = api::PoolPlanContext::Plan(Figure1Workers()).value();
+  api::SolveRequest request;
+  request.solver = "greedy-quality";
+  request.budget = 10.0;
+  request.max_work_units = 1;
+  auto report = context.Solve(request);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report.value().limits_active);
+  const std::string json = report.value().ToJson();
+  EXPECT_NE(json.find("\"terminated_early\":true"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"termination_reason\":\"work-limit\""),
+            std::string::npos)
+      << json;
+}
+
+TEST(CancelledSolveTest, PreCancelledTokenStillReturnsAValidReport) {
+  auto context = api::PoolPlanContext::Plan(Figure1Workers()).value();
+  CancelToken token;
+  token.RequestCancel();
+  api::SolveRequest request;
+  request.solver = "annealing";
+  request.budget = 20.0;
+  request.cancel_token = &token;
+  auto report = context.Solve(request);
+  ASSERT_TRUE(report.ok()) << report.status();
+  // Anytime contract: a cancelled solve succeeds with its best-so-far
+  // jury (here the baseline) and says why it stopped.
+  EXPECT_TRUE(report.value().terminated_early);
+  EXPECT_EQ(report.value().termination_reason, "cancelled");
+  EXPECT_LE(report.value().solution.cost, request.budget + 1e-9);
+}
+
+TEST(CancelledSolveTest, ExpiredDeadlineReportsDeadline) {
+  auto context = api::PoolPlanContext::Plan(Figure1Workers()).value();
+  api::SolveRequest request;
+  request.solver = "annealing";
+  request.budget = 20.0;
+  request.deadline_ms = 1e-6;  // already past when the solve starts
+  auto report = context.Solve(request);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report.value().terminated_early);
+  EXPECT_EQ(report.value().termination_reason, "deadline");
+}
+
+TEST(RequestJsonLimitsTest, LimitFieldsRoundTripAndStayOffByDefault) {
+  api::SolveRequest request;
+  request.solver = "optjs";
+  request.budget = 12.0;
+  // Default request: the new keys must not appear (golden traces).
+  EXPECT_EQ(request.ToJsonValue().Dump().find("deadline_ms"),
+            std::string::npos);
+  request.deadline_ms = 250.0;
+  request.max_work_units = 77;
+  const std::string json = request.ToJsonValue().Dump();
+  EXPECT_NE(json.find("\"deadline_ms\":250"), std::string::npos) << json;
+  auto parsed = api::SolveRequest::FromJsonText(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed.value().deadline_ms, 250.0);
+  EXPECT_EQ(parsed.value().max_work_units, 77u);
+}
+
+TEST(BudgetTableLimitsTest, WorkCapTruncatesToADeterministicPrefix) {
+  const std::vector<Worker> pool = Figure1Workers();
+  const std::vector<double> budgets = {5, 10, 15, 20, 25, 30};
+
+  // Reference: the same options over only the first three budgets. The
+  // caller's rng forks row seeds in order, so the capped 6-budget table
+  // must reproduce this exactly (rows inherit the inner per-strand work
+  // budget either way).
+  OptjsOptions capped;
+  capped.max_work_units = 3;  // one row = one work unit at table level
+  Rng rng_ref(42);
+  auto reference = BuildBudgetQualityTable(
+      pool, {budgets[0], budgets[1], budgets[2]}, 0.5, &rng_ref, capped);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  ASSERT_EQ(reference.value().size(), 3u);
+
+  TerminationInfo termination;
+  capped.termination = &termination;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    capped.num_threads = threads;
+    Rng rng(42);
+    auto limited = BuildBudgetQualityTable(pool, budgets, 0.5, &rng, capped);
+    ASSERT_TRUE(limited.ok()) << limited.status();
+    ASSERT_EQ(limited.value().size(), 3u) << threads << " threads";
+    EXPECT_EQ(termination.reason, StopReason::kWorkLimit);
+    EXPECT_EQ(termination.work_units, 3u);
+    // The cap is applied up-front, so the capped table is the same
+    // prefix — same row seeds, same juries — at any thread count.
+    for (std::size_t i = 0; i < 3; ++i) {
+      EXPECT_EQ(limited.value()[i].selected, reference.value()[i].selected);
+      EXPECT_EQ(limited.value()[i].jq, reference.value()[i].jq);
+    }
+  }
+}
+
+TEST(BudgetTableLimitsTest, CancelledTableReturnsACompletedPrefix) {
+  const std::vector<Worker> pool = Figure1Workers();
+  const std::vector<double> budgets = {5, 10, 15, 20};
+  CancelToken token;
+  token.RequestCancel();
+  OptjsOptions options;
+  options.cancel_token = &token;
+  TerminationInfo termination;
+  options.termination = &termination;
+  Rng rng(7);
+  auto rows = BuildBudgetQualityTable(pool, budgets, 0.5, &rng, options);
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  // Every row start polls the token; a pre-cancelled table is empty.
+  EXPECT_TRUE(rows.value().empty());
+  EXPECT_EQ(termination.reason, StopReason::kCancelled);
+}
+
+TEST(MinimalBudgetLimitsTest, WorkCapKeepsBestProbeSoFar) {
+  const std::vector<Worker> pool = Figure1Workers();
+  OptjsOptions unlimited;
+  Rng rng_full(11);
+  auto full = MinimalBudgetForQuality(pool, 0.85, 0.5, &rng_full, unlimited,
+                                      0.25);
+  ASSERT_TRUE(full.ok()) << full.status();
+
+  OptjsOptions capped;
+  capped.max_work_units = 2;  // one bisection probe = one unit
+  TerminationInfo termination;
+  capped.termination = &termination;
+  Rng rng(11);
+  auto limited = MinimalBudgetForQuality(pool, 0.85, 0.5, &rng, capped, 0.25);
+  ASSERT_TRUE(limited.ok()) << limited.status();
+  EXPECT_EQ(termination.reason, StopReason::kWorkLimit);
+  // The early stop keeps a valid (if looser) budget: still hits the
+  // quality target, never beats the fully-bisected answer.
+  EXPECT_GE(limited.value().jq, 0.85);
+  EXPECT_GE(limited.value().budget, full.value().budget - 1e-9);
+}
+
+}  // namespace
+}  // namespace jury
