@@ -21,7 +21,18 @@
 //                    stop point is reproducible
 //   --json           print each SolveReport as one JSON line
 //   --stats          after the run, print the process-wide stats registry
-//                    (scheduler/eval/fusion/plan counters) as one JSON line
+//                    (scheduler/eval/fusion/plan/pool counters) as one JSON
+//                    line; the pool source shows up as `pool.csv_loads` vs
+//                    `pool.snapshot_loads`
+//   --pool-snapshot=PATH  plan from a binary pool snapshot instead of CSV
+//                    (registry mode only: requires --solver). Loading maps
+//                    the columns read-only and skips both CSV parsing and
+//                    per-worker re-validation
+//   --save-snapshot=PATH  after planning (registry mode), write the pool
+//                    as a binary snapshot and continue
+//   --frontier-k=K   opt the solve into candidate-frontier pre-selection
+//                    (per-shard top-K slates; exact by construction for
+//                    greedy/annealing, ordering-only for branch-bound)
 //   --list-solvers   print the registry names, one per line, and exit
 //
 // workers.csv columns: id,quality,cost  (header optional, '#' comments ok)
@@ -44,6 +55,7 @@
 #include "api/registry.h"
 #include "api/solve.h"
 #include "core/budget_table.h"
+#include "model/pool_snapshot.h"
 #include "model/worker_io.h"
 #include "util/cancellation.h"
 #include "util/rng.h"
@@ -54,10 +66,13 @@ namespace {
 struct CliArgs {
   std::string csv_path;
   std::string solver;
+  std::string pool_snapshot;
+  std::string save_snapshot;
   double alpha = 0.5;
   std::uint64_t seed = 20150323;
   double deadline_ms = 0.0;
   std::uint64_t max_work_units = 0;
+  std::uint64_t frontier_k = 0;
   bool json = false;
   bool stats = false;
   bool list_solvers = false;
@@ -137,6 +152,15 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
                            &args->max_work_units)) {
         return false;
       }
+    } else if (arg.rfind("--pool-snapshot=", 0) == 0) {
+      args->pool_snapshot = std::string(arg.substr(16));
+    } else if (arg.rfind("--save-snapshot=", 0) == 0) {
+      args->save_snapshot = std::string(arg.substr(16));
+    } else if (arg.rfind("--frontier-k=", 0) == 0) {
+      if (!ParseUint64Flag("--frontier-k", arg.substr(13),
+                           &args->frontier_k)) {
+        return false;
+      }
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "error: unknown flag " << arg << "\n";
       return false;
@@ -173,31 +197,71 @@ int RunCli(const CliArgs& args_in) {
     return 0;
   }
 
-  std::vector<Worker> workers;
-  if (!args.csv_path.empty()) {
-    auto loaded = LoadWorkersCsv(args.csv_path);
-    if (!loaded.ok()) {
-      std::cerr << "error: " << loaded.status() << "\n";
-      return 1;
-    }
-    workers = std::move(loaded).value();
-  } else {
-    std::cout << "(no CSV given; using the paper's Figure-1 pool)\n";
-    workers = {{"A", 0.77, 9.0}, {"B", 0.70, 5.0}, {"C", 0.80, 6.0},
-               {"D", 0.65, 7.0}, {"E", 0.60, 5.0}, {"F", 0.60, 2.0},
-               {"G", 0.75, 3.0}};
+  const bool snapshot_mode = !args.pool_snapshot.empty();
+  if (snapshot_mode && args.solver.empty()) {
+    std::cerr << "error: --pool-snapshot requires --solver (the snapshot "
+                 "path serves the registry mode)\n";
+    return 1;
   }
-  if (workers.empty()) {
-    std::cerr << "error: empty worker pool\n";
+  if (snapshot_mode && !args.csv_path.empty()) {
+    std::cerr << "error: give either a CSV path or --pool-snapshot, not "
+                 "both\n";
+    return 1;
+  }
+  if (!args.save_snapshot.empty() && args.solver.empty()) {
+    std::cerr << "error: --save-snapshot requires --solver\n";
     return 1;
   }
 
-  if (args.budgets.empty()) {
-    // Default grid: 10 steps up to the full pool cost.
-    double total = 0.0;
-    for (const Worker& w : workers) total += w.cost;
-    for (int step = 1; step <= 10; ++step) {
-      args.budgets.push_back(total * step / 10);
+  std::vector<Worker> workers;
+  std::optional<api::PoolPlanContext> context;
+  if (snapshot_mode) {
+    // The mmap fast path: the snapshot's columns become the plan's view
+    // directly — no CSV parse, no per-worker re-validation (the loader
+    // checksummed and range-checked everything), no column recompute.
+    auto planned = api::PoolPlanContext::PlanFromSnapshot(args.pool_snapshot);
+    if (!planned.ok()) {
+      std::cerr << "error: " << planned.status() << "\n";
+      return 1;
+    }
+    context.emplace(std::move(planned).value());
+    if (context->num_candidates() == 0) {
+      std::cerr << "error: empty worker pool\n";
+      return 1;
+    }
+    if (args.budgets.empty()) {
+      double total = 0.0;
+      for (const double cost : context->view().cost()) total += cost;
+      for (int step = 1; step <= 10; ++step) {
+        args.budgets.push_back(total * step / 10);
+      }
+    }
+  } else {
+    if (!args.csv_path.empty()) {
+      auto loaded = LoadWorkersCsv(args.csv_path);
+      if (!loaded.ok()) {
+        std::cerr << "error: " << loaded.status() << "\n";
+        return 1;
+      }
+      workers = std::move(loaded).value();
+    } else {
+      std::cout << "(no CSV given; using the paper's Figure-1 pool)\n";
+      workers = {{"A", 0.77, 9.0}, {"B", 0.70, 5.0}, {"C", 0.80, 6.0},
+                 {"D", 0.65, 7.0}, {"E", 0.60, 5.0}, {"F", 0.60, 2.0},
+                 {"G", 0.75, 3.0}};
+    }
+    if (workers.empty()) {
+      std::cerr << "error: empty worker pool\n";
+      return 1;
+    }
+
+    if (args.budgets.empty()) {
+      // Default grid: 10 steps up to the full pool cost.
+      double total = 0.0;
+      for (const Worker& w : workers) total += w.cost;
+      for (int step = 1; step <= 10; ++step) {
+        args.budgets.push_back(total * step / 10);
+      }
     }
   }
 
@@ -235,12 +299,32 @@ int RunCli(const CliArgs& args_in) {
 
   // Registry path: plan the pool once, then answer one request per budget
   // against the long-lived context — the serving-layer shape.
-  auto planned = api::PoolPlanContext::Plan(workers);
-  if (!planned.ok()) {
-    std::cerr << "error: " << planned.status() << "\n";
-    return 1;
+  if (!context.has_value()) {
+    // A CSV pool was already validated row-by-row by `LoadWorkersCsv` (and
+    // the built-in demo pool is trivially valid), so planning skips the
+    // per-worker re-validation pass — validation is hoisted to load time.
+    api::PlanOptions plan_options;
+    plan_options.assume_validated = true;
+    auto planned = api::PoolPlanContext::Plan(std::move(workers),
+                                              plan_options);
+    if (!planned.ok()) {
+      std::cerr << "error: " << planned.status() << "\n";
+      return 1;
+    }
+    context.emplace(std::move(planned).value());
   }
-  api::PoolPlanContext context = std::move(planned).value();
+
+  if (!args.save_snapshot.empty()) {
+    const Status saved = PoolSnapshot::Write(
+        args.save_snapshot, context->candidates(), context->view());
+    if (!saved.ok()) {
+      std::cerr << "error: " << saved << "\n";
+      return 1;
+    }
+    if (!args.json) {
+      std::cout << "(pool snapshot saved to " << args.save_snapshot << ")\n";
+    }
+  }
 
   std::vector<api::SolveRequest> requests;
   for (const double budget : args.budgets) {
@@ -251,17 +335,25 @@ int RunCli(const CliArgs& args_in) {
     request.rng_seed = args.seed;
     request.deadline_ms = args.deadline_ms;
     request.max_work_units = args.max_work_units;
+    if (args.frontier_k > 0) {
+      const auto k = static_cast<std::size_t>(args.frontier_k);
+      request.tuning.greedy.frontier_k = k;
+      request.tuning.annealing.frontier_k = k;
+      request.tuning.branch_bound.frontier_k = k;
+    }
     requests.push_back(std::move(request));
   }
-  auto reports = context.SolveMany(requests);
+  auto reports = context->SolveMany(requests);
   if (!reports.ok()) {
     std::cerr << "error: " << reports.status() << "\n";
     return 1;
   }
 
   if (!args.json) {
-    std::cout << "Pool: " << workers.size() << " workers, prior alpha = "
-              << args.alpha << ", solver = " << args.solver << "\n\n";
+    std::cout << "Pool: " << context->num_candidates()
+              << " workers (source: " << context->pool_source()
+              << "), prior alpha = " << args.alpha
+              << ", solver = " << args.solver << "\n\n";
   }
   for (std::size_t i = 0; i < reports.value().size(); ++i) {
     const api::SolveReport& report = reports.value()[i];
@@ -272,7 +364,7 @@ int RunCli(const CliArgs& args_in) {
     std::string ids = "{";
     for (std::size_t j = 0; j < report.solution.selected.size(); ++j) {
       if (j > 0) ids += ", ";
-      ids += context.candidates()[report.solution.selected[j]].id;
+      ids += context->candidates()[report.solution.selected[j]].id;
     }
     ids += "}";
     std::cout << "B = " << requests[i].budget << ": jury " << ids

@@ -9,6 +9,7 @@
 
 #include "api/solve.h"
 #include "core/annealing.h"
+#include "model/pool_snapshot.h"
 #include "model/worker.h"
 #include "util/check.h"
 #include "util/json.h"
@@ -95,10 +96,31 @@ void FuzzSolveRequest(const std::uint8_t* data, std::size_t size) {
 }
 
 void FuzzPoolSnapshot(const std::uint8_t* data, std::size_t size) {
-  // Reinterpret the bytes as packed little-endian (quality, cost) double
-  // pairs: raw IEEE bit patterns, so NaNs (quiet and signaling),
-  // infinities, denormals, negative zeros, and wildly out-of-range
-  // magnitudes all reach the validation layer.
+  // Route 1: the binary `PoolSnapshot` wire format. Truncated headers,
+  // bit-flipped checksums, oversized counts, foreign endianness, and
+  // column values violating the numeric invariants must all surface as a
+  // `Status` — never an abort. An input that *passes* the full
+  // validation is as trusted as a validated CSV pool, so planning and a
+  // frontier-assisted greedy solve over it must succeed.
+  Result<PoolSnapshot> snapshot = PoolSnapshot::FromBytes(data, size);
+  if (snapshot.ok() && snapshot.value().size() > 0) {
+    Result<PoolPlanContext> from_snapshot =
+        PoolPlanContext::PlanFromSnapshot(std::move(snapshot).value());
+    JURY_CHECK(from_snapshot.ok())
+        << "plan failed on a validated snapshot: "
+        << from_snapshot.status().ToString();
+    SolveRequest request;
+    request.solver = "greedy-mg";
+    request.budget = 8.0;
+    request.tuning.greedy.frontier_k = 4;  // exercises the sharded pool
+    Result<SolveReport> report = from_snapshot.value().Solve(request);
+    JURY_CHECK(report.ok()) << "greedy solve failed on a validated "
+                            << "snapshot pool: " << report.status().ToString();
+  }
+  // Route 2 (legacy): reinterpret the bytes as packed little-endian
+  // (quality, cost) double pairs: raw IEEE bit patterns, so NaNs (quiet
+  // and signaling), infinities, denormals, negative zeros, and wildly
+  // out-of-range magnitudes all reach the validation layer.
   std::vector<Worker> pool;
   const std::size_t pairs = std::min<std::size_t>(size / 16, 256);
   pool.reserve(pairs);

@@ -80,9 +80,11 @@ Result<std::unique_ptr<JqObjective>> MakeCheckedObjective(
     const PoolPlanContext& context, const SolveRequest& request) {
   std::unique_ptr<JqObjective> objective;
   JURY_ASSIGN_OR_RETURN(objective, MakeObjective(request.tuning));
-  if (context.candidates().size() > objective->max_jury_size()) {
+  // `num_candidates()` (the column length), not `candidates().size()`: the
+  // cap check must not force a snapshot plan to materialize its structs.
+  if (context.num_candidates() > objective->max_jury_size()) {
     return Status::InvalidArgument(
-        "pool of " + std::to_string(context.candidates().size()) +
+        "pool of " + std::to_string(context.num_candidates()) +
         " workers exceeds the '" + request.tuning.objective +
         "' objective's jury cap of " +
         std::to_string(objective->max_jury_size()) +
@@ -90,6 +92,16 @@ Result<std::unique_ptr<JqObjective>> MakeCheckedObjective(
   }
   BindAmbientScanSink(*objective);
   return objective;
+}
+
+/// Wires the plan's sharded summary index onto a solve that opted into
+/// frontier pre-selection (`frontier_k > 0` in its tuning). The pool is
+/// built lazily, once per context, and shared read-only; requests that
+/// never set `frontier_k` never trigger the build.
+void ArmFrontier(SolverOptions& options, const PoolPlanContext& context) {
+  if (options.frontier_k > 0) {
+    options.sharded_pool = context.sharded_pool();
+  }
 }
 
 SolveReport FinishReport(const std::string& solver, JspSolution solution,
@@ -140,6 +152,7 @@ class AnnealingSolver final : public JspSolver {
     AnnealingOptions annealing = request.tuning.annealing;
     SolveControls controls(request);
     controls.Arm(annealing);
+    ArmFrontier(annealing, context);
     Timer timer;
     JspSolution solution;
     JURY_ASSIGN_OR_RETURN(
@@ -184,6 +197,7 @@ class BranchBoundSolver final : public JspSolver {
     BranchBoundOptions branch_bound = request.tuning.branch_bound;
     SolveControls controls(request);
     controls.Arm(branch_bound);
+    ArmFrontier(branch_bound, context);
     Timer timer;
     JspSolution solution;
     JURY_ASSIGN_OR_RETURN(
@@ -222,6 +236,7 @@ class GreedyFamilySolver final : public JspSolver {
     GreedyOptions greedy = request.tuning.greedy;
     SolveControls controls(request);
     controls.Arm(greedy);
+    ArmFrontier(greedy, context);
     Timer timer;
     JspSolution solution;
     JURY_ASSIGN_OR_RETURN(solution,

@@ -90,6 +90,34 @@ Status UnknownKey(const std::string& path, const std::string& key) {
   return Status::InvalidArgument(path + ": unknown key " + Json::Quote(key));
 }
 
+// -- The two frontier knobs shared by every frontier-capable solver's
+// -- options (greedy family, annealing polish, branch-and-bound
+// -- ordering). Bound here so the binders stay in sync; the runtime-only
+// -- `sharded_pool` / `frontier_stats` pointers have no wire form.
+
+Status BindFrontierKey(const Json& value, const std::string& field,
+                       const std::string& key, SolverOptions* out,
+                       bool* handled) {
+  *handled = true;
+  if (key == "frontier_k") {
+    return GetSizeField(value, field, &out->frontier_k);
+  }
+  if (key == "frontier_exact") {
+    return GetBoolField(value, field, &out->frontier_exact);
+  }
+  *handled = false;
+  return Status::OK();
+}
+
+/// Writer mirror: emitted only when non-default, so frontier-free dumps —
+/// every golden fixture among them — keep their historical byte layout.
+void FrontierToJson(const SolverOptions& options, Json* doc) {
+  if (options.frontier_k != 0) {
+    doc->Set("frontier_k", static_cast<std::uint64_t>(options.frontier_k));
+  }
+  if (!options.frontier_exact) doc->Set("frontier_exact", false);
+}
+
 // -- Per-struct binders. Each overlays the document onto an
 // -- already-default-initialized struct, so absent keys keep defaults.
 
@@ -152,7 +180,9 @@ Status BindAnnealing(const Json& doc, const std::string& path,
     } else if (key == "num_restarts") {
       JURY_RETURN_NOT_OK(GetSizeField(value, field, &out->num_restarts));
     } else {
-      return UnknownKey(path, key);
+      bool handled = false;
+      JURY_RETURN_NOT_OK(BindFrontierKey(value, field, key, out, &handled));
+      if (!handled) return UnknownKey(path, key);
     }
   }
   return Status::OK();
@@ -168,7 +198,9 @@ Status BindGreedy(const Json& doc, const std::string& path,
     } else if (key == "use_incremental") {
       JURY_RETURN_NOT_OK(GetBoolField(value, field, &out->use_incremental));
     } else {
-      return UnknownKey(path, key);
+      bool handled = false;
+      JURY_RETURN_NOT_OK(BindFrontierKey(value, field, key, out, &handled));
+      if (!handled) return UnknownKey(path, key);
     }
   }
   return Status::OK();
@@ -205,7 +237,9 @@ Status BindBranchBound(const Json& doc, const std::string& path,
       JURY_RETURN_NOT_OK(
           GetBoolField(value, field, &out->order_by_marginal_gain));
     } else {
-      return UnknownKey(path, key);
+      bool handled = false;
+      JURY_RETURN_NOT_OK(BindFrontierKey(value, field, key, out, &handled));
+      if (!handled) return UnknownKey(path, key);
     }
   }
   return Status::OK();
@@ -293,24 +327,31 @@ Json BucketToJson(const BucketJqOptions& options) {
 }
 
 Json AnnealingToJson(const AnnealingOptions& options) {
-  return Json::Object()
-      .Set("cooling_factor", options.cooling_factor)
-      .Set("epsilon", options.epsilon)
-      .Set("initial_temperature", options.initial_temperature)
-      .Set("max_polish_moves",
-           static_cast<std::uint64_t>(options.max_polish_moves))
-      .Set("num_restarts", static_cast<std::uint64_t>(options.num_restarts))
-      .Set("num_threads", static_cast<std::uint64_t>(options.num_threads))
-      .Set("removal_probability", options.removal_probability)
-      .Set("return_best_seen", options.return_best_seen)
-      .Set("trust_monotone_adds", options.trust_monotone_adds)
-      .Set("use_incremental", options.use_incremental);
+  Json doc = Json::Object()
+                 .Set("cooling_factor", options.cooling_factor)
+                 .Set("epsilon", options.epsilon)
+                 .Set("initial_temperature", options.initial_temperature)
+                 .Set("max_polish_moves",
+                      static_cast<std::uint64_t>(options.max_polish_moves))
+                 .Set("num_restarts",
+                      static_cast<std::uint64_t>(options.num_restarts))
+                 .Set("num_threads",
+                      static_cast<std::uint64_t>(options.num_threads))
+                 .Set("removal_probability", options.removal_probability)
+                 .Set("return_best_seen", options.return_best_seen)
+                 .Set("trust_monotone_adds", options.trust_monotone_adds)
+                 .Set("use_incremental", options.use_incremental);
+  FrontierToJson(options, &doc);
+  return doc;
 }
 
 Json GreedyToJson(const GreedyOptions& options) {
-  return Json::Object()
-      .Set("num_threads", static_cast<std::uint64_t>(options.num_threads))
-      .Set("use_incremental", options.use_incremental);
+  Json doc = Json::Object()
+                 .Set("num_threads",
+                      static_cast<std::uint64_t>(options.num_threads))
+                 .Set("use_incremental", options.use_incremental);
+  FrontierToJson(options, &doc);
+  return doc;
 }
 
 Json ExhaustiveToJson(const ExhaustiveOptions& options) {
@@ -322,10 +363,12 @@ Json ExhaustiveToJson(const ExhaustiveOptions& options) {
 }
 
 Json BranchBoundToJson(const BranchBoundOptions& options) {
-  return Json::Object()
-      .Set("max_nodes", static_cast<std::uint64_t>(options.max_nodes))
-      .Set("order_by_marginal_gain", options.order_by_marginal_gain)
-      .Set("use_incremental", options.use_incremental);
+  Json doc = Json::Object()
+                 .Set("max_nodes", static_cast<std::uint64_t>(options.max_nodes))
+                 .Set("order_by_marginal_gain", options.order_by_marginal_gain)
+                 .Set("use_incremental", options.use_incremental);
+  FrontierToJson(options, &doc);
+  return doc;
 }
 
 Json OptjsToJson(const OptjsOptions& options) {

@@ -11,6 +11,7 @@
 
 #include "api/registry.h"
 #include "model/prior.h"
+#include "model/sharded_pool.h"
 #include "util/fault_injection.h"
 #include "util/json.h"
 #include "util/rng.h"
@@ -116,11 +117,28 @@ struct PoolPlanContext::Arena {
   std::mutex mutex;
   std::vector<std::unique_ptr<JspInstance>> free_list;
   std::size_t created = 0;
+  // Lazy plan artifacts live here (not as direct context members) so the
+  // context keeps its defaulted moves: `std::once_flag` is immovable, but
+  // the arena pointer just changes hands.
+  std::once_flag workers_once;
+  std::once_flag pool_once;
+  std::unique_ptr<ShardedWorkerPool> pool;
 };
 
-PoolPlanContext::PoolPlanContext(std::vector<Worker> candidates)
-    : candidates_(std::move(candidates)),
+PoolPlanContext::PoolPlanContext(std::vector<Worker> candidates,
+                                 const PlanOptions& options)
+    : plan_options_(options),
+      candidates_(std::move(candidates)),
       view_(candidates_),
+      arena_(std::make_unique<Arena>()) {}
+
+PoolPlanContext::PoolPlanContext(std::unique_ptr<PoolSnapshot> snapshot,
+                                 const PlanOptions& options)
+    : plan_options_(options),
+      snapshot_(std::move(snapshot)),
+      view_(WorkerPoolView::FromColumns(
+          snapshot_->quality(), snapshot_->cost(), snapshot_->norm_quality(),
+          snapshot_->log_odds())),
       arena_(std::make_unique<Arena>()) {}
 
 // Out of line so `Arena` is complete where unique_ptr needs it. The move
@@ -132,11 +150,58 @@ PoolPlanContext& PoolPlanContext::operator=(PoolPlanContext&&) noexcept =
 PoolPlanContext::~PoolPlanContext() = default;
 
 Result<PoolPlanContext> PoolPlanContext::Plan(std::vector<Worker> candidates) {
-  for (const Worker& worker : candidates) {
-    JURY_RETURN_NOT_OK(ValidateWorker(worker));
+  return Plan(std::move(candidates), PlanOptions{});
+}
+
+Result<PoolPlanContext> PoolPlanContext::Plan(std::vector<Worker> candidates,
+                                              const PlanOptions& options) {
+  if (!options.assume_validated) {
+    for (const Worker& worker : candidates) {
+      JURY_RETURN_NOT_OK(ValidateWorker(worker));
+    }
   }
   g_contexts_planned.Increment();
-  return PoolPlanContext(std::move(candidates));
+  return PoolPlanContext(std::move(candidates), options);
+}
+
+Result<PoolPlanContext> PoolPlanContext::PlanFromSnapshot(
+    const std::string& path, const PlanOptions& options) {
+  auto snapshot = std::make_unique<PoolSnapshot>();
+  JURY_ASSIGN_OR_RETURN(*snapshot, PoolSnapshot::Load(path));
+  g_contexts_planned.Increment();
+  return PoolPlanContext(std::move(snapshot), options);
+}
+
+Result<PoolPlanContext> PoolPlanContext::PlanFromSnapshot(
+    PoolSnapshot snapshot, const PlanOptions& options) {
+  g_contexts_planned.Increment();
+  return PoolPlanContext(std::make_unique<PoolSnapshot>(std::move(snapshot)),
+                         options);
+}
+
+const std::vector<Worker>& PoolPlanContext::candidates() const {
+  EnsureWorkers();
+  return candidates_;
+}
+
+void PoolPlanContext::EnsureWorkers() const {
+  std::call_once(arena_->workers_once, [this] {
+    if (snapshot_ == nullptr) return;  // memory plans carry workers already
+    candidates_ = snapshot_->MaterializeWorkers();
+    view_.BindWorkers(candidates_);
+  });
+}
+
+const ShardedWorkerPool* PoolPlanContext::sharded_pool() const {
+  std::call_once(arena_->pool_once, [this] {
+    ShardedPoolOptions options;
+    if (plan_options_.shard_size > 0) {
+      options.shard_size = plan_options_.shard_size;
+    }
+    if (plan_options_.slate_k > 0) options.slate_k = plan_options_.slate_k;
+    arena_->pool = std::make_unique<ShardedWorkerPool>(&view_, options);
+  });
+  return arena_->pool.get();
 }
 
 PoolPlanContext::InstanceLease PoolPlanContext::AcquireInstance(double budget,
@@ -145,6 +210,7 @@ PoolPlanContext::InstanceLease PoolPlanContext::AcquireInstance(double budget,
   // allocation failing. First, before any arena mutation, so a fired
   // fault leaves the free list and high-water mark untouched.
   JURY_FAULT_POINT("plan.lease_instance");
+  EnsureWorkers();  // snapshot plans materialize structs on first lease
   std::unique_ptr<JspInstance> instance;
   {
     std::lock_guard<std::mutex> lock(arena_->mutex);

@@ -18,13 +18,33 @@
 #include "core/mvjs.h"
 #include "core/objective.h"
 #include "core/optjs.h"
+#include "model/pool_snapshot.h"
 #include "model/worker.h"
 #include "model/worker_pool_view.h"
 #include "util/cancellation.h"
 #include "util/json.h"
 #include "util/result.h"
 
+namespace jury {
+class ShardedWorkerPool;
+}  // namespace jury
+
 namespace jury::api {
+
+/// \brief Knobs of `PoolPlanContext::Plan` / `PlanFromSnapshot`.
+struct PlanOptions {
+  /// Skip the per-worker `ValidateWorker` pass. Set when the pool was
+  /// already validated upstream — a CSV loaded through `LoadWorkersCsv`
+  /// (which validates every row as it parses) or a verified snapshot — so
+  /// planning never re-walks N workers just to re-prove what the loader
+  /// already proved.
+  bool assume_validated = false;
+  /// Shard size of the lazily built `ShardedWorkerPool` (0 = the
+  /// `ShardedPoolOptions` default).
+  std::size_t shard_size = 0;
+  /// Slate length per shard (0 = the `ShardedPoolOptions` default).
+  std::size_t slate_k = 0;
+};
 
 /// \brief The uniform, typed options bag a `SolveRequest` carries: one
 /// field per solver family, each the solver's own options struct with its
@@ -262,6 +282,26 @@ class PoolPlanContext {
   /// Validates the pool (every worker's quality/cost ranges) and builds
   /// the plan. InvalidArgument on a bad worker.
   static Result<PoolPlanContext> Plan(std::vector<Worker> candidates);
+  /// The knobbed overload: `options.assume_validated` skips the
+  /// per-worker validation pass (the pool must come from a source that
+  /// already validated it — `LoadWorkersCsv` does).
+  static Result<PoolPlanContext> Plan(std::vector<Worker> candidates,
+                                      const PlanOptions& options);
+
+  /// Plans directly from a pool snapshot file: maps the columns read-only
+  /// and adopts them as the plan's `WorkerPoolView` — no per-worker
+  /// validation (the snapshot loader verified every invariant) and no
+  /// column recomputation, so a million-worker pool plans in the time it
+  /// takes to checksum the mapping. `Worker` structs are materialized
+  /// lazily, on the first call site that needs the AoS record
+  /// (`candidates()` / `AcquireInstance`); solves that only touch the
+  /// columns never pay for them.
+  static Result<PoolPlanContext> PlanFromSnapshot(
+      const std::string& path, const PlanOptions& options = {});
+  /// Same, adopting an already-loaded snapshot (moves it in; the context
+  /// keeps it alive for as long as the columns are referenced).
+  static Result<PoolPlanContext> PlanFromSnapshot(
+      PoolSnapshot snapshot, const PlanOptions& options = {});
 
   // Movable, not copyable. Defined out of line: the arena type is
   // private to solve.cc.
@@ -271,10 +311,25 @@ class PoolPlanContext {
   PoolPlanContext(const PoolPlanContext&) = delete;
   PoolPlanContext& operator=(const PoolPlanContext&) = delete;
 
-  const std::vector<Worker>& candidates() const { return candidates_; }
-  std::size_t num_candidates() const { return candidates_.size(); }
+  /// The pool's AoS records. For a snapshot plan this materializes the
+  /// structs on first use (thread-safe, once); prefer `num_candidates()` /
+  /// `view()` when only sizes or columns are needed.
+  const std::vector<Worker>& candidates() const;
+  /// Pool size without materializing workers (column length).
+  std::size_t num_candidates() const { return view_.size(); }
   /// The pool's columnar snapshot, shared read-only by every solve.
   const WorkerPoolView& view() const { return view_; }
+  /// Where the pool came from: "memory" (in-process workers, CSV included)
+  /// or "snapshot" (mapped `PoolSnapshot`).
+  const char* pool_source() const {
+    return snapshot_ != nullptr ? "snapshot" : "memory";
+  }
+
+  /// The plan's sharded summary index over `view()`, built lazily on
+  /// first use (thread-safe, once) and shared read-only by every solve.
+  /// Solver adapters wire it into `SolverOptions::sharded_pool` when a
+  /// request opts into frontier pre-selection (`frontier_k > 0`).
+  const ShardedWorkerPool* sharded_pool() const;
 
   /// Solves one request: validates its scalars, resolves the solver by
   /// name (NotFound for unknown names), and runs it against this plan.
@@ -336,12 +391,23 @@ class PoolPlanContext {
  private:
   struct Arena;
 
-  explicit PoolPlanContext(std::vector<Worker> candidates);
+  PoolPlanContext(std::vector<Worker> candidates, const PlanOptions& options);
+  PoolPlanContext(std::unique_ptr<PoolSnapshot> snapshot,
+                  const PlanOptions& options);
 
   void ReturnInstance(std::unique_ptr<JspInstance> instance);
+  /// Materializes `candidates_` from the snapshot (no-op for memory
+  /// plans) and binds them onto the view. Thread-safe, runs once.
+  void EnsureWorkers() const;
 
-  std::vector<Worker> candidates_;
-  WorkerPoolView view_;
+  PlanOptions plan_options_;
+  /// Owner of the mapped columns for snapshot plans (address-stable under
+  /// context moves, so the adopted view's spans survive). Null for
+  /// memory plans.
+  std::unique_ptr<PoolSnapshot> snapshot_;
+  // Mutable: lazily filled / bound by `EnsureWorkers` from const readers.
+  mutable std::vector<Worker> candidates_;
+  mutable WorkerPoolView view_;
   std::unique_ptr<Arena> arena_;
 };
 

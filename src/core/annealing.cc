@@ -7,6 +7,8 @@
 #include <span>
 #include <vector>
 
+#include "core/frontier.h"
+#include "model/sharded_pool.h"
 #include "model/worker_pool_view.h"
 #include "util/scheduler.h"
 
@@ -172,13 +174,13 @@ JspSolution PolishNeighbourhood(const JspInstance& instance,
   const std::span<const double> cost_col = view.cost();
   auto session =
       objective.StartSession(view, instance.alpha, options.use_incremental);
-  std::vector<bool> selected(n, false);
+  std::vector<char> selected(n, 0);
   std::vector<std::size_t> order;  // member index by session position
   double cost = 0.0;
   for (std::size_t idx : start) {
     session->ScoreAdd(view.worker(idx));
     session->Commit();
-    selected[idx] = true;
+    selected[idx] = 1;
     order.push_back(idx);
     cost += cost_col[idx];
   }
@@ -187,6 +189,23 @@ JspSolution PolishNeighbourhood(const JspInstance& instance,
           ? 2 * n + 8
           : options.max_polish_moves;
   const bool monotone = objective.monotone_in_size();
+
+  // Frontier pre-selection applies to the adds pass (the only pass whose
+  // candidates are "add this worker", which is what the monotone key
+  // bounds). The adds run first in each scan, so the banded incumbent
+  // starts from -inf exactly as in the full pass and the exact-mode pick
+  // reproduces the incumbent the full adds loop would leave behind,
+  // bit for bit; removals and swaps then proceed unchanged. Polish runs
+  // per chain, possibly concurrently, so the stats stay chain-local and
+  // are flushed to the (atomic) registry counters at the end.
+  ShardedWorkerPool::KeyColumn frontier_key{};
+  const bool use_frontier =
+      FrontierUsable(options.sharded_pool, &view, objective,
+                     options.frontier_k, &frontier_key);
+  FrontierOptions frontier_options;
+  frontier_options.k = options.frontier_k;
+  frontier_options.exact = options.frontier_exact;
+  FrontierScanStats frontier_stats;
 
   enum class Kind { kNone, kAdd, kRemove, kSwap };
   std::vector<std::size_t> batch_ids;
@@ -213,19 +232,28 @@ JspSolution PolishNeighbourhood(const JspInstance& instance,
       }
     };
 
-    // Adds: one batched pass over every affordable unselected candidate.
-    batch_ids.clear();
-    for (std::size_t i = 0; i < n; ++i) {
-      if (!selected[i] && cost + cost_col[i] <= instance.budget) {
-        batch_ids.push_back(i);
+    // Adds: one batched pass over every affordable unselected candidate —
+    // or, with a sharded pool wired, the frontier's slate-plus-guard
+    // subset, whose banded argmax equals the full pass's (exact mode).
+    if (use_frontier) {
+      const FrontierPick pick = FrontierSelectAdd(
+          *session, *options.sharded_pool, frontier_key, selected, cost,
+          instance.budget, frontier_options, &frontier_stats);
+      if (pick.found) consider(pick.best_score, Kind::kAdd, pick.best_index, 0);
+    } else {
+      batch_ids.clear();
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!selected[i] && cost + cost_col[i] <= instance.budget) {
+          batch_ids.push_back(i);
+        }
       }
-    }
-    if (!batch_ids.empty()) {
-      scores.resize(batch_ids.size());
-      session->ScoreAddBatch(batch_ids.data(), batch_ids.size(),
-                             scores.data());
-      for (std::size_t j = 0; j < batch_ids.size(); ++j) {
-        consider(scores[j], Kind::kAdd, batch_ids[j], 0);
+      if (!batch_ids.empty()) {
+        scores.resize(batch_ids.size());
+        session->ScoreAddBatch(batch_ids.data(), batch_ids.size(),
+                               scores.data());
+        for (std::size_t j = 0; j < batch_ids.size(); ++j) {
+          consider(scores[j], Kind::kAdd, batch_ids[j], 0);
+        }
       }
     }
 
@@ -296,6 +324,7 @@ JspSolution PolishNeighbourhood(const JspInstance& instance,
     }
     if (stats != nullptr) ++stats->polish_moves;
   }
+  if (use_frontier) FlushFrontierStats(frontier_stats);
   return MakeSolution(instance, order, session->current_jq());
 }
 

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <memory>
 #include <numeric>
+#include <span>
 #include <vector>
 
+#include "core/frontier.h"
+#include "model/sharded_pool.h"
 #include "model/worker_pool_view.h"
 
 namespace jury {
@@ -26,7 +29,46 @@ class Searcher {
     const std::size_t n = instance.num_candidates();
     order_.resize(n);
     std::iota(order_.begin(), order_.end(), std::size_t{0});
-    if (options.order_by_marginal_gain && n > 0) {
+    ShardedWorkerPool::KeyColumn frontier_key{};
+    if (options.order_by_marginal_gain && n > 0 &&
+        FrontierUsable(options.sharded_pool, &view_, objective,
+                       options.frontier_k, &frontier_key)) {
+      // Frontier ordering (lossy by construction — the ordering is a
+      // search heuristic, never part of the admissible bound, so the
+      // optimum is unchanged): real marginal gains for the slate
+      // candidates, key order for the pruned tail. Only the root-level
+      // scan cost changes; the DFS itself explores the same admissible
+      // space.
+      FrontierOptions frontier_options;
+      frontier_options.k = options.frontier_k;
+      frontier_options.exact = false;
+      FrontierScanStats frontier_stats;
+      const auto scan =
+          objective.StartSession(view_, instance.alpha, /*incremental=*/true);
+      const FrontierScanResult front = FrontierScanAdds(
+          *scan, *options.sharded_pool, frontier_key,
+          std::vector<char>(n, 0), /*jury_cost=*/0.0, instance.budget,
+          frontier_options, &frontier_stats);
+      FlushFrontierStats(frontier_stats);
+      std::vector<char> scanned(n, 0);
+      std::vector<double> gains(n);
+      for (std::size_t j = 0; j < front.indices.size(); ++j) {
+        scanned[front.indices[j]] = 1;
+        gains[front.indices[j]] = front.scores[j];
+      }
+      const std::span<const double> keys =
+          options.sharded_pool->keys(frontier_key);
+      std::stable_sort(order_.begin(), order_.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         // Scanned candidates first, by true gain; the
+                         // pruned tail by the admissible key.
+                         if (scanned[a] != scanned[b]) {
+                           return scanned[a] > scanned[b];
+                         }
+                         if (scanned[a]) return gains[a] > gains[b];
+                         return keys[a] > keys[b];
+                       });
+    } else if (options.order_by_marginal_gain && n > 0) {
       // Candidate ordering through the unified batched scan: every
       // single-worker marginal score in one contiguous `ScoreAddBatch`
       // pass against the empty jury. Always the delta-update session —

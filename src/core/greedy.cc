@@ -7,6 +7,8 @@
 #include <numeric>
 #include <vector>
 
+#include "core/frontier.h"
+#include "model/sharded_pool.h"
 #include "model/worker_pool_view.h"
 #include "util/fault_injection.h"
 #include "util/scheduler.h"
@@ -203,9 +205,25 @@ Result<JspSolution> SolveGreedyMarginalGain(const JspInstance& instance,
   const std::size_t n = instance.num_candidates();
   auto session =
       objective.StartSession(view, instance.alpha, options.use_incremental);
-  std::vector<bool> in_jury(n, false);
+  std::vector<char> in_jury(n, 0);
   std::vector<std::size_t> selected;
   double cost = 0.0;
+
+  // Candidate-frontier pre-selection (core/frontier.h): when a sharded
+  // pool over this exact view is wired in and the objective declares a
+  // monotone score key, each round scores the per-shard top-k slates plus
+  // whatever the bound guard demands, instead of every eligible
+  // candidate. In exact mode the pick is bit-identical to the full scan
+  // below (property-tested), so the round structure — and therefore the
+  // work-unit accounting and the returned jury — is unchanged.
+  ShardedWorkerPool::KeyColumn frontier_key{};
+  const bool use_frontier =
+      FrontierUsable(options.sharded_pool, &view, objective,
+                     options.frontier_k, &frontier_key);
+  FrontierOptions frontier_options;
+  frontier_options.k = options.frontier_k;
+  frontier_options.exact = options.frontier_exact;
+  FrontierScanStats frontier_stats;
 
   // Scan machinery: each round gathers the affordable candidate indices
   // (ascending) and scores them through the session's index-based batched
@@ -239,6 +257,25 @@ Result<JspSolution> SolveGreedyMarginalGain(const JspInstance& instance,
     // one commit) is one work unit. The committed jury is always valid
     // here, so a stop returns the rounds completed so far.
     if (governor.Tick() != StopReason::kNone) break;
+    std::size_t best_idx = 0;
+    double best_score = -std::numeric_limits<double>::infinity();
+    if (use_frontier) {
+      const FrontierPick pick = FrontierSelectAdd(
+          *session, *options.sharded_pool, frontier_key, in_jury, cost,
+          instance.budget, frontier_options, &frontier_stats);
+      if (!pick.found) break;  // nothing fits
+      best_idx = pick.best_index;
+      best_score = pick.best_score;
+      if (!objective.monotone_in_size() &&
+          best_score <= session->current_jq() + kScoreTol) {
+        break;  // for MV-like objectives an extension can hurt; stop early
+      }
+      session->CommitAdd(view.worker(best_idx), best_score);
+      in_jury[best_idx] = 1;
+      selected.push_back(best_idx);
+      cost += cost_col[best_idx];
+      continue;
+    }
     eligible_idx.clear();
     for (std::size_t i = 0; i < n; ++i) {
       if (in_jury[i]) continue;
@@ -268,7 +305,6 @@ Result<JspSolution> SolveGreedyMarginalGain(const JspInstance& instance,
     // Banded first-wins argmax, serially in candidate-index order (the
     // eligible list is ascending in i).
     std::size_t best_pos = 0;
-    double best_score = -std::numeric_limits<double>::infinity();
     for (std::size_t j = 0; j < scores.size(); ++j) {
       if (scores[j] > best_score + kScoreTol) {
         best_score = scores[j];
@@ -281,11 +317,15 @@ Result<JspSolution> SolveGreedyMarginalGain(const JspInstance& instance,
     }
     // The winner's score is already known: commit it directly instead of
     // re-staging (and re-evaluating) the winning delta.
-    const std::size_t best_idx = eligible_idx[best_pos];
+    best_idx = eligible_idx[best_pos];
     session->CommitAdd(view.worker(best_idx), best_score);
-    in_jury[best_idx] = true;
+    in_jury[best_idx] = 1;
     selected.push_back(best_idx);
     cost += cost_col[best_idx];
+  }
+  if (use_frontier) FlushFrontierStats(frontier_stats);
+  if (options.frontier_stats != nullptr) {
+    *options.frontier_stats = frontier_stats;
   }
   if (options.termination != nullptr) {
     options.termination->MergeStrand(governor.reason(), governor.work_done());

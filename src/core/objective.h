@@ -114,8 +114,26 @@ struct EvaluationCounters {
 ///    updates, which is how the solvers explore candidates.
 class JqObjective {
  public:
+  /// Pool-view column in which this objective's *add* score is monotone
+  /// non-decreasing: whenever `key(a) >= key(b)`, adding `a` to any
+  /// committed jury scores at least as high as adding `b` (and equal keys
+  /// score bit-identically, since every backend's score is a pure function
+  /// of the key value and the committed state). This is the admissible
+  /// upper bound the sharded frontier scan prunes with. BV objectives are
+  /// monotone in the §3.3 flip-normalized quality (the paper's Lemma 2
+  /// garbling argument); MV is monotone in raw quality (a higher-quality
+  /// juror only raises the majority's correctness probability). `kNone`
+  /// (the default) declares no monotone column and disables frontier
+  /// pruning for the objective.
+  enum class ScoreMonotoneKey { kNone, kNormQuality, kQuality };
+
   virtual ~JqObjective() = default;
   virtual std::string name() const = 0;
+
+  /// See `ScoreMonotoneKey`.
+  virtual ScoreMonotoneKey score_monotone_key() const {
+    return ScoreMonotoneKey::kNone;
+  }
 
   /// JQ estimate of `candidate_jury` under prior `alpha`. Must accept the
   /// empty jury (returning `EmptyJq(alpha)`).
@@ -412,6 +430,9 @@ class BucketBvObjective final : public JqObjective {
   std::string name() const override { return "BV/bucket"; }
   double Evaluate(const Jury& candidate_jury, double alpha) const override;
   bool monotone_in_size() const override { return true; }
+  ScoreMonotoneKey score_monotone_key() const override {
+    return ScoreMonotoneKey::kNormQuality;
+  }
   const BucketJqOptions& options() const { return options_; }
 
  protected:
@@ -431,6 +452,9 @@ class ExactBvObjective final : public JqObjective {
   std::string name() const override { return "BV/exact"; }
   double Evaluate(const Jury& candidate_jury, double alpha) const override;
   bool monotone_in_size() const override { return true; }
+  ScoreMonotoneKey score_monotone_key() const override {
+    return ScoreMonotoneKey::kNormQuality;
+  }
   /// `kMaxExactJurySize` — the 2^n enumeration guard (defined in the .cc
   /// to keep jq/exact.h out of this header).
   std::size_t max_jury_size() const override;
@@ -449,6 +473,9 @@ class MajorityObjective final : public JqObjective {
   std::string name() const override { return "MV/exact"; }
   double Evaluate(const Jury& candidate_jury, double alpha) const override;
   bool monotone_in_size() const override { return false; }
+  ScoreMonotoneKey score_monotone_key() const override {
+    return ScoreMonotoneKey::kQuality;
+  }
 
  protected:
   std::unique_ptr<IncrementalJqEvaluator> StartIncrementalSession(

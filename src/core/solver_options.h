@@ -8,6 +8,9 @@
 
 namespace jury {
 
+class ShardedWorkerPool;
+struct FrontierScanStats;
+
 /// \brief Knobs shared by every JSP solver. Per-solver option structs
 /// inherit from this, so `options.num_threads` configures the parallel
 /// execution layer uniformly.
@@ -56,6 +59,34 @@ struct SolverOptions {
   /// instance and merge serially (never share the pointer across
   /// concurrent tasks).
   TerminationInfo* termination = nullptr;
+
+  /// Candidate-frontier pre-selection (core/frontier.h): how many
+  /// workers per shard slate the scan-heavy solvers score before the
+  /// bound-guarded refinement, 0 = full O(N) scans (the default). Takes
+  /// effect only when `sharded_pool` is set, the pool is built over the
+  /// solver's view, and the objective declares a monotone score key
+  /// (`JqObjective::score_monotone_key()`); otherwise solvers silently
+  /// fall back to the full scan.
+  std::size_t frontier_k = 0;
+
+  /// With `frontier_k` active: keep refining with the admissible
+  /// upper-bound guard until the selection is *provably* bit-identical
+  /// to the full scan (the default; worst case degrades to the full
+  /// scan). False opts into the lossy mode — slate candidates only,
+  /// bounded quality gap, no exactness proof.
+  bool frontier_exact = true;
+
+  /// Shard summaries for the frontier (model/sharded_pool.h), built over
+  /// the same `WorkerPoolView` the solver scans. Runtime-only wiring —
+  /// `PoolPlanContext` owns the pool and its adapters set this; the
+  /// field never appears in request JSON.
+  const ShardedWorkerPool* sharded_pool = nullptr;
+
+  /// Optional out-param: frontier-scan instrumentation (candidates
+  /// scanned, exactness proofs, shard expansions) accumulated across the
+  /// solve. The same numbers also feed the process-wide
+  /// `frontier.*` stats counters.
+  FrontierScanStats* frontier_stats = nullptr;
 };
 
 }  // namespace jury

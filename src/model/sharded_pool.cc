@@ -1,0 +1,100 @@
+#include "model/sharded_pool.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+#include "util/stats_registry.h"
+
+namespace jury {
+namespace {
+
+StatsRegistry::Counter& g_shards_built = RegisterStatsCounter("pool.shards_built");
+StatsRegistry::Counter& g_shard_rebuilds = RegisterStatsCounter("pool.shard_rebuilds");
+
+/// Fills `slate` with the top-min(k, end-begin) indices of [begin, end) by
+/// `keys`, key-descending with ascending-index ties (i.e. the stable
+/// descending order), and returns the fence: the slate's smallest key when
+/// candidates were pruned, -infinity when the slate covers the range.
+double BuildSlate(std::span<const double> keys, std::size_t begin,
+                  std::size_t end, std::size_t k,
+                  std::vector<std::size_t>* slate) {
+  const std::size_t population = end - begin;
+  slate->resize(population);
+  for (std::size_t i = 0; i < population; ++i) (*slate)[i] = begin + i;
+  const auto key_desc = [keys](std::size_t a, std::size_t b) {
+    if (keys[a] != keys[b]) return keys[a] > keys[b];
+    return a < b;
+  };
+  if (k < population) {
+    std::partial_sort(slate->begin(), slate->begin() + k, slate->end(),
+                      key_desc);
+    slate->resize(k);
+    return keys[slate->back()];
+  }
+  std::sort(slate->begin(), slate->end(), key_desc);
+  return -std::numeric_limits<double>::infinity();
+}
+
+}  // namespace
+
+ShardedWorkerPool::ShardedWorkerPool(const WorkerPoolView* view,
+                                     ShardedPoolOptions options)
+    : view_(view), options_(options) {
+  JURY_CHECK(view_ != nullptr) << "ShardedWorkerPool needs a view";
+  if (options_.shard_size == 0) options_.shard_size = 1024;
+  if (options_.slate_k == 0) options_.slate_k = 64;
+  const std::size_t n = view_->size();
+  const std::size_t num_shards =
+      n == 0 ? 0 : (n + options_.shard_size - 1) / options_.shard_size;
+  shards_.resize(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    shards_[s].begin = s * options_.shard_size;
+    shards_[s].end = std::min(n, (s + 1) * options_.shard_size);
+    RebuildShard(s);
+    g_shards_built.Increment();
+  }
+}
+
+void ShardedWorkerPool::ApplyDelta(std::span<const std::size_t> changed) {
+  std::vector<std::size_t> dirty;
+  dirty.reserve(changed.size());
+  for (const std::size_t index : changed) {
+    if (index < view_->size()) dirty.push_back(shard_of(index));
+  }
+  std::sort(dirty.begin(), dirty.end());
+  dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+  for (const std::size_t s : dirty) {
+    RebuildShard(s);
+    shards_[s].epoch++;
+    g_shard_rebuilds.Increment();
+  }
+}
+
+void ShardedWorkerPool::RebuildShard(std::size_t s) {
+  Shard& shard = shards_[s];
+  const std::span<const double> quality = view_->quality();
+  const std::span<const double> cost = view_->cost();
+
+  shard.min_cost = std::numeric_limits<double>::infinity();
+  shard.max_cost = -std::numeric_limits<double>::infinity();
+  shard.quality_histogram.fill(0);
+  for (std::size_t i = shard.begin; i < shard.end; ++i) {
+    shard.min_cost = std::min(shard.min_cost, cost[i]);
+    shard.max_cost = std::max(shard.max_cost, cost[i]);
+    // quality is validated into [0, 1]; the cast clamps 1.0 into the top
+    // bin.
+    const std::size_t bin = std::min<std::size_t>(
+        kHistogramBins - 1,
+        static_cast<std::size_t>(quality[i] * kHistogramBins));
+    shard.quality_histogram[bin]++;
+  }
+  shard.fence_norm_quality =
+      BuildSlate(view_->norm_quality(), shard.begin, shard.end,
+                 options_.slate_k, &shard.top_by_norm_quality);
+  shard.fence_quality = BuildSlate(quality, shard.begin, shard.end,
+                                   options_.slate_k, &shard.top_by_quality);
+}
+
+}  // namespace jury

@@ -1,0 +1,132 @@
+#ifndef JURYOPT_MODEL_SHARDED_POOL_H_
+#define JURYOPT_MODEL_SHARDED_POOL_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "model/worker_pool_view.h"
+
+namespace jury {
+
+/// Tuning knobs for `ShardedWorkerPool`.
+struct ShardedPoolOptions {
+  /// Workers per shard (the final shard may be ragged). Chosen so a shard's
+  /// columns stay L2-resident during slate builds; 1024 keeps the shard
+  /// count at N/1024 which is what the frontier scan iterates per round.
+  std::size_t shard_size = 1024;
+  /// Slate length: how many workers per shard (per key column) are kept
+  /// pre-sorted by the admissible marginal-gain key. Frontier scans may use
+  /// any prefix of this.
+  std::size_t slate_k = 64;
+};
+
+/// \brief Fixed-size shards over a `WorkerPoolView`, each carrying summary
+/// statistics that let scan-heavy solvers touch O(shards * k) candidates
+/// instead of O(N) rows.
+///
+/// Layout: shard `s` covers view indices `[s * shard_size, min((s+1) *
+/// shard_size, N))` — shards partition the index space, so a shard never
+/// re-orders or copies columns; its summaries are just precomputed
+/// aggregates over its contiguous slice:
+///
+///   - **cost bounds** (`min_cost`, `max_cost`): a shard whose `min_cost`
+///     exceeds the remaining budget holds no eligible candidate and is
+///     skipped whole.
+///   - **quality histogram** (16 equal-width bins over [0, 1]): a coarse
+///     shape summary for diagnostics and slate sizing.
+///   - **top-k slates** by the two monotone score keys
+///     (`JqObjective::ScoreMonotoneKey`): indices sorted by normalized
+///     quality (BV objectives, paper Lemma 2) and by raw quality (MV),
+///     descending, ties broken by ascending index (stable). The slate is
+///     the admissible frontier: for a monotone objective, every pruned
+///     (non-slate) worker's marginal gain is bounded by the gain of any
+///     scanned worker with key >= the shard's fence key.
+///   - **fence keys**: the smallest key in each full slate. Every non-slate
+///     member of the shard has key <= the fence, which is what the
+///     frontier's exactness proof leans on.
+///   - **epoch tag**: bumped each time the shard is rebuilt, so cached
+///     per-shard artifacts can detect staleness after churn.
+///
+/// Churn: `ApplyDelta` rebuilds only the shards containing changed indices
+/// (O(changed-shards * shard_size * log k)), not the whole pool — the
+/// epoch tags of untouched shards are unchanged.
+///
+/// The pool aliases the view's columns; the view must outlive it. Building
+/// bumps the `pool.shards_built` counter once per shard, `ApplyDelta` bumps
+/// `pool.shard_rebuilds` once per rebuilt shard.
+class ShardedWorkerPool {
+ public:
+  /// Which precomputed slate/fence a consumer wants. Mirrors
+  /// `JqObjective::ScoreMonotoneKey` (minus `kNone`).
+  enum class KeyColumn { kNormQuality, kQuality };
+
+  static constexpr std::size_t kHistogramBins = 16;
+
+  struct Shard {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::uint64_t epoch = 0;
+    double min_cost = 0.0;
+    double max_cost = 0.0;
+    std::array<std::uint32_t, kHistogramBins> quality_histogram{};
+    /// View indices, key-descending, ties index-ascending. Length
+    /// min(slate_k, end - begin).
+    std::vector<std::size_t> top_by_norm_quality;
+    std::vector<std::size_t> top_by_quality;
+    /// Smallest key in the corresponding full slate when the slate is a
+    /// strict subset of the shard (an upper bound on every pruned member's
+    /// key); -infinity when the slate covers the whole shard (nothing is
+    /// ever pruned).
+    double fence_norm_quality = 0.0;
+    double fence_quality = 0.0;
+
+    std::size_t population() const { return end - begin; }
+  };
+
+  explicit ShardedWorkerPool(const WorkerPoolView* view,
+                             ShardedPoolOptions options = {});
+
+  /// Rebuilds exactly the shards containing an index in `changed_indices`
+  /// (deduplicated internally; out-of-range indices are ignored). Call
+  /// after the underlying columns changed in place — e.g. worker
+  /// re-estimation — to refresh summaries without touching other shards.
+  void ApplyDelta(std::span<const std::size_t> changed_indices);
+
+  const WorkerPoolView& view() const { return *view_; }
+  const ShardedPoolOptions& options() const { return options_; }
+  std::size_t size() const { return view_->size(); }
+  std::size_t num_shards() const { return shards_.size(); }
+  const Shard& shard(std::size_t s) const { return shards_[s]; }
+  std::size_t shard_of(std::size_t index) const {
+    return index / options_.shard_size;
+  }
+
+  const std::vector<std::size_t>& slate(const Shard& shard,
+                                        KeyColumn key) const {
+    return key == KeyColumn::kNormQuality ? shard.top_by_norm_quality
+                                          : shard.top_by_quality;
+  }
+  double fence(const Shard& shard, KeyColumn key) const {
+    return key == KeyColumn::kNormQuality ? shard.fence_norm_quality
+                                          : shard.fence_quality;
+  }
+  /// The key column the slates of `key` are ordered by.
+  std::span<const double> keys(KeyColumn key) const {
+    return key == KeyColumn::kNormQuality ? view_->norm_quality()
+                                          : view_->quality();
+  }
+
+ private:
+  void RebuildShard(std::size_t s);
+
+  const WorkerPoolView* view_;
+  ShardedPoolOptions options_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace jury
+
+#endif  // JURYOPT_MODEL_SHARDED_POOL_H_

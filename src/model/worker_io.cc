@@ -4,9 +4,12 @@
 #include <sstream>
 
 #include "util/csv.h"
+#include "util/stats_registry.h"
 
 namespace jury {
 namespace {
+
+StatsRegistry::Counter& g_csv_loads = RegisterStatsCounter("pool.csv_loads");
 
 Result<double> ParseDouble(const std::string& cell, const std::string& what) {
   char* end = nullptr;
@@ -47,6 +50,7 @@ Result<std::vector<Worker>> RowsToWorkers(
 Result<std::vector<Worker>> LoadWorkersCsv(const std::string& path) {
   std::vector<std::vector<std::string>> rows;
   JURY_ASSIGN_OR_RETURN(rows, ReadCsvFile(path));
+  g_csv_loads.Increment();
   return RowsToWorkers(rows);
 }
 

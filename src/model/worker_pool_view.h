@@ -29,10 +29,20 @@ namespace jury {
 /// (`NormalizeQuality`/`EffectiveQuality`/`LogOdds`), so column-sourced
 /// scores are bit-identical to struct-sourced ones.
 ///
-/// The view does not own the workers: it keeps a `std::span` over the
-/// caller's array (a `JspInstance::candidates` vector in every in-repo
-/// use), which must outlive the view. Views are immutable after
-/// construction and therefore freely shared across threads.
+/// A view comes in two flavours sharing one type:
+///   - **Owning** (the `span<const Worker>` constructor): the four columns
+///     are computed into internal vectors, as every solver has always done.
+///   - **Adopted** (`FromColumns`): the columns alias caller-owned storage
+///     — in practice a mapped `PoolSnapshot` — so a million-worker plan
+///     skips the per-worker `log()` pass entirely. Adopted views may start
+///     with no `Worker` structs at all; `BindWorkers` attaches them later
+///     (lazy materialization) for the call sites that need the AoS record.
+///
+/// The view never owns the workers: it keeps a `std::span` over the
+/// caller's array (a `JspInstance::candidates` vector in most in-repo
+/// uses), which must outlive the view. Views are immutable after
+/// construction (BindWorkers excepted, which happens once before any
+/// `worker()` access) and therefore freely shared across threads.
 class WorkerPoolView {
  public:
   static constexpr std::size_t kNotFound = static_cast<std::size_t>(-1);
@@ -40,8 +50,32 @@ class WorkerPoolView {
   WorkerPoolView() = default;
   explicit WorkerPoolView(std::span<const Worker> workers);
 
+  /// Builds a view whose columns alias caller-owned storage (all four the
+  /// same length; they must outlive the view). No workers are bound yet —
+  /// `worker()`/`workers()`/`IndexOf` require a later `BindWorkers`.
+  static WorkerPoolView FromColumns(std::span<const double> quality,
+                                    std::span<const double> cost,
+                                    std::span<const double> norm_quality,
+                                    std::span<const double> log_odds);
+
+  // The owning flavour's columns live in the member vectors, so copies
+  // must re-point their spans at their own storage (moves keep the heap
+  // buffers and need no fixup).
+  WorkerPoolView(const WorkerPoolView& other);
+  WorkerPoolView& operator=(const WorkerPoolView& other);
+  WorkerPoolView(WorkerPoolView&&) noexcept = default;
+  WorkerPoolView& operator=(WorkerPoolView&&) noexcept = default;
+
   std::size_t size() const { return quality_.size(); }
   bool empty() const { return quality_.empty(); }
+
+  /// True once `worker(i)` is callable — always for the owning flavour,
+  /// after `BindWorkers` for an adopted view.
+  bool workers_bound() const { return workers_.size() == size(); }
+
+  /// Attaches the AoS records to an adopted view. `workers` must match
+  /// the columns element-for-element and outlive the view.
+  void BindWorkers(std::span<const Worker> workers);
 
   /// The backing AoS record (id, quality, cost) for index `i`.
   const Worker& worker(std::size_t i) const { return workers_[i]; }
@@ -68,10 +102,16 @@ class WorkerPoolView {
 
  private:
   std::span<const Worker> workers_;
-  std::vector<double> quality_;
-  std::vector<double> cost_;
-  std::vector<double> norm_quality_;
-  std::vector<double> log_odds_;
+  // The public column spans; for the owning flavour they point into the
+  // owned_* vectors below, for adopted views into caller storage.
+  std::span<const double> quality_;
+  std::span<const double> cost_;
+  std::span<const double> norm_quality_;
+  std::span<const double> log_odds_;
+  std::vector<double> owned_quality_;
+  std::vector<double> owned_cost_;
+  std::vector<double> owned_norm_quality_;
+  std::vector<double> owned_log_odds_;
 };
 
 }  // namespace jury

@@ -19,6 +19,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "util/simd_dispatch.h"
@@ -306,12 +307,98 @@ void RemoveQueryAvx2(const double* pmf, int n, const double* p,
   }
 }
 
+// rotl64 for 4 packed u64 (AVX2 has no vprolq; shift-shift-or).
+inline __m256i Rotl29Avx2(__m256i v) {
+  return _mm256_or_si256(_mm256_slli_epi64(v, 29), _mm256_srli_epi64(v, 35));
+}
+
+void HashLanesAvx2(const unsigned char* data, std::size_t num_strides,
+                   std::uint64_t* lanes) {
+  // The eight lanes ride in two 4-wide registers; each stride update is
+  // the scalar recurrence `lane = rotl(lane, 29) ^ word` run on all
+  // lanes at once — pure integer ops, identical values to the reference.
+  __m256i lo = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(lanes));
+  __m256i hi =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(lanes + 4));
+  for (std::size_t s = 0; s < num_strides; ++s) {
+    const __m256i* stride =
+        reinterpret_cast<const __m256i*>(data + 64 * s);
+    lo = _mm256_xor_si256(Rotl29Avx2(lo), _mm256_loadu_si256(stride));
+    hi = _mm256_xor_si256(Rotl29Avx2(hi), _mm256_loadu_si256(stride + 1));
+  }
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes), lo);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes + 4), hi);
+}
+
+std::uint64_t AuditPoolColumnsAvx2(const double* quality, const double* cost,
+                                   const double* norm_quality,
+                                   const double* log_odds, std::size_t n) {
+  const __m256d zero = _mm256_set1_pd(0.0);
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d dmax = _mm256_set1_pd(std::numeric_limits<double>::max());
+  const __m256d dmin = _mm256_set1_pd(std::numeric_limits<double>::lowest());
+  __m256d viol = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    const __m256d q = _mm256_loadu_pd(quality + i);
+    const __m256d c = _mm256_loadu_pd(cost + i);
+    const __m256d nq = _mm256_loadu_pd(norm_quality + i);
+    const __m256d lo = _mm256_loadu_pd(log_odds + i);
+    // ok-masks use ordered compares, so NaN lanes come out not-ok.
+    const __m256d q_ok = _mm256_and_pd(_mm256_cmp_pd(q, zero, _CMP_GE_OQ),
+                                       _mm256_cmp_pd(q, one, _CMP_LE_OQ));
+    const __m256d c_ok = _mm256_and_pd(_mm256_cmp_pd(c, zero, _CMP_GE_OQ),
+                                       _mm256_cmp_pd(c, dmax, _CMP_LE_OQ));
+    const __m256d nq_ok = _mm256_cmp_pd(
+        nq, _mm256_max_pd(q, _mm256_sub_pd(one, q)), _CMP_EQ_OQ);
+    const __m256d lo_ok = _mm256_and_pd(_mm256_cmp_pd(lo, dmin, _CMP_GE_OQ),
+                                        _mm256_cmp_pd(lo, dmax, _CMP_LE_OQ));
+    const __m256d all_ok =
+        _mm256_and_pd(_mm256_and_pd(q_ok, c_ok), _mm256_and_pd(nq_ok, lo_ok));
+    // A lane is a violation when its ok-mask is not all-ones.
+    viol = _mm256_or_pd(
+        viol, _mm256_xor_pd(all_ok, _mm256_castsi256_pd(
+                                        _mm256_set1_epi64x(-1))));
+  }
+  std::uint64_t bad =
+      static_cast<std::uint64_t>(_mm256_movemask_pd(viol) != 0);
+  bad |= internal::AuditPoolColumnsRange(quality, cost, norm_quality,
+                                         log_odds, i, n);
+  return bad;
+}
+
+std::uint64_t AuditMonotoneU64Avx2(const std::uint64_t* values,
+                                   std::size_t n) {
+  // AVX2 only has signed 64-bit compares; flipping the sign bit of both
+  // operands turns signed GT into unsigned GT.
+  const __m256i sign = _mm256_set1_epi64x(
+      static_cast<long long>(0x8000000000000000ull));
+  __m256i viol = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    const __m256i prev = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(values + i)),
+        sign);
+    const __m256i next = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(values + i + 1)),
+        sign);
+    viol = _mm256_or_si256(viol, _mm256_cmpgt_epi64(prev, next));
+  }
+  std::uint64_t bad = static_cast<std::uint64_t>(
+      _mm256_movemask_epi8(viol) != 0);
+  bad |= internal::AuditMonotoneU64Range(values, i, n);
+  return bad;
+}
+
 constexpr KernelTable kAvx2Table{
     "avx2",
     &FusedStepAvx2,
     &ConvolveMassAvx2,
     &RemoveQueryAvx2,
     &DeconvolveMassAvx2,
+    &HashLanesAvx2,
+    &AuditPoolColumnsAvx2,
+    &AuditMonotoneU64Avx2,
 };
 
 }  // namespace

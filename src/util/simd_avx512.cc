@@ -25,6 +25,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "util/simd_dispatch.h"
@@ -311,12 +312,72 @@ void RemoveQueryAvx512(const double* pmf, int n, const double* p,
   }
 }
 
+void HashLanesAvx512(const unsigned char* data, std::size_t num_strides,
+                     std::uint64_t* lanes) {
+  // All eight checksum lanes in one zmm register; AVX-512 has a native
+  // 64-bit rotate (vprolq). Same integer recurrence as the scalar body.
+  __m512i acc = _mm512_loadu_si512(lanes);
+  for (std::size_t s = 0; s < num_strides; ++s) {
+    const __m512i word = _mm512_loadu_si512(data + 64 * s);
+    acc = _mm512_xor_si512(_mm512_rol_epi64(acc, 29), word);
+  }
+  _mm512_storeu_si512(lanes, acc);
+}
+
+std::uint64_t AuditPoolColumnsAvx512(const double* quality, const double* cost,
+                                     const double* norm_quality,
+                                     const double* log_odds, std::size_t n) {
+  const __m512d zero = _mm512_set1_pd(0.0);
+  const __m512d one = _mm512_set1_pd(1.0);
+  const __m512d dmax = _mm512_set1_pd(std::numeric_limits<double>::max());
+  const __m512d dmin = _mm512_set1_pd(std::numeric_limits<double>::lowest());
+  __mmask8 viol = 0;
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    const __m512d q = _mm512_loadu_pd(quality + i);
+    const __m512d c = _mm512_loadu_pd(cost + i);
+    const __m512d nq = _mm512_loadu_pd(norm_quality + i);
+    const __m512d lo = _mm512_loadu_pd(log_odds + i);
+    // ok-masks use ordered compares, so NaN lanes come out not-ok.
+    const __mmask8 q_ok = _mm512_cmp_pd_mask(q, zero, _CMP_GE_OQ) &
+                          _mm512_cmp_pd_mask(q, one, _CMP_LE_OQ);
+    const __mmask8 c_ok = _mm512_cmp_pd_mask(c, zero, _CMP_GE_OQ) &
+                          _mm512_cmp_pd_mask(c, dmax, _CMP_LE_OQ);
+    const __mmask8 nq_ok = _mm512_cmp_pd_mask(
+        nq, _mm512_max_pd(q, _mm512_sub_pd(one, q)), _CMP_EQ_OQ);
+    const __mmask8 lo_ok = _mm512_cmp_pd_mask(lo, dmin, _CMP_GE_OQ) &
+                           _mm512_cmp_pd_mask(lo, dmax, _CMP_LE_OQ);
+    viol |= static_cast<__mmask8>(~(q_ok & c_ok & nq_ok & lo_ok));
+  }
+  std::uint64_t bad = static_cast<std::uint64_t>(viol != 0);
+  bad |= internal::AuditPoolColumnsRange(quality, cost, norm_quality,
+                                         log_odds, i, n);
+  return bad;
+}
+
+std::uint64_t AuditMonotoneU64Avx512(const std::uint64_t* values,
+                                     std::size_t n) {
+  __mmask8 viol = 0;
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    const __m512i prev = _mm512_loadu_si512(values + i);
+    const __m512i next = _mm512_loadu_si512(values + i + 1);
+    viol |= _mm512_cmpgt_epu64_mask(prev, next);
+  }
+  std::uint64_t bad = static_cast<std::uint64_t>(viol != 0);
+  bad |= internal::AuditMonotoneU64Range(values, i, n);
+  return bad;
+}
+
 constexpr KernelTable kAvx512Table{
     "avx512",
     &FusedStepAvx512,
     &ConvolveMassAvx512,
     &RemoveQueryAvx512,
     &DeconvolveMassAvx512,
+    &HashLanesAvx512,
+    &AuditPoolColumnsAvx512,
+    &AuditMonotoneU64Avx512,
 };
 
 }  // namespace

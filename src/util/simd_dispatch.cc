@@ -64,12 +64,32 @@ void DeconvolveMassScalar(const double* f, std::int64_t span,
                                 &internal::DeconvolveMassOneRow);
 }
 
+void HashLanesScalar(const unsigned char* data, std::size_t num_strides,
+                     std::uint64_t* lanes) {
+  internal::HashLanesRange(data, 0, num_strides, lanes);
+}
+
+std::uint64_t AuditPoolColumnsScalar(const double* quality, const double* cost,
+                                     const double* norm_quality,
+                                     const double* log_odds, std::size_t n) {
+  return internal::AuditPoolColumnsRange(quality, cost, norm_quality,
+                                         log_odds, 0, n);
+}
+
+std::uint64_t AuditMonotoneU64Scalar(const std::uint64_t* values,
+                                     std::size_t n) {
+  return internal::AuditMonotoneU64Range(values, 0, n);
+}
+
 constexpr KernelTable kScalarTable{
     "scalar",
     &FusedStepScalar,
     &ConvolveMassScalar,
     &RemoveQueryScalar,
     &DeconvolveMassScalar,
+    &HashLanesScalar,
+    &AuditPoolColumnsScalar,
+    &AuditMonotoneU64Scalar,
 };
 
 // ------------------------------------------------------------- selection

@@ -85,6 +85,25 @@ enum class Level : int {
 ///    lane-width blocks — legal because entries 2b apart are the only
 ///    dependence, so a block never reads its own writes once
 ///    2b >= lane width; narrower buckets run the shared scalar body.
+///  * `hash_lanes(data, num_strides, lanes)` —
+///    the pool-snapshot checksum inner loop: for each 64-byte stride `s`
+///    of `data` and each lane `l in [0, 8)`,
+///      `lanes[l] = rotl64(lanes[l], 29) ^ word(s, l)`
+///    where `word(s, l)` is the stride's l-th little-endian u64. Pure
+///    integer arithmetic, so every level computes the identical lane
+///    values; the vector levels just carry the eight lanes in wide
+///    registers instead of a serial chain, which is what lets a checksum
+///    verify run at memory bandwidth.
+///  * `audit_pool_columns(quality, cost, norm_quality, log_odds, n)` —
+///    returns nonzero iff any index violates the pool-snapshot column
+///    invariants: `quality in [0, 1]`, `cost in [0, DBL_MAX]`,
+///    `norm_quality == max(quality, 1 - quality)`, `log_odds` finite.
+///    The comparisons double as NaN checks (NaN fails every ordered
+///    compare). Only the zero/nonzero outcome is the contract; all
+///    levels agree on it because the predicates are exact IEEE compares.
+///  * `audit_monotone_u64(values, n)` —
+///    returns nonzero iff `values[i + 1] < values[i]` (unsigned) for any
+///    `i in [0, n)`; reads `n + 1` entries.
 struct KernelTable {
   const char* name;
   void (*fused_step)(double a, double b, const double* p, double* acc,
@@ -98,6 +117,14 @@ struct KernelTable {
   void (*deconvolve_mass)(const double* f, std::int64_t span,
                           const std::int64_t* bs, const double* qs,
                           std::size_t count, double* out);
+  void (*hash_lanes)(const unsigned char* data, std::size_t num_strides,
+                     std::uint64_t* lanes);
+  std::uint64_t (*audit_pool_columns)(const double* quality,
+                                      const double* cost,
+                                      const double* norm_quality,
+                                      const double* log_odds, std::size_t n);
+  std::uint64_t (*audit_monotone_u64)(const std::uint64_t* values,
+                                      std::size_t n);
 };
 
 /// The active kernel table (selected on first use; see `Level`).

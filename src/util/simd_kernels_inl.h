@@ -8,8 +8,11 @@
 // every level agrees with the reference arithmetic by construction.
 
 #include <algorithm>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
+#include <limits>
 #include <vector>
 
 namespace jury::simd::internal {
@@ -265,6 +268,62 @@ inline double CdfFromRow(const double* g, std::size_t entries, int k) {
   double acc = 0.0;
   for (std::size_t i = 0; i <= kk; ++i) acc += g[i];
   return std::min(acc, 1.0);
+}
+
+/// `hash_lanes` reference body over a stride range: lane `l` absorbs the
+/// l-th little-endian u64 of each 64-byte stride as
+/// `lane = rotl(lane, 29) ^ word`. The vector tables run the same update
+/// on the same stride/lane layout, so the lane values are identical at
+/// every level (pure integer arithmetic).
+inline void HashLanesRange(const unsigned char* data,
+                           std::size_t stride_begin, std::size_t stride_end,
+                           std::uint64_t* lanes) {
+  for (std::size_t s = stride_begin; s < stride_end; ++s) {
+    const unsigned char* stride = data + 64 * s;
+    for (int l = 0; l < 8; ++l) {
+      std::uint64_t word;
+      std::memcpy(&word, stride + 8 * l, sizeof(word));
+      lanes[l] = std::rotl(lanes[l], 29) ^ word;
+    }
+  }
+}
+
+/// `audit_pool_columns` reference body over an index range. Branch-free
+/// accumulate; the ordered compares double as NaN checks, and
+/// `max(q, 1 - q)` is exactly `NormalizedQuality(q)` for q in [0, 1].
+inline std::uint64_t AuditPoolColumnsRange(const double* quality,
+                                           const double* cost,
+                                           const double* norm_quality,
+                                           const double* log_odds,
+                                           std::size_t begin,
+                                           std::size_t end) {
+  std::uint64_t bad = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const double q = quality[i];
+    const double c = cost[i];
+    const double lo = log_odds[i];
+    bad |= static_cast<std::uint64_t>(!(q >= 0.0 && q <= 1.0));
+    bad |= static_cast<std::uint64_t>(
+        !(c >= 0.0 && c <= std::numeric_limits<double>::max()));
+    bad |= static_cast<std::uint64_t>(
+        norm_quality[i] != std::max(q, 1.0 - q));
+    bad |= static_cast<std::uint64_t>(
+        !(lo >= std::numeric_limits<double>::lowest() &&
+          lo <= std::numeric_limits<double>::max()));
+  }
+  return bad;
+}
+
+/// `audit_monotone_u64` reference body over a pair range: nonzero iff
+/// `values[i + 1] < values[i]` for some `i in [begin, end)`.
+inline std::uint64_t AuditMonotoneU64Range(const std::uint64_t* values,
+                                           std::size_t begin,
+                                           std::size_t end) {
+  std::uint64_t bad = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    bad |= static_cast<std::uint64_t>(values[i + 1] < values[i]);
+  }
+  return bad;
 }
 
 }  // namespace jury::simd::internal
