@@ -4,14 +4,18 @@
 Usage: check_scaling_regression.py BASELINE.json FRESH.json
 
 Compares a fresh bench JSON artifact against its committed baseline and
-fails on regressions. Two artifact families share this gate:
+fails on regressions. Three artifact families share this gate:
 
 `bench_ablation_solvers` artifacts (BENCH_scaling.json) carry
 `thread_scaling` / `budget_table_nested` / `scheduler` sections;
 `bench_pool` artifacts (BENCH_pool.json) carry `pool_build` /
-`snapshot` / `frontier` sections. Sections the baseline does not record
-are never demanded of the fresh run, so one script gates both without
-inventing cross-family requirements.
+`snapshot` / `frontier` sections; `bench_serving` artifacts
+(BENCH_serving.json) carry a `serving` section whose rows (keyed by
+client concurrency) defend `warm_speedup_vs_cold` — the result cache
+must keep answering repeated requests orders of magnitude faster than
+cold solves. Sections the baseline does not record are never demanded
+of the fresh run, so one script gates all families without inventing
+cross-family requirements.
 
 For `bench_ablation_solvers` artifacts the gate fails when:
 
@@ -114,27 +118,33 @@ def level_unavailable(row: dict, baseline: dict, fresh: dict) -> bool:
 
 
 def check_pool_ratios(baseline: dict, fresh: dict, section: str,
-                      metric: str) -> int:
-    """Gates a `bench_pool` ratio section (rows keyed by pool size `n`):
+                      metric: str, key_field: str = "n") -> int:
+    """Gates a single-process ratio section (rows keyed by `key_field`):
     the fresh ratio must hold >= TOLERANCE of every baseline row that
     makes a claim (> MIN_BASELINE_CLAIM). Single-core-valid — both sides
     of the ratio run in one process on however many cores exist — so no
-    hardware_threads skip applies. Fresh artifacts may omit large-n rows
-    (JURY_BENCH_FAST); those are skipped, not failed."""
-    base_rows = {row.get("n"): row for row in baseline.get(section, [])}
-    fresh_rows = {row.get("n"): row for row in fresh.get(section, [])}
+    hardware_threads skip applies. Fresh artifacts may omit rows
+    (JURY_BENCH_FAST drops large-n pool rows); those are skipped, not
+    failed. Rows recorded at the reduced fast-run workload scale
+    (`fast_run: true`, written by bench_serving) are excluded on both
+    sides — a fast row's ratio is measured on a different request mix
+    and warm-pass count, so it makes no claim comparable to a full row's."""
+    base_rows = {row.get(key_field): row for row in baseline.get(section, [])
+                 if not row.get("fast_run")}
+    fresh_rows = {row.get(key_field): row for row in fresh.get(section, [])
+                  if not row.get("fast_run")}
     checked = 0
-    for n in sorted(k for k in base_rows if k is not None):
-        base_value = base_rows[n].get(metric, 0.0)
-        label = f"{section}[n={n}].{metric}"
+    for key in sorted(k for k in base_rows if k is not None):
+        base_value = base_rows[key].get(metric, 0.0)
+        label = f"{section}[{key_field}={key}].{metric}"
         if base_value <= MIN_BASELINE_CLAIM:
             print(f"skip   {label}: baseline {base_value:.2f} makes no claim")
             continue
-        if n not in fresh_rows:
+        if key not in fresh_rows:
             print(f"skip   {label}: row absent from the fresh artifact "
                   "(fast run?)")
             continue
-        fresh_value = fresh_rows[n].get(metric, 0.0)
+        fresh_value = fresh_rows[key].get(metric, 0.0)
         floor = TOLERANCE * base_value
         status = "ok" if fresh_value >= floor else "FAIL"
         print(f"{status:6} {label}: {fresh_value:.2f}x vs baseline "
@@ -226,6 +236,14 @@ def main() -> None:
                                  "speedup_vs_full_scan")
     checked += check_pool_ratios(baseline, fresh, "snapshot",
                                  "speedup_vs_csv")
+    # `bench_serving` artifacts (BENCH_serving.json): the epoch-keyed
+    # result cache must keep repeated requests far cheaper than cold
+    # solves. Warm-vs-cold is a two-code-path ratio inside one process,
+    # so it is single-core-valid like the pool ratios; rows are keyed by
+    # closed-loop client concurrency.
+    checked += check_pool_ratios(baseline, fresh, "serving",
+                                 "warm_speedup_vs_cold",
+                                 key_field="concurrency")
 
     print(f"scaling gate passed ({checked} rows checked, "
           f"{nested_regions} nested regions observed)")

@@ -7,11 +7,19 @@
 # exit zero; and --stats emits a registry export matching the checked-in
 # schema manifest (scripts/check_stats_schema.py).
 #
-# Usage: cli_robustness_test.sh <jury_cli-binary> <repo-root>
+# With a third argument (the jury_serve binary) the same contract is
+# enforced over HTTP: malformed request bodies, unknown solvers,
+# oversized JSON, and every checked-in malformed-JSON corpus document
+# get structured {"error":...} responses, and no request bytes kill the
+# serving process — it still answers /healthz afterwards and drains
+# cleanly on SIGTERM with exit 0.
+#
+# Usage: cli_robustness_test.sh <jury_cli-binary> <repo-root> [jury_serve-binary]
 set -u
 
 CLI="${1:?usage: cli_robustness_test.sh <jury_cli-binary> <repo-root>}"
 REPO="${2:?usage: cli_robustness_test.sh <jury_cli-binary> <repo-root>}"
+SERVE="${3:-}"
 
 failures=0
 tmpdir="$(mktemp -d)"
@@ -122,6 +130,122 @@ if tail -n 1 "$tmpdir/stats_out" | grep -q '"api.requests_solved":1'; then
 else
   echo "FAIL(stats_live): api.requests_solved != 1 in: $(tail -n 1 "$tmpdir/stats_out")" >&2
   failures=$((failures + 1))
+fi
+
+# --- serving endpoint (optional third argument) ---------------------------
+# The HTTP analogue of the contract above: hostile request bytes get
+# structured JSON errors, never a dead process.
+if [ -n "$SERVE" ]; then
+  # One tolerant raw-socket client: prints the response status line's
+  # code on stdout and the response body on stderr. Sending is
+  # best-effort — an oversized body may be answered (and the connection
+  # reset) before the client finishes writing it, which is exactly the
+  # behavior under test.
+  cat > "$tmpdir/http_probe.py" <<'EOF'
+import socket, sys
+host, port, method, path = sys.argv[1], int(sys.argv[2]), sys.argv[3], sys.argv[4]
+body = sys.stdin.buffer.read()
+s = socket.create_connection((host, port), timeout=10)
+head = (f"{method} {path} HTTP/1.1\r\nHost: {host}\r\n"
+        f"Content-Length: {len(body)}\r\nConnection: close\r\n\r\n")
+try:
+    s.sendall(head.encode() + body)
+except OSError:
+    pass  # server may legally reject mid-send (413 + close)
+data = b""
+try:
+    while True:
+        chunk = s.recv(65536)
+        if not chunk:
+            break
+        data += chunk
+except OSError:
+    pass
+if not data:
+    print("NO_RESPONSE")
+    sys.exit(2)
+print(data.split(b"\r\n", 1)[0].decode(errors="replace").split()[1])
+if b"\r\n\r\n" in data:
+    sys.stderr.buffer.write(data.split(b"\r\n\r\n", 1)[1])
+EOF
+
+  # expect_http NAME EXPECTED_STATUS METHOD PATH BODY_FILE: the server
+  # must answer with the given status; non-200 answers must carry a
+  # structured {"error":...} JSON body.
+  expect_http() {
+    local name="$1" want="$2" method="$3" path="$4" body_file="$5"
+    local got
+    got="$(python3 "$tmpdir/http_probe.py" 127.0.0.1 "$serve_port" \
+           "$method" "$path" < "$body_file" 2>"$tmpdir/http_body")"
+    if [ "$got" != "$want" ]; then
+      echo "FAIL($name): expected HTTP $want, got '$got'" >&2
+      failures=$((failures + 1))
+    elif [ "$want" != "200" ] && ! grep -q '"error"' "$tmpdir/http_body"; then
+      echo "FAIL($name): HTTP $want body has no structured error: $(cat "$tmpdir/http_body")" >&2
+      failures=$((failures + 1))
+    else
+      echo "ok($name)"
+    fi
+  }
+
+  "$SERVE" --port=0 >"$tmpdir/serve_out" 2>"$tmpdir/serve_err" &
+  serve_pid=$!
+  serve_port=""
+  for _ in $(seq 1 100); do
+    serve_port="$(sed -n 's/.*listening on .*:\([0-9][0-9]*\)$/\1/p' "$tmpdir/serve_out")"
+    [ -n "$serve_port" ] && break
+    if ! kill -0 "$serve_pid" 2>/dev/null; then break; fi
+    sleep 0.05
+  done
+  if [ -z "$serve_port" ]; then
+    echo "FAIL(serve_start): jury_serve never printed its port (stderr: $(cat "$tmpdir/serve_err"))" >&2
+    failures=$((failures + 1))
+  else
+    : > "$tmpdir/empty"
+    printf '{"solver":"greedy-quality","budget":9,"alpha":0.4}' > "$tmpdir/good_req"
+    printf '{not json at all' > "$tmpdir/malformed"
+    printf '{"solver":"no-such-solver","budget":9,"alpha":0.4}' > "$tmpdir/bad_solver"
+    # Past the server's 1 MiB body cap: must be shed with 413, not read.
+    python3 -c 'import sys; sys.stdout.write("{\"pad\":\"" + "x" * (2 << 20) + "\"}")' \
+      > "$tmpdir/oversized"
+
+    expect_http serve_healthz        200 GET  /healthz "$tmpdir/empty"
+    expect_http serve_solve_ok       200 POST /solve   "$tmpdir/good_req"
+    expect_http serve_malformed_body 400 POST /solve   "$tmpdir/malformed"
+    expect_http serve_unknown_solver 404 POST /solve   "$tmpdir/bad_solver"
+    expect_http serve_oversized_json 413 POST /solve   "$tmpdir/oversized"
+    expect_http serve_wrong_method   405 GET  /solve   "$tmpdir/empty"
+    expect_http serve_unknown_route  404 GET  /nope    "$tmpdir/empty"
+
+    # Every checked-in malformed-JSON corpus document must come back as
+    # a structured 4xx, and none may take the process down.
+    corpus_ok=1
+    for doc in "$REPO"/tests/corpus/json/*; do
+      [ -f "$doc" ] || continue
+      status="$(python3 "$tmpdir/http_probe.py" 127.0.0.1 "$serve_port" \
+                POST /solve < "$doc" 2>"$tmpdir/http_body")"
+      case "$status" in
+        4??) ;;
+        200) ;;  # a corpus doc that happens to parse as a valid request
+        *) echo "FAIL(serve_corpus): $(basename "$doc") got '$status'" >&2
+           failures=$((failures + 1)); corpus_ok=0 ;;
+      esac
+    done
+    [ "$corpus_ok" -eq 1 ] && echo "ok(serve_corpus)"
+
+    # The process survived everything above.
+    expect_http serve_still_alive 200 GET /healthz "$tmpdir/empty"
+
+    kill -TERM "$serve_pid"
+    serve_status=0
+    wait "$serve_pid" || serve_status=$?
+    if [ "$serve_status" -ne 0 ]; then
+      echo "FAIL(serve_drain): exit $serve_status after SIGTERM (stderr: $(cat "$tmpdir/serve_err"))" >&2
+      failures=$((failures + 1))
+    else
+      echo "ok(serve_drain)"
+    fi
+  fi
 fi
 
 if [ "$failures" -ne 0 ]; then

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "util/cancellation.h"
+#include "util/scratch_arena.h"
 #include "util/timer.h"
 
 namespace jury::api {
@@ -62,12 +63,16 @@ class SolveControls {
 /// full/incremental split.
 /// Binds the calling thread's ambient move-scan sink (scoped by a fusing
 /// `SolveMany`; nullptr outside one — sessions then run passes inline)
-/// onto the adapter's freshly constructed per-solve objective. Every
-/// adapter calls this between constructing its objective and opening the
-/// first session, so a fused batch coalesces kernel passes from all its
-/// requests regardless of which solver each request named.
+/// and ambient scratch arena (scoped by `PoolPlanContext::Solve`; its
+/// sessions lease staging capacity across requests) onto the adapter's
+/// freshly constructed per-solve objective. Every adapter calls this
+/// between constructing its objective and opening the first session, so
+/// a fused batch coalesces kernel passes from all its requests — and a
+/// served stream reuses one arena — regardless of which solver each
+/// request named.
 void BindAmbientScanSink(const JqObjective& objective) {
   objective.BindScanSink(CurrentThreadScanSink());
+  objective.BindScratchArena(CurrentThreadScratchArena());
 }
 
 /// Builds the tuned objective, rejects pools its evaluator cannot score,

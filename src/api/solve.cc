@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <limits>
 #include <mutex>
 #include <optional>
@@ -12,10 +13,13 @@
 #include "api/registry.h"
 #include "model/prior.h"
 #include "model/sharded_pool.h"
+#include "serve/result_cache.h"
+#include "serve/serve_stats.h"
 #include "util/fault_injection.h"
 #include "util/json.h"
 #include "util/rng.h"
 #include "util/scheduler.h"
+#include "util/scratch_arena.h"
 #include "util/stats_registry.h"
 
 namespace jury::api {
@@ -109,41 +113,101 @@ std::string SolveReport::ToJson() const {
       .Dump();
 }
 
-/// The instance arena: a mutex-guarded free list of `JspInstance` objects
-/// whose candidate vectors were copied from the plan exactly once. The
-/// lock is held only for the list pop/push — never across a solve — so
-/// concurrent requests contend for nanoseconds, not solve time.
-struct PoolPlanContext::Arena {
-  std::mutex mutex;
-  std::vector<std::unique_ptr<JspInstance>> free_list;
-  std::size_t created = 0;
-  // Lazy plan artifacts live here (not as direct context members) so the
-  // context keeps its defaulted moves: `std::once_flag` is immovable, but
-  // the arena pointer just changes hands.
+/// \brief One pool epoch's immutable plan: the candidate table, its
+/// columnar view, the lazily built sharded summary index, and the
+/// free list of per-request instances whose candidate copies match this
+/// epoch. Epoch 0 is built at plan time; `ApplyPoolDelta` appends a new
+/// state per churn batch. States are heap-pinned (shared_ptr in the
+/// arena) and retired states are kept alive for the context's lifetime,
+/// so a reference obtained from any epoch — a `view()` held by an
+/// in-flight solve, a lease's candidate span — can never dangle.
+struct PoolState {
+  std::uint64_t epoch = 0;
+  /// Owner of the mapped columns for a snapshot-born epoch 0 (its view
+  /// adopts them). Null for memory plans and every churned state.
+  std::unique_ptr<PoolSnapshot> snapshot;
+  std::vector<Worker> candidates;
+  WorkerPoolView view;
+  /// Snapshot states materialize `candidates` lazily, once.
   std::once_flag workers_once;
-  std::once_flag pool_once;
-  std::unique_ptr<ShardedWorkerPool> pool;
+  std::mutex pool_mutex;
+  std::unique_ptr<ShardedWorkerPool> pool;  // lazy; guarded by pool_mutex
+  /// The instance arena: a mutex-guarded free list of `JspInstance`
+  /// objects whose candidate vectors were copied from this epoch exactly
+  /// once. The lock is held only for the list pop/push — never across a
+  /// solve — so concurrent requests contend for nanoseconds.
+  std::mutex instance_mutex;
+  std::vector<std::unique_ptr<JspInstance>> free_list;
 };
+
+struct PoolPlanContext::Arena {
+  /// Guards `states`; `states.back()` is the current epoch. Push-only.
+  std::mutex state_mutex;
+  std::vector<std::shared_ptr<PoolState>> states;
+  /// Serializes `ApplyPoolDelta` (epoch construction is copy-heavy; two
+  /// racing churn batches must see each other's updates).
+  std::mutex churn_mutex;
+  /// Instances materialized across all epochs (the arena high-water
+  /// mark `instances_created()` reports).
+  std::atomic<std::size_t> created{0};
+  /// Session staging-buffer capacity pool, scoped onto the solving
+  /// thread by `Solve` (see util/scratch_arena.h).
+  ScratchArena scratch;
+  /// The epoch-keyed result cache; null until `EnableResultCache`.
+  std::unique_ptr<serve::ResultCache> cache;
+  bool from_snapshot = false;
+};
+
+namespace {
+
+/// Epoch pins: the innermost entry for a context names the `PoolState`
+/// every plan accessor (`view()`, `AcquireInstance`, `sharded_pool`, ...)
+/// on this thread must read, so one solve — whose registry adapter calls
+/// those accessors one by one — observes a single consistent epoch even
+/// while `ApplyPoolDelta` publishes a newer one. `SubmitMany` worker
+/// tasks pin their batch's leased epoch; `Solve` re-pins whatever it
+/// resolved, which also covers nested scheduler threads that join a
+/// solve's inner parallel regions through its bound view/instance (those
+/// never call the accessors themselves).
+thread_local std::vector<std::pair<const PoolPlanContext*, PoolState*>>
+    t_state_pins;
+
+class ScopedStatePin {
+ public:
+  ScopedStatePin(const PoolPlanContext* context, PoolState* state) {
+    t_state_pins.emplace_back(context, state);
+  }
+  ~ScopedStatePin() { t_state_pins.pop_back(); }
+  ScopedStatePin(const ScopedStatePin&) = delete;
+  ScopedStatePin& operator=(const ScopedStatePin&) = delete;
+};
+
+}  // namespace
 
 PoolPlanContext::PoolPlanContext(std::vector<Worker> candidates,
                                  const PlanOptions& options)
-    : plan_options_(options),
-      candidates_(std::move(candidates)),
-      view_(candidates_),
-      arena_(std::make_unique<Arena>()) {}
+    : plan_options_(options), arena_(std::make_unique<Arena>()) {
+  auto state = std::make_shared<PoolState>();
+  state->candidates = std::move(candidates);
+  state->view = WorkerPoolView(state->candidates);
+  arena_->states.push_back(std::move(state));
+}
 
 PoolPlanContext::PoolPlanContext(std::unique_ptr<PoolSnapshot> snapshot,
                                  const PlanOptions& options)
-    : plan_options_(options),
-      snapshot_(std::move(snapshot)),
-      view_(WorkerPoolView::FromColumns(
-          snapshot_->quality(), snapshot_->cost(), snapshot_->norm_quality(),
-          snapshot_->log_odds())),
-      arena_(std::make_unique<Arena>()) {}
+    : plan_options_(options), arena_(std::make_unique<Arena>()) {
+  auto state = std::make_shared<PoolState>();
+  state->snapshot = std::move(snapshot);
+  state->view = WorkerPoolView::FromColumns(
+      state->snapshot->quality(), state->snapshot->cost(),
+      state->snapshot->norm_quality(), state->snapshot->log_odds());
+  arena_->from_snapshot = true;
+  arena_->states.push_back(std::move(state));
+}
 
-// Out of line so `Arena` is complete where unique_ptr needs it. The move
-// is safe for the view: moving the vector keeps its heap buffer, so the
-// view's internal spans stay valid.
+// Out of line so `Arena` is complete where unique_ptr needs it. Moves are
+// trivially safe: every epoch state is heap-pinned behind the arena
+// pointer, which just changes hands.
 PoolPlanContext::PoolPlanContext(PoolPlanContext&&) noexcept = default;
 PoolPlanContext& PoolPlanContext::operator=(PoolPlanContext&&) noexcept =
     default;
@@ -179,29 +243,118 @@ Result<PoolPlanContext> PoolPlanContext::PlanFromSnapshot(
                          options);
 }
 
-const std::vector<Worker>& PoolPlanContext::candidates() const {
-  EnsureWorkers();
-  return candidates_;
+PoolState* PoolPlanContext::CurrentState() const {
+  for (auto it = t_state_pins.rbegin(); it != t_state_pins.rend(); ++it) {
+    if (it->first == this) return it->second;
+  }
+  std::lock_guard<std::mutex> lock(arena_->state_mutex);
+  return arena_->states.back().get();
 }
 
-void PoolPlanContext::EnsureWorkers() const {
-  std::call_once(arena_->workers_once, [this] {
-    if (snapshot_ == nullptr) return;  // memory plans carry workers already
-    candidates_ = snapshot_->MaterializeWorkers();
-    view_.BindWorkers(candidates_);
+const std::vector<Worker>& PoolPlanContext::candidates() const {
+  PoolState* const state = CurrentState();
+  EnsureWorkers(state);
+  return state->candidates;
+}
+
+std::size_t PoolPlanContext::num_candidates() const {
+  return CurrentState()->view.size();
+}
+
+const WorkerPoolView& PoolPlanContext::view() const {
+  return CurrentState()->view;
+}
+
+const char* PoolPlanContext::pool_source() const {
+  return arena_->from_snapshot ? "snapshot" : "memory";
+}
+
+std::uint64_t PoolPlanContext::pool_epoch() const {
+  return CurrentState()->epoch;
+}
+
+void PoolPlanContext::EnableResultCache(std::size_t max_entries) {
+  serve::ResultCacheOptions options;
+  options.max_entries = max_entries;
+  arena_->cache = std::make_unique<serve::ResultCache>(options);
+}
+
+serve::ResultCache* PoolPlanContext::result_cache() const {
+  return arena_->cache.get();
+}
+
+void PoolPlanContext::EnsureWorkers(PoolState* state) const {
+  std::call_once(state->workers_once, [state] {
+    if (state->snapshot == nullptr) return;  // workers carried already
+    state->candidates = state->snapshot->MaterializeWorkers();
+    state->view.BindWorkers(state->candidates);
   });
 }
 
 const ShardedWorkerPool* PoolPlanContext::sharded_pool() const {
-  std::call_once(arena_->pool_once, [this] {
+  PoolState* const state = CurrentState();
+  std::lock_guard<std::mutex> lock(state->pool_mutex);
+  if (state->pool == nullptr) {
     ShardedPoolOptions options;
     if (plan_options_.shard_size > 0) {
       options.shard_size = plan_options_.shard_size;
     }
     if (plan_options_.slate_k > 0) options.slate_k = plan_options_.slate_k;
-    arena_->pool = std::make_unique<ShardedWorkerPool>(&view_, options);
-  });
-  return arena_->pool.get();
+    state->pool = std::make_unique<ShardedWorkerPool>(&state->view, options);
+  }
+  return state->pool.get();
+}
+
+Status PoolPlanContext::ApplyPoolDelta(
+    std::span<const PoolDeltaUpdate> updates) {
+  std::lock_guard<std::mutex> churn(arena_->churn_mutex);
+  PoolState* const current = [&] {
+    std::lock_guard<std::mutex> lock(arena_->state_mutex);
+    return arena_->states.back().get();
+  }();
+  // Churned states carry materialized workers (the new candidate table is
+  // a copy), so snapshot plans materialize at their first churn.
+  EnsureWorkers(current);
+
+  auto next = std::make_shared<PoolState>();
+  next->epoch = current->epoch + 1;
+  next->candidates = current->candidates;
+  std::vector<std::size_t> changed;
+  changed.reserve(updates.size());
+  for (const PoolDeltaUpdate& update : updates) {
+    if (update.index >= next->candidates.size()) {
+      return Status::InvalidArgument(
+          "PoolDeltaUpdate.index out of range: " +
+          std::to_string(update.index) + " >= " +
+          std::to_string(next->candidates.size()));
+    }
+    Worker& worker = next->candidates[update.index];
+    worker.quality = update.quality;
+    worker.cost = update.cost;
+    JURY_RETURN_NOT_OK(ValidateWorker(worker));
+    changed.push_back(update.index);
+  }
+  // The owning view recomputes the derived columns with the session
+  // backends' own expressions, so unchanged workers' columns are
+  // bit-identical to the previous epoch's (snapshot-born included).
+  next->view = WorkerPoolView(next->candidates);
+  {
+    // Rebase the summary index instead of rebuilding it: copy the current
+    // epoch's shard summaries onto the new view, then refresh exactly the
+    // touched shards. Untouched shards keep their summaries *and* their
+    // shard-epoch tags. Skipped when the current epoch never built its
+    // pool (the new epoch stays lazy too).
+    std::lock_guard<std::mutex> lock(current->pool_mutex);
+    if (current->pool != nullptr) {
+      next->pool =
+          std::make_unique<ShardedWorkerPool>(*current->pool, &next->view);
+      next->pool->ApplyDelta(changed);
+    }
+  }
+  serve::ServeEpochBumps().Increment();
+  std::lock_guard<std::mutex> lock(arena_->state_mutex);
+  arena_->states.push_back(std::move(next));
+  return Status::OK();
 }
 
 PoolPlanContext::InstanceLease PoolPlanContext::AcquireInstance(double budget,
@@ -210,43 +363,76 @@ PoolPlanContext::InstanceLease PoolPlanContext::AcquireInstance(double budget,
   // allocation failing. First, before any arena mutation, so a fired
   // fault leaves the free list and high-water mark untouched.
   JURY_FAULT_POINT("plan.lease_instance");
-  EnsureWorkers();  // snapshot plans materialize structs on first lease
+  PoolState* const state = CurrentState();
+  EnsureWorkers(state);  // snapshot plans materialize structs on first lease
   std::unique_ptr<JspInstance> instance;
   {
-    std::lock_guard<std::mutex> lock(arena_->mutex);
-    if (!arena_->free_list.empty()) {
-      instance = std::move(arena_->free_list.back());
-      arena_->free_list.pop_back();
-    } else {
-      ++arena_->created;
+    std::lock_guard<std::mutex> lock(state->instance_mutex);
+    if (!state->free_list.empty()) {
+      instance = std::move(state->free_list.back());
+      state->free_list.pop_back();
     }
   }
   g_instances_leased.Increment();
   if (instance == nullptr) {
+    arena_->created.fetch_add(1, std::memory_order_relaxed);
     g_instances_created.Increment();
     instance = std::make_unique<JspInstance>();
-    instance->candidates = candidates_;  // the one O(n) copy, then reused
+    instance->candidates = state->candidates;  // the one O(n) copy, reused
   }
   instance->budget = budget;
   instance->alpha = alpha;
-  return InstanceLease(this, std::move(instance));
+  return InstanceLease(this, state, std::move(instance));
 }
 
-void PoolPlanContext::ReturnInstance(std::unique_ptr<JspInstance> instance) {
-  std::lock_guard<std::mutex> lock(arena_->mutex);
-  arena_->free_list.push_back(std::move(instance));
+void PoolPlanContext::ReturnInstance(PoolState* state,
+                                     std::unique_ptr<JspInstance> instance) {
+  std::lock_guard<std::mutex> lock(state->instance_mutex);
+  state->free_list.push_back(std::move(instance));
 }
 
 std::size_t PoolPlanContext::instances_created() const {
-  std::lock_guard<std::mutex> lock(arena_->mutex);
-  return arena_->created;
+  return arena_->created.load(std::memory_order_relaxed);
 }
 
 PoolPlanContext::InstanceLease::~InstanceLease() {
-  if (owner_ != nullptr) owner_->ReturnInstance(std::move(instance_));
+  if (owner_ != nullptr) owner_->ReturnInstance(state_, std::move(instance_));
 }
 
 Result<SolveReport> PoolPlanContext::Solve(const SolveRequest& request) {
+  // Pin the epoch for the whole solve: the registry adapter reads
+  // `view()`, `AcquireInstance`, and `sharded_pool()` as separate calls,
+  // and a concurrent `ApplyPoolDelta` between them must not tear the
+  // request across two epochs. (Re-pinning a batch-pinned state is a
+  // harmless duplicate.)
+  PoolState* const state = CurrentState();
+  ScopedStatePin pin(this, state);
+  // Sessions opened during this solve lease their staging-buffer
+  // capacity from the context's pool instead of allocating per request.
+  ScopedThreadScratchArena scratch_scope(&arena_->scratch);
+
+  // Result cache (opt-in): only requests whose execution is a pure
+  // function of (epoch, request) participate — a wall-clock deadline, a
+  // live cancel token, or a process-cumulative stats snapshot makes the
+  // report non-replayable. The canonical request JSON is the key: it is
+  // byte-stable and covers every identity field (budget, alpha, solver,
+  // tuning, seed, work-unit cap), so distinct tuples cannot collide.
+  serve::ResultCache* const cache = arena_->cache.get();
+  const bool cacheable = cache != nullptr && request.deadline_ms == 0.0 &&
+                         request.cancel_token == nullptr &&
+                         !request.collect_process_stats;
+  std::string cache_key;
+  if (cacheable) {
+    cache_key = request.ToJson();
+    SolveReport cached;
+    if (cache->Lookup(state->epoch, cache_key, &cached)) {
+      serve::ServeCacheHits().Increment();
+      g_requests_solved.Increment();
+      return cached;
+    }
+    serve::ServeCacheMisses().Increment();
+  }
+
   Result<SolveReport> result = [&]() -> Result<SolveReport> {
     try {
       JURY_RETURN_NOT_OK(request.Validate());
@@ -275,11 +461,191 @@ Result<SolveReport> PoolPlanContext::Solve(const SolveRequest& request) {
       g_solves_cancelled.Increment();
     }
   }
+  if (cacheable) {
+    // Stored with wall_seconds zeroed (the cache's identity contract);
+    // the returned cold report keeps its measured wall time.
+    cache->Insert(state->epoch, cache_key, result.value());
+  }
   if (request.collect_process_stats) {
     // Snapshot after the bump so the export covers this request too.
     result.value().process_stats = StatsRegistry::Global().Snapshot();
   }
   return result;
+}
+
+/// \brief Shared state of one `SubmitMany` call: the copied requests, the
+/// per-request result slots, the claim counter the worker tasks pull
+/// from, and the batch-wide instruments (fusion broker, retry totals).
+/// Kept alive by the futures (shared_ptr); worker tasks hold only raw
+/// pointers, which is safe because `group` — declared last, so destroyed
+/// first — waits out every task before any other member dies.
+struct SubmitBatch {
+  PoolPlanContext* context = nullptr;
+  /// The epoch leased at submission; every request of the batch solves
+  /// against it, so churn mid-batch cannot fail or tear in-flight work.
+  PoolState* state = nullptr;
+  std::vector<SolveRequest> requests;
+  RetryPolicy retry;
+  std::size_t max_attempts = 1;
+  std::function<void(std::size_t)> on_complete;
+  // One broker spans the whole batch when fusing: every task scopes it
+  // as the thread's ambient scan sink, the registry adapters bind it
+  // onto each per-solve objective, and sessions (plus their clones on
+  // nested scheduler threads) submit their batched kernel flushes to it
+  // instead of dispatching inline. Fusion never changes results — each
+  // pass is a pure function of its own session's staged state.
+  FusedScanBroker broker;
+  FusedScanBroker* sink = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::uint64_t> total_attempts{0};
+  std::atomic<std::uint64_t> total_retries{0};
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<std::optional<Result<SolveReport>>> results;  // guarded by mutex
+  /// LAST member: its destructor drains every outstanding worker task
+  /// (which reads the fields above through raw `this`) before they die.
+  std::optional<TaskGroup> group;
+
+  /// Per-request retry loop. Only `kResourceExhausted` — the transient
+  /// class (injected faults, node budgets) — is retried; anything else
+  /// is final on the first attempt. Retries run inline on the same task,
+  /// in attempt order, so the batch's bit-identity contract is
+  /// untouched: each attempt is a full fresh solve from the request's
+  /// own seed.
+  Result<SolveReport> SolveWithRetry(std::size_t i) {
+    const SolveRequest& request = requests[i];
+    try {
+      for (std::size_t attempt = 1;; ++attempt) {
+        total_attempts.fetch_add(1, std::memory_order_relaxed);
+        Result<SolveReport> result = context->Solve(request);
+        if (result.ok()) {
+          // Surfaced only when a retry actually happened, so retry-free
+          // reports stay byte-identical to their serial solves.
+          if (attempt > 1) {
+            result.value().stats["attempts"] = static_cast<double>(attempt);
+          }
+          return result;
+        }
+        if (attempt >= max_attempts ||
+            result.status().code() != StatusCode::kResourceExhausted) {
+          return result;
+        }
+        total_retries.fetch_add(1, std::memory_order_relaxed);
+        g_retries.Increment();
+        BackoffBeforeRetry(request, attempt, retry);
+      }
+    } catch (const std::exception& error) {
+      // A task that dies without publishing would hang its future; fold
+      // any escaped exception into the result instead.
+      return Status::Internal(error.what());
+    }
+  }
+
+  void Publish(std::size_t i, Result<SolveReport> result) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      results[i].emplace(std::move(result));
+    }
+    cv.notify_all();
+    if (on_complete) on_complete(i);
+  }
+};
+
+SolveFuture::SolveFuture(std::shared_ptr<SubmitBatch> batch, std::size_t index)
+    : batch_(std::move(batch)), index_(index) {}
+SolveFuture::SolveFuture(SolveFuture&&) noexcept = default;
+SolveFuture& SolveFuture::operator=(SolveFuture&&) noexcept = default;
+SolveFuture::~SolveFuture() = default;
+
+bool SolveFuture::Ready() const {
+  std::lock_guard<std::mutex> lock(batch_->mutex);
+  return batch_->results[index_].has_value();
+}
+
+void SolveFuture::Wait() const {
+  std::unique_lock<std::mutex> lock(batch_->mutex);
+  batch_->cv.wait(lock,
+                  [&] { return batch_->results[index_].has_value(); });
+}
+
+Result<SolveReport> SolveFuture::Take() {
+  std::unique_lock<std::mutex> lock(batch_->mutex);
+  batch_->cv.wait(lock,
+                  [&] { return batch_->results[index_].has_value(); });
+  return std::move(*batch_->results[index_]);
+}
+
+std::vector<SolveFuture> PoolPlanContext::SubmitMany(
+    std::span<const SolveRequest> requests, const SubmitOptions& options) {
+  const std::size_t count = requests.size();
+  auto batch = std::make_shared<SubmitBatch>();
+  batch->context = this;
+  batch->state = CurrentState();
+  batch->requests.assign(requests.begin(), requests.end());
+  batch->retry = options.retry;
+  batch->max_attempts = std::max<std::size_t>(options.retry.max_attempts, 1);
+  batch->on_complete = options.on_complete;
+  batch->sink = options.fuse_move_scans ? &batch->broker : nullptr;
+  batch->results.resize(count);
+  std::vector<SolveFuture> futures;
+  futures.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    futures.push_back(SolveFuture(batch, i));
+  }
+  if (count == 0) return futures;
+
+  const std::size_t threads =
+      std::min(ResolveThreadCount(options.num_threads), count);
+  SubmitBatch* const raw = batch.get();
+  if (threads <= 1) {
+    // Serial: solve inline at submission (the futures return ready).
+    // Mirrors `GlobalParallelFor`'s structural invariant — a serial
+    // caller never touches, or lazily spawns, the global scheduler.
+    ScopedStatePin pin(this, raw->state);
+    ScopedThreadScanSink scoped(raw->sink);
+    for (std::size_t i = 0; i < count; ++i) {
+      raw->Publish(i, raw->SolveWithRetry(i));
+    }
+    return futures;
+  }
+
+  // Claim-loop fan-out: min(threads, count) worker tasks pull request
+  // indices from one shared counter, so heterogeneous batches balance
+  // (a batch can mix exhaustive solves with greedy ones) and a request's
+  // own nested regions fan out further on the same scheduler. Every
+  // request runs the same code path as a serial `Solve`, reading only
+  // its own seeded rng, so the futures are a pure function of the
+  // request list — for any thread count and completion order.
+  batch->group.emplace();
+  std::size_t spawned = 0;
+  try {
+    for (std::size_t t = 0; t < threads; ++t) {
+      batch->group->Run([raw] {
+        ScopedStatePin pin(raw->context, raw->state);
+        ScopedThreadScanSink scoped(raw->sink);
+        for (;;) {
+          const std::size_t i =
+              raw->next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= raw->requests.size()) break;
+          raw->Publish(i, raw->SolveWithRetry(i));
+        }
+      });
+      ++spawned;
+    }
+  } catch (const FaultInjectedError& error) {
+    if (spawned == 0) {
+      // No worker exists to drain the queue: resolve every future with
+      // the same transient, retryable status an in-solve fault maps to.
+      for (;;) {
+        const std::size_t i = raw->next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) break;
+        raw->Publish(i, Status::ResourceExhausted(error.what()));
+      }
+    }
+    // spawned > 0: degraded parallelism — the live workers drain the
+    // whole queue, so the batch still completes.
+  }
+  return futures;
 }
 
 Result<std::vector<SolveReport>> PoolPlanContext::SolveMany(
@@ -291,90 +657,41 @@ Result<std::vector<SolveReport>> PoolPlanContext::SolveMany(
 
 Result<std::vector<SolveReport>> PoolPlanContext::SolveMany(
     std::span<const SolveRequest> requests, const SolveManyOptions& options) {
-  const std::size_t count = requests.size();
-  std::vector<std::optional<Result<SolveReport>>> results(count);
-  const std::size_t threads =
-      std::min(ResolveThreadCount(options.num_threads),
-               std::max<std::size_t>(count, 1));
-  // When fusing, one broker spans the whole batch: every task scopes it
-  // as the thread's ambient scan sink, the registry adapters bind it
-  // onto each per-solve objective, and sessions (plus their clones on
-  // nested scheduler threads) submit their batched kernel flushes to it
-  // instead of dispatching inline. Fusion never changes results — each
-  // pass is a pure function of its own session's staged state — so the
-  // bit-identity contract below is unchanged.
-  FusedScanBroker broker;
-  FusedScanBroker* const sink = options.fuse_move_scans ? &broker : nullptr;
-  // Per-request retry loop. Only `kResourceExhausted` — the transient
-  // class (injected faults, node budgets) — is retried; anything else is
-  // final on the first attempt. Retries run inline on the same task, in
-  // attempt order, so the batch's bit-identity contract is untouched:
-  // each attempt is a full fresh solve from the request's own seed.
-  const std::size_t max_attempts =
-      std::max<std::size_t>(options.retry.max_attempts, 1);
-  std::atomic<std::uint64_t> total_attempts{0};
-  std::atomic<std::uint64_t> total_retries{0};
-  const auto solve_with_retry =
-      [&](const SolveRequest& request) -> Result<SolveReport> {
-    for (std::size_t attempt = 1;; ++attempt) {
-      total_attempts.fetch_add(1, std::memory_order_relaxed);
-      Result<SolveReport> result = Solve(request);
-      if (result.ok()) {
-        // Surfaced only when a retry actually happened, so retry-free
-        // reports stay byte-identical to their serial solves.
-        if (attempt > 1) {
-          result.value().stats["attempts"] = static_cast<double>(attempt);
-        }
-        return result;
-      }
-      if (attempt >= max_attempts ||
-          result.status().code() != StatusCode::kResourceExhausted) {
-        return result;
-      }
-      total_retries.fetch_add(1, std::memory_order_relaxed);
-      g_retries.Increment();
-      BackoffBeforeRetry(request, attempt, options.retry);
-    }
-  };
-  // One task per request (grain 1): requests are heterogeneous — a batch
-  // can mix exhaustive solves with greedy ones — so idle workers should
-  // steal individual requests, and a request's own nested regions
-  // (restart chains, candidate scans) fan out further on the same
-  // scheduler. Every request is solved by the same code path as a serial
-  // `Solve`, reading only its own seeded rng, so the result vector is a
-  // pure function of the request list.
-  try {
-    Scheduler::GlobalParallelFor(
-        0, count, 1,
-        [&](std::size_t begin, std::size_t end) {
-          ScopedThreadScanSink scoped(sink);
-          for (std::size_t i = begin; i < end; ++i) {
-            results[i].emplace(solve_with_retry(requests[i]));
-          }
-        },
-        threads);
-  } catch (const FaultInjectedError& error) {
-    // The batch's own fan-out failed (a task spawn, before any
-    // per-request handler could run): fail the whole batch with the same
-    // clean, retryable status an in-solve fault gets.
-    return Status::ResourceExhausted(error.what());
-  }
-  if (sink != nullptr && options.fusion_stats != nullptr) {
-    *options.fusion_stats = broker.stats();
-  }
-  if (options.retry_stats != nullptr) {
-    options.retry_stats->attempts =
-        total_attempts.load(std::memory_order_relaxed);
-    options.retry_stats->retries =
-        total_retries.load(std::memory_order_relaxed);
-  }
-
+  SubmitOptions submit;
+  submit.num_threads = options.num_threads;
+  submit.fuse_move_scans = options.fuse_move_scans;
+  submit.retry = options.retry;
+  std::vector<SolveFuture> futures = SubmitMany(requests, submit);
+  // Take in index order, draining every future before returning, so the
+  // batch error contract holds: the lowest-index failure wins, and no
+  // task is abandoned mid-solve.
+  std::optional<Status> first_error;
   std::vector<SolveReport> reports;
-  reports.reserve(count);
-  for (std::optional<Result<SolveReport>>& result : results) {
-    JURY_RETURN_NOT_OK(result->status());
-    reports.push_back(std::move(*result).value());
+  reports.reserve(futures.size());
+  const std::shared_ptr<SubmitBatch> batch =
+      futures.empty() ? nullptr : futures.front().batch_;
+  for (SolveFuture& future : futures) {
+    Result<SolveReport> result = future.Take();
+    if (!result.ok()) {
+      if (!first_error.has_value()) first_error = result.status();
+      continue;
+    }
+    if (!first_error.has_value()) {
+      reports.push_back(std::move(result).value());
+    }
   }
+  if (batch != nullptr) {
+    if (batch->sink != nullptr && options.fusion_stats != nullptr) {
+      *options.fusion_stats = batch->broker.stats();
+    }
+    if (options.retry_stats != nullptr) {
+      options.retry_stats->attempts =
+          batch->total_attempts.load(std::memory_order_relaxed);
+      options.retry_stats->retries =
+          batch->total_retries.load(std::memory_order_relaxed);
+    }
+  }
+  if (first_error.has_value()) return *first_error;
   return reports;
 }
 

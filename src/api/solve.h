@@ -2,6 +2,7 @@
 #define JURYOPT_API_SOLVE_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <span>
@@ -28,6 +29,10 @@
 namespace jury {
 class ShardedWorkerPool;
 }  // namespace jury
+
+namespace jury::serve {
+class ResultCache;
+}  // namespace jury::serve
 
 namespace jury::api {
 
@@ -245,7 +250,71 @@ struct SolveManyOptions {
   RetryStats* retry_stats = nullptr;
 };
 
+/// \brief One in-place worker mutation of `PoolPlanContext::ApplyPoolDelta`
+/// — a re-estimated quality and/or re-negotiated cost for an existing
+/// candidate. Index-addressed (pool membership never changes: the index
+/// space, and with it every cached solution's jury indices, stays stable
+/// across epochs).
+struct PoolDeltaUpdate {
+  /// Candidate index in the planned pool (`[0, num_candidates())`).
+  std::size_t index = 0;
+  /// The worker's new quality (must satisfy `ValidateWorker`).
+  double quality = 0.5;
+  /// The worker's new cost (must satisfy `ValidateWorker`).
+  double cost = 0.0;
+};
+
+/// \brief Knobs of `PoolPlanContext::SubmitMany`.
+struct SubmitOptions {
+  /// Concurrency of the fan-out (0 resolves via JURYOPT_THREADS). <= 1
+  /// solves every request inline *during submission* (the returned
+  /// futures are already resolved) — the serial path never touches, or
+  /// lazily spawns, the global scheduler, same as `SolveMany`.
+  std::size_t num_threads = 0;
+  /// Cross-request move-scan fusion, as in `SolveManyOptions`.
+  bool fuse_move_scans = false;
+  /// Per-request retry discipline, as in `SolveManyOptions`.
+  RetryPolicy retry;
+  /// Invoked once per request, with its batch index, right after its
+  /// result becomes ready — from whichever scheduler thread finished it,
+  /// with no lock held. The serving loop uses this to kick its event-loop
+  /// wakeup fd. Must not block for long and must not call back into the
+  /// submitting context's `SubmitMany`/`SolveMany`.
+  std::function<void(std::size_t)> on_complete;
+};
+
+struct SubmitBatch;  // private to solve.cc
+struct PoolState;    // one pool epoch's immutable plan; private to solve.cc
+
 class PoolPlanContext;
+
+/// \brief Handle to one request of a `SubmitMany` batch. Movable,
+/// share-nothing with other futures of the batch except the batch itself
+/// (kept alive until the last future is gone; dropping futures without
+/// taking them is safe — outstanding solves finish and are discarded).
+/// The submitting context must outlive the batch's futures.
+class SolveFuture {
+ public:
+  SolveFuture(SolveFuture&&) noexcept;
+  SolveFuture& operator=(SolveFuture&&) noexcept;
+  SolveFuture(const SolveFuture&) = delete;
+  SolveFuture& operator=(const SolveFuture&) = delete;
+  ~SolveFuture();
+
+  /// True once the result is ready (never blocks).
+  bool Ready() const;
+  /// Blocks until the result is ready.
+  void Wait() const;
+  /// Blocks until ready and moves the result out. Call at most once.
+  Result<SolveReport> Take();
+
+ private:
+  friend class PoolPlanContext;
+  SolveFuture(std::shared_ptr<SubmitBatch> batch, std::size_t index);
+
+  std::shared_ptr<SubmitBatch> batch_;
+  std::size_t index_ = 0;
+};
 
 /// \brief The common solver interface behind the registry: one virtual
 /// `Solve` over (planned pool, request). Implementations are stateless
@@ -313,17 +382,20 @@ class PoolPlanContext {
 
   /// The pool's AoS records. For a snapshot plan this materializes the
   /// structs on first use (thread-safe, once); prefer `num_candidates()` /
-  /// `view()` when only sizes or columns are needed.
+  /// `view()` when only sizes or columns are needed. Epoch-aware: inside
+  /// a solve these read the solve's pinned epoch, outside they read the
+  /// current one (see `ApplyPoolDelta`).
   const std::vector<Worker>& candidates() const;
   /// Pool size without materializing workers (column length).
-  std::size_t num_candidates() const { return view_.size(); }
-  /// The pool's columnar snapshot, shared read-only by every solve.
-  const WorkerPoolView& view() const { return view_; }
+  std::size_t num_candidates() const;
+  /// The pool's columnar snapshot, shared read-only by every solve. The
+  /// reference stays valid for the context's lifetime (epochs retire but
+  /// never die), though after an `ApplyPoolDelta` a fresh call returns
+  /// the new epoch's view.
+  const WorkerPoolView& view() const;
   /// Where the pool came from: "memory" (in-process workers, CSV included)
   /// or "snapshot" (mapped `PoolSnapshot`).
-  const char* pool_source() const {
-    return snapshot_ != nullptr ? "snapshot" : "memory";
-  }
+  const char* pool_source() const;
 
   /// The plan's sharded summary index over `view()`, built lazily on
   /// first use (thread-safe, once) and shared read-only by every solve.
@@ -349,15 +421,69 @@ class PoolPlanContext {
   /// batched kernel flushes from all requests in this call coalesce
   /// through one flat-combining broker into fused sweeps. The legacy
   /// overload above is exactly `SolveMany(requests, {.num_threads = n})`.
+  /// Implemented as `SubmitMany` + an in-order wait — the blocking
+  /// special case of the async path, sharing its claim loop, retry
+  /// discipline, and epoch lease.
   Result<std::vector<SolveReport>> SolveMany(
       std::span<const SolveRequest> requests, const SolveManyOptions& options);
+
+  /// \brief Async submission: schedules the batch on the process-wide
+  /// work-stealing scheduler and returns one future per request,
+  /// immediately. Report `i` is bit-identical to `Solve(requests[i])`
+  /// for any thread count and any completion/Take order — each request
+  /// draws only from its own seeded rng, exactly as in `SolveMany`.
+  ///
+  /// The whole batch leases the pool epoch current at submission: a
+  /// concurrent `ApplyPoolDelta` re-plans *later* submissions without
+  /// perturbing (or failing) anything in flight. Requests are claimed
+  /// dynamically by min(num_threads, count) worker tasks; deadline,
+  /// cancel-token, and work-unit semantics are per-request, unchanged
+  /// from `Solve`. If spawning the very first worker task fails (fault
+  /// injection, thread exhaustion), every future resolves to
+  /// `kResourceExhausted`; a partial spawn failure just degrades
+  /// parallelism — the batch still completes.
+  std::vector<SolveFuture> SubmitMany(std::span<const SolveRequest> requests,
+                                      const SubmitOptions& options = {});
+
+  /// \brief Applies worker churn — re-estimated qualities/costs — as a new
+  /// pool epoch. InvalidArgument (and no epoch change) on an out-of-range
+  /// index or a worker that fails validation.
+  ///
+  /// The current epoch's state is never mutated: a new candidate table and
+  /// columnar view are built, the sharded summary index (when already
+  /// built) is *rebased* — copied shard summaries, then `ApplyDelta` over
+  /// exactly the changed indices, so only touched shards pay a rebuild —
+  /// and the epoch counter bumps (`serve.epoch_bumps`). In-flight solves
+  /// and leases keep the epoch they started on; the result cache keeps
+  /// old-epoch entries keyed by their epoch (new-epoch lookups miss and
+  /// re-solve; stale entries age out via LRU) — churn invalidates only
+  /// what changed. Concurrent `ApplyPoolDelta` calls serialize.
+  Status ApplyPoolDelta(std::span<const PoolDeltaUpdate> updates);
+
+  /// The pool's current data epoch (0 at plan time, +1 per
+  /// `ApplyPoolDelta`). Inside a solve, the solve's leased epoch.
+  std::uint64_t pool_epoch() const;
+
+  /// Enables the epoch-keyed result cache (`serve::ResultCache`) for this
+  /// context's solves. Off by default — replay consumers (golden traces)
+  /// keep exact historical behavior. Call before serving traffic, not
+  /// concurrently with solves. Only deterministic requests participate:
+  /// a request with a wall-clock deadline, a cancel token, or
+  /// `collect_process_stats` bypasses the cache entirely; deterministic
+  /// work-unit caps participate (the cap is part of the key, via the
+  /// request's canonical JSON).
+  void EnableResultCache(std::size_t max_entries = 1024);
+  /// The enabled cache (nullptr when disabled). Thread-safe for stats.
+  serve::ResultCache* result_cache() const;
 
   /// \brief RAII lease of a prevalidated per-request instance from the
   /// context's arena (returned to the free list on destruction).
   class InstanceLease {
    public:
     InstanceLease(InstanceLease&& other) noexcept
-        : owner_(other.owner_), instance_(std::move(other.instance_)) {
+        : owner_(other.owner_),
+          state_(other.state_),
+          instance_(std::move(other.instance_)) {
       other.owner_ = nullptr;
     }
     InstanceLease& operator=(InstanceLease&&) = delete;
@@ -370,11 +496,15 @@ class PoolPlanContext {
 
    private:
     friend class PoolPlanContext;
-    InstanceLease(PoolPlanContext* owner,
+    InstanceLease(PoolPlanContext* owner, PoolState* state,
                   std::unique_ptr<JspInstance> instance)
-        : owner_(owner), instance_(std::move(instance)) {}
+        : owner_(owner), state_(state), instance_(std::move(instance)) {}
 
     PoolPlanContext* owner_;
+    /// The epoch the instance's candidate copy matches — the lease
+    /// returns to *that* epoch's free list, so churn mid-lease can never
+    /// hand a stale candidate table to a later request.
+    PoolState* state_;
     std::unique_ptr<JspInstance> instance_;
   };
 
@@ -395,19 +525,23 @@ class PoolPlanContext {
   PoolPlanContext(std::unique_ptr<PoolSnapshot> snapshot,
                   const PlanOptions& options);
 
-  void ReturnInstance(std::unique_ptr<JspInstance> instance);
-  /// Materializes `candidates_` from the snapshot (no-op for memory
-  /// plans) and binds them onto the view. Thread-safe, runs once.
-  void EnsureWorkers() const;
+  /// The epoch state this caller should read: the innermost state pinned
+  /// on this thread for this context (a solve in flight), else the
+  /// newest epoch.
+  PoolState* CurrentState() const;
+  void ReturnInstance(PoolState* state,
+                      std::unique_ptr<JspInstance> instance);
+  /// Materializes `state`'s workers from its snapshot (no-op for memory
+  /// and churned states) and binds them onto its view. Thread-safe, once
+  /// per state.
+  void EnsureWorkers(PoolState* state) const;
 
   PlanOptions plan_options_;
-  /// Owner of the mapped columns for snapshot plans (address-stable under
-  /// context moves, so the adopted view's spans survive). Null for
-  /// memory plans.
-  std::unique_ptr<PoolSnapshot> snapshot_;
-  // Mutable: lazily filled / bound by `EnsureWorkers` from const readers.
-  mutable std::vector<Worker> candidates_;
-  mutable WorkerPoolView view_;
+  /// Everything mutable lives behind this pointer — the epoch states
+  /// (each owning its candidates/view/sharded pool/instance free list,
+  /// retired epochs kept alive so in-flight readers never dangle), the
+  /// scratch-buffer arena, and the optional result cache — so the
+  /// context keeps its defaulted moves.
   std::unique_ptr<Arena> arena_;
 };
 

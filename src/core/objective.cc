@@ -15,6 +15,7 @@
 #include "util/check.h"
 #include "util/math.h"
 #include "util/poisson_binomial.h"
+#include "util/scratch_arena.h"
 #include "util/stats_registry.h"
 
 namespace jury {
@@ -67,7 +68,25 @@ class FullRecomputeEvaluator final : public IncrementalJqEvaluator {
 class IncrementalMajorityEvaluator final : public IncrementalJqEvaluator {
  public:
   IncrementalMajorityEvaluator(const JqObjective* objective, double alpha)
-      : IncrementalJqEvaluator(objective, alpha) {}
+      : IncrementalJqEvaluator(objective, alpha) {
+    if (ScratchArena* arena = scratch_arena()) {
+      arena->Adopt(&batch_q0_);
+      arena->Adopt(&batch_q1_);
+      arena->Adopt(&batch_tail_);
+      arena->Adopt(&batch_cdf_);
+    }
+  }
+  // Clones copy staged capacity rather than adopting (values must match the
+  // parent bit for bit), but still donate it back at destruction.
+  IncrementalMajorityEvaluator(const IncrementalMajorityEvaluator&) = default;
+  ~IncrementalMajorityEvaluator() override {
+    if (ScratchArena* arena = scratch_arena()) {
+      arena->Donate(&batch_q0_);
+      arena->Donate(&batch_q1_);
+      arena->Donate(&batch_tail_);
+      arena->Donate(&batch_cdf_);
+    }
+  }
 
  protected:
   double ComputeAdd(const Worker& worker) override {
@@ -467,6 +486,23 @@ class IncrementalBucketBvEvaluator final : public IncrementalJqEvaluator {
     if (!IsUninformativeAlpha(alpha)) {
       has_prior_ = true;
       prior_q_ = NormalizeQuality(alpha);
+    }
+    if (ScratchArena* arena = scratch_arena()) {
+      arena->Adopt(&batch_bs_);
+      arena->Adopt(&batch_qs_);
+      arena->Adopt(&batch_slot_);
+      arena->Adopt(&batch_out_);
+    }
+  }
+  // Clones copy staged capacity rather than adopting (values must match the
+  // parent bit for bit), but still donate it back at destruction.
+  IncrementalBucketBvEvaluator(const IncrementalBucketBvEvaluator&) = default;
+  ~IncrementalBucketBvEvaluator() override {
+    if (ScratchArena* arena = scratch_arena()) {
+      arena->Donate(&batch_bs_);
+      arena->Donate(&batch_qs_);
+      arena->Donate(&batch_slot_);
+      arena->Donate(&batch_out_);
     }
   }
 
@@ -1025,6 +1061,9 @@ IncrementalJqEvaluator::IncrementalJqEvaluator(const JqObjective* objective,
     : objective_(objective),
       alpha_(alpha),
       scan_sink_(objective->scan_sink()),
+      scratch_arena_(objective->scratch_arena() != nullptr
+                         ? objective->scratch_arena()
+                         : CurrentThreadScratchArena()),
       current_jq_(objective->EmptyJq(alpha)) {}
 
 double IncrementalJqEvaluator::ScoreAdd(const Worker& worker) {

@@ -15,6 +15,7 @@
 namespace jury {
 
 class IncrementalJqEvaluator;
+class ScratchArena;
 class WorkerPoolView;
 
 /// JQ of the empty jury under the scalar binary prior (see core/jsp.h,
@@ -208,6 +209,21 @@ class JqObjective {
     return scan_sink_.load(std::memory_order_acquire);
   }
 
+  /// Binds the scratch-buffer arena (util/scratch_arena.h) every session
+  /// opened after this call adopts its batch-staging capacity from —
+  /// nullptr (the default) allocates per session, exactly the historical
+  /// behavior. Adoption recycles only *capacity*, never values, so pooled
+  /// solves stay bit-identical. The arena must outlive every session of
+  /// this objective (the plan context owns both). Sessions without a bound
+  /// arena fall back to the calling thread's ambient arena
+  /// (`CurrentThreadScratchArena()`), which the solve entry point scopes.
+  void BindScratchArena(ScratchArena* arena) const {
+    scratch_arena_.store(arena, std::memory_order_release);
+  }
+  ScratchArena* scratch_arena() const {
+    return scratch_arena_.load(std::memory_order_acquire);
+  }
+
  protected:
   /// Backend hook: returns the delta-updating session. The default is the
   /// full-recompute session, so third-party objectives keep working.
@@ -223,6 +239,7 @@ class JqObjective {
   mutable std::atomic<std::size_t> full_evals_{0};
   mutable std::atomic<std::size_t> incremental_evals_{0};
   mutable std::atomic<MoveScanSink*> scan_sink_{nullptr};
+  mutable std::atomic<ScratchArena*> scratch_arena_{nullptr};
 };
 
 /// \brief A stateful evaluation session over one growing/shrinking jury.
@@ -379,6 +396,15 @@ class IncrementalJqEvaluator {
     AdoptStaged();
   }
 
+  /// The scratch arena captured at session construction — the objective's
+  /// bound arena, else the constructing thread's ambient arena, else
+  /// nullptr. Copied into clones, so a scan shard constructed on a
+  /// scheduler thread still donates its staging capacity back to the
+  /// owning context's arena. Backends `Adopt` their batch-staging vectors
+  /// from it in their constructors and `Donate` them in their destructors;
+  /// a null arena means plain allocation (the historical behavior).
+  ScratchArena* scratch_arena() const { return scratch_arena_; }
+
   /// Instrumentation forwarded to the owning objective's counters.
   void CountFullEvaluation() const;
   void CountIncrementalEvaluation() const;
@@ -410,6 +436,7 @@ class IncrementalJqEvaluator {
   const JqObjective* objective_;
   double alpha_;
   MoveScanSink* scan_sink_ = nullptr;
+  ScratchArena* scratch_arena_ = nullptr;
   const WorkerPoolView* view_ = nullptr;
   std::vector<Worker> members_;
   std::vector<double> member_quality_;  // aligned with members_

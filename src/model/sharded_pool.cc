@@ -57,6 +57,14 @@ ShardedWorkerPool::ShardedWorkerPool(const WorkerPoolView* view,
   }
 }
 
+ShardedWorkerPool::ShardedWorkerPool(const ShardedWorkerPool& other,
+                                     const WorkerPoolView* view)
+    : view_(view), options_(other.options_), shards_(other.shards_) {
+  JURY_CHECK(view_ != nullptr) << "ShardedWorkerPool needs a view";
+  JURY_CHECK_EQ(view_->size(), other.view_->size())
+      << "rebase view must cover the same index space";
+}
+
 void ShardedWorkerPool::ApplyDelta(std::span<const std::size_t> changed) {
   std::vector<std::size_t> dirty;
   dirty.reserve(changed.size());

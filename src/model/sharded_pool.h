@@ -89,6 +89,15 @@ class ShardedWorkerPool {
   explicit ShardedWorkerPool(const WorkerPoolView* view,
                              ShardedPoolOptions options = {});
 
+  /// Rebase copy: clones `other`'s shard summaries (including their epoch
+  /// tags) but aliases `view` instead of `other`'s view. This is the churn
+  /// fast path — `PoolPlanContext::ApplyPoolDelta` copies the current
+  /// pool onto the post-churn view, then `ApplyDelta`s exactly the changed
+  /// indices, so only the touched shards pay a rebuild while the old pool
+  /// keeps serving in-flight solves on its own view. `view` must have the
+  /// same size as `other.view()` and must outlive this pool.
+  ShardedWorkerPool(const ShardedWorkerPool& other, const WorkerPoolView* view);
+
   /// Rebuilds exactly the shards containing an index in `changed_indices`
   /// (deduplicated internally; out-of-range indices are ignored). Call
   /// after the underlying columns changed in place — e.g. worker

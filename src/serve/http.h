@@ -1,0 +1,93 @@
+#ifndef JURYOPT_SERVE_HTTP_H_
+#define JURYOPT_SERVE_HTTP_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace jury::serve {
+
+/// Request-size guards of the endpoint — the first line of defense the
+/// robustness suite drives with oversized fuzz corpora.
+struct HttpLimits {
+  /// Cap on the request line + headers, bytes. Exceeding it is a 431.
+  std::size_t max_header_bytes = 16 * 1024;
+  /// Cap on the declared/received body, bytes. Exceeding it is a 413.
+  std::size_t max_body_bytes = 1024 * 1024;
+};
+
+struct HttpRequest {
+  std::string method;
+  std::string target;
+  std::string version;
+  /// Field names lowercased (HTTP/1.1 header names are case-insensitive);
+  /// duplicate fields keep the first occurrence.
+  std::map<std::string, std::string> headers;
+  std::string body;
+};
+
+/// \brief Incremental HTTP/1.1 request parser for the serving loop: feed
+/// it bytes as they arrive, ask whether a full request is ready.
+///
+/// Deliberately minimal — exactly the subset `jury_serve` speaks: a
+/// request line, headers, and an optional `Content-Length` body. No
+/// chunked transfer, no continuation lines, no trailers; anything outside
+/// the subset is a clean parse error with a suggested status code, never
+/// an abort — malformed wire bytes are user input, the same contract as
+/// the JSON fuzz surface. Bare-LF line endings are tolerated (curl-style
+/// hand-written requests); header bytes beyond `max_header_bytes` fail
+/// with 431 and bodies beyond `max_body_bytes` with 413 *before*
+/// buffering the excess, so an abusive client cannot balloon the process.
+class HttpParser {
+ public:
+  enum class State { kHeaders, kBody, kComplete, kError };
+
+  explicit HttpParser(HttpLimits limits = {}) : limits_(limits) {}
+
+  /// Consumes `data`, advancing the state machine. Returns the number of
+  /// bytes consumed (always all of `data` unless the request completed or
+  /// errored mid-buffer; leftover bytes belong to the next request).
+  std::size_t Feed(std::string_view data);
+
+  State state() const { return state_; }
+  bool complete() const { return state_ == State::kComplete; }
+  bool failed() const { return state_ == State::kError; }
+
+  /// The parsed request; valid once `complete()`.
+  const HttpRequest& request() const { return request_; }
+
+  /// On `kError`: the HTTP status to answer with (400, 413, or 431) and
+  /// a one-line reason.
+  int error_status() const { return error_status_; }
+  const std::string& error_reason() const { return error_reason_; }
+
+  /// Resets for the next request on a keep-alive connection.
+  void Reset();
+
+ private:
+  void FailWith(int status, std::string reason);
+  bool ParseHeaderBlock();
+
+  HttpLimits limits_;
+  State state_ = State::kHeaders;
+  std::string buffer_;
+  std::size_t body_expected_ = 0;
+  HttpRequest request_;
+  int error_status_ = 400;
+  std::string error_reason_;
+};
+
+/// Serializes a response with `Content-Length`, a `Connection` header
+/// (`close` when `keep_alive` is false), and `Content-Type:
+/// application/json` (the endpoint speaks JSON on every route, errors
+/// included).
+std::string FormatHttpResponse(int status, std::string_view reason,
+                               std::string_view body, bool keep_alive);
+
+/// The canonical reason phrase for the status codes the endpoint emits.
+std::string_view HttpReasonPhrase(int status);
+
+}  // namespace jury::serve
+
+#endif  // JURYOPT_SERVE_HTTP_H_

@@ -1,0 +1,84 @@
+#include "serve/result_cache.h"
+
+#include <utility>
+
+namespace jury::serve {
+
+ResultCache::ResultCache(ResultCacheOptions options) : options_(options) {}
+
+std::string ResultCache::MapKey(std::uint64_t epoch, const std::string& key) {
+  // '\n' cannot appear in the single-line JSON key, so the composite is
+  // prefix-free: (epoch, key) pairs map 1:1 to map keys.
+  return std::to_string(epoch) + '\n' + key;
+}
+
+bool ResultCache::Lookup(std::uint64_t epoch, const std::string& request_key,
+                         api::SolveReport* report) {
+  const std::string map_key = MapKey(epoch, request_key);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(map_key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  *report = it->second->report;
+  report->stats["cache_hit"] = 1.0;
+  return true;
+}
+
+void ResultCache::Insert(std::uint64_t epoch, const std::string& request_key,
+                         const api::SolveReport& report) {
+  if (options_.max_entries == 0) return;
+  const std::string map_key = MapKey(epoch, request_key);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(map_key);
+  if (it != index_.end()) {
+    it->second->report = report;
+    it->second->report.wall_seconds = 0.0;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  while (lru_.size() >= options_.max_entries) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(Entry{map_key, epoch, report});
+  lru_.front().report.wall_seconds = 0.0;
+  index_.emplace(std::move(map_key), lru_.begin());
+  ++stats_.insertions;
+}
+
+void ResultCache::InvalidateBefore(std::uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->epoch < epoch) {
+      index_.erase(it->key);
+      it = lru_.erase(it);
+      ++stats_.invalidations;
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.invalidations += lru_.size();
+  index_.clear();
+  lru_.clear();
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+ResultCacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace jury::serve

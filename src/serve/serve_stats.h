@@ -1,0 +1,47 @@
+#ifndef JURYOPT_SERVE_SERVE_STATS_H_
+#define JURYOPT_SERVE_SERVE_STATS_H_
+
+#include <cstdint>
+
+#include "util/stats_registry.h"
+
+namespace jury::serve {
+
+/// \brief Serving-layer counters, registered once at static init and pinned
+/// by `tests/stats_manifest.json`.
+///
+/// These live in their own TU with plain accessor functions (instead of
+/// file-scope `RegisterStatsCounter` references in the server TU) because
+/// the library is static: a TU's registrations only run in binaries that
+/// reference one of its symbols. The cache/epoch accessors below are called
+/// from `PoolPlanContext` itself, so every binary on the API path — the
+/// CLI's `--stats` schema gate included — links this TU and sees the full
+/// `serve.*` schema, whether or not it serves HTTP.
+
+/// Requests accepted by the HTTP endpoint (any route outcome).
+StatsRegistry::Counter& ServeRequests();
+/// Solves answered from the epoch-keyed result cache.
+StatsRegistry::Counter& ServeCacheHits();
+/// Cacheable solves that missed (and then populated) the cache.
+StatsRegistry::Counter& ServeCacheMisses();
+/// Requests rejected by the server's admission control (503, load shed).
+StatsRegistry::Counter& ServeShed();
+/// Pool-epoch bumps from `PoolPlanContext::ApplyPoolDelta`.
+StatsRegistry::Counter& ServeEpochBumps();
+
+/// The `serve.inflight` gauge: requests currently being solved on behalf of
+/// the serving layer. RAII-bump via `ScopedInflight`.
+std::uint64_t ServeInflight();
+void ServeInflightAdd(std::int64_t delta);
+
+class ScopedInflight {
+ public:
+  ScopedInflight() { ServeInflightAdd(1); }
+  ~ScopedInflight() { ServeInflightAdd(-1); }
+  ScopedInflight(const ScopedInflight&) = delete;
+  ScopedInflight& operator=(const ScopedInflight&) = delete;
+};
+
+}  // namespace jury::serve
+
+#endif  // JURYOPT_SERVE_SERVE_STATS_H_

@@ -1,0 +1,154 @@
+#ifndef JURYOPT_SERVE_SERVER_H_
+#define JURYOPT_SERVE_SERVER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "api/solve.h"
+#include "serve/http.h"
+#include "util/status.h"
+
+namespace jury::serve {
+
+/// \brief Knobs of `JuryServer` — the thin HTTP/JSON endpoint over one
+/// `PoolPlanContext`.
+struct ServeOptions {
+  /// Listen address. Loopback by default: the endpoint is a serving-layer
+  /// demo and a load-harness target, not a hardened public frontend.
+  std::string host = "127.0.0.1";
+  /// Listen port; 0 binds an ephemeral port (read it back via `port()`).
+  int port = 0;
+  /// `SubmitOptions::num_threads` for each request's solve (0 resolves
+  /// via JURYOPT_THREADS; 1 solves inline on the event loop).
+  std::size_t solve_threads = 0;
+  /// Admission control: when this many solves are already in flight, new
+  /// `/solve` requests are shed with a 503 (`serve.shed`). 0 = unlimited.
+  std::size_t max_inflight = 64;
+  /// `EnableResultCache` capacity applied to the context at `Start` when
+  /// the context has no cache yet. 0 leaves caching off.
+  std::size_t cache_entries = 1024;
+  /// Wire-level size guards (431 / 413).
+  HttpLimits limits;
+  /// Deadline imposed on requests that do not carry their own, in
+  /// milliseconds (0 = none). Deadline-carrying requests bypass the
+  /// result cache by design, so a default deadline trades cacheability
+  /// for bounded tail latency.
+  double default_deadline_ms = 0.0;
+  /// Map deadline-terminated solves to a 504 JSON error instead of a 200
+  /// anytime report. The 504 body still embeds the partial report.
+  bool deadline_as_504 = true;
+};
+
+/// \brief The serving layer's HTTP endpoint: a single-threaded
+/// epoll/eventfd loop speaking the existing `SolveRequest` JSON binding
+/// over `PoolPlanContext::SubmitMany`.
+///
+/// Design: the event loop owns all connection state and never solves
+/// anything itself (beyond the deliberate `solve_threads <= 1` inline
+/// mode) — each `POST /solve` becomes a one-request `SubmitMany` batch
+/// whose `on_complete` hook kicks an eventfd, and the loop writes the
+/// response when the completion drains. Solver concurrency therefore
+/// comes from the process work-stealing scheduler, not from server
+/// threads, and the server adds no locking on the solve path.
+///
+/// Routes:
+///  * `GET /healthz`  -> `{"ok":true}`
+///  * `GET /stats`    -> process `StatsRegistry` snapshot + cache stats
+///  * `POST /solve`   -> `SolveRequest` JSON in, `SolveReport` JSON out
+///
+/// Error mapping (JSON envelope `{"error":{"code":...,"message":...}}`):
+/// parse/validation failures -> 400, unknown solver -> 404, load shed or
+/// resource exhaustion -> 503, deadline (when `deadline_as_504`) -> 504,
+/// anything else -> 500. Malformed wire bytes and oversized requests are
+/// answered (400/413/431), never fatal — the robustness suite drives
+/// this with the fuzz corpora.
+///
+/// `Shutdown()` is async-signal-safe (one `write` to an eventfd): the
+/// loop stops accepting, finishes every in-flight solve, flushes every
+/// response, then returns from `Run` (graceful drain).
+class JuryServer {
+ public:
+  /// The context must outlive the server. Does not take ownership.
+  JuryServer(api::PoolPlanContext* context, ServeOptions options = {});
+  ~JuryServer();
+  JuryServer(const JuryServer&) = delete;
+  JuryServer& operator=(const JuryServer&) = delete;
+
+  /// Binds, listens, and builds the epoll set. Call once before `Run`.
+  Status Start();
+  /// The bound port (the resolved one when `options.port` was 0). Valid
+  /// after a successful `Start`.
+  int port() const { return bound_port_; }
+
+  /// Serves until `Shutdown`, then drains and returns. Call from one
+  /// thread only.
+  Status Run();
+
+  /// Requests a graceful stop. Safe from any thread and from signal
+  /// handlers (a single eventfd write).
+  void Shutdown();
+
+ private:
+  struct Connection {
+    int fd = -1;
+    HttpParser parser;
+    std::string outbuf;
+    std::size_t outbuf_sent = 0;
+    bool close_after_write = false;
+    /// A solve is in flight for this connection: reads are paused (one
+    /// request at a time per connection) until its completion drains.
+    bool awaiting_solve = false;
+  };
+
+  struct PendingSolve {
+    std::uint64_t conn_id = 0;
+    api::SolveFuture future;
+    bool had_own_deadline = false;
+  };
+
+  Status Listen();
+  void AcceptNew();
+  void HandleReadable(std::uint64_t conn_id);
+  void HandleWritable(std::uint64_t conn_id);
+  /// Routes one complete request; may enqueue a response or submit a
+  /// solve (pausing reads until it completes).
+  void Dispatch(std::uint64_t conn_id);
+  void SubmitSolve(std::uint64_t conn_id, const HttpRequest& http_request);
+  void DrainCompletions();
+  void FinishSolve(std::uint64_t conn_id);
+  void QueueResponse(std::uint64_t conn_id, int status,
+                     const std::string& body, bool keep_alive);
+  void QueueError(std::uint64_t conn_id, int status,
+                  const std::string& message, bool keep_alive);
+  void CloseConnection(std::uint64_t conn_id);
+  void UpdateInterest(std::uint64_t conn_id);
+  bool Draining() const { return shutdown_requested_; }
+  bool DrainComplete() const;
+
+  api::PoolPlanContext* context_;
+  ServeOptions options_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int shutdown_fd_ = -1;    // eventfd: Shutdown() -> loop wakeup
+  int completion_fd_ = -1;  // eventfd: solver thread -> loop wakeup
+  int bound_port_ = 0;
+  bool shutdown_requested_ = false;
+
+  std::uint64_t next_conn_id_ = 1;
+  std::unordered_map<std::uint64_t, Connection> connections_;
+  std::unordered_map<std::uint64_t, PendingSolve> pending_;
+
+  /// Completions crossing from scheduler threads to the loop.
+  std::mutex completed_mutex_;
+  std::deque<std::uint64_t> completed_;
+};
+
+}  // namespace jury::serve
+
+#endif  // JURYOPT_SERVE_SERVER_H_

@@ -1,0 +1,20 @@
+#include "util/scratch_arena.h"
+
+namespace jury {
+
+namespace {
+thread_local ScratchArena* t_scratch_arena = nullptr;
+}  // namespace
+
+ScopedThreadScratchArena::ScopedThreadScratchArena(ScratchArena* arena)
+    : previous_(t_scratch_arena) {
+  t_scratch_arena = arena;
+}
+
+ScopedThreadScratchArena::~ScopedThreadScratchArena() {
+  t_scratch_arena = previous_;
+}
+
+ScratchArena* CurrentThreadScratchArena() { return t_scratch_arena; }
+
+}  // namespace jury
